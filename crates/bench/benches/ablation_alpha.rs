@@ -1,0 +1,7 @@
+//! Ablation A1: sensitivity of mutual learning to the mixing factor alpha.
+
+fn main() {
+    oplix_bench::run_experiment("Ablation A1: KD mixing factor sweep", |scale| {
+        oplixnet::experiments::ablation::alpha_sweep(&[0.0, 0.25, 0.5, 1.0, 2.0], scale)
+    });
+}

@@ -1,0 +1,10 @@
+//! Ablation A2: phase-noise robustness of the deployed split FCNN.
+
+fn main() {
+    oplix_bench::run_experiment("Ablation A2: phase-noise robustness", |scale| {
+        oplixnet::experiments::ablation::noise_sweep(
+            &[0.0, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2],
+            scale,
+        )
+    });
+}

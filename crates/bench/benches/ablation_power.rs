@@ -1,0 +1,7 @@
+//! Ablation A3: static power of the deployed original vs proposed FCNN.
+
+fn main() {
+    oplix_bench::run_experiment("Ablation A3: static power comparison", |scale| {
+        oplixnet::experiments::ablation::power_comparison(scale)
+    });
+}

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmark of the optical input encoders: the proposed
+//! DC-based complex encoder vs the conventional amplitude encoder, and the
+//! modelled symbol-rate gap vs the PS-based encoder (§III-B's throughput
+//! claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oplix_photonics::encoder::{
+    ComplexEncoder, DcComplexEncoder, PsComplexEncoder, RealEncoder,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_encoders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoder_throughput");
+    for n in [784usize, 3072] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let pairs: Vec<(f64, f64)> = (0..n / 2)
+            .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+            .collect();
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("dc_complex", n), &pairs, |b, pairs| {
+            let enc = DcComplexEncoder::new();
+            b.iter(|| enc.encode(pairs))
+        });
+        group.bench_with_input(BenchmarkId::new("ps_complex", n), &pairs, |b, pairs| {
+            let enc = PsComplexEncoder::new();
+            b.iter(|| enc.encode(pairs))
+        });
+        group.bench_with_input(BenchmarkId::new("real_amplitude", n), &values, |b, values| {
+            let enc = RealEncoder::new();
+            b.iter(|| enc.encode(values))
+        });
+    }
+    group.finish();
+
+    // The physical (not CPU) throughput story, printed once for the record.
+    let dc = DcComplexEncoder::new();
+    let ps = PsComplexEncoder::new();
+    println!(
+        "modelled optical symbol times: DC encoder {:.0} ps vs PS encoder {:.0} ns (x{:.0} slower)",
+        dc.symbol_time_s() * 1e12,
+        ps.symbol_time_s() * 1e9,
+        ps.symbol_time_s() / dc.symbol_time_s()
+    );
+}
+
+criterion_group!(benches, bench_encoders);
+criterion_main!(benches);

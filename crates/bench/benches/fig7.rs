@@ -1,0 +1,7 @@
+//! Regenerates Fig. 7 (OplixNet vs OFFT on Model1-Model4).
+
+fn main() {
+    oplix_bench::run_experiment("Fig. 7: comparison with OFFT", |scale| {
+        oplixnet::experiments::fig7::run(scale)
+    });
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 8 (data-assignment comparison).
+
+fn main() {
+    oplix_bench::run_experiment("Fig. 8: data assignment comparison", |scale| {
+        oplixnet::experiments::fig8::run(scale)
+    });
+}

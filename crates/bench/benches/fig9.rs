@@ -1,0 +1,7 @@
+//! Regenerates Fig. 9 (output decoder comparison).
+
+fn main() {
+    oplix_bench::run_experiment("Fig. 9: decoder comparison", |scale| {
+        oplixnet::experiments::fig9::run(scale)
+    });
+}

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks of the photonic mesh substrate: unitary
+//! decomposition (Reck vs Clements) and field propagation vs mesh size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oplix_linalg::{CMatrix, Complex64};
+use oplix_photonics::clements::decompose_clements;
+use oplix_photonics::reck::decompose_reck;
+use oplix_photonics::svd_map::{MeshStyle, PhotonicLayer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_decompositions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unitary_decomposition");
+    group.sample_size(20);
+    for n in [8usize, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let u = CMatrix::random_unitary(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("reck", n), &u, |b, u| {
+            b.iter(|| decompose_reck(u))
+        });
+        group.bench_with_input(BenchmarkId::new("clements", n), &u, |b, u| {
+            b.iter(|| decompose_clements(u))
+        });
+    }
+    group.finish();
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_propagation");
+    group.sample_size(30);
+    for n in [8usize, 32, 64] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let u = CMatrix::random_unitary(n, &mut rng);
+        let mesh = decompose_clements(&u);
+        let x: Vec<Complex64> = (0..n)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(mesh, x), |b, (mesh, x)| {
+            b.iter(|| mesh.propagate(x))
+        });
+    }
+    group.finish();
+}
+
+fn bench_svd_deployment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd_weight_deployment");
+    group.sample_size(10);
+    for n in [8usize, 16, 24] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let w = CMatrix::from_fn(n, n, |_, _| {
+            Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| PhotonicLayer::from_matrix(w, MeshStyle::Clements))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompositions, bench_propagation, bench_svd_deployment);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks of the split-complex NN substrate: dense and
+//! convolution forward/backward, and one full training step of the split
+//! FCNN.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oplix_nn::ctensor::CTensor;
+use oplix_nn::layers::{CConv2d, CDense, CLayer};
+use oplix_nn::loss::cross_entropy;
+use oplix_nn::optim::Sgd;
+use oplix_nn::tensor::Tensor;
+use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+use oplix_photonics::decoder::DecoderKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_cdense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cdense_forward_backward");
+    group.sample_size(30);
+    for (n_in, n_out) in [(128usize, 64usize), (392, 200)] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = CDense::new(n_in, n_out, &mut rng);
+        let x = CTensor::new(
+            Tensor::random_uniform(&[32, n_in], 1.0, &mut rng),
+            Tensor::random_uniform(&[32, n_in], 1.0, &mut rng),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n_in}x{n_out}")),
+            &x,
+            |b, x| {
+                b.iter(|| {
+                    let y = layer.forward(x, true);
+                    let dy = CTensor::new(
+                        Tensor::full(y.shape(), 1.0),
+                        Tensor::full(y.shape(), -1.0),
+                    );
+                    layer.backward(&dy)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cconv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cconv_forward_backward");
+    group.sample_size(10);
+    for ch in [4usize, 8] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = CConv2d::new(ch, ch, 3, 1, 1, &mut rng);
+        let x = CTensor::new(
+            Tensor::random_uniform(&[8, ch, 8, 8], 1.0, &mut rng),
+            Tensor::random_uniform(&[8, ch, 8, 8], 1.0, &mut rng),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(ch), &x, |b, x| {
+            b.iter(|| {
+                let y = conv.forward(x, true);
+                let dy = CTensor::new(Tensor::full(y.shape(), 1.0), Tensor::full(y.shape(), 1.0));
+                conv.backward(&dy)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut net = build_fcnn(
+        &FcnnConfig { input: 128, hidden: 32, classes: 10 },
+        ModelVariant::Split(DecoderKind::Merge),
+        &mut rng,
+    );
+    let x = CTensor::new(
+        Tensor::random_uniform(&[32, 128], 1.0, &mut rng),
+        Tensor::random_uniform(&[32, 128], 1.0, &mut rng),
+    );
+    let labels: Vec<usize> = (0..32).map(|i| i % 10).collect();
+    let mut opt = Sgd::with_momentum(0.05, 0.9, 1e-4);
+
+    c.bench_function("split_fcnn_training_step", |b| {
+        b.iter(|| {
+            let logits = net.forward(&x, true);
+            let (_, grad) = cross_entropy(&logits, &labels);
+            net.backward(&grad);
+            opt.step(&mut |f| net.visit_params(f));
+        })
+    });
+}
+
+criterion_group!(benches, bench_cdense, bench_cconv, bench_training_step);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the linear-algebra substrate: Jacobi SVD,
+//! Householder QR and the FFT used by the OFFT baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oplix_linalg::fft::fft;
+use oplix_linalg::qr::qr;
+use oplix_linalg::svd::svd;
+use oplix_linalg::{CMatrix, Complex64};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_cmatrix(m: usize, n: usize, seed: u64) -> CMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    CMatrix::from_fn(m, n, |_, _| {
+        Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+    })
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jacobi_svd");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let a = random_cmatrix(n, n, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| b.iter(|| svd(a)));
+    }
+    group.finish();
+}
+
+fn bench_qr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("householder_qr");
+    group.sample_size(20);
+    for n in [8usize, 16, 32] {
+        let a = random_cmatrix(n, n, 100 + n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| b.iter(|| qr(a)));
+    }
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for n in [64usize, 256, 1024] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let x: Vec<Complex64> = (0..n)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &x, |b, x| {
+            b.iter(|| {
+                let mut buf = x.clone();
+                fft(&mut buf);
+                buf
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_svd, bench_qr, bench_fft);
+criterion_main!(benches);

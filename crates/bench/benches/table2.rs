@@ -1,0 +1,7 @@
+//! Regenerates Table II (accuracy + #MZI + reduction for the four models).
+
+fn main() {
+    oplix_bench::run_experiment("Table II: area & accuracy of the four models", |scale| {
+        oplixnet::experiments::table2::run(scale)
+    });
+}

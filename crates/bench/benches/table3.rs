@@ -1,0 +1,7 @@
+//! Regenerates Table III (SCVNN-CVNN mutual learning gains).
+
+fn main() {
+    oplix_bench::run_experiment("Table III: SCVNN-CVNN mutual learning", |scale| {
+        oplixnet::experiments::table3::run(scale)
+    });
+}

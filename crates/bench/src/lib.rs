@@ -1,0 +1,33 @@
+//! Shared helpers for the OplixNet benchmark harness.
+//!
+//! The experiment benches (`table2`, `table3`, `fig7`, `fig8`, `fig9`,
+//! `ablation_*`) regenerate the paper's tables and figures; the
+//! `*_micro` benches measure the substrates with Criterion.
+//!
+//! Set `OPLIX_BENCH_SCALE=quick` to run the experiment benches at
+//! smoke-test scale.
+
+use oplixnet::experiments::Scale;
+use std::time::Instant;
+
+/// The scale the experiment benches run at: `Scale::standard()` unless the
+/// `OPLIX_BENCH_SCALE=quick` environment variable is set.
+pub fn bench_scale() -> Scale {
+    match std::env::var("OPLIX_BENCH_SCALE").as_deref() {
+        Ok("quick") => Scale::quick(),
+        _ => Scale::standard(),
+    }
+}
+
+/// Runs one experiment, printing a header, the artifact and the elapsed
+/// wall time.
+pub fn run_experiment<T: std::fmt::Display>(name: &str, f: impl FnOnce(&Scale) -> T) {
+    let scale = bench_scale();
+    println!("==============================================================");
+    println!("{name}");
+    println!("==============================================================");
+    let start = Instant::now();
+    let report = f(&scale);
+    println!("{report}");
+    println!("[{name} completed in {:.1}s]", start.elapsed().as_secs_f64());
+}

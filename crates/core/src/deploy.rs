@@ -1,0 +1,326 @@
+//! Deployment of trained networks onto the photonic simulator.
+//!
+//! This closes the paper's Fig. 2 loop: software parameters → SVD phase
+//! mapping → split ONN → field-level inference. Dense layers become
+//! [`PhotonicLayer`]s (two MZI meshes + attenuators). Conventions:
+//!
+//! * **Biases** ride on an extra always-on reference waveguide
+//!   (homogeneous coordinates: the deployed matrix is `[W | b]` acting on
+//!   `[x; 1]`), so the optical path reproduces the software layer exactly.
+//! * **Hidden activations** are electro-optic: the fields are coherently
+//!   detected, the split ReLU is applied electronically, and the result is
+//!   re-modulated — the standard assumption for MZI-ONN nonlinearities.
+//! * **Output detection** follows the trained head: differential
+//!   photodiodes for the merging decoder, plain photodiodes for the
+//!   conventional ONN, coherent detection for the `Re` head.
+
+use oplix_linalg::{CMatrix, Complex64};
+use oplix_nn::ctensor::CTensor;
+use oplix_nn::layers::CDense;
+use oplix_nn::network::Network;
+use oplix_photonics::count::DeviceCount;
+use oplix_photonics::decoder::{differential_photodiode, photodiode_vec};
+use oplix_photonics::svd_map::{MeshStyle, PhotonicLayer};
+use rand::Rng;
+
+/// How the deployed network's outputs are detected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeployedDetection {
+    /// Differential photodiodes over a doubled output (merging decoder).
+    Differential,
+    /// Photodiode amplitude readout (conventional ONN): the diode measures
+    /// `|z|²`, the electronics take the square root — matching
+    /// `ModulusHead` exactly (and leaving the argmax unchanged).
+    Intensity,
+    /// Coherent detection: logits are the real parts.
+    CoherentReal,
+}
+
+/// A fully connected network deployed onto MZI meshes.
+#[derive(Debug)]
+pub struct DeployedFcnn {
+    stages: Vec<PhotonicLayer>,
+    detection: DeployedDetection,
+}
+
+/// Errors from deployment.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DeployError {
+    /// The network body contained a layer type that cannot be mapped
+    /// (only dense layers, activations and reshapes are supported).
+    UnsupportedLayer(usize),
+    /// The network body contained no dense layers.
+    Empty,
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::UnsupportedLayer(i) => {
+                write!(f, "layer {i} is not deployable onto an FCNN photonic pipeline")
+            }
+            DeployError::Empty => write!(f, "network has no dense layers to deploy"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+impl DeployedFcnn {
+    /// Extracts every [`CDense`] layer from the network body, augments each
+    /// weight with its bias column, and maps it through SVD onto meshes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] if the body contains layers other than dense
+    /// layers and parameter-free ones (activations / reshapes), which this
+    /// FCNN pipeline skips by construction.
+    pub fn from_network(net: &Network, detection: DeployedDetection, style: MeshStyle) -> Result<Self, DeployError> {
+        let mut stages = Vec::new();
+        for layer in net.body().layers() {
+            if let Some(any) = layer.as_any() {
+                if let Some(dense) = any.downcast_ref::<CDense>() {
+                    stages.push(deploy_dense(dense, style));
+                    continue;
+                }
+            }
+            // Parameter-free layers (ReLU, flatten) are modelled in the
+            // electro-optic stage; anything with parameters would have
+            // exposed as_any.
+        }
+        if stages.is_empty() {
+            return Err(DeployError::Empty);
+        }
+        Ok(DeployedFcnn { stages, detection })
+    }
+
+    /// Field-level inference of one sample (already complex-assigned,
+    /// flattened). Returns the detected logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input length does not match the first stage fan-in
+    /// minus the bias mode.
+    pub fn forward(&self, input: &[Complex64]) -> Vec<f64> {
+        let mut fields: Vec<Complex64> = input.to_vec();
+        let last = self.stages.len() - 1;
+        for (i, stage) in self.stages.iter().enumerate() {
+            // Bias reference mode.
+            fields.push(Complex64::ONE);
+            fields = stage.forward(&fields);
+            if i < last {
+                // Electro-optic split ReLU between optical stages.
+                for z in &mut fields {
+                    *z = Complex64::new(z.re.max(0.0), z.im.max(0.0));
+                }
+            }
+        }
+        match self.detection {
+            DeployedDetection::Differential => differential_photodiode(&fields),
+            DeployedDetection::Intensity => {
+                photodiode_vec(&fields).into_iter().map(f64::sqrt).collect()
+            }
+            DeployedDetection::CoherentReal => fields.iter().map(|z| z.re).collect(),
+        }
+    }
+
+    /// Classifies a batch given as a complex dataset view; returns
+    /// predicted class indices.
+    pub fn classify(&self, inputs: &CTensor) -> Vec<usize> {
+        let (n, d) = (inputs.shape()[0], inputs.shape()[1]);
+        (0..n)
+            .map(|i| {
+                let sample: Vec<Complex64> = (0..d)
+                    .map(|j| {
+                        Complex64::new(inputs.re.at2(i, j) as f64, inputs.im.at2(i, j) as f64)
+                    })
+                    .collect();
+                let logits = self.forward(&sample);
+                argmax(&logits)
+            })
+            .collect()
+    }
+
+    /// Classification accuracy of the deployed hardware on a labelled view.
+    pub fn accuracy(&self, inputs: &CTensor, labels: &[usize]) -> f64 {
+        let preds = self.classify(inputs);
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+        correct as f64 / labels.len() as f64
+    }
+
+    /// Total device inventory of the deployed pipeline.
+    pub fn device_count(&self) -> DeviceCount {
+        self.stages.iter().map(|s| s.device_count()).sum()
+    }
+
+    /// Injects Gaussian phase noise into every mesh (thermal crosstalk /
+    /// fabrication imprecision study).
+    pub fn inject_phase_noise<R: Rng>(&mut self, sigma: f64, rng: &mut R) {
+        for stage in &mut self.stages {
+            let (v, u) = stage.meshes_mut();
+            *v = v.with_phase_noise(sigma, rng);
+            *u = u.with_phase_noise(sigma, rng);
+        }
+    }
+
+    /// Number of optical stages (dense layers).
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Total static heater power over every programmable phase of every
+    /// mesh, in milliwatts, plus the number of phases (see
+    /// [`oplix_photonics::power`]).
+    pub fn static_power_mw(&self, max_mw: f64) -> (f64, usize) {
+        use oplix_photonics::power::mesh_static_power_mw;
+        let mut total = 0.0;
+        let mut phases = 0usize;
+        for stage in &self.stages {
+            for mesh in [stage.v_mesh(), stage.u_mesh()] {
+                total += mesh_static_power_mw(mesh, max_mw);
+                phases += mesh.phases().len();
+            }
+        }
+        (total, phases)
+    }
+}
+
+fn deploy_dense(dense: &CDense, style: MeshStyle) -> PhotonicLayer {
+    let (w_re, w_im) = dense.weight();
+    let (b_re, b_im) = dense.bias();
+    let (m, n) = (dense.n_out(), dense.n_in());
+    // Homogeneous augmentation: last column is the bias.
+    let aug = CMatrix::from_fn(m, n + 1, |i, j| {
+        if j < n {
+            Complex64::new(w_re.at2(i, j) as f64, w_im.at2(i, j) as f64)
+        } else {
+            Complex64::new(b_re.as_slice()[i] as f64, b_im.as_slice()[i] as f64)
+        }
+    });
+    PhotonicLayer::from_matrix(&aug, style)
+}
+
+fn argmax(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("non-NaN logits"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+    use oplix_nn::tensor::Tensor;
+    use oplix_photonics::decoder::DecoderKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_view(n: usize, d: usize, seed: u64) -> CTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        CTensor::new(
+            Tensor::random_uniform(&[n, d], 1.0, &mut rng),
+            Tensor::random_uniform(&[n, d], 1.0, &mut rng),
+        )
+    }
+
+    #[test]
+    fn deployed_logits_match_software() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = FcnnConfig { input: 6, hidden: 5, classes: 2 };
+        let mut net = build_fcnn(&cfg, ModelVariant::Split(DecoderKind::Merge), &mut rng);
+        let deployed =
+            DeployedFcnn::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+                .expect("deployable");
+        assert_eq!(deployed.num_stages(), 2);
+
+        let view = random_view(4, 6, 2);
+        let soft = net.forward(&view, false);
+        for i in 0..4 {
+            let sample: Vec<Complex64> = (0..6)
+                .map(|j| Complex64::new(view.re.at2(i, j) as f64, view.im.at2(i, j) as f64))
+                .collect();
+            let optical = deployed.forward(&sample);
+            for k in 0..2 {
+                let s = soft.at2(i, k) as f64;
+                assert!(
+                    (optical[k] - s).abs() < 1e-3,
+                    "sample {i} class {k}: optical {} vs software {s}",
+                    optical[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deployed_accuracy_matches_software_predictions() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = FcnnConfig { input: 4, hidden: 6, classes: 3 };
+        let mut net = build_fcnn(&cfg, ModelVariant::Split(DecoderKind::Merge), &mut rng);
+        let deployed =
+            DeployedFcnn::from_network(&net, DeployedDetection::Differential, MeshStyle::Reck)
+                .expect("deployable");
+        let view = random_view(8, 4, 4);
+        let soft = net.forward(&view, false);
+        let hard = deployed.classify(&view);
+        for i in 0..8 {
+            let row: Vec<f64> = (0..3).map(|k| soft.at2(i, k) as f64).collect();
+            assert_eq!(hard[i], argmax(&row), "sample {i}");
+        }
+    }
+
+    #[test]
+    fn intensity_detection_for_conventional_onn() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = FcnnConfig { input: 4, hidden: 4, classes: 2 };
+        let mut net = build_fcnn(&cfg, ModelVariant::ConventionalOnn, &mut rng);
+        let deployed =
+            DeployedFcnn::from_network(&net, DeployedDetection::Intensity, MeshStyle::Clements)
+                .expect("deployable");
+        let view = CTensor::from_re(Tensor::random_uniform(&[3, 4], 1.0, &mut rng));
+        let soft = net.forward(&view, false);
+        for i in 0..3 {
+            let sample: Vec<Complex64> = (0..4)
+                .map(|j| Complex64::new(view.re.at2(i, j) as f64, 0.0))
+                .collect();
+            let optical = deployed.forward(&sample);
+            for k in 0..2 {
+                assert!((optical[k] - soft.at2(i, k) as f64).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn phase_noise_degrades_agreement() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = FcnnConfig { input: 6, hidden: 6, classes: 2 };
+        let net = build_fcnn(&cfg, ModelVariant::Split(DecoderKind::Merge), &mut rng);
+        let mut deployed =
+            DeployedFcnn::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+                .expect("deployable");
+        let sample: Vec<Complex64> = (0..6).map(|j| Complex64::new(0.1 * j as f64, 0.05)).collect();
+        let clean = deployed.forward(&sample);
+        deployed.inject_phase_noise(0.3, &mut rng);
+        let noisy = deployed.forward(&sample);
+        let diff: f64 = clean
+            .iter()
+            .zip(&noisy)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-6, "noise had no effect");
+    }
+
+    #[test]
+    fn device_count_includes_bias_modes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = FcnnConfig { input: 6, hidden: 5, classes: 2 };
+        let net = build_fcnn(&cfg, ModelVariant::Split(DecoderKind::Merge), &mut rng);
+        let deployed =
+            DeployedFcnn::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+                .expect("deployable");
+        // Stage 1: 5 x 7 (bias mode), stage 2: 4 x 6.
+        let expect = oplix_photonics::mzi_count(5, 7) + oplix_photonics::mzi_count(4, 6);
+        assert_eq!(deployed.device_count().mzis, expect);
+    }
+}

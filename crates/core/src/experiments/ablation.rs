@@ -1,0 +1,364 @@
+//! Ablations beyond the paper's tables (DESIGN.md A1–A3).
+//!
+//! * [`alpha_sweep`] — sensitivity of mutual learning to the mixing factor
+//!   α (the paper fixes α = 1.0 without a sweep).
+//! * [`noise_sweep`] — accuracy of the *deployed* split FCNN under
+//!   Gaussian phase noise (motivated by the paper's refs \[11\], \[13\]).
+//! * [`power_comparison`] — phase-dependent static power (0–80 mW/PS) of
+//!   the deployed original vs proposed FCNN.
+
+use crate::deploy::{DeployedDetection, DeployedFcnn};
+use crate::experiments::{train_and_eval, Scale};
+use crate::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+use oplix_datasets::assign::AssignmentKind;
+use oplix_datasets::synth::{digits, SynthConfig};
+use oplix_nn::mutual::{mutual_fit, MutualConfig};
+use oplix_nn::optim::Sgd;
+use oplix_photonics::decoder::DecoderKind;
+use oplix_photonics::power::DEFAULT_MAX_MW;
+use oplix_photonics::svd_map::MeshStyle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// A1: alpha sweep
+// ---------------------------------------------------------------------------
+
+/// Result of one α setting.
+#[derive(Clone, Copy, Debug)]
+pub struct AlphaPoint {
+    /// Mixing factor.
+    pub alpha: f32,
+    /// Student accuracy with mutual learning at this α.
+    pub accuracy: f64,
+}
+
+/// The α-sweep report.
+#[derive(Clone, Debug)]
+pub struct AlphaReport {
+    /// Baseline accuracy without mutual learning (α = 0 by construction).
+    pub solo_accuracy: f64,
+    /// Sweep points.
+    pub points: Vec<AlphaPoint>,
+}
+
+impl fmt::Display for AlphaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Ablation A1: KD mixing factor sweep (FCNN)")?;
+        writeln!(f, "  solo (no ML): {:.2}%", 100.0 * self.solo_accuracy)?;
+        for p in &self.points {
+            writeln!(f, "  alpha = {:<4}: {:.2}%", p.alpha, 100.0 * p.accuracy)?;
+        }
+        Ok(())
+    }
+}
+
+/// Sweeps the distillation mixing factor on the split FCNN with a CVNN
+/// teacher.
+pub fn alpha_sweep(alphas: &[f32], scale: &Scale) -> AlphaReport {
+    let hw = scale.image_hw;
+    let classes = 10;
+    let mk_cfg = |samples, seed| SynthConfig {
+        height: hw,
+        width: hw,
+        num_classes: classes,
+        samples,
+        seed,
+        ..Default::default()
+    };
+    let train_raw = digits(&mk_cfg(scale.train_samples, 81));
+    let test_raw = digits(&mk_cfg(scale.test_samples, 82));
+    let si_train = AssignmentKind::SpatialInterlace.apply_dataset_flat(&train_raw);
+    let si_test = AssignmentKind::SpatialInterlace.apply_dataset_flat(&test_raw);
+    let conv_train = AssignmentKind::Conventional.apply_dataset_flat(&train_raw);
+
+    let student_cfg = FcnnConfig { input: hw * hw / 2, hidden: 32, classes };
+    let teacher_cfg = FcnnConfig { input: hw * hw, hidden: 64, classes };
+    let setup = scale.setup;
+
+    let solo_accuracy = {
+        let mut rng = StdRng::seed_from_u64(1000);
+        let mut net = build_fcnn(&student_cfg, ModelVariant::Split(DecoderKind::Merge), &mut rng);
+        train_and_eval(&mut net, &si_train, &si_test, &setup, 1100)
+    };
+
+    let points = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = alphas
+            .iter()
+            .map(|&alpha| {
+                let (si_train, si_test, conv_train) = (&si_train, &si_test, &conv_train);
+                s.spawn(move |_| {
+                    let mut rng_s = StdRng::seed_from_u64(1000); // same init as solo
+                    let mut student = build_fcnn(
+                        &student_cfg,
+                        ModelVariant::Split(DecoderKind::Merge),
+                        &mut rng_s,
+                    );
+                    let mut rng_t = StdRng::seed_from_u64(1001);
+                    let mut teacher =
+                        build_fcnn(&teacher_cfg, ModelVariant::ConventionalOnn, &mut rng_t);
+                    let cfg = MutualConfig {
+                        alpha,
+                        temperature: 1.0,
+                        batch_size: setup.batch,
+                    };
+                    let mut opt_s =
+                        Sgd::with_momentum(setup.lr, setup.momentum, setup.weight_decay);
+                    let mut opt_t =
+                        Sgd::with_momentum(setup.lr, setup.momentum, setup.weight_decay);
+                    opt_s.clip = Some(1.0);
+                    opt_t.clip = Some(1.0);
+                    let mut rng = StdRng::seed_from_u64(1100);
+                    let accuracy = mutual_fit(
+                        &mut student,
+                        &mut teacher,
+                        si_train,
+                        conv_train,
+                        si_test,
+                        setup.epochs,
+                        &cfg,
+                        &mut opt_s,
+                        &mut opt_t,
+                        &mut rng,
+                    );
+                    AlphaPoint { alpha, accuracy }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("alpha point"))
+            .collect::<Vec<_>>()
+    })
+    .expect("scope");
+
+    AlphaReport {
+        solo_accuracy,
+        points,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A2: phase-noise robustness
+// ---------------------------------------------------------------------------
+
+/// Result of one noise level.
+#[derive(Clone, Copy, Debug)]
+pub struct NoisePoint {
+    /// Phase-noise standard deviation, radians.
+    pub sigma: f64,
+    /// Deployed hardware accuracy at this noise level.
+    pub accuracy: f64,
+}
+
+/// The noise-sweep report.
+#[derive(Clone, Debug)]
+pub struct NoiseReport {
+    /// Software accuracy of the trained model (noise-free reference).
+    pub software_accuracy: f64,
+    /// Sweep points.
+    pub points: Vec<NoisePoint>,
+}
+
+impl fmt::Display for NoiseReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Ablation A2: phase-noise robustness of the deployed split FCNN")?;
+        writeln!(f, "  software reference: {:.2}%", 100.0 * self.software_accuracy)?;
+        for p in &self.points {
+            writeln!(f, "  sigma = {:<5}: {:.2}%", p.sigma, 100.0 * p.accuracy)?;
+        }
+        Ok(())
+    }
+}
+
+/// Trains a split FCNN, deploys it onto meshes, and sweeps Gaussian phase
+/// noise over all programmable phases.
+pub fn noise_sweep(sigmas: &[f64], scale: &Scale) -> NoiseReport {
+    let hw = scale.image_hw;
+    let classes = 10;
+    let mk_cfg = |samples, seed| SynthConfig {
+        height: hw,
+        width: hw,
+        num_classes: classes,
+        samples,
+        seed,
+        ..Default::default()
+    };
+    let train_raw = digits(&mk_cfg(scale.train_samples, 83));
+    let test_raw = digits(&mk_cfg(scale.test_samples, 84));
+    let si_train = AssignmentKind::SpatialInterlace.apply_dataset_flat(&train_raw);
+    let si_test = AssignmentKind::SpatialInterlace.apply_dataset_flat(&test_raw);
+
+    let mut rng = StdRng::seed_from_u64(1200);
+    let mut net = build_fcnn(
+        &FcnnConfig { input: hw * hw / 2, hidden: 24, classes },
+        ModelVariant::Split(DecoderKind::Merge),
+        &mut rng,
+    );
+    let software_accuracy = train_and_eval(&mut net, &si_train, &si_test, &scale.setup, 1300);
+
+    let points = sigmas
+        .iter()
+        .map(|&sigma| {
+            let mut deployed = DeployedFcnn::from_network(
+                &net,
+                DeployedDetection::Differential,
+                MeshStyle::Clements,
+            )
+            .expect("FCNN is deployable");
+            let mut noise_rng = StdRng::seed_from_u64(1400);
+            if sigma > 0.0 {
+                deployed.inject_phase_noise(sigma, &mut noise_rng);
+            }
+            NoisePoint {
+                sigma,
+                accuracy: deployed.accuracy(&si_test.inputs, &si_test.labels),
+            }
+        })
+        .collect();
+
+    NoiseReport {
+        software_accuracy,
+        points,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A3: static power
+// ---------------------------------------------------------------------------
+
+/// Static-power comparison of deployed original vs proposed FCNN.
+#[derive(Clone, Copy, Debug)]
+pub struct PowerReport {
+    /// Total static power of the conventional ONN FCNN, milliwatts.
+    pub orig_mw: f64,
+    /// Total static power of the split FCNN, milliwatts.
+    pub prop_mw: f64,
+    /// Number of phase shifters in the original deployment.
+    pub orig_phases: usize,
+    /// Number of phase shifters in the proposed deployment.
+    pub prop_phases: usize,
+}
+
+impl PowerReport {
+    /// Power reduction ratio.
+    pub fn reduction(&self) -> f64 {
+        1.0 - self.prop_mw / self.orig_mw
+    }
+}
+
+impl fmt::Display for PowerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Ablation A3: static power of deployed FCNNs (0-80 mW per PS)")?;
+        writeln!(
+            f,
+            "  original: {:>10.1} mW over {} phases",
+            self.orig_mw, self.orig_phases
+        )?;
+        writeln!(
+            f,
+            "  proposed: {:>10.1} mW over {} phases",
+            self.prop_mw, self.prop_phases
+        )?;
+        writeln!(f, "  reduction: {:.2}%", 100.0 * self.reduction())
+    }
+}
+
+/// Trains both FCNN variants, deploys them, and integrates the
+/// phase-dependent heater power over every mesh.
+pub fn power_comparison(scale: &Scale) -> PowerReport {
+    let hw = scale.image_hw;
+    let classes = 10;
+    let mk_cfg = |samples, seed| SynthConfig {
+        height: hw,
+        width: hw,
+        num_classes: classes,
+        samples,
+        seed,
+        ..Default::default()
+    };
+    let train_raw = digits(&mk_cfg(scale.train_samples, 85));
+    let test_raw = digits(&mk_cfg(scale.test_samples, 86));
+    let conv_train = AssignmentKind::Conventional.apply_dataset_flat(&train_raw);
+    let conv_test = AssignmentKind::Conventional.apply_dataset_flat(&test_raw);
+    let si_train = AssignmentKind::SpatialInterlace.apply_dataset_flat(&train_raw);
+    let si_test = AssignmentKind::SpatialInterlace.apply_dataset_flat(&test_raw);
+
+    let mut rng = StdRng::seed_from_u64(1500);
+    let mut orig = build_fcnn(
+        &FcnnConfig { input: hw * hw, hidden: 48, classes },
+        ModelVariant::ConventionalOnn,
+        &mut rng,
+    );
+    let _ = train_and_eval(&mut orig, &conv_train, &conv_test, &scale.setup, 1600);
+    let mut prop = build_fcnn(
+        &FcnnConfig { input: hw * hw / 2, hidden: 24, classes },
+        ModelVariant::Split(DecoderKind::Merge),
+        &mut rng,
+    );
+    let _ = train_and_eval(&mut prop, &si_train, &si_test, &scale.setup, 1601);
+
+    let measure = |net: &oplix_nn::network::Network, detection| {
+        let deployed = DeployedFcnn::from_network(net, detection, MeshStyle::Clements)
+            .expect("FCNN is deployable");
+        deployed
+    };
+    let d_orig = measure(&orig, DeployedDetection::Intensity);
+    let d_prop = measure(&prop, DeployedDetection::Differential);
+
+    let sum_power = |d: &DeployedFcnn| -> (f64, usize) {
+        // Walk stage meshes through the public device count; power needs
+        // the meshes themselves, which DeployedFcnn exposes via its stages.
+        d.static_power_mw(DEFAULT_MAX_MW)
+    };
+    let (orig_mw, orig_phases) = sum_power(&d_orig);
+    let (prop_mw, prop_phases) = sum_power(&d_prop);
+
+    PowerReport {
+        orig_mw,
+        prop_mw,
+        orig_phases,
+        prop_phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_zero_matches_solo_closely() {
+        // alpha = 0 is mutual learning with no coupling; accuracies should
+        // be in the same band as solo training (not identical: the data
+        // order differs between fit() and mutual_fit()).
+        let report = alpha_sweep(&[0.0, 1.0], &Scale::quick());
+        assert_eq!(report.points.len(), 2);
+        for p in &report.points {
+            assert!((0.0..=1.0).contains(&p.accuracy));
+        }
+    }
+
+    #[test]
+    fn noise_sweep_degrades_monotonically_in_trend() {
+        let report = noise_sweep(&[0.0, 0.5], &Scale::quick());
+        assert_eq!(report.points.len(), 2);
+        // Zero noise must match the software accuracy exactly.
+        assert!(
+            (report.points[0].accuracy - report.software_accuracy).abs() < 1e-9,
+            "deployed {} vs software {}",
+            report.points[0].accuracy,
+            report.software_accuracy
+        );
+        // Heavy noise should not be better than the clean deployment.
+        assert!(report.points[1].accuracy <= report.points[0].accuracy + 0.05);
+    }
+
+    #[test]
+    fn power_favors_the_split_network() {
+        let report = power_comparison(&Scale::quick());
+        assert!(report.orig_phases > report.prop_phases);
+        assert!(report.orig_mw > report.prop_mw);
+        assert!(report.reduction() > 0.4, "reduction {}", report.reduction());
+    }
+}

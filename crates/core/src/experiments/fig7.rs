@@ -1,0 +1,328 @@
+//! Fig. 7: OplixNet vs the OFFT baseline on four FCNN configurations.
+//!
+//! The paper's Model1–Model4 are `(28×28)-400-10`, `(14×14)-70-10`,
+//! `(28×28)-400-128-10` and `(14×14)-160-160-10`. Device and parameter
+//! counts (`#Para`, `#DC`, `#PS`) are computed at those exact shapes and
+//! normalised to the original ONN, as in the figure; accuracies are
+//! measured at training scale with proportionally reduced widths.
+
+use crate::experiments::{pct, train_and_eval, Scale};
+use crate::spec::{LayerShape, ModelSpec};
+use crate::zoo::ModelVariant;
+use oplix_datasets::assign::AssignmentKind;
+use oplix_datasets::synth::{digits, SynthConfig};
+use oplix_nn::layers::{CDense, CRelu, CSequential};
+use oplix_nn::network::Network;
+use oplix_offt::cost::OfftCostModel;
+use oplix_offt::model::OfftMlp;
+use oplix_photonics::decoder::DecoderKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// One of the paper's four FCNN configurations.
+#[derive(Clone, Debug)]
+pub struct Fig7Model {
+    /// Display name ("Model1" … "Model4").
+    pub name: &'static str,
+    /// Full-scale layer widths, e.g. `[784, 400, 10]`.
+    pub widths: Vec<usize>,
+}
+
+impl Fig7Model {
+    /// The paper's Model1–Model4.
+    pub fn all() -> Vec<Fig7Model> {
+        vec![
+            Fig7Model { name: "Model1", widths: vec![784, 400, 10] },
+            Fig7Model { name: "Model2", widths: vec![196, 70, 10] },
+            Fig7Model { name: "Model3", widths: vec![784, 400, 128, 10] },
+            Fig7Model { name: "Model4", widths: vec![196, 160, 160, 10] },
+        ]
+    }
+
+    /// The original (dense, conventional) ONN spec.
+    pub fn orig_spec(&self) -> ModelSpec {
+        ModelSpec {
+            name: format!("{} orig", self.name),
+            layers: self
+                .widths
+                .windows(2)
+                .map(|w| LayerShape::Dense { out: w[1], input: w[0] })
+                .collect(),
+            complex: false,
+        }
+    }
+
+    /// The OplixNet spec: halved input and interior widths, `K` outputs
+    /// (decoder-free counting, as in Table II), complex weights.
+    pub fn oplix_spec(&self) -> ModelSpec {
+        let mut halved: Vec<usize> = self.widths.iter().map(|&w| w.div_ceil(2)).collect();
+        *halved.last_mut().expect("non-empty widths") = *self.widths.last().expect("non-empty");
+        let layers: Vec<LayerShape> = halved
+            .windows(2)
+            .map(|w| LayerShape::Dense { out: w[1], input: w[0] })
+            .collect();
+        ModelSpec {
+            name: format!("{} oplix", self.name),
+            layers,
+            complex: true,
+        }
+    }
+
+    /// Training-scale widths: input from the dataset, interior widths
+    /// scaled down by 4, output = classes.
+    fn training_widths(&self, input: usize, classes: usize) -> Vec<usize> {
+        let mut w = vec![input];
+        for &mid in &self.widths[1..self.widths.len() - 1] {
+            w.push((mid / 4).max(8));
+        }
+        w.push(classes);
+        w
+    }
+}
+
+/// One row (model) of the Fig. 7 comparison; every count is normalised to
+/// the original ONN of the same configuration.
+#[derive(Clone, Debug)]
+pub struct Fig7Row {
+    /// Model name.
+    pub model: &'static str,
+    /// OFFT accuracy at training scale.
+    pub acc_offt: f64,
+    /// OplixNet accuracy at training scale.
+    pub acc_oplix: f64,
+    /// OFFT parameters / original parameters.
+    pub para_offt: f64,
+    /// OplixNet parameters / original parameters.
+    pub para_oplix: f64,
+    /// OFFT DCs / original DCs.
+    pub dc_offt: f64,
+    /// OplixNet DCs / original DCs.
+    pub dc_oplix: f64,
+    /// OFFT PSs / original PSs.
+    pub ps_offt: f64,
+    /// OplixNet PSs / original PSs.
+    pub ps_oplix: f64,
+}
+
+/// The rendered Fig. 7 data.
+#[derive(Clone, Debug)]
+pub struct Fig7Report {
+    /// One row per model.
+    pub rows: Vec<Fig7Row>,
+}
+
+impl fmt::Display for Fig7Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 7: comparison with OFFT (all counts normalised to the original ONN)"
+        )?;
+        writeln!(
+            f,
+            "{:<8} {:>10} {:>10} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8}",
+            "Model", "Acc OFFT", "Acc Oplix", "#P OFFT", "#P Oplix", "DC OFFT", "DC Oplx", "PS OFFT", "PS Oplx"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<8} {:>10} {:>10} {:>9.3} {:>9.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+                r.model,
+                pct(r.acc_offt),
+                pct(r.acc_oplix),
+                r.para_offt,
+                r.para_oplix,
+                r.dc_offt,
+                r.dc_oplix,
+                r.ps_offt,
+                r.ps_oplix,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// OFFT block size used throughout Fig. 7 (documented in `oplix-offt`).
+pub const OFFT_BLOCK: usize = 8;
+
+fn build_oplix_mlp(widths: &[usize], seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Halve everything except the class count; merge decoder doubles the
+    // last layer.
+    let mut halved: Vec<usize> = widths.iter().map(|&w| w.div_ceil(2)).collect();
+    let classes = *widths.last().expect("non-empty widths");
+    *halved.last_mut().expect("non-empty") = classes;
+    let n = halved.len();
+    let mut body = CSequential::new();
+    for (i, w) in halved.windows(2).enumerate() {
+        let out = if i + 2 == n { 2 * w[1] } else { w[1] };
+        body.add(Box::new(CDense::new(w[0], out, &mut rng)));
+        if i + 2 < n {
+            body.add(Box::new(CRelu::new()));
+        }
+    }
+    let (_, head) = ModelVariant::Split(DecoderKind::Merge).head(classes, &mut rng);
+    Network::new(body, head)
+}
+
+fn run_model(model: &Fig7Model, scale: &Scale) -> Fig7Row {
+    // --- Exact full-scale counts, normalised to the original ONN. ---
+    let orig = model.orig_spec();
+    let orig_mzis: u64 = orig.layers.iter().map(LayerShape::mzis).sum();
+    let orig_dcs = 2 * orig_mzis;
+    let orig_pss = orig_mzis;
+    let orig_params = orig.params();
+
+    let oplix = model.oplix_spec();
+    let oplix_mzis: u64 = oplix.layers.iter().map(LayerShape::mzis).sum();
+
+    let widths_u64: Vec<u64> = model.widths.iter().map(|&w| w as u64).collect();
+    let offt = OfftCostModel::new(OFFT_BLOCK as u64).network_cost(&widths_u64);
+
+    // --- Training-scale accuracy. ---
+    let hw = scale.image_hw;
+    let classes = 10;
+    let mk_cfg = |samples, seed| SynthConfig {
+        height: hw,
+        width: hw,
+        num_classes: classes,
+        samples,
+        seed,
+        ..Default::default()
+    };
+    let train_raw = digits(&mk_cfg(scale.train_samples, 41));
+    let test_raw = digits(&mk_cfg(scale.test_samples, 42));
+    let conv_train = AssignmentKind::Conventional.apply_dataset_flat(&train_raw);
+    let conv_test = AssignmentKind::Conventional.apply_dataset_flat(&test_raw);
+    let si_train = AssignmentKind::SpatialInterlace.apply_dataset_flat(&train_raw);
+    let si_test = AssignmentKind::SpatialInterlace.apply_dataset_flat(&test_raw);
+
+    let train_widths = model.training_widths(hw * hw, classes);
+    let setup = scale.setup;
+    let (acc_offt, acc_oplix) = crossbeam::thread::scope(|s| {
+        let widths = train_widths.clone();
+        let h_offt = s.spawn(move |_| {
+            let mut rng = StdRng::seed_from_u64(500);
+            let mut mlp = OfftMlp::new(&widths, OFFT_BLOCK, &mut rng);
+            train_and_eval(&mut mlp.net, &conv_train, &conv_test, &setup, 600)
+        });
+        let widths = train_widths.clone();
+        let h_oplix = s.spawn(move |_| {
+            // build_oplix_mlp halves the input and interior widths, which
+            // matches the spatially-interlaced view (hw²/2 features).
+            let mut net = build_oplix_mlp(&widths, 501);
+            train_and_eval(&mut net, &si_train, &si_test, &setup, 601)
+        });
+        (h_offt.join().expect("offt"), h_oplix.join().expect("oplix"))
+    })
+    .expect("scope");
+
+    Fig7Row {
+        model: model.name,
+        acc_offt,
+        acc_oplix,
+        para_offt: offt.params as f64 / orig_params as f64,
+        para_oplix: oplix.params() as f64 / orig_params as f64,
+        dc_offt: offt.dcs as f64 / orig_dcs as f64,
+        dc_oplix: (2 * oplix_mzis) as f64 / orig_dcs as f64,
+        ps_offt: offt.pss as f64 / orig_pss as f64,
+        ps_oplix: oplix_mzis as f64 / orig_pss as f64,
+    }
+}
+
+/// Runs the full Fig. 7 experiment.
+pub fn run(scale: &Scale) -> Fig7Report {
+    Fig7Report {
+        rows: Fig7Model::all().iter().map(|m| run_model(m, scale)).collect(),
+    }
+}
+
+/// Runs a subset of the models by index (0-based).
+pub fn run_subset(indices: &[usize], scale: &Scale) -> Fig7Report {
+    let all = Fig7Model::all();
+    Fig7Report {
+        rows: indices.iter().map(|&i| run_model(&all[i], scale)).collect(),
+    }
+}
+
+/// Sanity-check helper: the exact Model1 device counts.
+pub fn model1_counts() -> (u64, u64, u64) {
+    let m = &Fig7Model::all()[0];
+    let orig: u64 = m.orig_spec().layers.iter().map(LayerShape::mzis).sum();
+    let oplix: u64 = m.oplix_spec().layers.iter().map(LayerShape::mzis).sum();
+    let offt = OfftCostModel::new(OFFT_BLOCK as u64)
+        .network_cost(&m.widths.iter().map(|&w| w as u64).collect::<Vec<_>>());
+    (orig, oplix, offt.pss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oplix_photonics::count::mzi_count;
+
+    #[test]
+    fn model1_exact_counts() {
+        let m = &Fig7Model::all()[0];
+        let orig: u64 = m.orig_spec().layers.iter().map(LayerShape::mzis).sum();
+        // mzi(400,784) + mzi(10,400)
+        assert_eq!(orig, mzi_count(400, 784) + mzi_count(10, 400));
+        let oplix: u64 = m.oplix_spec().layers.iter().map(LayerShape::mzis).sum();
+        assert_eq!(oplix, mzi_count(200, 392) + mzi_count(10, 200));
+    }
+
+    #[test]
+    fn oplix_beats_offt_on_devices_but_not_params() {
+        // The paper's headline Fig. 7 shape for Model1/3/4.
+        for idx in [0usize, 2, 3] {
+            let m = &Fig7Model::all()[idx];
+            let orig_mzis: u64 = m.orig_spec().layers.iter().map(LayerShape::mzis).sum();
+            let oplix_mzis: u64 = m.oplix_spec().layers.iter().map(LayerShape::mzis).sum();
+            let offt = OfftCostModel::new(8)
+                .network_cost(&m.widths.iter().map(|&w| w as u64).collect::<Vec<_>>());
+            assert!(
+                2 * oplix_mzis < offt.dcs,
+                "{}: OplixNet DCs {} should beat OFFT {}",
+                m.name,
+                2 * oplix_mzis,
+                offt.dcs
+            );
+            assert!(oplix_mzis < offt.pss, "{}: PS comparison", m.name);
+            assert!(
+                m.oplix_spec().params() > offt.params,
+                "{}: OFFT should hold fewer params",
+                m.name
+            );
+            let _ = orig_mzis;
+        }
+    }
+
+    #[test]
+    fn quick_model2_trains() {
+        let report = run_subset(&[1], &Scale::quick());
+        let row = &report.rows[0];
+        assert!(row.acc_offt > 0.15, "OFFT failed to learn: {}", row.acc_offt);
+        assert!(row.acc_oplix > 0.15, "Oplix failed to learn: {}", row.acc_oplix);
+        // Normalised counts are within (0, 1.2] of the original.
+        for v in [row.para_offt, row.para_oplix, row.dc_offt, row.dc_oplix, row.ps_offt, row.ps_oplix] {
+            assert!(v > 0.0 && v < 1.2, "normalised count out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn display_renders() {
+        let report = Fig7Report {
+            rows: vec![Fig7Row {
+                model: "Model1",
+                acc_offt: 0.95,
+                acc_oplix: 0.97,
+                para_offt: 0.126,
+                para_oplix: 0.52,
+                dc_offt: 0.34,
+                dc_oplix: 0.25,
+                ps_offt: 0.43,
+                ps_oplix: 0.25,
+            }],
+        };
+        assert!(report.to_string().contains("Model1"));
+    }
+}

@@ -1,0 +1,398 @@
+//! Fig. 8: comparison of real-to-complex data assignments.
+//!
+//! For the FCNN the spatial schemes are compared (SI / SH / SS — all with
+//! the same 75 % area reduction, so only accuracy differs); for the CNNs
+//! the channel schemes and SI are compared, where SI cannot shrink CONV
+//! layers and CR over-compresses. Each entry reports training-scale
+//! accuracy and the paper-scale area reduction.
+
+use crate::experiments::{pct, train_and_eval, Scale};
+use crate::spec::{fcnn_orig, lenet5_orig, resnet_orig, LayerShape, ModelSpec};
+use crate::zoo::{
+    build_fcnn, build_lenet, build_resnet, FcnnConfig, LenetConfig, ModelVariant, ResnetConfig,
+};
+use oplix_datasets::assign::AssignmentKind;
+use oplix_datasets::synth::{colors, digits, RealDataset, SynthConfig};
+use oplix_nn::network::Network;
+use oplix_photonics::count::reduction_ratio;
+use oplix_photonics::decoder::DecoderKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Which model family a Fig. 8 group runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fig8Model {
+    /// FCNN on digit data (spatial schemes).
+    Fcnn,
+    /// LeNet-5 on colour data.
+    Lenet5,
+    /// ResNet-20 on colour data.
+    Resnet20,
+    /// ResNet-32 on colour data (more classes).
+    Resnet32,
+}
+
+impl Fig8Model {
+    /// All four, in figure order.
+    pub fn all() -> [Fig8Model; 4] {
+        [
+            Fig8Model::Fcnn,
+            Fig8Model::Lenet5,
+            Fig8Model::Resnet20,
+            Fig8Model::Resnet32,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fig8Model::Fcnn => "FCNN",
+            Fig8Model::Lenet5 => "LeNet-5",
+            Fig8Model::Resnet20 => "ResNet-20",
+            Fig8Model::Resnet32 => "ResNet-32",
+        }
+    }
+
+    /// The assignments compared for this model in Fig. 8.
+    pub fn assignments(&self) -> Vec<AssignmentKind> {
+        match self {
+            Fig8Model::Fcnn => vec![
+                AssignmentKind::SpatialInterlace,
+                AssignmentKind::SpatialHalfHalf,
+                AssignmentKind::SpatialSymmetric,
+            ],
+            _ => vec![
+                AssignmentKind::SpatialInterlace,
+                AssignmentKind::ChannelLossless,
+                AssignmentKind::ChannelRemapping,
+            ],
+        }
+    }
+
+    fn classes(&self) -> usize {
+        match self {
+            Fig8Model::Resnet32 => 20,
+            _ => 10,
+        }
+    }
+}
+
+/// Paper-scale spec of `model` under `assignment`, for area accounting.
+///
+/// * Spatial schemes halve pixel counts: dense layers shrink, CONV kernels
+///   do not (their shape depends only on channels).
+/// * Channel lossless halves channels everywhere.
+/// * Channel remapping compresses the input to one complex channel and
+///   halves interior channels (the thinner stem propagates).
+pub fn assigned_spec(model: Fig8Model, assignment: AssignmentKind) -> ModelSpec {
+    let half = |v: usize| v.div_ceil(2);
+    match model {
+        Fig8Model::Fcnn => {
+            // 784-100-10 with merge decoder; spatial schemes halve the
+            // input and hidden width identically.
+            ModelSpec {
+                name: format!("FCNN {}", assignment.short_name()),
+                layers: vec![
+                    LayerShape::Dense { out: 50, input: 392 },
+                    LayerShape::Dense { out: 10, input: 50 },
+                ],
+                complex: true,
+            }
+        }
+        Fig8Model::Lenet5 => {
+            let (c_in, c1, c2, f1, f2, flat) = match assignment {
+                // SI: channels unchanged, flatten width halves (the paper:
+                // "the area reduction of SI [in LeNet-5] is due to the
+                // decrease of feature map size in the last linear layers").
+                AssignmentKind::SpatialInterlace => (3, 6, 16, half(120), half(84), 200),
+                AssignmentKind::ChannelLossless => (2, 3, 8, 60, 42, 200),
+                AssignmentKind::ChannelRemapping => (1, 3, 4, 30, 21, 100),
+                _ => (3, 6, 16, 120, 84, 400),
+            };
+            ModelSpec {
+                name: format!("LeNet-5 {}", assignment.short_name()),
+                layers: vec![
+                    LayerShape::Conv { out: c1, input: c_in, k: 5 },
+                    LayerShape::Conv { out: c2, input: c1, k: 5 },
+                    LayerShape::Dense { out: f1, input: flat },
+                    LayerShape::Dense { out: f2, input: f1 },
+                    LayerShape::Dense { out: 10, input: f2 },
+                ],
+                complex: true,
+            }
+        }
+        Fig8Model::Resnet20 | Fig8Model::Resnet32 => {
+            let depth = if model == Fig8Model::Resnet20 { 20 } else { 32 };
+            let classes = if model == Fig8Model::Resnet20 { 10 } else { 100 };
+            let n = (depth - 2) / 6;
+            let (stem_in, widths): (usize, [usize; 3]) = match assignment {
+                // SI: no reduction at all in ResNets (paper: the linear
+                // layer depends only on channel count).
+                AssignmentKind::SpatialInterlace => (3, [16, 32, 64]),
+                AssignmentKind::ChannelLossless => (2, [8, 16, 32]),
+                AssignmentKind::ChannelRemapping => (1, [4, 8, 16]),
+                _ => (3, [16, 32, 64]),
+            };
+            let mut layers = vec![LayerShape::Conv { out: widths[0], input: stem_in, k: 3 }];
+            let mut in_ch = widths[0];
+            for &w in &widths {
+                for b in 0..n {
+                    let first_in = if b == 0 { in_ch } else { w };
+                    layers.push(LayerShape::Conv { out: w, input: first_in, k: 3 });
+                    layers.push(LayerShape::Conv { out: w, input: w, k: 3 });
+                }
+                in_ch = w;
+            }
+            layers.push(LayerShape::Dense { out: classes, input: widths[2] });
+            ModelSpec {
+                name: format!("ResNet-{depth} {}", assignment.short_name()),
+                layers,
+                complex: true,
+            }
+        }
+    }
+}
+
+/// Paper-scale area reduction of `model` under `assignment`.
+pub fn area_reduction(model: Fig8Model, assignment: AssignmentKind) -> f64 {
+    let orig = match model {
+        Fig8Model::Fcnn => fcnn_orig().mzis(),
+        Fig8Model::Lenet5 => lenet5_orig().mzis(),
+        Fig8Model::Resnet20 => resnet_orig(20, 10).mzis(),
+        Fig8Model::Resnet32 => resnet_orig(32, 100).mzis(),
+    };
+    reduction_ratio(orig, assigned_spec(model, assignment).mzis())
+}
+
+/// One accuracy/area entry of Fig. 8.
+#[derive(Clone, Debug)]
+pub struct Fig8Entry {
+    /// Model name.
+    pub model: &'static str,
+    /// Assignment scheme.
+    pub assignment: AssignmentKind,
+    /// Training-scale accuracy.
+    pub accuracy: f64,
+    /// Paper-scale area reduction.
+    pub area_reduction: f64,
+}
+
+/// The rendered Fig. 8 data.
+#[derive(Clone, Debug)]
+pub struct Fig8Report {
+    /// All entries, grouped by model.
+    pub entries: Vec<Fig8Entry>,
+}
+
+impl fmt::Display for Fig8Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 8: comparison of data assignment methods")?;
+        writeln!(
+            f,
+            "{:<10} {:<6} {:>10} {:>12}",
+            "Model", "Assign", "Accuracy", "Area red."
+        )?;
+        for e in &self.entries {
+            writeln!(
+                f,
+                "{:<10} {:<6} {:>10} {:>12}",
+                e.model,
+                e.assignment.short_name(),
+                pct(e.accuracy),
+                pct(e.area_reduction),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn build_for(
+    model: Fig8Model,
+    assignment: AssignmentKind,
+    hw: usize,
+    classes: usize,
+    seed: u64,
+) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let variant = ModelVariant::Split(DecoderKind::Merge);
+    match model {
+        Fig8Model::Fcnn => {
+            let input = hw * hw / 2; // all spatial schemes halve
+            build_fcnn(&FcnnConfig { input, hidden: 32, classes }, variant, &mut rng)
+        }
+        Fig8Model::Lenet5 => {
+            let full = LenetConfig::training_scale(3, hw, classes);
+            let cfg = match assignment {
+                // SI keeps channels but halves the image height.
+                AssignmentKind::SpatialInterlace => full.with_input(hw / 2, hw),
+                AssignmentKind::ChannelLossless => full.halved(),
+                AssignmentKind::ChannelRemapping => LenetConfig {
+                    in_ch: 1,
+                    conv1: full.conv1 / 2,
+                    conv2: full.conv2 / 4,
+                    fc1: full.fc1 / 4,
+                    fc2: full.fc2 / 4,
+                    ..full
+                },
+                _ => full,
+            };
+            build_lenet(&cfg, variant, &mut rng)
+        }
+        Fig8Model::Resnet20 | Fig8Model::Resnet32 => {
+            let depth = if model == Fig8Model::Resnet20 { 20 } else { 32 };
+            let full = ResnetConfig::training_scale(depth, 3, hw, classes);
+            let cfg = match assignment {
+                // SI keeps channels but halves the image height.
+                AssignmentKind::SpatialInterlace => full.with_input(hw / 2, hw),
+                AssignmentKind::ChannelLossless => full.halved(),
+                AssignmentKind::ChannelRemapping => ResnetConfig {
+                    in_ch: 1,
+                    widths: [full.widths[0] / 4, full.widths[1] / 4, full.widths[2] / 4],
+                    ..full
+                },
+                _ => full,
+            };
+            build_resnet(&cfg, variant, &mut rng)
+        }
+    }
+}
+
+fn run_entry(model: Fig8Model, assignment: AssignmentKind, scale: &Scale) -> Fig8Entry {
+    let hw = if model == Fig8Model::Fcnn {
+        scale.image_hw
+    } else {
+        scale.cnn_hw()
+    };
+    let classes = model.classes();
+    let setup = scale.setup_for(match model {
+        Fig8Model::Fcnn => crate::experiments::Workload::Fcnn,
+        Fig8Model::Lenet5 => crate::experiments::Workload::Lenet,
+        _ => crate::experiments::Workload::Resnet,
+    });
+    let mk_cfg = |samples, seed| SynthConfig {
+        height: hw,
+        width: hw,
+        num_classes: classes,
+        samples,
+        seed,
+        ..Default::default()
+    };
+    let (train_raw, test_raw): (RealDataset, RealDataset) = match model {
+        Fig8Model::Fcnn => (
+            digits(&mk_cfg(scale.train_samples, 51)),
+            digits(&mk_cfg(scale.test_samples, 52)),
+        ),
+        _ => (
+            colors(&mk_cfg(scale.train_samples, 61)),
+            colors(&mk_cfg(scale.test_samples, 62)),
+        ),
+    };
+
+    // The FCNN consumes flattened vectors; CNNs keep the image layout
+    // (rectangular after spatial interlace — the builders support it).
+    let accuracy = if model == Fig8Model::Fcnn {
+        let train = assignment.apply_dataset_flat(&train_raw);
+        let test = assignment.apply_dataset_flat(&test_raw);
+        let mut net = build_for(model, assignment, hw, classes, 700);
+        train_and_eval(&mut net, &train, &test, &setup, 800)
+    } else {
+        let train = assignment.apply_dataset(&train_raw);
+        let test = assignment.apply_dataset(&test_raw);
+        let mut net = build_for(model, assignment, hw, classes, 700);
+        train_and_eval(&mut net, &train, &test, &setup, 800)
+    };
+
+    Fig8Entry {
+        model: model.name(),
+        assignment,
+        accuracy,
+        area_reduction: area_reduction(model, assignment),
+    }
+}
+
+/// Runs the full Fig. 8 experiment.
+pub fn run(scale: &Scale) -> Fig8Report {
+    let mut entries = Vec::new();
+    for model in Fig8Model::all() {
+        let assignments = model.assignments();
+        let got = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = assignments
+                .iter()
+                .map(|&a| s.spawn(move |_| run_entry(model, a, scale)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fig8 entry"))
+                .collect::<Vec<_>>()
+        })
+        .expect("scope");
+        entries.extend(got);
+    }
+    Fig8Report { entries }
+}
+
+/// Runs a single model group.
+pub fn run_model(model: Fig8Model, scale: &Scale) -> Fig8Report {
+    let entries = model
+        .assignments()
+        .into_iter()
+        .map(|a| run_entry(model, a, scale))
+        .collect();
+    Fig8Report { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spatial_schemes_share_the_fcnn_reduction() {
+        let si = area_reduction(Fig8Model::Fcnn, AssignmentKind::SpatialInterlace);
+        let sh = area_reduction(Fig8Model::Fcnn, AssignmentKind::SpatialHalfHalf);
+        let ss = area_reduction(Fig8Model::Fcnn, AssignmentKind::SpatialSymmetric);
+        assert_eq!(si, sh);
+        assert_eq!(si, ss);
+        assert!((si - 0.7503).abs() < 0.002, "paper: 75.03 %, got {si}");
+    }
+
+    #[test]
+    fn resnet_si_gives_no_reduction() {
+        // Paper: "in ResNet models, there is no area reduction for SI".
+        let red = area_reduction(Fig8Model::Resnet20, AssignmentKind::SpatialInterlace);
+        assert!(red.abs() < 1e-3, "got {red}");
+    }
+
+    #[test]
+    fn lenet_si_reduction_comes_from_linear_layers_only() {
+        // Paper §IV: SI's LeNet-5 reduction stems from the halved flatten
+        // width; CONV layers are untouched. Under the explicit
+        // `mzi(m, n)` counting this leaves SI well short of CL (the paper's
+        // "slightly larger (5.8 %)" phrasing is not reconstructible from
+        // the published formula — see EXPERIMENTS.md).
+        let si = area_reduction(Fig8Model::Lenet5, AssignmentKind::SpatialInterlace);
+        let cl = area_reduction(Fig8Model::Lenet5, AssignmentKind::ChannelLossless);
+        assert!(si > 0.5, "SI must still reduce substantially: {si}");
+        assert!(cl > si, "CL {cl} vs SI {si}");
+    }
+
+    #[test]
+    fn cr_reduces_most() {
+        // Paper: CR achieves ~90 % area reduction (at a big accuracy cost).
+        for model in [Fig8Model::Lenet5, Fig8Model::Resnet20, Fig8Model::Resnet32] {
+            let cr = area_reduction(model, AssignmentKind::ChannelRemapping);
+            let cl = area_reduction(model, AssignmentKind::ChannelLossless);
+            assert!(cr > cl, "{model:?}: CR {cr} should exceed CL {cl}");
+            assert!(cr > 0.85, "{model:?}: CR reduction {cr}");
+        }
+    }
+
+    #[test]
+    fn quick_fcnn_group_orders_si_first() {
+        let report = run_model(Fig8Model::Fcnn, &Scale::quick());
+        assert_eq!(report.entries.len(), 3);
+        for e in &report.entries {
+            assert!(e.accuracy > 0.15, "{:?} failed to learn: {}", e.assignment, e.accuracy);
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Fig. 9: comparison of output decoder settings.
+//!
+//! Each split model is trained with all four decoders (Merge / Linear /
+//! Unitary / Coherent). Accuracy is measured at training scale; area is
+//! the paper-scale network MZI count normalised so Coherent = 100 % (the
+//! coherent scheme adds no MZIs, only reference optics, shifting time and
+//! post-processing).
+
+use crate::experiments::{pct, train_and_eval, Scale};
+use crate::spec::{fcnn_prop, lenet5_prop, resnet_prop, LayerShape, ModelSpec};
+use crate::zoo::{
+    build_fcnn, build_lenet, build_resnet, FcnnConfig, LenetConfig, ModelVariant, ResnetConfig,
+};
+use oplix_datasets::assign::AssignmentKind;
+use oplix_datasets::synth::{colors, digits, SynthConfig};
+use oplix_nn::network::Network;
+use oplix_photonics::decoder::DecoderKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Which model a Fig. 9 group runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fig9Model {
+    /// Split FCNN.
+    Fcnn,
+    /// Split LeNet-5.
+    Lenet5,
+    /// Split ResNet-20.
+    Resnet20,
+    /// Split ResNet-32.
+    Resnet32,
+}
+
+impl Fig9Model {
+    /// All four, in figure order.
+    pub fn all() -> [Fig9Model; 4] {
+        [
+            Fig9Model::Fcnn,
+            Fig9Model::Lenet5,
+            Fig9Model::Resnet20,
+            Fig9Model::Resnet32,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fig9Model::Fcnn => "FCNN",
+            Fig9Model::Lenet5 => "LeNet-5",
+            Fig9Model::Resnet20 => "ResNet-20",
+            Fig9Model::Resnet32 => "ResNet-32",
+        }
+    }
+
+    /// Paper-scale classes.
+    pub fn paper_classes(&self) -> u64 {
+        match self {
+            Fig9Model::Resnet32 => 100,
+            _ => 10,
+        }
+    }
+
+    fn classes(&self) -> usize {
+        match self {
+            Fig9Model::Resnet32 => 20,
+            _ => 10,
+        }
+    }
+
+    /// The paper-scale split spec (decoder-free, the Table II "Prop."
+    /// convention).
+    fn base_spec(&self) -> ModelSpec {
+        match self {
+            Fig9Model::Fcnn => fcnn_prop(),
+            Fig9Model::Lenet5 => lenet5_prop(),
+            Fig9Model::Resnet20 => resnet_prop(20, 10),
+            Fig9Model::Resnet32 => resnet_prop(32, 100),
+        }
+    }
+
+    /// Paper-scale MZI count of the split network without any decoder.
+    pub fn base_mzis(&self) -> u64 {
+        self.base_spec().mzis()
+    }
+
+    /// Fan-in of the classifier layer at paper scale.
+    pub fn head_fan_in(&self) -> u64 {
+        match self.base_spec().layers.last() {
+            Some(LayerShape::Dense { input, .. }) => *input as u64,
+            _ => unreachable!("all models end in a dense classifier"),
+        }
+    }
+}
+
+/// One (model, decoder) entry of Fig. 9.
+#[derive(Clone, Debug)]
+pub struct Fig9Entry {
+    /// Model name.
+    pub model: &'static str,
+    /// Decoder scheme.
+    pub decoder: DecoderKind,
+    /// Training-scale accuracy.
+    pub accuracy: f64,
+    /// Paper-scale area, normalised to the Coherent configuration = 1.0.
+    pub area_vs_coherent: f64,
+}
+
+/// The rendered Fig. 9 data.
+#[derive(Clone, Debug)]
+pub struct Fig9Report {
+    /// All entries, grouped by model.
+    pub entries: Vec<Fig9Entry>,
+}
+
+impl fmt::Display for Fig9Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 9: comparison of decoder settings")?;
+        writeln!(
+            f,
+            "{:<10} {:<9} {:>10} {:>14}",
+            "Model", "Decoder", "Accuracy", "Area vs Coh."
+        )?;
+        for e in &self.entries {
+            writeln!(
+                f,
+                "{:<10} {:<9} {:>10} {:>13.2}%",
+                e.model,
+                e.decoder.to_string(),
+                pct(e.accuracy),
+                100.0 * e.area_vs_coherent,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Paper-scale area of `model` with `decoder`, normalised to Coherent.
+pub fn normalized_area(model: Fig9Model, decoder: DecoderKind) -> f64 {
+    let base = model.base_mzis();
+    let extra = decoder.extra_mzis(model.head_fan_in(), model.paper_classes());
+    (base + extra) as f64 / base as f64
+}
+
+fn run_entry(model: Fig9Model, decoder: DecoderKind, scale: &Scale) -> Fig9Entry {
+    let hw = if model == Fig9Model::Fcnn {
+        scale.image_hw
+    } else {
+        scale.cnn_hw()
+    };
+    let classes = model.classes();
+    let setup = scale.setup_for(match model {
+        Fig9Model::Fcnn => crate::experiments::Workload::Fcnn,
+        Fig9Model::Lenet5 => crate::experiments::Workload::Lenet,
+        _ => crate::experiments::Workload::Resnet,
+    });
+    let mk_cfg = |samples, seed| SynthConfig {
+        height: hw,
+        width: hw,
+        num_classes: classes,
+        samples,
+        seed,
+        ..Default::default()
+    };
+    let variant = ModelVariant::Split(decoder);
+    let mut rng = StdRng::seed_from_u64(900);
+
+    let (mut net, train, test): (Network, _, _) = match model {
+        Fig9Model::Fcnn => {
+            let train_raw = digits(&mk_cfg(scale.train_samples, 71));
+            let test_raw = digits(&mk_cfg(scale.test_samples, 72));
+            let a = AssignmentKind::SpatialInterlace;
+            (
+                build_fcnn(
+                    &FcnnConfig { input: hw * hw / 2, hidden: 32, classes },
+                    variant,
+                    &mut rng,
+                ),
+                a.apply_dataset_flat(&train_raw),
+                a.apply_dataset_flat(&test_raw),
+            )
+        }
+        Fig9Model::Lenet5 => {
+            let train_raw = colors(&mk_cfg(scale.train_samples, 73));
+            let test_raw = colors(&mk_cfg(scale.test_samples, 74));
+            let a = AssignmentKind::ChannelLossless;
+            (
+                build_lenet(
+                    &LenetConfig::training_scale(3, hw, classes).halved(),
+                    variant,
+                    &mut rng,
+                ),
+                a.apply_dataset(&train_raw),
+                a.apply_dataset(&test_raw),
+            )
+        }
+        Fig9Model::Resnet20 | Fig9Model::Resnet32 => {
+            let depth = if model == Fig9Model::Resnet20 { 20 } else { 32 };
+            let train_raw = colors(&mk_cfg(scale.train_samples, 75));
+            let test_raw = colors(&mk_cfg(scale.test_samples, 76));
+            let a = AssignmentKind::ChannelLossless;
+            (
+                build_resnet(
+                    &ResnetConfig::training_scale(depth, 3, hw, classes).halved(),
+                    variant,
+                    &mut rng,
+                ),
+                a.apply_dataset(&train_raw),
+                a.apply_dataset(&test_raw),
+            )
+        }
+    };
+
+    let accuracy = train_and_eval(&mut net, &train, &test, &setup, 901);
+    Fig9Entry {
+        model: model.name(),
+        decoder,
+        accuracy,
+        area_vs_coherent: normalized_area(model, decoder),
+    }
+}
+
+/// Runs one model across all four decoders (in parallel).
+pub fn run_model(model: Fig9Model, scale: &Scale) -> Fig9Report {
+    let entries = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = DecoderKind::all()
+            .into_iter()
+            .map(|d| s.spawn(move |_| run_entry(model, d, scale)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fig9 entry"))
+            .collect::<Vec<_>>()
+    })
+    .expect("scope");
+    Fig9Report { entries }
+}
+
+/// Runs the full Fig. 9 experiment.
+pub fn run(scale: &Scale) -> Fig9Report {
+    let mut entries = Vec::new();
+    for model in Fig9Model::all() {
+        entries.extend(run_model(model, scale).entries);
+    }
+    Fig9Report { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_area_overhead_matches_paper_range() {
+        // Paper: the merge decoder costs 0.04 %-0.73 % more area than
+        // coherent. The 10-class models land inside that band; ResNet-32's
+        // 100-class head exceeds it under our counting convention (the
+        // doubled 200-wide output mesh scales with K**2 — see
+        // EXPERIMENTS.md).
+        for model in [Fig9Model::Fcnn, Fig9Model::Lenet5, Fig9Model::Resnet20] {
+            let over = normalized_area(model, DecoderKind::Merge) - 1.0;
+            assert!(
+                (0.0004..0.0073).contains(&over),
+                "{model:?}: merge overhead {over}"
+            );
+        }
+        let over32 = normalized_area(Fig9Model::Resnet32, DecoderKind::Merge) - 1.0;
+        assert!(over32 < 0.03, "ResNet-32 merge overhead {over32}");
+    }
+
+    #[test]
+    fn decoder_area_ordering() {
+        for model in Fig9Model::all() {
+            let coh = normalized_area(model, DecoderKind::Coherent);
+            let merge = normalized_area(model, DecoderKind::Merge);
+            let unitary = normalized_area(model, DecoderKind::Unitary);
+            let linear = normalized_area(model, DecoderKind::Linear);
+            assert_eq!(coh, 1.0);
+            assert!(merge > coh && merge < unitary && unitary < linear, "{model:?}");
+        }
+    }
+
+    #[test]
+    fn quick_fcnn_all_decoders_learn() {
+        let report = run_model(Fig9Model::Fcnn, &Scale::quick());
+        assert_eq!(report.entries.len(), 4);
+        for e in &report.entries {
+            assert!(
+                e.accuracy > 0.15,
+                "{} failed to learn: {}",
+                e.decoder,
+                e.accuracy
+            );
+        }
+    }
+}

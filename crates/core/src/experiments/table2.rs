@@ -1,0 +1,313 @@
+//! Table II: accuracy and #MZI of the four models, original ONN vs RVNN
+//! reference vs the proposed OplixNet.
+//!
+//! Area columns are computed at the paper's full scale (they match the
+//! paper digit-for-digit, see `crate::spec` tests); accuracy columns are
+//! measured at training scale on the synthetic datasets, so the *gaps*
+//! (orig ≳ prop, prop ≈ rvnn ± small) are the reproduction target.
+
+use crate::experiments::{pct, train_and_eval, Scale};
+use crate::spec::{
+    fcnn_orig, fcnn_prop, lenet5_orig, lenet5_prop, resnet_orig, resnet_prop, ModelSpec,
+};
+use crate::zoo::{
+    build_fcnn, build_lenet, build_resnet, FcnnConfig, LenetConfig, ModelVariant, ResnetConfig,
+};
+use oplix_datasets::assign::AssignmentKind;
+use oplix_datasets::synth::{colors, digits, RealDataset, SynthConfig};
+use oplix_nn::network::Network;
+use oplix_photonics::count::reduction_ratio;
+use oplix_photonics::decoder::DecoderKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// The four models of Table II.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Table2Model {
+    /// FCNN-784-100-10 on (synthetic) MNIST.
+    Fcnn,
+    /// LeNet-5 on (synthetic) CIFAR-10.
+    Lenet5,
+    /// ResNet-20 on (synthetic) CIFAR-10.
+    Resnet20,
+    /// ResNet-32 on (synthetic) CIFAR-100.
+    Resnet32,
+}
+
+impl Table2Model {
+    /// All four, in table order.
+    pub fn all() -> [Table2Model; 4] {
+        [
+            Table2Model::Fcnn,
+            Table2Model::Lenet5,
+            Table2Model::Resnet20,
+            Table2Model::Resnet32,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Table2Model::Fcnn => "FCNN",
+            Table2Model::Lenet5 => "LeNet-5",
+            Table2Model::Resnet20 => "ResNet-20",
+            Table2Model::Resnet32 => "ResNet-32",
+        }
+    }
+
+    /// Paper-scale specs `(orig, prop)`.
+    pub fn specs(&self) -> (ModelSpec, ModelSpec) {
+        match self {
+            Table2Model::Fcnn => (fcnn_orig(), fcnn_prop()),
+            Table2Model::Lenet5 => (lenet5_orig(), lenet5_prop()),
+            Table2Model::Resnet20 => (resnet_orig(20, 10), resnet_prop(20, 10)),
+            Table2Model::Resnet32 => (resnet_orig(32, 100), resnet_prop(32, 100)),
+        }
+    }
+
+    /// The assignment OplixNet uses for this model (§IV: SI for the FCNN,
+    /// CL for the CNNs).
+    pub fn assignment(&self) -> AssignmentKind {
+        match self {
+            Table2Model::Fcnn => AssignmentKind::SpatialInterlace,
+            _ => AssignmentKind::ChannelLossless,
+        }
+    }
+
+    /// Number of classes at training scale (ResNet-32 stands in for
+    /// CIFAR-100 with a larger class count).
+    pub fn classes(&self) -> usize {
+        match self {
+            Table2Model::Resnet32 => 20,
+            _ => 10,
+        }
+    }
+}
+
+/// One row of Table II.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Model name.
+    pub model: &'static str,
+    /// Conventional ONN accuracy ("Orig.").
+    pub acc_orig: f64,
+    /// Software real-valued reference accuracy ("RVNN").
+    pub acc_rvnn: f64,
+    /// OplixNet accuracy ("Prop.").
+    pub acc_prop: f64,
+    /// Original #MZI (paper scale).
+    pub mzi_orig: u64,
+    /// Proposed #MZI (paper scale).
+    pub mzi_prop: u64,
+}
+
+impl Table2Row {
+    /// The "#MZI Red." column.
+    pub fn reduction(&self) -> f64 {
+        reduction_ratio(self.mzi_orig, self.mzi_prop)
+    }
+}
+
+/// The rendered Table II.
+#[derive(Clone, Debug)]
+pub struct Table2Report {
+    /// One row per model.
+    pub rows: Vec<Table2Row>,
+}
+
+impl fmt::Display for Table2Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table II: experimental results of proposed work")?;
+        writeln!(
+            f,
+            "{:<10} {:>9} {:>9} {:>9} {:>12} {:>12} {:>10}",
+            "Model", "Orig.", "RVNN", "Prop.", "#MZI Orig", "#MZI Prop", "Red."
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<10} {:>9} {:>9} {:>9} {:>11.1}e4 {:>11.1}e4 {:>10}",
+                r.model,
+                pct(r.acc_orig),
+                pct(r.acc_rvnn),
+                pct(r.acc_prop),
+                r.mzi_orig as f64 / 1e4,
+                r.mzi_prop as f64 / 1e4,
+                pct(r.reduction()),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the three dataset views and three networks for one model and
+/// trains them, producing one table row.
+fn run_model(model: Table2Model, scale: &Scale) -> Table2Row {
+    let classes = model.classes();
+    let hw = if model == Table2Model::Fcnn {
+        scale.image_hw
+    } else {
+        scale.cnn_hw()
+    };
+    let mk_cfg = |samples, seed| SynthConfig {
+        height: hw,
+        width: hw,
+        num_classes: classes,
+        samples,
+        seed,
+        ..Default::default()
+    };
+    let (train_raw, test_raw): (RealDataset, RealDataset) = match model {
+        Table2Model::Fcnn => (
+            digits(&mk_cfg(scale.train_samples, 11)),
+            digits(&mk_cfg(scale.test_samples, 12)),
+        ),
+        _ => (
+            colors(&mk_cfg(scale.train_samples, 21)),
+            colors(&mk_cfg(scale.test_samples, 22)),
+        ),
+    };
+    let assignment = model.assignment();
+
+    // Views: the FCNN consumes flattened vectors, the CNNs keep images.
+    let conv = AssignmentKind::Conventional;
+    let (conv_train, conv_test, split_train, split_test) = if model == Table2Model::Fcnn {
+        (
+            conv.apply_dataset_flat(&train_raw),
+            conv.apply_dataset_flat(&test_raw),
+            assignment.apply_dataset_flat(&train_raw),
+            assignment.apply_dataset_flat(&test_raw),
+        )
+    } else {
+        (
+            conv.apply_dataset(&train_raw),
+            conv.apply_dataset(&test_raw),
+            assignment.apply_dataset(&train_raw),
+            assignment.apply_dataset(&test_raw),
+        )
+    };
+
+    let build = |variant: ModelVariant, seed: u64| -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match model {
+            Table2Model::Fcnn => {
+                let (input, hidden) = match variant {
+                    ModelVariant::Split(_) => (hw * hw / 2, 32),
+                    _ => (hw * hw, 64),
+                };
+                build_fcnn(&FcnnConfig { input, hidden, classes }, variant, &mut rng)
+            }
+            Table2Model::Lenet5 => {
+                let full = LenetConfig::training_scale(3, hw, classes);
+                let cfg = match variant {
+                    ModelVariant::Split(_) => full.halved(),
+                    _ => full,
+                };
+                build_lenet(&cfg, variant, &mut rng)
+            }
+            Table2Model::Resnet20 | Table2Model::Resnet32 => {
+                let depth = if model == Table2Model::Resnet20 { 20 } else { 32 };
+                let full = ResnetConfig::training_scale(depth, 3, hw, classes);
+                let cfg = match variant {
+                    ModelVariant::Split(_) => full.halved(),
+                    _ => full,
+                };
+                build_resnet(&cfg, variant, &mut rng)
+            }
+        }
+    };
+
+    // Train the three variants in parallel, with identical
+    // hyper-parameters within the model (as the paper prescribes).
+    let setup = scale.setup_for(match model {
+        Table2Model::Fcnn => crate::experiments::Workload::Fcnn,
+        Table2Model::Lenet5 => crate::experiments::Workload::Lenet,
+        _ => crate::experiments::Workload::Resnet,
+    });
+    let (acc_orig, acc_rvnn, acc_prop) = crossbeam::thread::scope(|s| {
+        let h_orig = s.spawn(|_| {
+            let mut net = build(ModelVariant::ConventionalOnn, 100);
+            train_and_eval(&mut net, &conv_train, &conv_test, &setup, 200)
+        });
+        let h_rvnn = s.spawn(|_| {
+            let mut net = build(ModelVariant::Rvnn, 101);
+            train_and_eval(&mut net, &conv_train, &conv_test, &setup, 201)
+        });
+        let h_prop = s.spawn(|_| {
+            let mut net = build(ModelVariant::Split(DecoderKind::Merge), 102);
+            train_and_eval(&mut net, &split_train, &split_test, &setup, 202)
+        });
+        (
+            h_orig.join().expect("orig run"),
+            h_rvnn.join().expect("rvnn run"),
+            h_prop.join().expect("prop run"),
+        )
+    })
+    .expect("thread scope");
+
+    let (orig_spec, prop_spec) = model.specs();
+    Table2Row {
+        model: model.name(),
+        acc_orig,
+        acc_rvnn,
+        acc_prop,
+        mzi_orig: orig_spec.mzis(),
+        mzi_prop: prop_spec.mzis(),
+    }
+}
+
+/// Runs the full Table II experiment.
+pub fn run(scale: &Scale) -> Table2Report {
+    let rows = Table2Model::all()
+        .into_iter()
+        .map(|m| run_model(m, scale))
+        .collect();
+    Table2Report { rows }
+}
+
+/// Runs a subset of the models (used by quick tests and partial benches).
+pub fn run_models(models: &[Table2Model], scale: &Scale) -> Table2Report {
+    Table2Report {
+        rows: models.iter().map(|&m| run_model(m, scale)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fcnn_row_is_sane() {
+        let report = run_models(&[Table2Model::Fcnn], &Scale::quick());
+        let row = &report.rows[0];
+        // Area columns are exact regardless of scale.
+        assert_eq!(row.mzi_orig, 316_991);
+        assert_eq!(row.mzi_prop, 79_191);
+        assert!((row.reduction() - 0.7503).abs() < 0.002);
+        // Accuracies are probabilities and the models must beat chance
+        // (10 classes) even at quick scale.
+        for acc in [row.acc_orig, row.acc_rvnn, row.acc_prop] {
+            assert!((0.0..=1.0).contains(&acc));
+            assert!(acc > 0.2, "model failed to learn: {acc}");
+        }
+    }
+
+    #[test]
+    fn display_renders_all_columns() {
+        let report = Table2Report {
+            rows: vec![Table2Row {
+                model: "FCNN",
+                acc_orig: 0.98,
+                acc_rvnn: 0.985,
+                acc_prop: 0.975,
+                mzi_orig: 316_991,
+                mzi_prop: 79_191,
+            }],
+        };
+        let s = report.to_string();
+        assert!(s.contains("FCNN"));
+        assert!(s.contains("31.7e4"));
+        assert!(s.contains("75.0"));
+    }
+}

@@ -1,0 +1,270 @@
+//! Table III: SCVNN–CVNN mutual learning.
+//!
+//! For each CNN model the split student is trained twice with identical
+//! hyper-parameters: once alone ("Acc. w/o ML") and once in mutual
+//! learning with a CVNN teacher ("Acc. w/ ML", α = 1.0). The teacher is a
+//! larger model of the same series for the ResNets (ResNet-56) and another
+//! LeNet-5 for LeNet-5, as in the paper.
+
+use crate::experiments::{pct, train_and_eval, Scale};
+use crate::zoo::{build_lenet, build_resnet, LenetConfig, ModelVariant, ResnetConfig};
+use oplix_datasets::assign::AssignmentKind;
+use oplix_datasets::synth::{colors, SynthConfig};
+use oplix_nn::mutual::{mutual_fit, MutualConfig};
+use oplix_nn::network::Network;
+use oplix_nn::optim::Sgd;
+use oplix_photonics::decoder::DecoderKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// The three configurations of Table III.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Table3Model {
+    /// LeNet-5 student, LeNet-5 teacher, CIFAR-10-like data.
+    Lenet5,
+    /// ResNet-20 student, ResNet-56 teacher, CIFAR-10-like data.
+    Resnet20,
+    /// ResNet-32 student, ResNet-56 teacher, CIFAR-100-like data.
+    Resnet32,
+}
+
+impl Table3Model {
+    /// All three, in table order.
+    pub fn all() -> [Table3Model; 3] {
+        [
+            Table3Model::Lenet5,
+            Table3Model::Resnet20,
+            Table3Model::Resnet32,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Table3Model::Lenet5 => "LeNet-5",
+            Table3Model::Resnet20 => "ResNet-20",
+            Table3Model::Resnet32 => "ResNet-32",
+        }
+    }
+
+    /// Teacher display name.
+    pub fn teacher_name(&self) -> &'static str {
+        match self {
+            Table3Model::Lenet5 => "LeNet-5",
+            _ => "ResNet-56",
+        }
+    }
+
+    /// Classes at training scale.
+    pub fn classes(&self) -> usize {
+        match self {
+            Table3Model::Resnet32 => 20,
+            _ => 10,
+        }
+    }
+}
+
+/// One row of Table III.
+#[derive(Clone, Debug)]
+pub struct Table3Row {
+    /// Student model name.
+    pub model: &'static str,
+    /// Teacher model name.
+    pub teacher: &'static str,
+    /// Student accuracy trained alone.
+    pub acc_without_ml: f64,
+    /// Student accuracy with mutual learning.
+    pub acc_with_ml: f64,
+}
+
+impl Table3Row {
+    /// Accuracy gain from mutual learning.
+    pub fn gain(&self) -> f64 {
+        self.acc_with_ml - self.acc_without_ml
+    }
+}
+
+/// The rendered Table III.
+#[derive(Clone, Debug)]
+pub struct Table3Report {
+    /// One row per configuration.
+    pub rows: Vec<Table3Row>,
+}
+
+impl fmt::Display for Table3Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table III: results of SCVNN-CVNN mutual learning")?;
+        writeln!(
+            f,
+            "{:<10} {:>12} {:>12} {:>9} {:>10}",
+            "Model", "Acc. w/o ML", "Acc. w/ ML", "Gain", "Teacher"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<10} {:>12} {:>12} {:>+8.2}% {:>10}",
+                r.model,
+                pct(r.acc_without_ml),
+                pct(r.acc_with_ml),
+                100.0 * r.gain(),
+                r.teacher,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn build_student(model: Table3Model, hw: usize, seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let classes = model.classes();
+    match model {
+        Table3Model::Lenet5 => build_lenet(
+            &LenetConfig::training_scale(3, hw, classes).halved(),
+            ModelVariant::Split(DecoderKind::Merge),
+            &mut rng,
+        ),
+        Table3Model::Resnet20 => build_resnet(
+            &ResnetConfig::training_scale(20, 3, hw, classes).halved(),
+            ModelVariant::Split(DecoderKind::Merge),
+            &mut rng,
+        ),
+        Table3Model::Resnet32 => build_resnet(
+            &ResnetConfig::training_scale(32, 3, hw, classes).halved(),
+            ModelVariant::Split(DecoderKind::Merge),
+            &mut rng,
+        ),
+    }
+}
+
+fn build_teacher(model: Table3Model, hw: usize, seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let classes = model.classes();
+    match model {
+        Table3Model::Lenet5 => build_lenet(
+            &LenetConfig::training_scale(3, hw, classes),
+            ModelVariant::ConventionalOnn,
+            &mut rng,
+        ),
+        // ResNet-56 teacher (blocks = 9) at training scale.
+        _ => build_resnet(
+            &ResnetConfig::training_scale(56, 3, hw, classes),
+            ModelVariant::ConventionalOnn,
+            &mut rng,
+        ),
+    }
+}
+
+fn run_model(model: Table3Model, scale: &Scale) -> Table3Row {
+    let hw = scale.cnn_hw();
+    let classes = model.classes();
+    let mk_cfg = |samples, seed| SynthConfig {
+        height: hw,
+        width: hw,
+        num_classes: classes,
+        samples,
+        seed,
+        ..Default::default()
+    };
+    let train_raw = colors(&mk_cfg(scale.train_samples, 31));
+    let test_raw = colors(&mk_cfg(scale.test_samples, 32));
+
+    let split_train = AssignmentKind::ChannelLossless.apply_dataset(&train_raw);
+    let split_test = AssignmentKind::ChannelLossless.apply_dataset(&test_raw);
+    let conv_train = AssignmentKind::Conventional.apply_dataset(&train_raw);
+
+    let setup = scale.setup_for(match model {
+        Table3Model::Lenet5 => crate::experiments::Workload::Lenet,
+        _ => crate::experiments::Workload::Resnet,
+    });
+    let (acc_without, acc_with) = crossbeam::thread::scope(|s| {
+        let h_solo = s.spawn(|_| {
+            let mut student = build_student(model, hw, 300);
+            train_and_eval(&mut student, &split_train, &split_test, &setup, 400)
+        });
+        let h_ml = s.spawn(|_| {
+            let mut student = build_student(model, hw, 300); // same init as solo
+            let mut teacher = build_teacher(model, hw, 301);
+            let cfg = MutualConfig {
+                alpha: 1.0,
+                temperature: 1.0,
+                batch_size: setup.batch,
+            };
+            let mut opt_s = Sgd::with_momentum(setup.lr, setup.momentum, setup.weight_decay);
+            let mut opt_t = Sgd::with_momentum(setup.lr, setup.momentum, setup.weight_decay);
+            opt_s.clip = Some(1.0);
+            opt_t.clip = Some(1.0);
+            let mut rng = StdRng::seed_from_u64(400); // same data order as solo
+            mutual_fit(
+                &mut student,
+                &mut teacher,
+                &split_train,
+                &conv_train,
+                &split_test,
+                setup.epochs,
+                &cfg,
+                &mut opt_s,
+                &mut opt_t,
+                &mut rng,
+            )
+        });
+        (h_solo.join().expect("solo run"), h_ml.join().expect("ml run"))
+    })
+    .expect("thread scope");
+
+    Table3Row {
+        model: model.name(),
+        teacher: model.teacher_name(),
+        acc_without_ml: acc_without,
+        acc_with_ml: acc_with,
+    }
+}
+
+/// Runs the full Table III experiment.
+pub fn run(scale: &Scale) -> Table3Report {
+    Table3Report {
+        rows: Table3Model::all()
+            .into_iter()
+            .map(|m| run_model(m, scale))
+            .collect(),
+    }
+}
+
+/// Runs a subset of the configurations.
+pub fn run_models(models: &[Table3Model], scale: &Scale) -> Table3Report {
+    Table3Report {
+        rows: models.iter().map(|&m| run_model(m, scale)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_lenet_row_is_sane() {
+        let report = run_models(&[Table3Model::Lenet5], &Scale::quick());
+        let row = &report.rows[0];
+        assert_eq!(row.teacher, "LeNet-5");
+        for acc in [row.acc_without_ml, row.acc_with_ml] {
+            assert!((0.0..=1.0).contains(&acc));
+            assert!(acc > 0.15, "model failed to learn: {acc}");
+        }
+    }
+
+    #[test]
+    fn display_renders_gain() {
+        let report = Table3Report {
+            rows: vec![Table3Row {
+                model: "ResNet-32",
+                teacher: "ResNet-56",
+                acc_without_ml: 0.6741,
+                acc_with_ml: 0.6912,
+            }],
+        };
+        let s = report.to_string();
+        assert!(s.contains("ResNet-32"));
+        assert!(s.contains("+1.71%"));
+        assert!(s.contains("ResNet-56"));
+    }
+}

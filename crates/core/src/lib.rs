@@ -1,0 +1,55 @@
+//! # OplixNet
+//!
+//! A reproduction of *"OplixNet: Towards Area-Efficient Optical
+//! Split-Complex Networks with Real-to-Complex Data Assignment and
+//! Knowledge Distillation"* (Qiu et al., DATE 2024).
+//!
+//! OplixNet compresses MZI-based optical neural networks by ~75 % by
+//! encoding two real values into the amplitude *and phase* of one light
+//! signal (real-to-complex data assignment), training the resulting
+//! split-complex network with a CVNN teacher through mutual learning, and
+//! reading the complex outputs with a learnable merging decoder that needs
+//! only photodiodes.
+//!
+//! This crate ties the substrates together:
+//!
+//! * [`spec`] — paper-scale architecture specs and exact MZI counting
+//!   (Table II's area columns reproduce digit-for-digit);
+//! * [`zoo`] — training-scale FCNN / LeNet-5 / ResNet builders in every
+//!   network family (RVNN / conventional ONN / split with any decoder);
+//! * [`deploy`] — SVD phase mapping of trained networks onto the
+//!   field-level photonic simulator, with noise injection and power
+//!   accounting;
+//! * [`pipeline`] — the end-to-end OplixNet workflow of Fig. 2;
+//! * [`experiments`] — runners regenerating Table II, Table III and
+//!   Figs. 7–9, plus the A1–A3 ablations.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use oplixnet::pipeline::OplixNetBuilder;
+//! use oplixnet::experiments::TrainSetup;
+//! use oplix_datasets::synth::{digits, SynthConfig};
+//!
+//! let train = digits(&SynthConfig { height: 8, width: 8, samples: 100, ..Default::default() });
+//! let test = digits(&SynthConfig { height: 8, width: 8, samples: 50, seed: 1, ..Default::default() });
+//! let outcome = OplixNetBuilder::new()
+//!     .hidden(16)
+//!     .mutual_learning(false)
+//!     .train_setup(TrainSetup { epochs: 2, batch: 25, lr: 0.05, momentum: 0.9, weight_decay: 1e-4 })
+//!     .build(&train, &test)
+//!     .run();
+//! assert!(outcome.accuracy >= 0.0);
+//! assert!(outcome.hardware_gap() < 0.2);
+//! ```
+
+pub mod deploy;
+pub mod experiments;
+pub mod pipeline;
+pub mod spec;
+pub mod zoo;
+
+pub use deploy::{DeployedDetection, DeployedFcnn};
+pub use pipeline::{OplixNetBuilder, OplixNetOutcome, OplixNetPipeline};
+pub use spec::ModelSpec;
+pub use zoo::ModelVariant;

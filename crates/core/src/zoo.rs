@@ -1,0 +1,410 @@
+//! Trainable model zoo: FCNN, LeNet-5 and CIFAR-style ResNets in each of
+//! the paper's network families.
+//!
+//! The zoo builds *training-scale* networks (reduced width/resolution so
+//! the full experiment grid trains on CPU); the paper-scale area arithmetic
+//! lives in [`crate::spec`]. A model is selected by a [`ModelVariant`]:
+//!
+//! * [`ModelVariant::Rvnn`] — real weights, real head (the software
+//!   reference column of Table II);
+//! * [`ModelVariant::ConventionalOnn`] — complex weights, amplitude-only
+//!   input (imaginary part zero), photodiode head: the original ONN of
+//!   Shen et al. \[10\] ("Orig.");
+//! * [`ModelVariant::Split`] — complex weights on complex-assigned inputs
+//!   with one of the four output decoders ("Prop." with
+//!   [`DecoderKind::Merge`]).
+
+use oplix_nn::head::{Head, LinearDecoderHead, MergeHead, ModulusHead, ReHead, UnitaryDecoderHead};
+use oplix_nn::layers::{
+    CAvgPool2d, CConv2d, CDense, CFlatten, CRelu, CResidualBlock, CSequential,
+};
+use oplix_nn::network::Network;
+use oplix_photonics::decoder::DecoderKind;
+use rand::Rng;
+
+/// Which of the paper's network families to instantiate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelVariant {
+    /// Real-valued reference network.
+    Rvnn,
+    /// Complex network, amplitude-only inputs, photodiode detection — the
+    /// conventional ONN.
+    ConventionalOnn,
+    /// Split-complex network on assigned inputs with the given decoder.
+    Split(DecoderKind),
+}
+
+impl ModelVariant {
+    /// Whether layers should be constructed real-only.
+    pub fn real_only(&self) -> bool {
+        matches!(self, ModelVariant::Rvnn)
+    }
+
+    /// Output width of the last weight layer for `classes` classes (the
+    /// merge decoder doubles it) and the matching head.
+    pub fn head<R: Rng>(&self, classes: usize, rng: &mut R) -> (usize, Box<dyn Head>) {
+        match self {
+            ModelVariant::Rvnn => (classes, Box::new(ReHead::new())),
+            ModelVariant::ConventionalOnn => (classes, Box::new(ModulusHead::new())),
+            ModelVariant::Split(DecoderKind::Merge) => (2 * classes, Box::new(MergeHead::new())),
+            ModelVariant::Split(DecoderKind::Linear) => {
+                (classes, Box::new(LinearDecoderHead::new(classes, rng)))
+            }
+            ModelVariant::Split(DecoderKind::Unitary) => {
+                (classes, Box::new(UnitaryDecoderHead::new(classes, rng)))
+            }
+            ModelVariant::Split(DecoderKind::Coherent) => (classes, Box::new(ReHead::new())),
+        }
+    }
+}
+
+fn dense<R: Rng>(n_in: usize, n_out: usize, real_only: bool, rng: &mut R) -> CDense {
+    if real_only {
+        CDense::new_real(n_in, n_out, rng)
+    } else {
+        CDense::new(n_in, n_out, rng)
+    }
+}
+
+fn conv<R: Rng>(
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    real_only: bool,
+    rng: &mut R,
+) -> CConv2d {
+    if real_only {
+        CConv2d::new_real(in_ch, out_ch, k, stride, pad, rng)
+    } else {
+        CConv2d::new(in_ch, out_ch, k, stride, pad, rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FCNN
+// ---------------------------------------------------------------------------
+
+/// Shape of a training-scale FCNN. `input` is the (possibly already
+/// halved) flattened feature count of the dataset view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FcnnConfig {
+    /// Flattened input width.
+    pub input: usize,
+    /// Hidden layer width.
+    pub hidden: usize,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+/// Builds the two-layer FCNN of §IV (input–hidden–classes with ReLU).
+pub fn build_fcnn<R: Rng>(cfg: &FcnnConfig, variant: ModelVariant, rng: &mut R) -> Network {
+    let real = variant.real_only();
+    let (out_w, head) = variant.head(cfg.classes, rng);
+    let body = CSequential::new()
+        .push(dense(cfg.input, cfg.hidden, real, rng))
+        .push(CRelu::new())
+        .push(dense(cfg.hidden, out_w, real, rng));
+    Network::new(body, head)
+}
+
+// ---------------------------------------------------------------------------
+// LeNet-5
+// ---------------------------------------------------------------------------
+
+/// Shape of a training-scale LeNet-5. Inputs may be rectangular (the
+/// spatial-interlace assignment halves the height); both spatial
+/// dimensions must be divisible by 4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LenetConfig {
+    /// Input channels of the dataset view.
+    pub in_ch: usize,
+    /// Input height.
+    pub input_h: usize,
+    /// Input width.
+    pub input_w: usize,
+    /// First conv channels.
+    pub conv1: usize,
+    /// Second conv channels.
+    pub conv2: usize,
+    /// First dense width.
+    pub fc1: usize,
+    /// Second dense width.
+    pub fc2: usize,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl LenetConfig {
+    /// Training-scale default on `hw×hw` inputs with `in_ch` channels.
+    pub fn training_scale(in_ch: usize, hw: usize, classes: usize) -> Self {
+        LenetConfig {
+            in_ch,
+            input_h: hw,
+            input_w: hw,
+            conv1: 6,
+            conv2: 12,
+            fc1: 48,
+            fc2: 32,
+            classes,
+        }
+    }
+
+    /// The channel-halved (split) version of this config.
+    pub fn halved(&self) -> Self {
+        LenetConfig {
+            in_ch: self.in_ch.div_ceil(2),
+            conv1: self.conv1 / 2,
+            conv2: self.conv2 / 2,
+            fc1: self.fc1 / 2,
+            fc2: self.fc2 / 2,
+            ..*self
+        }
+    }
+
+    /// Same config on a rectangular input (spatial assignment views).
+    pub fn with_input(&self, h: usize, w: usize) -> Self {
+        LenetConfig {
+            input_h: h,
+            input_w: w,
+            ..*self
+        }
+    }
+
+    /// Flattened width after the two conv(same)/pool stages: both convs
+    /// keep the spatial size (5×5, pad 2), each pool halves it.
+    pub fn flat_width(&self) -> usize {
+        self.conv2 * (self.input_h / 4) * (self.input_w / 4)
+    }
+}
+
+/// Builds a LeNet-5: conv5(pad2)-pool2-conv5(pad2)-pool2-fc-fc-fc.
+pub fn build_lenet<R: Rng>(cfg: &LenetConfig, variant: ModelVariant, rng: &mut R) -> Network {
+    assert!(
+        cfg.input_h % 4 == 0 && cfg.input_w % 4 == 0,
+        "LeNet input dimensions must be divisible by 4"
+    );
+    let real = variant.real_only();
+    let (out_w, head) = variant.head(cfg.classes, rng);
+    let body = CSequential::new()
+        .push(conv(cfg.in_ch, cfg.conv1, 5, 1, 2, real, rng))
+        .push(CRelu::new())
+        .push(CAvgPool2d::new(2))
+        .push(conv(cfg.conv1, cfg.conv2, 5, 1, 2, real, rng))
+        .push(CRelu::new())
+        .push(CAvgPool2d::new(2))
+        .push(CFlatten::new())
+        .push(dense(cfg.flat_width(), cfg.fc1, real, rng))
+        .push(CRelu::new())
+        .push(dense(cfg.fc1, cfg.fc2, real, rng))
+        .push(CRelu::new())
+        .push(dense(cfg.fc2, out_w, real, rng));
+    Network::new(body, head)
+}
+
+// ---------------------------------------------------------------------------
+// ResNet
+// ---------------------------------------------------------------------------
+
+/// Shape of a training-scale CIFAR-style ResNet. Inputs may be
+/// rectangular; the width must be a multiple of the height so global
+/// pooling and the classifier stay consistent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResnetConfig {
+    /// Input channels of the dataset view.
+    pub in_ch: usize,
+    /// Input height (halves twice through the stages).
+    pub input_h: usize,
+    /// Input width.
+    pub input_w: usize,
+    /// Residual blocks per stage (depth = 6·blocks + 2).
+    pub blocks: usize,
+    /// Channel widths of the three stages.
+    pub widths: [usize; 3],
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl ResnetConfig {
+    /// Training-scale ResNet of the given depth (must be 6n+2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is not of the form 6n+2.
+    pub fn training_scale(depth: usize, in_ch: usize, hw: usize, classes: usize) -> Self {
+        assert!(depth >= 8 && (depth - 2) % 6 == 0, "depth must be 6n+2");
+        ResnetConfig {
+            in_ch,
+            input_h: hw,
+            input_w: hw,
+            blocks: (depth - 2) / 6,
+            widths: [8, 16, 32],
+            classes,
+        }
+    }
+
+    /// The channel-halved (split) version of this config.
+    pub fn halved(&self) -> Self {
+        ResnetConfig {
+            in_ch: self.in_ch.div_ceil(2),
+            widths: [
+                self.widths[0] / 2,
+                self.widths[1] / 2,
+                self.widths[2] / 2,
+            ],
+            ..*self
+        }
+    }
+
+    /// Same config on a rectangular input (spatial assignment views).
+    pub fn with_input(&self, h: usize, w: usize) -> Self {
+        ResnetConfig {
+            input_h: h,
+            input_w: w,
+            ..*self
+        }
+    }
+
+    /// Network depth `6·blocks + 2`.
+    pub fn depth(&self) -> usize {
+        6 * self.blocks + 2
+    }
+
+    /// Flattened classifier input after global pooling: square inputs pool
+    /// to one pixel; a `w = r·h` input leaves `r` pooled columns.
+    pub fn classifier_width(&self) -> usize {
+        self.widths[2] * (self.input_w / self.input_h)
+    }
+}
+
+/// Builds a CIFAR-style ResNet: conv3 stem, three stages of residual
+/// blocks (stride 2 entering stages 2 and 3), global average pooling, and
+/// a dense classifier.
+pub fn build_resnet<R: Rng>(cfg: &ResnetConfig, variant: ModelVariant, rng: &mut R) -> Network {
+    assert!(
+        cfg.input_w % cfg.input_h == 0,
+        "ResNet input width must be a multiple of its height"
+    );
+    assert!(cfg.input_h % 4 == 0, "ResNet input height must be divisible by 4");
+    let real = variant.real_only();
+    let (out_w, head) = variant.head(cfg.classes, rng);
+    let mut body = CSequential::new()
+        .push(conv(cfg.in_ch, cfg.widths[0], 3, 1, 1, real, rng))
+        .push(CRelu::new());
+    let mut in_ch = cfg.widths[0];
+    for (stage, &w) in cfg.widths.iter().enumerate() {
+        for b in 0..cfg.blocks {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            body.add(Box::new(CResidualBlock::new(in_ch, w, stride, real, rng)));
+            in_ch = w;
+        }
+    }
+    // Two stride-2 stages shrink (h, w) to (h/4, w/4); pooling with the
+    // final height leaves one row and w/h pooled columns.
+    body.add(Box::new(CAvgPool2d::new(cfg.input_h / 4)));
+    body.add(Box::new(CFlatten::new()));
+    body.add(Box::new(dense(cfg.classifier_width(), out_w, real, rng)));
+    Network::new(body, head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oplix_nn::ctensor::CTensor;
+    use oplix_nn::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fcnn_variants_forward() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = FcnnConfig { input: 32, hidden: 16, classes: 4 };
+        for variant in [
+            ModelVariant::Rvnn,
+            ModelVariant::ConventionalOnn,
+            ModelVariant::Split(DecoderKind::Merge),
+            ModelVariant::Split(DecoderKind::Linear),
+            ModelVariant::Split(DecoderKind::Unitary),
+            ModelVariant::Split(DecoderKind::Coherent),
+        ] {
+            let mut net = build_fcnn(&cfg, variant, &mut rng);
+            let x = CTensor::from_re(Tensor::random_uniform(&[2, 32], 1.0, &mut rng));
+            let logits = net.forward(&x, false);
+            assert_eq!(logits.shape(), &[2, 4], "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn lenet_forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = LenetConfig::training_scale(3, 16, 10);
+        assert_eq!(cfg.flat_width(), 12 * 4 * 4);
+        let mut net = build_lenet(&cfg, ModelVariant::Split(DecoderKind::Merge), &mut rng);
+        let x = CTensor::zeros(&[2, 3, 16, 16]);
+        let logits = net.forward(&x, false);
+        assert_eq!(logits.shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn lenet_halved_keeps_geometry() {
+        let cfg = LenetConfig::training_scale(3, 16, 10);
+        let half = cfg.halved();
+        assert_eq!(half.in_ch, 2);
+        assert_eq!(half.conv1, 3);
+        assert_eq!(half.input_h, cfg.input_h);
+        assert_eq!(half.flat_width(), 6 * 4 * 4);
+    }
+
+    #[test]
+    fn resnet_forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = ResnetConfig::training_scale(8, 3, 16, 10);
+        assert_eq!(cfg.depth(), 8);
+        let mut net = build_resnet(&cfg, ModelVariant::ConventionalOnn, &mut rng);
+        let x = CTensor::zeros(&[2, 3, 16, 16]);
+        let logits = net.forward(&x, false);
+        assert_eq!(logits.shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn resnet_halved_halves_widths() {
+        let cfg = ResnetConfig::training_scale(8, 3, 16, 10);
+        let half = cfg.halved();
+        assert_eq!(half.in_ch, 2);
+        assert_eq!(half.widths, [4, 8, 16]);
+    }
+
+    #[test]
+    fn rectangular_inputs_work() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let lenet_cfg = LenetConfig::training_scale(3, 16, 10).with_input(8, 16);
+        let mut lenet = build_lenet(&lenet_cfg, ModelVariant::Split(DecoderKind::Merge), &mut rng);
+        let x = CTensor::zeros(&[2, 3, 8, 16]);
+        assert_eq!(lenet.forward(&x, false).shape(), &[2, 10]);
+
+        let res_cfg = ResnetConfig::training_scale(8, 3, 16, 10).with_input(8, 16);
+        assert_eq!(res_cfg.classifier_width(), 2 * res_cfg.widths[2]);
+        let mut resnet = build_resnet(&res_cfg, ModelVariant::Split(DecoderKind::Merge), &mut rng);
+        assert_eq!(resnet.forward(&x, false).shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn rvnn_has_half_the_params_of_cvnn() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = FcnnConfig { input: 16, hidden: 8, classes: 2 };
+        let mut r = build_fcnn(&cfg, ModelVariant::Rvnn, &mut rng);
+        let mut c = build_fcnn(&cfg, ModelVariant::ConventionalOnn, &mut rng);
+        assert_eq!(c.num_params(), 2 * r.num_params());
+    }
+
+    #[test]
+    fn split_merge_head_doubles_last_layer() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = FcnnConfig { input: 16, hidden: 8, classes: 3 };
+        let mut merge = build_fcnn(&cfg, ModelVariant::Split(DecoderKind::Merge), &mut rng);
+        let mut coh = build_fcnn(&cfg, ModelVariant::Split(DecoderKind::Coherent), &mut rng);
+        // The doubled last layer adds 8*3*2 complex weights + 3*2 biases.
+        assert!(merge.num_params() > coh.num_params());
+    }
+}

@@ -1,0 +1,357 @@
+//! Real-to-complex data assignment schemes (paper §III-B, Figs. 4–5).
+//!
+//! An assignment packs a real image `[N, C, H, W]` into a complex one,
+//! trading feature-map size for the phase dimension of light:
+//!
+//! * spatial schemes (Fig. 4) pair *pixels* and halve the height —
+//!   interlace (adjacent rows, proposed), half-half (top/bottom halves),
+//!   symmetric (180°-rotated partners);
+//! * channel schemes (Fig. 5) pair *channels* — lossless (adjacent
+//!   channels, proposed) and remapping (a lossy 3→2 colour-space map first);
+//! * [`AssignmentKind::Conventional`] keeps the real data on the amplitude
+//!   only (the baseline ONN encoding).
+
+use crate::synth::RealDataset;
+use oplix_nn::ctensor::CTensor;
+use oplix_nn::tensor::Tensor;
+use oplix_nn::trainer::CDataset;
+
+/// The real-to-complex data assignment schemes compared in Fig. 8.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AssignmentKind {
+    /// No assignment: amplitude-only encoding, phase zero (conventional
+    /// ONN, Fig. 3c / Fig. 5c).
+    Conventional,
+    /// Adjacent vertical pixel pairs → one complex value (proposed for
+    /// FCNNs, Fig. 4a). Output height `H/2`.
+    SpatialInterlace,
+    /// Top half → real, bottom half → imaginary (Fig. 4b, from \[13\]).
+    /// Output height `H/2`.
+    SpatialHalfHalf,
+    /// Pixel and its 180°-rotated partner → one complex value (Fig. 4c).
+    /// Output height `H/2`.
+    SpatialSymmetric,
+    /// Adjacent channel pairs → one complex channel; odd trailing channel
+    /// keeps a zero imaginary part (proposed for CNNs, Fig. 5a). Output
+    /// channels `⌈C/2⌉`.
+    ChannelLossless,
+    /// Lossy `f(r,g,b)` 3→2 colour-space mapping, then the two mapped
+    /// channels → one complex channel (Fig. 5b, mapping after \[26\]).
+    /// Requires `C == 3`; output channels 1.
+    ChannelRemapping,
+}
+
+impl AssignmentKind {
+    /// Short display name matching the paper's Fig. 8 legend.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            AssignmentKind::Conventional => "Conv",
+            AssignmentKind::SpatialInterlace => "SI",
+            AssignmentKind::SpatialHalfHalf => "SH",
+            AssignmentKind::SpatialSymmetric => "SS",
+            AssignmentKind::ChannelLossless => "CL",
+            AssignmentKind::ChannelRemapping => "CR",
+        }
+    }
+
+    /// Output `(channels, height, width)` for a given input image shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme's constraints are violated (odd height for
+    /// spatial schemes, `C != 3` for channel remapping).
+    pub fn output_shape(&self, c: usize, h: usize, w: usize) -> (usize, usize, usize) {
+        match self {
+            AssignmentKind::Conventional => (c, h, w),
+            AssignmentKind::SpatialInterlace
+            | AssignmentKind::SpatialHalfHalf
+            | AssignmentKind::SpatialSymmetric => {
+                assert!(h % 2 == 0, "spatial assignment requires even height");
+                (c, h / 2, w)
+            }
+            AssignmentKind::ChannelLossless => (c.div_ceil(2), h, w),
+            AssignmentKind::ChannelRemapping => {
+                assert_eq!(c, 3, "channel remapping is defined for RGB inputs");
+                (1, h, w)
+            }
+        }
+    }
+
+    /// Whether this scheme halves the *feature-map channel count*, which is
+    /// what shrinks CONV kernels (spatial schemes do not — paper §III-B-2).
+    pub fn reduces_channels(&self) -> bool {
+        matches!(
+            self,
+            AssignmentKind::ChannelLossless | AssignmentKind::ChannelRemapping
+        )
+    }
+
+    /// Applies the assignment to a batch of real images `[N, C, H, W]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank 4 or violates scheme constraints.
+    pub fn apply(&self, x: &Tensor) -> CTensor {
+        assert_eq!(x.shape().len(), 4, "assignment expects [N, C, H, W]");
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (oc, oh, ow) = self.output_shape(c, h, w);
+        let mut re = Tensor::zeros(&[n, oc, oh, ow]);
+        let mut im = Tensor::zeros(&[n, oc, oh, ow]);
+
+        match self {
+            AssignmentKind::Conventional => {
+                re = x.clone();
+            }
+            AssignmentKind::SpatialInterlace => {
+                for b in 0..n {
+                    for ch in 0..c {
+                        for y in 0..oh {
+                            for xx in 0..w {
+                                *re.at4_mut(b, ch, y, xx) = x.at4(b, ch, 2 * y, xx);
+                                *im.at4_mut(b, ch, y, xx) = x.at4(b, ch, 2 * y + 1, xx);
+                            }
+                        }
+                    }
+                }
+            }
+            AssignmentKind::SpatialHalfHalf => {
+                for b in 0..n {
+                    for ch in 0..c {
+                        for y in 0..oh {
+                            for xx in 0..w {
+                                *re.at4_mut(b, ch, y, xx) = x.at4(b, ch, y, xx);
+                                *im.at4_mut(b, ch, y, xx) = x.at4(b, ch, y + oh, xx);
+                            }
+                        }
+                    }
+                }
+            }
+            AssignmentKind::SpatialSymmetric => {
+                for b in 0..n {
+                    for ch in 0..c {
+                        for y in 0..oh {
+                            for xx in 0..w {
+                                *re.at4_mut(b, ch, y, xx) = x.at4(b, ch, y, xx);
+                                *im.at4_mut(b, ch, y, xx) = x.at4(b, ch, h - 1 - y, w - 1 - xx);
+                            }
+                        }
+                    }
+                }
+            }
+            AssignmentKind::ChannelLossless => {
+                for b in 0..n {
+                    for oc_i in 0..oc {
+                        for y in 0..h {
+                            for xx in 0..w {
+                                *re.at4_mut(b, oc_i, y, xx) = x.at4(b, 2 * oc_i, y, xx);
+                                if 2 * oc_i + 1 < c {
+                                    *im.at4_mut(b, oc_i, y, xx) = x.at4(b, 2 * oc_i + 1, y, xx);
+                                }
+                                // Odd trailing channel: imaginary part stays
+                                // zero-padded (Fig. 5a).
+                            }
+                        }
+                    }
+                }
+            }
+            AssignmentKind::ChannelRemapping => {
+                // Lossy 3 -> 2 colour-space mapping after [26]:
+                // c1 = (r + g)/2, c2 = (g + b)/2. The blue-vs-red contrast
+                // is partially lost — this is the scheme's documented
+                // weakness (5.83 %–13.12 % accuracy drop in the paper).
+                for b in 0..n {
+                    for y in 0..h {
+                        for xx in 0..w {
+                            let r = x.at4(b, 0, y, xx);
+                            let g = x.at4(b, 1, y, xx);
+                            let bl = x.at4(b, 2, y, xx);
+                            *re.at4_mut(b, 0, y, xx) = 0.5 * (r + g);
+                            *im.at4_mut(b, 0, y, xx) = 0.5 * (g + bl);
+                        }
+                    }
+                }
+            }
+        }
+        CTensor::new(re, im)
+    }
+
+    /// Applies the assignment to a whole dataset, producing the complex
+    /// training view (keeping image layout).
+    pub fn apply_dataset(&self, data: &RealDataset) -> CDataset {
+        CDataset::new(self.apply(&data.inputs), data.labels.clone())
+    }
+
+    /// Applies the assignment and flattens each sample to a vector — the
+    /// FCNN input view.
+    pub fn apply_dataset_flat(&self, data: &RealDataset) -> CDataset {
+        let c = self.apply(&data.inputs);
+        let n = c.shape()[0];
+        let rest: usize = c.shape()[1..].iter().product();
+        CDataset::new(c.reshape(&[n, rest]), data.labels.clone())
+    }
+
+    /// All schemes in the paper's Fig. 8 order.
+    pub fn all() -> [AssignmentKind; 6] {
+        [
+            AssignmentKind::Conventional,
+            AssignmentKind::SpatialInterlace,
+            AssignmentKind::SpatialHalfHalf,
+            AssignmentKind::SpatialSymmetric,
+            AssignmentKind::ChannelLossless,
+            AssignmentKind::ChannelRemapping,
+        ]
+    }
+}
+
+impl std::fmt::Display for AssignmentKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AssignmentKind::Conventional => "Conventional",
+            AssignmentKind::SpatialInterlace => "Spatial Interlace",
+            AssignmentKind::SpatialHalfHalf => "Spatial Half-half",
+            AssignmentKind::SpatialSymmetric => "Spatial Symmetric",
+            AssignmentKind::ChannelLossless => "Channel Lossless",
+            AssignmentKind::ChannelRemapping => "Channel Remapping",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_image() -> Tensor {
+        // 1 sample, 1 channel, 4x2: values 0..8 row-major.
+        Tensor::from_vec(&[1, 1, 4, 2], (0..8).map(|v| v as f32).collect())
+    }
+
+    #[test]
+    fn interlace_pairs_adjacent_rows() {
+        let z = AssignmentKind::SpatialInterlace.apply(&toy_image());
+        assert_eq!(z.shape(), &[1, 1, 2, 2]);
+        // (row0, row1) and (row2, row3).
+        assert_eq!(z.re.at4(0, 0, 0, 0), 0.0);
+        assert_eq!(z.im.at4(0, 0, 0, 0), 2.0);
+        assert_eq!(z.re.at4(0, 0, 1, 1), 5.0);
+        assert_eq!(z.im.at4(0, 0, 1, 1), 7.0);
+    }
+
+    #[test]
+    fn half_half_pairs_across_halves() {
+        let z = AssignmentKind::SpatialHalfHalf.apply(&toy_image());
+        // (row0, row2) and (row1, row3).
+        assert_eq!(z.re.at4(0, 0, 0, 0), 0.0);
+        assert_eq!(z.im.at4(0, 0, 0, 0), 4.0);
+        assert_eq!(z.re.at4(0, 0, 1, 0), 2.0);
+        assert_eq!(z.im.at4(0, 0, 1, 0), 6.0);
+    }
+
+    #[test]
+    fn symmetric_pairs_rotated_partners() {
+        let z = AssignmentKind::SpatialSymmetric.apply(&toy_image());
+        // (0,0) pairs with (3,1): values 0 and 7.
+        assert_eq!(z.re.at4(0, 0, 0, 0), 0.0);
+        assert_eq!(z.im.at4(0, 0, 0, 0), 7.0);
+        // (1,1) pairs with (2,0): values 3 and 4.
+        assert_eq!(z.re.at4(0, 0, 1, 1), 3.0);
+        assert_eq!(z.im.at4(0, 0, 1, 1), 4.0);
+    }
+
+    #[test]
+    fn channel_lossless_pads_odd_channel() {
+        let x = Tensor::from_vec(&[1, 3, 1, 1], vec![1.0, 2.0, 3.0]);
+        let z = AssignmentKind::ChannelLossless.apply(&x);
+        assert_eq!(z.shape(), &[1, 2, 1, 1]);
+        assert_eq!(z.re.at4(0, 0, 0, 0), 1.0);
+        assert_eq!(z.im.at4(0, 0, 0, 0), 2.0);
+        assert_eq!(z.re.at4(0, 1, 0, 0), 3.0);
+        assert_eq!(z.im.at4(0, 1, 0, 0), 0.0); // zero-padded
+    }
+
+    #[test]
+    fn channel_remapping_is_lossy() {
+        let x = Tensor::from_vec(&[1, 3, 1, 1], vec![1.0, 0.0, 1.0]);
+        let y = Tensor::from_vec(&[1, 3, 1, 1], vec![0.0, 0.5, 0.5]);
+        let zx = AssignmentKind::ChannelRemapping.apply(&x);
+        let zy = AssignmentKind::ChannelRemapping.apply(&y);
+        // Distinct RGB triples can collide after the 3->2 map... these two
+        // don't, but the blue/red contrast is compressed:
+        assert_eq!(zx.shape(), &[1, 1, 1, 1]);
+        assert!(zx.re.at4(0, 0, 0, 0) != zy.re.at4(0, 0, 0, 0));
+        // An actual collision: (1, 0, 1) vs (0.5, 0.5, 0.5) both map to
+        // (0.5, 0.5).
+        let w = Tensor::from_vec(&[1, 3, 1, 1], vec![0.5, 0.5, 0.5]);
+        let zw = AssignmentKind::ChannelRemapping.apply(&w);
+        assert_eq!(zx.re.at4(0, 0, 0, 0), zw.re.at4(0, 0, 0, 0));
+        assert_eq!(zx.im.at4(0, 0, 0, 0), zw.im.at4(0, 0, 0, 0));
+    }
+
+    #[test]
+    fn conventional_keeps_phase_zero() {
+        let z = AssignmentKind::Conventional.apply(&toy_image());
+        assert_eq!(z.shape(), &[1, 1, 4, 2]);
+        assert_eq!(z.im.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn spatial_schemes_halve_element_count() {
+        let x = toy_image();
+        for kind in [
+            AssignmentKind::SpatialInterlace,
+            AssignmentKind::SpatialHalfHalf,
+            AssignmentKind::SpatialSymmetric,
+        ] {
+            assert_eq!(kind.apply(&x).numel(), x.numel() / 2, "{kind}");
+        }
+    }
+
+    #[test]
+    fn output_shapes() {
+        assert_eq!(
+            AssignmentKind::SpatialInterlace.output_shape(1, 28, 28),
+            (1, 14, 28)
+        );
+        assert_eq!(
+            AssignmentKind::ChannelLossless.output_shape(3, 32, 32),
+            (2, 32, 32)
+        );
+        assert_eq!(
+            AssignmentKind::ChannelRemapping.output_shape(3, 32, 32),
+            (1, 32, 32)
+        );
+        assert_eq!(
+            AssignmentKind::ChannelLossless.output_shape(16, 8, 8),
+            (8, 8, 8)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "even height")]
+    fn spatial_rejects_odd_height() {
+        let x = Tensor::zeros(&[1, 1, 3, 4]);
+        let _ = AssignmentKind::SpatialInterlace.apply(&x);
+    }
+
+    #[test]
+    fn assignment_preserves_information_interlace_vs_remap() {
+        // Interlace is invertible (both pixels recoverable); remapping is
+        // not. Verify invertibility of interlace.
+        let x = toy_image();
+        let z = AssignmentKind::SpatialInterlace.apply(&x);
+        let mut recovered = Tensor::zeros(&[1, 1, 4, 2]);
+        for y in 0..2 {
+            for xx in 0..2 {
+                *recovered.at4_mut(0, 0, 2 * y, xx) = z.re.at4(0, 0, y, xx);
+                *recovered.at4_mut(0, 0, 2 * y + 1, xx) = z.im.at4(0, 0, y, xx);
+            }
+        }
+        assert_eq!(recovered, x);
+    }
+
+    #[test]
+    fn short_names_match_figure8() {
+        let names: Vec<&str> = AssignmentKind::all().iter().map(|k| k.short_name()).collect();
+        assert_eq!(names, vec!["Conv", "SI", "SH", "SS", "CL", "CR"]);
+    }
+}

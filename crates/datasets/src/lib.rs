@@ -1,0 +1,28 @@
+//! Synthetic datasets and real-to-complex data assignment for the OplixNet
+//! reproduction.
+//!
+//! * [`synth`] — seeded MNIST-like ([`synth::digits`]) and CIFAR-like
+//!   ([`synth::colors`]) generators with controlled neighbouring-pixel and
+//!   cross-channel correlation (the statistics the paper's assignment
+//!   comparison depends on), plus the correlation diagnostics themselves.
+//! * [`assign`] — the paper's assignment schemes (Figs. 4–5): spatial
+//!   interlace / half-half / symmetric, channel lossless / remapping, and
+//!   the conventional amplitude-only baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use oplix_datasets::assign::AssignmentKind;
+//! use oplix_datasets::synth::{digits, SynthConfig};
+//!
+//! let data = digits(&SynthConfig { samples: 8, ..Default::default() });
+//! let complex_view = AssignmentKind::SpatialInterlace.apply_dataset_flat(&data);
+//! // 16x16 images halve to 128 complex features.
+//! assert_eq!(complex_view.inputs.shape(), &[8, 128]);
+//! ```
+
+pub mod assign;
+pub mod synth;
+
+pub use assign::AssignmentKind;
+pub use synth::{colors, digits, RealDataset, SynthConfig};

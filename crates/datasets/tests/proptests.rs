@@ -1,0 +1,104 @@
+//! Property-based tests for dataset generation and assignment schemes.
+
+use oplix_datasets::assign::AssignmentKind;
+use oplix_datasets::synth::{colors, digits, SynthConfig};
+use oplix_nn::tensor::Tensor;
+use proptest::prelude::*;
+
+fn cfg(h: usize, w: usize, classes: usize, samples: usize, seed: u64) -> SynthConfig {
+    SynthConfig {
+        height: h,
+        width: w,
+        num_classes: classes,
+        samples,
+        seed,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn digits_respect_config(h in 2usize..10, w in 2usize..10, classes in 2usize..8, seed in 0u64..100) {
+        let d = digits(&cfg(2 * h, 2 * w, classes, 3 * classes, seed));
+        prop_assert_eq!(d.image_shape(), (1, 2 * h, 2 * w));
+        prop_assert_eq!(d.len(), 3 * classes);
+        prop_assert!(d.labels.iter().all(|&l| l < classes));
+        prop_assert!(d.inputs.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn colors_have_three_channels(seed in 0u64..100) {
+        let d = colors(&cfg(8, 8, 5, 10, seed));
+        prop_assert_eq!(d.image_shape(), (3, 8, 8));
+    }
+
+    #[test]
+    fn generation_is_deterministic(seed in 0u64..100) {
+        let a = digits(&cfg(8, 8, 4, 12, seed));
+        let b = digits(&cfg(8, 8, 4, 12, seed));
+        prop_assert_eq!(a.inputs, b.inputs);
+    }
+
+    #[test]
+    fn spatial_assignments_conserve_values(seed in 0u64..100) {
+        // Every input pixel appears exactly once across (re, im) of the
+        // assigned tensor for each spatial scheme.
+        let d = digits(&cfg(8, 8, 4, 6, seed));
+        let total_in: f64 = d.inputs.sum();
+        for kind in [
+            AssignmentKind::SpatialInterlace,
+            AssignmentKind::SpatialHalfHalf,
+            AssignmentKind::SpatialSymmetric,
+        ] {
+            let z = kind.apply(&d.inputs);
+            let total_out = z.re.sum() + z.im.sum();
+            prop_assert!((total_in - total_out).abs() < 1e-3, "{kind}: {total_in} vs {total_out}");
+        }
+    }
+
+    #[test]
+    fn channel_lossless_conserves_values(seed in 0u64..100) {
+        let d = colors(&cfg(8, 8, 4, 6, seed));
+        let total_in: f64 = d.inputs.sum();
+        let z = AssignmentKind::ChannelLossless.apply(&d.inputs);
+        let total_out = z.re.sum() + z.im.sum();
+        prop_assert!((total_in - total_out).abs() < 1e-3);
+    }
+
+    #[test]
+    fn assignment_shapes_match_output_shape(seed in 0u64..50) {
+        let d = colors(&cfg(8, 8, 4, 4, seed));
+        for kind in AssignmentKind::all() {
+            let (c, h, w) = kind.output_shape(3, 8, 8);
+            let z = kind.apply(&d.inputs);
+            prop_assert_eq!(z.shape(), &[4, c, h, w], "{}", kind);
+        }
+    }
+
+    #[test]
+    fn flat_views_match_image_views(seed in 0u64..50) {
+        let d = digits(&cfg(8, 8, 4, 4, seed));
+        let img = AssignmentKind::SpatialInterlace.apply_dataset(&d);
+        let flat = AssignmentKind::SpatialInterlace.apply_dataset_flat(&d);
+        prop_assert_eq!(img.inputs.re.as_slice(), flat.inputs.re.as_slice());
+        prop_assert_eq!(flat.inputs.shape().len(), 2);
+    }
+}
+
+#[test]
+fn interlace_is_invertible_half_half_is_too() {
+    // Both schemes are permutations of the pixels into (re, im) pairs;
+    // verify invertibility explicitly for a structured image.
+    let x = Tensor::from_vec(&[1, 1, 4, 4], (0..16).map(|v| v as f32).collect());
+    for kind in [AssignmentKind::SpatialInterlace, AssignmentKind::SpatialHalfHalf] {
+        let z = kind.apply(&x);
+        let mut seen = vec![false; 16];
+        for (&re, &im) in z.re.as_slice().iter().zip(z.im.as_slice()) {
+            seen[re as usize] = true;
+            seen[im as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{kind} dropped a pixel");
+    }
+}

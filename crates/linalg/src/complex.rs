@@ -1,0 +1,372 @@
+//! A self-contained double-precision complex number.
+//!
+//! The workspace is restricted to a small set of external crates which does
+//! not include `num-complex`, so the photonic simulator carries its own
+//! complex scalar. Only the operations actually used by the workspace are
+//! provided, but those are provided carefully (NaN-free `arg` at the origin,
+//! stable `abs` via `hypot`).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i·im` in double precision.
+///
+/// # Example
+///
+/// ```
+/// use oplix_linalg::Complex64;
+///
+/// let a = Complex64::new(1.0, 2.0);
+/// let b = Complex64::i();
+/// assert_eq!(a * b, Complex64::new(-2.0, 1.0));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number from its real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// The imaginary unit `i`.
+    #[inline]
+    pub const fn i() -> Self {
+        Complex64 { re: 0.0, im: 1.0 }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    ///
+    /// This is the natural representation of a light pulse with amplitude
+    /// `r` and phase `theta`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex64 {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// `e^{iθ}` — a unit-modulus phasor, the transfer function of an ideal
+    /// phase shifter.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Modulus `|z|`, computed with `hypot` for numerical stability.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `|z|²` — the quantity a photodiode measures.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in `(-π, π]`. Returns `0` at the origin.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        if self.re == 0.0 && self.im == 0.0 {
+            0.0
+        } else {
+            self.im.atan2(self.re)
+        }
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex64 {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; dividing by zero yields infinities like `f64`.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Self::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Self::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Whether both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Returns the unit phasor `z/|z|`, or `1` if `z == 0`.
+    #[inline]
+    pub fn unit_phase(self) -> Self {
+        let a = self.abs();
+        if a == 0.0 {
+            Complex64::ONE
+        } else {
+            self.scale(1.0 / a)
+        }
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Complex64::from_real(re)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Self {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Self {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex64::new(3.0, -4.0);
+        assert!(close(z + Complex64::ZERO, z));
+        assert!(close(z * Complex64::ONE, z));
+        assert!(close(z - z, Complex64::ZERO));
+        assert!(close(z * z.inv(), Complex64::ONE));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(
+            Complex64::i() * Complex64::i(),
+            Complex64::from_real(-1.0)
+        ));
+    }
+
+    #[test]
+    fn abs_and_norm_sqr() {
+        let z = Complex64::new(3.0, 4.0);
+        assert!((z.abs() - 5.0).abs() < 1e-12);
+        assert!((z.norm_sqr() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex64::from_polar(2.5, 1.2);
+        assert!((z.abs() - 2.5).abs() < 1e-12);
+        assert!((z.arg() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arg_at_origin_is_zero() {
+        assert_eq!(Complex64::ZERO.arg(), 0.0);
+    }
+
+    #[test]
+    fn cis_quarter_turn() {
+        let z = Complex64::cis(FRAC_PI_2);
+        assert!(close(z, Complex64::i()));
+    }
+
+    #[test]
+    fn conj_negates_imag() {
+        let z = Complex64::new(1.0, 2.0);
+        assert_eq!(z.conj(), Complex64::new(1.0, -2.0));
+        assert!(close(z * z.conj(), Complex64::from_real(z.norm_sqr())));
+    }
+
+    #[test]
+    fn exp_of_i_pi() {
+        let z = Complex64::new(0.0, PI).exp();
+        assert!(close(z, Complex64::from_real(-1.0)));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = Complex64::new(-3.0, 4.0);
+        let r = z.sqrt();
+        assert!(close(r * r, z));
+    }
+
+    #[test]
+    fn division_matches_multiplication_by_inverse() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-3.0, 0.5);
+        assert!(close(a / b, a * b.inv()));
+    }
+
+    #[test]
+    fn unit_phase_has_modulus_one() {
+        let z = Complex64::new(-2.0, 7.0);
+        assert!((z.unit_phase().abs() - 1.0).abs() < 1e-12);
+        assert_eq!(Complex64::ZERO.unit_phase(), Complex64::ONE);
+    }
+
+    #[test]
+    fn sum_folds() {
+        let s: Complex64 = (0..4).map(|k| Complex64::new(k as f64, 1.0)).sum();
+        assert!(close(s, Complex64::new(6.0, 4.0)));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

@@ -1,0 +1,225 @@
+//! Radix-2 fast Fourier transform.
+//!
+//! The OFFT baseline of Gu et al. (ASP-DAC 2020), reproduced in
+//! `oplix-offt`, replaces dense ONN weight blocks with circulant blocks
+//! whose matrix-vector product is computed in the Fourier domain — on chip
+//! via optical butterfly meshes, in software via this FFT.
+
+use crate::complex::Complex64;
+
+/// In-place forward FFT (decimation in time, radix 2).
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a power of two.
+///
+/// # Example
+///
+/// ```
+/// use oplix_linalg::{Complex64, fft::{fft, ifft}};
+///
+/// let mut x = vec![
+///     Complex64::new(1.0, 0.0),
+///     Complex64::new(2.0, 0.0),
+///     Complex64::new(3.0, 0.0),
+///     Complex64::new(4.0, 0.0),
+/// ];
+/// let orig = x.clone();
+/// fft(&mut x);
+/// ifft(&mut x);
+/// for (a, b) in x.iter().zip(&orig) {
+///     assert!((*a - *b).abs() < 1e-12);
+/// }
+/// ```
+pub fn fft(buf: &mut [Complex64]) {
+    fft_dir(buf, false);
+}
+
+/// In-place inverse FFT (includes the `1/n` normalisation).
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a power of two.
+pub fn ifft(buf: &mut [Complex64]) {
+    fft_dir(buf, true);
+    let n = buf.len() as f64;
+    for z in buf.iter_mut() {
+        *z = z.scale(1.0 / n);
+    }
+}
+
+fn fft_dir(buf: &mut [Complex64], inverse: bool) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+
+    // Butterfly passes.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Complex64::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex64::ONE;
+            for k in 0..len / 2 {
+                let a = buf[start + k];
+                let b = buf[start + k + len / 2] * w;
+                buf[start + k] = a + b;
+                buf[start + k + len / 2] = a - b;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Naive `O(n²)` discrete Fourier transform — any length, used as a test
+/// oracle for [`fft`].
+pub fn dft_naive(x: &[Complex64]) -> Vec<Complex64> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            (0..n)
+                .map(|t| x[t] * Complex64::cis(-std::f64::consts::TAU * (k * t) as f64 / n as f64))
+                .sum()
+        })
+        .collect()
+}
+
+/// Circular convolution of two equal-length power-of-two sequences via FFT.
+///
+/// This is the software model of a circulant weight block: `y = w ⊛ x`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or are not a power of two.
+pub fn circular_convolve(w: &[Complex64], x: &[Complex64]) -> Vec<Complex64> {
+    assert_eq!(w.len(), x.len(), "circular_convolve length mismatch");
+    let mut fw = w.to_vec();
+    let mut fx = x.to_vec();
+    fft(&mut fw);
+    fft(&mut fx);
+    let mut fy: Vec<Complex64> = fw.iter().zip(&fx).map(|(&a, &b)| a * b).collect();
+    ifft(&mut fy);
+    fy
+}
+
+/// Circular correlation `y = w ⋆ x` (adjoint of circular convolution),
+/// needed for the OFFT backward pass.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or are not a power of two.
+pub fn circular_correlate(w: &[Complex64], x: &[Complex64]) -> Vec<Complex64> {
+    assert_eq!(w.len(), x.len(), "circular_correlate length mismatch");
+    let mut fw = w.to_vec();
+    let mut fx = x.to_vec();
+    fft(&mut fw);
+    fft(&mut fx);
+    let mut fy: Vec<Complex64> = fw.iter().zip(&fx).map(|(&a, &b)| a.conj() * b).collect();
+    ifft(&mut fy);
+    fy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Complex64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 16, 64] {
+            let x = random_signal(n, n as u64);
+            let expect = dft_naive(&x);
+            let mut got = x.clone();
+            fft(&mut got);
+            for (a, b) in got.iter().zip(&expect) {
+                assert!((*a - *b).abs() < 1e-9, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft_ifft_round_trip() {
+        let x = random_signal(32, 7);
+        let mut y = x.clone();
+        fft(&mut y);
+        ifft(&mut y);
+        for (a, b) in y.iter().zip(&x) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut x = random_signal(6, 1);
+        fft(&mut x);
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let x = random_signal(16, 3);
+        let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut y = x;
+        fft(&mut y);
+        let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / 16.0;
+        assert!((ex - ey).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circular_convolution_matches_direct() {
+        let n = 8;
+        let w = random_signal(n, 10);
+        let x = random_signal(n, 11);
+        let y = circular_convolve(&w, &x);
+        for k in 0..n {
+            let direct: Complex64 = (0..n).map(|t| w[t] * x[(n + k - t) % n]).sum();
+            assert!((y[k] - direct).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn correlation_is_adjoint_of_convolution() {
+        // <w conv x, y> == <x, w corr y> for the real inner product
+        // Re(sum conj(a) b); this is the identity the backward pass needs.
+        let n = 8;
+        let w = random_signal(n, 20);
+        let x = random_signal(n, 21);
+        let y = random_signal(n, 22);
+        let conv = circular_convolve(&w, &x);
+        let corr = circular_correlate(&w, &y);
+        let lhs: Complex64 = conv.iter().zip(&y).map(|(&a, &b)| a.conj() * b).sum();
+        let rhs: Complex64 = x.iter().zip(&corr).map(|(&a, &b)| a.conj() * b).sum();
+        assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut x = vec![Complex64::ZERO; 8];
+        x[0] = Complex64::ONE;
+        fft(&mut x);
+        for z in &x {
+            assert!((*z - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+}

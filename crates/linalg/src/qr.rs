@@ -1,0 +1,228 @@
+//! Householder QR factorisation for complex matrices and unitary basis
+//! completion.
+//!
+//! QR is used in two places by the photonic stack:
+//!
+//! * generating exactly-unitary random test matrices
+//!   ([`CMatrix::random_unitary`]), and
+//! * completing the economy singular-vector blocks returned by the Jacobi
+//!   SVD to full square unitaries, which is what an MZI mesh physically
+//!   implements.
+//!
+//! [`CMatrix::random_unitary`]: crate::CMatrix::random_unitary
+
+use crate::complex::Complex64;
+use crate::matrix::CMatrix;
+
+/// Householder QR factorisation `A = Q R` with `Q` square unitary (`m×m`)
+/// and `R` upper trapezoidal (`m×n`).
+///
+/// # Example
+///
+/// ```
+/// use oplix_linalg::{CMatrix, Complex64, qr::qr};
+///
+/// let a = CMatrix::from_fn(4, 3, |i, j| Complex64::new(i as f64 - j as f64, 1.0));
+/// let (q, r) = qr(&a);
+/// assert!(q.is_unitary(1e-10));
+/// assert!(q.matmul(&r).max_abs_diff(&a) < 1e-10);
+/// ```
+pub fn qr(a: &CMatrix) -> (CMatrix, CMatrix) {
+    let m = a.rows();
+    let n = a.cols();
+    let mut r = a.clone();
+    let mut q = CMatrix::identity(m);
+
+    for k in 0..n.min(m.saturating_sub(1)) {
+        // Householder vector for the k-th column below the diagonal.
+        let x: Vec<Complex64> = (k..m).map(|i| r[(i, k)]).collect();
+        let norm_x = x.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        if norm_x == 0.0 {
+            continue;
+        }
+        // alpha = -e^{i arg(x0)} * ||x|| guarantees v^H x is real positive,
+        // which makes H = I - 2 v v^H / (v^H v) map x onto alpha * e1.
+        let phase = x[0].unit_phase();
+        let alpha = -phase * norm_x;
+        let mut v = x;
+        v[0] -= alpha;
+        let vnorm_sqr: f64 = v.iter().map(|z| z.norm_sqr()).sum();
+        if vnorm_sqr == 0.0 {
+            continue;
+        }
+        let tau = 2.0 / vnorm_sqr;
+
+        // R <- H R, applied only to the trailing block.
+        for j in k..n {
+            let dot: Complex64 = v
+                .iter()
+                .enumerate()
+                .map(|(t, &vt)| vt.conj() * r[(k + t, j)])
+                .sum();
+            let f = dot.scale(tau);
+            for (t, &vt) in v.iter().enumerate() {
+                let upd = vt * f;
+                r[(k + t, j)] -= upd;
+            }
+        }
+        // Q <- Q H (H is Hermitian, so accumulating on the right builds
+        // Q = H_0 H_1 ... H_{n-1}).
+        for i in 0..m {
+            let dot: Complex64 = v
+                .iter()
+                .enumerate()
+                .map(|(t, &vt)| q[(i, k + t)] * vt)
+                .sum();
+            let f = dot.scale(tau);
+            for (t, &vt) in v.iter().enumerate() {
+                let upd = f * vt.conj();
+                q[(i, k + t)] -= upd;
+            }
+        }
+    }
+    // Zero out the strictly-lower part of R to remove round-off residue.
+    for i in 0..m {
+        for j in 0..n.min(i) {
+            r[(i, j)] = Complex64::ZERO;
+        }
+    }
+    (q, r)
+}
+
+/// Completes a set of orthonormal columns to a full `n×n` unitary.
+///
+/// The first `cols.len()` columns of the result are the inputs (in order);
+/// the remaining columns are obtained by Gram–Schmidt orthogonalisation of
+/// canonical basis vectors.
+///
+/// This is exactly the freedom an ONN designer has when a weight matrix is
+/// rank deficient: the missing singular vectors can be chosen arbitrarily
+/// without changing the implemented linear map.
+///
+/// # Panics
+///
+/// Panics if any input column does not have length `n`, if more than `n`
+/// columns are supplied, or if the inputs are too far from orthonormal for
+/// completion to succeed.
+///
+/// # Example
+///
+/// ```
+/// use oplix_linalg::{Complex64, qr::complete_unitary};
+///
+/// let e0 = vec![Complex64::ONE, Complex64::ZERO, Complex64::ZERO];
+/// let u = complete_unitary(&[e0], 3);
+/// assert!(u.is_unitary(1e-10));
+/// ```
+pub fn complete_unitary(cols: &[Vec<Complex64>], n: usize) -> CMatrix {
+    assert!(cols.len() <= n, "more columns than the target dimension");
+    for c in cols {
+        assert_eq!(c.len(), n, "column length must equal target dimension");
+    }
+    let mut basis: Vec<Vec<Complex64>> = cols.to_vec();
+    let mut cand = 0usize;
+    while basis.len() < n {
+        assert!(cand < n, "failed to complete unitary basis: inputs were not orthonormal");
+        // Candidate canonical vector e_cand.
+        let mut v = vec![Complex64::ZERO; n];
+        v[cand] = Complex64::ONE;
+        cand += 1;
+        // Modified Gram–Schmidt against the current basis (twice, for
+        // numerical robustness).
+        for _ in 0..2 {
+            for b in &basis {
+                let dot: Complex64 = b.iter().zip(&v).map(|(&bi, &vi)| bi.conj() * vi).sum();
+                for (vi, &bi) in v.iter_mut().zip(b) {
+                    *vi -= dot * bi;
+                }
+            }
+        }
+        let norm = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        if norm > 1e-7 {
+            for z in &mut v {
+                *z = z.scale(1.0 / norm);
+            }
+            basis.push(v);
+        }
+    }
+    CMatrix::from_fn(n, n, |i, j| basis[j][i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_cmatrix(m: usize, n: usize, seed: u64) -> CMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        CMatrix::from_fn(m, n, |_, _| {
+            Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        })
+    }
+
+    #[test]
+    fn qr_reconstructs_square() {
+        let a = random_cmatrix(5, 5, 1);
+        let (q, r) = qr(&a);
+        assert!(q.is_unitary(1e-10));
+        assert!(q.matmul(&r).max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn qr_reconstructs_tall() {
+        let a = random_cmatrix(7, 3, 2);
+        let (q, r) = qr(&a);
+        assert!(q.is_unitary(1e-10));
+        assert!(q.matmul(&r).max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn qr_reconstructs_wide() {
+        let a = random_cmatrix(3, 6, 3);
+        let (q, r) = qr(&a);
+        assert!(q.is_unitary(1e-10));
+        assert!(q.matmul(&r).max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = random_cmatrix(5, 4, 4);
+        let (_, r) = qr(&a);
+        for i in 0..5 {
+            for j in 0..4.min(i) {
+                assert_eq!(r[(i, j)], Complex64::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_handles_zero_column() {
+        let mut a = random_cmatrix(4, 4, 5);
+        for i in 0..4 {
+            a[(i, 1)] = Complex64::ZERO;
+        }
+        let (q, r) = qr(&a);
+        assert!(q.matmul(&r).max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn complete_unitary_from_orthonormal_pair() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let u = CMatrix::random_unitary(5, &mut rng);
+        let cols = vec![u.col(0), u.col(1)];
+        let full = complete_unitary(&cols, 5);
+        assert!(full.is_unitary(1e-9));
+        // First two columns preserved.
+        for i in 0..5 {
+            assert!((full[(i, 0)] - u[(i, 0)]).abs() < 1e-12);
+            assert!((full[(i, 1)] - u[(i, 1)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn complete_unitary_from_nothing_gives_identityish() {
+        let full = complete_unitary(&[], 4);
+        assert!(full.is_unitary(1e-10));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use oplix_linalg::fft::{circular_convolve, dft_naive, fft, ifft};
+use oplix_linalg::qr::qr;
+use oplix_linalg::svd::{nearest_unitary, svd};
+use oplix_linalg::{CMatrix, Complex64};
+use proptest::prelude::*;
+
+fn complex_strategy() -> impl Strategy<Value = Complex64> {
+    (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(re, im)| Complex64::new(re, im))
+}
+
+fn cmatrix_strategy(max_dim: usize) -> impl Strategy<Value = CMatrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(complex_strategy(), m * n)
+            .prop_map(move |data| CMatrix::from_fn(m, n, |i, j| data[i * n + j]))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn complex_mul_commutes(a in complex_strategy(), b in complex_strategy()) {
+        prop_assert!((a * b - b * a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complex_mul_distributes(a in complex_strategy(), b in complex_strategy(), c in complex_strategy()) {
+        prop_assert!((a * (b + c) - (a * b + a * c)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn complex_abs_is_multiplicative(a in complex_strategy(), b in complex_strategy()) {
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn conjugation_is_ring_homomorphism(a in complex_strategy(), b in complex_strategy()) {
+        prop_assert!(((a * b).conj() - a.conj() * b.conj()).abs() < 1e-9);
+        prop_assert!(((a + b).conj() - (a.conj() + b.conj())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qr_reconstructs(a in cmatrix_strategy(6)) {
+        let (q, r) = qr(&a);
+        prop_assert!(q.is_unitary(1e-8));
+        prop_assert!(q.matmul(&r).max_abs_diff(&a) < 1e-7 * (1.0 + a.frobenius_norm()));
+    }
+
+    #[test]
+    fn svd_reconstructs_and_factors_are_unitary(a in cmatrix_strategy(6)) {
+        let f = svd(&a);
+        prop_assert!(f.u.is_unitary(1e-8));
+        prop_assert!(f.v.is_unitary(1e-8));
+        prop_assert!(f.reconstruct().max_abs_diff(&a) < 1e-7 * (1.0 + a.frobenius_norm()));
+        for w in f.s.windows(2) {
+            prop_assert!(w[0] + 1e-9 >= w[1]);
+        }
+    }
+
+    #[test]
+    fn svd_frobenius_identity(a in cmatrix_strategy(6)) {
+        // ||A||_F^2 == sum of squared singular values.
+        let f = svd(&a);
+        let fro = a.frobenius_norm().powi(2);
+        let ssq: f64 = f.s.iter().map(|s| s * s).sum();
+        prop_assert!((fro - ssq).abs() < 1e-6 * (1.0 + fro));
+    }
+
+    #[test]
+    fn nearest_unitary_is_idempotent(a in cmatrix_strategy(5)) {
+        prop_assume!(a.rows() == a.cols());
+        let f = svd(&a);
+        // Skip near-singular inputs where the polar factor is ill-defined.
+        prop_assume!(f.s.last().copied().unwrap_or(0.0) > 1e-6);
+        let p = nearest_unitary(&a);
+        prop_assert!(p.is_unitary(1e-8));
+        let p2 = nearest_unitary(&p);
+        prop_assert!(p.max_abs_diff(&p2) < 1e-7);
+    }
+
+    #[test]
+    fn fft_matches_dft(x in proptest::collection::vec(complex_strategy(), 1..=5)) {
+        // Round the length up to a power of two by zero-padding.
+        let n = x.len().next_power_of_two();
+        let mut padded = x.clone();
+        padded.resize(n, Complex64::ZERO);
+        let expect = dft_naive(&padded);
+        let mut got = padded.clone();
+        fft(&mut got);
+        for (a, b) in got.iter().zip(&expect) {
+            prop_assert!((*a - *b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn fft_round_trip(x in proptest::collection::vec(complex_strategy(), 8..=8)) {
+        let mut y = x.clone();
+        fft(&mut y);
+        ifft(&mut y);
+        for (a, b) in y.iter().zip(&x) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn convolution_commutes(
+        w in proptest::collection::vec(complex_strategy(), 8..=8),
+        x in proptest::collection::vec(complex_strategy(), 8..=8),
+    ) {
+        let wx = circular_convolve(&w, &x);
+        let xw = circular_convolve(&x, &w);
+        for (a, b) in wx.iter().zip(&xw) {
+            prop_assert!((*a - *b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn unitary_products_stay_unitary(seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = CMatrix::random_unitary(4, &mut rng);
+        let b = CMatrix::random_unitary(4, &mut rng);
+        prop_assert!(a.matmul(&b).is_unitary(1e-8));
+    }
+}

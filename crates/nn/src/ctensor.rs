@@ -1,0 +1,165 @@
+//! Split-complex tensors: a pair of real tensors `(re, im)`.
+//!
+//! The paper's SCVNN (Eq. 2) trains complex layers in their *split*
+//! representation — the real and imaginary parts are carried as two real
+//! tensors and every complex operation is expressed through real arithmetic
+//! on them. Gradients are taken with respect to `re` and `im`
+//! independently, which is exactly what a complex-capable autodiff engine
+//! would compute for the split-complex parameterisation.
+
+use crate::tensor::Tensor;
+
+/// A complex tensor stored as separate real and imaginary parts.
+///
+/// # Example
+///
+/// ```
+/// use oplix_nn::ctensor::CTensor;
+/// use oplix_nn::tensor::Tensor;
+///
+/// let z = CTensor::from_re(Tensor::full(&[2, 2], 1.0));
+/// assert_eq!(z.shape(), &[2, 2]);
+/// assert_eq!(z.im.sum(), 0.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CTensor {
+    /// Real part.
+    pub re: Tensor,
+    /// Imaginary part.
+    pub im: Tensor,
+}
+
+impl CTensor {
+    /// Builds from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn new(re: Tensor, im: Tensor) -> Self {
+        assert_eq!(re.shape(), im.shape(), "re/im shape mismatch");
+        CTensor { re, im }
+    }
+
+    /// A complex tensor of zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        CTensor {
+            re: Tensor::zeros(shape),
+            im: Tensor::zeros(shape),
+        }
+    }
+
+    /// Lifts a real tensor to complex with zero imaginary part — the
+    /// encoding a *CVNN* input uses (Table I: "only encoding the real parts
+    /// of complex input values").
+    pub fn from_re(re: Tensor) -> Self {
+        let im = Tensor::zeros(re.shape());
+        CTensor { re, im }
+    }
+
+    /// The common shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        self.re.shape()
+    }
+
+    /// Total number of complex elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.re.numel()
+    }
+
+    /// Element-wise squared modulus `re² + im²` — the photodiode readout.
+    pub fn norm_sqr(&self) -> Tensor {
+        let mut out = self.re.mul(&self.re);
+        out.add_assign(&self.im.mul(&self.im));
+        out
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add(&self, rhs: &CTensor) -> CTensor {
+        CTensor {
+            re: self.re.add(&rhs.re),
+            im: self.im.add(&rhs.im),
+        }
+    }
+
+    /// Element-wise in-place sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, rhs: &CTensor) {
+        self.re.add_assign(&rhs.re);
+        self.im.add_assign(&rhs.im);
+    }
+
+    /// Scales both parts by a real factor.
+    pub fn scale(&self, k: f32) -> CTensor {
+        CTensor {
+            re: self.re.scale(k),
+            im: self.im.scale(k),
+        }
+    }
+
+    /// Reshapes both parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> CTensor {
+        CTensor {
+            re: self.re.reshape(shape),
+            im: self.im.reshape(shape),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_re_zeroes_imaginary() {
+        let z = CTensor::from_re(Tensor::full(&[3], 2.0));
+        assert_eq!(z.im.as_slice(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn new_checks_shapes() {
+        let _ = CTensor::new(Tensor::zeros(&[2]), Tensor::zeros(&[3]));
+    }
+
+    #[test]
+    fn norm_sqr_is_photodiode() {
+        let z = CTensor::new(
+            Tensor::from_vec(&[2], vec![3.0, 0.0]),
+            Tensor::from_vec(&[2], vec![4.0, 1.0]),
+        );
+        assert_eq!(z.norm_sqr().as_slice(), &[25.0, 1.0]);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = CTensor::new(
+            Tensor::from_vec(&[2], vec![1.0, 2.0]),
+            Tensor::from_vec(&[2], vec![-1.0, 0.5]),
+        );
+        let b = a.add(&a);
+        assert_eq!(b.re.as_slice(), &[2.0, 4.0]);
+        let c = a.scale(3.0);
+        assert_eq!(c.im.as_slice(), &[-3.0, 1.5]);
+    }
+
+    #[test]
+    fn reshape_both_parts() {
+        let a = CTensor::zeros(&[2, 3]);
+        let b = a.reshape(&[6]);
+        assert_eq!(b.shape(), &[6]);
+        assert_eq!(b.im.shape(), &[6]);
+    }
+}

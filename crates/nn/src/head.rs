@@ -1,0 +1,445 @@
+//! Output heads: the software twins of the optical decoders (Fig. 6).
+//!
+//! A head converts the last layer's complex activations into real class
+//! logits, exactly the way the corresponding optical detection scheme
+//! would:
+//!
+//! | Head | Optical scheme | Detection model |
+//! |---|---|---|
+//! | [`MergeHead`] | learnable merging decoder (proposed) | differential photodiodes on a doubled last layer |
+//! | [`LinearDecoderHead`] | learnable linear decoder | extra `2K×K` complex layer + differential photodiodes |
+//! | [`UnitaryDecoderHead`] | learnable unitary decoder | extra `2K×2K` unitary MZI array + differential photodiodes |
+//! | [`ReHead`] | coherent detection (\[16\]) | reference interference recovers `Re(z)` exactly |
+//! | [`ModulusHead`] | conventional ONN photodiodes | amplitude `|z|` (diode intensity + electronic √), phase discarded |
+
+use crate::ctensor::CTensor;
+use crate::layers::{CDense, CLayer};
+use crate::param::ParamVisitor;
+use crate::tensor::Tensor;
+use oplix_linalg::svd::nearest_unitary;
+use oplix_linalg::{CMatrix, Complex64};
+use rand::Rng;
+
+/// Converts complex network outputs into real logits, with a backward pass.
+pub trait Head {
+    /// Forward pass to real logits `[batch, classes]`.
+    fn forward(&mut self, x: &CTensor, train: bool) -> Tensor;
+
+    /// Backward pass: gradient of the loss with respect to the head input.
+    fn backward(&mut self, dlogits: &Tensor) -> CTensor;
+
+    /// Visits trainable parameters (most heads have none).
+    fn visit_params(&mut self, visitor: &mut ParamVisitor) {
+        let _ = visitor;
+    }
+
+    /// Hook run after each optimiser step (the unitary decoder re-projects
+    /// its weight here).
+    fn post_step(&mut self) {}
+}
+
+// ---------------------------------------------------------------------------
+
+/// Takes the real part of each complex output as the logit.
+///
+/// This is the software model of **coherent detection** (the reference-beam
+/// scheme recovers `Re` and `Im` exactly; post-processing selects the real
+/// part) and also the natural head for RVNN (whose outputs are real
+/// anyway).
+#[derive(Debug, Default)]
+pub struct ReHead;
+
+impl ReHead {
+    /// Creates the head.
+    pub fn new() -> Self {
+        ReHead
+    }
+}
+
+impl Head for ReHead {
+    fn forward(&mut self, x: &CTensor, _train: bool) -> Tensor {
+        x.re.clone()
+    }
+
+    fn backward(&mut self, dlogits: &Tensor) -> CTensor {
+        CTensor::new(dlogits.clone(), Tensor::zeros(dlogits.shape()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Photodiode amplitude head: `logit = |z| = √(re² + im²)`.
+///
+/// The conventional ONN output (Fig. 1c): "photodiodes are used as the
+/// decoders to detect the amplitudes of output light signals" — the diode
+/// physically measures intensity `|z|²` and the (monotone) square root is
+/// a trivial electronic post-map that leaves the argmax unchanged while
+/// giving far better-conditioned training gradients (`∂|z|/∂re = re/|z|`
+/// is bounded by 1).
+#[derive(Debug, Default)]
+pub struct ModulusHead {
+    cache: Option<CTensor>,
+}
+
+impl ModulusHead {
+    /// Creates the head.
+    pub fn new() -> Self {
+        ModulusHead::default()
+    }
+}
+
+const MODULUS_EPS: f32 = 1e-8;
+
+impl Head for ModulusHead {
+    fn forward(&mut self, x: &CTensor, train: bool) -> Tensor {
+        if train {
+            self.cache = Some(x.clone());
+        }
+        x.norm_sqr().map(|v| v.sqrt())
+    }
+
+    fn backward(&mut self, dlogits: &Tensor) -> CTensor {
+        let x = self.cache.take().expect("backward called before forward(train=true)");
+        // d|z|/d re = re/|z|, d|z|/d im = im/|z| (0 at the origin).
+        let inv = x.norm_sqr().map(|v| 1.0 / (v.sqrt() + MODULUS_EPS));
+        CTensor::new(
+            dlogits.mul(&x.re).mul(&inv),
+            dlogits.mul(&x.im).mul(&inv),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Differential photodiode readout over a doubled output width: for `2K`
+/// complex inputs, `logit_k = |z_k|² − |z_{k+K}|²`.
+///
+/// Shared by all three learnable decoders; for the merging decoder the
+/// doubling lives in the network's last layer, so this head is used bare.
+#[derive(Debug, Default)]
+pub struct MergeHead {
+    cache: Option<CTensor>,
+}
+
+impl MergeHead {
+    /// Creates the head.
+    pub fn new() -> Self {
+        MergeHead::default()
+    }
+
+    fn diff_forward(x: &CTensor) -> Tensor {
+        let (b, n) = (x.shape()[0], x.shape()[1]);
+        assert!(n % 2 == 0, "differential head needs even input width");
+        let k = n / 2;
+        let mut out = Tensor::zeros(&[b, k]);
+        for i in 0..b {
+            for j in 0..k {
+                let pos = x.re.at2(i, j).powi(2) + x.im.at2(i, j).powi(2);
+                let neg = x.re.at2(i, j + k).powi(2) + x.im.at2(i, j + k).powi(2);
+                out.as_mut_slice()[i * k + j] = pos - neg;
+            }
+        }
+        out
+    }
+
+    fn diff_backward(x: &CTensor, dlogits: &Tensor) -> CTensor {
+        let (b, n) = (x.shape()[0], x.shape()[1]);
+        let k = n / 2;
+        let mut dre = Tensor::zeros(&[b, n]);
+        let mut dim = Tensor::zeros(&[b, n]);
+        for i in 0..b {
+            for j in 0..k {
+                let g = dlogits.at2(i, j);
+                dre.as_mut_slice()[i * n + j] = 2.0 * g * x.re.at2(i, j);
+                dim.as_mut_slice()[i * n + j] = 2.0 * g * x.im.at2(i, j);
+                dre.as_mut_slice()[i * n + j + k] = -2.0 * g * x.re.at2(i, j + k);
+                dim.as_mut_slice()[i * n + j + k] = -2.0 * g * x.im.at2(i, j + k);
+            }
+        }
+        CTensor::new(dre, dim)
+    }
+}
+
+impl Head for MergeHead {
+    fn forward(&mut self, x: &CTensor, train: bool) -> Tensor {
+        if train {
+            self.cache = Some(x.clone());
+        }
+        Self::diff_forward(x)
+    }
+
+    fn backward(&mut self, dlogits: &Tensor) -> CTensor {
+        let x = self.cache.take().expect("backward called before forward(train=true)");
+        Self::diff_backward(&x, dlogits)
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Learnable linear decoder (Fig. 6b): an extra `2K×K` complex dense layer
+/// followed by differential photodiodes.
+#[derive(Debug)]
+pub struct LinearDecoderHead {
+    dense: CDense,
+    diff: MergeHead,
+}
+
+impl LinearDecoderHead {
+    /// Creates the decoder for `k` classes on a `k`-wide last layer.
+    pub fn new<R: Rng>(k: usize, rng: &mut R) -> Self {
+        LinearDecoderHead {
+            dense: CDense::new(k, 2 * k, rng),
+            diff: MergeHead::new(),
+        }
+    }
+}
+
+impl Head for LinearDecoderHead {
+    fn forward(&mut self, x: &CTensor, train: bool) -> Tensor {
+        let z = self.dense.forward(x, train);
+        self.diff.forward(&z, train)
+    }
+
+    fn backward(&mut self, dlogits: &Tensor) -> CTensor {
+        let dz = self.diff.backward(dlogits);
+        self.dense.backward(&dz)
+    }
+
+    fn visit_params(&mut self, visitor: &mut ParamVisitor) {
+        self.dense.visit_params(visitor);
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Learnable unitary decoder (Fig. 6b): the `K` outputs plus `K` zero
+/// ancilla modes pass through a `2K×2K` complex layer that is re-projected
+/// to the nearest unitary after every optimiser step, so it remains
+/// implementable as a pure MZI array (no attenuators), then differential
+/// photodiodes.
+#[derive(Debug)]
+pub struct UnitaryDecoderHead {
+    k: usize,
+    dense: CDense,
+    diff: MergeHead,
+}
+
+impl UnitaryDecoderHead {
+    /// Creates the decoder for `k` classes.
+    pub fn new<R: Rng>(k: usize, rng: &mut R) -> Self {
+        let mut head = UnitaryDecoderHead {
+            k,
+            dense: CDense::new(2 * k, 2 * k, rng),
+            diff: MergeHead::new(),
+        };
+        // Start exactly unitary.
+        head.project_unitary();
+        head
+    }
+
+    fn pad(&self, x: &CTensor) -> CTensor {
+        let (b, k) = (x.shape()[0], x.shape()[1]);
+        assert_eq!(k, self.k, "unitary decoder input width mismatch");
+        let mut re = Tensor::zeros(&[b, 2 * k]);
+        let mut im = Tensor::zeros(&[b, 2 * k]);
+        for i in 0..b {
+            for j in 0..k {
+                re.as_mut_slice()[i * 2 * k + j] = x.re.at2(i, j);
+                im.as_mut_slice()[i * 2 * k + j] = x.im.at2(i, j);
+            }
+        }
+        CTensor::new(re, im)
+    }
+
+    fn unpad(&self, d: &CTensor) -> CTensor {
+        let (b, n) = (d.shape()[0], d.shape()[1]);
+        let k = n / 2;
+        let mut re = Tensor::zeros(&[b, k]);
+        let mut im = Tensor::zeros(&[b, k]);
+        for i in 0..b {
+            for j in 0..k {
+                re.as_mut_slice()[i * k + j] = d.re.at2(i, j);
+                im.as_mut_slice()[i * k + j] = d.im.at2(i, j);
+            }
+        }
+        CTensor::new(re, im)
+    }
+
+    /// Projects the decoder weight onto the nearest unitary (polar
+    /// decomposition), keeping it MZI-array-implementable.
+    pub fn project_unitary(&mut self) {
+        let n = 2 * self.k;
+        let (w_re, w_im) = self.dense.weight_mut();
+        let m = CMatrix::from_fn(n, n, |i, j| {
+            Complex64::new(w_re.at2(i, j) as f64, w_im.at2(i, j) as f64)
+        });
+        let u = nearest_unitary(&m);
+        for i in 0..n {
+            for j in 0..n {
+                w_re.as_mut_slice()[i * n + j] = u[(i, j)].re as f32;
+                w_im.as_mut_slice()[i * n + j] = u[(i, j)].im as f32;
+            }
+        }
+    }
+
+    /// Whether the current weight is unitary to within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        let n = 2 * self.k;
+        let (w_re, w_im) = self.dense.weight();
+        let m = CMatrix::from_fn(n, n, |i, j| {
+            Complex64::new(w_re.at2(i, j) as f64, w_im.at2(i, j) as f64)
+        });
+        m.is_unitary(tol)
+    }
+}
+
+impl Head for UnitaryDecoderHead {
+    fn forward(&mut self, x: &CTensor, train: bool) -> Tensor {
+        let padded = self.pad(x);
+        let z = self.dense.forward(&padded, train);
+        self.diff.forward(&z, train)
+    }
+
+    fn backward(&mut self, dlogits: &Tensor) -> CTensor {
+        let dz = self.diff.backward(dlogits);
+        let dpad = self.dense.backward(&dz);
+        self.unpad(&dpad)
+    }
+
+    fn visit_params(&mut self, visitor: &mut ParamVisitor) {
+        self.dense.visit_params(visitor);
+    }
+
+    fn post_step(&mut self) {
+        self.project_unitary();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample(b: usize, n: usize, seed: u64) -> CTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        CTensor::new(
+            Tensor::random_uniform(&[b, n], 1.0, &mut rng),
+            Tensor::random_uniform(&[b, n], 1.0, &mut rng),
+        )
+    }
+
+    #[test]
+    fn re_head_passes_real_part() {
+        let mut h = ReHead::new();
+        let x = sample(2, 3, 1);
+        let y = h.forward(&x, true);
+        assert_eq!(y, x.re);
+        let dx = h.backward(&Tensor::full(&[2, 3], 1.0));
+        assert_eq!(dx.im.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn modulus_head_value_and_grad() {
+        let mut h = ModulusHead::new();
+        let x = CTensor::new(
+            Tensor::from_vec(&[1, 1], vec![3.0]),
+            Tensor::from_vec(&[1, 1], vec![4.0]),
+        );
+        let y = h.forward(&x, true);
+        assert_eq!(y.as_slice(), &[5.0]);
+        let dx = h.backward(&Tensor::from_vec(&[1, 1], vec![1.0]));
+        // d|z|/dre = 3/5, d|z|/dim = 4/5.
+        assert!((dx.re.as_slice()[0] - 0.6).abs() < 1e-6);
+        assert!((dx.im.as_slice()[0] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_head_differential_logits() {
+        let mut h = MergeHead::new();
+        let x = CTensor::new(
+            Tensor::from_vec(&[1, 4], vec![2.0, 0.0, 1.0, 0.0]),
+            Tensor::from_vec(&[1, 4], vec![0.0, 1.0, 0.0, 0.0]),
+        );
+        let y = h.forward(&x, true);
+        assert_eq!(y.as_slice(), &[4.0 - 1.0, 1.0]);
+        let dx = h.backward(&Tensor::from_vec(&[1, 2], vec![1.0, 1.0]));
+        // Positive diode: +2*re; negative diode: -2*re.
+        assert_eq!(dx.re.as_slice(), &[4.0, 0.0, -2.0, 0.0]);
+        assert_eq!(dx.im.as_slice(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn merge_head_grad_matches_finite_difference() {
+        let x = sample(2, 6, 2);
+        let mut h = MergeHead::new();
+        let _ = h.forward(&x, true);
+        let dl = Tensor::full(&[2, 3], 1.0);
+        let dx = h.backward(&dl);
+        let loss = |x: &CTensor| {
+            let mut h = MergeHead::new();
+            h.forward(x, false).sum()
+        };
+        let eps = 1e-3f32;
+        for idx in [0usize, 5, 11] {
+            let mut xp = x.clone();
+            xp.re.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.re.as_mut_slice()[idx] -= eps;
+            let fd = ((loss(&xp) - loss(&xm)) / (2.0 * eps as f64)) as f32;
+            assert!((dx.re.as_slice()[idx] - fd).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn linear_decoder_shapes_and_params() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut h = LinearDecoderHead::new(5, &mut rng);
+        let x = sample(3, 5, 4);
+        let y = h.forward(&x, true);
+        assert_eq!(y.shape(), &[3, 5]);
+        let dx = h.backward(&Tensor::full(&[3, 5], 1.0));
+        assert_eq!(dx.shape(), &[3, 5]);
+        let mut count = 0;
+        h.visit_params(&mut |_| count += 1);
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn unitary_decoder_stays_unitary() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut h = UnitaryDecoderHead::new(4, &mut rng);
+        assert!(h.is_unitary(1e-5));
+        // Perturb the weight as an optimiser step would, then re-project.
+        {
+            let (w_re, _) = h.dense.weight_mut();
+            w_re.as_mut_slice()[0] += 0.3;
+        }
+        assert!(!h.is_unitary(1e-5));
+        h.post_step();
+        assert!(h.is_unitary(1e-5));
+    }
+
+    #[test]
+    fn unitary_decoder_preserves_energy_of_padded_input() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut h = UnitaryDecoderHead::new(3, &mut rng);
+        let x = sample(1, 3, 7);
+        let padded = h.pad(&x);
+        let z = h.dense.forward(&padded, false);
+        let ein: f64 = padded.norm_sqr().sum();
+        let eout: f64 = z.norm_sqr().sum();
+        assert!((ein - eout).abs() / ein < 1e-4, "in {ein} out {eout}");
+    }
+
+    #[test]
+    fn unitary_decoder_round_trip_shapes() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut h = UnitaryDecoderHead::new(4, &mut rng);
+        let x = sample(2, 4, 9);
+        let y = h.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 4]);
+        let dx = h.backward(&Tensor::full(&[2, 4], 1.0));
+        assert_eq!(dx.shape(), &[2, 4]);
+    }
+}

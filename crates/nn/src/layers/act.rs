@@ -1,0 +1,87 @@
+//! Split activation functions.
+
+use super::CLayer;
+use crate::ctensor::CTensor;
+use crate::tensor::Tensor;
+
+/// Split (CReLU) activation: ReLU applied independently to the real and
+/// imaginary parts — the standard SCVNN nonlinearity (Bassey et al. 2021,
+/// the paper's ref. \[22\]).
+///
+/// In real-only networks the imaginary part is identically zero and the
+/// layer degenerates to an ordinary ReLU.
+#[derive(Debug, Default)]
+pub struct CRelu {
+    mask_re: Option<Tensor>,
+    mask_im: Option<Tensor>,
+}
+
+impl CRelu {
+    /// Creates the activation.
+    pub fn new() -> Self {
+        CRelu::default()
+    }
+}
+
+impl CLayer for CRelu {
+    fn forward(&mut self, x: &CTensor, train: bool) -> CTensor {
+        let y_re = x.re.map(|v| v.max(0.0));
+        let y_im = x.im.map(|v| v.max(0.0));
+        if train {
+            self.mask_re = Some(x.re.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
+            self.mask_im = Some(x.im.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
+        }
+        CTensor::new(y_re, y_im)
+    }
+
+    fn backward(&mut self, dy: &CTensor) -> CTensor {
+        let mask_re = self.mask_re.take().expect("backward called before forward(train=true)");
+        let mask_im = self.mask_im.take().expect("backward called before forward(train=true)");
+        CTensor::new(dy.re.mul(&mask_re), dy.im.mul(&mask_im))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_both_parts_independently() {
+        let mut act = CRelu::new();
+        let x = CTensor::new(
+            Tensor::from_vec(&[3], vec![-1.0, 0.5, 2.0]),
+            Tensor::from_vec(&[3], vec![1.0, -0.5, -2.0]),
+        );
+        let y = act.forward(&x, false);
+        assert_eq!(y.re.as_slice(), &[0.0, 0.5, 2.0]);
+        assert_eq!(y.im.as_slice(), &[1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut act = CRelu::new();
+        let x = CTensor::new(
+            Tensor::from_vec(&[2], vec![-1.0, 1.0]),
+            Tensor::from_vec(&[2], vec![1.0, -1.0]),
+        );
+        let _ = act.forward(&x, true);
+        let dy = CTensor::new(
+            Tensor::from_vec(&[2], vec![5.0, 5.0]),
+            Tensor::from_vec(&[2], vec![7.0, 7.0]),
+        );
+        let dx = act.backward(&dy);
+        assert_eq!(dx.re.as_slice(), &[0.0, 5.0]);
+        assert_eq!(dx.im.as_slice(), &[7.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_input_blocks_gradient() {
+        let mut act = CRelu::new();
+        let x = CTensor::zeros(&[2]);
+        let _ = act.forward(&x, true);
+        let dy = CTensor::new(Tensor::full(&[2], 1.0), Tensor::full(&[2], 1.0));
+        let dx = act.backward(&dy);
+        assert_eq!(dx.re.max_abs(), 0.0);
+        assert_eq!(dx.im.max_abs(), 0.0);
+    }
+}

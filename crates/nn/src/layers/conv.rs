@@ -1,0 +1,311 @@
+//! 2-D complex convolution layer.
+
+use super::CLayer;
+use crate::ctensor::CTensor;
+use crate::functional::{conv2d_backward_input, conv2d_backward_weight, conv2d_forward};
+use crate::param::{Param, ParamVisitor};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// A complex 2-D convolution on `[N, C, H, W]` inputs.
+///
+/// Split form: `y_re = x_re∗w_re − x_im∗w_im + b_re`,
+/// `y_im = x_re∗w_im + x_im∗w_re + b_im` (per-output-channel biases).
+///
+/// With `real_only = true` the imaginary half is frozen at zero (RVNN
+/// mode).
+#[derive(Debug)]
+pub struct CConv2d {
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    w_re: Param,
+    w_im: Param,
+    b_re: Param,
+    b_im: Param,
+    real_only: bool,
+    cache: Option<CTensor>,
+}
+
+impl CConv2d {
+    /// Creates a complex convolution with Kaiming-uniform initialisation.
+    pub fn new<R: Rng>(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut R,
+    ) -> Self {
+        Self::build(in_ch, out_ch, kernel, stride, pad, false, rng)
+    }
+
+    /// Creates a *real-only* convolution (RVNN mode).
+    pub fn new_real<R: Rng>(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut R,
+    ) -> Self {
+        Self::build(in_ch, out_ch, kernel, stride, pad, true, rng)
+    }
+
+    fn build<R: Rng>(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        real_only: bool,
+        rng: &mut R,
+    ) -> Self {
+        assert!(in_ch > 0 && out_ch > 0 && kernel > 0, "conv dimensions must be positive");
+        let fan_in = in_ch * kernel * kernel;
+        let shape = [out_ch, in_ch, kernel, kernel];
+        let w_re = Param::new(Tensor::kaiming_uniform(&shape, fan_in, rng));
+        let w_im = if real_only {
+            Param::new(Tensor::zeros(&shape))
+        } else {
+            Param::new(Tensor::kaiming_uniform(&shape, fan_in, rng))
+        };
+        CConv2d {
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+            pad,
+            w_re,
+            w_im,
+            b_re: Param::new_no_decay(Tensor::zeros(&[out_ch])),
+            b_im: Param::new_no_decay(Tensor::zeros(&[out_ch])),
+            real_only,
+            cache: None,
+        }
+    }
+
+    /// `(in_channels, out_channels, kernel, stride, pad)`.
+    pub fn geometry(&self) -> (usize, usize, usize, usize, usize) {
+        (self.in_ch, self.out_ch, self.kernel, self.stride, self.pad)
+    }
+
+    /// Number of independent real weight parameters.
+    pub fn param_count(&self) -> usize {
+        let per_half = self.out_ch * self.in_ch * self.kernel * self.kernel + self.out_ch;
+        if self.real_only {
+            per_half
+        } else {
+            2 * per_half
+        }
+    }
+
+    /// Read access to the complex weight as `(re, im)` tensors.
+    pub fn weight(&self) -> (&Tensor, &Tensor) {
+        (&self.w_re.value, &self.w_im.value)
+    }
+
+    fn add_bias(&self, y: &mut Tensor, b: &Tensor) {
+        let (n, o, h, w) = (y.shape()[0], y.shape()[1], y.shape()[2], y.shape()[3]);
+        for bi in 0..n {
+            for oc in 0..o {
+                let bv = b.as_slice()[oc];
+                let base = ((bi * o + oc) * h) * w;
+                for v in &mut y.as_mut_slice()[base..base + h * w] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+}
+
+impl CLayer for CConv2d {
+    fn forward(&mut self, x: &CTensor, train: bool) -> CTensor {
+        assert_eq!(x.shape().len(), 4, "CConv2d expects [N, C, H, W]");
+        assert_eq!(x.shape()[1], self.in_ch, "CConv2d channel mismatch");
+        if train {
+            self.cache = Some(x.clone());
+        }
+        let mut y_re = conv2d_forward(&x.re, &self.w_re.value, self.stride, self.pad);
+        let mut y_im = conv2d_forward(&x.re, &self.w_im.value, self.stride, self.pad);
+        if !self.real_only || x.im.max_abs() != 0.0 {
+            y_re.add_assign(
+                &conv2d_forward(&x.im, &self.w_im.value, self.stride, self.pad).scale(-1.0),
+            );
+            y_im.add_assign(&conv2d_forward(&x.im, &self.w_re.value, self.stride, self.pad));
+        }
+        self.add_bias(&mut y_re, &self.b_re.value);
+        self.add_bias(&mut y_im, &self.b_im.value);
+        CTensor::new(y_re, y_im)
+    }
+
+    fn backward(&mut self, dy: &CTensor) -> CTensor {
+        let x = self.cache.take().expect("backward called before forward(train=true)");
+        let w_shape = self.w_re.value.shape().to_vec();
+
+        self.w_re.grad.add_assign(&conv2d_backward_weight(
+            &dy.re, &x.re, &w_shape, self.stride, self.pad,
+        ));
+        self.w_re.grad.add_assign(&conv2d_backward_weight(
+            &dy.im, &x.im, &w_shape, self.stride, self.pad,
+        ));
+        if !self.real_only {
+            self.w_im.grad.add_assign(
+                &conv2d_backward_weight(&dy.re, &x.im, &w_shape, self.stride, self.pad)
+                    .scale(-1.0),
+            );
+            self.w_im.grad.add_assign(&conv2d_backward_weight(
+                &dy.im, &x.re, &w_shape, self.stride, self.pad,
+            ));
+        }
+
+        // Bias gradients: sum over batch and spatial positions.
+        let (n, o, h, w) = (
+            dy.re.shape()[0],
+            dy.re.shape()[1],
+            dy.re.shape()[2],
+            dy.re.shape()[3],
+        );
+        for bi in 0..n {
+            for oc in 0..o {
+                let base = ((bi * o + oc) * h) * w;
+                let re_sum: f32 = dy.re.as_slice()[base..base + h * w].iter().sum();
+                let im_sum: f32 = dy.im.as_slice()[base..base + h * w].iter().sum();
+                self.b_re.grad.as_mut_slice()[oc] += re_sum;
+                self.b_im.grad.as_mut_slice()[oc] += im_sum;
+            }
+        }
+
+        let x_shape = x.shape().to_vec();
+        let mut dx_re =
+            conv2d_backward_input(&dy.re, &self.w_re.value, &x_shape, self.stride, self.pad);
+        dx_re.add_assign(&conv2d_backward_input(
+            &dy.im, &self.w_im.value, &x_shape, self.stride, self.pad,
+        ));
+        let mut dx_im =
+            conv2d_backward_input(&dy.im, &self.w_re.value, &x_shape, self.stride, self.pad);
+        dx_im.add_assign(
+            &conv2d_backward_input(&dy.re, &self.w_im.value, &x_shape, self.stride, self.pad)
+                .scale(-1.0),
+        );
+        CTensor::new(dx_re, dx_im)
+    }
+
+    fn visit_params(&mut self, visitor: &mut ParamVisitor) {
+        visitor(&mut self.w_re);
+        visitor(&mut self.b_re);
+        if !self.real_only {
+            visitor(&mut self.w_im);
+            visitor(&mut self.b_im);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = CConv2d::new(2, 4, 3, 1, 1, &mut rng);
+        let x = CTensor::zeros(&[2, 2, 8, 8]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 4, 8, 8]);
+    }
+
+    #[test]
+    fn strided_forward_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = CConv2d::new(1, 2, 3, 2, 1, &mut rng);
+        let x = CTensor::zeros(&[1, 1, 8, 8]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn complex_conv_matches_split_arithmetic() {
+        // 1x1 kernel reduces conv to per-pixel complex multiplication,
+        // which we can check by hand: (a+bi)(c+di).
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = CConv2d::new(1, 1, 1, 1, 0, &mut rng);
+        conv.w_re.value = Tensor::from_vec(&[1, 1, 1, 1], vec![2.0]);
+        conv.w_im.value = Tensor::from_vec(&[1, 1, 1, 1], vec![0.5]);
+        let x = CTensor::new(
+            Tensor::from_vec(&[1, 1, 1, 1], vec![3.0]),
+            Tensor::from_vec(&[1, 1, 1, 1], vec![-1.0]),
+        );
+        let y = conv.forward(&x, false);
+        // (3 - i)(2 + 0.5i) = 6 + 1.5i - 2i - 0.5i² = 6.5 - 0.5i
+        assert!((y.re.as_slice()[0] - 6.5).abs() < 1e-6);
+        assert!((y.im.as_slice()[0] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut conv = CConv2d::new(1, 2, 3, 1, 1, &mut rng);
+        let x = CTensor::new(
+            Tensor::random_uniform(&[1, 1, 4, 4], 1.0, &mut rng),
+            Tensor::random_uniform(&[1, 1, 4, 4], 1.0, &mut rng),
+        );
+        let y = conv.forward(&x, true);
+        let dy = CTensor::new(Tensor::full(y.shape(), 1.0), Tensor::full(y.shape(), -1.0));
+        let dx = conv.backward(&dy);
+
+        let loss = |conv: &mut CConv2d, x: &CTensor| {
+            let y = conv.forward(x, false);
+            y.re.sum() - y.im.sum()
+        };
+        let eps = 1e-3f32;
+        // Check a few weight entries (both halves).
+        for idx in [0usize, 4, 8] {
+            let analytic = conv.w_re.grad.as_slice()[idx];
+            conv.w_re.value.as_mut_slice()[idx] += eps;
+            let lp = loss(&mut conv, &x);
+            conv.w_re.value.as_mut_slice()[idx] -= 2.0 * eps;
+            let lm = loss(&mut conv, &x);
+            conv.w_re.value.as_mut_slice()[idx] += eps;
+            let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!((analytic - fd).abs() < 2e-2, "w_re {idx}: {analytic} vs {fd}");
+
+            let analytic = conv.w_im.grad.as_slice()[idx];
+            conv.w_im.value.as_mut_slice()[idx] += eps;
+            let lp = loss(&mut conv, &x);
+            conv.w_im.value.as_mut_slice()[idx] -= 2.0 * eps;
+            let lm = loss(&mut conv, &x);
+            conv.w_im.value.as_mut_slice()[idx] += eps;
+            let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!((analytic - fd).abs() < 2e-2, "w_im {idx}: {analytic} vs {fd}");
+        }
+        // Check an input entry.
+        for idx in [0usize, 7, 15] {
+            let mut xp = x.clone();
+            xp.re.as_mut_slice()[idx] += eps;
+            let lp = loss(&mut conv, &xp);
+            let mut xm = x.clone();
+            xm.re.as_mut_slice()[idx] -= eps;
+            let lm = loss(&mut conv, &xm);
+            let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!((dx.re.as_slice()[idx] - fd).abs() < 2e-2);
+        }
+    }
+
+    #[test]
+    fn real_only_registers_half_the_params() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut c = CConv2d::new(1, 1, 3, 1, 1, &mut rng);
+        let mut r = CConv2d::new_real(1, 1, 3, 1, 1, &mut rng);
+        let mut nc = 0;
+        c.visit_params(&mut |_| nc += 1);
+        let mut nr = 0;
+        r.visit_params(&mut |_| nr += 1);
+        assert_eq!(nc, 4);
+        assert_eq!(nr, 2);
+        assert_eq!(c.param_count(), 2 * r.param_count());
+    }
+}

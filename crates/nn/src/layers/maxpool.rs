@@ -1,0 +1,155 @@
+//! Modulus-based max pooling for complex feature maps.
+//!
+//! Complex max pooling selects, within each window, the element with the
+//! largest **modulus** and passes it through with phase intact — the
+//! natural complex analogue of real max pooling (used by several CVNN
+//! works surveyed in the paper's ref. \[22\]). Provided alongside
+//! [`CAvgPool2d`](super::CAvgPool2d) so the pooling choice can be ablated.
+
+use super::CLayer;
+use crate::ctensor::CTensor;
+use crate::tensor::Tensor;
+
+/// Max-by-modulus pooling with a square window `k` and stride `k`.
+#[derive(Debug)]
+pub struct CMaxPool2d {
+    k: usize,
+    /// Flat index (into the input) of the selected element per output
+    /// position, cached for backward.
+    argmax: Option<Vec<usize>>,
+    in_shape: Option<Vec<usize>>,
+}
+
+impl CMaxPool2d {
+    /// Creates a max-pooling layer with window size `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "pooling window must be positive");
+        CMaxPool2d {
+            k,
+            argmax: None,
+            in_shape: None,
+        }
+    }
+
+    /// The window size.
+    pub fn window(&self) -> usize {
+        self.k
+    }
+}
+
+impl CLayer for CMaxPool2d {
+    fn forward(&mut self, x: &CTensor, train: bool) -> CTensor {
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let k = self.k;
+        assert!(h % k == 0 && w % k == 0, "pooling window must divide the input");
+        let (ho, wo) = (h / k, w / k);
+        let mut re = Tensor::zeros(&[n, c, ho, wo]);
+        let mut im = Tensor::zeros(&[n, c, ho, wo]);
+        let mut argmax = vec![0usize; n * c * ho * wo];
+
+        for b in 0..n {
+            for ch in 0..c {
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                let (iy, ix) = (oy * k + dy, ox * k + dx);
+                                let idx = ((b * c + ch) * h + iy) * w + ix;
+                                let m = x.re.as_slice()[idx].powi(2)
+                                    + x.im.as_slice()[idx].powi(2);
+                                if m > best {
+                                    best = m;
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let out_idx = ((b * c + ch) * ho + oy) * wo + ox;
+                        re.as_mut_slice()[out_idx] = x.re.as_slice()[best_idx];
+                        im.as_mut_slice()[out_idx] = x.im.as_slice()[best_idx];
+                        argmax[out_idx] = best_idx;
+                    }
+                }
+            }
+        }
+        if train {
+            self.argmax = Some(argmax);
+            self.in_shape = Some(x.shape().to_vec());
+        }
+        CTensor::new(re, im)
+    }
+
+    fn backward(&mut self, dy: &CTensor) -> CTensor {
+        let argmax = self.argmax.take().expect("backward called before forward(train=true)");
+        let shape = self.in_shape.take().expect("backward called before forward(train=true)");
+        let mut dre = Tensor::zeros(&shape);
+        let mut dim = Tensor::zeros(&shape);
+        for (out_idx, &in_idx) in argmax.iter().enumerate() {
+            dre.as_mut_slice()[in_idx] += dy.re.as_slice()[out_idx];
+            dim.as_mut_slice()[in_idx] += dy.im.as_slice()[out_idx];
+        }
+        CTensor::new(dre, dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_largest_modulus_with_phase() {
+        let mut pool = CMaxPool2d::new(2);
+        // Window holds 1+0i, 0+2i, -1-1i, 0.5+0.5i: |0+2i| wins.
+        let x = CTensor::new(
+            Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 0.0, -1.0, 0.5]),
+            Tensor::from_vec(&[1, 1, 2, 2], vec![0.0, 2.0, -1.0, 0.5]),
+        );
+        let y = pool.forward(&x, false);
+        assert_eq!(y.re.as_slice(), &[0.0]);
+        assert_eq!(y.im.as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn backward_routes_gradient_to_winner() {
+        let mut pool = CMaxPool2d::new(2);
+        let x = CTensor::new(
+            Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 0.0, 3.0, 0.5]),
+            Tensor::from_vec(&[1, 1, 2, 2], vec![0.0, 2.0, 0.0, 0.5]),
+        );
+        let _ = pool.forward(&x, true);
+        let dy = CTensor::new(
+            Tensor::from_vec(&[1, 1, 1, 1], vec![7.0]),
+            Tensor::from_vec(&[1, 1, 1, 1], vec![-7.0]),
+        );
+        let dx = pool.backward(&dy);
+        // Winner is index 2 (3+0i).
+        assert_eq!(dx.re.as_slice(), &[0.0, 0.0, 7.0, 0.0]);
+        assert_eq!(dx.im.as_slice(), &[0.0, 0.0, -7.0, 0.0]);
+    }
+
+    #[test]
+    fn differs_from_avg_pool_on_peaky_input() {
+        use super::super::CAvgPool2d;
+        let x = CTensor::new(
+            Tensor::from_vec(&[1, 1, 2, 2], vec![4.0, 0.0, 0.0, 0.0]),
+            Tensor::zeros(&[1, 1, 2, 2]),
+        );
+        let max = CMaxPool2d::new(2).forward(&x, false);
+        let avg = CAvgPool2d::new(2).forward(&x, false);
+        assert_eq!(max.re.as_slice(), &[4.0]);
+        assert_eq!(avg.re.as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn shape_contract() {
+        let mut pool = CMaxPool2d::new(2);
+        let x = CTensor::zeros(&[2, 3, 8, 8]);
+        assert_eq!(pool.forward(&x, false).shape(), &[2, 3, 4, 4]);
+        assert_eq!(pool.window(), 2);
+    }
+}

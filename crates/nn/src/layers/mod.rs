@@ -1,0 +1,71 @@
+//! Split-complex network layers with hand-derived backward passes.
+//!
+//! Every layer operates on [`CTensor`]s — pairs of real tensors `(re, im)`.
+//! This single stack serves all four network families of the paper
+//! (Table I):
+//!
+//! * **SCVNN** — complex weights, complex (assigned) inputs.
+//! * **CVNN** — complex weights, inputs with `im = 0`.
+//! * **RVNN** — layers constructed in *real-only* mode: the imaginary
+//!   weight half is frozen at zero and never registered with the
+//!   optimiser, which makes the layer mathematically identical to a plain
+//!   real layer.
+//! * **Split/conventional ONN** — the deployed versions of the above.
+//!
+//! Gradients are with respect to the real and imaginary parts
+//! independently (split-complex calculus), exactly matching the paper's
+//! Eq. (2) real-expansion view of complex arithmetic.
+
+mod act;
+mod conv;
+mod dense;
+mod maxpool;
+mod modrelu;
+mod norm;
+mod pool;
+mod residual;
+mod sequential;
+mod shape;
+
+pub use act::CRelu;
+pub use conv::CConv2d;
+pub use dense::CDense;
+pub use maxpool::CMaxPool2d;
+pub use modrelu::CModRelu;
+pub use norm::CBatchNorm2d;
+pub use pool::CAvgPool2d;
+pub use residual::CResidualBlock;
+pub use sequential::CSequential;
+pub use shape::CFlatten;
+
+use crate::ctensor::CTensor;
+use crate::param::ParamVisitor;
+
+/// A complex-valued network layer.
+///
+/// `forward` must cache whatever `backward` needs; `backward` accumulates
+/// parameter gradients and returns the gradient with respect to the input.
+pub trait CLayer {
+    /// Forward pass. `train` distinguishes batch statistics from running
+    /// statistics in normalisation layers.
+    fn forward(&mut self, x: &CTensor, train: bool) -> CTensor;
+
+    /// Backward pass for the most recent `forward` call.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before `forward`.
+    fn backward(&mut self, dy: &CTensor) -> CTensor;
+
+    /// Visits every trainable parameter in a stable order.
+    fn visit_params(&mut self, visitor: &mut ParamVisitor) {
+        let _ = visitor;
+    }
+
+    /// Downcast hook used by hardware deployment to recognise concrete
+    /// layer types inside a [`CSequential`]. Layers that can be mapped onto
+    /// photonic meshes return `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}

@@ -1,0 +1,217 @@
+//! ModReLU: the modulus-based complex activation (Arjovsky et al. 2016,
+//! surveyed for CVNNs in the paper's ref. \[22\]).
+//!
+//! `modReLU(z) = ReLU(|z| + b) · z / |z|` — the phase is preserved and the
+//! modulus is thresholded by a learnable per-feature bias. This is the main
+//! alternative to the split (CReLU) activation used in the paper; it is
+//! provided so the activation choice can be ablated.
+
+use super::CLayer;
+use crate::ctensor::CTensor;
+use crate::param::{Param, ParamVisitor};
+use crate::tensor::Tensor;
+
+const EPS: f32 = 1e-6;
+
+/// Modulus ReLU with a learnable threshold per feature.
+///
+/// The feature axis is the last dimension for rank-2 inputs and the channel
+/// axis for rank-4 inputs; with `features == 1` the single bias is shared.
+#[derive(Debug)]
+pub struct CModRelu {
+    bias: Param,
+    cache: Option<CTensor>,
+}
+
+impl CModRelu {
+    /// Creates the activation with `features` thresholds, initialised to a
+    /// small negative value (so small-magnitude noise is suppressed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features == 0`.
+    pub fn new(features: usize) -> Self {
+        assert!(features > 0, "need at least one feature");
+        CModRelu {
+            bias: Param::new_no_decay(Tensor::full(&[features], -0.05)),
+            cache: None,
+        }
+    }
+
+    fn feature_of(&self, shape: &[usize], flat_idx: usize) -> usize {
+        let nf = self.bias.value.numel();
+        if nf == 1 {
+            return 0;
+        }
+        match shape.len() {
+            2 => flat_idx % shape[1].min(nf.max(1)),
+            4 => {
+                let per_img: usize = shape[1] * shape[2] * shape[3];
+                let within = flat_idx % per_img;
+                within / (shape[2] * shape[3])
+            }
+            _ => 0,
+        }
+    }
+}
+
+impl CLayer for CModRelu {
+    fn forward(&mut self, x: &CTensor, train: bool) -> CTensor {
+        if train {
+            self.cache = Some(x.clone());
+        }
+        let shape = x.shape().to_vec();
+        let mut re = Tensor::zeros(&shape);
+        let mut im = Tensor::zeros(&shape);
+        for i in 0..x.numel() {
+            let (xr, xi) = (x.re.as_slice()[i], x.im.as_slice()[i]);
+            let r = (xr * xr + xi * xi).sqrt();
+            let b = self.bias.value.as_slice()[self.feature_of(&shape, i)];
+            let scale = if r + b > 0.0 { (r + b) / (r + EPS) } else { 0.0 };
+            re.as_mut_slice()[i] = xr * scale;
+            im.as_mut_slice()[i] = xi * scale;
+        }
+        CTensor::new(re, im)
+    }
+
+    fn backward(&mut self, dy: &CTensor) -> CTensor {
+        let x = self.cache.take().expect("backward called before forward(train=true)");
+        let shape = x.shape().to_vec();
+        let mut dre = Tensor::zeros(&shape);
+        let mut dim = Tensor::zeros(&shape);
+        for i in 0..x.numel() {
+            let (xr, xi) = (x.re.as_slice()[i], x.im.as_slice()[i]);
+            let (gr, gi) = (dy.re.as_slice()[i], dy.im.as_slice()[i]);
+            let r2 = xr * xr + xi * xi;
+            let r = r2.sqrt();
+            let f = self.feature_of(&shape, i);
+            let b = self.bias.value.as_slice()[f];
+            if r + b <= 0.0 || r < EPS {
+                continue; // clipped region: zero gradient everywhere
+            }
+            // y = x * s with s = (r + b) / r.
+            // ds/dxr = (dr/dxr)(1/r) - (r+b)(dr/dxr)/r² = (dr/dxr)·(-b/r²)
+            // with dr/dxr = xr/r.
+            let s = (r + b) / r;
+            let ds_dr = -b / r2; // d s / d r
+            let dr_dxr = xr / r;
+            let dr_dxi = xi / r;
+            // dyr/dxr = s + xr·ds_dr·dr_dxr ; dyr/dxi = xr·ds_dr·dr_dxi
+            // dyi/dxr = xi·ds_dr·dr_dxr     ; dyi/dxi = s + xi·ds_dr·dr_dxi
+            dre.as_mut_slice()[i] =
+                gr * (s + xr * ds_dr * dr_dxr) + gi * (xi * ds_dr * dr_dxr);
+            dim.as_mut_slice()[i] =
+                gr * (xr * ds_dr * dr_dxi) + gi * (s + xi * ds_dr * dr_dxi);
+            // d y / d b = x / r (both parts), so db accumulates
+            // (gr·xr + gi·xi)/r.
+            self.bias.grad.as_mut_slice()[f] += (gr * xr + gi * xi) / r;
+        }
+        CTensor::new(dre, dim)
+    }
+
+    fn visit_params(&mut self, visitor: &mut ParamVisitor) {
+        visitor(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_phase() {
+        let mut act = CModRelu::new(1);
+        act.bias.value.as_mut_slice()[0] = 0.0;
+        let x = CTensor::new(
+            Tensor::from_vec(&[1, 2], vec![3.0, -1.0]),
+            Tensor::from_vec(&[1, 2], vec![4.0, 1.0]),
+        );
+        let y = act.forward(&x, false);
+        // With b = 0: y == x (scale = r/r = 1 up to EPS).
+        for i in 0..2 {
+            assert!((y.re.as_slice()[i] - x.re.as_slice()[i]).abs() < 1e-4);
+            assert!((y.im.as_slice()[i] - x.im.as_slice()[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn clips_small_magnitudes() {
+        let mut act = CModRelu::new(1);
+        act.bias.value.as_mut_slice()[0] = -1.0;
+        let x = CTensor::new(
+            Tensor::from_vec(&[1, 2], vec![0.3, 3.0]),
+            Tensor::from_vec(&[1, 2], vec![0.4, 4.0]),
+        );
+        let y = act.forward(&x, false);
+        // |z0| = 0.5 < 1 -> clipped to 0; |z1| = 5 -> scaled to 4/5.
+        assert_eq!(y.re.as_slice()[0], 0.0);
+        assert_eq!(y.im.as_slice()[0], 0.0);
+        assert!((y.re.as_slice()[1] - 3.0 * 0.8).abs() < 1e-4);
+        assert!((y.im.as_slice()[1] - 4.0 * 0.8).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut act = CModRelu::new(2);
+        act.bias.value.as_mut_slice().copy_from_slice(&[-0.2, 0.1]);
+        let x = CTensor::new(
+            Tensor::from_vec(&[2, 2], vec![0.8, -0.6, 1.2, 0.4]),
+            Tensor::from_vec(&[2, 2], vec![0.5, 0.9, -0.7, 1.1]),
+        );
+        let y = act.forward(&x, true);
+        let dy = CTensor::new(Tensor::full(y.shape(), 1.0), Tensor::full(y.shape(), 0.5));
+        let dx = act.backward(&dy);
+
+        let loss = |act: &mut CModRelu, x: &CTensor| {
+            let y = act.forward(x, false);
+            y.re.sum() + 0.5 * y.im.sum()
+        };
+        let eps = 1e-3f32;
+        for idx in 0..4 {
+            let mut xp = x.clone();
+            xp.re.as_mut_slice()[idx] += eps;
+            let lp = loss(&mut act, &xp);
+            let mut xm = x.clone();
+            xm.re.as_mut_slice()[idx] -= eps;
+            let lm = loss(&mut act, &xm);
+            let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (dx.re.as_slice()[idx] - fd).abs() < 2e-2,
+                "re idx {idx}: {} vs {fd}",
+                dx.re.as_slice()[idx]
+            );
+        }
+        // Bias gradient check.
+        let analytic = act.bias.grad.as_slice()[0];
+        let mut ap = CModRelu::new(2);
+        ap.bias.value.as_mut_slice().copy_from_slice(&[-0.2 + eps, 0.1]);
+        let lp = loss(&mut ap, &x);
+        let mut am = CModRelu::new(2);
+        am.bias.value.as_mut_slice().copy_from_slice(&[-0.2 - eps, 0.1]);
+        let lm = loss(&mut am, &x);
+        let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
+        assert!((analytic - fd).abs() < 2e-2, "bias: {analytic} vs {fd}");
+    }
+
+    #[test]
+    fn zero_input_produces_zero_gradient() {
+        let mut act = CModRelu::new(1);
+        let x = CTensor::zeros(&[1, 3]);
+        let _ = act.forward(&x, true);
+        let dy = CTensor::new(Tensor::full(&[1, 3], 1.0), Tensor::full(&[1, 3], 1.0));
+        let dx = act.backward(&dy);
+        assert_eq!(dx.re.max_abs(), 0.0);
+        assert_eq!(dx.im.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn registers_bias_param() {
+        let mut act = CModRelu::new(4);
+        let mut count = 0;
+        act.visit_params(&mut |p| {
+            count += 1;
+            assert_eq!(p.value.numel(), 4);
+        });
+        assert_eq!(count, 1);
+    }
+}

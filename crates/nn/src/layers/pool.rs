@@ -1,0 +1,90 @@
+//! Pooling layers.
+
+use super::CLayer;
+use crate::ctensor::CTensor;
+use crate::functional::{avg_pool2d_backward, avg_pool2d_forward};
+
+/// Average pooling with a square window `k` and stride `k`, applied to the
+/// real and imaginary parts independently. Average pooling is linear, so
+/// the split application is exactly complex average pooling.
+#[derive(Debug)]
+pub struct CAvgPool2d {
+    k: usize,
+    in_shape: Option<Vec<usize>>,
+}
+
+impl CAvgPool2d {
+    /// Creates an average-pooling layer with window size `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "pooling window must be positive");
+        CAvgPool2d { k, in_shape: None }
+    }
+
+    /// The window size.
+    pub fn window(&self) -> usize {
+        self.k
+    }
+}
+
+impl CLayer for CAvgPool2d {
+    fn forward(&mut self, x: &CTensor, train: bool) -> CTensor {
+        if train {
+            self.in_shape = Some(x.shape().to_vec());
+        }
+        CTensor::new(
+            avg_pool2d_forward(&x.re, self.k),
+            avg_pool2d_forward(&x.im, self.k),
+        )
+    }
+
+    fn backward(&mut self, dy: &CTensor) -> CTensor {
+        let shape = self.in_shape.take().expect("backward called before forward(train=true)");
+        CTensor::new(
+            avg_pool2d_backward(&dy.re, &shape, self.k),
+            avg_pool2d_backward(&dy.im, &shape, self.k),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn pools_both_parts() {
+        let mut pool = CAvgPool2d::new(2);
+        let x = CTensor::new(
+            Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]),
+            Tensor::from_vec(&[1, 1, 2, 2], vec![4.0, 4.0, 4.0, 4.0]),
+        );
+        let y = pool.forward(&x, false);
+        assert_eq!(y.re.as_slice(), &[2.5]);
+        assert_eq!(y.im.as_slice(), &[4.0]);
+    }
+
+    #[test]
+    fn backward_spreads_gradient() {
+        let mut pool = CAvgPool2d::new(2);
+        let x = CTensor::zeros(&[1, 1, 4, 4]);
+        let _ = pool.forward(&x, true);
+        let dy = CTensor::new(Tensor::full(&[1, 1, 2, 2], 4.0), Tensor::zeros(&[1, 1, 2, 2]));
+        let dx = pool.backward(&dy);
+        assert_eq!(dx.shape(), &[1, 1, 4, 4]);
+        for &v in dx.re.as_slice() {
+            assert_eq!(v, 1.0);
+        }
+    }
+
+    #[test]
+    fn global_pooling_reduces_to_one_pixel() {
+        let mut pool = CAvgPool2d::new(4);
+        let x = CTensor::zeros(&[2, 3, 4, 4]);
+        let y = pool.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 3, 1, 1]);
+    }
+}

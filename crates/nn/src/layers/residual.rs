@@ -1,0 +1,180 @@
+//! The basic residual block of the CIFAR-style ResNets (He et al. 2016),
+//! in split-complex form.
+
+use super::{CBatchNorm2d, CConv2d, CLayer, CRelu};
+use crate::ctensor::CTensor;
+use crate::param::ParamVisitor;
+use rand::Rng;
+
+/// `out = ReLU( BN2(Conv2(ReLU(BN1(Conv1(x))))) + shortcut(x) )`.
+///
+/// The shortcut is the identity when geometry is preserved, or a strided
+/// 1×1 convolution plus batch norm when the block downsamples / widens
+/// (projection shortcut, ResNet "option B").
+#[derive(Debug)]
+pub struct CResidualBlock {
+    conv1: CConv2d,
+    bn1: CBatchNorm2d,
+    relu1: CRelu,
+    conv2: CConv2d,
+    bn2: CBatchNorm2d,
+    shortcut: Option<(CConv2d, CBatchNorm2d)>,
+    relu_out: CRelu,
+    cache_x: Option<CTensor>,
+}
+
+impl CResidualBlock {
+    /// Creates a block mapping `in_ch → out_ch` with the given stride on
+    /// the first convolution. Uses complex weights; pass `real_only` for
+    /// the RVNN variant.
+    pub fn new<R: Rng>(in_ch: usize, out_ch: usize, stride: usize, real_only: bool, rng: &mut R) -> Self {
+        let conv = |ic, oc, k, s, p, rng: &mut R| {
+            if real_only {
+                CConv2d::new_real(ic, oc, k, s, p, rng)
+            } else {
+                CConv2d::new(ic, oc, k, s, p, rng)
+            }
+        };
+        let shortcut = if stride != 1 || in_ch != out_ch {
+            Some((conv(in_ch, out_ch, 1, stride, 0, rng), CBatchNorm2d::new(out_ch)))
+        } else {
+            None
+        };
+        CResidualBlock {
+            conv1: conv(in_ch, out_ch, 3, stride, 1, rng),
+            bn1: CBatchNorm2d::new(out_ch),
+            relu1: CRelu::new(),
+            conv2: conv(out_ch, out_ch, 3, 1, 1, rng),
+            bn2: CBatchNorm2d::new(out_ch),
+            shortcut,
+            relu_out: CRelu::new(),
+            cache_x: None,
+        }
+    }
+
+    /// Total independent real parameter count of this block.
+    pub fn param_count(&self) -> usize {
+        let mut n = self.conv1.param_count() + self.conv2.param_count();
+        if let Some((sc, _)) = &self.shortcut {
+            n += sc.param_count();
+        }
+        n
+    }
+}
+
+impl CLayer for CResidualBlock {
+    fn forward(&mut self, x: &CTensor, train: bool) -> CTensor {
+        if train {
+            self.cache_x = Some(x.clone());
+        }
+        let h = self.conv1.forward(x, train);
+        let h = self.bn1.forward(&h, train);
+        let h = self.relu1.forward(&h, train);
+        let h = self.conv2.forward(&h, train);
+        let h = self.bn2.forward(&h, train);
+        let skip = match &mut self.shortcut {
+            Some((conv, bn)) => {
+                let s = conv.forward(x, train);
+                bn.forward(&s, train)
+            }
+            None => x.clone(),
+        };
+        self.relu_out.forward(&h.add(&skip), train)
+    }
+
+    fn backward(&mut self, dy: &CTensor) -> CTensor {
+        let _ = self.cache_x.take();
+        let d_sum = self.relu_out.backward(dy);
+        // Main branch.
+        let d = self.bn2.backward(&d_sum);
+        let d = self.conv2.backward(&d);
+        let d = self.relu1.backward(&d);
+        let d = self.bn1.backward(&d);
+        let mut dx = self.conv1.backward(&d);
+        // Shortcut branch.
+        match &mut self.shortcut {
+            Some((conv, bn)) => {
+                let d = bn.backward(&d_sum);
+                dx.add_assign(&conv.backward(&d));
+            }
+            None => dx.add_assign(&d_sum),
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, visitor: &mut ParamVisitor) {
+        self.conv1.visit_params(visitor);
+        self.bn1.visit_params(visitor);
+        self.conv2.visit_params(visitor);
+        self.bn2.visit_params(visitor);
+        if let Some((conv, bn)) = &mut self.shortcut {
+            conv.visit_params(visitor);
+            bn.visit_params(visitor);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_shortcut_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut block = CResidualBlock::new(4, 4, 1, false, &mut rng);
+        let x = CTensor::zeros(&[2, 4, 8, 8]);
+        let y = block.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 4, 8, 8]);
+    }
+
+    #[test]
+    fn projection_shortcut_downsamples() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut block = CResidualBlock::new(4, 8, 2, false, &mut rng);
+        let x = CTensor::zeros(&[1, 4, 8, 8]);
+        let y = block.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 8, 4, 4]);
+    }
+
+    #[test]
+    fn backward_produces_input_shaped_grad() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut block = CResidualBlock::new(2, 4, 2, false, &mut rng);
+        let x = CTensor::new(
+            Tensor::random_uniform(&[2, 2, 4, 4], 1.0, &mut rng),
+            Tensor::random_uniform(&[2, 2, 4, 4], 1.0, &mut rng),
+        );
+        let y = block.forward(&x, true);
+        let dy = CTensor::new(Tensor::full(y.shape(), 1.0), Tensor::full(y.shape(), 1.0));
+        let dx = block.backward(&dy);
+        assert_eq!(dx.shape(), x.shape());
+        // Gradient must reach the input through both branches.
+        assert!(dx.re.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn param_counts() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let plain = CResidualBlock::new(4, 4, 1, false, &mut rng);
+        let proj = CResidualBlock::new(4, 8, 2, false, &mut rng);
+        assert!(proj.param_count() > plain.param_count());
+        let real = CResidualBlock::new(4, 4, 1, true, &mut rng);
+        assert_eq!(plain.param_count(), 2 * real.param_count());
+    }
+
+    #[test]
+    fn visit_params_covers_shortcut() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut plain = CResidualBlock::new(4, 4, 1, false, &mut rng);
+        let mut proj = CResidualBlock::new(4, 8, 2, false, &mut rng);
+        let count = |b: &mut CResidualBlock| {
+            let mut c = 0;
+            b.visit_params(&mut |_| c += 1);
+            c
+        };
+        assert!(count(&mut proj) > count(&mut plain));
+    }
+}

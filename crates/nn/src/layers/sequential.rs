@@ -1,0 +1,117 @@
+//! A sequential container of complex layers.
+
+use super::CLayer;
+use crate::ctensor::CTensor;
+use crate::param::ParamVisitor;
+
+/// Runs layers in order on the forward pass and in reverse on the backward
+/// pass.
+#[derive(Default)]
+pub struct CSequential {
+    layers: Vec<Box<dyn CLayer>>,
+}
+
+impl CSequential {
+    /// An empty container.
+    pub fn new() -> Self {
+        CSequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl CLayer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer in place.
+    pub fn add(&mut self, layer: Box<dyn CLayer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the container is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Immutable access to the layers, used by hardware deployment.
+    pub fn layers(&self) -> &[Box<dyn CLayer>] {
+        &self.layers
+    }
+}
+
+impl std::fmt::Debug for CSequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CSequential({} layers)", self.layers.len())
+    }
+}
+
+impl CLayer for CSequential {
+    fn forward(&mut self, x: &CTensor, train: bool) -> CTensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, train);
+        }
+        cur
+    }
+
+    fn backward(&mut self, dy: &CTensor) -> CTensor {
+        let mut cur = dy.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur);
+        }
+        cur
+    }
+
+    fn visit_params(&mut self, visitor: &mut ParamVisitor) {
+        for layer in &mut self.layers {
+            layer.visit_params(visitor);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{CDense, CRelu};
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_backward_chain() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = CSequential::new()
+            .push(CDense::new(4, 3, &mut rng))
+            .push(CRelu::new())
+            .push(CDense::new(3, 2, &mut rng));
+        assert_eq!(net.len(), 3);
+
+        let x = CTensor::new(
+            Tensor::random_uniform(&[2, 4], 1.0, &mut rng),
+            Tensor::random_uniform(&[2, 4], 1.0, &mut rng),
+        );
+        let y = net.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 2]);
+        let dx = net.backward(&CTensor::new(
+            Tensor::full(&[2, 2], 1.0),
+            Tensor::zeros(&[2, 2]),
+        ));
+        assert_eq!(dx.shape(), &[2, 4]);
+    }
+
+    #[test]
+    fn visits_all_params() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = CSequential::new()
+            .push(CDense::new(4, 3, &mut rng))
+            .push(CDense::new(3, 2, &mut rng));
+        let mut count = 0;
+        net.visit_params(&mut |_| count += 1);
+        assert_eq!(count, 8); // two layers x (w_re, b_re, w_im, b_im)
+    }
+}

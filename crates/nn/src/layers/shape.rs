@@ -1,0 +1,49 @@
+//! Shape-manipulation layers.
+
+use super::CLayer;
+use crate::ctensor::CTensor;
+
+/// Flattens `[N, C, H, W]` feature maps to `[N, C·H·W]` vectors (the
+/// CNN-to-dense transition in LeNet-5 and the ResNets).
+#[derive(Debug, Default)]
+pub struct CFlatten {
+    in_shape: Option<Vec<usize>>,
+}
+
+impl CFlatten {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        CFlatten::default()
+    }
+}
+
+impl CLayer for CFlatten {
+    fn forward(&mut self, x: &CTensor, train: bool) -> CTensor {
+        if train {
+            self.in_shape = Some(x.shape().to_vec());
+        }
+        let batch = x.shape()[0];
+        let rest: usize = x.shape()[1..].iter().product();
+        x.reshape(&[batch, rest])
+    }
+
+    fn backward(&mut self, dy: &CTensor) -> CTensor {
+        let shape = self.in_shape.take().expect("backward called before forward(train=true)");
+        dy.reshape(&shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut f = CFlatten::new();
+        let x = CTensor::zeros(&[2, 3, 4, 4]);
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 48]);
+        let dx = f.backward(&y);
+        assert_eq!(dx.shape(), &[2, 3, 4, 4]);
+    }
+}

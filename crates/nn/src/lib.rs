@@ -1,0 +1,64 @@
+//! Split-complex neural-network framework for the OplixNet reproduction.
+//!
+//! The paper trains three families of networks (Table I): **RVNN** (real),
+//! **CVNN** (complex weights, real-part-only inputs) and **SCVNN** (complex
+//! weights, complex-assigned inputs). All three are expressed here through
+//! one split-complex layer stack with hand-derived backward passes —
+//! exactly the real-expansion view of complex arithmetic the paper's Eq. 2
+//! uses, which is why no general-purpose complex autodiff engine is needed
+//! (see DESIGN.md, substitution table).
+//!
+//! * [`tensor`] / [`ctensor`] — `f32` tensors and `(re, im)` pairs.
+//! * [`functional`] — dense/conv/pool primitives with explicit gradients.
+//! * [`layers`] — `CDense`, `CConv2d`, `CBatchNorm2d`, `CRelu`,
+//!   `CAvgPool2d`, `CFlatten`, `CResidualBlock`, `CSequential`.
+//! * [`head`] — software twins of the optical decoders (merge / linear /
+//!   unitary / coherent / photodiode).
+//! * [`loss`] — cross entropy, distillation KL, accuracy.
+//! * [`optim`] — SGD (+momentum, weight decay) and Adam.
+//! * [`trainer`] — mini-batch fitting and evaluation.
+//! * [`mutual`] — SCVNN–CVNN mutual learning (Eqs. 3–4).
+//!
+//! # Example: train a tiny split-complex classifier
+//!
+//! ```
+//! use oplix_nn::ctensor::CTensor;
+//! use oplix_nn::head::MergeHead;
+//! use oplix_nn::layers::{CDense, CRelu, CSequential};
+//! use oplix_nn::network::Network;
+//! use oplix_nn::optim::Sgd;
+//! use oplix_nn::tensor::Tensor;
+//! use oplix_nn::trainer::{fit, CDataset};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let body = CSequential::new()
+//!     .push(CDense::new(2, 8, &mut rng))
+//!     .push(CRelu::new())
+//!     .push(CDense::new(8, 4, &mut rng));
+//! let mut net = Network::new(body, Box::new(MergeHead::new()));
+//!
+//! // Two trivially separable classes.
+//! let re = Tensor::from_vec(&[4, 2], vec![1.0, 1.0, 1.1, 0.9, -1.0, -1.0, -0.9, -1.1]);
+//! let data = CDataset::new(CTensor::from_re(re), vec![0, 0, 1, 1]);
+//! let mut opt = Sgd::with_momentum(0.05, 0.9, 0.0);
+//! let acc = fit(&mut net, &data, &data, 30, 2, &mut opt, &mut rng, false);
+//! assert!(acc > 0.9);
+//! ```
+
+pub mod ctensor;
+pub mod functional;
+pub mod head;
+pub mod layers;
+pub mod loss;
+pub mod mutual;
+pub mod network;
+pub mod optim;
+pub mod param;
+pub mod tensor;
+pub mod trainer;
+
+pub use ctensor::CTensor;
+pub use network::Network;
+pub use param::Param;
+pub use tensor::Tensor;

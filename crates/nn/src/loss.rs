@@ -1,0 +1,186 @@
+//! Losses: softmax cross entropy and the distillation KL term
+//! (paper Eqs. 3–4).
+
+use crate::functional::softmax;
+use crate::tensor::Tensor;
+
+/// Mean softmax cross entropy over a batch.
+///
+/// Returns `(loss, dloss/dlogits)`; the gradient is `(softmax − onehot)/B`.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` does not match the batch size or any label is
+/// out of range.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f64, Tensor) {
+    assert_eq!(logits.shape().len(), 2, "logits must be [batch, classes]");
+    let (b, k) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), b, "one label per batch row required");
+
+    let p = softmax(logits);
+    let mut grad = p.clone();
+    let mut loss = 0.0f64;
+    for (i, &y) in labels.iter().enumerate() {
+        assert!(y < k, "label {y} out of range for {k} classes");
+        let py = p.at2(i, y).max(1e-12);
+        loss -= (py as f64).ln();
+        grad.as_mut_slice()[i * k + y] -= 1.0;
+    }
+    grad.scale_in_place(1.0 / b as f32);
+    (loss / b as f64, grad)
+}
+
+/// Mean KL divergence `KL(softmax(z_t/T) ‖ softmax(z_s/T))` from a
+/// (detached) teacher to the student — the `L_KD` term of the paper's
+/// mutual-learning losses (Eqs. 3–4, following Deep Mutual Learning).
+///
+/// Returns `(loss, dloss/d student_logits)`; the gradient is
+/// `(p_s − p_t) / (B·T)`.
+///
+/// # Panics
+///
+/// Panics if shapes differ or `temperature <= 0`.
+pub fn distillation_kl(
+    student_logits: &Tensor,
+    teacher_logits: &Tensor,
+    temperature: f32,
+) -> (f64, Tensor) {
+    assert_eq!(
+        student_logits.shape(),
+        teacher_logits.shape(),
+        "student/teacher logit shapes must match"
+    );
+    assert!(temperature > 0.0, "temperature must be positive");
+    let (b, k) = (student_logits.shape()[0], student_logits.shape()[1]);
+
+    let ps = softmax(&student_logits.scale(1.0 / temperature));
+    let pt = softmax(&teacher_logits.scale(1.0 / temperature));
+
+    let mut loss = 0.0f64;
+    for i in 0..b {
+        for j in 0..k {
+            let t = pt.at2(i, j).max(1e-12) as f64;
+            let s = ps.at2(i, j).max(1e-12) as f64;
+            loss += t * (t.ln() - s.ln());
+        }
+    }
+    let grad = ps.sub(&pt).scale(1.0 / (b as f32 * temperature));
+    (loss / b as f64, grad)
+}
+
+/// Classification accuracy of a logit matrix against labels.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` does not match the batch size.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    let (b, k) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), b);
+    let mut correct = 0usize;
+    for (i, &y) in labels.iter().enumerate() {
+        let row = &logits.as_slice()[i * k..(i + 1) * k];
+        // NaN logits (a diverged run) never win the argmax.
+        let mut pred = 0usize;
+        let mut best = f32::NEG_INFINITY;
+        for (j, &v) in row.iter().enumerate() {
+            if v.is_finite() && v > best {
+                best = v;
+                pred = j;
+            }
+        }
+        if pred == y {
+            correct += 1;
+        }
+    }
+    correct as f64 / b as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(&[1, 3], vec![10.0, -10.0, -10.0]);
+        let (loss, _) = cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_is_ln_k() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, _) = cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_finite_difference() {
+        let logits = Tensor::from_vec(&[2, 3], vec![0.3, -0.1, 0.5, 1.0, 0.0, -1.0]);
+        let labels = [2usize, 0];
+        let (_, grad) = cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let fd = ((cross_entropy(&lp, &labels).0 - cross_entropy(&lm, &labels).0)
+                / (2.0 * eps as f64)) as f32;
+            assert!((grad.as_slice()[idx] - fd).abs() < 1e-3, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn kl_zero_when_identical() {
+        let z = Tensor::from_vec(&[1, 3], vec![0.5, -0.5, 1.0]);
+        let (loss, grad) = distillation_kl(&z, &z, 1.0);
+        assert!(loss.abs() < 1e-9);
+        assert!(grad.max_abs() < 1e-7);
+    }
+
+    #[test]
+    fn kl_positive_when_different() {
+        let s = Tensor::from_vec(&[1, 3], vec![0.0, 0.0, 0.0]);
+        let t = Tensor::from_vec(&[1, 3], vec![5.0, 0.0, -5.0]);
+        let (loss, _) = distillation_kl(&s, &t, 1.0);
+        assert!(loss > 0.1);
+    }
+
+    #[test]
+    fn kl_grad_matches_finite_difference() {
+        let s = Tensor::from_vec(&[1, 3], vec![0.2, -0.4, 0.1]);
+        let t = Tensor::from_vec(&[1, 3], vec![1.0, 0.0, -1.0]);
+        let (_, grad) = distillation_kl(&s, &t, 2.0);
+        let eps = 1e-3f32;
+        for idx in 0..3 {
+            let mut sp = s.clone();
+            sp.as_mut_slice()[idx] += eps;
+            let mut sm = s.clone();
+            sm.as_mut_slice()[idx] -= eps;
+            let fd = ((distillation_kl(&sp, &t, 2.0).0 - distillation_kl(&sm, &t, 2.0).0)
+                / (2.0 * eps as f64)) as f32;
+            assert!((grad.as_slice()[idx] - fd).abs() < 1e-3, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn kl_pulls_student_toward_teacher() {
+        // One gradient step on the student logits must reduce the KL.
+        let mut s = Tensor::from_vec(&[1, 3], vec![0.0, 0.0, 0.0]);
+        let t = Tensor::from_vec(&[1, 3], vec![2.0, 0.0, -2.0]);
+        let (l0, g) = distillation_kl(&s, &t, 1.0);
+        for (v, &gv) in s.as_mut_slice().iter_mut().zip(g.as_slice()) {
+            *v -= 5.0 * gv;
+        }
+        let (l1, _) = distillation_kl(&s, &t, 1.0);
+        assert!(l1 < l0);
+    }
+
+    #[test]
+    fn accuracy_counts_argmax() {
+        let logits = Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 0]), 0.0);
+        assert_eq!(accuracy(&logits, &[0, 0]), 0.5);
+    }
+}

@@ -1,0 +1,273 @@
+//! SCVNN–CVNN mutual learning (paper §III-C, Eqs. 3–4).
+//!
+//! Two networks train *simultaneously* on the same samples, each seeing its
+//! own view of the data (the SCVNN student sees the complex-assigned,
+//! halved features; the CVNN teacher sees the full-size real-part
+//! encoding), and each distilling from the other's current predictions:
+//!
+//! ```text
+//! L_SCVNN = L_CE + α · KL(p_CVNN ‖ p_SCVNN)
+//! L_CVNN  = L_CE + α · KL(p_SCVNN ‖ p_CVNN)
+//! ```
+//!
+//! This is Deep Mutual Learning (Zhang et al., CVPR 2018, the paper's
+//! ref. \[25\]) with α = 1.0 in the paper's experiments.
+
+use crate::loss::{cross_entropy, distillation_kl};
+use crate::network::Network;
+use crate::optim::Sgd;
+use crate::trainer::{evaluate, CDataset};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Configuration of a mutual-learning run.
+#[derive(Clone, Copy, Debug)]
+pub struct MutualConfig {
+    /// Distillation mixing factor α (the paper uses 1.0).
+    pub alpha: f32,
+    /// Softmax temperature for the KL term (the paper follows DML: T = 1).
+    pub temperature: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+}
+
+impl Default for MutualConfig {
+    fn default() -> Self {
+        MutualConfig {
+            alpha: 1.0,
+            temperature: 1.0,
+            batch_size: 32,
+        }
+    }
+}
+
+/// Per-epoch losses of the two mutually-learning networks.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MutualEpochStats {
+    /// Mean total loss of the student (CE + α·KD).
+    pub student_loss: f64,
+    /// Mean total loss of the teacher (CE + α·KD).
+    pub teacher_loss: f64,
+}
+
+/// One epoch of mutual learning.
+///
+/// `student_data` and `teacher_data` must contain the *same samples in the
+/// same order* under their two input views (assignment for the student,
+/// real-part encoding for the teacher); labels must agree.
+///
+/// # Panics
+///
+/// Panics if the two datasets disagree in length or labels.
+#[allow(clippy::too_many_arguments)]
+pub fn mutual_train_epoch<R: Rng>(
+    student: &mut Network,
+    teacher: &mut Network,
+    student_data: &CDataset,
+    teacher_data: &CDataset,
+    cfg: &MutualConfig,
+    opt_student: &mut Sgd,
+    opt_teacher: &mut Sgd,
+    rng: &mut R,
+) -> MutualEpochStats {
+    assert_eq!(
+        student_data.len(),
+        teacher_data.len(),
+        "student/teacher datasets must pair the same samples"
+    );
+    assert_eq!(
+        student_data.labels, teacher_data.labels,
+        "student/teacher labels must agree"
+    );
+
+    let mut order: Vec<usize> = (0..student_data.len()).collect();
+    order.shuffle(rng);
+    let mut stats = MutualEpochStats::default();
+    let mut batches = 0usize;
+
+    for chunk in order.chunks(cfg.batch_size) {
+        let (xs, ys) = student_data.gather(chunk);
+        let (xt, _) = teacher_data.gather(chunk);
+
+        // Both networks predict the batch.
+        let zs = student.forward(&xs, true);
+        let zt = teacher.forward(&xt, true);
+
+        // Student loss: CE + alpha * KL(teacher || student).
+        let (ce_s, mut grad_s) = cross_entropy(&zs, &ys);
+        let (kd_s, grad_kd_s) = distillation_kl(&zs, &zt, cfg.temperature);
+        grad_s.add_assign(&grad_kd_s.scale(cfg.alpha));
+
+        // Teacher loss: CE + alpha * KL(student || teacher).
+        let (ce_t, mut grad_t) = cross_entropy(&zt, &ys);
+        let (kd_t, grad_kd_t) = distillation_kl(&zt, &zs, cfg.temperature);
+        grad_t.add_assign(&grad_kd_t.scale(cfg.alpha));
+
+        student.backward(&grad_s);
+        teacher.backward(&grad_t);
+        opt_student.step(&mut |f| student.visit_params(f));
+        opt_teacher.step(&mut |f| teacher.visit_params(f));
+        student.post_step();
+        teacher.post_step();
+
+        stats.student_loss += ce_s + cfg.alpha as f64 * kd_s;
+        stats.teacher_loss += ce_t + cfg.alpha as f64 * kd_t;
+        batches += 1;
+    }
+    stats.student_loss /= batches.max(1) as f64;
+    stats.teacher_loss /= batches.max(1) as f64;
+    stats
+}
+
+/// Full mutual-learning schedule; returns the student's final test
+/// accuracy (the quantity Table III reports).
+#[allow(clippy::too_many_arguments)]
+pub fn mutual_fit<R: Rng>(
+    student: &mut Network,
+    teacher: &mut Network,
+    student_train: &CDataset,
+    teacher_train: &CDataset,
+    student_test: &CDataset,
+    epochs: usize,
+    cfg: &MutualConfig,
+    opt_student: &mut Sgd,
+    opt_teacher: &mut Sgd,
+    rng: &mut R,
+) -> f64 {
+    let (lr_s, lr_t) = (opt_student.lr, opt_teacher.lr);
+    for e in 0..epochs {
+        let decay = if e >= epochs * 3 / 4 {
+            0.25
+        } else if e >= epochs / 2 {
+            0.5
+        } else {
+            1.0
+        };
+        opt_student.lr = lr_s * decay;
+        opt_teacher.lr = lr_t * decay;
+        let _ = mutual_train_epoch(
+            student,
+            teacher,
+            student_train,
+            teacher_train,
+            cfg,
+            opt_student,
+            opt_teacher,
+            rng,
+        );
+    }
+    opt_student.lr = lr_s;
+    opt_teacher.lr = lr_t;
+    evaluate(student, student_test, cfg.batch_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctensor::CTensor;
+    use crate::head::MergeHead;
+    use crate::layers::{CDense, CRelu, CSequential};
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A 2-class problem with two views: the student sees 2 complex
+    /// features (assigned), the teacher sees 4 real-part features.
+    fn paired_datasets(n: usize, seed: u64) -> (CDataset, CDataset) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s_re = Tensor::zeros(&[n, 2]);
+        let mut s_im = Tensor::zeros(&[n, 2]);
+        let mut t_re = Tensor::zeros(&[n, 4]);
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let sign = if class == 0 { 1.0f32 } else { -1.0 };
+            let raw: Vec<f32> = (0..4)
+                .map(|j| sign * (1.0 + j as f32 * 0.1) + rng.gen_range(-0.2..0.2))
+                .collect();
+            // Student view: (raw0 + j raw1, raw2 + j raw3).
+            s_re.as_mut_slice()[i * 2] = raw[0];
+            s_im.as_mut_slice()[i * 2] = raw[1];
+            s_re.as_mut_slice()[i * 2 + 1] = raw[2];
+            s_im.as_mut_slice()[i * 2 + 1] = raw[3];
+            // Teacher view: real parts only.
+            t_re.as_mut_slice()[i * 4..(i + 1) * 4].copy_from_slice(&raw);
+            labels.push(class);
+        }
+        (
+            CDataset::new(CTensor::new(s_re, s_im), labels.clone()),
+            CDataset::new(CTensor::from_re(t_re), labels),
+        )
+    }
+
+    fn small_net(n_in: usize, seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let body = CSequential::new()
+            .push(CDense::new(n_in, 8, &mut rng))
+            .push(CRelu::new())
+            .push(CDense::new(8, 4, &mut rng));
+        Network::new(body, Box::new(MergeHead::new()))
+    }
+
+    #[test]
+    fn mutual_training_learns_both_models() {
+        let (s_train, t_train) = paired_datasets(128, 1);
+        let (s_test, t_test) = paired_datasets(64, 2);
+        let mut student = small_net(2, 3);
+        let mut teacher = small_net(4, 4);
+        let cfg = MutualConfig::default();
+        let mut opt_s = Sgd::with_momentum(0.05, 0.9, 0.0);
+        let mut opt_t = Sgd::with_momentum(0.05, 0.9, 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let acc_s = mutual_fit(
+            &mut student, &mut teacher, &s_train, &t_train, &s_test, 15, &cfg, &mut opt_s,
+            &mut opt_t, &mut rng,
+        );
+        assert!(acc_s > 0.9, "student accuracy only {acc_s}");
+        let acc_t = evaluate(&mut teacher, &t_test, 16);
+        assert!(acc_t > 0.9, "teacher accuracy only {acc_t}");
+    }
+
+    #[test]
+    fn losses_decrease_over_epochs() {
+        let (s_train, t_train) = paired_datasets(64, 7);
+        let mut student = small_net(2, 8);
+        let mut teacher = small_net(4, 9);
+        let cfg = MutualConfig {
+            batch_size: 16,
+            ..Default::default()
+        };
+        let mut opt_s = Sgd::with_momentum(0.05, 0.9, 0.0);
+        let mut opt_t = Sgd::with_momentum(0.05, 0.9, 0.0);
+        let mut rng = StdRng::seed_from_u64(10);
+        let first = mutual_train_epoch(
+            &mut student, &mut teacher, &s_train, &t_train, &cfg, &mut opt_s, &mut opt_t,
+            &mut rng,
+        );
+        let mut last = first;
+        for _ in 0..10 {
+            last = mutual_train_epoch(
+                &mut student, &mut teacher, &s_train, &t_train, &cfg, &mut opt_s, &mut opt_t,
+                &mut rng,
+            );
+        }
+        assert!(last.student_loss < first.student_loss);
+        assert!(last.teacher_loss < first.teacher_loss);
+    }
+
+    #[test]
+    #[should_panic(expected = "must pair the same samples")]
+    fn rejects_mismatched_datasets() {
+        let (s, _) = paired_datasets(10, 1);
+        let (_, t) = paired_datasets(12, 1);
+        let mut student = small_net(2, 1);
+        let mut teacher = small_net(4, 2);
+        let cfg = MutualConfig::default();
+        let mut o1 = Sgd::new(0.1);
+        let mut o2 = Sgd::new(0.1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = mutual_train_epoch(
+            &mut student, &mut teacher, &s, &t, &cfg, &mut o1, &mut o2, &mut rng,
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! Optimisers: SGD with momentum/weight decay, and Adam.
+//!
+//! Optimisers address parameters positionally: the network must visit its
+//! parameters in a stable order across steps (all containers in this crate
+//! do).
+
+use crate::param::Param;
+use crate::tensor::Tensor;
+
+/// Stochastic gradient descent with classical momentum and decoupled
+/// weight decay.
+#[derive(Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f32,
+    /// L2 weight-decay coefficient applied to `decay == true` params.
+    pub weight_decay: f32,
+    /// Optional element-wise gradient clip: gradients are clamped to
+    /// `[-clip, clip]` before the update. Intensity-detection heads square
+    /// the activations, which can occasionally produce gradient spikes;
+    /// clipping keeps long runs stable.
+    pub clip: Option<f32>,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            clip: None,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Creates SGD with momentum and weight decay.
+    pub fn with_momentum(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            clip: None,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Applies one update over every parameter the `visit` callback yields,
+    /// then zeroes the gradients.
+    pub fn step(&mut self, visit: &mut dyn FnMut(&mut dyn FnMut(&mut Param))) {
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let weight_decay = self.weight_decay;
+        let clip = self.clip;
+        let velocity = &mut self.velocity;
+        let mut idx = 0usize;
+        visit(&mut |p: &mut Param| {
+            if velocity.len() <= idx {
+                velocity.push(Tensor::zeros(p.value.shape()));
+            }
+            let v = &mut velocity[idx];
+            assert_eq!(
+                v.shape(),
+                p.value.shape(),
+                "parameter order changed between optimiser steps"
+            );
+            let wd = if p.decay { weight_decay } else { 0.0 };
+            if let Some(c) = clip {
+                for g in p.grad.as_mut_slice() {
+                    if !g.is_finite() {
+                        *g = 0.0;
+                    } else {
+                        *g = g.clamp(-c, c);
+                    }
+                }
+            }
+            for ((vv, &g), w) in v
+                .as_mut_slice()
+                .iter_mut()
+                .zip(p.grad.as_slice())
+                .zip(p.value.as_slice())
+            {
+                *vv = momentum * *vv + g + wd * *w;
+            }
+            for (w, &vv) in p.value.as_mut_slice().iter_mut().zip(v.as_slice()) {
+                *w -= lr * vv;
+            }
+            p.zero_grad();
+            idx += 1;
+        });
+    }
+}
+
+/// Adam optimiser (Kingma & Ba 2015).
+#[derive(Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical stabiliser.
+    pub eps: f32,
+    /// L2 weight decay for `decay == true` params.
+    pub weight_decay: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with the usual defaults.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Applies one update over every parameter the `visit` callback yields,
+    /// then zeroes the gradients.
+    pub fn step(&mut self, visit: &mut dyn FnMut(&mut dyn FnMut(&mut Param))) {
+        self.t += 1;
+        let t = self.t as f32;
+        let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        let bias1 = 1.0 - b1.powf(t);
+        let bias2 = 1.0 - b2.powf(t);
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        let mut idx = 0usize;
+        visit(&mut |p: &mut Param| {
+            if ms.len() <= idx {
+                ms.push(Tensor::zeros(p.value.shape()));
+                vs.push(Tensor::zeros(p.value.shape()));
+            }
+            let m = &mut ms[idx];
+            let v = &mut vs[idx];
+            let decay = if p.decay { wd } else { 0.0 };
+            for i in 0..p.value.numel() {
+                let g = p.grad.as_slice()[i] + decay * p.value.as_slice()[i];
+                let mi = b1 * m.as_slice()[i] + (1.0 - b1) * g;
+                let vi = b2 * v.as_slice()[i] + (1.0 - b2) * g * g;
+                m.as_mut_slice()[i] = mi;
+                v.as_mut_slice()[i] = vi;
+                let mhat = mi / bias1;
+                let vhat = vi / bias2;
+                p.value.as_mut_slice()[i] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            p.zero_grad();
+            idx += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(x0: f32) -> Param {
+        Param::new(Tensor::from_vec(&[1], vec![x0]))
+    }
+
+    /// Minimise f(x) = x² with an optimiser; gradient is 2x.
+    fn run_quadratic(step: &mut dyn FnMut(&mut Param), p: &mut Param, iters: usize) {
+        for _ in 0..iters {
+            let x = p.value.as_slice()[0];
+            p.grad.as_mut_slice()[0] = 2.0 * x;
+            step(p);
+        }
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = quadratic_param(5.0);
+        run_quadratic(&mut |p| opt.step(&mut |f| f(p)), &mut p, 100);
+        assert!(p.value.as_slice()[0].abs() < 1e-3);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let mut plain = Sgd::new(0.02);
+        let mut fast = Sgd::with_momentum(0.02, 0.9, 0.0);
+        let mut p1 = quadratic_param(5.0);
+        let mut p2 = quadratic_param(5.0);
+        run_quadratic(&mut |p| plain.step(&mut |f| f(p)), &mut p1, 30);
+        run_quadratic(&mut |p| fast.step(&mut |f| f(p)), &mut p2, 30);
+        assert!(p2.value.as_slice()[0].abs() < p1.value.as_slice()[0].abs());
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params_without_gradient() {
+        let mut opt = Sgd::with_momentum(0.1, 0.0, 0.5);
+        let mut p = quadratic_param(1.0);
+        // No task gradient: decay alone should shrink the weight.
+        for _ in 0..10 {
+            opt.step(&mut |f| f(&mut p));
+        }
+        assert!(p.value.as_slice()[0] < 1.0);
+        assert!(p.value.as_slice()[0] > 0.0);
+    }
+
+    #[test]
+    fn no_decay_params_are_exempt() {
+        let mut opt = Sgd::with_momentum(0.1, 0.0, 0.5);
+        let mut p = Param::new_no_decay(Tensor::from_vec(&[1], vec![1.0]));
+        for _ in 0..10 {
+            opt.step(&mut |f| f(&mut p));
+        }
+        assert_eq!(p.value.as_slice()[0], 1.0);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.2);
+        let mut p = quadratic_param(5.0);
+        run_quadratic(&mut |p| opt.step(&mut |f| f(p)), &mut p, 200);
+        assert!(p.value.as_slice()[0].abs() < 1e-2);
+    }
+
+    #[test]
+    fn clipping_bounds_the_update() {
+        let mut opt = Sgd::new(1.0);
+        opt.clip = Some(0.5);
+        let mut p = quadratic_param(0.0);
+        p.grad.as_mut_slice()[0] = 100.0;
+        opt.step(&mut |f| f(&mut p));
+        assert!((p.value.as_slice()[0] + 0.5).abs() < 1e-6);
+        // Non-finite gradients are dropped entirely.
+        p.grad.as_mut_slice()[0] = f32::NAN;
+        opt.step(&mut |f| f(&mut p));
+        assert!(p.value.as_slice()[0].is_finite());
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = quadratic_param(1.0);
+        p.grad.as_mut_slice()[0] = 3.0;
+        opt.step(&mut |f| f(&mut p));
+        assert_eq!(p.grad.as_slice()[0], 0.0);
+    }
+}

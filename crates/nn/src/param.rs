@@ -1,0 +1,69 @@
+//! Trainable parameters.
+
+use crate::tensor::Tensor;
+
+/// One trainable parameter: its value and accumulated gradient.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// Whether weight decay applies (biases and batch-norm affine
+    /// parameters conventionally opt out).
+    pub decay: bool,
+}
+
+impl Param {
+    /// Wraps a tensor as a trainable parameter with a zero gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param {
+            value,
+            grad,
+            decay: true,
+        }
+    }
+
+    /// Wraps a tensor as a parameter exempt from weight decay.
+    pub fn new_no_decay(value: Tensor) -> Self {
+        let mut p = Param::new(value);
+        p.decay = false;
+        p
+    }
+
+    /// Resets the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.zero_();
+    }
+}
+
+/// Object-safe visitor used by layers to expose their parameters to the
+/// optimiser in a stable order.
+pub type ParamVisitor<'a> = dyn FnMut(&mut Param) + 'a;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::full(&[2, 2], 1.0));
+        assert_eq!(p.grad.sum(), 0.0);
+        assert!(p.decay);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::full(&[2], 1.0));
+        p.grad.as_mut_slice()[0] = 5.0;
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn no_decay_flag() {
+        let p = Param::new_no_decay(Tensor::zeros(&[1]));
+        assert!(!p.decay);
+    }
+}

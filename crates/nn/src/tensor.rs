@@ -1,0 +1,364 @@
+//! A minimal dense `f32` tensor.
+//!
+//! The training side of the reproduction works in single precision (as GPU
+//! training would) and only ever needs contiguous row-major storage with
+//! rank ≤ 4 (`[batch, channel, height, width]` for images, `[batch,
+//! features]` for dense layers).
+
+use rand::Rng;
+
+/// A dense row-major tensor of `f32` values.
+///
+/// # Example
+///
+/// ```
+/// use oplix_nn::tensor::Tensor;
+///
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.numel(), 6);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// A tensor filled with a constant.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; shape.iter().product()],
+        }
+    }
+
+    /// Builds a tensor from raw data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "data length does not match shape {shape:?}"
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// I.i.d. uniform samples in `[-scale, scale)`.
+    pub fn random_uniform<R: Rng>(shape: &[usize], scale: f32, rng: &mut R) -> Self {
+        let n: usize = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: (0..n).map(|_| rng.gen_range(-scale..scale)).collect(),
+        }
+    }
+
+    /// Kaiming-style uniform initialisation for a parameter with the given
+    /// fan-in: `U(-1/√fan_in, 1/√fan_in)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fan_in == 0`.
+    pub fn kaiming_uniform<R: Rng>(shape: &[usize], fan_in: usize, rng: &mut R) -> Self {
+        assert!(fan_in > 0, "fan_in must be positive");
+        let scale = 1.0 / (fan_in as f32).sqrt();
+        Self::random_uniform(shape, scale, rng)
+    }
+
+    /// The shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Immutable view of the flat data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            self.numel(),
+            shape.iter().product::<usize>(),
+            "reshape cannot change the element count"
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
+    }
+
+    /// Element-wise in-place addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, rhs: &Tensor) {
+        assert_eq!(self.shape, rhs.shape, "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise sum, returning a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add(&self, rhs: &Tensor) -> Tensor {
+        let mut out = self.clone();
+        out.add_assign(rhs);
+        out
+    }
+
+    /// Element-wise difference, returning a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn sub(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape, rhs.shape, "sub shape mismatch");
+        let mut out = self.clone();
+        for (a, &b) in out.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+        out
+    }
+
+    /// Element-wise product, returning a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn mul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape, rhs.shape, "mul shape mismatch");
+        let mut out = self.clone();
+        for (a, &b) in out.data.iter_mut().zip(&rhs.data) {
+            *a *= b;
+        }
+        out
+    }
+
+    /// Multiplies every element by a scalar, in place.
+    pub fn scale_in_place(&mut self, k: f32) {
+        for a in &mut self.data {
+            *a *= k;
+        }
+    }
+
+    /// Multiplies every element by a scalar, returning a new tensor.
+    pub fn scale(&self, k: f32) -> Tensor {
+        let mut out = self.clone();
+        out.scale_in_place(k);
+        out
+    }
+
+    /// Applies a function element-wise, returning a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Fills the tensor with zeros.
+    pub fn zero_(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Sum of all elements (in `f64` for stability).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&v| v as f64).sum()
+    }
+
+    /// Maximum absolute element, or 0 for an empty tensor.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// 2-D matrix product: `self` is `[m, k]`, `rhs` is `[k, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are rank 2 with matching inner dimension.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be rank 2");
+        assert_eq!(rhs.shape.len(), 2, "matmul rhs must be rank 2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "matmul inner dimension mismatch");
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for t in 0..k {
+                let a = self.data[i * k + t];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[t * n..(t + 1) * n];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// 2-D transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is rank 2.
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose2 requires rank 2");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = Tensor::zeros(&[n, m]);
+        for i in 0..m {
+            for j in 0..n {
+                out.data[j * m + i] = self.data[i * n + j];
+            }
+        }
+        out
+    }
+
+    /// Flat element access for rank-2 tensors.
+    #[inline]
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// Flat element access for rank-4 tensors `[n, c, h, w]`.
+    #[inline]
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 4);
+        let (cc, hh, ww) = (self.shape[1], self.shape[2], self.shape[3]);
+        self.data[((n * cc + c) * hh + h) * ww + w]
+    }
+
+    /// Mutable flat element access for rank-4 tensors.
+    #[inline]
+    pub fn at4_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        debug_assert_eq!(self.shape.len(), 4);
+        let (cc, hh, ww) = (self.shape[1], self.shape[2], self.shape[3]);
+        &mut self.data[((n * cc + c) * hh + h) * ww + w]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_shape() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.numel(), 24);
+        let u = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(u.at2(1, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_checks_length() {
+        let _ = Tensor::from_vec(&[2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(&[2, 2], vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_with_identity() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut id = Tensor::zeros(&[3, 3]);
+        for i in 0..3 {
+            id.as_mut_slice()[i * 3 + i] = 1.0;
+        }
+        assert_eq!(a.matmul(&id), a);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::random_uniform(&[3, 5], 1.0, &mut rng);
+        assert_eq!(a.transpose2().transpose2(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(&[2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec(&[2], vec![3.0, 5.0]);
+        assert_eq!(a.add(&b).as_slice(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).as_slice(), &[3.0, 10.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!(a.map(|v| v * v).as_slice(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_vec(&[3], vec![-4.0, 1.0, 2.0]);
+        assert_eq!(a.sum(), -1.0);
+        assert_eq!(a.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn kaiming_scale_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Tensor::kaiming_uniform(&[100], 25, &mut rng);
+        assert!(t.max_abs() <= 0.2);
+        assert!(t.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn at4_layout() {
+        let t = Tensor::from_vec(&[1, 2, 2, 2], (0..8).map(|v| v as f32).collect());
+        assert_eq!(t.at4(0, 1, 1, 0), 6.0);
+        assert_eq!(t.at4(0, 0, 1, 1), 3.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let r = t.reshape(&[4]);
+        assert_eq!(r.as_slice(), t.as_slice());
+    }
+}

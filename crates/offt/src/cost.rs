@@ -1,0 +1,171 @@
+//! Optical device cost model of the OFFT architecture.
+//!
+//! Fig. 7 of the OplixNet paper compares #DC and #PS between OplixNet and
+//! OFFT, both normalised to the original (dense SVD) ONN. The OplixNet side
+//! uses the exact MZI formula; for OFFT we model the structure of Gu et al.
+//! (ASP-DAC 2020) with explicitly documented assumptions:
+//!
+//! * Each `k×k` circulant block owns a dedicated engine — a `k`-point OFFT,
+//!   `k` spectral multipliers, and a `k`-point OIFFT — so the layer keeps
+//!   the single-pass throughput of the dense mesh (no time-multiplexed
+//!   hardware sharing across blocks).
+//! * A `k`-point optical FFT contains `(k/2)·log2(k)` 2×2 butterflies; each
+//!   butterfly is realised by the **same MZI structure as the main
+//!   comparison (2 DCs + 1 PS)**, as §IV of the paper prescribes for
+//!   fairness.
+//! * Each spectral multiplier (one complex coefficient) is one attenuating
+//!   MZI (2 DCs + 1 PS) plus one phase shifter.
+
+use serde::{Deserialize, Serialize};
+
+/// Device inventory of an OFFT network, in raw DC/PS counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OfftCost {
+    /// Directional couplers.
+    pub dcs: u64,
+    /// Phase shifters.
+    pub pss: u64,
+    /// Independent real weight parameters.
+    pub params: u64,
+}
+
+impl OfftCost {
+    /// Component-wise sum.
+    pub fn plus(&self, other: &OfftCost) -> OfftCost {
+        OfftCost {
+            dcs: self.dcs + other.dcs,
+            pss: self.pss + other.pss,
+            params: self.params + other.params,
+        }
+    }
+}
+
+/// The documented OFFT cost model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OfftCostModel {
+    /// Circulant block size (power of two).
+    pub block_size: u64,
+}
+
+impl OfftCostModel {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is not a power of two greater than 1.
+    pub fn new(block_size: u64) -> Self {
+        assert!(
+            block_size.is_power_of_two() && block_size > 1,
+            "block size must be a power of two > 1"
+        );
+        OfftCostModel { block_size }
+    }
+
+    /// Butterflies in one `k`-point FFT: `(k/2)·log2(k)`.
+    pub fn butterflies_per_fft(&self) -> u64 {
+        let k = self.block_size;
+        (k / 2) * k.trailing_zeros() as u64
+    }
+
+    /// Cost of one `m×n` OFFT layer.
+    pub fn layer_cost(&self, m: u64, n: u64) -> OfftCost {
+        let k = self.block_size;
+        let mb = m.div_ceil(k);
+        let nb = n.div_ceil(k);
+        let blocks = mb * nb;
+        // Per block: OFFT + OIFFT butterflies, each an MZI (2 DC + 1 PS),
+        // plus k spectral multipliers (one attenuating MZI + one PS each).
+        let butterflies = 2 * self.butterflies_per_fft();
+        let dcs_per_block = butterflies * 2 + k * 2;
+        let pss_per_block = butterflies + k * 2;
+        OfftCost {
+            dcs: blocks * dcs_per_block,
+            pss: blocks * pss_per_block,
+            params: blocks * k + m, // circulant params + biases
+        }
+    }
+
+    /// Cost of a whole OFFT MLP described by its layer widths
+    /// (e.g. `[784, 400, 10]`).
+    pub fn network_cost(&self, widths: &[u64]) -> OfftCost {
+        widths
+            .windows(2)
+            .map(|w| self.layer_cost(w[1], w[0]))
+            .fold(OfftCost::default(), |a, b| a.plus(&b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn butterfly_counts() {
+        assert_eq!(OfftCostModel::new(2).butterflies_per_fft(), 1);
+        assert_eq!(OfftCostModel::new(4).butterflies_per_fft(), 4);
+        assert_eq!(OfftCostModel::new(8).butterflies_per_fft(), 12);
+        assert_eq!(OfftCostModel::new(16).butterflies_per_fft(), 32);
+    }
+
+    #[test]
+    fn layer_cost_scales_with_blocks() {
+        let model = OfftCostModel::new(8);
+        let small = model.layer_cost(8, 8);
+        let big = model.layer_cost(16, 16);
+        assert_eq!(big.dcs, 4 * small.dcs);
+        // Params include biases: blocks*k + m.
+        assert_eq!(small.params, 8 + 8);
+        assert_eq!(big.params, 4 * 8 + 16);
+    }
+
+    #[test]
+    fn offt_severely_compresses_parameters() {
+        // Model1 layer 1: 400 x 784 dense has 313 600 weights; OFFT k=8
+        // keeps 50*98*8 = 39 200.
+        let model = OfftCostModel::new(8);
+        let cost = model.layer_cost(400, 784);
+        assert_eq!(cost.params, 50 * 98 * 8 + 400);
+        assert!(cost.params < 313_600 / 7);
+    }
+
+    #[test]
+    fn network_cost_sums_layers() {
+        let model = OfftCostModel::new(8);
+        let net = model.network_cost(&[784, 400, 10]);
+        let l1 = model.layer_cost(400, 784);
+        let l2 = model.layer_cost(10, 400);
+        assert_eq!(net, l1.plus(&l2));
+    }
+
+    #[test]
+    fn fig7_shape_offt_uses_more_devices_than_oplixnet() {
+        // OplixNet Model1 (complex 392-200 + merge 20x200):
+        // mzi(200,392) + mzi(20,200) MZIs -> x2 DCs, x1 PSs.
+        let oplix_mzis = oplix_photonics_mzi(200, 392) + oplix_photonics_mzi(20, 200);
+        let oplix_dcs = 2 * oplix_mzis;
+        let oplix_pss = oplix_mzis;
+        let offt = OfftCostModel::new(8).network_cost(&[784, 400, 16]);
+        assert!(
+            offt.dcs > oplix_dcs,
+            "OFFT DCs {} must exceed OplixNet {}",
+            offt.dcs,
+            oplix_dcs
+        );
+        assert!(offt.pss > oplix_pss);
+        // ...but OFFT holds far fewer parameters.
+        let oplix_params = 2 * (392 * 200 + 200 + 200 * 20 + 20);
+        assert!(offt.params < oplix_params as u64 / 2);
+    }
+
+    /// Local copy of the MZI formula to keep this crate free of a photonics
+    /// dependency cycle in tests.
+    fn oplix_photonics_mzi(m: u64, n: u64) -> u64 {
+        n * (n - 1) / 2 + m.min(n) + m * (m - 1) / 2
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = OfftCostModel::new(6);
+    }
+}

@@ -1,0 +1,370 @@
+//! The trainable block-circulant (OFFT) dense layer.
+
+use oplix_nn::ctensor::CTensor;
+use oplix_nn::layers::CLayer;
+use oplix_nn::param::{Param, ParamVisitor};
+use oplix_nn::tensor::Tensor;
+use rand::Rng;
+
+/// A real block-circulant dense layer `y = C x + b`.
+///
+/// The logical `m×n` weight is padded to multiples of the block size `k`
+/// and tiled into circulant blocks; block `(i, j)` is parameterised by `k`
+/// real values `w[i][j][·]` with `C_block = circ(w)`, so the block's action
+/// is the circular convolution `y_i += w_ij ⊛ x_j`.
+///
+/// The layer is real-valued (as in the OFFT paper); applied to a complex
+/// input it acts on the real and imaginary parts independently.
+#[derive(Debug)]
+pub struct OfftDense {
+    n_in: usize,
+    n_out: usize,
+    k: usize,
+    nb: usize,
+    mb: usize,
+    /// Circulant parameters, shape `[mb, nb, k]`.
+    w: Param,
+    /// Bias, shape `[n_out]`.
+    b: Param,
+    cache: Option<CTensor>,
+}
+
+impl OfftDense {
+    /// Creates a block-circulant layer with block size `k` (the OFFT paper
+    /// uses small powers of two; our Fig. 7 harness uses 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or either dimension is zero.
+    pub fn new<R: Rng>(n_in: usize, n_out: usize, k: usize, rng: &mut R) -> Self {
+        assert!(k > 0, "block size must be positive");
+        assert!(n_in > 0 && n_out > 0, "layer dimensions must be positive");
+        let nb = n_in.div_ceil(k);
+        let mb = n_out.div_ceil(k);
+        // Fan-in per output element is n_in (each output touches every
+        // input once through its row of circulant blocks).
+        let w = Param::new(Tensor::kaiming_uniform(&[mb, nb, k], n_in, rng));
+        OfftDense {
+            n_in,
+            n_out,
+            k,
+            nb,
+            mb,
+            w,
+            b: Param::new_no_decay(Tensor::zeros(&[n_out])),
+            cache: None,
+        }
+    }
+
+    /// Logical input width.
+    pub fn n_in(&self) -> usize {
+        self.n_in
+    }
+
+    /// Logical output width.
+    pub fn n_out(&self) -> usize {
+        self.n_out
+    }
+
+    /// Block size.
+    pub fn block_size(&self) -> usize {
+        self.k
+    }
+
+    /// `(block_rows, block_cols)` of the padded weight.
+    pub fn blocks(&self) -> (usize, usize) {
+        (self.mb, self.nb)
+    }
+
+    /// Number of independent real parameters (the Fig. 7 `#Para` metric).
+    pub fn param_count(&self) -> usize {
+        self.mb * self.nb * self.k + self.n_out
+    }
+
+    /// Reconstructs the full (padded) dense matrix this layer implements —
+    /// a test/deployment helper, `[mb·k, nb·k]`.
+    pub fn to_dense(&self) -> Tensor {
+        let (mb, nb, k) = (self.mb, self.nb, self.k);
+        let mut dense = Tensor::zeros(&[mb * k, nb * k]);
+        for bi in 0..mb {
+            for bj in 0..nb {
+                let base = (bi * nb + bj) * k;
+                for p in 0..k {
+                    for q in 0..k {
+                        // circ(w)[p][q] = w[(p - q) mod k]
+                        let widx = (p + k - q) % k;
+                        let v = self.w.value.as_slice()[base + widx];
+                        dense.as_mut_slice()[(bi * k + p) * nb * k + bj * k + q] = v;
+                    }
+                }
+            }
+        }
+        dense
+    }
+
+    /// Applies the block-circulant product to one padded real vector.
+    fn apply_real(&self, x_pad: &[f32], y_pad: &mut [f32]) {
+        let (mb, nb, k) = (self.mb, self.nb, self.k);
+        for bi in 0..mb {
+            let yb = &mut y_pad[bi * k..(bi + 1) * k];
+            for bj in 0..nb {
+                let wb = &self.w.value.as_slice()[(bi * nb + bj) * k..(bi * nb + bj + 1) * k];
+                let xb = &x_pad[bj * k..(bj + 1) * k];
+                // y[p] += sum_q w[(p-q) mod k] * x[q]
+                for p in 0..k {
+                    let mut acc = 0.0f32;
+                    for q in 0..k {
+                        acc += wb[(p + k - q) % k] * xb[q];
+                    }
+                    yb[p] += acc;
+                }
+            }
+        }
+    }
+
+    fn pad_batch(&self, x: &Tensor) -> Vec<f32> {
+        let (batch, n) = (x.shape()[0], x.shape()[1]);
+        let np = self.nb * self.k;
+        let mut out = vec![0.0f32; batch * np];
+        for i in 0..batch {
+            out[i * np..i * np + n].copy_from_slice(&x.as_slice()[i * n..(i + 1) * n]);
+        }
+        out
+    }
+}
+
+impl CLayer for OfftDense {
+    fn forward(&mut self, x: &CTensor, train: bool) -> CTensor {
+        assert_eq!(x.shape().len(), 2, "OfftDense expects [batch, features]");
+        assert_eq!(x.shape()[1], self.n_in, "OfftDense fan-in mismatch");
+        if train {
+            self.cache = Some(x.clone());
+        }
+        let batch = x.shape()[0];
+        let (np, mp) = (self.nb * self.k, self.mb * self.k);
+        let xr = self.pad_batch(&x.re);
+        let xi = self.pad_batch(&x.im);
+        let mut y_re = Tensor::zeros(&[batch, self.n_out]);
+        let mut y_im = Tensor::zeros(&[batch, self.n_out]);
+        let mut buf = vec![0.0f32; mp];
+        for i in 0..batch {
+            buf.fill(0.0);
+            self.apply_real(&xr[i * np..(i + 1) * np], &mut buf);
+            for j in 0..self.n_out {
+                y_re.as_mut_slice()[i * self.n_out + j] = buf[j] + self.b.value.as_slice()[j];
+            }
+            buf.fill(0.0);
+            self.apply_real(&xi[i * np..(i + 1) * np], &mut buf);
+            for j in 0..self.n_out {
+                y_im.as_mut_slice()[i * self.n_out + j] = buf[j];
+            }
+        }
+        CTensor::new(y_re, y_im)
+    }
+
+    fn backward(&mut self, dy: &CTensor) -> CTensor {
+        let x = self.cache.take().expect("backward called before forward(train=true)");
+        let batch = x.shape()[0];
+        let (mb, nb, k) = (self.mb, self.nb, self.k);
+        let (np, mp) = (nb * k, mb * k);
+
+        let xr = self.pad_batch(&x.re);
+        let xi = self.pad_batch(&x.im);
+        // Pad output grads to mp.
+        let pad_dy = |t: &Tensor| {
+            let mut out = vec![0.0f32; batch * mp];
+            for i in 0..batch {
+                out[i * mp..i * mp + self.n_out]
+                    .copy_from_slice(&t.as_slice()[i * self.n_out..(i + 1) * self.n_out]);
+            }
+            out
+        };
+        let gr = pad_dy(&dy.re);
+        let gi = pad_dy(&dy.im);
+
+        let mut dx_re = Tensor::zeros(&[batch, self.n_in]);
+        let mut dx_im = Tensor::zeros(&[batch, self.n_in]);
+        let mut dxp = vec![0.0f32; np];
+
+        for i in 0..batch {
+            // dw[bi][bj][r] += sum_p dy[bi*k+p] * x[bj*k + (p - r) mod k]
+            // dx[bj*k+q]    += sum_p dy[bi*k+p] * w[(p - q) mod k]
+            for (grad_slice, x_slice, dx_t) in [
+                (&gr[i * mp..(i + 1) * mp], &xr[i * np..(i + 1) * np], &mut dx_re),
+                (&gi[i * mp..(i + 1) * mp], &xi[i * np..(i + 1) * np], &mut dx_im),
+            ] {
+                dxp.fill(0.0);
+                for bi in 0..mb {
+                    let g = &grad_slice[bi * k..(bi + 1) * k];
+                    for bj in 0..nb {
+                        let widx = (bi * nb + bj) * k;
+                        let xb = &x_slice[bj * k..(bj + 1) * k];
+                        let dw = &mut self.w.grad.as_mut_slice()[widx..widx + k];
+                        let wv = &self.w.value.as_slice()[widx..widx + k];
+                        for p in 0..k {
+                            let gp = g[p];
+                            if gp == 0.0 {
+                                continue;
+                            }
+                            for r in 0..k {
+                                dw[r] += gp * xb[(p + k - r) % k];
+                            }
+                            let dxb = &mut dxp[bj * k..(bj + 1) * k];
+                            for q in 0..k {
+                                dxb[q] += gp * wv[(p + k - q) % k];
+                            }
+                        }
+                    }
+                }
+                dx_t.as_mut_slice()[i * self.n_in..(i + 1) * self.n_in]
+                    .copy_from_slice(&dxp[..self.n_in]);
+            }
+            // Bias: real gradient only (bias is real-valued).
+            for j in 0..self.n_out {
+                self.b.grad.as_mut_slice()[j] += dy.re.at2(i, j);
+            }
+        }
+        CTensor::new(dx_re, dx_im)
+    }
+
+    fn visit_params(&mut self, visitor: &mut ParamVisitor) {
+        visitor(&mut self.w);
+        visitor(&mut self.b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_matches_dense_reconstruction() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = OfftDense::new(8, 8, 4, &mut rng);
+        let x = CTensor::from_re(Tensor::random_uniform(&[2, 8], 1.0, &mut rng));
+        let y = layer.forward(&x, false);
+        let dense = layer.to_dense();
+        for i in 0..2 {
+            for p in 0..8 {
+                let mut acc = layer.b.value.as_slice()[p];
+                for q in 0..8 {
+                    acc += dense.at2(p, q) * x.re.at2(i, q);
+                }
+                assert!(
+                    (y.re.at2(i, p) - acc).abs() < 1e-4,
+                    "row {p}: {} vs {acc}",
+                    y.re.at2(i, p)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn handles_non_multiple_dimensions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = OfftDense::new(10, 6, 4, &mut rng);
+        assert_eq!(layer.blocks(), (2, 3));
+        let x = CTensor::from_re(Tensor::random_uniform(&[3, 10], 1.0, &mut rng));
+        let y = layer.forward(&x, false);
+        assert_eq!(y.shape(), &[3, 6]);
+    }
+
+    #[test]
+    fn param_count_is_compressed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = OfftDense::new(64, 32, 8, &mut rng);
+        // 4 x 8 blocks x 8 params + 32 biases = 288 vs dense 64*32 = 2048.
+        assert_eq!(layer.param_count(), 4 * 8 * 8 + 32);
+        assert!(layer.param_count() < 64 * 32 / 4);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut layer = OfftDense::new(6, 6, 3, &mut rng);
+        let x = CTensor::from_re(Tensor::random_uniform(&[2, 6], 1.0, &mut rng));
+        let y = layer.forward(&x, true);
+        let dy = CTensor::new(Tensor::full(y.shape(), 1.0), Tensor::zeros(y.shape()));
+        let dx = layer.backward(&dy);
+
+        let loss = |layer: &mut OfftDense, x: &CTensor| {
+            let y = layer.forward(x, false);
+            y.re.sum()
+        };
+        let eps = 1e-3f32;
+        for idx in 0..layer.w.value.numel() {
+            let analytic = layer.w.grad.as_slice()[idx];
+            layer.w.value.as_mut_slice()[idx] += eps;
+            let lp = loss(&mut layer, &x);
+            layer.w.value.as_mut_slice()[idx] -= 2.0 * eps;
+            let lm = loss(&mut layer, &x);
+            layer.w.value.as_mut_slice()[idx] += eps;
+            let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!((analytic - fd).abs() < 2e-2, "w idx {idx}: {analytic} vs {fd}");
+        }
+        for idx in 0..6 {
+            let mut xp = x.clone();
+            xp.re.as_mut_slice()[idx] += eps;
+            let lp = loss(&mut layer, &xp);
+            let mut xm = x.clone();
+            xm.re.as_mut_slice()[idx] -= eps;
+            let lm = loss(&mut layer, &xm);
+            let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!((dx.re.as_slice()[idx] - fd).abs() < 2e-2, "x idx {idx}");
+        }
+    }
+
+    #[test]
+    fn circulant_structure_shift_property() {
+        // A circulant block commutes with cyclic shifts: C(shift(x)) =
+        // shift(C(x)) within one block.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut layer = OfftDense::new(4, 4, 4, &mut rng);
+        layer.b.value.zero_();
+        let x: Vec<f32> = (0..4).map(|v| v as f32 + 1.0).collect();
+        let shifted: Vec<f32> = (0..4).map(|q| x[(q + 3) % 4]).collect();
+        let run = |layer: &mut OfftDense, v: &[f32]| {
+            let x = CTensor::from_re(Tensor::from_vec(&[1, 4], v.to_vec()));
+            layer.forward(&x, false).re
+        };
+        let y = run(&mut layer, &x);
+        let ys = run(&mut layer, &shifted);
+        for p in 0..4 {
+            assert!((ys.at2(0, p) - y.at2(0, (p + 3) % 4)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn trains_on_toy_problem() {
+        use oplix_nn::head::ReHead;
+        use oplix_nn::layers::{CRelu, CSequential};
+        use oplix_nn::network::Network;
+        use oplix_nn::optim::Sgd;
+        use oplix_nn::trainer::{fit, CDataset};
+
+        let mut rng = StdRng::seed_from_u64(6);
+        let body = CSequential::new()
+            .push(OfftDense::new(4, 8, 4, &mut rng))
+            .push(CRelu::new())
+            .push(OfftDense::new(8, 2, 2, &mut rng));
+        let mut net = Network::new(body, Box::new(ReHead::new()));
+
+        let mut re = Tensor::zeros(&[32, 4]);
+        let mut labels = Vec::new();
+        for i in 0..32 {
+            let class = i % 2;
+            let sign = if class == 0 { 1.0 } else { -1.0f32 };
+            for j in 0..4 {
+                re.as_mut_slice()[i * 4 + j] =
+                    sign * (j as f32 * 0.2 + 0.5) + rng.gen_range(-0.1..0.1);
+            }
+            labels.push(class);
+        }
+        let data = CDataset::new(CTensor::from_re(re), labels);
+        let mut opt = Sgd::with_momentum(0.05, 0.9, 0.0);
+        let acc = fit(&mut net, &data, &data, 30, 8, &mut opt, &mut rng, false);
+        assert!(acc > 0.9, "accuracy only {acc}");
+    }
+}

@@ -1,0 +1,20 @@
+//! OFFT: the FFT-based area-efficient ONN baseline of Gu et al.
+//! (ASP-DAC 2020) — the comparator of the paper's Fig. 7.
+//!
+//! OFFT replaces each dense optical weight matrix with a **block-circulant**
+//! matrix: the `m×n` weight is tiled into `k×k` circulant blocks, each
+//! parameterised by only `k` values, and each block's matrix–vector product
+//! is a circular convolution realisable with optical FFT (butterfly)
+//! modules instead of a full MZI mesh.
+//!
+//! * [`layer`] — the trainable block-circulant layer (forward + backward).
+//! * [`cost`] — the DC/PS/parameter cost model used for Fig. 7
+//!   (assumptions documented on [`cost::OfftCostModel`]).
+//! * [`model`] — OFFT-FCNN builders for the four Fig. 7 configurations.
+
+pub mod cost;
+pub mod layer;
+pub mod model;
+
+pub use cost::OfftCostModel;
+pub use layer::OfftDense;

@@ -1,0 +1,84 @@
+//! OFFT-FCNN builders for the Fig. 7 comparison.
+
+use crate::cost::{OfftCost, OfftCostModel};
+use crate::layer::OfftDense;
+use oplix_nn::head::ReHead;
+use oplix_nn::layers::{CRelu, CSequential};
+use oplix_nn::network::Network;
+use rand::Rng;
+
+/// An OFFT multilayer perceptron: block-circulant layers with ReLU between
+/// them and a real logit head (OFFT networks are real-valued).
+pub struct OfftMlp {
+    /// The trainable network.
+    pub net: Network,
+    /// Layer widths including input and output.
+    pub widths: Vec<usize>,
+    /// Block size.
+    pub block_size: usize,
+}
+
+impl OfftMlp {
+    /// Builds an OFFT MLP with the given widths (e.g. `[784, 400, 10]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are supplied.
+    pub fn new<R: Rng>(widths: &[usize], block_size: usize, rng: &mut R) -> Self {
+        assert!(widths.len() >= 2, "need at least input and output widths");
+        let mut body = CSequential::new();
+        for (i, w) in widths.windows(2).enumerate() {
+            body.add(Box::new(OfftDense::new(w[0], w[1], block_size, rng)));
+            if i + 2 < widths.len() {
+                body.add(Box::new(CRelu::new()));
+            }
+        }
+        OfftMlp {
+            net: Network::new(body, Box::new(ReHead::new())),
+            widths: widths.to_vec(),
+            block_size,
+        }
+    }
+
+    /// Device and parameter cost under the documented model.
+    pub fn cost(&self) -> OfftCost {
+        let widths: Vec<u64> = self.widths.iter().map(|&w| w as u64).collect();
+        OfftCostModel::new(self.block_size as u64).network_cost(&widths)
+    }
+}
+
+impl std::fmt::Debug for OfftMlp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OfftMlp(widths={:?}, k={})", self.widths, self.block_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oplix_nn::ctensor::CTensor;
+    use oplix_nn::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builds_and_runs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mlp = OfftMlp::new(&[16, 12, 4], 4, &mut rng);
+        let x = CTensor::from_re(Tensor::random_uniform(&[2, 16], 1.0, &mut rng));
+        let logits = mlp.net.forward(&x, false);
+        assert_eq!(logits.shape(), &[2, 4]);
+    }
+
+    #[test]
+    fn cost_matches_model() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mlp = OfftMlp::new(&[784, 400, 10], 8, &mut rng);
+        let cost = mlp.cost();
+        assert_eq!(
+            cost,
+            OfftCostModel::new(8).network_cost(&[784, 400, 10])
+        );
+        assert!(cost.params > 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Physical-area model.
+//!
+//! The paper deliberately reports area as device counts ("Due to various
+//! computation methods for the optical network area, we utilize the number
+//! of MZIs rather than the actual physical area"). For users who want a
+//! rough physical figure we additionally provide a configurable footprint
+//! model with defaults representative of the silicon-photonic platforms
+//! cited by the paper (Shen 2017 \[10\], Zhang 2021 \[16\]).
+
+use crate::count::DeviceCount;
+
+/// Per-device footprints in square micrometres.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AreaModel {
+    /// Footprint of one MZI (2 DCs + thermal PSs + routing), µm².
+    pub mzi_um2: f64,
+    /// Footprint of a standalone directional coupler, µm².
+    pub dc_um2: f64,
+    /// Footprint of a standalone thermo-optic phase shifter, µm².
+    pub ps_um2: f64,
+    /// Footprint of a high-speed input modulator, µm².
+    pub modulator_um2: f64,
+    /// Footprint of a germanium photodiode, µm².
+    pub photodiode_um2: f64,
+}
+
+impl AreaModel {
+    /// Representative silicon-photonics footprints: an MZI of roughly
+    /// 300 µm × 50 µm, DCs of 40 µm × 25 µm, thermal PSs of 100 µm × 25 µm,
+    /// depletion modulators of 500 µm × 25 µm and compact Ge photodiodes.
+    pub fn silicon_photonic_defaults() -> Self {
+        AreaModel {
+            mzi_um2: 300.0 * 50.0,
+            dc_um2: 40.0 * 25.0,
+            ps_um2: 100.0 * 25.0,
+            modulator_um2: 500.0 * 25.0,
+            photodiode_um2: 50.0 * 25.0,
+        }
+    }
+
+    /// Total physical area of a device inventory, in mm².
+    pub fn area_mm2(&self, count: &DeviceCount) -> f64 {
+        let um2 = count.mzis as f64 * self.mzi_um2
+            + count.extra_dcs as f64 * self.dc_um2
+            + count.extra_pss as f64 * self.ps_um2
+            + count.modulators as f64 * self.modulator_um2
+            + count.photodiodes as f64 * self.photodiode_um2;
+        um2 / 1e6
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::silicon_photonic_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_scales_linearly_with_mzis() {
+        let model = AreaModel::default();
+        let a1 = model.area_mm2(&DeviceCount::from_mzis(100));
+        let a2 = model.area_mm2(&DeviceCount::from_mzis(200));
+        assert!((a2 / a1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extras_contribute() {
+        let model = AreaModel::default();
+        let bare = DeviceCount::from_mzis(10);
+        let with_encoder = DeviceCount {
+            extra_dcs: 5,
+            modulators: 10,
+            ..bare
+        };
+        assert!(model.area_mm2(&with_encoder) > model.area_mm2(&bare));
+    }
+
+    #[test]
+    fn empty_count_zero_area() {
+        let model = AreaModel::default();
+        assert_eq!(model.area_mm2(&DeviceCount::default()), 0.0);
+    }
+
+    #[test]
+    fn defaults_are_sane_magnitudes() {
+        // A 31.7e4-MZI network (the paper's original FCNN) should land in
+        // the 1000–10000 mm² range — obviously impractical, which is the
+        // paper's whole motivation.
+        let model = AreaModel::default();
+        let a = model.area_mm2(&DeviceCount::from_mzis(316_991));
+        assert!(a > 1e3 && a < 1e4, "area = {a} mm²");
+    }
+}

@@ -1,0 +1,169 @@
+//! Device counting: the paper's area metric.
+//!
+//! The paper measures area in **number of MZIs** (Table II) and, for the
+//! OFFT comparison (Fig. 7), in **directional couplers and phase
+//! shifters**, with the convention that one MZI contains 2 DCs and 1 PS
+//! (§IV: "we use the same MZI structure, which contains 2 DCs and 1 PS").
+
+use serde::{Deserialize, Serialize};
+
+/// DCs per MZI in the paper's comparison convention.
+pub const DCS_PER_MZI: u64 = 2;
+/// PSs per MZI in the paper's comparison convention.
+pub const PSS_PER_MZI: u64 = 1;
+
+/// Number of MZIs required to implement an `m×n` weight matrix via SVD
+/// (paper §II-A): `n(n−1)/2 + min(m,n) + m(m−1)/2`.
+///
+/// The `min(m,n)` middle term is the diagonal Σ stage, realised with one
+/// MZI-based attenuator per singular value.
+///
+/// # Example
+///
+/// ```
+/// use oplix_photonics::count::mzi_count;
+///
+/// // The paper's FCNN layer 100×784:
+/// assert_eq!(mzi_count(100, 784), 784 * 783 / 2 + 100 + 100 * 99 / 2);
+/// ```
+pub fn mzi_count(m: u64, n: u64) -> u64 {
+    n * (n - 1) / 2 + m.min(n) + m * (m - 1) / 2
+}
+
+/// Number of MZIs in a single `k×k` unitary mesh: `k(k−1)/2`.
+pub fn unitary_mzi_count(k: u64) -> u64 {
+    k * (k - 1) / 2
+}
+
+/// An aggregated optical device inventory.
+///
+/// `extra_dcs`/`extra_pss`/`extra_modulators` account for devices outside
+/// the MZI meshes — e.g. the DC of the proposed complex encoder, or the PS
+/// of the PS-based encoder.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceCount {
+    /// MZIs inside the weight meshes (including Σ attenuator MZIs).
+    pub mzis: u64,
+    /// Directional couplers outside the meshes.
+    pub extra_dcs: u64,
+    /// Thermo-optic phase shifters outside the meshes.
+    pub extra_pss: u64,
+    /// High-speed input modulators.
+    pub modulators: u64,
+    /// Output photodiodes.
+    pub photodiodes: u64,
+}
+
+impl DeviceCount {
+    /// A count consisting purely of `mzis` mesh MZIs.
+    pub fn from_mzis(mzis: u64) -> Self {
+        DeviceCount {
+            mzis,
+            ..Default::default()
+        }
+    }
+
+    /// Total directional couplers (mesh + extra).
+    pub fn dcs(&self) -> u64 {
+        self.mzis * DCS_PER_MZI + self.extra_dcs
+    }
+
+    /// Total phase shifters (mesh + extra).
+    pub fn pss(&self) -> u64 {
+        self.mzis * PSS_PER_MZI + self.extra_pss
+    }
+
+    /// Component-wise sum.
+    pub fn plus(&self, other: &DeviceCount) -> DeviceCount {
+        DeviceCount {
+            mzis: self.mzis + other.mzis,
+            extra_dcs: self.extra_dcs + other.extra_dcs,
+            extra_pss: self.extra_pss + other.extra_pss,
+            modulators: self.modulators + other.modulators,
+            photodiodes: self.photodiodes + other.photodiodes,
+        }
+    }
+}
+
+impl std::iter::Sum for DeviceCount {
+    fn sum<I: Iterator<Item = DeviceCount>>(iter: I) -> Self {
+        iter.fold(DeviceCount::default(), |a, b| a.plus(&b))
+    }
+}
+
+/// Area reduction ratio `1 − proposed/original`, as reported in Table II.
+///
+/// # Panics
+///
+/// Panics if `original == 0`.
+pub fn reduction_ratio(original: u64, proposed: u64) -> f64 {
+    assert!(original > 0, "original device count must be positive");
+    1.0 - proposed as f64 / original as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fcnn_layer_counts() {
+        // Original FCNN 784-100-10 (Table II row 1): 31.7e4 MZIs.
+        let orig = mzi_count(100, 784) + mzi_count(10, 100);
+        assert_eq!(orig, 316_991);
+        // Matches the paper's 31.7 × 10^4 after rounding.
+        assert_eq!((orig as f64 / 1e4 * 10.0).round() / 10.0, 31.7);
+    }
+
+    #[test]
+    fn proposed_fcnn_counts_with_merge_decoder() {
+        // Split FCNN: complex sizes 392-50, merge decoder doubles the last
+        // layer output: 20×50. Paper reports 7.9e4.
+        let prop = mzi_count(50, 392) + mzi_count(20, 50);
+        assert_eq!(prop, 79_346);
+        assert_eq!((prop as f64 / 1e4 * 10.0).round() / 10.0, 7.9);
+        let red = reduction_ratio(316_991, prop);
+        assert!((red - 0.7503).abs() < 0.001, "reduction = {red}");
+    }
+
+    #[test]
+    fn mzi_count_symmetric_in_min_term() {
+        assert_eq!(mzi_count(4, 4), 6 + 4 + 6);
+        assert_eq!(mzi_count(1, 1), 1);
+        assert_eq!(mzi_count(2, 1), 0 + 1 + 1);
+    }
+
+    #[test]
+    fn unitary_count_matches_figure_1b() {
+        // Figure 1(b): a 4×4 unitary needs 6 MZIs.
+        assert_eq!(unitary_mzi_count(4), 6);
+    }
+
+    #[test]
+    fn dc_ps_convention() {
+        let c = DeviceCount::from_mzis(10);
+        assert_eq!(c.dcs(), 20);
+        assert_eq!(c.pss(), 10);
+    }
+
+    #[test]
+    fn plus_and_sum() {
+        let a = DeviceCount {
+            mzis: 1,
+            extra_dcs: 2,
+            extra_pss: 3,
+            modulators: 4,
+            photodiodes: 5,
+        };
+        let b = a.plus(&a);
+        assert_eq!(b.mzis, 2);
+        assert_eq!(b.dcs(), 8);
+        let s: DeviceCount = vec![a, a, a].into_iter().sum();
+        assert_eq!(s.photodiodes, 15);
+    }
+
+    #[test]
+    fn reduction_ratio_basics() {
+        assert!((reduction_ratio(100, 25) - 0.75).abs() < 1e-12);
+        assert_eq!(reduction_ratio(10, 10), 0.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! Optical output detection and decoding (paper §III-D, Fig. 6).
+//!
+//! A photodiode measures only intensity `|z|²`; the phase half of a complex
+//! output is lost unless extra machinery recovers it. The paper compares:
+//!
+//! * [`photodiode`] detection — the conventional ONN output.
+//! * [`CoherentDetector`] — interference with a reference beam (Fig. 6c,
+//!   Zhang 2021 \[16\]): recovers `Re(z)` and `Im(z)` exactly but needs a
+//!   reference light, a phase-shifting step per measurement and electronic
+//!   post-processing.
+//! * the **learnable decoders** (Fig. 6a/b) — these are *trained* network
+//!   layers; their learnable halves live in `oplix-nn::decoder`, while this
+//!   module provides their device/area accounting and the field-level
+//!   detection math shared with training.
+
+use crate::count::{mzi_count, DeviceCount};
+use oplix_linalg::Complex64;
+
+/// Intensity detection of one field sample: `|z|²`.
+#[inline]
+pub fn photodiode(z: Complex64) -> f64 {
+    z.norm_sqr()
+}
+
+/// Intensity detection of a field vector.
+pub fn photodiode_vec(z: &[Complex64]) -> Vec<f64> {
+    z.iter().map(|&v| photodiode(v)).collect()
+}
+
+/// Differential intensity readout used by the learnable *merging* decoder
+/// (Fig. 6a): the last layer's output width is doubled to `2K` complex
+/// values and class logit `k` is `|z_k|² − |z_{k+K}|²`.
+///
+/// This is photodiode-only (no reference beam, no post-processing) and is
+/// exactly the detection model `oplix-nn`'s merge decoder trains through.
+///
+/// # Panics
+///
+/// Panics if `z.len()` is odd.
+pub fn differential_photodiode(z: &[Complex64]) -> Vec<f64> {
+    assert!(z.len() % 2 == 0, "differential detection needs an even number of outputs");
+    let k = z.len() / 2;
+    (0..k).map(|i| z[i].norm_sqr() - z[i + k].norm_sqr()).collect()
+}
+
+/// Coherent detection with a reference beam of known real amplitude `r`
+/// (Fig. 6c).
+///
+/// Three intensity measurements are combined per output:
+/// `|z + r|²`, `|z + i·r|²` and `|z|²`, giving
+/// `Re(z) = (|z+r|² − |z|² − r²) / 2r` and
+/// `Im(z) = (|z+ir|² − |z|² − r²) / 2r`.
+///
+/// The three measurements model the *additional time* the paper criticises:
+/// the reference phase must be stepped between them.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoherentDetector {
+    /// Reference beam amplitude (must be positive).
+    pub reference_amplitude: f64,
+}
+
+impl CoherentDetector {
+    /// Creates a detector with the given reference amplitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference_amplitude <= 0`.
+    pub fn new(reference_amplitude: f64) -> Self {
+        assert!(reference_amplitude > 0.0, "reference amplitude must be positive");
+        CoherentDetector {
+            reference_amplitude,
+        }
+    }
+
+    /// Recovers `(Re(z), Im(z))` from the three intensity measurements.
+    pub fn detect(&self, z: Complex64) -> (f64, f64) {
+        let r = self.reference_amplitude;
+        let ref_re = Complex64::from_real(r);
+        let ref_im = Complex64::new(0.0, r);
+        let i0 = photodiode(z);
+        let i1 = photodiode(z + ref_re);
+        let i2 = photodiode(z + ref_im);
+        let re = (i1 - i0 - r * r) / (2.0 * r);
+        let im = (i2 - i0 - r * r) / (2.0 * r);
+        (re, im)
+    }
+
+    /// Recovers the complex field vector from per-mode coherent detection.
+    pub fn detect_vec(&self, z: &[Complex64]) -> Vec<Complex64> {
+        z.iter()
+            .map(|&v| {
+                let (re, im) = self.detect(v);
+                Complex64::new(re, im)
+            })
+            .collect()
+    }
+
+    /// Number of sequential intensity measurements per symbol (the phase
+    /// stepping the paper's §II-B criticises).
+    pub fn measurements_per_symbol(&self) -> usize {
+        3
+    }
+}
+
+/// Which output decoding scheme a network uses; determines the device
+/// budget of the output stage (Fig. 9's area axis).
+///
+/// Every *learnable* decoder must leave the photodiodes enough intensity
+/// channels to preserve the complex output information, so each produces
+/// `2K` optical outputs for `K` classes, read out differentially
+/// ([`differential_photodiode`]). They differ in where the extra width
+/// comes from, which is what drives the area ordering of Fig. 9.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecoderKind {
+    /// Learnable merging decoder (proposed, Fig. 6a): the last layer's
+    /// output width doubles from `K` to `2K` — no separate decoder stage.
+    Merge,
+    /// Learnable extra complex linear layer `2K×K` appended after the last
+    /// layer (Fig. 6b), then differential photodiodes.
+    Linear,
+    /// Learnable extra unitary layer (a pure `2K×2K` MZI array on the `K`
+    /// outputs plus `K` ancilla modes, Fig. 6b), then differential
+    /// photodiodes.
+    Unitary,
+    /// Coherent detection with a reference beam (Fig. 6c); no extra mesh,
+    /// but extra measurement time and electronic post-processing.
+    Coherent,
+}
+
+impl DecoderKind {
+    /// Extra MZIs the decoder adds to a network whose last layer maps
+    /// `n_in → K` classes.
+    ///
+    /// * `Merge`: widening the last layer `K×n_in → 2K×n_in` costs
+    ///   `mzi(2K, n_in) − mzi(K, n_in)`.
+    /// * `Linear`: a full extra `2K×K` SVD layer.
+    /// * `Unitary`: a `2K×2K` MZI array only — `2K(2K−1)/2`.
+    /// * `Coherent`: zero extra MZIs (reference optics are not MZIs).
+    ///
+    /// For typical class counts (`K` small relative to `n_in`) this gives
+    /// the paper's ordering: Coherent < Merge < Unitary < Linear.
+    pub fn extra_mzis(&self, n_in: u64, k: u64) -> u64 {
+        match self {
+            DecoderKind::Merge => mzi_count(2 * k, n_in) - mzi_count(k, n_in),
+            DecoderKind::Linear => mzi_count(2 * k, k),
+            DecoderKind::Unitary => 2 * k * (2 * k - 1) / 2,
+            DecoderKind::Coherent => 0,
+        }
+    }
+
+    /// Extra photodiodes over the `K` baseline (all learnable decoders
+    /// detect `2K` channels differentially).
+    pub fn extra_photodiodes(&self, k: u64) -> u64 {
+        match self {
+            DecoderKind::Coherent => 0,
+            _ => k,
+        }
+    }
+
+    /// Full extra device inventory.
+    pub fn extra_devices(&self, n_in: u64, k: u64) -> DeviceCount {
+        DeviceCount {
+            mzis: self.extra_mzis(n_in, k),
+            photodiodes: self.extra_photodiodes(k),
+            ..Default::default()
+        }
+    }
+
+    /// Whether the scheme needs a coherent reference beam.
+    pub fn needs_reference(&self) -> bool {
+        matches!(self, DecoderKind::Coherent)
+    }
+
+    /// Whether the scheme needs electronic post-processing after detection.
+    pub fn needs_postprocessing(&self) -> bool {
+        matches!(self, DecoderKind::Coherent)
+    }
+
+    /// All four schemes, in the paper's Fig. 9 order.
+    pub fn all() -> [DecoderKind; 4] {
+        [
+            DecoderKind::Merge,
+            DecoderKind::Linear,
+            DecoderKind::Unitary,
+            DecoderKind::Coherent,
+        ]
+    }
+}
+
+impl std::fmt::Display for DecoderKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DecoderKind::Merge => "Merge",
+            DecoderKind::Linear => "Linear",
+            DecoderKind::Unitary => "Unitary",
+            DecoderKind::Coherent => "Coherent",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn photodiode_measures_intensity() {
+        assert!((photodiode(Complex64::new(3.0, 4.0)) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn differential_detection_pairs_outputs() {
+        let z = vec![
+            Complex64::new(2.0, 0.0),
+            Complex64::new(0.0, 1.0),
+            Complex64::new(1.0, 0.0),
+            Complex64::new(0.0, 0.0),
+        ];
+        let logits = differential_photodiode(&z);
+        assert_eq!(logits.len(), 2);
+        assert!((logits[0] - (4.0 - 1.0)).abs() < 1e-12);
+        assert!((logits[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "even number")]
+    fn differential_detection_rejects_odd() {
+        let _ = differential_photodiode(&[Complex64::ONE]);
+    }
+
+    #[test]
+    fn coherent_detector_recovers_field_exactly() {
+        let det = CoherentDetector::new(2.0);
+        for &z in &[
+            Complex64::new(0.5, -0.25),
+            Complex64::new(-1.0, 1.0),
+            Complex64::ZERO,
+        ] {
+            let (re, im) = det.detect(z);
+            assert!((re - z.re).abs() < 1e-12);
+            assert!((im - z.im).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn coherent_detection_needs_three_measurements() {
+        assert_eq!(CoherentDetector::new(1.0).measurements_per_symbol(), 3);
+        assert!(DecoderKind::Coherent.needs_reference());
+        assert!(DecoderKind::Coherent.needs_postprocessing());
+        assert!(!DecoderKind::Merge.needs_reference());
+    }
+
+    #[test]
+    fn merge_decoder_is_cheapest_learnable() {
+        // Paper §III-D: merging into the last layer costs fewer MZIs than a
+        // separate linear/unitary decoder layer when the class count is
+        // small relative to the fan-in.
+        let n_in = 50;
+        let k = 10;
+        let merge = DecoderKind::Merge.extra_mzis(n_in, k);
+        let linear = DecoderKind::Linear.extra_mzis(n_in, k);
+        let unitary = DecoderKind::Unitary.extra_mzis(n_in, k);
+        assert!(
+            merge > 0 && merge < unitary && unitary < linear,
+            "merge = {merge}, unitary = {unitary}, linear = {linear}"
+        );
+    }
+
+    #[test]
+    fn merge_extra_cost_example() {
+        // 2K x n minus K x n for K=10, n=50:
+        // mzi(20,50) = 1225+20+190 = 1435; mzi(10,50) = 1225+10+45 = 1280.
+        assert_eq!(DecoderKind::Merge.extra_mzis(50, 10), 155);
+    }
+
+    #[test]
+    fn decoder_costs_for_fcnn_head() {
+        // K = 10 classes on a 50-wide last layer:
+        // merge: mzi(20,50) - mzi(10,50) = 1435 - 1280 = 155
+        // unitary: 20*19/2 = 190, linear: mzi(20,10) = 45+10+190 = 245.
+        assert_eq!(DecoderKind::Merge.extra_mzis(50, 10), 155);
+        assert_eq!(DecoderKind::Unitary.extra_mzis(50, 10), 190);
+        assert_eq!(DecoderKind::Linear.extra_mzis(50, 10), 245);
+    }
+
+    #[test]
+    fn coherent_adds_no_mzis() {
+        assert_eq!(DecoderKind::Coherent.extra_mzis(100, 10), 0);
+        assert_eq!(
+            DecoderKind::Coherent.extra_devices(100, 10),
+            DeviceCount::default()
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        let names: Vec<String> = DecoderKind::all().iter().map(|d| d.to_string()).collect();
+        assert_eq!(names, vec!["Merge", "Linear", "Unitary", "Coherent"]);
+    }
+}

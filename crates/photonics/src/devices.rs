@@ -1,0 +1,240 @@
+//! Elementary photonic devices: directional couplers, thermo-optic phase
+//! shifters, Mach–Zehnder interferometers and optical attenuators.
+//!
+//! Conventions follow the paper's Eq. (1) exactly. A 50:50 directional
+//! coupler transmits half of the optical power to each output port and adds
+//! a π/2 phase shift on the diagonal path:
+//!
+//! ```text
+//! DC = 1/√2 · [ 1  i ]
+//!             [ i  1 ]
+//! ```
+//!
+//! A phase shifter on the top arm is `diag(e^{iα}, 1)`, and an MZI is
+//! `DC · PS(θ) · DC · PS(φ)`.
+
+use oplix_linalg::{CMatrix, Complex64};
+
+/// The 2×2 transfer matrix of an ideal 50:50 directional coupler.
+///
+/// # Example
+///
+/// ```
+/// use oplix_photonics::devices::directional_coupler;
+///
+/// let dc = directional_coupler();
+/// assert!(dc.is_unitary(1e-12));
+/// ```
+pub fn directional_coupler() -> CMatrix {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    CMatrix::from_rows(&[
+        vec![Complex64::new(s, 0.0), Complex64::new(0.0, s)],
+        vec![Complex64::new(0.0, s), Complex64::new(s, 0.0)],
+    ])
+}
+
+/// The 2×2 transfer matrix of a directional coupler with an arbitrary power
+/// splitting ratio `t : 1-t` (`t` is the *through* power fraction).
+///
+/// # Panics
+///
+/// Panics if `t` is outside `[0, 1]`.
+pub fn directional_coupler_ratio(t: f64) -> CMatrix {
+    assert!((0.0..=1.0).contains(&t), "power ratio must be in [0, 1]");
+    let c = t.sqrt();
+    let s = (1.0 - t).sqrt();
+    CMatrix::from_rows(&[
+        vec![Complex64::new(c, 0.0), Complex64::new(0.0, s)],
+        vec![Complex64::new(0.0, s), Complex64::new(c, 0.0)],
+    ])
+}
+
+/// The 2×2 transfer matrix of a phase shifter of angle `alpha` on the top
+/// arm: `diag(e^{iα}, 1)`.
+pub fn phase_shifter(alpha: f64) -> CMatrix {
+    CMatrix::from_rows(&[
+        vec![Complex64::cis(alpha), Complex64::ZERO],
+        vec![Complex64::ZERO, Complex64::ONE],
+    ])
+}
+
+/// One Mach–Zehnder interferometer: internal phase `theta`, external phase
+/// `phi`, acting on waveguide modes `(mode, mode + 1)`.
+///
+/// The MZI is the unit cell of every mesh in this crate; `theta` controls
+/// the power splitting and `phi` the relative phase, per the paper's
+/// Eq. (1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mzi {
+    /// Index of the upper of the two adjacent modes this MZI couples.
+    pub mode: usize,
+    /// Internal phase shift θ (between the two directional couplers).
+    pub theta: f64,
+    /// External phase shift φ (at the input of the first coupler).
+    pub phi: f64,
+}
+
+impl Mzi {
+    /// Creates an MZI on modes `(mode, mode+1)` with the given phases.
+    pub fn new(mode: usize, theta: f64, phi: f64) -> Self {
+        Mzi { mode, theta, phi }
+    }
+
+    /// The 2×2 transfer matrix `DC · PS(θ) · DC · PS(φ)`.
+    ///
+    /// Closed form:
+    /// `i·e^{iθ/2} · [[e^{iφ}·sin(θ/2), cos(θ/2)], [e^{iφ}·cos(θ/2), −sin(θ/2)]]`.
+    pub fn transfer(&self) -> CMatrix {
+        let half = self.theta / 2.0;
+        let s = half.sin();
+        let c = half.cos();
+        let pre = Complex64::i() * Complex64::cis(half);
+        let ephi = Complex64::cis(self.phi);
+        CMatrix::from_rows(&[
+            vec![pre * ephi * s, pre * c],
+            vec![pre * ephi * c, pre * (-s)],
+        ])
+    }
+
+    /// Applies this MZI in place to a field vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fields.len() < self.mode + 2`.
+    #[inline]
+    pub fn apply(&self, fields: &mut [Complex64]) {
+        let half = self.theta / 2.0;
+        let s = half.sin();
+        let c = half.cos();
+        let pre = Complex64::i() * Complex64::cis(half);
+        let ephi = Complex64::cis(self.phi);
+        let a = fields[self.mode];
+        let b = fields[self.mode + 1];
+        fields[self.mode] = pre * (ephi * a * s + b * c);
+        fields[self.mode + 1] = pre * (ephi * a * c - b * s);
+    }
+
+    /// Total static power drawn by the two thermo-optic phase shifters of
+    /// this MZI, in milliwatts (see [`crate::power`]).
+    pub fn static_power_mw(&self, max_mw: f64) -> f64 {
+        crate::power::phase_power_mw(self.theta, max_mw) + crate::power::phase_power_mw(self.phi, max_mw)
+    }
+}
+
+/// A programmable optical attenuator/amplifier implementing the diagonal Σ
+/// stage of an SVD-mapped layer. Gains above 1 require (semiconductor)
+/// optical amplification; the SVD mapper factors the spectral norm out so
+/// that on-chip coefficients stay in `[0, 1]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Attenuator {
+    /// Real amplitude coefficient applied to the field.
+    pub coefficient: f64,
+}
+
+impl Attenuator {
+    /// Creates an attenuator with the given amplitude coefficient.
+    pub fn new(coefficient: f64) -> Self {
+        Attenuator { coefficient }
+    }
+
+    /// Applies the attenuation to a single field value.
+    #[inline]
+    pub fn apply(&self, field: Complex64) -> Complex64 {
+        field.scale(self.coefficient)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn dc_is_unitary_and_balanced() {
+        let dc = directional_coupler();
+        assert!(dc.is_unitary(1e-12));
+        // 50:50 power split from a single input.
+        let out = dc.mul_vec(&[Complex64::ONE, Complex64::ZERO]);
+        assert!((out[0].norm_sqr() - 0.5).abs() < 1e-12);
+        assert!((out[1].norm_sqr() - 0.5).abs() < 1e-12);
+        // Diagonal path picks up pi/2.
+        assert!((out[1].arg() - PI / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dc_ratio_extremes() {
+        let through = directional_coupler_ratio(1.0);
+        assert!(through.max_abs_diff(&CMatrix::identity(2)) < 1e-12);
+        let cross = directional_coupler_ratio(0.0);
+        let out = cross.mul_vec(&[Complex64::ONE, Complex64::ZERO]);
+        assert!((out[1].norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_shifter_only_rotates_top() {
+        let ps = phase_shifter(1.0);
+        let out = ps.mul_vec(&[Complex64::ONE, Complex64::ONE]);
+        assert!((out[0].arg() - 1.0).abs() < 1e-12);
+        assert!((out[1] - Complex64::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mzi_transfer_matches_eq1_product() {
+        // Eq. (1): T = DC * PS(theta) * DC * PS(phi).
+        let theta = 0.7;
+        let phi = -1.3;
+        let product = directional_coupler()
+            .matmul(&phase_shifter(theta))
+            .matmul(&directional_coupler())
+            .matmul(&phase_shifter(phi));
+        let closed = Mzi::new(0, theta, phi).transfer();
+        assert!(product.max_abs_diff(&closed) < 1e-12);
+    }
+
+    #[test]
+    fn mzi_is_unitary_for_any_phases() {
+        for &theta in &[0.0, 0.3, PI / 2.0, PI, 5.0] {
+            for &phi in &[0.0, 1.0, -2.0, PI] {
+                assert!(Mzi::new(0, theta, phi).transfer().is_unitary(1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn mzi_bar_and_cross_states() {
+        // theta = pi: full transmission to the "bar" configuration
+        // (|T11| = 1), theta = 0: full "cross" (|T12| = 1).
+        let bar = Mzi::new(0, PI, 0.0).transfer();
+        assert!((bar[(0, 0)].abs() - 1.0).abs() < 1e-12);
+        assert!(bar[(0, 1)].abs() < 1e-12);
+        let cross = Mzi::new(0, 0.0, 0.0).transfer();
+        assert!((cross[(0, 1)].abs() - 1.0).abs() < 1e-12);
+        assert!(cross[(0, 0)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn mzi_apply_matches_transfer_matrix() {
+        let mzi = Mzi::new(1, 0.9, 2.1);
+        let x = vec![
+            Complex64::new(0.2, -0.4),
+            Complex64::new(1.0, 0.5),
+            Complex64::new(-0.3, 0.8),
+            Complex64::new(0.0, 1.0),
+        ];
+        let mut applied = x.clone();
+        mzi.apply(&mut applied);
+        let t = mzi.transfer();
+        let sub = t.mul_vec(&[x[1], x[2]]);
+        assert!((applied[0] - x[0]).abs() < 1e-15);
+        assert!((applied[1] - sub[0]).abs() < 1e-12);
+        assert!((applied[2] - sub[1]).abs() < 1e-12);
+        assert!((applied[3] - x[3]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn attenuator_scales_field() {
+        let a = Attenuator::new(0.5);
+        let out = a.apply(Complex64::new(2.0, -2.0));
+        assert_eq!(out, Complex64::new(1.0, -1.0));
+    }
+}

@@ -1,0 +1,223 @@
+//! Optical input encoders (paper §III-B, Fig. 3).
+//!
+//! Three encoders are modelled at field level:
+//!
+//! * [`DcComplexEncoder`] — the paper's proposal (Fig. 3a): two modulators
+//!   drive `√2·A₁` and `√2·A₂` into a 50:50 directional coupler whose
+//!   diagonal adds π/2, so the **top output port carries `A₁ + j·A₂`**.
+//!   No thermo-optic phase shifter sits in the data path, hence no thermal
+//!   time bottleneck at high throughput.
+//! * [`PsComplexEncoder`] — the prior approach (Fig. 3b, Zhang 2021 \[16\]):
+//!   one modulator sets the amplitude and a thermo-optic PS sets the phase.
+//!   Functionally equivalent but rate-limited by the heater time constant.
+//! * [`RealEncoder`] — the conventional ONN (Fig. 3c): amplitude only, the
+//!   phase stays at the static reference.
+
+use crate::count::DeviceCount;
+use crate::devices::directional_coupler;
+use oplix_linalg::Complex64;
+use std::f64::consts::SQRT_2;
+
+/// Thermo-optic phase-shifter settling time, seconds. Representative of
+/// integrated heaters (tens of microseconds).
+pub const THERMAL_SETTLING_S: f64 = 10e-6;
+/// High-speed modulator symbol time, seconds (tens of GHz — the paper cites
+/// >100 GHz detection \[15\]; we use a conservative 10 GHz).
+pub const MODULATOR_SYMBOL_S: f64 = 100e-12;
+
+/// An encoder turns pairs of real values into complex optical fields.
+pub trait ComplexEncoder {
+    /// Encodes one pair of real values into one complex field sample.
+    fn encode_pair(&self, a1: f64, a2: f64) -> Complex64;
+
+    /// Encodes a slice of `(a1, a2)` pairs.
+    fn encode(&self, pairs: &[(f64, f64)]) -> Vec<Complex64> {
+        pairs.iter().map(|&(a, b)| self.encode_pair(a, b)).collect()
+    }
+
+    /// Time to emit one symbol, seconds. Determines throughput.
+    fn symbol_time_s(&self) -> f64;
+
+    /// Extra optical devices per complex channel (beyond the mesh).
+    fn devices_per_channel(&self) -> DeviceCount;
+}
+
+/// The proposed DC-based complex encoder (Fig. 3a).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DcComplexEncoder;
+
+impl DcComplexEncoder {
+    /// Creates the encoder.
+    pub fn new() -> Self {
+        DcComplexEncoder
+    }
+
+    /// Field-level simulation through the actual DC transfer matrix,
+    /// returning `(top, bottom)` output ports. The top port carries
+    /// `A₁ + j·A₂`; the bottom port (`j·A₁ + A₂`) is discarded on chip.
+    pub fn encode_ports(&self, a1: f64, a2: f64) -> (Complex64, Complex64) {
+        let dc = directional_coupler();
+        let out = dc.mul_vec(&[
+            Complex64::from_real(SQRT_2 * a1),
+            // The 90° shift of the bottom signal (paper §III-B-1) is the
+            // coupler's own diagonal π/2 — no tunable PS is required, which
+            // is exactly why this encoder has no thermal bottleneck.
+            Complex64::from_real(SQRT_2 * a2),
+        ]);
+        (out[0], out[1])
+    }
+}
+
+impl ComplexEncoder for DcComplexEncoder {
+    fn encode_pair(&self, a1: f64, a2: f64) -> Complex64 {
+        self.encode_ports(a1, a2).0
+    }
+
+    fn symbol_time_s(&self) -> f64 {
+        // Only high-speed modulators in the path.
+        MODULATOR_SYMBOL_S
+    }
+
+    fn devices_per_channel(&self) -> DeviceCount {
+        DeviceCount {
+            extra_dcs: 1,
+            modulators: 2,
+            ..Default::default()
+        }
+    }
+}
+
+/// The PS-based complex encoder of prior work (Fig. 3b).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PsComplexEncoder;
+
+impl PsComplexEncoder {
+    /// Creates the encoder.
+    pub fn new() -> Self {
+        PsComplexEncoder
+    }
+}
+
+impl ComplexEncoder for PsComplexEncoder {
+    fn encode_pair(&self, a1: f64, a2: f64) -> Complex64 {
+        // Amplitude |A|, phase arg(A1 + i A2): mathematically identical
+        // output, produced by modulator + thermo-optic PS.
+        let target = Complex64::new(a1, a2);
+        Complex64::from_polar(target.abs(), target.arg())
+    }
+
+    fn symbol_time_s(&self) -> f64 {
+        // The heater dominates: phase must settle before each new symbol.
+        THERMAL_SETTLING_S
+    }
+
+    fn devices_per_channel(&self) -> DeviceCount {
+        DeviceCount {
+            extra_pss: 1,
+            modulators: 1,
+            ..Default::default()
+        }
+    }
+}
+
+/// The conventional amplitude-only encoder (Fig. 3c).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RealEncoder;
+
+impl RealEncoder {
+    /// Creates the encoder.
+    pub fn new() -> Self {
+        RealEncoder
+    }
+
+    /// Encodes one real value onto the field amplitude (phase 0).
+    pub fn encode_value(&self, a: f64) -> Complex64 {
+        Complex64::from_real(a)
+    }
+
+    /// Encodes a slice of real values.
+    pub fn encode(&self, values: &[f64]) -> Vec<Complex64> {
+        values.iter().map(|&a| self.encode_value(a)).collect()
+    }
+
+    /// Extra devices per (real) channel.
+    pub fn devices_per_channel(&self) -> DeviceCount {
+        DeviceCount {
+            modulators: 1,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_encoder_top_port_is_a1_plus_j_a2() {
+        let enc = DcComplexEncoder::new();
+        for &(a1, a2) in &[(1.0, 0.0), (0.0, 1.0), (0.5, -0.7), (-1.2, 0.3)] {
+            let z = enc.encode_pair(a1, a2);
+            assert!((z - Complex64::new(a1, a2)).abs() < 1e-12, "({a1}, {a2}) -> {z}");
+        }
+    }
+
+    #[test]
+    fn dc_encoder_discarded_port_carries_mirror() {
+        let enc = DcComplexEncoder::new();
+        let (_, bottom) = enc.encode_ports(0.6, 0.8);
+        // Bottom port: j*A1 + A2 (energy conservation partner).
+        assert!((bottom - Complex64::new(0.8, 0.6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dc_encoder_conserves_energy() {
+        let enc = DcComplexEncoder::new();
+        let (top, bottom) = enc.encode_ports(0.3, -0.9);
+        let input_energy = 2.0 * (0.3f64.powi(2) + 0.9f64.powi(2));
+        assert!((top.norm_sqr() + bottom.norm_sqr() - input_energy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ps_encoder_matches_dc_encoder_output() {
+        // §III-B claim: same encoded value, different hardware path.
+        let dc = DcComplexEncoder::new();
+        let ps = PsComplexEncoder::new();
+        for &(a1, a2) in &[(0.1, 0.2), (-0.5, 0.5), (1.0, -1.0)] {
+            let zd = dc.encode_pair(a1, a2);
+            let zp = ps.encode_pair(a1, a2);
+            assert!((zd - zp).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dc_encoder_is_orders_of_magnitude_faster() {
+        let dc = DcComplexEncoder::new();
+        let ps = PsComplexEncoder::new();
+        assert!(ps.symbol_time_s() / dc.symbol_time_s() > 1e3);
+    }
+
+    #[test]
+    fn real_encoder_keeps_phase_zero() {
+        let enc = RealEncoder::new();
+        let z = enc.encode_value(0.7);
+        assert_eq!(z.arg(), 0.0);
+        assert!((z.abs() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn device_inventories() {
+        assert_eq!(DcComplexEncoder::new().devices_per_channel().extra_dcs, 1);
+        assert_eq!(DcComplexEncoder::new().devices_per_channel().extra_pss, 0);
+        assert_eq!(PsComplexEncoder::new().devices_per_channel().extra_pss, 1);
+        assert_eq!(RealEncoder::new().devices_per_channel().modulators, 1);
+    }
+
+    #[test]
+    fn batch_encode() {
+        let enc = DcComplexEncoder::new();
+        let out = enc.encode(&[(1.0, 2.0), (3.0, 4.0)]);
+        assert_eq!(out.len(), 2);
+        assert!((out[1] - Complex64::new(3.0, 4.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,113 @@
+//! Optical insertion-loss and latency models.
+//!
+//! Beyond static power, two more hardware figures of merit scale with the
+//! mesh geometry and favour smaller ONNs:
+//!
+//! * **Insertion loss** — every directional coupler and waveguide crossing
+//!   attenuates the signal; total loss grows with the *optical depth*
+//!   (number of MZI columns light traverses), so the split ONN's smaller
+//!   meshes also have better signal-to-noise at the photodiodes.
+//! * **Latency** — time of flight through the mesh, again proportional to
+//!   depth. The paper cites >100 GHz detection \[15\]; the mesh adds only
+//!   picoseconds, which this model quantifies.
+
+use crate::mesh::MziMesh;
+
+/// Loss/latency parameters of a silicon-photonic platform.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpticalLossModel {
+    /// Insertion loss per MZI (two DCs plus waveguide), in dB.
+    pub mzi_loss_db: f64,
+    /// Propagation delay per mesh column, in picoseconds (≈ the group
+    /// delay of one MZI length of waveguide).
+    pub column_delay_ps: f64,
+}
+
+impl OpticalLossModel {
+    /// Representative values: 0.3 dB per MZI, 4 ps per column (~300 µm of
+    /// silicon waveguide at group index ≈ 4).
+    pub fn silicon_defaults() -> Self {
+        OpticalLossModel {
+            mzi_loss_db: 0.3,
+            column_delay_ps: 4.0,
+        }
+    }
+
+    /// Worst-case optical insertion loss of a mesh in dB: the deepest path
+    /// traverses `depth` MZIs.
+    pub fn worst_path_loss_db(&self, mesh: &MziMesh) -> f64 {
+        self.mzi_loss_db * mesh.depth() as f64
+    }
+
+    /// Power transmission (linear) along the worst-case path.
+    pub fn worst_path_transmission(&self, mesh: &MziMesh) -> f64 {
+        10f64.powf(-self.worst_path_loss_db(mesh) / 10.0)
+    }
+
+    /// Time-of-flight latency through the mesh, picoseconds.
+    pub fn latency_ps(&self, mesh: &MziMesh) -> f64 {
+        self.column_delay_ps * mesh.depth() as f64
+    }
+}
+
+impl Default for OpticalLossModel {
+    fn default() -> Self {
+        Self::silicon_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clements::decompose_clements;
+    use crate::reck::decompose_reck;
+    use oplix_linalg::CMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn loss_scales_with_depth() {
+        let model = OpticalLossModel::silicon_defaults();
+        let mut rng = StdRng::seed_from_u64(1);
+        let u = CMatrix::random_unitary(10, &mut rng);
+        let clements = decompose_clements(&u);
+        let reck = decompose_reck(&u);
+        // Clements is shallower, so loses less light and is faster.
+        assert!(model.worst_path_loss_db(&clements) < model.worst_path_loss_db(&reck));
+        assert!(model.latency_ps(&clements) < model.latency_ps(&reck));
+    }
+
+    #[test]
+    fn transmission_is_probability_like() {
+        let model = OpticalLossModel::silicon_defaults();
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [2usize, 6, 12] {
+            let u = CMatrix::random_unitary(n, &mut rng);
+            let mesh = decompose_clements(&u);
+            let t = model.worst_path_transmission(&mesh);
+            assert!((0.0..=1.0).contains(&t));
+        }
+    }
+
+    #[test]
+    fn identity_mesh_is_lossless_and_instant() {
+        let model = OpticalLossModel::silicon_defaults();
+        let mesh = crate::mesh::MziMesh::identity(4);
+        assert_eq!(model.worst_path_loss_db(&mesh), 0.0);
+        assert_eq!(model.latency_ps(&mesh), 0.0);
+        assert_eq!(model.worst_path_transmission(&mesh), 1.0);
+    }
+
+    #[test]
+    fn split_onn_loses_less_light() {
+        // A 784-wide conventional mesh vs a 392-wide split mesh: the split
+        // network's worst path is about half as lossy. Use small stand-ins
+        // with the same 2:1 ratio.
+        let model = OpticalLossModel::silicon_defaults();
+        let mut rng = StdRng::seed_from_u64(3);
+        let big = decompose_clements(&CMatrix::random_unitary(16, &mut rng));
+        let small = decompose_clements(&CMatrix::random_unitary(8, &mut rng));
+        let loss_ratio = model.worst_path_loss_db(&small) / model.worst_path_loss_db(&big);
+        assert!((0.3..0.7).contains(&loss_ratio), "ratio {loss_ratio}");
+    }
+}

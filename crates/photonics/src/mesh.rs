@@ -1,0 +1,321 @@
+//! Programmable MZI meshes: the optical matrix-vector-multiplication engine.
+//!
+//! A mesh is an ordered sequence of [`Mzi`]s on adjacent waveguide pairs
+//! followed by one column of output phase shifters. Propagating `n` field
+//! amplitudes through the mesh applies an `n×n` unitary; the
+//! [`crate::reck`] and [`crate::clements`] modules compute the phases that
+//! realise an arbitrary target unitary.
+
+use crate::devices::Mzi;
+use oplix_linalg::{CMatrix, Complex64};
+use rand::Rng;
+
+/// A programmable mesh of Mach–Zehnder interferometers.
+///
+/// # Example
+///
+/// ```
+/// use oplix_photonics::mesh::MziMesh;
+/// use oplix_linalg::Complex64;
+///
+/// let mesh = MziMesh::identity(4);
+/// let x = [Complex64::ONE; 4];
+/// let y = mesh.propagate(&x);
+/// for (a, b) in x.iter().zip(&y) {
+///     assert!((*a - *b).abs() < 1e-12);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct MziMesh {
+    n: usize,
+    mzis: Vec<Mzi>,
+    output_phases: Vec<f64>,
+}
+
+impl MziMesh {
+    /// A mesh with no MZIs and zero output phases: the identity on `n`
+    /// modes.
+    pub fn identity(n: usize) -> Self {
+        MziMesh {
+            n,
+            mzis: Vec::new(),
+            output_phases: vec![0.0; n],
+        }
+    }
+
+    /// Builds a mesh from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any MZI acts outside the `n` modes or if
+    /// `output_phases.len() != n`.
+    pub fn new(n: usize, mzis: Vec<Mzi>, output_phases: Vec<f64>) -> Self {
+        assert_eq!(output_phases.len(), n, "need one output phase per mode");
+        for m in &mzis {
+            assert!(m.mode + 1 < n, "MZI on modes ({}, {}) outside mesh of size {n}", m.mode, m.mode + 1);
+        }
+        MziMesh {
+            n,
+            mzis,
+            output_phases,
+        }
+    }
+
+    /// Number of waveguide modes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The MZIs in application order (input side first).
+    #[inline]
+    pub fn mzis(&self) -> &[Mzi] {
+        &self.mzis
+    }
+
+    /// Mutable access to the MZIs (used by the noise models).
+    #[inline]
+    pub fn mzis_mut(&mut self) -> &mut [Mzi] {
+        &mut self.mzis
+    }
+
+    /// The output phase screen.
+    #[inline]
+    pub fn output_phases(&self) -> &[f64] {
+        &self.output_phases
+    }
+
+    /// Mutable access to the output phase screen.
+    #[inline]
+    pub fn output_phases_mut(&mut self) -> &mut [f64] {
+        &mut self.output_phases
+    }
+
+    /// Number of MZIs in the mesh.
+    #[inline]
+    pub fn mzi_count(&self) -> usize {
+        self.mzis.len()
+    }
+
+    /// Propagates a field vector through the mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.n()`.
+    pub fn propagate(&self, input: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(input.len(), self.n, "field vector length must match mesh size");
+        let mut fields = input.to_vec();
+        self.propagate_in_place(&mut fields);
+        fields
+    }
+
+    /// Propagates a field vector through the mesh, reusing the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fields.len() != self.n()`.
+    pub fn propagate_in_place(&self, fields: &mut [Complex64]) {
+        assert_eq!(fields.len(), self.n, "field vector length must match mesh size");
+        for mzi in &self.mzis {
+            mzi.apply(fields);
+        }
+        for (f, &p) in fields.iter_mut().zip(&self.output_phases) {
+            *f *= Complex64::cis(p);
+        }
+    }
+
+    /// Reconstructs the unitary matrix this mesh implements by propagating
+    /// the canonical basis.
+    pub fn matrix(&self) -> CMatrix {
+        let mut out = CMatrix::zeros(self.n, self.n);
+        for j in 0..self.n {
+            let mut e = vec![Complex64::ZERO; self.n];
+            e[j] = Complex64::ONE;
+            self.propagate_in_place(&mut e);
+            for i in 0..self.n {
+                out[(i, j)] = e[i];
+            }
+        }
+        out
+    }
+
+    /// The optical depth of the mesh: the number of MZI "columns" when MZIs
+    /// are packed greedily left-to-right without mode conflicts. Clements
+    /// meshes reach depth `n`, Reck meshes `2n−3` — this is the latency
+    /// advantage of the rectangular layout.
+    pub fn depth(&self) -> usize {
+        let mut free_at = vec![0usize; self.n];
+        let mut depth = 0;
+        for mzi in &self.mzis {
+            let layer = free_at[mzi.mode].max(free_at[mzi.mode + 1]);
+            free_at[mzi.mode] = layer + 1;
+            free_at[mzi.mode + 1] = layer + 1;
+            depth = depth.max(layer + 1);
+        }
+        depth
+    }
+
+    /// All tunable phases of the mesh (θ then φ per MZI, then the output
+    /// screen), in a stable order. Used by the power and noise models.
+    pub fn phases(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(2 * self.mzis.len() + self.n);
+        for m in &self.mzis {
+            out.push(m.theta);
+            out.push(m.phi);
+        }
+        out.extend_from_slice(&self.output_phases);
+        out
+    }
+
+    /// Returns a copy of the mesh with i.i.d. Gaussian phase noise of
+    /// standard deviation `sigma` (radians) added to every programmable
+    /// phase — the classic thermal-crosstalk / fabrication imprecision
+    /// model of Fang et al. (Optics Express 2019).
+    pub fn with_phase_noise<R: Rng>(&self, sigma: f64, rng: &mut R) -> MziMesh {
+        let mut gauss = || {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        };
+        let mut out = self.clone();
+        for m in &mut out.mzis {
+            m.theta += gauss();
+            m.phi += gauss();
+        }
+        for p in &mut out.output_phases {
+            *p += gauss();
+        }
+        out
+    }
+
+    /// Returns a copy of the mesh with every phase quantised to `bits` bits
+    /// over `[0, 2π)` — a DAC-resolution model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0` or `bits > 32`.
+    pub fn with_quantized_phases(&self, bits: u32) -> MziMesh {
+        assert!((1..=32).contains(&bits), "bits must be in 1..=32");
+        let levels = (1u64 << bits) as f64;
+        let q = |p: f64| {
+            let wrapped = p.rem_euclid(std::f64::consts::TAU);
+            let step = std::f64::consts::TAU / levels;
+            (wrapped / step).round() * step
+        };
+        let mut out = self.clone();
+        for m in &mut out.mzis {
+            m.theta = q(m.theta);
+            m.phi = q(m.phi);
+        }
+        for p in &mut out.output_phases {
+            *p = q(*p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_mesh_is_identity() {
+        let mesh = MziMesh::identity(5);
+        assert!(mesh.matrix().max_abs_diff(&CMatrix::identity(5)) < 1e-12);
+        assert_eq!(mesh.mzi_count(), 0);
+        assert_eq!(mesh.depth(), 0);
+    }
+
+    #[test]
+    fn single_mzi_mesh_matches_device() {
+        let mzi = Mzi::new(0, 1.1, 0.4);
+        let mesh = MziMesh::new(2, vec![mzi], vec![0.0, 0.0]);
+        assert!(mesh.matrix().max_abs_diff(&mzi.transfer()) < 1e-12);
+    }
+
+    #[test]
+    fn mesh_matrix_is_unitary() {
+        let mesh = MziMesh::new(
+            4,
+            vec![
+                Mzi::new(0, 0.5, 1.0),
+                Mzi::new(2, 1.5, -0.5),
+                Mzi::new(1, 2.5, 0.3),
+            ],
+            vec![0.1, 0.2, 0.3, 0.4],
+        );
+        assert!(mesh.matrix().is_unitary(1e-12));
+    }
+
+    #[test]
+    fn propagate_matches_matrix() {
+        let mesh = MziMesh::new(
+            3,
+            vec![Mzi::new(0, 0.9, 0.2), Mzi::new(1, 1.8, -1.0)],
+            vec![0.5, -0.5, 1.0],
+        );
+        let x = vec![
+            Complex64::new(1.0, 0.0),
+            Complex64::new(0.0, 1.0),
+            Complex64::new(-0.5, 0.5),
+        ];
+        let via_mesh = mesh.propagate(&x);
+        let via_matrix = mesh.matrix().mul_vec(&x);
+        for (a, b) in via_mesh.iter().zip(&via_matrix) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn depth_packs_disjoint_mzis() {
+        // MZIs on (0,1) and (2,3) can share a column.
+        let mesh = MziMesh::new(
+            4,
+            vec![Mzi::new(0, 1.0, 0.0), Mzi::new(2, 1.0, 0.0), Mzi::new(1, 1.0, 0.0)],
+            vec![0.0; 4],
+        );
+        assert_eq!(mesh.depth(), 2);
+    }
+
+    #[test]
+    fn phase_noise_zero_sigma_is_identity() {
+        let mesh = MziMesh::new(3, vec![Mzi::new(0, 1.0, 2.0)], vec![0.0, 0.1, 0.2]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let noisy = mesh.with_phase_noise(0.0, &mut rng);
+        assert!(mesh.matrix().max_abs_diff(&noisy.matrix()) < 1e-12);
+    }
+
+    #[test]
+    fn phase_noise_perturbs_but_stays_unitary() {
+        let mesh = MziMesh::new(3, vec![Mzi::new(0, 1.0, 2.0), Mzi::new(1, 0.5, 0.5)], vec![0.0; 3]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let noisy = mesh.with_phase_noise(0.1, &mut rng);
+        assert!(noisy.matrix().is_unitary(1e-12));
+        assert!(mesh.matrix().max_abs_diff(&noisy.matrix()) > 1e-4);
+    }
+
+    #[test]
+    fn quantization_converges_with_bits() {
+        let mesh = MziMesh::new(3, vec![Mzi::new(0, 1.234, 2.345), Mzi::new(1, 0.567, 0.891)], vec![0.1, 0.2, 0.3]);
+        let err4 = mesh.with_quantized_phases(4).matrix().max_abs_diff(&mesh.matrix());
+        let err8 = mesh.with_quantized_phases(8).matrix().max_abs_diff(&mesh.matrix());
+        let err12 = mesh.with_quantized_phases(12).matrix().max_abs_diff(&mesh.matrix());
+        assert!(err8 < err4);
+        assert!(err12 < err8);
+        assert!(err12 < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside mesh")]
+    fn rejects_out_of_range_mzi() {
+        let _ = MziMesh::new(2, vec![Mzi::new(1, 0.0, 0.0)], vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn phases_vector_layout() {
+        let mesh = MziMesh::new(2, vec![Mzi::new(0, 1.0, 2.0)], vec![3.0, 4.0]);
+        assert_eq!(mesh.phases(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+}

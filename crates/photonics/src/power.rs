@@ -1,0 +1,79 @@
+//! Static power model for thermo-optic phase shifters.
+//!
+//! The paper (§I, citing Zhang et al., Nat. Commun. 2021 \[16\]) notes that
+//! maintaining a phase costs **0–80 mW per phase shifter depending on the
+//! phase value**. We model the heater power as proportional to the
+//! (wrapped) phase: `P(φ) = P_max · (φ mod 2π) / 2π`.
+
+use crate::mesh::MziMesh;
+
+/// Default maximum static power per phase shifter, in milliwatts.
+pub const DEFAULT_MAX_MW: f64 = 80.0;
+
+/// Static power of a single phase shifter holding phase `phi` (radians).
+///
+/// The phase is wrapped into `[0, 2π)` first: a heater only ever needs to
+/// add a positive phase delay of less than one period.
+pub fn phase_power_mw(phi: f64, max_mw: f64) -> f64 {
+    max_mw * phi.rem_euclid(std::f64::consts::TAU) / std::f64::consts::TAU
+}
+
+/// Total static power of every programmable phase in a mesh, in mW.
+pub fn mesh_static_power_mw(mesh: &MziMesh, max_mw: f64) -> f64 {
+    mesh.phases().iter().map(|&p| phase_power_mw(p, max_mw)).sum()
+}
+
+/// Expected static power of a mesh with `n_phases` uniformly-random phases:
+/// `n · P_max / 2`. Useful as the denominator when comparing architectures
+/// whose phases are not yet programmed.
+pub fn expected_static_power_mw(n_phases: u64, max_mw: f64) -> f64 {
+    n_phases as f64 * max_mw / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::Mzi;
+    use std::f64::consts::{PI, TAU};
+
+    #[test]
+    fn zero_phase_zero_power() {
+        assert_eq!(phase_power_mw(0.0, 80.0), 0.0);
+    }
+
+    #[test]
+    fn half_turn_half_power() {
+        assert!((phase_power_mw(PI, 80.0) - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wraps_beyond_full_turn() {
+        assert!((phase_power_mw(TAU + PI, 80.0) - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_phase_wraps_positive() {
+        // -pi/2 is the same heater setting as 3pi/2.
+        assert!((phase_power_mw(-PI / 2.0, 80.0) - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_bounded_by_max() {
+        for k in 0..100 {
+            let p = phase_power_mw(k as f64 * 0.37, 80.0);
+            assert!((0.0..80.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn mesh_power_sums_phases() {
+        let mesh = MziMesh::new(2, vec![Mzi::new(0, PI, PI)], vec![PI, 0.0]);
+        // theta + phi + one output phase = 3 half-turns = 120 mW.
+        assert!((mesh_static_power_mw(&mesh, 80.0) - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_power_is_half_max_per_phase() {
+        assert!((expected_static_power_mw(10, 80.0) - 400.0).abs() < 1e-12);
+    }
+}

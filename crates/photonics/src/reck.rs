@@ -1,0 +1,170 @@
+//! Reck triangular decomposition of a unitary into MZI phases.
+//!
+//! Reck et al. (PRL 1994, the paper's ref. \[14\]) showed that any `N×N`
+//! unitary can be realised by a triangular arrangement of `N(N−1)/2` MZIs
+//! plus `N` output phase shifters. The algorithm nulls the below-diagonal
+//! elements of `U` row by row (bottom row first, left to right) by
+//! right-multiplying with inverse MZI transfer matrices acting on adjacent
+//! column pairs; what remains is a diagonal phase screen.
+
+use crate::devices::Mzi;
+use crate::mesh::MziMesh;
+use oplix_linalg::{CMatrix, Complex64};
+
+/// Decomposes a unitary matrix into a Reck-style triangular MZI mesh.
+///
+/// # Panics
+///
+/// Panics if `u` is not square or not unitary to within `1e-8`.
+///
+/// # Example
+///
+/// ```
+/// use oplix_linalg::CMatrix;
+/// use oplix_photonics::reck::decompose_reck;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let u = CMatrix::random_unitary(6, &mut rng);
+/// let mesh = decompose_reck(&u);
+/// assert_eq!(mesh.mzi_count(), 6 * 5 / 2);
+/// assert!(mesh.matrix().max_abs_diff(&u) < 1e-8);
+/// ```
+pub fn decompose_reck(u: &CMatrix) -> MziMesh {
+    let n = u.rows();
+    assert_eq!(n, u.cols(), "decompose_reck requires a square matrix");
+    assert!(u.is_unitary(1e-8), "decompose_reck requires a unitary matrix");
+
+    if n == 0 {
+        return MziMesh::identity(0);
+    }
+
+    let mut work = u.clone();
+    let mut mzis: Vec<Mzi> = Vec::with_capacity(n * (n - 1) / 2);
+
+    // Null below-diagonal entries row by row from the bottom. Nulling
+    // element (r, c) right-multiplies by T^H on columns (c, c+1); columns
+    // to the left are untouched, so previously nulled entries survive.
+    for r in (1..n).rev() {
+        for c in 0..r {
+            let (theta, phi) = null_from_right(&mut work, r, c);
+            mzis.push(Mzi::new(c, theta, phi));
+        }
+    }
+
+    // work is now diagonal with unit-modulus entries: the output screen.
+    let output_phases: Vec<f64> = (0..n).map(|i| work[(i, i)].arg()).collect();
+
+    // U · T_1^H · T_2^H ⋯ = D  =>  U = D · T_k ⋯ T_1, so the first-nulled
+    // MZI is applied to the input first — exactly the order in `mzis`.
+    MziMesh::new(n, mzis, output_phases)
+}
+
+/// Chooses `(theta, phi)` so that right-multiplying `work` by
+/// `T(theta, phi)^H` acting on columns `(c, c+1)` nulls `work[(r, c)]`, and
+/// applies the update in place.
+///
+/// With `a = work[(r,c)]` and `b = work[(r,c+1)]` the nulling condition is
+/// `a·e^{−iφ}·sin(θ/2) + b·cos(θ/2) = 0`, solved by
+/// `φ = arg(a·conj(−b))` and `θ = 2·atan2(|b|, |a|)`.
+pub(crate) fn null_from_right(work: &mut CMatrix, r: usize, c: usize) -> (f64, f64) {
+    let a = work[(r, c)];
+    let b = work[(r, c + 1)];
+    let phi = (a * (-b).conj()).arg();
+    let theta = 2.0 * b.abs().atan2(a.abs());
+
+    apply_t_dagger_right(work, c, theta, phi);
+    // Clamp the nulled entry against round-off.
+    work[(r, c)] = Complex64::ZERO;
+    (theta, phi)
+}
+
+/// In-place right multiplication `work ← work · T(θ,φ)^H` on column pair
+/// `(c, c+1)`.
+pub(crate) fn apply_t_dagger_right(work: &mut CMatrix, c: usize, theta: f64, phi: f64) {
+    let t = Mzi::new(0, theta, phi).transfer();
+    // (work · T^H)[i][c]   = work[i][c]·conj(T[0][0]) + work[i][c+1]·conj(T[0][1])
+    // (work · T^H)[i][c+1] = work[i][c]·conj(T[1][0]) + work[i][c+1]·conj(T[1][1])
+    let t00 = t[(0, 0)].conj();
+    let t01 = t[(0, 1)].conj();
+    let t10 = t[(1, 0)].conj();
+    let t11 = t[(1, 1)].conj();
+    for i in 0..work.rows() {
+        let x = work[(i, c)];
+        let y = work[(i, c + 1)];
+        work[(i, c)] = x * t00 + y * t01;
+        work[(i, c + 1)] = x * t10 + y * t11;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reconstructs_random_unitaries() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 3, 4, 5, 8, 12, 16] {
+            let u = CMatrix::random_unitary(n, &mut rng);
+            let mesh = decompose_reck(&u);
+            assert_eq!(mesh.mzi_count(), n * (n - 1) / 2, "n = {n}");
+            let err = mesh.matrix().max_abs_diff(&u);
+            assert!(err < 1e-9, "n = {n}, err = {err}");
+        }
+    }
+
+    #[test]
+    fn identity_decomposes_to_trivial_phases() {
+        let u = CMatrix::identity(4);
+        let mesh = decompose_reck(&u);
+        assert!(mesh.matrix().max_abs_diff(&u) < 1e-10);
+    }
+
+    #[test]
+    fn diagonal_phase_matrix_round_trips() {
+        let u = CMatrix::from_fn(3, 3, |i, j| {
+            if i == j {
+                Complex64::cis(1.0 + i as f64)
+            } else {
+                Complex64::ZERO
+            }
+        });
+        let mesh = decompose_reck(&u);
+        assert!(mesh.matrix().max_abs_diff(&u) < 1e-10);
+    }
+
+    #[test]
+    fn permutation_matrix_round_trips() {
+        // A cyclic shift is a hard case: every nulling is a full swap.
+        let n = 5;
+        let u = CMatrix::from_fn(n, n, |i, j| {
+            if (i + 1) % n == j {
+                Complex64::ONE
+            } else {
+                Complex64::ZERO
+            }
+        });
+        assert!(u.is_unitary(1e-12));
+        let mesh = decompose_reck(&u);
+        assert!(mesh.matrix().max_abs_diff(&u) < 1e-9);
+    }
+
+    #[test]
+    fn reck_depth_is_linear_chain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 8;
+        let u = CMatrix::random_unitary(n, &mut rng);
+        let mesh = decompose_reck(&u);
+        // Triangle depth is at most 2n - 3.
+        assert!(mesh.depth() <= 2 * n - 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unitary")]
+    fn rejects_non_unitary() {
+        let a = CMatrix::from_fn(3, 3, |i, j| Complex64::new((i + j) as f64, 0.0));
+        let _ = decompose_reck(&a);
+    }
+}

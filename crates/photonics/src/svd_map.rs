@@ -1,0 +1,253 @@
+//! SVD-based mapping of an arbitrary weight matrix onto photonic hardware.
+//!
+//! A (generally non-unitary, rectangular) complex weight `W` (`m×n`) is
+//! factored as `W = U Σ V*` and realised as three optical stages
+//! (paper §II-A):
+//!
+//! 1. an `n×n` MZI mesh implementing `V*`,
+//! 2. a column of `min(m,n)` attenuators implementing `Σ` (normalised so
+//!    every on-chip coefficient is ≤ 1; the spectral norm is factored out
+//!    as a single global `gain`), and
+//! 3. an `m×m` MZI mesh implementing `U`.
+
+use crate::clements::decompose_clements;
+use crate::count::{mzi_count, DeviceCount};
+use crate::devices::Attenuator;
+use crate::mesh::MziMesh;
+use crate::reck::decompose_reck;
+use oplix_linalg::svd::svd;
+use oplix_linalg::{CMatrix, Complex64};
+
+/// Which mesh layout to use for the two unitary stages.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MeshStyle {
+    /// Rectangular Clements layout (depth `n`). The default.
+    #[default]
+    Clements,
+    /// Triangular Reck layout (depth `2n−3`).
+    Reck,
+}
+
+/// A weight matrix deployed onto MZI meshes and attenuators.
+///
+/// # Example
+///
+/// ```
+/// use oplix_linalg::{CMatrix, Complex64};
+/// use oplix_photonics::svd_map::{PhotonicLayer, MeshStyle};
+///
+/// let w = CMatrix::from_fn(2, 3, |i, j| Complex64::new(i as f64 + 1.0, j as f64));
+/// let layer = PhotonicLayer::from_matrix(&w, MeshStyle::Clements);
+/// let x = vec![Complex64::ONE, Complex64::i(), Complex64::new(0.5, -0.5)];
+/// let optical = layer.forward(&x);
+/// let exact = w.mul_vec(&x);
+/// for (a, b) in optical.iter().zip(&exact) {
+///     assert!((*a - *b).abs() < 1e-8);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct PhotonicLayer {
+    m: usize,
+    n: usize,
+    v_mesh: MziMesh,
+    attenuators: Vec<Attenuator>,
+    gain: f64,
+    u_mesh: MziMesh,
+}
+
+impl PhotonicLayer {
+    /// Maps a complex weight matrix onto meshes and attenuators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` has zero rows or columns.
+    pub fn from_matrix(w: &CMatrix, style: MeshStyle) -> Self {
+        assert!(w.rows() > 0 && w.cols() > 0, "weight matrix must be non-empty");
+        let f = svd(w);
+        let m = w.rows();
+        let n = w.cols();
+        let gain = f.spectral_norm().max(f64::MIN_POSITIVE);
+        let attenuators = f
+            .s
+            .iter()
+            .map(|&s| Attenuator::new(s / gain))
+            .collect();
+        let decompose = |u: &CMatrix| match style {
+            MeshStyle::Clements => decompose_clements(u),
+            MeshStyle::Reck => decompose_reck(u),
+        };
+        PhotonicLayer {
+            m,
+            n,
+            v_mesh: decompose(&f.v.hermitian()),
+            attenuators,
+            gain,
+            u_mesh: decompose(&f.u),
+        }
+    }
+
+    /// Output dimension `m`.
+    pub fn output_dim(&self) -> usize {
+        self.m
+    }
+
+    /// Input dimension `n`.
+    pub fn input_dim(&self) -> usize {
+        self.n
+    }
+
+    /// The global scale factored out of Σ so that all on-chip attenuation
+    /// coefficients lie in `[0, 1]`.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// The input-side mesh (implements `V*`).
+    pub fn v_mesh(&self) -> &MziMesh {
+        &self.v_mesh
+    }
+
+    /// The output-side mesh (implements `U`).
+    pub fn u_mesh(&self) -> &MziMesh {
+        &self.u_mesh
+    }
+
+    /// Mutable access to both meshes, for noise-injection studies.
+    pub fn meshes_mut(&mut self) -> (&mut MziMesh, &mut MziMesh) {
+        (&mut self.v_mesh, &mut self.u_mesh)
+    }
+
+    /// Propagates a field vector through `V*`, Σ and `U`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.input_dim()`.
+    pub fn forward(&self, input: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(input.len(), self.n, "input length must equal the layer fan-in");
+        let after_v = self.v_mesh.propagate(input);
+        // Σ stage: keep min(m, n) modes, attenuate, apply the global gain.
+        let k = self.m.min(self.n);
+        let mut mid = vec![Complex64::ZERO; self.m];
+        for i in 0..k {
+            mid[i] = self.attenuators[i].apply(after_v[i]).scale(self.gain);
+        }
+        self.u_mesh.propagate(&mid)
+    }
+
+    /// Reconstructs the implemented matrix (should equal `W` up to
+    /// numerical error).
+    pub fn matrix(&self) -> CMatrix {
+        let mut out = CMatrix::zeros(self.m, self.n);
+        for j in 0..self.n {
+            let mut e = vec![Complex64::ZERO; self.n];
+            e[j] = Complex64::ONE;
+            let y = self.forward(&e);
+            for i in 0..self.m {
+                out[(i, j)] = y[i];
+            }
+        }
+        out
+    }
+
+    /// Device inventory of this layer. The mesh MZIs plus one MZI-equivalent
+    /// attenuator per singular value reproduce the paper's
+    /// `n(n−1)/2 + min(m,n) + m(m−1)/2` formula.
+    pub fn device_count(&self) -> DeviceCount {
+        DeviceCount::from_mzis(
+            (self.v_mesh.mzi_count() + self.attenuators.len() + self.u_mesh.mzi_count()) as u64,
+        )
+    }
+}
+
+/// The paper's closed-form MZI count for an `m×n` layer; exposed here so
+/// that network-level area accounting does not need to build meshes.
+pub fn layer_mzi_count(m: usize, n: usize) -> u64 {
+    mzi_count(m as u64, n as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_cmatrix(m: usize, n: usize, seed: u64) -> CMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        CMatrix::from_fn(m, n, |_, _| {
+            Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        })
+    }
+
+    #[test]
+    fn square_layer_round_trips() {
+        let w = random_cmatrix(5, 5, 1);
+        let layer = PhotonicLayer::from_matrix(&w, MeshStyle::Clements);
+        assert!(layer.matrix().max_abs_diff(&w) < 1e-8);
+    }
+
+    #[test]
+    fn tall_layer_round_trips() {
+        let w = random_cmatrix(7, 3, 2);
+        let layer = PhotonicLayer::from_matrix(&w, MeshStyle::Reck);
+        assert!(layer.matrix().max_abs_diff(&w) < 1e-8);
+    }
+
+    #[test]
+    fn wide_layer_round_trips() {
+        let w = random_cmatrix(3, 7, 3);
+        let layer = PhotonicLayer::from_matrix(&w, MeshStyle::Clements);
+        assert!(layer.matrix().max_abs_diff(&w) < 1e-8);
+    }
+
+    #[test]
+    fn attenuators_do_not_amplify() {
+        let w = random_cmatrix(4, 4, 4).scale(Complex64::from_real(10.0));
+        let layer = PhotonicLayer::from_matrix(&w, MeshStyle::Clements);
+        for a in &layer.attenuators {
+            assert!(a.coefficient <= 1.0 + 1e-12);
+            assert!(a.coefficient >= 0.0);
+        }
+        assert!(layer.gain() > 1.0);
+    }
+
+    #[test]
+    fn device_count_matches_formula() {
+        let w = random_cmatrix(6, 4, 5);
+        let layer = PhotonicLayer::from_matrix(&w, MeshStyle::Clements);
+        assert_eq!(layer.device_count().mzis, mzi_count(6, 4));
+    }
+
+    #[test]
+    fn forward_matches_matrix_multiplication() {
+        let w = random_cmatrix(4, 6, 6);
+        let layer = PhotonicLayer::from_matrix(&w, MeshStyle::Clements);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..5 {
+            let x: Vec<Complex64> = (0..6)
+                .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            let optical = layer.forward(&x);
+            let exact = w.mul_vec(&x);
+            for (a, b) in optical.iter().zip(&exact) {
+                assert!((*a - *b).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn reck_and_clements_agree() {
+        let w = random_cmatrix(5, 5, 8);
+        let a = PhotonicLayer::from_matrix(&w, MeshStyle::Clements).matrix();
+        let b = PhotonicLayer::from_matrix(&w, MeshStyle::Reck).matrix();
+        assert!(a.max_abs_diff(&b) < 1e-8);
+    }
+
+    #[test]
+    fn rank_deficient_weight_round_trips() {
+        let u = random_cmatrix(5, 1, 9);
+        let v = random_cmatrix(1, 5, 10);
+        let w = u.matmul(&v);
+        let layer = PhotonicLayer::from_matrix(&w, MeshStyle::Clements);
+        assert!(layer.matrix().max_abs_diff(&w) < 1e-8);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the photonic hardware model.
+
+use oplix_linalg::{CMatrix, Complex64};
+use oplix_photonics::clements::decompose_clements;
+use oplix_photonics::count::{mzi_count, reduction_ratio, DeviceCount};
+use oplix_photonics::decoder::{differential_photodiode, CoherentDetector, DecoderKind};
+use oplix_photonics::devices::Mzi;
+use oplix_photonics::encoder::{ComplexEncoder, DcComplexEncoder, PsComplexEncoder};
+use oplix_photonics::mesh::MziMesh;
+use oplix_photonics::power::phase_power_mw;
+use oplix_photonics::reck::decompose_reck;
+use oplix_photonics::svd_map::{MeshStyle, PhotonicLayer};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mzi_is_always_unitary(theta in -10.0f64..10.0, phi in -10.0f64..10.0) {
+        prop_assert!(Mzi::new(0, theta, phi).transfer().is_unitary(1e-10));
+    }
+
+    #[test]
+    fn mzi_conserves_energy(theta in -10.0f64..10.0, phi in -10.0f64..10.0,
+                            a_re in -2.0f64..2.0, a_im in -2.0f64..2.0,
+                            b_re in -2.0f64..2.0, b_im in -2.0f64..2.0) {
+        let mut fields = [Complex64::new(a_re, a_im), Complex64::new(b_re, b_im)];
+        let e_in: f64 = fields.iter().map(|z| z.norm_sqr()).sum();
+        Mzi::new(0, theta, phi).apply(&mut fields);
+        let e_out: f64 = fields.iter().map(|z| z.norm_sqr()).sum();
+        prop_assert!((e_in - e_out).abs() < 1e-10 * (1.0 + e_in));
+    }
+
+    #[test]
+    fn decompositions_reconstruct(seed in 0u64..2000, n in 1usize..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = CMatrix::random_unitary(n, &mut rng);
+        for mesh in [decompose_reck(&u), decompose_clements(&u)] {
+            prop_assert_eq!(mesh.mzi_count(), n * (n - 1) / 2);
+            prop_assert!(mesh.matrix().max_abs_diff(&u) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn mesh_propagation_is_linear(seed in 0u64..1000, k in -2.0f64..2.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = CMatrix::random_unitary(5, &mut rng);
+        let mesh = decompose_clements(&u);
+        let x: Vec<Complex64> = (0..5)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let scaled: Vec<Complex64> = x.iter().map(|z| z.scale(k)).collect();
+        let y1 = mesh.propagate(&scaled);
+        let y2: Vec<Complex64> = mesh.propagate(&x).iter().map(|z| z.scale(k)).collect();
+        for (a, b) in y1.iter().zip(&y2) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn svd_deployment_is_exact(seed in 0u64..1000, m in 1usize..6, n in 1usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = CMatrix::from_fn(m, n, |_, _| {
+            Complex64::new(rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0))
+        });
+        let layer = PhotonicLayer::from_matrix(&w, MeshStyle::Reck);
+        prop_assert!(layer.matrix().max_abs_diff(&w) < 1e-7);
+        prop_assert_eq!(layer.device_count().mzis, mzi_count(m as u64, n as u64));
+    }
+
+    #[test]
+    fn encoders_agree(a in -5.0f64..5.0, b in -5.0f64..5.0) {
+        let dc = DcComplexEncoder::new().encode_pair(a, b);
+        let ps = PsComplexEncoder::new().encode_pair(a, b);
+        prop_assert!((dc - ps).abs() < 1e-9);
+        prop_assert!((dc - Complex64::new(a, b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coherent_detection_inverts_encoding(a in -5.0f64..5.0, b in -5.0f64..5.0, r in 0.5f64..4.0) {
+        let z = DcComplexEncoder::new().encode_pair(a, b);
+        let (re, im) = CoherentDetector::new(r).detect(z);
+        prop_assert!((re - a).abs() < 1e-8);
+        prop_assert!((im - b).abs() < 1e-8);
+    }
+
+    #[test]
+    fn differential_detection_is_antisymmetric(values in proptest::collection::vec(
+        (-2.0f64..2.0, -2.0f64..2.0), 4..=4)) {
+        let z: Vec<Complex64> = values.iter().map(|&(re, im)| Complex64::new(re, im)).collect();
+        // Swapping the positive and negative diode banks negates the logits.
+        let swapped: Vec<Complex64> = z[2..].iter().chain(&z[..2]).cloned().collect();
+        let l1 = differential_photodiode(&z);
+        let l2 = differential_photodiode(&swapped);
+        for (a, b) in l1.iter().zip(&l2) {
+            prop_assert!((a + b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn phase_power_is_bounded_and_periodic(phi in -100.0f64..100.0) {
+        let p = phase_power_mw(phi, 80.0);
+        prop_assert!((0.0..80.0).contains(&p));
+        let p2 = phase_power_mw(phi + std::f64::consts::TAU, 80.0);
+        prop_assert!((p - p2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mzi_count_monotone(m in 1u64..200, n in 1u64..200) {
+        prop_assert!(mzi_count(m + 1, n) >= mzi_count(m, n));
+        prop_assert!(mzi_count(m, n + 1) >= mzi_count(m, n));
+        // Halving both dimensions reduces by at least ~70 % for sizes >= 8.
+        if m >= 8 && n >= 8 {
+            let red = reduction_ratio(mzi_count(m, n), mzi_count(m.div_ceil(2), n.div_ceil(2)));
+            prop_assert!(red > 0.65, "m={m} n={n} red={red}");
+        }
+    }
+
+    #[test]
+    fn decoder_counts_are_consistent(n_in in 10u64..500, k in 2u64..50) {
+        let merge = DecoderKind::Merge.extra_mzis(n_in, k);
+        let coherent = DecoderKind::Coherent.extra_mzis(n_in, k);
+        prop_assert_eq!(coherent, 0);
+        prop_assert!(merge > 0);
+        let dc = DeviceCount::from_mzis(merge);
+        prop_assert_eq!(dc.dcs(), 2 * merge);
+        prop_assert_eq!(dc.pss(), merge);
+    }
+
+    #[test]
+    fn noise_keeps_mesh_unitary(seed in 0u64..500, sigma in 0.0f64..0.5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = CMatrix::random_unitary(4, &mut rng);
+        let mesh = decompose_clements(&u).with_phase_noise(sigma, &mut rng);
+        prop_assert!(mesh.matrix().is_unitary(1e-9));
+    }
+
+    #[test]
+    fn quantization_error_shrinks_with_bits(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = CMatrix::random_unitary(4, &mut rng);
+        let mesh = decompose_clements(&u);
+        let e6 = mesh.with_quantized_phases(6).matrix().max_abs_diff(&u);
+        let e12 = mesh.with_quantized_phases(12).matrix().max_abs_diff(&u);
+        prop_assert!(e12 <= e6 + 1e-12);
+    }
+}
+
+#[test]
+fn empty_mesh_is_identity() {
+    let mesh = MziMesh::identity(3);
+    assert!(mesh.matrix().max_abs_diff(&CMatrix::identity(3)) < 1e-12);
+}

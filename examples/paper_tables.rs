@@ -1,0 +1,54 @@
+//! Domain scenario: regenerate every table and figure of the paper in one
+//! run (the same code paths the benchmark harness uses).
+//!
+//! Pass `--quick` to use the smoke-test scale (~1 min); the default
+//! standard scale takes several minutes on one CPU because it trains the
+//! full model grid.
+//!
+//! Run with `cargo run --release --example paper_tables -- --quick`.
+
+use oplixnet::experiments::{ablation, fig7, fig8, fig9, table2, table3, Scale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::standard() };
+    println!(
+        "running at {} scale: {} train / {} test samples, {} epochs\n",
+        if quick { "quick" } else { "standard" },
+        scale.train_samples,
+        scale.test_samples,
+        scale.setup.epochs
+    );
+
+    println!("=== Table II ===");
+    let t2 = table2::run(&scale);
+    print!("{t2}\n");
+
+    println!("=== Table III ===");
+    let t3 = table3::run(&scale);
+    print!("{t3}\n");
+
+    println!("=== Fig. 7 ===");
+    let f7 = fig7::run(&scale);
+    print!("{f7}\n");
+
+    println!("=== Fig. 8 ===");
+    let f8 = fig8::run(&scale);
+    print!("{f8}\n");
+
+    println!("=== Fig. 9 ===");
+    let f9 = fig9::run(&scale);
+    print!("{f9}\n");
+
+    println!("=== Ablation A1: KD mixing factor ===");
+    let a1 = ablation::alpha_sweep(&[0.25, 0.5, 1.0, 2.0], &scale);
+    print!("{a1}\n");
+
+    println!("=== Ablation A2: phase noise ===");
+    let a2 = ablation::noise_sweep(&[0.0, 0.01, 0.03, 0.1, 0.3], &scale);
+    print!("{a2}\n");
+
+    println!("=== Ablation A3: static power ===");
+    let a3 = ablation::power_comparison(&scale);
+    print!("{a3}");
+}

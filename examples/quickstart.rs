@@ -1,0 +1,65 @@
+//! Quickstart: the whole OplixNet workflow (paper Fig. 2) in one page.
+//!
+//! ```text
+//! real images → spatial-interlace assignment → split FCNN (SCVNN)
+//!             ⇄ mutual learning with a CVNN teacher
+//!             → SVD phase mapping → MZI meshes → field-level inference
+//! ```
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use oplix_datasets::synth::{digits, SynthConfig};
+use oplixnet::experiments::TrainSetup;
+use oplixnet::pipeline::OplixNetBuilder;
+use oplixnet::spec::{fcnn_orig, fcnn_prop};
+use oplix_photonics::count::reduction_ratio;
+
+fn main() {
+    // 1. A seeded synthetic MNIST stand-in (16×16 digits, 10 classes).
+    let data_cfg = SynthConfig {
+        height: 16,
+        width: 16,
+        samples: 480,
+        ..Default::default()
+    };
+    let train = digits(&data_cfg);
+    let test = digits(&SynthConfig {
+        samples: 240,
+        seed: 1,
+        ..data_cfg
+    });
+    println!("dataset: {} train / {} test images of {:?}", train.len(), test.len(), train.image_shape());
+
+    // 2. Build and run the pipeline with the paper's defaults: spatial
+    //    interlace, merging decoder, SCVNN-CVNN mutual learning (α = 1).
+    let outcome = OplixNetBuilder::new()
+        .hidden(32)
+        .train_setup(TrainSetup {
+            epochs: 16,
+            batch: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+        })
+        .build(&train, &test)
+        .run();
+
+    println!("software accuracy:  {:.2}%", 100.0 * outcome.accuracy);
+    println!("hardware accuracy:  {:.2}% (field-level MZI simulation)", 100.0 * outcome.deployed_accuracy);
+    println!("software/hardware gap: {:.4}", outcome.hardware_gap());
+
+    // 3. The area story at the paper's full scale.
+    let orig = fcnn_orig();
+    let prop = fcnn_prop();
+    println!(
+        "paper-scale area: original {:.1}e4 MZIs -> split {:.1}e4 MZIs ({:.2}% reduction)",
+        orig.mzis() as f64 / 1e4,
+        prop.mzis() as f64 / 1e4,
+        100.0 * reduction_ratio(orig.mzis(), prop.mzis()),
+    );
+    println!(
+        "deployed training-scale pipeline uses {} MZIs over {} optical stages",
+        outcome.deployed_mzis,
+        outcome.deployed.num_stages(),
+    );
+}

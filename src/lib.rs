@@ -1,0 +1,19 @@
+//! Umbrella crate for the OplixNet reproduction workspace.
+//!
+//! This crate exists to host the runnable examples under `examples/` and the
+//! cross-crate integration tests under `tests/`. The actual functionality
+//! lives in the member crates:
+//!
+//! * [`oplix_linalg`] — complex numbers, matrices, SVD, FFT.
+//! * [`oplix_photonics`] — MZI devices, meshes, decompositions, area/power.
+//! * [`oplix_nn`] — split-complex neural-network framework.
+//! * [`oplix_datasets`] — synthetic datasets and real-to-complex assignment.
+//! * [`oplix_offt`] — FFT-based ONN baseline.
+//! * [`oplixnet`] — the OplixNet framework and experiment runners.
+
+pub use oplix_datasets as datasets;
+pub use oplix_linalg as linalg;
+pub use oplix_nn as nn;
+pub use oplix_offt as offt;
+pub use oplix_photonics as photonics;
+pub use oplixnet as core;

@@ -1,0 +1,158 @@
+//! Cross-crate integration tests: dataset → assignment → training →
+//! photonic deployment, exercised through the public APIs only.
+
+use oplix_datasets::assign::AssignmentKind;
+use oplix_datasets::synth::{colors, digits, SynthConfig};
+use oplix_linalg::Complex64;
+use oplix_photonics::decoder::DecoderKind;
+use oplix_photonics::encoder::{ComplexEncoder, DcComplexEncoder};
+use oplix_photonics::svd_map::MeshStyle;
+use oplixnet::deploy::{DeployedDetection, DeployedFcnn};
+use oplixnet::experiments::{train_and_eval, TrainSetup};
+use oplixnet::pipeline::OplixNetBuilder;
+use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quick_setup() -> TrainSetup {
+    TrainSetup {
+        epochs: 12,
+        batch: 32,
+        lr: 0.05,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+    }
+}
+
+#[test]
+fn split_fcnn_learns_and_deploys_with_identical_predictions() {
+    let cfg = SynthConfig {
+        height: 8,
+        width: 8,
+        samples: 240,
+        ..Default::default()
+    };
+    let train_raw = digits(&cfg);
+    let test_raw = digits(&SynthConfig { samples: 120, seed: 1, ..cfg });
+    let train = AssignmentKind::SpatialInterlace.apply_dataset_flat(&train_raw);
+    let test = AssignmentKind::SpatialInterlace.apply_dataset_flat(&test_raw);
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut net = build_fcnn(
+        &FcnnConfig { input: 32, hidden: 16, classes: 10 },
+        ModelVariant::Split(DecoderKind::Merge),
+        &mut rng,
+    );
+    let acc = train_and_eval(&mut net, &train, &test, &quick_setup(), 5);
+    assert!(acc > 0.6, "software accuracy too low: {acc}");
+
+    let deployed = DeployedFcnn::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+        .expect("FCNN deploys");
+    let hw_acc = deployed.accuracy(&test.inputs, &test.labels);
+    assert!(
+        (acc - hw_acc).abs() < 0.02,
+        "hardware accuracy {hw_acc} diverges from software {acc}"
+    );
+}
+
+#[test]
+fn interlace_beats_symmetric_on_correlated_digits() {
+    // The central Fig. 8 ordering claim, end to end: with strong adjacent-
+    // pixel correlation, SI must not lose to SS.
+    let cfg = SynthConfig {
+        height: 8,
+        width: 8,
+        samples: 320,
+        noise: 0.12,
+        ..Default::default()
+    };
+    let train_raw = digits(&cfg);
+    let test_raw = digits(&SynthConfig { samples: 160, seed: 1, ..cfg });
+
+    let mut accs = Vec::new();
+    for assignment in [AssignmentKind::SpatialInterlace, AssignmentKind::SpatialSymmetric] {
+        let train = assignment.apply_dataset_flat(&train_raw);
+        let test = assignment.apply_dataset_flat(&test_raw);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = build_fcnn(
+            &FcnnConfig { input: 32, hidden: 16, classes: 10 },
+            ModelVariant::Split(DecoderKind::Merge),
+            &mut rng,
+        );
+        accs.push(train_and_eval(&mut net, &train, &test, &quick_setup(), 9));
+    }
+    assert!(
+        accs[0] >= accs[1] - 0.05,
+        "interlace {} should not trail symmetric {} materially",
+        accs[0],
+        accs[1]
+    );
+}
+
+#[test]
+fn channel_lossless_preserves_information_vs_remapping() {
+    let cfg = SynthConfig {
+        height: 8,
+        width: 8,
+        samples: 320,
+        ..Default::default()
+    };
+    let train_raw = colors(&cfg);
+    let test_raw = colors(&SynthConfig { samples: 160, seed: 1, ..cfg });
+
+    let mut accs = Vec::new();
+    for assignment in [AssignmentKind::ChannelLossless, AssignmentKind::ChannelRemapping] {
+        let train = assignment.apply_dataset_flat(&train_raw);
+        let test = assignment.apply_dataset_flat(&test_raw);
+        let input = train.inputs.shape()[1];
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut net = build_fcnn(
+            &FcnnConfig { input, hidden: 16, classes: 10 },
+            ModelVariant::Split(DecoderKind::Merge),
+            &mut rng,
+        );
+        accs.push(train_and_eval(&mut net, &train, &test, &quick_setup(), 13));
+    }
+    // CL keeps all the information; CR collapsed 3 channels into 2 real
+    // values. CL must not lose.
+    assert!(
+        accs[0] >= accs[1] - 0.05,
+        "channel-lossless {} should not trail remapping {}",
+        accs[0],
+        accs[1]
+    );
+}
+
+#[test]
+fn pipeline_builder_full_workflow() {
+    let cfg = SynthConfig {
+        height: 8,
+        width: 8,
+        samples: 240,
+        ..Default::default()
+    };
+    let train = digits(&cfg);
+    let test = digits(&SynthConfig { samples: 120, seed: 1, ..cfg });
+    let outcome = OplixNetBuilder::new()
+        .hidden(16)
+        .mutual_learning(true)
+        .train_setup(quick_setup())
+        .build(&train, &test)
+        .run();
+    assert!(outcome.accuracy > 0.5, "accuracy {}", outcome.accuracy);
+    assert!(outcome.hardware_gap() < 0.05);
+}
+
+#[test]
+fn encoder_feeds_deployment_exactly() {
+    // The DC encoder's field output is bit-identical to the (re, im)
+    // representation the deployment consumes.
+    let enc = DcComplexEncoder::new();
+    let pairs = [(0.3, -0.4), (0.9, 0.1), (0.0, 0.0)];
+    let fields = enc.encode(&pairs);
+    for (&(a, b), z) in pairs.iter().zip(&fields) {
+        assert!((z.re - a).abs() < 1e-12);
+        assert!((z.im - b).abs() < 1e-12);
+    }
+    let _: Vec<Complex64> = fields;
+}

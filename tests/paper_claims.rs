@@ -1,0 +1,127 @@
+//! Integration tests pinning the paper's quantitative claims that are
+//! closed-form (no training): every area number of Table II, the decoder
+//! ordering of Fig. 9, and the device relationships of Fig. 7.
+
+use oplix_photonics::count::{mzi_count, reduction_ratio};
+use oplix_photonics::decoder::DecoderKind;
+use oplixnet::experiments::fig7::Fig7Model;
+use oplixnet::experiments::fig9::{normalized_area, Fig9Model};
+use oplixnet::spec::{
+    fcnn_orig, fcnn_prop, lenet5_orig, lenet5_prop, resnet_orig, resnet_prop,
+};
+
+#[test]
+fn table2_area_column_digit_for_digit() {
+    // Paper Table II, #MZI (×10⁴):      Orig.   Prop.
+    //   FCNN                            31.7    7.9
+    //   LeNet-5                         11.5    2.9
+    //   ResNet-20                      116.6   29.1
+    //   ResNet-32                      205.1   51.5
+    assert_eq!(fcnn_orig().mzis_e4(), 31.7);
+    assert_eq!(fcnn_prop().mzis_e4(), 7.9);
+    assert_eq!(lenet5_orig().mzis_e4(), 11.5);
+    assert_eq!(lenet5_prop().mzis_e4(), 2.9);
+    // ResNets land within one rounding step of the paper (116.7 vs 116.6,
+    // 51.6 vs 51.5) — see EXPERIMENTS.md for the convention notes.
+    assert!((resnet_orig(20, 10).mzis_e4() - 116.6).abs() <= 0.2);
+    assert_eq!(resnet_prop(20, 10).mzis_e4(), 29.1);
+    assert!((resnet_orig(32, 100).mzis_e4() - 205.1).abs() <= 0.2);
+    assert!((resnet_prop(32, 100).mzis_e4() - 51.5).abs() <= 0.2);
+}
+
+#[test]
+fn table2_reduction_column() {
+    // Paper: 75.03 %, 74.62 %, 75.06 %, 74.88 %.
+    let cases = [
+        (fcnn_orig().mzis(), fcnn_prop().mzis(), 0.7503),
+        (lenet5_orig().mzis(), lenet5_prop().mzis(), 0.7462),
+        (resnet_orig(20, 10).mzis(), resnet_prop(20, 10).mzis(), 0.7506),
+        (resnet_orig(32, 100).mzis(), resnet_prop(32, 100).mzis(), 0.7488),
+    ];
+    for (orig, prop, expect) in cases {
+        let red = reduction_ratio(orig, prop);
+        assert!(
+            (red - expect).abs() < 0.003,
+            "expected ~{expect}, got {red}"
+        );
+    }
+}
+
+#[test]
+fn conclusion_claim_reduction_band() {
+    // Paper §V: "74.62 % ~ 75.06 % area reduction".
+    let reductions = [
+        reduction_ratio(fcnn_orig().mzis(), fcnn_prop().mzis()),
+        reduction_ratio(lenet5_orig().mzis(), lenet5_prop().mzis()),
+        reduction_ratio(resnet_orig(20, 10).mzis(), resnet_prop(20, 10).mzis()),
+        reduction_ratio(resnet_orig(32, 100).mzis(), resnet_prop(32, 100).mzis()),
+    ];
+    for r in reductions {
+        assert!((0.744..0.753).contains(&r), "reduction {r} outside the band");
+    }
+}
+
+#[test]
+fn paper_mzi_formula() {
+    // §II-A: n(n-1)/2 + min(m,n) + m(m-1)/2, and Fig. 1(b)'s 4×4 = 6 MZIs.
+    assert_eq!(mzi_count(4, 4), 6 + 4 + 6);
+    assert_eq!(mzi_count(100, 784), 784 * 783 / 2 + 100 + 100 * 99 / 2);
+}
+
+#[test]
+fn fig9_decoder_area_ordering_everywhere() {
+    for model in Fig9Model::all() {
+        let coh = normalized_area(model, DecoderKind::Coherent);
+        let merge = normalized_area(model, DecoderKind::Merge);
+        let unitary = normalized_area(model, DecoderKind::Unitary);
+        let linear = normalized_area(model, DecoderKind::Linear);
+        assert_eq!(coh, 1.0);
+        assert!(
+            coh < merge && merge < unitary && unitary < linear,
+            "{model:?}: {coh} {merge} {unitary} {linear}"
+        );
+    }
+}
+
+#[test]
+fn fig9_merge_overhead_band_for_ten_class_models() {
+    // Paper: merge costs 0.04 %–0.73 % more area than coherent.
+    for model in [Fig9Model::Fcnn, Fig9Model::Lenet5, Fig9Model::Resnet20] {
+        let over = normalized_area(model, DecoderKind::Merge) - 1.0;
+        assert!(
+            (0.0004..0.0073).contains(&over),
+            "{model:?}: overhead {over}"
+        );
+    }
+}
+
+#[test]
+fn fig7_device_relationships() {
+    use oplix_offt::cost::OfftCostModel;
+    use oplixnet::spec::LayerShape;
+    // For every model: OplixNet uses fewer DCs and PSs than OFFT; OFFT
+    // holds fewer parameters than OplixNet (the paper notes Model2 as the
+    // parameter exception in accuracy, not in counts; our OFFT always
+    // compresses parameters).
+    for m in Fig7Model::all() {
+        let oplix_mzis: u64 = m.oplix_spec().layers.iter().map(LayerShape::mzis).sum();
+        let offt = OfftCostModel::new(8)
+            .network_cost(&m.widths.iter().map(|&w| w as u64).collect::<Vec<_>>());
+        assert!(2 * oplix_mzis < offt.dcs, "{}: DC", m.name);
+        assert!(oplix_mzis < offt.pss, "{}: PS", m.name);
+        assert!(m.oplix_spec().params() > offt.params, "{}: params", m.name);
+        // And both beat the original ONN on devices.
+        let orig: u64 = m.orig_spec().layers.iter().map(LayerShape::mzis).sum();
+        assert!(oplix_mzis < orig);
+        assert!(offt.pss < orig);
+    }
+}
+
+#[test]
+fn fcnn_split_halves_every_dimension() {
+    let orig = fcnn_orig();
+    let prop = fcnn_prop();
+    // 784 -> 392, 100 -> 50, classifier 10 -> 10.
+    assert_eq!(orig.layers.len(), prop.layers.len());
+    assert!(prop.mzis() * 4 < orig.mzis() + 4 * 4000);
+}
