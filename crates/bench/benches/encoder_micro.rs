@@ -4,9 +4,7 @@
 //! claim).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use oplix_photonics::encoder::{
-    ComplexEncoder, DcComplexEncoder, PsComplexEncoder, RealEncoder,
-};
+use oplix_photonics::encoder::{ComplexEncoder, DcComplexEncoder, PsComplexEncoder, RealEncoder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -28,10 +26,14 @@ fn bench_encoders(c: &mut Criterion) {
             let enc = PsComplexEncoder::new();
             b.iter(|| enc.encode(pairs))
         });
-        group.bench_with_input(BenchmarkId::new("real_amplitude", n), &values, |b, values| {
-            let enc = RealEncoder::new();
-            b.iter(|| enc.encode(values))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("real_amplitude", n),
+            &values,
+            |b, values| {
+                let enc = RealEncoder::new();
+                b.iter(|| enc.encode(values))
+            },
+        );
     }
     group.finish();
 

@@ -35,9 +35,11 @@ fn bench_propagation(c: &mut Criterion) {
         let x: Vec<Complex64> = (0..n)
             .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(mesh, x), |b, (mesh, x)| {
-            b.iter(|| mesh.propagate(x))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(mesh, x),
+            |b, (mesh, x)| b.iter(|| mesh.propagate(x)),
+        );
     }
     group.finish();
 }
@@ -57,5 +59,10 @@ fn bench_svd_deployment(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_decompositions, bench_propagation, bench_svd_deployment);
+criterion_group!(
+    benches,
+    bench_decompositions,
+    bench_propagation,
+    bench_svd_deployment
+);
 criterion_main!(benches);

@@ -8,8 +8,8 @@ use oplix_nn::layers::{CConv2d, CDense, CLayer};
 use oplix_nn::loss::cross_entropy;
 use oplix_nn::optim::Sgd;
 use oplix_nn::tensor::Tensor;
-use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
 use oplix_photonics::decoder::DecoderKind;
+use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -29,10 +29,8 @@ fn bench_cdense(c: &mut Criterion) {
             |b, x| {
                 b.iter(|| {
                     let y = layer.forward(x, true);
-                    let dy = CTensor::new(
-                        Tensor::full(y.shape(), 1.0),
-                        Tensor::full(y.shape(), -1.0),
-                    );
+                    let dy =
+                        CTensor::new(Tensor::full(y.shape(), 1.0), Tensor::full(y.shape(), -1.0));
                     layer.backward(&dy)
                 })
             },
@@ -65,7 +63,11 @@ fn bench_cconv(c: &mut Criterion) {
 fn bench_training_step(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let mut net = build_fcnn(
-        &FcnnConfig { input: 128, hidden: 32, classes: 10 },
+        &FcnnConfig {
+            input: 128,
+            hidden: 32,
+            classes: 10,
+        },
         ModelVariant::Split(DecoderKind::Merge),
         &mut rng,
     );

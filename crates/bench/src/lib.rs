@@ -29,5 +29,8 @@ pub fn run_experiment<T: std::fmt::Display>(name: &str, f: impl FnOnce(&Scale) -
     let start = Instant::now();
     let report = f(&scale);
     println!("{report}");
-    println!("[{name} completed in {:.1}s]", start.elapsed().as_secs_f64());
+    println!(
+        "[{name} completed in {:.1}s]",
+        start.elapsed().as_secs_f64()
+    );
 }

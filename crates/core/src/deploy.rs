@@ -14,52 +14,94 @@
 //!   photodiodes for the merging decoder, plain photodiodes for the
 //!   conventional ONN, coherent detection for the `Re` head.
 
+use crate::error::Error;
 use oplix_linalg::{CMatrix, Complex64};
 use oplix_nn::ctensor::CTensor;
+use oplix_nn::head::{LinearDecoderHead, UnitaryDecoderHead};
 use oplix_nn::layers::CDense;
 use oplix_nn::network::Network;
 use oplix_photonics::count::DeviceCount;
-use oplix_photonics::decoder::{differential_photodiode, photodiode_vec};
 use oplix_photonics::svd_map::{MeshStyle, PhotonicLayer};
 use rand::Rng;
 
+/// Reusable field buffers for [`DeployedFcnn::forward_into`]: after the
+/// first call neither vector reallocates, so a serving loop is
+/// allocation-free per sample.
+#[derive(Clone, Debug, Default)]
+pub struct ForwardBuffers {
+    fields: Vec<Complex64>,
+    tmp: Vec<Complex64>,
+}
+
 /// How the deployed network's outputs are detected.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum DeployedDetection {
-    /// Differential photodiodes over a doubled output (merging decoder).
-    Differential,
-    /// Photodiode amplitude readout (conventional ONN): the diode measures
-    /// `|z|²`, the electronics take the square root — matching
-    /// `ModulusHead` exactly (and leaving the argmax unchanged).
-    Intensity,
-    /// Coherent detection: logits are the real parts.
-    CoherentReal,
+///
+/// This is the hardware-side [`Detection`](oplix_photonics::decoder::Detection)
+/// enum from `oplix-photonics`, re-exported under its historical name: for
+/// the learnable decoders it is derived from the trained
+/// [`DecoderKind`](oplix_photonics::decoder::DecoderKind) via
+/// [`DecoderKind::detection`](oplix_photonics::decoder::DecoderKind::detection),
+/// which is how the deploy stage picks it.
+pub use oplix_photonics::decoder::Detection as DeployedDetection;
+
+/// One optical stage of a deployed pipeline: a dense layer mapped onto
+/// meshes, plus how fields enter it (ancilla padding for the unitary
+/// decoder) and leave it (electro-optic split ReLU between body stages).
+#[derive(Clone, Debug)]
+pub(crate) struct OpticalStage {
+    pub(crate) layer: PhotonicLayer,
+    /// Zero-pad the incoming fields up to the stage fan-in (ancilla modes
+    /// of the unitary decoder).
+    pad_input: bool,
+    /// Apply the electro-optic split ReLU after this stage.
+    relu_after: bool,
 }
 
 /// A fully connected network deployed onto MZI meshes.
-#[derive(Debug)]
+///
+/// The stage list covers the network *body* and, for the linear and
+/// unitary decoders, the decoder itself (an extra trained optical stage),
+/// so field-level inference is faithful to the software head for every
+/// [`DecoderKind`](oplix_photonics::decoder::DecoderKind).
+///
+/// Cloning copies every mesh phase and attenuator — cheap relative to
+/// decomposition, which is what makes per-batch noise-injection sessions
+/// (see [`crate::engine::InferenceEngine::noise_session`]) affordable.
+#[derive(Clone, Debug)]
 pub struct DeployedFcnn {
-    stages: Vec<PhotonicLayer>,
+    stages: Vec<OpticalStage>,
     detection: DeployedDetection,
 }
 
 /// Errors from deployment.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DeployError {
     /// The network body contained a layer type that cannot be mapped
     /// (only dense layers, activations and reshapes are supported).
     UnsupportedLayer(usize),
     /// The network body contained no dense layers.
     Empty,
+    /// Differential detection pairs positive/negative diode banks, so the
+    /// optical output width must be even.
+    OddDifferentialOutput {
+        /// The (odd) optical output width.
+        width: usize,
+    },
 }
 
 impl std::fmt::Display for DeployError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DeployError::UnsupportedLayer(i) => {
-                write!(f, "layer {i} is not deployable onto an FCNN photonic pipeline")
+                write!(
+                    f,
+                    "layer {i} is not deployable onto an FCNN photonic pipeline"
+                )
             }
             DeployError::Empty => write!(f, "network has no dense layers to deploy"),
+            DeployError::OddDifferentialOutput { width } => write!(
+                f,
+                "differential detection needs an even optical output width, got {width}"
+            ),
         }
     }
 }
@@ -74,13 +116,22 @@ impl DeployedFcnn {
     ///
     /// Returns [`DeployError`] if the body contains layers other than dense
     /// layers and parameter-free ones (activations / reshapes), which this
-    /// FCNN pipeline skips by construction.
-    pub fn from_network(net: &Network, detection: DeployedDetection, style: MeshStyle) -> Result<Self, DeployError> {
+    /// FCNN pipeline skips by construction, or if differential detection
+    /// is requested over an odd optical output width.
+    pub fn from_network(
+        net: &Network,
+        detection: DeployedDetection,
+        style: MeshStyle,
+    ) -> Result<Self, DeployError> {
         let mut stages = Vec::new();
         for layer in net.body().layers() {
             if let Some(any) = layer.as_any() {
                 if let Some(dense) = any.downcast_ref::<CDense>() {
-                    stages.push(deploy_dense(dense, style));
+                    stages.push(OpticalStage {
+                        layer: deploy_dense(dense, style),
+                        pad_input: false,
+                        relu_after: true,
+                    });
                     continue;
                 }
             }
@@ -91,7 +142,129 @@ impl DeployedFcnn {
         if stages.is_empty() {
             return Err(DeployError::Empty);
         }
+        // No activation after the body's classifier layer.
+        stages.last_mut().expect("non-empty").relu_after = false;
+
+        // Decoder-bearing heads deploy as one more optical stage, so the
+        // hardware is faithful to the trained head for every decoder kind.
+        if let Some(any) = net.head().as_any() {
+            if let Some(linear) = any.downcast_ref::<LinearDecoderHead>() {
+                stages.push(OpticalStage {
+                    layer: deploy_dense(linear.dense(), style),
+                    pad_input: false,
+                    relu_after: false,
+                });
+            } else if let Some(unitary) = any.downcast_ref::<UnitaryDecoderHead>() {
+                stages.push(OpticalStage {
+                    layer: deploy_dense(unitary.dense(), style),
+                    // K class modes + K zero ancilla modes enter the 2K-wide
+                    // decoder array.
+                    pad_input: true,
+                    relu_after: false,
+                });
+            }
+        }
+        if detection == DeployedDetection::Differential {
+            let width = stages.last().expect("non-empty").layer.output_dim();
+            if width % 2 != 0 {
+                return Err(DeployError::OddDifferentialOutput { width });
+            }
+        }
         Ok(DeployedFcnn { stages, detection })
+    }
+
+    /// The complex fan-in of the deployed pipeline (first stage width
+    /// minus the always-on bias mode).
+    pub fn input_dim(&self) -> usize {
+        self.stages[0].layer.input_dim() - 1
+    }
+
+    /// Width of the detected logit vector.
+    pub fn logit_dim(&self) -> usize {
+        let optical = self.stages[self.stages.len() - 1].layer.output_dim();
+        match self.detection {
+            DeployedDetection::Differential => optical / 2,
+            _ => optical,
+        }
+    }
+
+    /// The detection scheme the pipeline reads out through.
+    pub fn detection(&self) -> DeployedDetection {
+        self.detection
+    }
+
+    /// Field-level inference of one sample into caller-owned buffers:
+    /// zero allocations after warm-up. `logits` is cleared and filled with
+    /// the detected class scores.
+    ///
+    /// This is the hot path [`crate::engine::InferenceEngine`] batches
+    /// over; [`DeployedFcnn::forward`] is the allocating convenience
+    /// wrapper.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if the input length does not match
+    /// [`DeployedFcnn::input_dim`].
+    pub fn forward_into(
+        &self,
+        input: &[Complex64],
+        buf: &mut ForwardBuffers,
+        logits: &mut Vec<f64>,
+    ) -> Result<(), Error> {
+        if input.len() != self.input_dim() {
+            return Err(Error::ShapeMismatch {
+                expected: self.input_dim(),
+                got: input.len(),
+                what: "input fields",
+            });
+        }
+        let fields = &mut buf.fields;
+        fields.clear();
+        fields.extend_from_slice(input);
+        for stage in &self.stages {
+            if stage.pad_input {
+                // Zero ancilla modes (unitary decoder input padding).
+                let fan_in = stage.layer.input_dim() - 1;
+                if fields.len() < fan_in {
+                    fields.resize(fan_in, Complex64::ZERO);
+                }
+            }
+            // Bias reference mode.
+            fields.push(Complex64::ONE);
+            stage.layer.forward_into(fields, &mut buf.tmp);
+            if stage.relu_after {
+                // Electro-optic split ReLU between optical stages.
+                for z in fields.iter_mut() {
+                    *z = Complex64::new(z.re.max(0.0), z.im.max(0.0));
+                }
+            }
+        }
+        logits.clear();
+        match self.detection {
+            DeployedDetection::Differential => {
+                let k = fields.len() / 2;
+                logits.extend((0..k).map(|i| fields[i].norm_sqr() - fields[i + k].norm_sqr()));
+            }
+            DeployedDetection::Intensity => {
+                logits.extend(fields.iter().map(|z| z.norm_sqr().sqrt()));
+            }
+            DeployedDetection::CoherentReal => logits.extend(fields.iter().map(|z| z.re)),
+        }
+        Ok(())
+    }
+
+    /// Field-level inference of one sample (already complex-assigned,
+    /// flattened). Returns the detected logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if the input length does not match
+    /// the first stage fan-in minus the bias mode.
+    pub fn try_forward(&self, input: &[Complex64]) -> Result<Vec<f64>, Error> {
+        let mut buf = ForwardBuffers::default();
+        let mut logits = Vec::new();
+        self.forward_into(input, &mut buf, &mut logits)?;
+        Ok(logits)
     }
 
     /// Field-level inference of one sample (already complex-assigned,
@@ -100,48 +273,63 @@ impl DeployedFcnn {
     /// # Panics
     ///
     /// Panics if the input length does not match the first stage fan-in
-    /// minus the bias mode.
+    /// minus the bias mode; see [`DeployedFcnn::try_forward`] for the
+    /// fallible form.
     pub fn forward(&self, input: &[Complex64]) -> Vec<f64> {
-        let mut fields: Vec<Complex64> = input.to_vec();
-        let last = self.stages.len() - 1;
-        for (i, stage) in self.stages.iter().enumerate() {
-            // Bias reference mode.
-            fields.push(Complex64::ONE);
-            fields = stage.forward(&fields);
-            if i < last {
-                // Electro-optic split ReLU between optical stages.
-                for z in &mut fields {
-                    *z = Complex64::new(z.re.max(0.0), z.im.max(0.0));
-                }
-            }
-        }
-        match self.detection {
-            DeployedDetection::Differential => differential_photodiode(&fields),
-            DeployedDetection::Intensity => {
-                photodiode_vec(&fields).into_iter().map(f64::sqrt).collect()
-            }
-            DeployedDetection::CoherentReal => fields.iter().map(|z| z.re).collect(),
-        }
+        // Use the legacy detection math on the shared field pipeline.
+        self.try_forward(input).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Classifies a batch given as a complex dataset view; returns
-    /// predicted class indices.
-    pub fn classify(&self, inputs: &CTensor) -> Vec<usize> {
+    /// Classifies a batch given as a `[N, D]` complex dataset view;
+    /// returns predicted class indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if the view is not rank 2 or `D`
+    /// differs from [`DeployedFcnn::input_dim`].
+    pub fn try_classify(&self, inputs: &CTensor) -> Result<Vec<usize>, Error> {
+        if inputs.shape().len() != 2 {
+            return Err(Error::ShapeMismatch {
+                expected: 2,
+                got: inputs.shape().len(),
+                what: "batch rank",
+            });
+        }
         let (n, d) = (inputs.shape()[0], inputs.shape()[1]);
+        let mut buf = ForwardBuffers::default();
+        let mut sample = Vec::with_capacity(d);
+        let mut logits = Vec::new();
         (0..n)
             .map(|i| {
-                let sample: Vec<Complex64> = (0..d)
-                    .map(|j| {
-                        Complex64::new(inputs.re.at2(i, j) as f64, inputs.im.at2(i, j) as f64)
-                    })
-                    .collect();
-                let logits = self.forward(&sample);
-                argmax(&logits)
+                sample.clear();
+                sample.extend((0..d).map(|j| {
+                    Complex64::new(inputs.re.at2(i, j) as f64, inputs.im.at2(i, j) as f64)
+                }));
+                self.forward_into(&sample, &mut buf, &mut logits)?;
+                Ok(argmax(&logits))
             })
             .collect()
     }
 
+    /// Classifies a batch given as a complex dataset view; returns
+    /// predicted class indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample width does not match the mesh fan-in; see
+    /// [`DeployedFcnn::try_classify`] for the fallible form (and
+    /// [`crate::engine::InferenceEngine::classify`] for the buffered
+    /// serving path).
+    pub fn classify(&self, inputs: &CTensor) -> Vec<usize> {
+        self.try_classify(inputs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Classification accuracy of the deployed hardware on a labelled view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample width does not match the mesh fan-in (see
+    /// [`DeployedFcnn::try_classify`]).
     pub fn accuracy(&self, inputs: &CTensor, labels: &[usize]) -> f64 {
         let preds = self.classify(inputs);
         let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
@@ -150,17 +338,27 @@ impl DeployedFcnn {
 
     /// Total device inventory of the deployed pipeline.
     pub fn device_count(&self) -> DeviceCount {
-        self.stages.iter().map(|s| s.device_count()).sum()
+        self.stages.iter().map(|s| s.layer.device_count()).sum()
     }
 
     /// Injects Gaussian phase noise into every mesh (thermal crosstalk /
     /// fabrication imprecision study).
     pub fn inject_phase_noise<R: Rng>(&mut self, sigma: f64, rng: &mut R) {
         for stage in &mut self.stages {
-            let (v, u) = stage.meshes_mut();
+            let (v, u) = stage.layer.meshes_mut();
             *v = v.with_phase_noise(sigma, rng);
             *u = u.with_phase_noise(sigma, rng);
         }
+    }
+
+    /// The optical stages, for engine-internal phase bookkeeping.
+    pub(crate) fn stages_vec(&self) -> &Vec<OpticalStage> {
+        &self.stages
+    }
+
+    /// Mutable optical stages, for engine-internal phase restoration.
+    pub(crate) fn stages_vec_mut(&mut self) -> &mut Vec<OpticalStage> {
+        &mut self.stages
     }
 
     /// Number of optical stages (dense layers).
@@ -176,7 +374,7 @@ impl DeployedFcnn {
         let mut total = 0.0;
         let mut phases = 0usize;
         for stage in &self.stages {
-            for mesh in [stage.v_mesh(), stage.u_mesh()] {
+            for mesh in [stage.layer.v_mesh(), stage.layer.u_mesh()] {
                 total += mesh_static_power_mw(mesh, max_mw);
                 phases += mesh.phases().len();
             }
@@ -203,7 +401,7 @@ fn deploy_dense(dense: &CDense, style: MeshStyle) -> PhotonicLayer {
 fn argmax(v: &[f64]) -> usize {
     v.iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("non-NaN logits"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .unwrap_or(0)
 }
@@ -228,7 +426,11 @@ mod tests {
     #[test]
     fn deployed_logits_match_software() {
         let mut rng = StdRng::seed_from_u64(1);
-        let cfg = FcnnConfig { input: 6, hidden: 5, classes: 2 };
+        let cfg = FcnnConfig {
+            input: 6,
+            hidden: 5,
+            classes: 2,
+        };
         let mut net = build_fcnn(&cfg, ModelVariant::Split(DecoderKind::Merge), &mut rng);
         let deployed =
             DeployedFcnn::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
@@ -256,7 +458,11 @@ mod tests {
     #[test]
     fn deployed_accuracy_matches_software_predictions() {
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = FcnnConfig { input: 4, hidden: 6, classes: 3 };
+        let cfg = FcnnConfig {
+            input: 4,
+            hidden: 6,
+            classes: 3,
+        };
         let mut net = build_fcnn(&cfg, ModelVariant::Split(DecoderKind::Merge), &mut rng);
         let deployed =
             DeployedFcnn::from_network(&net, DeployedDetection::Differential, MeshStyle::Reck)
@@ -273,7 +479,11 @@ mod tests {
     #[test]
     fn intensity_detection_for_conventional_onn() {
         let mut rng = StdRng::seed_from_u64(5);
-        let cfg = FcnnConfig { input: 4, hidden: 4, classes: 2 };
+        let cfg = FcnnConfig {
+            input: 4,
+            hidden: 4,
+            classes: 2,
+        };
         let mut net = build_fcnn(&cfg, ModelVariant::ConventionalOnn, &mut rng);
         let deployed =
             DeployedFcnn::from_network(&net, DeployedDetection::Intensity, MeshStyle::Clements)
@@ -294,27 +504,57 @@ mod tests {
     #[test]
     fn phase_noise_degrades_agreement() {
         let mut rng = StdRng::seed_from_u64(6);
-        let cfg = FcnnConfig { input: 6, hidden: 6, classes: 2 };
+        let cfg = FcnnConfig {
+            input: 6,
+            hidden: 6,
+            classes: 2,
+        };
         let net = build_fcnn(&cfg, ModelVariant::Split(DecoderKind::Merge), &mut rng);
         let mut deployed =
             DeployedFcnn::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
                 .expect("deployable");
-        let sample: Vec<Complex64> = (0..6).map(|j| Complex64::new(0.1 * j as f64, 0.05)).collect();
+        let sample: Vec<Complex64> = (0..6)
+            .map(|j| Complex64::new(0.1 * j as f64, 0.05))
+            .collect();
         let clean = deployed.forward(&sample);
         deployed.inject_phase_noise(0.3, &mut rng);
         let noisy = deployed.forward(&sample);
-        let diff: f64 = clean
-            .iter()
-            .zip(&noisy)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let diff: f64 = clean.iter().zip(&noisy).map(|(a, b)| (a - b).abs()).sum();
         assert!(diff > 1e-6, "noise had no effect");
+    }
+
+    #[test]
+    fn odd_differential_output_is_rejected() {
+        // 5 classes through a ConventionalOnn body: the optical output is
+        // 5 wide, which differential detection cannot pair.
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = FcnnConfig {
+            input: 4,
+            hidden: 4,
+            classes: 5,
+        };
+        let net = build_fcnn(&cfg, ModelVariant::ConventionalOnn, &mut rng);
+        let err =
+            DeployedFcnn::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+                .expect_err("odd width must not deploy differentially");
+        assert_eq!(err, DeployError::OddDifferentialOutput { width: 5 });
+        // The correct detection for this family still deploys.
+        assert!(DeployedFcnn::from_network(
+            &net,
+            DeployedDetection::Intensity,
+            MeshStyle::Clements
+        )
+        .is_ok());
     }
 
     #[test]
     fn device_count_includes_bias_modes() {
         let mut rng = StdRng::seed_from_u64(7);
-        let cfg = FcnnConfig { input: 6, hidden: 5, classes: 2 };
+        let cfg = FcnnConfig {
+            input: 6,
+            hidden: 5,
+            classes: 2,
+        };
         let net = build_fcnn(&cfg, ModelVariant::Split(DecoderKind::Merge), &mut rng);
         let deployed =
             DeployedFcnn::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)

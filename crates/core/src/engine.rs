@@ -1,0 +1,457 @@
+//! Batched inference engine over deployed photonic hardware.
+//!
+//! [`DeployedFcnn`] is the *artifact* of deployment; [`InferenceEngine`]
+//! is the *serving* wrapper that makes it reusable across many queries:
+//!
+//! * **preallocated forward buffers** — after the first call, a query does
+//!   not allocate on the field path (see
+//!   [`DeployedFcnn::forward_into`](crate::deploy::DeployedFcnn::forward_into));
+//! * **batched `predict` / `classify`** over dataset views, checked
+//!   against the mesh geometry with typed [`Error`]s instead of panics;
+//! * **per-batch noise-injection sessions** — [`InferenceEngine::noise_session`]
+//!   perturbs every mesh phase for the duration of the session and
+//!   restores the programmed phases on drop, so robustness studies share
+//!   one engine instead of redeploying per noise level;
+//! * **throughput counters** — samples, batches and busy time served,
+//!   for capacity planning.
+//!
+//! ```
+//! use oplixnet::engine::InferenceEngine;
+//! use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+//! use oplixnet::deploy::DeployedDetection;
+//! use oplix_photonics::decoder::DecoderKind;
+//! use oplix_photonics::svd_map::MeshStyle;
+//! use oplix_nn::ctensor::CTensor;
+//! use oplix_nn::tensor::Tensor;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let net = build_fcnn(
+//!     &FcnnConfig { input: 6, hidden: 5, classes: 2 },
+//!     ModelVariant::Split(DecoderKind::Merge),
+//!     &mut rng,
+//! );
+//! let mut engine = InferenceEngine::from_network(
+//!     &net, DeployedDetection::Differential, MeshStyle::Clements,
+//! ).expect("FCNN deploys");
+//! let batch = CTensor::from_re(Tensor::random_uniform(&[4, 6], 1.0, &mut rng));
+//! let classes = engine.classify(&batch).expect("geometry matches");
+//! assert_eq!(classes.len(), 4);
+//! assert_eq!(engine.stats().samples, 4);
+//! ```
+
+use crate::deploy::{DeployedDetection, DeployedFcnn, ForwardBuffers};
+use crate::error::Error;
+use oplix_linalg::Complex64;
+use oplix_nn::ctensor::CTensor;
+use oplix_nn::network::Network;
+use oplix_nn::trainer::CDataset;
+use oplix_photonics::svd_map::MeshStyle;
+use rand::Rng;
+use std::ops::{Deref, DerefMut};
+use std::time::{Duration, Instant};
+
+/// Cumulative serving counters of an [`InferenceEngine`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Samples inferred since construction (or the last reset).
+    pub samples: u64,
+    /// Batch calls served.
+    pub batches: u64,
+    /// Nanoseconds spent inside field-level inference.
+    pub busy_nanos: u64,
+}
+
+impl EngineStats {
+    /// Mean serving throughput in samples per second of busy time.
+    pub fn samples_per_sec(&self) -> f64 {
+        if self.busy_nanos == 0 {
+            0.0
+        } else {
+            self.samples as f64 / (self.busy_nanos as f64 * 1e-9)
+        }
+    }
+
+    fn absorb(&mut self, samples: u64, busy: Duration) {
+        self.samples += samples;
+        self.batches += 1;
+        self.busy_nanos += busy.as_nanos() as u64;
+    }
+}
+
+/// A reusable, batched query engine over one deployed network.
+#[derive(Clone, Debug)]
+pub struct InferenceEngine {
+    deployed: DeployedFcnn,
+    buf: ForwardBuffers,
+    sample: Vec<Complex64>,
+    logits: Vec<f64>,
+    stats: EngineStats,
+}
+
+impl InferenceEngine {
+    /// Wraps an already-deployed network.
+    pub fn new(deployed: DeployedFcnn) -> Self {
+        InferenceEngine {
+            deployed,
+            buf: ForwardBuffers::default(),
+            sample: Vec::new(),
+            logits: Vec::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Deploys a trained network and wraps it in one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Deploy`] if the network body cannot be mapped onto
+    /// an FCNN photonic pipeline.
+    pub fn from_network(
+        net: &Network,
+        detection: DeployedDetection,
+        style: MeshStyle,
+    ) -> Result<Self, Error> {
+        Ok(InferenceEngine::new(DeployedFcnn::from_network(
+            net, detection, style,
+        )?))
+    }
+
+    /// The deployed hardware the engine serves.
+    pub fn deployed(&self) -> &DeployedFcnn {
+        &self.deployed
+    }
+
+    /// Unwraps the engine back into its deployed network.
+    pub fn into_deployed(self) -> DeployedFcnn {
+        self.deployed
+    }
+
+    /// The complex fan-in a query sample must have.
+    pub fn input_dim(&self) -> usize {
+        self.deployed.input_dim()
+    }
+
+    /// Serving counters accumulated so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Zeroes the serving counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    /// Detected logits of one already-assigned sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] on a fan-in mismatch and
+    /// [`Error::NonFiniteLogits`] if the sample poisons detection.
+    pub fn predict(&mut self, input: &[Complex64]) -> Result<Vec<f64>, Error> {
+        let start = Instant::now();
+        self.deployed
+            .forward_into(input, &mut self.buf, &mut self.logits)?;
+        check_finite(&self.logits, 0)?;
+        self.stats.absorb(1, start.elapsed());
+        Ok(self.logits.clone())
+    }
+
+    /// Detected logits of every sample in a `[N, D]` complex batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if the view is not rank 2 or `D`
+    /// differs from the mesh fan-in, [`Error::EmptyInput`] on an empty
+    /// batch, and [`Error::NonFiniteLogits`] if a sample poisons
+    /// detection.
+    pub fn predict_batch(&mut self, inputs: &CTensor) -> Result<Vec<Vec<f64>>, Error> {
+        self.run_batch(inputs, |logits| logits.to_vec())
+    }
+
+    /// Predicted class indices of every sample in a `[N, D]` complex batch.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`InferenceEngine::predict_batch`].
+    pub fn classify(&mut self, inputs: &CTensor) -> Result<Vec<usize>, Error> {
+        self.run_batch(inputs, argmax)
+    }
+
+    /// Classification accuracy of the deployed hardware on a labelled
+    /// dataset view.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`InferenceEngine::predict_batch`].
+    pub fn accuracy(&mut self, data: &CDataset) -> Result<f64, Error> {
+        let preds = self.classify(&data.inputs)?;
+        let correct = preds
+            .iter()
+            .zip(&data.labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        Ok(correct as f64 / data.labels.len() as f64)
+    }
+
+    /// Opens a noise-injection session: every mesh phase is perturbed with
+    /// Gaussian noise of standard deviation `sigma` radians, queries run
+    /// against the noisy hardware through the session handle, and the
+    /// programmed phases are restored when the session drops.
+    pub fn noise_session<R: Rng>(&mut self, sigma: f64, rng: &mut R) -> NoiseSession<'_> {
+        let clean = self.deployed.stages_vec().clone();
+        if sigma > 0.0 {
+            self.deployed.inject_phase_noise(sigma, rng);
+        }
+        NoiseSession {
+            engine: self,
+            clean,
+        }
+    }
+
+    /// The one batch walk every query method shares: validate, load each
+    /// sample into the reused buffers, run the fields, check finiteness,
+    /// emit, count.
+    fn run_batch<T>(
+        &mut self,
+        inputs: &CTensor,
+        mut emit: impl FnMut(&[f64]) -> T,
+    ) -> Result<Vec<T>, Error> {
+        let (n, _) = self.check_batch(inputs)?;
+        let start = Instant::now();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            self.load_sample(inputs, i);
+            self.deployed
+                .forward_into(&self.sample, &mut self.buf, &mut self.logits)?;
+            check_finite(&self.logits, i)?;
+            out.push(emit(&self.logits));
+        }
+        self.stats.absorb(n as u64, start.elapsed());
+        Ok(out)
+    }
+
+    fn check_batch(&self, inputs: &CTensor) -> Result<(usize, usize), Error> {
+        if inputs.shape().len() != 2 {
+            return Err(Error::ShapeMismatch {
+                expected: 2,
+                got: inputs.shape().len(),
+                what: "batch rank",
+            });
+        }
+        let (n, d) = (inputs.shape()[0], inputs.shape()[1]);
+        if n == 0 {
+            return Err(Error::EmptyInput { stage: "engine" });
+        }
+        if d != self.input_dim() {
+            return Err(Error::ShapeMismatch {
+                expected: self.input_dim(),
+                got: d,
+                what: "sample width",
+            });
+        }
+        Ok((n, d))
+    }
+
+    fn load_sample(&mut self, inputs: &CTensor, i: usize) {
+        let d = inputs.shape()[1];
+        self.sample.clear();
+        self.sample.extend(
+            (0..d).map(|j| Complex64::new(inputs.re.at2(i, j) as f64, inputs.im.at2(i, j) as f64)),
+        );
+    }
+}
+
+/// Serving contract: poisoned queries are values, not panics.
+fn check_finite(logits: &[f64], sample: usize) -> Result<(), Error> {
+    if logits.iter().all(|v| v.is_finite()) {
+        Ok(())
+    } else {
+        Err(Error::NonFiniteLogits { sample })
+    }
+}
+
+fn argmax(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// A scoped view of an [`InferenceEngine`] with phase noise injected; the
+/// clean phases come back when the session drops. Dereferences to the
+/// engine, so every query method is available on the session.
+pub struct NoiseSession<'a> {
+    engine: &'a mut InferenceEngine,
+    clean: Vec<crate::deploy::OpticalStage>,
+}
+
+impl Deref for NoiseSession<'_> {
+    type Target = InferenceEngine;
+
+    fn deref(&self) -> &InferenceEngine {
+        self.engine
+    }
+}
+
+impl DerefMut for NoiseSession<'_> {
+    fn deref_mut(&mut self) -> &mut InferenceEngine {
+        self.engine
+    }
+}
+
+impl Drop for NoiseSession<'_> {
+    fn drop(&mut self) {
+        *self.engine.deployed.stages_vec_mut() = std::mem::take(&mut self.clean);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+    use oplix_nn::tensor::Tensor;
+    use oplix_photonics::decoder::DecoderKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine(seed: u64) -> InferenceEngine {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = build_fcnn(
+            &FcnnConfig {
+                input: 6,
+                hidden: 5,
+                classes: 3,
+            },
+            ModelVariant::Split(DecoderKind::Merge),
+            &mut rng,
+        );
+        InferenceEngine::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+            .expect("FCNN deploys")
+    }
+
+    fn batch(n: usize, d: usize, seed: u64) -> CTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        CTensor::new(
+            Tensor::random_uniform(&[n, d], 1.0, &mut rng),
+            Tensor::random_uniform(&[n, d], 1.0, &mut rng),
+        )
+    }
+
+    #[test]
+    fn batched_predictions_match_per_sample_forward() {
+        let mut engine = engine(1);
+        let x = batch(5, 6, 2);
+        let batched = engine.predict_batch(&x).expect("predict");
+        for (i, logits) in batched.iter().enumerate() {
+            let sample: Vec<Complex64> = (0..6)
+                .map(|j| Complex64::new(x.re.at2(i, j) as f64, x.im.at2(i, j) as f64))
+                .collect();
+            let single = engine.deployed().forward(&sample);
+            assert_eq!(logits.len(), single.len());
+            for (a, b) in logits.iter().zip(&single) {
+                assert!((a - b).abs() < 1e-12, "sample {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_errors_are_typed_not_panics() {
+        let mut engine = engine(3);
+        let wrong = batch(4, 5, 4);
+        match engine.classify(&wrong) {
+            Err(Error::ShapeMismatch {
+                expected: 6,
+                got: 5,
+                ..
+            }) => {}
+            other => panic!("expected shape mismatch, got {other:?}"),
+        }
+        let empty = CTensor::zeros(&[0, 6]);
+        assert!(matches!(
+            engine.classify(&empty),
+            Err(Error::EmptyInput { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_count_samples_and_batches() {
+        let mut engine = engine(5);
+        let x = batch(7, 6, 6);
+        engine.classify(&x).expect("classify");
+        engine.predict_batch(&x).expect("predict");
+        let stats = engine.stats();
+        assert_eq!(stats.samples, 14);
+        assert_eq!(stats.batches, 2);
+        assert!(stats.busy_nanos > 0);
+        assert!(stats.samples_per_sec() > 0.0);
+        engine.reset_stats();
+        assert_eq!(engine.stats(), EngineStats::default());
+    }
+
+    #[test]
+    fn non_finite_queries_are_typed_errors_not_panics() {
+        use oplix_nn::head::MergeHead;
+        use oplix_nn::layers::{CDense, CSequential};
+
+        // Multi-stage pipelines sanitise poisoned fields at the
+        // electro-optic ReLU (NaN clamps to zero, ∞ turns NaN at the next
+        // mesh), so the reachable non-finite logit path is a single-stage
+        // deployment, where the input feeds detection directly.
+        let mut rng = StdRng::seed_from_u64(15);
+        let body = CSequential::new().push(CDense::new(4, 6, &mut rng));
+        let net = Network::new(body, Box::new(MergeHead::new()));
+        let mut engine = InferenceEngine::from_network(
+            &net,
+            DeployedDetection::Differential,
+            MeshStyle::Clements,
+        )
+        .expect("deploys");
+
+        let mut x = batch(3, 4, 16);
+        x.re.as_mut_slice()[5] = f32::INFINITY; // poison sample 1
+        match engine.classify(&x) {
+            Err(Error::NonFiniteLogits { sample: 1 }) => {}
+            other => panic!("expected NonFiniteLogits for sample 1, got {other:?}"),
+        }
+        // The engine keeps serving clean batches afterwards.
+        let clean = batch(2, 4, 17);
+        assert_eq!(engine.classify(&clean).expect("serves").len(), 2);
+    }
+
+    #[test]
+    fn noise_session_restores_clean_phases() {
+        let mut engine = engine(7);
+        let x = batch(3, 6, 8);
+        let clean = engine.predict_batch(&x).expect("clean");
+        let mut rng = StdRng::seed_from_u64(9);
+        let noisy = {
+            let mut session = engine.noise_session(0.4, &mut rng);
+            session.predict_batch(&x).expect("noisy")
+        };
+        let diff: f64 = clean
+            .iter()
+            .flatten()
+            .zip(noisy.iter().flatten())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-9, "noise had no effect");
+        let restored = engine.predict_batch(&x).expect("restored");
+        assert_eq!(clean, restored, "session failed to restore phases");
+    }
+
+    #[test]
+    fn zero_sigma_session_is_identity() {
+        let mut engine = engine(11);
+        let x = batch(2, 6, 12);
+        let clean = engine.predict_batch(&x).expect("clean");
+        let mut rng = StdRng::seed_from_u64(13);
+        let inside = {
+            let mut session = engine.noise_session(0.0, &mut rng);
+            session.predict_batch(&x).expect("session")
+        };
+        assert_eq!(clean, inside);
+    }
+}

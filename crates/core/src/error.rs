@@ -1,0 +1,110 @@
+//! The workspace-wide typed error for the OplixNet pipeline and engine.
+//!
+//! Every public API path that can fail on recoverable conditions — bad
+//! dataset geometry for an assignment, an undeployable network body, a
+//! shape mismatch between a query batch and a deployed mesh — returns
+//! [`Error`] instead of panicking, so serving-side callers can degrade
+//! gracefully.
+
+use crate::deploy::DeployError;
+use oplix_datasets::assign::AssignError;
+
+/// Everything that can go wrong in an OplixNet pipeline or engine call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// A real-to-complex assignment could not be applied to the dataset
+    /// geometry.
+    Assign(AssignError),
+    /// A trained network could not be deployed onto photonic hardware.
+    Deploy(DeployError),
+    /// A query's shape does not match what the deployed hardware expects.
+    ShapeMismatch {
+        /// What the hardware expects (e.g. the first stage fan-in).
+        expected: usize,
+        /// What the caller provided.
+        got: usize,
+        /// Which quantity mismatched.
+        what: &'static str,
+    },
+    /// A query produced non-finite logits (NaN/∞ in the input fields
+    /// poisons the photodiode detection).
+    NonFiniteLogits {
+        /// Batch index of the offending sample.
+        sample: usize,
+    },
+    /// A stage received an empty dataset or batch.
+    EmptyInput {
+        /// The stage that rejected the input.
+        stage: &'static str,
+    },
+    /// A stage's configuration is inconsistent with its input artifact.
+    Stage {
+        /// The stage that failed.
+        stage: &'static str,
+        /// Human-readable description of the inconsistency.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Assign(e) => write!(f, "assignment failed: {e}"),
+            Error::Deploy(e) => write!(f, "deployment failed: {e}"),
+            Error::ShapeMismatch {
+                expected,
+                got,
+                what,
+            } => {
+                write!(
+                    f,
+                    "shape mismatch: expected {what} of {expected}, got {got}"
+                )
+            }
+            Error::NonFiniteLogits { sample } => {
+                write!(f, "sample {sample} produced non-finite logits")
+            }
+            Error::EmptyInput { stage } => write!(f, "stage `{stage}` received empty input"),
+            Error::Stage { stage, message } => write!(f, "stage `{stage}` failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Assign(e) => Some(e),
+            Error::Deploy(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AssignError> for Error {
+    fn from(e: AssignError) -> Self {
+        Error::Assign(e)
+    }
+}
+
+impl From<DeployError> for Error {
+    fn from(e: DeployError) -> Self {
+        Error::Deploy(e)
+    }
+}
+
+/// Shorthand for results carrying the workspace error.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nest_their_cause() {
+        let e = Error::from(AssignError::OddHeight { height: 7 });
+        assert!(e.to_string().contains("even height"));
+        let e = Error::from(DeployError::Empty);
+        assert!(e.to_string().contains("no dense layers"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -7,16 +7,15 @@
 //! * [`power_comparison`] — phase-dependent static power (0–80 mW/PS) of
 //!   the deployed original vs proposed FCNN.
 
-use crate::deploy::{DeployedDetection, DeployedFcnn};
-use crate::experiments::{train_and_eval, Scale};
+use crate::experiments::{run_training, train_on_acc, Scale};
+use crate::stage::{
+    AssignStage, AssignedData, DatasetPair, DeployStage, ModelFactory, MutualLearning, Stage,
+};
 use crate::zoo::{build_fcnn, FcnnConfig, ModelVariant};
 use oplix_datasets::assign::AssignmentKind;
 use oplix_datasets::synth::{digits, SynthConfig};
-use oplix_nn::mutual::{mutual_fit, MutualConfig};
-use oplix_nn::optim::Sgd;
 use oplix_photonics::decoder::DecoderKind;
 use oplix_photonics::power::DEFAULT_MAX_MW;
-use oplix_photonics::svd_map::MeshStyle;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -67,60 +66,63 @@ pub fn alpha_sweep(alphas: &[f32], scale: &Scale) -> AlphaReport {
         seed,
         ..Default::default()
     };
-    let train_raw = digits(&mk_cfg(scale.train_samples, 81));
-    let test_raw = digits(&mk_cfg(scale.test_samples, 82));
-    let si_train = AssignmentKind::SpatialInterlace.apply_dataset_flat(&train_raw);
-    let si_test = AssignmentKind::SpatialInterlace.apply_dataset_flat(&test_raw);
-    let conv_train = AssignmentKind::Conventional.apply_dataset_flat(&train_raw);
+    let pair = DatasetPair::new(
+        digits(&mk_cfg(scale.train_samples, 81)),
+        digits(&mk_cfg(scale.test_samples, 82)),
+    );
 
-    let student_cfg = FcnnConfig { input: hw * hw / 2, hidden: 32, classes };
-    let teacher_cfg = FcnnConfig { input: hw * hw, hidden: 64, classes };
     let setup = scale.setup;
-
-    let solo_accuracy = {
-        let mut rng = StdRng::seed_from_u64(1000);
-        let mut net = build_fcnn(&student_cfg, ModelVariant::Split(DecoderKind::Merge), &mut rng);
-        train_and_eval(&mut net, &si_train, &si_test, &setup, 1100)
+    let student = || -> Box<dyn ModelFactory> {
+        Box::new(move |data: &AssignedData, _rng: &mut StdRng| {
+            let mut rng = StdRng::seed_from_u64(1000); // same init at every alpha
+            Ok(build_fcnn(
+                &FcnnConfig {
+                    input: data.assigned_features(),
+                    hidden: 32,
+                    classes: data.classes,
+                },
+                ModelVariant::Split(DecoderKind::Merge),
+                &mut rng,
+            ))
+        })
     };
+    // One assignment run shared by the solo baseline and every alpha
+    // (the solo run simply ignores the teacher view).
+    let si = AssignStage::flat(AssignmentKind::SpatialInterlace).with_teacher_view();
+    let assigned = si
+        .run(pair)
+        .unwrap_or_else(|e| panic!("experiment stage failed: {e}"));
 
-    let points = crossbeam::thread::scope(|s| {
+    let solo_accuracy = train_on_acc(assigned.clone(), student(), None, &setup, 1100);
+
+    let points = std::thread::scope(|s| {
+        let (setup, student, assigned) = (&setup, &student, &assigned);
         let handles: Vec<_> = alphas
             .iter()
             .map(|&alpha| {
-                let (si_train, si_test, conv_train) = (&si_train, &si_test, &conv_train);
-                s.spawn(move |_| {
-                    let mut rng_s = StdRng::seed_from_u64(1000); // same init as solo
-                    let mut student = build_fcnn(
-                        &student_cfg,
-                        ModelVariant::Split(DecoderKind::Merge),
-                        &mut rng_s,
-                    );
-                    let mut rng_t = StdRng::seed_from_u64(1001);
-                    let mut teacher =
-                        build_fcnn(&teacher_cfg, ModelVariant::ConventionalOnn, &mut rng_t);
-                    let cfg = MutualConfig {
+                s.spawn(move || {
+                    let mutual = MutualLearning {
+                        teacher: Box::new(move |data: &AssignedData, _rng: &mut StdRng| {
+                            let mut rng = StdRng::seed_from_u64(1001);
+                            Ok(build_fcnn(
+                                &FcnnConfig {
+                                    input: data.raw_features(),
+                                    hidden: 64,
+                                    classes: data.classes,
+                                },
+                                ModelVariant::ConventionalOnn,
+                                &mut rng,
+                            ))
+                        }),
                         alpha,
                         temperature: 1.0,
-                        batch_size: setup.batch,
                     };
-                    let mut opt_s =
-                        Sgd::with_momentum(setup.lr, setup.momentum, setup.weight_decay);
-                    let mut opt_t =
-                        Sgd::with_momentum(setup.lr, setup.momentum, setup.weight_decay);
-                    opt_s.clip = Some(1.0);
-                    opt_t.clip = Some(1.0);
-                    let mut rng = StdRng::seed_from_u64(1100);
-                    let accuracy = mutual_fit(
-                        &mut student,
-                        &mut teacher,
-                        si_train,
-                        conv_train,
-                        si_test,
-                        setup.epochs,
-                        &cfg,
-                        &mut opt_s,
-                        &mut opt_t,
-                        &mut rng,
+                    let accuracy = train_on_acc(
+                        assigned.clone(),
+                        student(),
+                        Some(mutual),
+                        setup,
+                        1100, // same data order as solo
                     );
                     AlphaPoint { alpha, accuracy }
                 })
@@ -130,8 +132,7 @@ pub fn alpha_sweep(alphas: &[f32], scale: &Scale) -> AlphaReport {
             .into_iter()
             .map(|h| h.join().expect("alpha point"))
             .collect::<Vec<_>>()
-    })
-    .expect("scope");
+    });
 
     AlphaReport {
         solo_accuracy,
@@ -163,8 +164,15 @@ pub struct NoiseReport {
 
 impl fmt::Display for NoiseReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Ablation A2: phase-noise robustness of the deployed split FCNN")?;
-        writeln!(f, "  software reference: {:.2}%", 100.0 * self.software_accuracy)?;
+        writeln!(
+            f,
+            "Ablation A2: phase-noise robustness of the deployed split FCNN"
+        )?;
+        writeln!(
+            f,
+            "  software reference: {:.2}%",
+            100.0 * self.software_accuracy
+        )?;
         for p in &self.points {
             writeln!(f, "  sigma = {:<5}: {:.2}%", p.sigma, 100.0 * p.accuracy)?;
         }
@@ -185,36 +193,51 @@ pub fn noise_sweep(sigmas: &[f64], scale: &Scale) -> NoiseReport {
         seed,
         ..Default::default()
     };
-    let train_raw = digits(&mk_cfg(scale.train_samples, 83));
-    let test_raw = digits(&mk_cfg(scale.test_samples, 84));
-    let si_train = AssignmentKind::SpatialInterlace.apply_dataset_flat(&train_raw);
-    let si_test = AssignmentKind::SpatialInterlace.apply_dataset_flat(&test_raw);
-
-    let mut rng = StdRng::seed_from_u64(1200);
-    let mut net = build_fcnn(
-        &FcnnConfig { input: hw * hw / 2, hidden: 24, classes },
-        ModelVariant::Split(DecoderKind::Merge),
-        &mut rng,
+    let pair = DatasetPair::new(
+        digits(&mk_cfg(scale.train_samples, 83)),
+        digits(&mk_cfg(scale.test_samples, 84)),
     );
-    let software_accuracy = train_and_eval(&mut net, &si_train, &si_test, &scale.setup, 1300);
+
+    let variant = ModelVariant::Split(DecoderKind::Merge);
+    let trained = run_training(
+        &pair,
+        AssignStage::flat(AssignmentKind::SpatialInterlace),
+        Box::new(move |data: &AssignedData, _rng: &mut StdRng| {
+            let mut rng = StdRng::seed_from_u64(1200);
+            Ok(build_fcnn(
+                &FcnnConfig {
+                    input: data.assigned_features(),
+                    hidden: 24,
+                    classes: data.classes,
+                },
+                variant,
+                &mut rng,
+            ))
+        }),
+        None,
+        &scale.setup,
+        1300,
+    )
+    .expect("FCNN training stages run");
+    let software_accuracy = trained.accuracy;
+
+    // One deployment, one engine; each noise level is a scoped session on
+    // the same meshes instead of a fresh redeploy.
+    let deployed = DeployStage::new(variant.detection())
+        .run(trained)
+        .expect("FCNN is deployable");
+    let mut engine = deployed.engine;
+    let test = deployed.data.test;
 
     let points = sigmas
         .iter()
         .map(|&sigma| {
-            let mut deployed = DeployedFcnn::from_network(
-                &net,
-                DeployedDetection::Differential,
-                MeshStyle::Clements,
-            )
-            .expect("FCNN is deployable");
             let mut noise_rng = StdRng::seed_from_u64(1400);
-            if sigma > 0.0 {
-                deployed.inject_phase_noise(sigma, &mut noise_rng);
-            }
-            NoisePoint {
-                sigma,
-                accuracy: deployed.accuracy(&si_test.inputs, &si_test.labels),
-            }
+            let mut session = engine.noise_session(sigma, &mut noise_rng);
+            let accuracy = session
+                .accuracy(&test)
+                .expect("test view matches mesh fan-in");
+            NoisePoint { sigma, accuracy }
         })
         .collect();
 
@@ -250,7 +273,10 @@ impl PowerReport {
 
 impl fmt::Display for PowerReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Ablation A3: static power of deployed FCNNs (0-80 mW per PS)")?;
+        writeln!(
+            f,
+            "Ablation A3: static power of deployed FCNNs (0-80 mW per PS)"
+        )?;
         writeln!(
             f,
             "  original: {:>10.1} mW over {} phases",
@@ -278,42 +304,56 @@ pub fn power_comparison(scale: &Scale) -> PowerReport {
         seed,
         ..Default::default()
     };
-    let train_raw = digits(&mk_cfg(scale.train_samples, 85));
-    let test_raw = digits(&mk_cfg(scale.test_samples, 86));
-    let conv_train = AssignmentKind::Conventional.apply_dataset_flat(&train_raw);
-    let conv_test = AssignmentKind::Conventional.apply_dataset_flat(&test_raw);
-    let si_train = AssignmentKind::SpatialInterlace.apply_dataset_flat(&train_raw);
-    let si_test = AssignmentKind::SpatialInterlace.apply_dataset_flat(&test_raw);
+    let pair = DatasetPair::new(
+        digits(&mk_cfg(scale.train_samples, 85)),
+        digits(&mk_cfg(scale.test_samples, 86)),
+    );
 
-    let mut rng = StdRng::seed_from_u64(1500);
-    let mut orig = build_fcnn(
-        &FcnnConfig { input: hw * hw, hidden: 48, classes },
+    // Train and deploy both FCNN variants through the stages, then
+    // integrate the phase-dependent heater power over every mesh.
+    let deploy_variant =
+        |variant: ModelVariant, assignment, hidden: usize, init: u64, order: u64| {
+            let trained = run_training(
+                &pair,
+                AssignStage::flat(assignment),
+                Box::new(move |data: &AssignedData, _rng: &mut StdRng| {
+                    let mut rng = StdRng::seed_from_u64(init);
+                    Ok(build_fcnn(
+                        &FcnnConfig {
+                            input: data.assigned_features(),
+                            hidden,
+                            classes: data.classes,
+                        },
+                        variant,
+                        &mut rng,
+                    ))
+                }),
+                None,
+                &scale.setup,
+                order,
+            )
+            .expect("FCNN training stages run");
+            DeployStage::new(variant.detection())
+                .run(trained)
+                .expect("FCNN is deployable")
+        };
+    let d_orig = deploy_variant(
         ModelVariant::ConventionalOnn,
-        &mut rng,
+        AssignmentKind::Conventional,
+        48,
+        1500,
+        1600,
     );
-    let _ = train_and_eval(&mut orig, &conv_train, &conv_test, &scale.setup, 1600);
-    let mut prop = build_fcnn(
-        &FcnnConfig { input: hw * hw / 2, hidden: 24, classes },
+    let d_prop = deploy_variant(
         ModelVariant::Split(DecoderKind::Merge),
-        &mut rng,
+        AssignmentKind::SpatialInterlace,
+        24,
+        1501,
+        1601,
     );
-    let _ = train_and_eval(&mut prop, &si_train, &si_test, &scale.setup, 1601);
 
-    let measure = |net: &oplix_nn::network::Network, detection| {
-        let deployed = DeployedFcnn::from_network(net, detection, MeshStyle::Clements)
-            .expect("FCNN is deployable");
-        deployed
-    };
-    let d_orig = measure(&orig, DeployedDetection::Intensity);
-    let d_prop = measure(&prop, DeployedDetection::Differential);
-
-    let sum_power = |d: &DeployedFcnn| -> (f64, usize) {
-        // Walk stage meshes through the public device count; power needs
-        // the meshes themselves, which DeployedFcnn exposes via its stages.
-        d.static_power_mw(DEFAULT_MAX_MW)
-    };
-    let (orig_mw, orig_phases) = sum_power(&d_orig);
-    let (prop_mw, prop_phases) = sum_power(&d_prop);
+    let (orig_mw, orig_phases) = d_orig.engine.deployed().static_power_mw(DEFAULT_MAX_MW);
+    let (prop_mw, prop_phases) = d_prop.engine.deployed().static_power_mw(DEFAULT_MAX_MW);
 
     PowerReport {
         orig_mw,

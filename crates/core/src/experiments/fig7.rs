@@ -6,8 +6,9 @@
 //! normalised to the original ONN, as in the figure; accuracies are
 //! measured at training scale with proportionally reduced widths.
 
-use crate::experiments::{pct, train_and_eval, Scale};
+use crate::experiments::{pct, run_training_acc, Scale};
 use crate::spec::{LayerShape, ModelSpec};
+use crate::stage::{AssignStage, AssignedData, DatasetPair};
 use crate::zoo::ModelVariant;
 use oplix_datasets::assign::AssignmentKind;
 use oplix_datasets::synth::{digits, SynthConfig};
@@ -33,10 +34,22 @@ impl Fig7Model {
     /// The paper's Model1–Model4.
     pub fn all() -> Vec<Fig7Model> {
         vec![
-            Fig7Model { name: "Model1", widths: vec![784, 400, 10] },
-            Fig7Model { name: "Model2", widths: vec![196, 70, 10] },
-            Fig7Model { name: "Model3", widths: vec![784, 400, 128, 10] },
-            Fig7Model { name: "Model4", widths: vec![196, 160, 160, 10] },
+            Fig7Model {
+                name: "Model1",
+                widths: vec![784, 400, 10],
+            },
+            Fig7Model {
+                name: "Model2",
+                widths: vec![196, 70, 10],
+            },
+            Fig7Model {
+                name: "Model3",
+                widths: vec![784, 400, 128, 10],
+            },
+            Fig7Model {
+                name: "Model4",
+                widths: vec![196, 160, 160, 10],
+            },
         ]
     }
 
@@ -47,7 +60,10 @@ impl Fig7Model {
             layers: self
                 .widths
                 .windows(2)
-                .map(|w| LayerShape::Dense { out: w[1], input: w[0] })
+                .map(|w| LayerShape::Dense {
+                    out: w[1],
+                    input: w[0],
+                })
                 .collect(),
             complex: false,
         }
@@ -60,7 +76,10 @@ impl Fig7Model {
         *halved.last_mut().expect("non-empty widths") = *self.widths.last().expect("non-empty");
         let layers: Vec<LayerShape> = halved
             .windows(2)
-            .map(|w| LayerShape::Dense { out: w[1], input: w[0] })
+            .map(|w| LayerShape::Dense {
+                out: w[1],
+                input: w[0],
+            })
             .collect();
         ModelSpec {
             name: format!("{} oplix", self.name),
@@ -121,7 +140,15 @@ impl fmt::Display for Fig7Report {
         writeln!(
             f,
             "{:<8} {:>10} {:>10} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8}",
-            "Model", "Acc OFFT", "Acc Oplix", "#P OFFT", "#P Oplix", "DC OFFT", "DC Oplx", "PS OFFT", "PS Oplx"
+            "Model",
+            "Acc OFFT",
+            "Acc Oplix",
+            "#P OFFT",
+            "#P Oplix",
+            "DC OFFT",
+            "DC Oplx",
+            "PS OFFT",
+            "PS Oplx"
         )?;
         for r in &self.rows {
             writeln!(
@@ -179,7 +206,7 @@ fn run_model(model: &Fig7Model, scale: &Scale) -> Fig7Row {
     let widths_u64: Vec<u64> = model.widths.iter().map(|&w| w as u64).collect();
     let offt = OfftCostModel::new(OFFT_BLOCK as u64).network_cost(&widths_u64);
 
-    // --- Training-scale accuracy. ---
+    // --- Training-scale accuracy, through the Assign → Train stages. ---
     let hw = scale.image_hw;
     let classes = 10;
     let mk_cfg = |samples, seed| SynthConfig {
@@ -190,32 +217,46 @@ fn run_model(model: &Fig7Model, scale: &Scale) -> Fig7Row {
         seed,
         ..Default::default()
     };
-    let train_raw = digits(&mk_cfg(scale.train_samples, 41));
-    let test_raw = digits(&mk_cfg(scale.test_samples, 42));
-    let conv_train = AssignmentKind::Conventional.apply_dataset_flat(&train_raw);
-    let conv_test = AssignmentKind::Conventional.apply_dataset_flat(&test_raw);
-    let si_train = AssignmentKind::SpatialInterlace.apply_dataset_flat(&train_raw);
-    let si_test = AssignmentKind::SpatialInterlace.apply_dataset_flat(&test_raw);
+    let pair = DatasetPair::new(
+        digits(&mk_cfg(scale.train_samples, 41)),
+        digits(&mk_cfg(scale.test_samples, 42)),
+    );
 
     let train_widths = model.training_widths(hw * hw, classes);
     let setup = scale.setup;
-    let (acc_offt, acc_oplix) = crossbeam::thread::scope(|s| {
-        let widths = train_widths.clone();
-        let h_offt = s.spawn(move |_| {
-            let mut rng = StdRng::seed_from_u64(500);
-            let mut mlp = OfftMlp::new(&widths, OFFT_BLOCK, &mut rng);
-            train_and_eval(&mut mlp.net, &conv_train, &conv_test, &setup, 600)
+    let (acc_offt, acc_oplix) = std::thread::scope(|s| {
+        let (pair, setup, widths) = (&pair, &setup, &train_widths);
+        let h_offt = s.spawn(move || {
+            let widths = widths.clone();
+            run_training_acc(
+                pair,
+                AssignStage::flat(AssignmentKind::Conventional),
+                Box::new(move |_data: &AssignedData, _rng: &mut StdRng| {
+                    let mut rng = StdRng::seed_from_u64(500);
+                    Ok(OfftMlp::new(&widths, OFFT_BLOCK, &mut rng).net)
+                }),
+                None,
+                setup,
+                600,
+            )
         });
-        let widths = train_widths.clone();
-        let h_oplix = s.spawn(move |_| {
-            // build_oplix_mlp halves the input and interior widths, which
-            // matches the spatially-interlaced view (hw²/2 features).
-            let mut net = build_oplix_mlp(&widths, 501);
-            train_and_eval(&mut net, &si_train, &si_test, &setup, 601)
+        let h_oplix = s.spawn(move || {
+            let widths = widths.clone();
+            run_training_acc(
+                pair,
+                // build_oplix_mlp halves the input and interior widths,
+                // matching the spatially-interlaced view (hw²/2 features).
+                AssignStage::flat(AssignmentKind::SpatialInterlace),
+                Box::new(move |_data: &AssignedData, _rng: &mut StdRng| {
+                    Ok(build_oplix_mlp(&widths, 501))
+                }),
+                None,
+                setup,
+                601,
+            )
         });
         (h_offt.join().expect("offt"), h_oplix.join().expect("oplix"))
-    })
-    .expect("scope");
+    });
 
     Fig7Row {
         model: model.name,
@@ -233,7 +274,10 @@ fn run_model(model: &Fig7Model, scale: &Scale) -> Fig7Row {
 /// Runs the full Fig. 7 experiment.
 pub fn run(scale: &Scale) -> Fig7Report {
     Fig7Report {
-        rows: Fig7Model::all().iter().map(|m| run_model(m, scale)).collect(),
+        rows: Fig7Model::all()
+            .iter()
+            .map(|m| run_model(m, scale))
+            .collect(),
     }
 }
 
@@ -300,10 +344,25 @@ mod tests {
     fn quick_model2_trains() {
         let report = run_subset(&[1], &Scale::quick());
         let row = &report.rows[0];
-        assert!(row.acc_offt > 0.15, "OFFT failed to learn: {}", row.acc_offt);
-        assert!(row.acc_oplix > 0.15, "Oplix failed to learn: {}", row.acc_oplix);
+        assert!(
+            row.acc_offt > 0.15,
+            "OFFT failed to learn: {}",
+            row.acc_offt
+        );
+        assert!(
+            row.acc_oplix > 0.15,
+            "Oplix failed to learn: {}",
+            row.acc_oplix
+        );
         // Normalised counts are within (0, 1.2] of the original.
-        for v in [row.para_offt, row.para_oplix, row.dc_offt, row.dc_oplix, row.ps_offt, row.ps_oplix] {
+        for v in [
+            row.para_offt,
+            row.para_oplix,
+            row.dc_offt,
+            row.dc_oplix,
+            row.ps_offt,
+            row.ps_oplix,
+        ] {
             assert!(v > 0.0 && v < 1.2, "normalised count out of range: {v}");
         }
     }

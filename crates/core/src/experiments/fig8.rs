@@ -6,13 +6,14 @@
 //! layers and CR over-compresses. Each entry reports training-scale
 //! accuracy and the paper-scale area reduction.
 
-use crate::experiments::{pct, train_and_eval, Scale};
+use crate::experiments::{pct, run_training_acc, Scale};
 use crate::spec::{fcnn_orig, lenet5_orig, resnet_orig, LayerShape, ModelSpec};
+use crate::stage::{AssignStage, AssignedData, DataLayout, DatasetPair};
 use crate::zoo::{
     build_fcnn, build_lenet, build_resnet, FcnnConfig, LenetConfig, ModelVariant, ResnetConfig,
 };
 use oplix_datasets::assign::AssignmentKind;
-use oplix_datasets::synth::{colors, digits, RealDataset, SynthConfig};
+use oplix_datasets::synth::{colors, digits, SynthConfig};
 use oplix_nn::network::Network;
 use oplix_photonics::count::reduction_ratio;
 use oplix_photonics::decoder::DecoderKind;
@@ -94,7 +95,10 @@ pub fn assigned_spec(model: Fig8Model, assignment: AssignmentKind) -> ModelSpec 
             ModelSpec {
                 name: format!("FCNN {}", assignment.short_name()),
                 layers: vec![
-                    LayerShape::Dense { out: 50, input: 392 },
+                    LayerShape::Dense {
+                        out: 50,
+                        input: 392,
+                    },
                     LayerShape::Dense { out: 10, input: 50 },
                 ],
                 complex: true,
@@ -113,9 +117,20 @@ pub fn assigned_spec(model: Fig8Model, assignment: AssignmentKind) -> ModelSpec 
             ModelSpec {
                 name: format!("LeNet-5 {}", assignment.short_name()),
                 layers: vec![
-                    LayerShape::Conv { out: c1, input: c_in, k: 5 },
-                    LayerShape::Conv { out: c2, input: c1, k: 5 },
-                    LayerShape::Dense { out: f1, input: flat },
+                    LayerShape::Conv {
+                        out: c1,
+                        input: c_in,
+                        k: 5,
+                    },
+                    LayerShape::Conv {
+                        out: c2,
+                        input: c1,
+                        k: 5,
+                    },
+                    LayerShape::Dense {
+                        out: f1,
+                        input: flat,
+                    },
                     LayerShape::Dense { out: f2, input: f1 },
                     LayerShape::Dense { out: 10, input: f2 },
                 ],
@@ -124,7 +139,11 @@ pub fn assigned_spec(model: Fig8Model, assignment: AssignmentKind) -> ModelSpec 
         }
         Fig8Model::Resnet20 | Fig8Model::Resnet32 => {
             let depth = if model == Fig8Model::Resnet20 { 20 } else { 32 };
-            let classes = if model == Fig8Model::Resnet20 { 10 } else { 100 };
+            let classes = if model == Fig8Model::Resnet20 {
+                10
+            } else {
+                100
+            };
             let n = (depth - 2) / 6;
             let (stem_in, widths): (usize, [usize; 3]) = match assignment {
                 // SI: no reduction at all in ResNets (paper: the linear
@@ -134,17 +153,32 @@ pub fn assigned_spec(model: Fig8Model, assignment: AssignmentKind) -> ModelSpec 
                 AssignmentKind::ChannelRemapping => (1, [4, 8, 16]),
                 _ => (3, [16, 32, 64]),
             };
-            let mut layers = vec![LayerShape::Conv { out: widths[0], input: stem_in, k: 3 }];
+            let mut layers = vec![LayerShape::Conv {
+                out: widths[0],
+                input: stem_in,
+                k: 3,
+            }];
             let mut in_ch = widths[0];
             for &w in &widths {
                 for b in 0..n {
                     let first_in = if b == 0 { in_ch } else { w };
-                    layers.push(LayerShape::Conv { out: w, input: first_in, k: 3 });
-                    layers.push(LayerShape::Conv { out: w, input: w, k: 3 });
+                    layers.push(LayerShape::Conv {
+                        out: w,
+                        input: first_in,
+                        k: 3,
+                    });
+                    layers.push(LayerShape::Conv {
+                        out: w,
+                        input: w,
+                        k: 3,
+                    });
                 }
                 in_ch = w;
             }
-            layers.push(LayerShape::Dense { out: classes, input: widths[2] });
+            layers.push(LayerShape::Dense {
+                out: classes,
+                input: widths[2],
+            });
             ModelSpec {
                 name: format!("ResNet-{depth} {}", assignment.short_name()),
                 layers,
@@ -219,7 +253,15 @@ fn build_for(
     match model {
         Fig8Model::Fcnn => {
             let input = hw * hw / 2; // all spatial schemes halve
-            build_fcnn(&FcnnConfig { input, hidden: 32, classes }, variant, &mut rng)
+            build_fcnn(
+                &FcnnConfig {
+                    input,
+                    hidden: 32,
+                    classes,
+                },
+                variant,
+                &mut rng,
+            )
         }
         Fig8Model::Lenet5 => {
             let full = LenetConfig::training_scale(3, hw, classes);
@@ -278,12 +320,12 @@ fn run_entry(model: Fig8Model, assignment: AssignmentKind, scale: &Scale) -> Fig
         seed,
         ..Default::default()
     };
-    let (train_raw, test_raw): (RealDataset, RealDataset) = match model {
-        Fig8Model::Fcnn => (
+    let pair: DatasetPair = match model {
+        Fig8Model::Fcnn => DatasetPair::new(
             digits(&mk_cfg(scale.train_samples, 51)),
             digits(&mk_cfg(scale.test_samples, 52)),
         ),
-        _ => (
+        _ => DatasetPair::new(
             colors(&mk_cfg(scale.train_samples, 61)),
             colors(&mk_cfg(scale.test_samples, 62)),
         ),
@@ -291,17 +333,25 @@ fn run_entry(model: Fig8Model, assignment: AssignmentKind, scale: &Scale) -> Fig
 
     // The FCNN consumes flattened vectors; CNNs keep the image layout
     // (rectangular after spatial interlace — the builders support it).
-    let accuracy = if model == Fig8Model::Fcnn {
-        let train = assignment.apply_dataset_flat(&train_raw);
-        let test = assignment.apply_dataset_flat(&test_raw);
-        let mut net = build_for(model, assignment, hw, classes, 700);
-        train_and_eval(&mut net, &train, &test, &setup, 800)
+    let layout = if model == Fig8Model::Fcnn {
+        DataLayout::Flat
     } else {
-        let train = assignment.apply_dataset(&train_raw);
-        let test = assignment.apply_dataset(&test_raw);
-        let mut net = build_for(model, assignment, hw, classes, 700);
-        train_and_eval(&mut net, &train, &test, &setup, 800)
+        DataLayout::Image
     };
+    let accuracy = run_training_acc(
+        &pair,
+        AssignStage {
+            assignment,
+            layout,
+            teacher_view: false,
+        },
+        Box::new(move |_data: &AssignedData, _rng: &mut StdRng| {
+            Ok(build_for(model, assignment, hw, classes, 700))
+        }),
+        None,
+        &setup,
+        800,
+    );
 
     Fig8Entry {
         model: model.name(),
@@ -316,17 +366,16 @@ pub fn run(scale: &Scale) -> Fig8Report {
     let mut entries = Vec::new();
     for model in Fig8Model::all() {
         let assignments = model.assignments();
-        let got = crossbeam::thread::scope(|s| {
+        let got = std::thread::scope(|s| {
             let handles: Vec<_> = assignments
                 .iter()
-                .map(|&a| s.spawn(move |_| run_entry(model, a, scale)))
+                .map(|&a| s.spawn(move || run_entry(model, a, scale)))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("fig8 entry"))
                 .collect::<Vec<_>>()
-        })
-        .expect("scope");
+        });
         entries.extend(got);
     }
     Fig8Report { entries }
@@ -392,7 +441,12 @@ mod tests {
         let report = run_model(Fig8Model::Fcnn, &Scale::quick());
         assert_eq!(report.entries.len(), 3);
         for e in &report.entries {
-            assert!(e.accuracy > 0.15, "{:?} failed to learn: {}", e.assignment, e.accuracy);
+            assert!(
+                e.accuracy > 0.15,
+                "{:?} failed to learn: {}",
+                e.assignment,
+                e.accuracy
+            );
         }
     }
 }

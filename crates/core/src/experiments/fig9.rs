@@ -6,14 +6,14 @@
 //! coherent scheme adds no MZIs, only reference optics, shifting time and
 //! post-processing).
 
-use crate::experiments::{pct, train_and_eval, Scale};
+use crate::experiments::{pct, run_training_acc, Scale};
 use crate::spec::{fcnn_prop, lenet5_prop, resnet_prop, LayerShape, ModelSpec};
+use crate::stage::{AssignStage, AssignedData, DatasetPair};
 use crate::zoo::{
     build_fcnn, build_lenet, build_resnet, FcnnConfig, LenetConfig, ModelVariant, ResnetConfig,
 };
 use oplix_datasets::assign::AssignmentKind;
 use oplix_datasets::synth::{colors, digits, SynthConfig};
-use oplix_nn::network::Network;
 use oplix_photonics::decoder::DecoderKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -163,55 +163,64 @@ fn run_entry(model: Fig9Model, decoder: DecoderKind, scale: &Scale) -> Fig9Entry
         ..Default::default()
     };
     let variant = ModelVariant::Split(decoder);
-    let mut rng = StdRng::seed_from_u64(900);
 
-    let (mut net, train, test): (Network, _, _) = match model {
-        Fig9Model::Fcnn => {
-            let train_raw = digits(&mk_cfg(scale.train_samples, 71));
-            let test_raw = digits(&mk_cfg(scale.test_samples, 72));
-            let a = AssignmentKind::SpatialInterlace;
-            (
-                build_fcnn(
-                    &FcnnConfig { input: hw * hw / 2, hidden: 32, classes },
+    let (pair, assign): (DatasetPair, AssignStage) = match model {
+        Fig9Model::Fcnn => (
+            DatasetPair::new(
+                digits(&mk_cfg(scale.train_samples, 71)),
+                digits(&mk_cfg(scale.test_samples, 72)),
+            ),
+            AssignStage::flat(AssignmentKind::SpatialInterlace),
+        ),
+        Fig9Model::Lenet5 => (
+            DatasetPair::new(
+                colors(&mk_cfg(scale.train_samples, 73)),
+                colors(&mk_cfg(scale.test_samples, 74)),
+            ),
+            AssignStage::image(AssignmentKind::ChannelLossless),
+        ),
+        Fig9Model::Resnet20 | Fig9Model::Resnet32 => (
+            DatasetPair::new(
+                colors(&mk_cfg(scale.train_samples, 75)),
+                colors(&mk_cfg(scale.test_samples, 76)),
+            ),
+            AssignStage::image(AssignmentKind::ChannelLossless),
+        ),
+    };
+    let accuracy = run_training_acc(
+        &pair,
+        assign,
+        Box::new(move |data: &AssignedData, _rng: &mut StdRng| {
+            let mut rng = StdRng::seed_from_u64(900);
+            Ok(match model {
+                Fig9Model::Fcnn => build_fcnn(
+                    &FcnnConfig {
+                        input: data.assigned_features(),
+                        hidden: 32,
+                        classes,
+                    },
                     variant,
                     &mut rng,
                 ),
-                a.apply_dataset_flat(&train_raw),
-                a.apply_dataset_flat(&test_raw),
-            )
-        }
-        Fig9Model::Lenet5 => {
-            let train_raw = colors(&mk_cfg(scale.train_samples, 73));
-            let test_raw = colors(&mk_cfg(scale.test_samples, 74));
-            let a = AssignmentKind::ChannelLossless;
-            (
-                build_lenet(
+                Fig9Model::Lenet5 => build_lenet(
                     &LenetConfig::training_scale(3, hw, classes).halved(),
                     variant,
                     &mut rng,
                 ),
-                a.apply_dataset(&train_raw),
-                a.apply_dataset(&test_raw),
-            )
-        }
-        Fig9Model::Resnet20 | Fig9Model::Resnet32 => {
-            let depth = if model == Fig9Model::Resnet20 { 20 } else { 32 };
-            let train_raw = colors(&mk_cfg(scale.train_samples, 75));
-            let test_raw = colors(&mk_cfg(scale.test_samples, 76));
-            let a = AssignmentKind::ChannelLossless;
-            (
-                build_resnet(
-                    &ResnetConfig::training_scale(depth, 3, hw, classes).halved(),
-                    variant,
-                    &mut rng,
-                ),
-                a.apply_dataset(&train_raw),
-                a.apply_dataset(&test_raw),
-            )
-        }
-    };
-
-    let accuracy = train_and_eval(&mut net, &train, &test, &setup, 901);
+                Fig9Model::Resnet20 | Fig9Model::Resnet32 => {
+                    let depth = if model == Fig9Model::Resnet20 { 20 } else { 32 };
+                    build_resnet(
+                        &ResnetConfig::training_scale(depth, 3, hw, classes).halved(),
+                        variant,
+                        &mut rng,
+                    )
+                }
+            })
+        }),
+        None,
+        &setup,
+        901,
+    );
     Fig9Entry {
         model: model.name(),
         decoder,
@@ -222,17 +231,16 @@ fn run_entry(model: Fig9Model, decoder: DecoderKind, scale: &Scale) -> Fig9Entry
 
 /// Runs one model across all four decoders (in parallel).
 pub fn run_model(model: Fig9Model, scale: &Scale) -> Fig9Report {
-    let entries = crossbeam::thread::scope(|s| {
+    let entries = std::thread::scope(|s| {
         let handles: Vec<_> = DecoderKind::all()
             .into_iter()
-            .map(|d| s.spawn(move |_| run_entry(model, d, scale)))
+            .map(|d| s.spawn(move || run_entry(model, d, scale)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("fig9 entry"))
             .collect::<Vec<_>>()
-    })
-    .expect("scope");
+    });
     Fig9Report { entries }
 }
 
@@ -275,7 +283,10 @@ mod tests {
             let unitary = normalized_area(model, DecoderKind::Unitary);
             let linear = normalized_area(model, DecoderKind::Linear);
             assert_eq!(coh, 1.0);
-            assert!(merge > coh && merge < unitary && unitary < linear, "{model:?}");
+            assert!(
+                merge > coh && merge < unitary && unitary < linear,
+                "{model:?}"
+            );
         }
     }
 

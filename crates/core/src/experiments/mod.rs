@@ -23,11 +23,87 @@ pub mod fig9;
 pub mod table2;
 pub mod table3;
 
+use crate::error::Error;
+use crate::stage::{
+    AssignStage, DatasetPair, ModelFactory, MutualLearning, Stage, TrainStage, TrainedModel,
+};
 use oplix_nn::network::Network;
 use oplix_nn::optim::Sgd;
 use oplix_nn::trainer::{fit, CDataset};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Runs one `Assign → Train` leg of an experiment through the stage API:
+/// the shared path every runner's accuracy measurement goes through.
+///
+/// `seed` drives the training batch order (weight init is the factory's
+/// business, so runs with different schedules can share an init).
+///
+/// # Errors
+///
+/// Propagates typed stage failures (geometry violations, missing teacher
+/// view).
+pub fn run_training(
+    pair: &DatasetPair,
+    assign: AssignStage,
+    student: Box<dyn ModelFactory>,
+    mutual: Option<MutualLearning>,
+    setup: &TrainSetup,
+    seed: u64,
+) -> Result<TrainedModel, Error> {
+    train_on(assign.run(pair.clone())?, student, mutual, setup, seed)
+}
+
+/// The `Train` leg alone, over an already-assigned view — what sweeps use
+/// so one [`AssignStage`] run is shared across every grid point instead
+/// of re-applying the assignment per training.
+///
+/// # Errors
+///
+/// Propagates typed stage failures (e.g. mutual learning without a
+/// teacher view).
+pub fn train_on(
+    data: crate::stage::AssignedData,
+    student: Box<dyn ModelFactory>,
+    mutual: Option<MutualLearning>,
+    setup: &TrainSetup,
+    seed: u64,
+) -> Result<TrainedModel, Error> {
+    let mut stage = TrainStage::new(student, *setup, seed);
+    if let Some(m) = mutual {
+        stage = stage.with_mutual(m);
+    }
+    stage.run(data)
+}
+
+/// [`train_on`], unwrapped to the accuracy (see [`run_training_acc`]).
+pub fn train_on_acc(
+    data: crate::stage::AssignedData,
+    student: Box<dyn ModelFactory>,
+    mutual: Option<MutualLearning>,
+    setup: &TrainSetup,
+    seed: u64,
+) -> f64 {
+    train_on(data, student, mutual, setup, seed)
+        .unwrap_or_else(|e| panic!("experiment stage failed: {e}"))
+        .accuracy
+}
+
+/// [`run_training`], unwrapped: experiment grids run on synthetic data
+/// whose geometry is valid by construction, so stage failures here are
+/// programming errors, not recoverable conditions.
+pub fn run_training_acc(
+    pair: &DatasetPair,
+    assign: AssignStage,
+    student: Box<dyn ModelFactory>,
+    mutual: Option<MutualLearning>,
+    setup: &TrainSetup,
+    seed: u64,
+) -> f64 {
+    run_training(pair, assign, student, mutual, setup, seed)
+        .unwrap_or_else(|e| panic!("experiment stage failed: {e}"))
+        .accuracy
+}
 
 /// Hyper-parameters shared by every training run in an experiment (the
 /// paper: "for each NN model, experiments with different settings are run

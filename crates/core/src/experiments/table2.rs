@@ -6,16 +6,16 @@
 //! measured at training scale on the synthetic datasets, so the *gaps*
 //! (orig ≳ prop, prop ≈ rvnn ± small) are the reproduction target.
 
-use crate::experiments::{pct, train_and_eval, Scale};
+use crate::experiments::{pct, train_on_acc, Scale};
 use crate::spec::{
     fcnn_orig, fcnn_prop, lenet5_orig, lenet5_prop, resnet_orig, resnet_prop, ModelSpec,
 };
+use crate::stage::{AssignStage, AssignedData, DataLayout, DatasetPair, ModelFactory, Stage};
 use crate::zoo::{
     build_fcnn, build_lenet, build_resnet, FcnnConfig, LenetConfig, ModelVariant, ResnetConfig,
 };
 use oplix_datasets::assign::AssignmentKind;
 use oplix_datasets::synth::{colors, digits, RealDataset, SynthConfig};
-use oplix_nn::network::Network;
 use oplix_photonics::count::reduction_ratio;
 use oplix_photonics::decoder::DecoderKind;
 use rand::rngs::StdRng;
@@ -141,8 +141,9 @@ impl fmt::Display for Table2Report {
     }
 }
 
-/// Builds the three dataset views and three networks for one model and
-/// trains them, producing one table row.
+/// Builds the three assigned views and three networks for one model and
+/// trains them through the `Assign → Train` stages, producing one table
+/// row.
 fn run_model(model: Table2Model, scale: &Scale) -> Table2Row {
     let classes = model.classes();
     let hw = if model == Table2Model::Fcnn {
@@ -168,54 +169,72 @@ fn run_model(model: Table2Model, scale: &Scale) -> Table2Row {
             colors(&mk_cfg(scale.test_samples, 22)),
         ),
     };
-    let assignment = model.assignment();
+    let pair = DatasetPair::new(train_raw, test_raw);
 
-    // Views: the FCNN consumes flattened vectors, the CNNs keep images.
-    let conv = AssignmentKind::Conventional;
-    let (conv_train, conv_test, split_train, split_test) = if model == Table2Model::Fcnn {
-        (
-            conv.apply_dataset_flat(&train_raw),
-            conv.apply_dataset_flat(&test_raw),
-            assignment.apply_dataset_flat(&train_raw),
-            assignment.apply_dataset_flat(&test_raw),
-        )
+    // The FCNN consumes flattened vectors, the CNNs keep images.
+    let layout = if model == Table2Model::Fcnn {
+        DataLayout::Flat
     } else {
-        (
-            conv.apply_dataset(&train_raw),
-            conv.apply_dataset(&test_raw),
-            assignment.apply_dataset(&train_raw),
-            assignment.apply_dataset(&test_raw),
-        )
+        DataLayout::Image
     };
-
-    let build = |variant: ModelVariant, seed: u64| -> Network {
-        let mut rng = StdRng::seed_from_u64(seed);
-        match model {
-            Table2Model::Fcnn => {
-                let (input, hidden) = match variant {
-                    ModelVariant::Split(_) => (hw * hw / 2, 32),
-                    _ => (hw * hw, 64),
-                };
-                build_fcnn(&FcnnConfig { input, hidden, classes }, variant, &mut rng)
-            }
-            Table2Model::Lenet5 => {
-                let full = LenetConfig::training_scale(3, hw, classes);
-                let cfg = match variant {
-                    ModelVariant::Split(_) => full.halved(),
-                    _ => full,
-                };
-                build_lenet(&cfg, variant, &mut rng)
-            }
-            Table2Model::Resnet20 | Table2Model::Resnet32 => {
-                let depth = if model == Table2Model::Resnet20 { 20 } else { 32 };
-                let full = ResnetConfig::training_scale(depth, 3, hw, classes);
-                let cfg = match variant {
-                    ModelVariant::Split(_) => full.halved(),
-                    _ => full,
-                };
-                build_resnet(&cfg, variant, &mut rng)
-            }
+    // Each assignment runs once; the conventional view is shared by the
+    // orig and rvnn arms.
+    let view = |assignment| {
+        AssignStage {
+            assignment,
+            layout,
+            teacher_view: false,
         }
+        .run(pair.clone())
+        .unwrap_or_else(|e| panic!("experiment stage failed: {e}"))
+    };
+    let conv_data = view(AssignmentKind::Conventional);
+    let split_data = view(model.assignment());
+
+    // Factories seed their own init RNG so every variant comparison shares
+    // a fixed init regardless of the training schedule.
+    let factory = move |variant: ModelVariant, init_seed: u64| -> Box<dyn ModelFactory> {
+        Box::new(move |data: &AssignedData, _rng: &mut StdRng| {
+            let mut rng = StdRng::seed_from_u64(init_seed);
+            Ok(match model {
+                Table2Model::Fcnn => {
+                    let hidden = match variant {
+                        ModelVariant::Split(_) => 32,
+                        _ => 64,
+                    };
+                    build_fcnn(
+                        &FcnnConfig {
+                            input: data.assigned_features(),
+                            hidden,
+                            classes,
+                        },
+                        variant,
+                        &mut rng,
+                    )
+                }
+                Table2Model::Lenet5 => {
+                    let full = LenetConfig::training_scale(3, data.raw_shape.1, classes);
+                    let cfg = match variant {
+                        ModelVariant::Split(_) => full.halved(),
+                        _ => full,
+                    };
+                    build_lenet(&cfg, variant, &mut rng)
+                }
+                Table2Model::Resnet20 | Table2Model::Resnet32 => {
+                    let depth = if model == Table2Model::Resnet20 {
+                        20
+                    } else {
+                        32
+                    };
+                    let full = ResnetConfig::training_scale(depth, 3, data.raw_shape.1, classes);
+                    let cfg = match variant {
+                        ModelVariant::Split(_) => full.halved(),
+                        _ => full,
+                    };
+                    build_resnet(&cfg, variant, &mut rng)
+                }
+            })
+        })
     };
 
     // Train the three variants in parallel, with identical
@@ -225,26 +244,27 @@ fn run_model(model: Table2Model, scale: &Scale) -> Table2Row {
         Table2Model::Lenet5 => crate::experiments::Workload::Lenet,
         _ => crate::experiments::Workload::Resnet,
     });
-    let (acc_orig, acc_rvnn, acc_prop) = crossbeam::thread::scope(|s| {
-        let h_orig = s.spawn(|_| {
-            let mut net = build(ModelVariant::ConventionalOnn, 100);
-            train_and_eval(&mut net, &conv_train, &conv_test, &setup, 200)
+    let (acc_orig, acc_rvnn, acc_prop) = std::thread::scope(|s| {
+        let (factory, setup) = (&factory, &setup);
+        let conv_for_orig = conv_data.clone();
+        let h_orig = s.spawn(move || {
+            let f = factory(ModelVariant::ConventionalOnn, 100);
+            train_on_acc(conv_for_orig, f, None, setup, 200)
         });
-        let h_rvnn = s.spawn(|_| {
-            let mut net = build(ModelVariant::Rvnn, 101);
-            train_and_eval(&mut net, &conv_train, &conv_test, &setup, 201)
+        let h_rvnn = s.spawn(move || {
+            let f = factory(ModelVariant::Rvnn, 101);
+            train_on_acc(conv_data, f, None, setup, 201)
         });
-        let h_prop = s.spawn(|_| {
-            let mut net = build(ModelVariant::Split(DecoderKind::Merge), 102);
-            train_and_eval(&mut net, &split_train, &split_test, &setup, 202)
+        let h_prop = s.spawn(move || {
+            let f = factory(ModelVariant::Split(DecoderKind::Merge), 102);
+            train_on_acc(split_data, f, None, setup, 202)
         });
         (
             h_orig.join().expect("orig run"),
             h_rvnn.join().expect("rvnn run"),
             h_prop.join().expect("prop run"),
         )
-    })
-    .expect("thread scope");
+    });
 
     let (orig_spec, prop_spec) = model.specs();
     Table2Row {

@@ -6,13 +6,13 @@
 //! larger model of the same series for the ResNets (ResNet-56) and another
 //! LeNet-5 for LeNet-5, as in the paper.
 
-use crate::experiments::{pct, train_and_eval, Scale};
+use crate::experiments::{pct, train_on_acc, Scale};
+use crate::stage::{AssignStage, AssignedData, ModelFactory, MutualLearning};
+use crate::stage::{DatasetPair, Stage};
 use crate::zoo::{build_lenet, build_resnet, LenetConfig, ModelVariant, ResnetConfig};
 use oplix_datasets::assign::AssignmentKind;
 use oplix_datasets::synth::{colors, SynthConfig};
-use oplix_nn::mutual::{mutual_fit, MutualConfig};
 use oplix_nn::network::Network;
-use oplix_nn::optim::Sgd;
 use oplix_photonics::decoder::DecoderKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -166,51 +166,48 @@ fn run_model(model: Table3Model, scale: &Scale) -> Table3Row {
         seed,
         ..Default::default()
     };
-    let train_raw = colors(&mk_cfg(scale.train_samples, 31));
-    let test_raw = colors(&mk_cfg(scale.test_samples, 32));
-
-    let split_train = AssignmentKind::ChannelLossless.apply_dataset(&train_raw);
-    let split_test = AssignmentKind::ChannelLossless.apply_dataset(&test_raw);
-    let conv_train = AssignmentKind::Conventional.apply_dataset(&train_raw);
+    let pair = DatasetPair::new(
+        colors(&mk_cfg(scale.train_samples, 31)),
+        colors(&mk_cfg(scale.test_samples, 32)),
+    );
+    // One assignment run shared by both arms (the solo run ignores the
+    // teacher view).
+    let assigned = AssignStage::image(AssignmentKind::ChannelLossless)
+        .with_teacher_view()
+        .run(pair)
+        .unwrap_or_else(|e| panic!("experiment stage failed: {e}"));
 
     let setup = scale.setup_for(match model {
         Table3Model::Lenet5 => crate::experiments::Workload::Lenet,
         _ => crate::experiments::Workload::Resnet,
     });
-    let (acc_without, acc_with) = crossbeam::thread::scope(|s| {
-        let h_solo = s.spawn(|_| {
-            let mut student = build_student(model, hw, 300);
-            train_and_eval(&mut student, &split_train, &split_test, &setup, 400)
-        });
-        let h_ml = s.spawn(|_| {
-            let mut student = build_student(model, hw, 300); // same init as solo
-            let mut teacher = build_teacher(model, hw, 301);
-            let cfg = MutualConfig {
+    let student_factory = move || -> Box<dyn ModelFactory> {
+        Box::new(move |_data: &AssignedData, _rng: &mut StdRng| {
+            Ok(build_student(model, hw, 300)) // same init in both runs
+        })
+    };
+    let (acc_without, acc_with) = std::thread::scope(|s| {
+        let setup = &setup;
+        let solo_data = assigned.clone();
+        let h_solo = s.spawn(move || train_on_acc(solo_data, student_factory(), None, setup, 400));
+        let h_ml = s.spawn(move || {
+            let mutual = MutualLearning {
+                teacher: Box::new(move |_data: &AssignedData, _rng: &mut StdRng| {
+                    Ok(build_teacher(model, hw, 301))
+                }),
                 alpha: 1.0,
                 temperature: 1.0,
-                batch_size: setup.batch,
             };
-            let mut opt_s = Sgd::with_momentum(setup.lr, setup.momentum, setup.weight_decay);
-            let mut opt_t = Sgd::with_momentum(setup.lr, setup.momentum, setup.weight_decay);
-            opt_s.clip = Some(1.0);
-            opt_t.clip = Some(1.0);
-            let mut rng = StdRng::seed_from_u64(400); // same data order as solo
-            mutual_fit(
-                &mut student,
-                &mut teacher,
-                &split_train,
-                &conv_train,
-                &split_test,
-                setup.epochs,
-                &cfg,
-                &mut opt_s,
-                &mut opt_t,
-                &mut rng,
-            )
+            // A batch order of its own: the coupled updates are sensitive
+            // to the shuffle stream, and sharing the solo order buys
+            // nothing (the loss surfaces already differ).
+            train_on_acc(assigned, student_factory(), Some(mutual), setup, 401)
         });
-        (h_solo.join().expect("solo run"), h_ml.join().expect("ml run"))
-    })
-    .expect("thread scope");
+        (
+            h_solo.join().expect("solo run"),
+            h_ml.join().expect("ml run"),
+        )
+    });
 
     Table3Row {
         model: model.name(),

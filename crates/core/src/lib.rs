@@ -2,7 +2,8 @@
 //!
 //! A reproduction of *"OplixNet: Towards Area-Efficient Optical
 //! Split-Complex Networks with Real-to-Complex Data Assignment and
-//! Knowledge Distillation"* (Qiu et al., DATE 2024).
+//! Knowledge Distillation"* (Qiu et al., DATE 2024), grown into a
+//! serving-oriented photonic inference stack.
 //!
 //! OplixNet compresses MZI-based optical neural networks by ~75 % by
 //! encoding two real values into the amplitude *and phase* of one light
@@ -13,18 +14,26 @@
 //!
 //! This crate ties the substrates together:
 //!
+//! * [`stage`] — the composable pipeline API: typed
+//!   `Assign → Train → Deploy → Evaluate` stages behind one [`stage::Stage`]
+//!   trait, swappable per workload;
+//! * [`engine`] — the batched [`engine::InferenceEngine`] over deployed
+//!   meshes: preallocated forward buffers, noise-injection sessions,
+//!   throughput counters;
+//! * [`error`] — the workspace-wide typed [`error::Error`]; no public API
+//!   path panics on recoverable conditions;
+//! * [`pipeline`] — [`pipeline::OplixNetBuilder`], the one-call FCNN
+//!   configuration of the standard stage pipeline;
 //! * [`spec`] — paper-scale architecture specs and exact MZI counting
 //!   (Table II's area columns reproduce digit-for-digit);
 //! * [`zoo`] — training-scale FCNN / LeNet-5 / ResNet builders in every
 //!   network family (RVNN / conventional ONN / split with any decoder);
-//! * [`deploy`] — SVD phase mapping of trained networks onto the
-//!   field-level photonic simulator, with noise injection and power
-//!   accounting;
-//! * [`pipeline`] — the end-to-end OplixNet workflow of Fig. 2;
+//! * [`deploy`] — SVD phase mapping of trained networks (and
+//!   decoder-bearing heads) onto the field-level photonic simulator;
 //! * [`experiments`] — runners regenerating Table II, Table III and
-//!   Figs. 7–9, plus the A1–A3 ablations.
+//!   Figs. 7–9, plus the A1–A3 ablations, all built on the stage API.
 //!
-//! # Quickstart
+//! # Quickstart: the builder
 //!
 //! ```
 //! use oplixnet::pipeline::OplixNetBuilder;
@@ -38,18 +47,72 @@
 //!     .mutual_learning(false)
 //!     .train_setup(TrainSetup { epochs: 2, batch: 25, lr: 0.05, momentum: 0.9, weight_decay: 1e-4 })
 //!     .build(&train, &test)
-//!     .run();
+//!     .run()
+//!     .expect("geometry is valid and FCNNs deploy");
 //! assert!(outcome.accuracy >= 0.0);
 //! assert!(outcome.hardware_gap() < 0.2);
+//!
+//! // The outcome carries a reusable serving engine over the deployed meshes.
+//! let mut engine = outcome.engine;
+//! let test_view = oplix_datasets::assign::AssignmentKind::SpatialInterlace
+//!     .apply_dataset_flat(&test);
+//! let classes = engine.classify(&test_view.inputs).expect("batch matches mesh fan-in");
+//! assert_eq!(classes.len(), 50);
+//! assert!(engine.stats().samples >= 50);
+//! ```
+//!
+//! # Quickstart: explicit stages
+//!
+//! Swap any stage without touching the rest — here a custom student
+//! factory on the standard flow:
+//!
+//! ```
+//! use oplixnet::stage::{AssignStage, AssignedData, DatasetPair, DeployStage, Pipeline, TrainStage};
+//! use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+//! use oplixnet::experiments::TrainSetup;
+//! use oplix_datasets::assign::AssignmentKind;
+//! use oplix_datasets::synth::{digits, SynthConfig};
+//! use oplix_photonics::decoder::DecoderKind;
+//! use rand::rngs::StdRng;
+//!
+//! let cfg = SynthConfig { height: 8, width: 8, samples: 80, ..Default::default() };
+//! let pair = DatasetPair::new(digits(&cfg), digits(&SynthConfig { seed: 1, ..cfg }));
+//! let variant = ModelVariant::Split(DecoderKind::Merge);
+//! let pipeline = Pipeline::standard(
+//!     AssignStage::flat(AssignmentKind::SpatialInterlace),
+//!     TrainStage::new(
+//!         Box::new(move |data: &AssignedData, rng: &mut StdRng| {
+//!             Ok(build_fcnn(
+//!                 &FcnnConfig { input: data.assigned_features(), hidden: 8, classes: data.classes },
+//!                 variant,
+//!                 rng,
+//!             ))
+//!         }),
+//!         TrainSetup { epochs: 2, batch: 20, lr: 0.05, momentum: 0.9, weight_decay: 1e-4 },
+//!         42,
+//!     ),
+//!     DeployStage::new(variant.detection()),
+//! );
+//! let eval = pipeline.run(pair).expect("stages run");
+//! assert!(eval.hardware_gap() < 0.2);
 //! ```
 
 pub mod deploy;
+pub mod engine;
+pub mod error;
 pub mod experiments;
 pub mod pipeline;
 pub mod spec;
+pub mod stage;
 pub mod zoo;
 
 pub use deploy::{DeployedDetection, DeployedFcnn};
-pub use pipeline::{OplixNetBuilder, OplixNetOutcome, OplixNetPipeline};
+pub use engine::{EngineStats, InferenceEngine};
+pub use error::Error;
+pub use pipeline::{OplixNetBuilder, OplixNetOutcome, OplixNetPipeline, OutcomeSummary};
 pub use spec::ModelSpec;
+pub use stage::{
+    AssignStage, AssignedData, DatasetPair, DeployStage, EvaluateStage, Evaluation, Pipeline,
+    Stage, StageExt, TrainStage,
+};
 pub use zoo::ModelVariant;

@@ -5,26 +5,28 @@
 //! split ONN (SCVNN) ⇄ CVNN mutual learning → phase mapping → deploy
 //! ```
 //!
-//! [`OplixNetBuilder`] assembles the whole pipeline for an FCNN workload;
-//! [`OplixNetPipeline::run`] trains (optionally with mutual learning),
-//! deploys onto MZI meshes and reports accuracy plus the area ledger. This
-//! is the "user-facing" API the examples exercise; the experiment runners
-//! in [`crate::experiments`] use the pieces directly.
+//! [`OplixNetBuilder`] configures an FCNN workload and assembles the
+//! standard stage [`Pipeline`] (`Assign → Train → Deploy → Evaluate`, see
+//! [`crate::stage`]); [`OplixNetPipeline::run`] executes it, returning an
+//! [`OplixNetOutcome`] with the trained network, the hardware-verified
+//! accuracies, and a reusable [`InferenceEngine`] for further queries.
+//! Every failure mode — bad dataset geometry, undeployable body, shape
+//! mismatches — is a typed [`Error`], not a panic.
 
-use crate::deploy::{DeployedDetection, DeployedFcnn};
+use crate::deploy::DeployedFcnn;
+use crate::engine::InferenceEngine;
+use crate::error::Error;
 use crate::experiments::TrainSetup;
 use crate::spec::{fcnn_orig, ModelSpec};
+use crate::stage::{
+    AssignStage, AssignedData, DatasetPair, DeployStage, MutualLearning, Pipeline, TrainStage,
+};
 use crate::zoo::{build_fcnn, FcnnConfig, ModelVariant};
 use oplix_datasets::assign::AssignmentKind;
 use oplix_datasets::synth::RealDataset;
-use oplix_nn::mutual::{mutual_fit, MutualConfig};
-use oplix_nn::network::Network;
-use oplix_nn::optim::Sgd;
-use oplix_nn::trainer::{evaluate, fit};
 use oplix_photonics::decoder::DecoderKind;
 use oplix_photonics::svd_map::MeshStyle;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Builder for an OplixNet FCNN pipeline.
 #[derive(Clone, Debug)]
@@ -40,6 +42,7 @@ pub struct OplixNetBuilder {
 }
 
 impl Default for OplixNetBuilder {
+    /// The paper's defaults; identical to [`OplixNetBuilder::new`].
     fn default() -> Self {
         OplixNetBuilder {
             assignment: AssignmentKind::SpatialInterlace,
@@ -115,25 +118,58 @@ impl OplixNetBuilder {
         self
     }
 
-    /// Assembles the pipeline for a dataset pair.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the assignment cannot be applied to the dataset geometry
-    /// (e.g. channel remapping on single-channel digits).
+    /// Assembles the pipeline for a dataset pair. Geometry constraints are
+    /// checked when the pipeline runs, so this never fails or panics.
     pub fn build(self, train: &RealDataset, test: &RealDataset) -> OplixNetPipeline {
-        let (c, h, w) = train.image_shape();
-        let (oc, oh, ow) = self.assignment.output_shape(c, h, w);
-        let split_input = oc * oh * ow;
-        let conv_input = c * h * w;
         OplixNetPipeline {
             cfg: self,
-            split_input,
-            conv_input,
-            classes: train.num_classes,
-            train: train.clone(),
-            test: test.clone(),
+            data: DatasetPair::new(train.clone(), test.clone()),
         }
+    }
+
+    /// The four configured stages as a generic [`Pipeline`], for callers
+    /// that want to swap a stage before running.
+    pub fn stages(&self) -> Pipeline {
+        let mut assign = AssignStage::flat(self.assignment);
+        if self.mutual_learning {
+            assign = assign.with_teacher_view();
+        }
+
+        let variant = ModelVariant::Split(self.decoder);
+        let hidden = self.hidden;
+        let student = Box::new(move |data: &AssignedData, rng: &mut StdRng| {
+            Ok(build_fcnn(
+                &FcnnConfig {
+                    input: data.assigned_features(),
+                    hidden,
+                    classes: data.classes,
+                },
+                variant,
+                rng,
+            ))
+        });
+        let mut train = TrainStage::new(student, self.setup, self.seed);
+        if self.mutual_learning {
+            let teacher_hidden = 2 * self.hidden;
+            train = train.with_mutual(MutualLearning {
+                teacher: Box::new(move |data: &AssignedData, rng: &mut StdRng| {
+                    Ok(build_fcnn(
+                        &FcnnConfig {
+                            input: data.raw_features(),
+                            hidden: teacher_hidden,
+                            classes: data.classes,
+                        },
+                        ModelVariant::ConventionalOnn,
+                        rng,
+                    ))
+                }),
+                alpha: self.alpha,
+                temperature: 1.0,
+            });
+        }
+
+        let deploy = DeployStage::new(variant.detection()).mesh_style(self.mesh_style);
+        Pipeline::standard(assign, train, deploy)
     }
 }
 
@@ -141,26 +177,43 @@ impl OplixNetBuilder {
 #[derive(Clone, Debug)]
 pub struct OplixNetPipeline {
     cfg: OplixNetBuilder,
-    split_input: usize,
-    conv_input: usize,
-    classes: usize,
-    train: RealDataset,
-    test: RealDataset,
+    data: DatasetPair,
 }
 
 /// Everything the pipeline produces.
+///
+/// Not `Clone`: [`Network`](oplix_nn::network::Network) holds its head as
+/// a trait object without clone support, and cloning mesh state by
+/// accident would be an expensive footgun. The cheap scalar parts are
+/// available as a `Copy` [`OutcomeSummary`] via
+/// [`OplixNetOutcome::summary`]; the engine (and the deployed meshes
+/// inside it) can be cloned explicitly.
+#[derive(Debug)]
 pub struct OplixNetOutcome {
     /// The trained split network (software form).
-    pub network: Network,
+    pub network: oplix_nn::network::Network,
     /// Test accuracy of the split network.
     pub accuracy: f64,
     /// Test accuracy of the deployed (field-level) hardware.
     pub deployed_accuracy: f64,
-    /// The deployed photonic pipeline.
-    pub deployed: DeployedFcnn,
+    /// Reusable batched inference engine over the deployed hardware.
+    pub engine: InferenceEngine,
     /// Paper-scale spec of the original ONN FCNN (area reference).
     pub orig_spec: ModelSpec,
     /// MZIs used by the deployed split pipeline (training scale).
+    pub deployed_mzis: u64,
+}
+
+/// The scalar facts of an [`OplixNetOutcome`], cheap to copy around.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OutcomeSummary {
+    /// Software test accuracy.
+    pub accuracy: f64,
+    /// Deployed hardware test accuracy.
+    pub deployed_accuracy: f64,
+    /// `|accuracy − deployed_accuracy|`.
+    pub hardware_gap: f64,
+    /// MZIs of the deployed pipeline.
     pub deployed_mzis: u64,
 }
 
@@ -169,101 +222,43 @@ impl OplixNetOutcome {
     pub fn hardware_gap(&self) -> f64 {
         (self.accuracy - self.deployed_accuracy).abs()
     }
+
+    /// The deployed photonic pipeline the engine serves.
+    pub fn deployed(&self) -> &DeployedFcnn {
+        self.engine.deployed()
+    }
+
+    /// The cheap scalar parts, as a `Copy` value.
+    pub fn summary(&self) -> OutcomeSummary {
+        OutcomeSummary {
+            accuracy: self.accuracy,
+            deployed_accuracy: self.deployed_accuracy,
+            hardware_gap: self.hardware_gap(),
+            deployed_mzis: self.deployed_mzis,
+        }
+    }
 }
 
 impl OplixNetPipeline {
-    /// Trains, optionally with mutual learning, then deploys and verifies
-    /// on hardware.
-    pub fn run(&self) -> OplixNetOutcome {
-        let cfg = &self.cfg;
-        let split_train = cfg.assignment.apply_dataset_flat(&self.train);
-        let split_test = cfg.assignment.apply_dataset_flat(&self.test);
-
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut student = build_fcnn(
-            &FcnnConfig {
-                input: self.split_input,
-                hidden: cfg.hidden,
-                classes: self.classes,
-            },
-            ModelVariant::Split(cfg.decoder),
-            &mut rng,
-        );
-
-        let accuracy = if cfg.mutual_learning {
-            let conv_train = AssignmentKind::Conventional.apply_dataset_flat(&self.train);
-            let mut teacher = build_fcnn(
-                &FcnnConfig {
-                    input: self.conv_input,
-                    hidden: cfg.hidden * 2,
-                    classes: self.classes,
-                },
-                ModelVariant::ConventionalOnn,
-                &mut rng,
-            );
-            let ml = MutualConfig {
-                alpha: cfg.alpha,
-                temperature: 1.0,
-                batch_size: cfg.setup.batch,
-            };
-            let mut opt_s = Sgd::with_momentum(cfg.setup.lr, cfg.setup.momentum, cfg.setup.weight_decay);
-            let mut opt_t = Sgd::with_momentum(cfg.setup.lr, cfg.setup.momentum, cfg.setup.weight_decay);
-            opt_s.clip = Some(1.0);
-            opt_t.clip = Some(1.0);
-            mutual_fit(
-                &mut student,
-                &mut teacher,
-                &split_train,
-                &conv_train,
-                &split_test,
-                cfg.setup.epochs,
-                &ml,
-                &mut opt_s,
-                &mut opt_t,
-                &mut rng,
-            )
-        } else {
-            let mut opt = Sgd::with_momentum(cfg.setup.lr, cfg.setup.momentum, cfg.setup.weight_decay);
-            opt.clip = Some(1.0);
-            fit(
-                &mut student,
-                &split_train,
-                &split_test,
-                cfg.setup.epochs,
-                cfg.setup.batch,
-                &mut opt,
-                &mut rng,
-                false,
-            )
-        };
-        // `fit`/`mutual_fit` return the final accuracy; recompute through
-        // the shared path for clarity.
-        let accuracy = {
-            let _ = accuracy;
-            evaluate(&mut student, &split_test, cfg.setup.batch)
-        };
-
-        let detection = match cfg.decoder {
-            DecoderKind::Merge => DeployedDetection::Differential,
-            DecoderKind::Coherent => DeployedDetection::CoherentReal,
-            // Linear/unitary decoders keep their extra layer in software
-            // form here; their optical stage is the same differential
-            // readout.
-            _ => DeployedDetection::Differential,
-        };
-        let deployed = DeployedFcnn::from_network(&student, detection, cfg.mesh_style)
-            .expect("FCNN bodies are always deployable");
-        let deployed_accuracy = deployed.accuracy(&split_test.inputs, &split_test.labels);
-        let deployed_mzis = deployed.device_count().mzis;
-
-        OplixNetOutcome {
-            network: student,
-            accuracy,
-            deployed_accuracy,
-            deployed,
+    /// Trains (optionally with mutual learning), deploys onto MZI meshes,
+    /// and verifies on hardware through the four pipeline stages.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`Error`] if the assignment cannot be applied to
+    /// the dataset geometry, the trained body is undeployable, or the
+    /// hardware evaluation is inconsistent with the mesh geometry.
+    pub fn run(&self) -> Result<OplixNetOutcome, Error> {
+        let evaluation = self.cfg.stages().run(self.data.clone())?;
+        let deployed_mzis = evaluation.engine.deployed().device_count().mzis;
+        Ok(OplixNetOutcome {
+            network: evaluation.network,
+            accuracy: evaluation.software_accuracy,
+            deployed_accuracy: evaluation.hardware_accuracy,
+            engine: evaluation.engine,
             orig_spec: fcnn_orig(),
             deployed_mzis,
-        }
+        })
     }
 }
 
@@ -280,7 +275,11 @@ mod tests {
             ..Default::default()
         };
         let train = digits(&cfg);
-        let test = digits(&SynthConfig { samples: 120, seed: 1, ..cfg });
+        let test = digits(&SynthConfig {
+            samples: 120,
+            seed: 1,
+            ..cfg
+        });
         (train, test)
     }
 
@@ -298,7 +297,8 @@ mod tests {
                 weight_decay: 1e-4,
             })
             .build(&train, &test)
-            .run();
+            .run()
+            .expect("pipeline runs");
         assert!(outcome.accuracy > 0.2, "accuracy {}", outcome.accuracy);
         // Hardware must agree with software almost exactly (the deployment
         // is numerically exact up to f32->f64 and SVD round-off).
@@ -309,6 +309,9 @@ mod tests {
             outcome.deployed_accuracy
         );
         assert!(outcome.deployed_mzis > 0);
+        let summary = outcome.summary();
+        assert_eq!(summary.deployed_mzis, outcome.deployed_mzis);
+        assert_eq!(summary.hardware_gap, outcome.hardware_gap());
     }
 
     #[test]
@@ -327,7 +330,33 @@ mod tests {
             })
             .seed(3)
             .build(&train, &test)
-            .run();
+            .run()
+            .expect("pipeline runs");
         assert!(outcome.accuracy > 0.2);
+    }
+
+    #[test]
+    fn geometry_errors_surface_as_values() {
+        // 7-pixel-high images cannot be spatially interlaced.
+        let cfg = SynthConfig {
+            height: 7,
+            width: 8,
+            samples: 20,
+            ..Default::default()
+        };
+        let train = digits(&cfg);
+        let test = digits(&SynthConfig { seed: 1, ..cfg });
+        let err = OplixNetBuilder::new()
+            .build(&train, &test)
+            .run()
+            .expect_err("odd height must be a typed error");
+        assert!(matches!(err, Error::Assign(_)), "{err:?}");
+    }
+
+    #[test]
+    fn default_and_new_agree() {
+        let a = format!("{:?}", OplixNetBuilder::new());
+        let b = format!("{:?}", OplixNetBuilder::default());
+        assert_eq!(a, b);
     }
 }

@@ -21,10 +21,9 @@
 //!   Fig. 9 — this is what makes the LeNet-5 number land on 2.9×10⁴.
 
 use oplix_photonics::count::mzi_count;
-use serde::{Deserialize, Serialize};
 
 /// Shape of one weight layer, for counting purposes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LayerShape {
     /// Fully connected `out × in`.
     Dense {
@@ -73,7 +72,7 @@ impl LayerShape {
 }
 
 /// A full architecture specification.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ModelSpec {
     /// Human-readable name.
     pub name: String,
@@ -109,8 +108,14 @@ pub fn fcnn_orig() -> ModelSpec {
     ModelSpec {
         name: "FCNN".into(),
         layers: vec![
-            LayerShape::Dense { out: 100, input: 784 },
-            LayerShape::Dense { out: 10, input: 100 },
+            LayerShape::Dense {
+                out: 100,
+                input: 784,
+            },
+            LayerShape::Dense {
+                out: 10,
+                input: 100,
+            },
         ],
         complex: true,
     }
@@ -122,7 +127,10 @@ pub fn fcnn_prop() -> ModelSpec {
     ModelSpec {
         name: "FCNN (split)".into(),
         layers: vec![
-            LayerShape::Dense { out: 50, input: 392 },
+            LayerShape::Dense {
+                out: 50,
+                input: 392,
+            },
             LayerShape::Dense { out: 10, input: 50 },
         ],
         complex: true,
@@ -135,10 +143,24 @@ pub fn lenet5_orig() -> ModelSpec {
     ModelSpec {
         name: "LeNet-5".into(),
         layers: vec![
-            LayerShape::Conv { out: 6, input: 3, k: 5 },
-            LayerShape::Conv { out: 16, input: 6, k: 5 },
-            LayerShape::Dense { out: 120, input: 400 },
-            LayerShape::Dense { out: 84, input: 120 },
+            LayerShape::Conv {
+                out: 6,
+                input: 3,
+                k: 5,
+            },
+            LayerShape::Conv {
+                out: 16,
+                input: 6,
+                k: 5,
+            },
+            LayerShape::Dense {
+                out: 120,
+                input: 400,
+            },
+            LayerShape::Dense {
+                out: 84,
+                input: 120,
+            },
             LayerShape::Dense { out: 10, input: 84 },
         ],
         complex: true,
@@ -151,9 +173,20 @@ pub fn lenet5_prop() -> ModelSpec {
     ModelSpec {
         name: "LeNet-5 (split)".into(),
         layers: vec![
-            LayerShape::Conv { out: 3, input: 2, k: 5 },
-            LayerShape::Conv { out: 8, input: 3, k: 5 },
-            LayerShape::Dense { out: 60, input: 200 },
+            LayerShape::Conv {
+                out: 3,
+                input: 2,
+                k: 5,
+            },
+            LayerShape::Conv {
+                out: 8,
+                input: 3,
+                k: 5,
+            },
+            LayerShape::Dense {
+                out: 60,
+                input: 200,
+            },
             LayerShape::Dense { out: 42, input: 60 },
             LayerShape::Dense { out: 10, input: 42 },
         ],
@@ -164,11 +197,21 @@ pub fn lenet5_prop() -> ModelSpec {
 /// CIFAR-style ResNet of depth `6n+2` with widths 16/32/64 and
 /// parameter-free shortcuts.
 pub fn resnet_orig(depth: usize, classes: usize) -> ModelSpec {
-    assert!(depth >= 8 && (depth - 2) % 6 == 0, "depth must be 6n+2");
+    assert!(
+        depth >= 8 && (depth - 2).is_multiple_of(6),
+        "depth must be 6n+2"
+    );
     let n = (depth - 2) / 6;
-    let mut layers = vec![LayerShape::Conv { out: 16, input: 3, k: 3 }];
+    let mut layers = vec![LayerShape::Conv {
+        out: 16,
+        input: 3,
+        k: 3,
+    }];
     push_resnet_stages(&mut layers, n, &[16, 32, 64]);
-    layers.push(LayerShape::Dense { out: classes, input: 64 });
+    layers.push(LayerShape::Dense {
+        out: classes,
+        input: 64,
+    });
     ModelSpec {
         name: format!("ResNet-{depth}"),
         layers,
@@ -179,11 +222,21 @@ pub fn resnet_orig(depth: usize, classes: usize) -> ModelSpec {
 /// The proposed split ResNet: channel-lossless input (3→2), halved widths
 /// 8/16/32.
 pub fn resnet_prop(depth: usize, classes: usize) -> ModelSpec {
-    assert!(depth >= 8 && (depth - 2) % 6 == 0, "depth must be 6n+2");
+    assert!(
+        depth >= 8 && (depth - 2).is_multiple_of(6),
+        "depth must be 6n+2"
+    );
     let n = (depth - 2) / 6;
-    let mut layers = vec![LayerShape::Conv { out: 8, input: 2, k: 3 }];
+    let mut layers = vec![LayerShape::Conv {
+        out: 8,
+        input: 2,
+        k: 3,
+    }];
     push_resnet_stages(&mut layers, n, &[8, 16, 32]);
-    layers.push(LayerShape::Dense { out: classes, input: 32 });
+    layers.push(LayerShape::Dense {
+        out: classes,
+        input: 32,
+    });
     ModelSpec {
         name: format!("ResNet-{depth} (split)"),
         layers,
@@ -196,8 +249,16 @@ fn push_resnet_stages(layers: &mut Vec<LayerShape>, blocks: usize, widths: &[usi
     for &w in widths {
         for b in 0..blocks {
             let first_in = if b == 0 { in_ch } else { w };
-            layers.push(LayerShape::Conv { out: w, input: first_in, k: 3 });
-            layers.push(LayerShape::Conv { out: w, input: w, k: 3 });
+            layers.push(LayerShape::Conv {
+                out: w,
+                input: first_in,
+                k: 3,
+            });
+            layers.push(LayerShape::Conv {
+                out: w,
+                input: w,
+                k: 3,
+            });
         }
         in_ch = w;
     }
@@ -230,7 +291,7 @@ mod tests {
     fn table2_lenet_counts() {
         assert_eq!(lenet5_orig().mzis(), 115_418);
         assert_eq!(lenet5_orig().mzis_e4(), 11.5); // paper: 11.5
-        // paper: 2.9e4 — exact under the decoder-excluded convention.
+                                                   // paper: 2.9e4 — exact under the decoder-excluded convention.
         let prop = lenet5_prop().mzis();
         assert_eq!(prop, 29_361);
         assert_eq!(lenet5_prop().mzis_e4(), 2.9);
@@ -264,7 +325,11 @@ mod tests {
 
     #[test]
     fn conv_layer_shape_convention() {
-        let conv = LayerShape::Conv { out: 16, input: 6, k: 5 };
+        let conv = LayerShape::Conv {
+            out: 16,
+            input: 6,
+            k: 5,
+        };
         assert_eq!(conv.mvm_shape(), (16, 150));
         assert_eq!(conv.mzis(), 11_311);
     }

@@ -1,0 +1,718 @@
+//! Composable, trait-driven pipeline stages.
+//!
+//! The paper's Fig. 2 workflow decomposes into four typed stages:
+//!
+//! ```text
+//! DatasetPair ──AssignStage──▶ AssignedData ──TrainStage──▶ TrainedModel
+//!      ──DeployStage──▶ DeployedModel ──EvaluateStage──▶ Evaluation
+//! ```
+//!
+//! Each stage is a [`Stage`] implementation with typed input and output
+//! artifacts, so new workloads — conv bodies, the OFFT baseline, alternate
+//! decoders — plug in by swapping one boxed stage instead of editing a
+//! monolithic driver. [`Pipeline`] holds the four stages as trait objects
+//! and runs them end to end; [`StageExt::then`] chains any two compatible
+//! stages into a new one for bespoke flows.
+//!
+//! Errors are typed ([`Error`]) end to end: bad dataset geometry, an
+//! undeployable body, or a query/mesh shape mismatch surface as values,
+//! not panics.
+
+use crate::deploy::DeployedDetection;
+use crate::engine::InferenceEngine;
+use crate::error::Error;
+use oplix_datasets::assign::AssignmentKind;
+use oplix_datasets::synth::RealDataset;
+use oplix_nn::mutual::{mutual_fit, MutualConfig};
+use oplix_nn::network::Network;
+use oplix_nn::optim::Sgd;
+use oplix_nn::trainer::{fit_with, CDataset, EpochStats};
+use oplix_photonics::svd_map::MeshStyle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::experiments::TrainSetup;
+
+/// One typed pipeline stage: consumes its input artifact, produces the
+/// next one, or fails with a typed [`Error`].
+pub trait Stage {
+    /// The artifact this stage consumes.
+    type Input;
+    /// The artifact this stage produces.
+    type Output;
+
+    /// Stable stage name, used in error reporting and logs.
+    fn name(&self) -> &'static str;
+
+    /// Runs the stage.
+    fn run(&self, input: Self::Input) -> Result<Self::Output, Error>;
+}
+
+/// Chains two stages into one (see [`StageExt::then`]).
+pub struct Chain<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A, B> Stage for Chain<A, B>
+where
+    A: Stage,
+    B: Stage<Input = A::Output>,
+{
+    type Input = A::Input;
+    type Output = B::Output;
+
+    fn name(&self) -> &'static str {
+        self.second.name()
+    }
+
+    fn run(&self, input: A::Input) -> Result<B::Output, Error> {
+        self.second.run(self.first.run(input)?)
+    }
+}
+
+/// Combinators available on every stage.
+pub trait StageExt: Stage + Sized {
+    /// Feeds this stage's output into `next`, producing a single composed
+    /// stage.
+    fn then<B: Stage<Input = Self::Output>>(self, next: B) -> Chain<Self, B> {
+        Chain {
+            first: self,
+            second: next,
+        }
+    }
+}
+
+impl<S: Stage> StageExt for S {}
+
+// ---------------------------------------------------------------------------
+// Artifacts
+// ---------------------------------------------------------------------------
+
+/// The raw input to a pipeline: matching train/test datasets.
+#[derive(Clone, Debug)]
+pub struct DatasetPair {
+    /// Training split.
+    pub train: RealDataset,
+    /// Held-out test split.
+    pub test: RealDataset,
+}
+
+impl DatasetPair {
+    /// Bundles the two splits.
+    pub fn new(train: RealDataset, test: RealDataset) -> Self {
+        DatasetPair { train, test }
+    }
+}
+
+/// How assigned samples are laid out for the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataLayout {
+    /// Each sample flattened to a vector (FCNN workloads).
+    Flat,
+    /// Image layout `[C, H, W]` preserved (conv workloads).
+    Image,
+}
+
+/// Output of [`AssignStage`]: complex dataset views plus the geometry
+/// model factories need.
+#[derive(Clone, Debug)]
+pub struct AssignedData {
+    /// Complex training view under the configured assignment.
+    pub train: CDataset,
+    /// Complex test view under the configured assignment.
+    pub test: CDataset,
+    /// Conventional (amplitude-only) training view for a mutual-learning
+    /// teacher; present iff the stage was configured with `teacher_view`.
+    pub teacher_train: Option<CDataset>,
+    /// Number of classes.
+    pub classes: usize,
+    /// Original image shape `(C, H, W)` before assignment.
+    pub raw_shape: (usize, usize, usize),
+    /// Image shape `(C, H, W)` after assignment.
+    pub assigned_shape: (usize, usize, usize),
+}
+
+impl AssignedData {
+    /// Flattened feature count of one assigned sample.
+    pub fn assigned_features(&self) -> usize {
+        let (c, h, w) = self.assigned_shape;
+        c * h * w
+    }
+
+    /// Flattened feature count of one raw (conventional-view) sample.
+    pub fn raw_features(&self) -> usize {
+        let (c, h, w) = self.raw_shape;
+        c * h * w
+    }
+}
+
+/// Output of [`TrainStage`]: the trained network and its test accuracy,
+/// with the data views threaded through for the downstream stages.
+#[derive(Debug)]
+pub struct TrainedModel {
+    /// The trained student network (software form).
+    pub network: Network,
+    /// Final test accuracy reported by the trainer.
+    pub accuracy: f64,
+    /// The assigned data views (ownership flows down the pipeline).
+    pub data: AssignedData,
+}
+
+/// Output of [`DeployStage`]: the software network plus a serving engine
+/// over its photonic deployment.
+#[derive(Debug)]
+pub struct DeployedModel {
+    /// The trained network (kept for software-side comparisons).
+    pub network: Network,
+    /// Batched inference engine over the deployed meshes.
+    pub engine: InferenceEngine,
+    /// Software test accuracy carried over from training.
+    pub software_accuracy: f64,
+    /// The assigned data views.
+    pub data: AssignedData,
+}
+
+/// Output of [`EvaluateStage`]: software and hardware test accuracy plus
+/// the reusable engine.
+#[derive(Debug)]
+pub struct Evaluation {
+    /// The trained network.
+    pub network: Network,
+    /// The serving engine (reusable for further queries).
+    pub engine: InferenceEngine,
+    /// Software test accuracy.
+    pub software_accuracy: f64,
+    /// Deployed (field-level) hardware test accuracy.
+    pub hardware_accuracy: f64,
+}
+
+impl Evaluation {
+    /// Agreement between software and hardware accuracy.
+    pub fn hardware_gap(&self) -> f64 {
+        (self.software_accuracy - self.hardware_accuracy).abs()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Assign
+// ---------------------------------------------------------------------------
+
+/// Applies a real-to-complex assignment to both dataset splits.
+#[derive(Clone, Copy, Debug)]
+pub struct AssignStage {
+    /// The assignment scheme.
+    pub assignment: AssignmentKind,
+    /// Sample layout handed to the trainer.
+    pub layout: DataLayout,
+    /// Also produce the conventional training view for a mutual-learning
+    /// teacher.
+    pub teacher_view: bool,
+}
+
+impl AssignStage {
+    /// Flat (FCNN) assignment without a teacher view.
+    pub fn flat(assignment: AssignmentKind) -> Self {
+        AssignStage {
+            assignment,
+            layout: DataLayout::Flat,
+            teacher_view: false,
+        }
+    }
+
+    /// Image-layout (conv) assignment without a teacher view.
+    pub fn image(assignment: AssignmentKind) -> Self {
+        AssignStage {
+            assignment,
+            layout: DataLayout::Image,
+            teacher_view: false,
+        }
+    }
+
+    /// Enables the conventional teacher view.
+    pub fn with_teacher_view(mut self) -> Self {
+        self.teacher_view = true;
+        self
+    }
+
+    fn apply(&self, kind: AssignmentKind, data: &RealDataset) -> Result<CDataset, Error> {
+        Ok(match self.layout {
+            DataLayout::Flat => kind.try_apply_dataset_flat(data)?,
+            DataLayout::Image => kind.try_apply_dataset(data)?,
+        })
+    }
+}
+
+impl Stage for AssignStage {
+    type Input = DatasetPair;
+    type Output = AssignedData;
+
+    fn name(&self) -> &'static str {
+        "assign"
+    }
+
+    fn run(&self, input: DatasetPair) -> Result<AssignedData, Error> {
+        if input.train.is_empty() || input.test.is_empty() {
+            return Err(Error::EmptyInput { stage: self.name() });
+        }
+        let raw_shape = input.train.image_shape();
+        let (c, h, w) = raw_shape;
+        let assigned_shape = self.assignment.try_output_shape(c, h, w)?;
+        let train = self.apply(self.assignment, &input.train)?;
+        let test = self.apply(self.assignment, &input.test)?;
+        let teacher_train = if self.teacher_view {
+            Some(self.apply(AssignmentKind::Conventional, &input.train)?)
+        } else {
+            None
+        };
+        Ok(AssignedData {
+            train,
+            test,
+            teacher_train,
+            classes: input.train.num_classes,
+            raw_shape,
+            assigned_shape,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Train
+// ---------------------------------------------------------------------------
+
+/// Builds a network for the data geometry a pipeline produced. Implemented
+/// for plain closures, so workloads plug in without a named type:
+///
+/// ```ignore
+/// let factory = |data: &AssignedData, rng: &mut StdRng| {
+///     Ok(build_fcnn(&FcnnConfig { input: data.assigned_features(), .. }, variant, rng))
+/// };
+/// ```
+pub trait ModelFactory {
+    /// Builds the (untrained) network.
+    fn build(&self, data: &AssignedData, rng: &mut StdRng) -> Result<Network, Error>;
+}
+
+impl<F> ModelFactory for F
+where
+    F: Fn(&AssignedData, &mut StdRng) -> Result<Network, Error>,
+{
+    fn build(&self, data: &AssignedData, rng: &mut StdRng) -> Result<Network, Error> {
+        self(data, rng)
+    }
+}
+
+/// Mutual-learning configuration of a [`TrainStage`]: a factory for the
+/// CVNN teacher plus the distillation settings.
+pub struct MutualLearning {
+    /// Builds the teacher network (trained on the conventional view).
+    pub teacher: Box<dyn ModelFactory>,
+    /// Distillation mixing factor α.
+    pub alpha: f32,
+    /// Softmax temperature of the KL terms.
+    pub temperature: f32,
+}
+
+/// Trains a student network — alone or in SCVNN–CVNN mutual learning —
+/// with the shared hyper-parameters.
+pub struct TrainStage {
+    /// Builds the student network.
+    pub student: Box<dyn ModelFactory>,
+    /// Optional mutual learning (teacher + distillation settings).
+    pub mutual: Option<MutualLearning>,
+    /// Shared training hyper-parameters.
+    pub setup: TrainSetup,
+    /// Seed for weight init and batch shuffling.
+    pub seed: u64,
+    /// Per-epoch progress logging to stderr.
+    pub verbose: bool,
+}
+
+impl TrainStage {
+    /// A plain (no mutual learning) training stage.
+    pub fn new(student: Box<dyn ModelFactory>, setup: TrainSetup, seed: u64) -> Self {
+        TrainStage {
+            student,
+            mutual: None,
+            setup,
+            seed,
+            verbose: false,
+        }
+    }
+
+    /// Adds a mutual-learning teacher.
+    pub fn with_mutual(mut self, mutual: MutualLearning) -> Self {
+        self.mutual = Some(mutual);
+        self
+    }
+
+    fn clipped_sgd(&self) -> Sgd {
+        let mut opt =
+            Sgd::with_momentum(self.setup.lr, self.setup.momentum, self.setup.weight_decay);
+        opt.clip = Some(1.0);
+        opt
+    }
+}
+
+impl Stage for TrainStage {
+    type Input = AssignedData;
+    type Output = TrainedModel;
+
+    fn name(&self) -> &'static str {
+        "train"
+    }
+
+    fn run(&self, data: AssignedData) -> Result<TrainedModel, Error> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut student = self.student.build(&data, &mut rng)?;
+
+        // The trainer's return value *is* the reported accuracy — no
+        // recompute pass.
+        let accuracy = match &self.mutual {
+            Some(ml) => {
+                let teacher_train = data.teacher_train.as_ref().ok_or(Error::Stage {
+                    stage: "train",
+                    message: "mutual learning needs the assign stage's teacher view \
+                              (AssignStage::with_teacher_view)"
+                        .to_string(),
+                })?;
+                let mut teacher = ml.teacher.build(&data, &mut rng)?;
+                let cfg = MutualConfig {
+                    alpha: ml.alpha,
+                    temperature: ml.temperature,
+                    batch_size: self.setup.batch,
+                };
+                let mut opt_s = self.clipped_sgd();
+                let mut opt_t = self.clipped_sgd();
+                mutual_fit(
+                    &mut student,
+                    &mut teacher,
+                    &data.train,
+                    teacher_train,
+                    &data.test,
+                    self.setup.epochs,
+                    &cfg,
+                    &mut opt_s,
+                    &mut opt_t,
+                    &mut rng,
+                )
+            }
+            None => {
+                let mut opt = self.clipped_sgd();
+                let verbose = self.verbose;
+                fit_with(
+                    &mut student,
+                    &data.train,
+                    &data.test,
+                    self.setup.epochs,
+                    self.setup.batch,
+                    &mut opt,
+                    &mut rng,
+                    |stats: &EpochStats| {
+                        if verbose {
+                            eprintln!(
+                                "epoch {:>3}/{}: loss {:.4} (lr {:.4})",
+                                stats.epoch + 1,
+                                stats.epochs,
+                                stats.mean_loss,
+                                stats.lr
+                            );
+                        }
+                    },
+                )
+            }
+        };
+
+        Ok(TrainedModel {
+            network: student,
+            accuracy,
+            data,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deploy
+// ---------------------------------------------------------------------------
+
+/// Maps the trained network onto MZI meshes and wraps it in an
+/// [`InferenceEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct DeployStage {
+    /// Output detection scheme (derive it from the trained decoder via
+    /// [`DecoderKind::detection`](oplix_photonics::decoder::DecoderKind::detection)
+    /// or [`crate::zoo::ModelVariant::detection`]).
+    pub detection: DeployedDetection,
+    /// Mesh decomposition layout.
+    pub mesh_style: MeshStyle,
+}
+
+impl DeployStage {
+    /// A deploy stage with the given detection and the default Clements
+    /// layout.
+    pub fn new(detection: DeployedDetection) -> Self {
+        DeployStage {
+            detection,
+            mesh_style: MeshStyle::Clements,
+        }
+    }
+
+    /// Overrides the mesh layout.
+    pub fn mesh_style(mut self, style: MeshStyle) -> Self {
+        self.mesh_style = style;
+        self
+    }
+}
+
+impl Stage for DeployStage {
+    type Input = TrainedModel;
+    type Output = DeployedModel;
+
+    fn name(&self) -> &'static str {
+        "deploy"
+    }
+
+    fn run(&self, input: TrainedModel) -> Result<DeployedModel, Error> {
+        let engine =
+            InferenceEngine::from_network(&input.network, self.detection, self.mesh_style)?;
+        Ok(DeployedModel {
+            network: input.network,
+            engine,
+            software_accuracy: input.accuracy,
+            data: input.data,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluate
+// ---------------------------------------------------------------------------
+
+/// Verifies the deployed hardware against the held-out test view through
+/// the engine's batched path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EvaluateStage;
+
+impl Stage for EvaluateStage {
+    type Input = DeployedModel;
+    type Output = Evaluation;
+
+    fn name(&self) -> &'static str {
+        "evaluate"
+    }
+
+    fn run(&self, input: DeployedModel) -> Result<Evaluation, Error> {
+        let DeployedModel {
+            network,
+            mut engine,
+            software_accuracy,
+            data,
+        } = input;
+        let hardware_accuracy = engine.accuracy(&data.test)?;
+        Ok(Evaluation {
+            network,
+            engine,
+            software_accuracy,
+            hardware_accuracy,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline
+// ---------------------------------------------------------------------------
+
+/// The four stages of the OplixNet workflow as swappable trait objects.
+///
+/// Any stage can be replaced by a custom implementation with the same
+/// artifact types — a conv-body trainer, an OFFT baseline stage, a
+/// different verifier — without touching the other three.
+pub struct Pipeline {
+    /// Dataset → complex views.
+    pub assign: Box<dyn Stage<Input = DatasetPair, Output = AssignedData>>,
+    /// Views → trained network.
+    pub train: Box<dyn Stage<Input = AssignedData, Output = TrainedModel>>,
+    /// Network → deployed engine.
+    pub deploy: Box<dyn Stage<Input = TrainedModel, Output = DeployedModel>>,
+    /// Engine → verified evaluation.
+    pub evaluate: Box<dyn Stage<Input = DeployedModel, Output = Evaluation>>,
+}
+
+impl Pipeline {
+    /// Assembles the standard Assign → Train → Deploy → Evaluate flow.
+    pub fn standard(assign: AssignStage, train: TrainStage, deploy: DeployStage) -> Self {
+        Pipeline {
+            assign: Box::new(assign),
+            train: Box::new(train),
+            deploy: Box::new(deploy),
+            evaluate: Box::new(EvaluateStage),
+        }
+    }
+
+    /// Runs all four stages.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first stage failure, typed per stage.
+    pub fn run(&self, data: DatasetPair) -> Result<Evaluation, Error> {
+        let assigned = self.assign.run(data)?;
+        let trained = self.train.run(assigned)?;
+        let deployed = self.deploy.run(trained)?;
+        self.evaluate.run(deployed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+    use oplix_datasets::synth::{digits, SynthConfig};
+    use oplix_photonics::decoder::DecoderKind;
+
+    fn quick_pair() -> DatasetPair {
+        let cfg = SynthConfig {
+            height: 8,
+            width: 8,
+            samples: 160,
+            ..Default::default()
+        };
+        DatasetPair::new(
+            digits(&cfg),
+            digits(&SynthConfig {
+                samples: 80,
+                seed: 1,
+                ..cfg
+            }),
+        )
+    }
+
+    fn quick_setup() -> TrainSetup {
+        TrainSetup {
+            epochs: 6,
+            batch: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+        }
+    }
+
+    #[test]
+    fn assign_stage_produces_views_and_geometry() {
+        let stage = AssignStage::flat(AssignmentKind::SpatialInterlace).with_teacher_view();
+        let out = stage.run(quick_pair()).expect("assign");
+        assert_eq!(out.assigned_shape, (1, 4, 8));
+        assert_eq!(out.assigned_features(), 32);
+        assert_eq!(out.raw_features(), 64);
+        assert_eq!(out.train.inputs.shape(), &[160, 32]);
+        assert!(out.teacher_train.is_some());
+    }
+
+    #[test]
+    fn assign_stage_reports_geometry_errors() {
+        let pair = {
+            let cfg = SynthConfig {
+                height: 7,
+                width: 8,
+                samples: 10,
+                ..Default::default()
+            };
+            DatasetPair::new(digits(&cfg), digits(&SynthConfig { seed: 1, ..cfg }))
+        };
+        let err = AssignStage::flat(AssignmentKind::SpatialInterlace)
+            .run(pair)
+            .expect_err("odd height must fail");
+        assert!(matches!(err, Error::Assign(_)), "{err:?}");
+    }
+
+    #[test]
+    fn train_stage_requires_teacher_view_for_mutual() {
+        let assign = AssignStage::flat(AssignmentKind::SpatialInterlace);
+        let data = assign.run(quick_pair()).expect("assign");
+        let stage = TrainStage::new(
+            Box::new(|d: &AssignedData, rng: &mut StdRng| {
+                Ok(build_fcnn(
+                    &FcnnConfig {
+                        input: d.assigned_features(),
+                        hidden: 8,
+                        classes: d.classes,
+                    },
+                    ModelVariant::Split(DecoderKind::Merge),
+                    rng,
+                ))
+            }),
+            quick_setup(),
+            3,
+        )
+        .with_mutual(MutualLearning {
+            teacher: Box::new(|d: &AssignedData, rng: &mut StdRng| {
+                Ok(build_fcnn(
+                    &FcnnConfig {
+                        input: d.raw_features(),
+                        hidden: 16,
+                        classes: d.classes,
+                    },
+                    ModelVariant::ConventionalOnn,
+                    rng,
+                ))
+            }),
+            alpha: 1.0,
+            temperature: 1.0,
+        });
+        let err = stage.run(data).expect_err("missing teacher view");
+        assert!(
+            matches!(err, Error::Stage { stage: "train", .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn standard_pipeline_runs_end_to_end() {
+        let pipeline = Pipeline::standard(
+            AssignStage::flat(AssignmentKind::SpatialInterlace),
+            TrainStage::new(
+                Box::new(|d: &AssignedData, rng: &mut StdRng| {
+                    Ok(build_fcnn(
+                        &FcnnConfig {
+                            input: d.assigned_features(),
+                            hidden: 12,
+                            classes: d.classes,
+                        },
+                        ModelVariant::Split(DecoderKind::Merge),
+                        rng,
+                    ))
+                }),
+                quick_setup(),
+                5,
+            ),
+            DeployStage::new(ModelVariant::Split(DecoderKind::Merge).detection()),
+        );
+        let eval = pipeline.run(quick_pair()).expect("pipeline");
+        assert!(
+            eval.software_accuracy > 0.15,
+            "accuracy {}",
+            eval.software_accuracy
+        );
+        assert!(eval.hardware_gap() < 0.05, "gap {}", eval.hardware_gap());
+    }
+
+    #[test]
+    fn then_combinator_chains_stages() {
+        let composed = AssignStage::flat(AssignmentKind::SpatialInterlace).then(TrainStage::new(
+            Box::new(|d: &AssignedData, rng: &mut StdRng| {
+                Ok(build_fcnn(
+                    &FcnnConfig {
+                        input: d.assigned_features(),
+                        hidden: 8,
+                        classes: d.classes,
+                    },
+                    ModelVariant::Split(DecoderKind::Merge),
+                    rng,
+                ))
+            }),
+            quick_setup(),
+            7,
+        ));
+        let trained = composed.run(quick_pair()).expect("chained stages");
+        assert!(trained.accuracy > 0.1);
+    }
+}

@@ -15,9 +15,7 @@
 //!   [`DecoderKind::Merge`]).
 
 use oplix_nn::head::{Head, LinearDecoderHead, MergeHead, ModulusHead, ReHead, UnitaryDecoderHead};
-use oplix_nn::layers::{
-    CAvgPool2d, CConv2d, CDense, CFlatten, CRelu, CResidualBlock, CSequential,
-};
+use oplix_nn::layers::{CAvgPool2d, CConv2d, CDense, CFlatten, CRelu, CResidualBlock, CSequential};
 use oplix_nn::network::Network;
 use oplix_photonics::decoder::DecoderKind;
 use rand::Rng;
@@ -38,6 +36,21 @@ impl ModelVariant {
     /// Whether layers should be constructed real-only.
     pub fn real_only(&self) -> bool {
         matches!(self, ModelVariant::Rvnn)
+    }
+
+    /// The optical detection scheme a deployed network of this family
+    /// reads out through — what [`crate::stage::DeployStage`] and the
+    /// engine use, so decoder/detection selection lives behind the stage
+    /// API instead of in every driver.
+    pub fn detection(&self) -> crate::deploy::DeployedDetection {
+        use crate::deploy::DeployedDetection;
+        match self {
+            // RVNN logits are the (real) outputs themselves.
+            ModelVariant::Rvnn => DeployedDetection::CoherentReal,
+            // The conventional ONN reads photodiode amplitudes.
+            ModelVariant::ConventionalOnn => DeployedDetection::Intensity,
+            ModelVariant::Split(decoder) => decoder.detection(),
+        }
     }
 
     /// Output width of the last weight layer for `classes` classes (the
@@ -182,7 +195,7 @@ impl LenetConfig {
 /// Builds a LeNet-5: conv5(pad2)-pool2-conv5(pad2)-pool2-fc-fc-fc.
 pub fn build_lenet<R: Rng>(cfg: &LenetConfig, variant: ModelVariant, rng: &mut R) -> Network {
     assert!(
-        cfg.input_h % 4 == 0 && cfg.input_w % 4 == 0,
+        cfg.input_h.is_multiple_of(4) && cfg.input_w.is_multiple_of(4),
         "LeNet input dimensions must be divisible by 4"
     );
     let real = variant.real_only();
@@ -233,7 +246,10 @@ impl ResnetConfig {
     ///
     /// Panics if `depth` is not of the form 6n+2.
     pub fn training_scale(depth: usize, in_ch: usize, hw: usize, classes: usize) -> Self {
-        assert!(depth >= 8 && (depth - 2) % 6 == 0, "depth must be 6n+2");
+        assert!(
+            depth >= 8 && (depth - 2).is_multiple_of(6),
+            "depth must be 6n+2"
+        );
         ResnetConfig {
             in_ch,
             input_h: hw,
@@ -248,11 +264,7 @@ impl ResnetConfig {
     pub fn halved(&self) -> Self {
         ResnetConfig {
             in_ch: self.in_ch.div_ceil(2),
-            widths: [
-                self.widths[0] / 2,
-                self.widths[1] / 2,
-                self.widths[2] / 2,
-            ],
+            widths: [self.widths[0] / 2, self.widths[1] / 2, self.widths[2] / 2],
             ..*self
         }
     }
@@ -283,10 +295,13 @@ impl ResnetConfig {
 /// a dense classifier.
 pub fn build_resnet<R: Rng>(cfg: &ResnetConfig, variant: ModelVariant, rng: &mut R) -> Network {
     assert!(
-        cfg.input_w % cfg.input_h == 0,
+        cfg.input_w.is_multiple_of(cfg.input_h),
         "ResNet input width must be a multiple of its height"
     );
-    assert!(cfg.input_h % 4 == 0, "ResNet input height must be divisible by 4");
+    assert!(
+        cfg.input_h.is_multiple_of(4),
+        "ResNet input height must be divisible by 4"
+    );
     let real = variant.real_only();
     let (out_w, head) = variant.head(cfg.classes, rng);
     let mut body = CSequential::new()
@@ -319,7 +334,11 @@ mod tests {
     #[test]
     fn fcnn_variants_forward() {
         let mut rng = StdRng::seed_from_u64(1);
-        let cfg = FcnnConfig { input: 32, hidden: 16, classes: 4 };
+        let cfg = FcnnConfig {
+            input: 32,
+            hidden: 16,
+            classes: 4,
+        };
         for variant in [
             ModelVariant::Rvnn,
             ModelVariant::ConventionalOnn,
@@ -379,7 +398,11 @@ mod tests {
     fn rectangular_inputs_work() {
         let mut rng = StdRng::seed_from_u64(9);
         let lenet_cfg = LenetConfig::training_scale(3, 16, 10).with_input(8, 16);
-        let mut lenet = build_lenet(&lenet_cfg, ModelVariant::Split(DecoderKind::Merge), &mut rng);
+        let mut lenet = build_lenet(
+            &lenet_cfg,
+            ModelVariant::Split(DecoderKind::Merge),
+            &mut rng,
+        );
         let x = CTensor::zeros(&[2, 3, 8, 16]);
         assert_eq!(lenet.forward(&x, false).shape(), &[2, 10]);
 
@@ -392,7 +415,11 @@ mod tests {
     #[test]
     fn rvnn_has_half_the_params_of_cvnn() {
         let mut rng = StdRng::seed_from_u64(4);
-        let cfg = FcnnConfig { input: 16, hidden: 8, classes: 2 };
+        let cfg = FcnnConfig {
+            input: 16,
+            hidden: 8,
+            classes: 2,
+        };
         let mut r = build_fcnn(&cfg, ModelVariant::Rvnn, &mut rng);
         let mut c = build_fcnn(&cfg, ModelVariant::ConventionalOnn, &mut rng);
         assert_eq!(c.num_params(), 2 * r.num_params());
@@ -401,7 +428,11 @@ mod tests {
     #[test]
     fn split_merge_head_doubles_last_layer() {
         let mut rng = StdRng::seed_from_u64(5);
-        let cfg = FcnnConfig { input: 16, hidden: 8, classes: 3 };
+        let cfg = FcnnConfig {
+            input: 16,
+            hidden: 8,
+            classes: 3,
+        };
         let mut merge = build_fcnn(&cfg, ModelVariant::Split(DecoderKind::Merge), &mut rng);
         let mut coh = build_fcnn(&cfg, ModelVariant::Split(DecoderKind::Coherent), &mut rng);
         // The doubled last layer adds 8*3*2 complex weights + 3*2 biases.

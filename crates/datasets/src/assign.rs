@@ -16,6 +16,53 @@ use oplix_nn::ctensor::CTensor;
 use oplix_nn::tensor::Tensor;
 use oplix_nn::trainer::CDataset;
 
+/// Why an assignment cannot be applied to a dataset geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AssignError {
+    /// Spatial schemes pair rows, so the image height must be even.
+    OddHeight {
+        /// The offending input height.
+        height: usize,
+    },
+    /// Channel remapping is a fixed 3→2 colour-space map; it needs RGB.
+    NeedsRgb {
+        /// The offending channel count.
+        channels: usize,
+    },
+    /// Assignments act on `[N, C, H, W]` batches.
+    BadRank {
+        /// The offending tensor rank.
+        rank: usize,
+    },
+}
+
+impl std::fmt::Display for AssignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AssignError::OddHeight { height } => {
+                write!(
+                    f,
+                    "spatial assignment requires an even height, got {height}"
+                )
+            }
+            AssignError::NeedsRgb { channels } => {
+                write!(
+                    f,
+                    "channel remapping is defined for RGB inputs, got {channels} channels"
+                )
+            }
+            AssignError::BadRank { rank } => {
+                write!(
+                    f,
+                    "assignment expects a rank-4 [N, C, H, W] tensor, got rank {rank}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AssignError {}
+
 /// The real-to-complex data assignment schemes compared in Fig. 8.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AssignmentKind {
@@ -56,25 +103,46 @@ impl AssignmentKind {
 
     /// Output `(channels, height, width)` for a given input image shape.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the scheme's constraints are violated (odd height for
-    /// spatial schemes, `C != 3` for channel remapping).
-    pub fn output_shape(&self, c: usize, h: usize, w: usize) -> (usize, usize, usize) {
+    /// Returns [`AssignError`] if the scheme's constraints are violated
+    /// (odd height for spatial schemes, `C != 3` for channel remapping).
+    pub fn try_output_shape(
+        &self,
+        c: usize,
+        h: usize,
+        w: usize,
+    ) -> Result<(usize, usize, usize), AssignError> {
         match self {
-            AssignmentKind::Conventional => (c, h, w),
+            AssignmentKind::Conventional => Ok((c, h, w)),
             AssignmentKind::SpatialInterlace
             | AssignmentKind::SpatialHalfHalf
             | AssignmentKind::SpatialSymmetric => {
-                assert!(h % 2 == 0, "spatial assignment requires even height");
-                (c, h / 2, w)
+                if !h.is_multiple_of(2) {
+                    return Err(AssignError::OddHeight { height: h });
+                }
+                Ok((c, h / 2, w))
             }
-            AssignmentKind::ChannelLossless => (c.div_ceil(2), h, w),
+            AssignmentKind::ChannelLossless => Ok((c.div_ceil(2), h, w)),
             AssignmentKind::ChannelRemapping => {
-                assert_eq!(c, 3, "channel remapping is defined for RGB inputs");
-                (1, h, w)
+                if c != 3 {
+                    return Err(AssignError::NeedsRgb { channels: c });
+                }
+                Ok((1, h, w))
             }
         }
+    }
+
+    /// Output `(channels, height, width)` for a given input image shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme's constraints are violated (odd height for
+    /// spatial schemes, `C != 3` for channel remapping); see
+    /// [`AssignmentKind::try_output_shape`] for the fallible form.
+    pub fn output_shape(&self, c: usize, h: usize, w: usize) -> (usize, usize, usize) {
+        self.try_output_shape(c, h, w)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Whether this scheme halves the *feature-map channel count*, which is
@@ -88,13 +156,18 @@ impl AssignmentKind {
 
     /// Applies the assignment to a batch of real images `[N, C, H, W]`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the input is not rank 4 or violates scheme constraints.
-    pub fn apply(&self, x: &Tensor) -> CTensor {
-        assert_eq!(x.shape().len(), 4, "assignment expects [N, C, H, W]");
+    /// Returns [`AssignError`] if the input is not rank 4 or violates
+    /// scheme constraints.
+    pub fn try_apply(&self, x: &Tensor) -> Result<CTensor, AssignError> {
+        if x.shape().len() != 4 {
+            return Err(AssignError::BadRank {
+                rank: x.shape().len(),
+            });
+        }
         let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
-        let (oc, oh, ow) = self.output_shape(c, h, w);
+        let (oc, oh, ow) = self.try_output_shape(c, h, w)?;
         let mut re = Tensor::zeros(&[n, oc, oh, ow]);
         let mut im = Tensor::zeros(&[n, oc, oh, ow]);
 
@@ -172,22 +245,69 @@ impl AssignmentKind {
                 }
             }
         }
-        CTensor::new(re, im)
+        Ok(CTensor::new(re, im))
+    }
+
+    /// Applies the assignment to a batch of real images `[N, C, H, W]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank 4 or violates scheme constraints;
+    /// see [`AssignmentKind::try_apply`] for the fallible form.
+    pub fn apply(&self, x: &Tensor) -> CTensor {
+        self.try_apply(x).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Applies the assignment to a whole dataset, producing the complex
     /// training view (keeping image layout).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssignError`] if the assignment cannot be applied to the
+    /// dataset geometry.
+    pub fn try_apply_dataset(&self, data: &RealDataset) -> Result<CDataset, AssignError> {
+        Ok(CDataset::new(
+            self.try_apply(&data.inputs)?,
+            data.labels.clone(),
+        ))
+    }
+
+    /// Applies the assignment to a whole dataset, producing the complex
+    /// training view (keeping image layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics on geometry violations; see
+    /// [`AssignmentKind::try_apply_dataset`] for the fallible form.
     pub fn apply_dataset(&self, data: &RealDataset) -> CDataset {
-        CDataset::new(self.apply(&data.inputs), data.labels.clone())
+        self.try_apply_dataset(data)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Applies the assignment and flattens each sample to a vector — the
     /// FCNN input view.
-    pub fn apply_dataset_flat(&self, data: &RealDataset) -> CDataset {
-        let c = self.apply(&data.inputs);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssignError`] if the assignment cannot be applied to the
+    /// dataset geometry.
+    pub fn try_apply_dataset_flat(&self, data: &RealDataset) -> Result<CDataset, AssignError> {
+        let c = self.try_apply(&data.inputs)?;
         let n = c.shape()[0];
         let rest: usize = c.shape()[1..].iter().product();
-        CDataset::new(c.reshape(&[n, rest]), data.labels.clone())
+        Ok(CDataset::new(c.reshape(&[n, rest]), data.labels.clone()))
+    }
+
+    /// Applies the assignment and flattens each sample to a vector — the
+    /// FCNN input view.
+    ///
+    /// # Panics
+    ///
+    /// Panics on geometry violations; see
+    /// [`AssignmentKind::try_apply_dataset_flat`] for the fallible form.
+    pub fn apply_dataset_flat(&self, data: &RealDataset) -> CDataset {
+        self.try_apply_dataset_flat(data)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// All schemes in the paper's Fig. 8 order.
@@ -351,7 +471,10 @@ mod tests {
 
     #[test]
     fn short_names_match_figure8() {
-        let names: Vec<&str> = AssignmentKind::all().iter().map(|k| k.short_name()).collect();
+        let names: Vec<&str> = AssignmentKind::all()
+            .iter()
+            .map(|k| k.short_name())
+            .collect();
         assert_eq!(names, vec!["Conv", "SI", "SH", "SS", "CL", "CR"]);
     }
 }

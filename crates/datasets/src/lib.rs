@@ -24,5 +24,5 @@
 pub mod assign;
 pub mod synth;
 
-pub use assign::AssignmentKind;
+pub use assign::{AssignError, AssignmentKind};
 pub use synth::{colors, digits, RealDataset, SynthConfig};

@@ -89,7 +89,8 @@ fn gauss<R: Rng>(rng: &mut R) -> f32 {
 /// A smooth per-class template: a sum of a few Gaussian blobs plus one
 /// oriented bar, all derived deterministically from `(class, template_seed)`.
 fn class_template(class: usize, h: usize, w: usize, template_seed: u64) -> Vec<f32> {
-    let mut rng = StdRng::seed_from_u64(template_seed.wrapping_mul(7919).wrapping_add(class as u64));
+    let mut rng =
+        StdRng::seed_from_u64(template_seed.wrapping_mul(7919).wrapping_add(class as u64));
     let mut img = vec![0.0f32; h * w];
     // Blobs.
     let blobs = 3;
@@ -137,9 +138,9 @@ fn blur3(img: &[f32], h: usize, w: usize) -> Vec<f32> {
             let mut acc = 0.0;
             let mut wsum = 0.0;
             for (dy, &ky) in k.iter().enumerate() {
-                let yy = (y + dy).checked_sub(1).unwrap_or(0).min(h - 1);
+                let yy = (y + dy).saturating_sub(1).min(h - 1);
                 for (dx, &kx) in k.iter().enumerate() {
-                    let xx = (x + dx).checked_sub(1).unwrap_or(0).min(w - 1);
+                    let xx = (x + dx).saturating_sub(1).min(w - 1);
                     acc += ky * kx * img[yy * w + xx];
                     wsum += ky * kx;
                 }
@@ -247,9 +248,7 @@ pub fn colors(cfg: &SynthConfig) -> RealDataset {
         for ch in 0..3 {
             let mut img: Vec<f32> = lum
                 .iter()
-                .map(|&v| {
-                    (v * tints[class][ch] + cfg.noise * gauss(&mut rng)).clamp(0.0, 1.0)
-                })
+                .map(|&v| (v * tints[class][ch] + cfg.noise * gauss(&mut rng)).clamp(0.0, 1.0))
                 .collect();
             img = blur3(&img, h, w);
             let base = (i * 3 + ch) * h * w;
@@ -352,14 +351,25 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = digits(&SynthConfig { samples: 10, seed: 1, ..Default::default() });
-        let b = digits(&SynthConfig { samples: 10, seed: 2, ..Default::default() });
+        let a = digits(&SynthConfig {
+            samples: 10,
+            seed: 1,
+            ..Default::default()
+        });
+        let b = digits(&SynthConfig {
+            samples: 10,
+            seed: 2,
+            ..Default::default()
+        });
         assert_ne!(a.inputs, b.inputs);
     }
 
     #[test]
     fn values_in_unit_interval() {
-        let d = colors(&SynthConfig { samples: 20, ..Default::default() });
+        let d = colors(&SynthConfig {
+            samples: 20,
+            ..Default::default()
+        });
         for &v in d.inputs.as_slice() {
             assert!((0.0..=1.0).contains(&v));
         }
@@ -367,7 +377,11 @@ mod tests {
 
     #[test]
     fn labels_cycle_through_classes() {
-        let d = digits(&SynthConfig { samples: 25, num_classes: 5, ..Default::default() });
+        let d = digits(&SynthConfig {
+            samples: 25,
+            num_classes: 5,
+            ..Default::default()
+        });
         assert_eq!(d.labels[0], 0);
         assert_eq!(d.labels[7], 2);
         assert_eq!(d.num_classes, 5);
@@ -377,7 +391,10 @@ mod tests {
     fn adjacent_correlation_exceeds_symmetric() {
         // The statistical property the paper's Fig. 8 relies on: neighbours
         // are much more correlated than 180-degree partners.
-        let d = digits(&SynthConfig { samples: 100, ..Default::default() });
+        let d = digits(&SynthConfig {
+            samples: 100,
+            ..Default::default()
+        });
         let adj = adjacent_pixel_correlation(&d);
         let sym = symmetric_pixel_correlation(&d);
         assert!(adj > 0.8, "adjacent correlation too weak: {adj}");
@@ -386,7 +403,10 @@ mod tests {
 
     #[test]
     fn colour_channels_are_correlated() {
-        let d = colors(&SynthConfig { samples: 100, ..Default::default() });
+        let d = colors(&SynthConfig {
+            samples: 100,
+            ..Default::default()
+        });
         let cc = channel_correlation(&d);
         assert!(cc > 0.5, "channel correlation too weak: {cc}");
     }
@@ -395,7 +415,10 @@ mod tests {
     fn classes_are_distinguishable() {
         // Mean inter-class template distance must dominate intra-class
         // sample noise, otherwise no model can learn anything.
-        let d = digits(&SynthConfig { samples: 200, ..Default::default() });
+        let d = digits(&SynthConfig {
+            samples: 200,
+            ..Default::default()
+        });
         let (c, h, w) = d.image_shape();
         let px = c * h * w;
         let mut means = vec![vec![0.0f64; px]; d.num_classes];
@@ -413,7 +436,11 @@ mod tests {
             }
         }
         let dist = |a: &[f64], b: &[f64]| {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
         };
         let mut min_inter = f64::MAX;
         for i in 0..d.num_classes {

@@ -92,9 +92,12 @@ fn interlace_is_invertible_half_half_is_too() {
     // Both schemes are permutations of the pixels into (re, im) pairs;
     // verify invertibility explicitly for a structured image.
     let x = Tensor::from_vec(&[1, 1, 4, 4], (0..16).map(|v| v as f32).collect());
-    for kind in [AssignmentKind::SpatialInterlace, AssignmentKind::SpatialHalfHalf] {
+    for kind in [
+        AssignmentKind::SpatialInterlace,
+        AssignmentKind::SpatialHalfHalf,
+    ] {
         let z = kind.apply(&x);
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for (&re, &im) in z.re.as_slice().iter().zip(z.im.as_slice()) {
             seen[re as usize] = true;
             seen[im as usize] = true;

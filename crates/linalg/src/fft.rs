@@ -50,7 +50,10 @@ pub fn ifft(buf: &mut [Complex64]) {
 
 fn fft_dir(buf: &mut [Complex64], inverse: bool) {
     let n = buf.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -58,7 +61,7 @@ fn fft_dir(buf: &mut [Complex64], inverse: bool) {
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        let j = i.reverse_bits() >> (usize::BITS - bits);
         if j > i {
             buf.swap(i, j);
         }

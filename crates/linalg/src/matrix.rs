@@ -379,11 +379,7 @@ impl CMatrix {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data
-            .iter()
-            .map(|v| v.norm_sqr())
-            .sum::<f64>()
-            .sqrt()
+        self.data.iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt()
     }
 
     /// Largest absolute element-wise difference to `other`.

@@ -122,7 +122,10 @@ pub fn complete_unitary(cols: &[Vec<Complex64>], n: usize) -> CMatrix {
     let mut basis: Vec<Vec<Complex64>> = cols.to_vec();
     let mut cand = 0usize;
     while basis.len() < n {
-        assert!(cand < n, "failed to complete unitary basis: inputs were not orthonormal");
+        assert!(
+            cand < n,
+            "failed to complete unitary basis: inputs were not orthonormal"
+        );
         // Candidate canonical vector e_cand.
         let mut v = vec![Complex64::ZERO; n];
         v[cand] = Complex64::ONE;

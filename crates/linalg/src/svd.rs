@@ -141,7 +141,11 @@ pub fn svd(a: &CMatrix) -> Svd {
 
     // Sort in non-increasing order of sigma, permuting columns of work & V.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&x, &y| sigma[y].partial_cmp(&sigma[x]).expect("non-NaN singular values"));
+    order.sort_by(|&x, &y| {
+        sigma[y]
+            .partial_cmp(&sigma[x])
+            .expect("non-NaN singular values")
+    });
     let work_sorted = CMatrix::from_fn(m, n, |i, j| work[(i, order[j])]);
     let v_sorted = CMatrix::from_fn(n, n, |i, j| v[(i, order[j])]);
     sigma = order.iter().map(|&j| sigma[j]).collect();
@@ -152,7 +156,11 @@ pub fn svd(a: &CMatrix) -> Svd {
     let mut u_cols: Vec<Vec<Complex64>> = Vec::new();
     for (j, &s_j) in sigma.iter().enumerate() {
         if s_j > rank_tol && s_j > 0.0 {
-            u_cols.push((0..m).map(|i| work_sorted[(i, j)].scale(1.0 / s_j)).collect());
+            u_cols.push(
+                (0..m)
+                    .map(|i| work_sorted[(i, j)].scale(1.0 / s_j))
+                    .collect(),
+            );
         }
     }
     let u = complete_unitary(&u_cols, m);
@@ -183,7 +191,11 @@ pub fn svd_real(a: &Matrix) -> Svd {
 ///
 /// Panics if `a` is not square.
 pub fn nearest_unitary(a: &CMatrix) -> CMatrix {
-    assert_eq!(a.rows(), a.cols(), "nearest_unitary requires a square matrix");
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "nearest_unitary requires a square matrix"
+    );
     let f = svd(a);
     f.u.matmul(&f.v.hermitian())
 }
@@ -281,10 +293,7 @@ mod tests {
 
     #[test]
     fn svd_real_matrix() {
-        let a = Matrix::from_rows(&[
-            vec![4.0, 0.0],
-            vec![3.0, -5.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![4.0, 0.0], vec![3.0, -5.0]]);
         let f = svd_real(&a);
         assert!(f.reconstruct().max_abs_diff(&a.to_cmatrix()) < 1e-9);
         // Known singular values of [[4,0],[3,-5]]: sqrt(20+...)  just check

@@ -216,7 +216,10 @@ pub fn conv2d_backward_weight(
 /// Panics if the spatial dimensions are not divisible by `k`.
 pub fn avg_pool2d_forward(x: &Tensor, k: usize) -> Tensor {
     let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
-    assert!(h % k == 0 && w % k == 0, "pooling window must divide the input");
+    assert!(
+        h % k == 0 && w % k == 0,
+        "pooling window must divide the input"
+    );
     let (ho, wo) = (h / k, w / k);
     let mut y = Tensor::zeros(&[n, c, ho, wo]);
     let inv = 1.0 / (k * k) as f32;

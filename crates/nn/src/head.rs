@@ -36,6 +36,12 @@ pub trait Head {
     /// Hook run after each optimiser step (the unitary decoder re-projects
     /// its weight here).
     fn post_step(&mut self) {}
+
+    /// Downcast hook for heads that carry deployable parameters (the
+    /// linear and unitary decoders); parameter-free heads return `None`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -99,13 +105,13 @@ impl Head for ModulusHead {
     }
 
     fn backward(&mut self, dlogits: &Tensor) -> CTensor {
-        let x = self.cache.take().expect("backward called before forward(train=true)");
+        let x = self
+            .cache
+            .take()
+            .expect("backward called before forward(train=true)");
         // d|z|/d re = re/|z|, d|z|/d im = im/|z| (0 at the origin).
         let inv = x.norm_sqr().map(|v| 1.0 / (v.sqrt() + MODULUS_EPS));
-        CTensor::new(
-            dlogits.mul(&x.re).mul(&inv),
-            dlogits.mul(&x.im).mul(&inv),
-        )
+        CTensor::new(dlogits.mul(&x.re).mul(&inv), dlogits.mul(&x.im).mul(&inv))
     }
 }
 
@@ -169,7 +175,10 @@ impl Head for MergeHead {
     }
 
     fn backward(&mut self, dlogits: &Tensor) -> CTensor {
-        let x = self.cache.take().expect("backward called before forward(train=true)");
+        let x = self
+            .cache
+            .take()
+            .expect("backward called before forward(train=true)");
         Self::diff_backward(&x, dlogits)
     }
 }
@@ -192,6 +201,11 @@ impl LinearDecoderHead {
             diff: MergeHead::new(),
         }
     }
+
+    /// The trained `K → 2K` decoder layer, for photonic deployment.
+    pub fn dense(&self) -> &CDense {
+        &self.dense
+    }
 }
 
 impl Head for LinearDecoderHead {
@@ -207,6 +221,10 @@ impl Head for LinearDecoderHead {
 
     fn visit_params(&mut self, visitor: &mut ParamVisitor) {
         self.dense.visit_params(visitor);
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 
@@ -282,6 +300,17 @@ impl UnitaryDecoderHead {
         }
     }
 
+    /// The trained `2K → 2K` decoder layer (ancilla-padded input), for
+    /// photonic deployment.
+    pub fn dense(&self) -> &CDense {
+        &self.dense
+    }
+
+    /// Number of classes `K` (the decoder acts on `2K` modes).
+    pub fn classes(&self) -> usize {
+        self.k
+    }
+
     /// Whether the current weight is unitary to within `tol`.
     pub fn is_unitary(&self, tol: f64) -> bool {
         let n = 2 * self.k;
@@ -312,6 +341,10 @@ impl Head for UnitaryDecoderHead {
 
     fn post_step(&mut self) {
         self.project_unitary();
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

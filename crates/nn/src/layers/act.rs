@@ -35,8 +35,14 @@ impl CLayer for CRelu {
     }
 
     fn backward(&mut self, dy: &CTensor) -> CTensor {
-        let mask_re = self.mask_re.take().expect("backward called before forward(train=true)");
-        let mask_im = self.mask_im.take().expect("backward called before forward(train=true)");
+        let mask_re = self
+            .mask_re
+            .take()
+            .expect("backward called before forward(train=true)");
+        let mask_im = self
+            .mask_im
+            .take()
+            .expect("backward called before forward(train=true)");
         CTensor::new(dy.re.mul(&mask_re), dy.im.mul(&mask_im))
     }
 }

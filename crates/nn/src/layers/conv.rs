@@ -63,7 +63,10 @@ impl CConv2d {
         real_only: bool,
         rng: &mut R,
     ) -> Self {
-        assert!(in_ch > 0 && out_ch > 0 && kernel > 0, "conv dimensions must be positive");
+        assert!(
+            in_ch > 0 && out_ch > 0 && kernel > 0,
+            "conv dimensions must be positive"
+        );
         let fan_in = in_ch * kernel * kernel;
         let shape = [out_ch, in_ch, kernel, kernel];
         let w_re = Param::new(Tensor::kaiming_uniform(&shape, fan_in, rng));
@@ -134,7 +137,12 @@ impl CLayer for CConv2d {
             y_re.add_assign(
                 &conv2d_forward(&x.im, &self.w_im.value, self.stride, self.pad).scale(-1.0),
             );
-            y_im.add_assign(&conv2d_forward(&x.im, &self.w_re.value, self.stride, self.pad));
+            y_im.add_assign(&conv2d_forward(
+                &x.im,
+                &self.w_re.value,
+                self.stride,
+                self.pad,
+            ));
         }
         self.add_bias(&mut y_re, &self.b_re.value);
         self.add_bias(&mut y_im, &self.b_im.value);
@@ -142,22 +150,36 @@ impl CLayer for CConv2d {
     }
 
     fn backward(&mut self, dy: &CTensor) -> CTensor {
-        let x = self.cache.take().expect("backward called before forward(train=true)");
+        let x = self
+            .cache
+            .take()
+            .expect("backward called before forward(train=true)");
         let w_shape = self.w_re.value.shape().to_vec();
 
         self.w_re.grad.add_assign(&conv2d_backward_weight(
-            &dy.re, &x.re, &w_shape, self.stride, self.pad,
+            &dy.re,
+            &x.re,
+            &w_shape,
+            self.stride,
+            self.pad,
         ));
         self.w_re.grad.add_assign(&conv2d_backward_weight(
-            &dy.im, &x.im, &w_shape, self.stride, self.pad,
+            &dy.im,
+            &x.im,
+            &w_shape,
+            self.stride,
+            self.pad,
         ));
         if !self.real_only {
             self.w_im.grad.add_assign(
-                &conv2d_backward_weight(&dy.re, &x.im, &w_shape, self.stride, self.pad)
-                    .scale(-1.0),
+                &conv2d_backward_weight(&dy.re, &x.im, &w_shape, self.stride, self.pad).scale(-1.0),
             );
             self.w_im.grad.add_assign(&conv2d_backward_weight(
-                &dy.im, &x.re, &w_shape, self.stride, self.pad,
+                &dy.im,
+                &x.re,
+                &w_shape,
+                self.stride,
+                self.pad,
             ));
         }
 
@@ -182,7 +204,11 @@ impl CLayer for CConv2d {
         let mut dx_re =
             conv2d_backward_input(&dy.re, &self.w_re.value, &x_shape, self.stride, self.pad);
         dx_re.add_assign(&conv2d_backward_input(
-            &dy.im, &self.w_im.value, &x_shape, self.stride, self.pad,
+            &dy.im,
+            &self.w_im.value,
+            &x_shape,
+            self.stride,
+            self.pad,
         ));
         let mut dx_im =
             conv2d_backward_input(&dy.im, &self.w_re.value, &x_shape, self.stride, self.pad);
@@ -271,7 +297,10 @@ mod tests {
             let lm = loss(&mut conv, &x);
             conv.w_re.value.as_mut_slice()[idx] += eps;
             let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
-            assert!((analytic - fd).abs() < 2e-2, "w_re {idx}: {analytic} vs {fd}");
+            assert!(
+                (analytic - fd).abs() < 2e-2,
+                "w_re {idx}: {analytic} vs {fd}"
+            );
 
             let analytic = conv.w_im.grad.as_slice()[idx];
             conv.w_im.value.as_mut_slice()[idx] += eps;
@@ -280,7 +309,10 @@ mod tests {
             let lm = loss(&mut conv, &x);
             conv.w_im.value.as_mut_slice()[idx] += eps;
             let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
-            assert!((analytic - fd).abs() < 2e-2, "w_im {idx}: {analytic} vs {fd}");
+            assert!(
+                (analytic - fd).abs() < 2e-2,
+                "w_im {idx}: {analytic} vs {fd}"
+            );
         }
         // Check an input entry.
         for idx in [0usize, 7, 15] {

@@ -126,7 +126,10 @@ impl CLayer for CDense {
     }
 
     fn backward(&mut self, dy: &CTensor) -> CTensor {
-        let x = self.cache.take().expect("backward called before forward(train=true)");
+        let x = self
+            .cache
+            .take()
+            .expect("backward called before forward(train=true)");
 
         // Weight gradients.
         self.w_re
@@ -228,7 +231,10 @@ mod tests {
             let lm = finite_diff_loss(&mut layer, &x);
             layer.w_re.value.as_mut_slice()[idx] += eps;
             let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
-            assert!((analytic - fd).abs() < 1e-2, "w_re idx {idx}: {analytic} vs {fd}");
+            assert!(
+                (analytic - fd).abs() < 1e-2,
+                "w_re idx {idx}: {analytic} vs {fd}"
+            );
 
             // w_im
             let analytic = layer.w_im.grad.as_slice()[idx];
@@ -238,7 +244,10 @@ mod tests {
             let lm = finite_diff_loss(&mut layer, &x);
             layer.w_im.value.as_mut_slice()[idx] += eps;
             let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
-            assert!((analytic - fd).abs() < 1e-2, "w_im idx {idx}: {analytic} vs {fd}");
+            assert!(
+                (analytic - fd).abs() < 1e-2,
+                "w_im idx {idx}: {analytic} vs {fd}"
+            );
         }
     }
 

@@ -45,7 +45,10 @@ impl CLayer for CMaxPool2d {
     fn forward(&mut self, x: &CTensor, train: bool) -> CTensor {
         let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         let k = self.k;
-        assert!(h % k == 0 && w % k == 0, "pooling window must divide the input");
+        assert!(
+            h % k == 0 && w % k == 0,
+            "pooling window must divide the input"
+        );
         let (ho, wo) = (h / k, w / k);
         let mut re = Tensor::zeros(&[n, c, ho, wo]);
         let mut im = Tensor::zeros(&[n, c, ho, wo]);
@@ -61,8 +64,7 @@ impl CLayer for CMaxPool2d {
                             for dx in 0..k {
                                 let (iy, ix) = (oy * k + dy, ox * k + dx);
                                 let idx = ((b * c + ch) * h + iy) * w + ix;
-                                let m = x.re.as_slice()[idx].powi(2)
-                                    + x.im.as_slice()[idx].powi(2);
+                                let m = x.re.as_slice()[idx].powi(2) + x.im.as_slice()[idx].powi(2);
                                 if m > best {
                                     best = m;
                                     best_idx = idx;
@@ -85,8 +87,14 @@ impl CLayer for CMaxPool2d {
     }
 
     fn backward(&mut self, dy: &CTensor) -> CTensor {
-        let argmax = self.argmax.take().expect("backward called before forward(train=true)");
-        let shape = self.in_shape.take().expect("backward called before forward(train=true)");
+        let argmax = self
+            .argmax
+            .take()
+            .expect("backward called before forward(train=true)");
+        let shape = self
+            .in_shape
+            .take()
+            .expect("backward called before forward(train=true)");
         let mut dre = Tensor::zeros(&shape);
         let mut dim = Tensor::zeros(&shape);
         for (out_idx, &in_idx) in argmax.iter().enumerate() {

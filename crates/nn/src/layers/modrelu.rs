@@ -67,7 +67,11 @@ impl CLayer for CModRelu {
             let (xr, xi) = (x.re.as_slice()[i], x.im.as_slice()[i]);
             let r = (xr * xr + xi * xi).sqrt();
             let b = self.bias.value.as_slice()[self.feature_of(&shape, i)];
-            let scale = if r + b > 0.0 { (r + b) / (r + EPS) } else { 0.0 };
+            let scale = if r + b > 0.0 {
+                (r + b) / (r + EPS)
+            } else {
+                0.0
+            };
             re.as_mut_slice()[i] = xr * scale;
             im.as_mut_slice()[i] = xi * scale;
         }
@@ -75,7 +79,10 @@ impl CLayer for CModRelu {
     }
 
     fn backward(&mut self, dy: &CTensor) -> CTensor {
-        let x = self.cache.take().expect("backward called before forward(train=true)");
+        let x = self
+            .cache
+            .take()
+            .expect("backward called before forward(train=true)");
         let shape = x.shape().to_vec();
         let mut dre = Tensor::zeros(&shape);
         let mut dim = Tensor::zeros(&shape);
@@ -98,10 +105,8 @@ impl CLayer for CModRelu {
             let dr_dxi = xi / r;
             // dyr/dxr = s + xr·ds_dr·dr_dxr ; dyr/dxi = xr·ds_dr·dr_dxi
             // dyi/dxr = xi·ds_dr·dr_dxr     ; dyi/dxi = s + xi·ds_dr·dr_dxi
-            dre.as_mut_slice()[i] =
-                gr * (s + xr * ds_dr * dr_dxr) + gi * (xi * ds_dr * dr_dxr);
-            dim.as_mut_slice()[i] =
-                gr * (xr * ds_dr * dr_dxi) + gi * (s + xi * ds_dr * dr_dxi);
+            dre.as_mut_slice()[i] = gr * (s + xr * ds_dr * dr_dxr) + gi * (xi * ds_dr * dr_dxr);
+            dim.as_mut_slice()[i] = gr * (xr * ds_dr * dr_dxi) + gi * (s + xi * ds_dr * dr_dxi);
             // d y / d b = x / r (both parts), so db accumulates
             // (gr·xr + gi·xi)/r.
             self.bias.grad.as_mut_slice()[f] += (gr * xr + gi * xi) / r;
@@ -184,10 +189,16 @@ mod tests {
         // Bias gradient check.
         let analytic = act.bias.grad.as_slice()[0];
         let mut ap = CModRelu::new(2);
-        ap.bias.value.as_mut_slice().copy_from_slice(&[-0.2 + eps, 0.1]);
+        ap.bias
+            .value
+            .as_mut_slice()
+            .copy_from_slice(&[-0.2 + eps, 0.1]);
         let lp = loss(&mut ap, &x);
         let mut am = CModRelu::new(2);
-        am.bias.value.as_mut_slice().copy_from_slice(&[-0.2 - eps, 0.1]);
+        am.bias
+            .value
+            .as_mut_slice()
+            .copy_from_slice(&[-0.2 - eps, 0.1]);
         let lm = loss(&mut am, &x);
         let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
         assert!((analytic - fd).abs() < 2e-2, "bias: {analytic} vs {fd}");

@@ -90,7 +90,10 @@ impl RealBatchNorm {
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let xhat = self.xhat.take().expect("backward called before forward(train=true)");
+        let xhat = self
+            .xhat
+            .take()
+            .expect("backward called before forward(train=true)");
         let (n, c, h, w) = (dy.shape()[0], dy.shape()[1], dy.shape()[2], dy.shape()[3]);
         let m = (n * h * w) as f32;
         let mut dx = Tensor::zeros(dy.shape());
@@ -222,7 +225,10 @@ mod tests {
             let _ = bn.forward(&x, true);
         }
         // In eval mode an input equal to the running mean maps near beta=0.
-        let x = CTensor::new(Tensor::full(&[1, 1, 1, 1], 3.0), Tensor::zeros(&[1, 1, 1, 1]));
+        let x = CTensor::new(
+            Tensor::full(&[1, 1, 1, 1], 3.0),
+            Tensor::zeros(&[1, 1, 1, 1]),
+        );
         let y = bn.forward(&x, false);
         assert!(y.re.as_slice()[0].abs() < 0.2, "got {}", y.re.as_slice()[0]);
     }
@@ -240,8 +246,7 @@ mod tests {
         let loss = |bn: &mut CBatchNorm2d, x: &CTensor| {
             // Fresh stats copy: use train mode for both value and grad paths.
             let y = bn.forward(x, true);
-            y.re
-                .as_slice()
+            y.re.as_slice()
                 .iter()
                 .zip(&wts)
                 .map(|(&a, &b)| (a * b) as f64)

@@ -42,7 +42,10 @@ impl CLayer for CAvgPool2d {
     }
 
     fn backward(&mut self, dy: &CTensor) -> CTensor {
-        let shape = self.in_shape.take().expect("backward called before forward(train=true)");
+        let shape = self
+            .in_shape
+            .take()
+            .expect("backward called before forward(train=true)");
         CTensor::new(
             avg_pool2d_backward(&dy.re, &shape, self.k),
             avg_pool2d_backward(&dy.im, &shape, self.k),
@@ -72,7 +75,10 @@ mod tests {
         let mut pool = CAvgPool2d::new(2);
         let x = CTensor::zeros(&[1, 1, 4, 4]);
         let _ = pool.forward(&x, true);
-        let dy = CTensor::new(Tensor::full(&[1, 1, 2, 2], 4.0), Tensor::zeros(&[1, 1, 2, 2]));
+        let dy = CTensor::new(
+            Tensor::full(&[1, 1, 2, 2], 4.0),
+            Tensor::zeros(&[1, 1, 2, 2]),
+        );
         let dx = pool.backward(&dy);
         assert_eq!(dx.shape(), &[1, 1, 4, 4]);
         for &v in dx.re.as_slice() {

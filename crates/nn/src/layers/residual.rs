@@ -27,7 +27,13 @@ impl CResidualBlock {
     /// Creates a block mapping `in_ch → out_ch` with the given stride on
     /// the first convolution. Uses complex weights; pass `real_only` for
     /// the RVNN variant.
-    pub fn new<R: Rng>(in_ch: usize, out_ch: usize, stride: usize, real_only: bool, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        in_ch: usize,
+        out_ch: usize,
+        stride: usize,
+        real_only: bool,
+        rng: &mut R,
+    ) -> Self {
         let conv = |ic, oc, k, s, p, rng: &mut R| {
             if real_only {
                 CConv2d::new_real(ic, oc, k, s, p, rng)
@@ -36,7 +42,10 @@ impl CResidualBlock {
             }
         };
         let shortcut = if stride != 1 || in_ch != out_ch {
-            Some((conv(in_ch, out_ch, 1, stride, 0, rng), CBatchNorm2d::new(out_ch)))
+            Some((
+                conv(in_ch, out_ch, 1, stride, 0, rng),
+                CBatchNorm2d::new(out_ch),
+            ))
         } else {
             None
         };

@@ -28,7 +28,10 @@ impl CLayer for CFlatten {
     }
 
     fn backward(&mut self, dy: &CTensor) -> CTensor {
-        let shape = self.in_shape.take().expect("backward called before forward(train=true)");
+        let shape = self
+            .in_shape
+            .take()
+            .expect("backward called before forward(train=true)");
         dy.reshape(&shape)
     }
 }

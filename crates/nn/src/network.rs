@@ -64,6 +64,12 @@ impl Network {
         &self.body
     }
 
+    /// Immutable access to the head (for hardware deployment of
+    /// decoder-bearing heads).
+    pub fn head(&self) -> &dyn Head {
+        self.head.as_ref()
+    }
+
     /// Mutable access to the body.
     pub fn body_mut(&mut self) -> &mut CSequential {
         &mut self.body
@@ -97,12 +103,12 @@ mod tests {
 
         // A tiny separable problem.
         let x = CTensor::new(
-            Tensor::from_vec(&[4, 4], vec![
-                1.0, 0.0, 1.0, 0.0,
-                0.9, 0.1, 1.1, 0.0,
-                0.0, 1.0, 0.0, 1.0,
-                0.1, 0.9, 0.0, 1.1,
-            ]),
+            Tensor::from_vec(
+                &[4, 4],
+                vec![
+                    1.0, 0.0, 1.0, 0.0, 0.9, 0.1, 1.1, 0.0, 0.0, 1.0, 0.0, 1.0, 0.1, 0.9, 0.0, 1.1,
+                ],
+            ),
             Tensor::zeros(&[4, 4]),
         );
         let labels = [0usize, 0, 1, 1];

@@ -25,7 +25,11 @@ impl CDataset {
     ///
     /// Panics if the label count differs from the first-axis length.
     pub fn new(inputs: CTensor, labels: Vec<usize>) -> Self {
-        assert_eq!(inputs.shape()[0], labels.len(), "one label per sample required");
+        assert_eq!(
+            inputs.shape()[0],
+            labels.len(),
+            "one label per sample required"
+        );
         CDataset { inputs, labels }
     }
 
@@ -95,9 +99,68 @@ pub fn evaluate(net: &mut Network, data: &CDataset, batch_size: usize) -> f64 {
     correct / data.len() as f64
 }
 
-/// Trains for `epochs` epochs with a simple step learning-rate decay
-/// (×0.5 at 50% and 75% of the schedule), returning the final test
-/// accuracy.
+/// What one training epoch produced; handed to [`fit_with`] observers
+/// after every epoch.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochStats {
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Total epochs in the schedule.
+    pub epochs: usize,
+    /// Mean batch cross-entropy loss of this epoch.
+    pub mean_loss: f64,
+    /// Learning rate the epoch ran at (after step decay).
+    pub lr: f32,
+}
+
+/// The shared step-decay schedule: ×0.5 at 50 % and ×0.25 at 75 % of the
+/// epoch budget.
+pub fn step_decay_lr(epoch: usize, epochs: usize, lr0: f32) -> f32 {
+    if epoch >= epochs * 3 / 4 {
+        lr0 * 0.25
+    } else if epoch >= epochs / 2 {
+        lr0 * 0.5
+    } else {
+        lr0
+    }
+}
+
+/// Trains for `epochs` epochs with the [`step_decay_lr`] schedule,
+/// invoking `hook` after each epoch, and returns the final test accuracy.
+///
+/// The hook is the batching-level observation point pipeline stages build
+/// on: progress logging, early-stopping heuristics, and throughput
+/// accounting all plug in here without another `fit` variant.
+#[allow(clippy::too_many_arguments)]
+pub fn fit_with<R: Rng, H: FnMut(&EpochStats)>(
+    net: &mut Network,
+    train: &CDataset,
+    test: &CDataset,
+    epochs: usize,
+    batch_size: usize,
+    opt: &mut Sgd,
+    rng: &mut R,
+    mut hook: H,
+) -> f64 {
+    let lr0 = opt.lr;
+    for e in 0..epochs {
+        opt.lr = step_decay_lr(e, epochs, lr0);
+        let mean_loss = train_epoch(net, train, batch_size, opt, rng);
+        hook(&EpochStats {
+            epoch: e,
+            epochs,
+            mean_loss,
+            lr: opt.lr,
+        });
+    }
+    opt.lr = lr0;
+    evaluate(net, test, batch_size)
+}
+
+/// Trains for `epochs` epochs with the [`step_decay_lr`] schedule,
+/// returning the final test accuracy. `verbose` logs per-epoch loss and
+/// test accuracy to stderr; use [`fit_with`] to observe training
+/// programmatically.
 #[allow(clippy::too_many_arguments)]
 pub fn fit<R: Rng>(
     net: &mut Network,
@@ -109,23 +172,21 @@ pub fn fit<R: Rng>(
     rng: &mut R,
     verbose: bool,
 ) -> f64 {
-    let lr0 = opt.lr;
-    for e in 0..epochs {
-        opt.lr = if e >= epochs * 3 / 4 {
-            lr0 * 0.25
-        } else if e >= epochs / 2 {
-            lr0 * 0.5
-        } else {
-            lr0
-        };
-        let loss = train_epoch(net, train, batch_size, opt, rng);
-        if verbose {
+    // The verbose hook needs `net` mutably for the mid-training eval, so
+    // split the two paths instead of capturing it in the closure.
+    if verbose {
+        let lr0 = opt.lr;
+        for e in 0..epochs {
+            opt.lr = step_decay_lr(e, epochs, lr0);
+            let loss = train_epoch(net, train, batch_size, opt, rng);
             let acc = evaluate(net, test, batch_size);
             eprintln!("epoch {e:>3}: loss {loss:.4}, test acc {acc:.4}");
         }
+        opt.lr = lr0;
+        evaluate(net, test, batch_size)
+    } else {
+        fit_with(net, train, test, epochs, batch_size, opt, rng, |_| {})
     }
-    opt.lr = lr0;
-    evaluate(net, test, batch_size)
 }
 
 #[cfg(test)]

@@ -18,25 +18,25 @@ const TOL: f32 = 6e-2;
 /// Deterministic pseudo-random weighting so the scalar loss exercises all
 /// outputs asymmetrically.
 fn loss_weights(n: usize) -> Vec<f32> {
-    (0..n).map(|i| ((i * 2654435761) % 17) as f32 / 8.0 - 1.0).collect()
+    (0..n)
+        .map(|i| ((i * 2654435761) % 17) as f32 / 8.0 - 1.0)
+        .collect()
 }
 
 fn weighted_loss(y: &CTensor) -> f64 {
     let w = loss_weights(y.numel());
-    let re: f64 = y
-        .re
-        .as_slice()
-        .iter()
-        .zip(&w)
-        .map(|(&a, &b)| (a * b) as f64)
-        .sum();
-    let im: f64 = y
-        .im
-        .as_slice()
-        .iter()
-        .zip(&w)
-        .map(|(&a, &b)| (a * b * 0.5) as f64)
-        .sum();
+    let re: f64 =
+        y.re.as_slice()
+            .iter()
+            .zip(&w)
+            .map(|(&a, &b)| (a * b) as f64)
+            .sum();
+    let im: f64 =
+        y.im.as_slice()
+            .iter()
+            .zip(&w)
+            .map(|(&a, &b)| (a * b * 0.5) as f64)
+            .sum();
     re + im
 }
 

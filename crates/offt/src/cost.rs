@@ -16,10 +16,8 @@
 //! * Each spectral multiplier (one complex coefficient) is one attenuating
 //!   MZI (2 DCs + 1 PS) plus one phase shifter.
 
-use serde::{Deserialize, Serialize};
-
 /// Device inventory of an OFFT network, in raw DC/PS counts.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OfftCost {
     /// Directional couplers.
     pub dcs: u64,

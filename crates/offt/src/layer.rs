@@ -163,7 +163,10 @@ impl CLayer for OfftDense {
     }
 
     fn backward(&mut self, dy: &CTensor) -> CTensor {
-        let x = self.cache.take().expect("backward called before forward(train=true)");
+        let x = self
+            .cache
+            .take()
+            .expect("backward called before forward(train=true)");
         let batch = x.shape()[0];
         let (mb, nb, k) = (self.mb, self.nb, self.k);
         let (np, mp) = (nb * k, mb * k);
@@ -190,8 +193,16 @@ impl CLayer for OfftDense {
             // dw[bi][bj][r] += sum_p dy[bi*k+p] * x[bj*k + (p - r) mod k]
             // dx[bj*k+q]    += sum_p dy[bi*k+p] * w[(p - q) mod k]
             for (grad_slice, x_slice, dx_t) in [
-                (&gr[i * mp..(i + 1) * mp], &xr[i * np..(i + 1) * np], &mut dx_re),
-                (&gi[i * mp..(i + 1) * mp], &xi[i * np..(i + 1) * np], &mut dx_im),
+                (
+                    &gr[i * mp..(i + 1) * mp],
+                    &xr[i * np..(i + 1) * np],
+                    &mut dx_re,
+                ),
+                (
+                    &gi[i * mp..(i + 1) * mp],
+                    &xi[i * np..(i + 1) * np],
+                    &mut dx_im,
+                ),
             ] {
                 dxp.fill(0.0);
                 for bi in 0..mb {
@@ -302,7 +313,10 @@ mod tests {
             let lm = loss(&mut layer, &x);
             layer.w.value.as_mut_slice()[idx] += eps;
             let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
-            assert!((analytic - fd).abs() < 2e-2, "w idx {idx}: {analytic} vs {fd}");
+            assert!(
+                (analytic - fd).abs() < 2e-2,
+                "w idx {idx}: {analytic} vs {fd}"
+            );
         }
         for idx in 0..6 {
             let mut xp = x.clone();

@@ -49,7 +49,11 @@ impl OfftMlp {
 
 impl std::fmt::Debug for OfftMlp {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "OfftMlp(widths={:?}, k={})", self.widths, self.block_size)
+        write!(
+            f,
+            "OfftMlp(widths={:?}, k={})",
+            self.widths, self.block_size
+        )
     }
 }
 
@@ -75,10 +79,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mlp = OfftMlp::new(&[784, 400, 10], 8, &mut rng);
         let cost = mlp.cost();
-        assert_eq!(
-            cost,
-            OfftCostModel::new(8).network_cost(&[784, 400, 10])
-        );
+        assert_eq!(cost, OfftCostModel::new(8).network_cost(&[784, 400, 10]));
         assert!(cost.params > 0);
     }
 }

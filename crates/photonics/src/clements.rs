@@ -35,7 +35,10 @@ use std::f64::consts::PI;
 pub fn decompose_clements(u: &CMatrix) -> MziMesh {
     let n = u.rows();
     assert_eq!(n, u.cols(), "decompose_clements requires a square matrix");
-    assert!(u.is_unitary(1e-8), "decompose_clements requires a unitary matrix");
+    assert!(
+        u.is_unitary(1e-8),
+        "decompose_clements requires a unitary matrix"
+    );
 
     if n == 0 {
         return MziMesh::identity(0);

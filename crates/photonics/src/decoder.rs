@@ -38,9 +38,14 @@ pub fn photodiode_vec(z: &[Complex64]) -> Vec<f64> {
 ///
 /// Panics if `z.len()` is odd.
 pub fn differential_photodiode(z: &[Complex64]) -> Vec<f64> {
-    assert!(z.len() % 2 == 0, "differential detection needs an even number of outputs");
+    assert!(
+        z.len().is_multiple_of(2),
+        "differential detection needs an even number of outputs"
+    );
     let k = z.len() / 2;
-    (0..k).map(|i| z[i].norm_sqr() - z[i + k].norm_sqr()).collect()
+    (0..k)
+        .map(|i| z[i].norm_sqr() - z[i + k].norm_sqr())
+        .collect()
 }
 
 /// Coherent detection with a reference beam of known real amplitude `r`
@@ -66,7 +71,10 @@ impl CoherentDetector {
     ///
     /// Panics if `reference_amplitude <= 0`.
     pub fn new(reference_amplitude: f64) -> Self {
-        assert!(reference_amplitude > 0.0, "reference amplitude must be positive");
+        assert!(
+            reference_amplitude > 0.0,
+            "reference amplitude must be positive"
+        );
         CoherentDetector {
             reference_amplitude,
         }
@@ -127,7 +135,38 @@ pub enum DecoderKind {
     Coherent,
 }
 
+/// How a deployed network's optical outputs are detected electronically.
+///
+/// This is the hardware-side twin of [`DecoderKind`]: every decoder scheme
+/// resolves to one of these three physical readouts (see
+/// [`DecoderKind::detection`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Detection {
+    /// Differential photodiodes over a doubled output bank
+    /// ([`differential_photodiode`]) — the merging decoder's readout.
+    Differential,
+    /// Photodiode amplitude readout: the diode measures `|z|²` and the
+    /// electronics take the square root (conventional ONN).
+    Intensity,
+    /// Coherent detection: logits are the real parts of the fields.
+    CoherentReal,
+}
+
 impl DecoderKind {
+    /// The physical detection scheme this decoder reads out through.
+    ///
+    /// The linear and unitary decoders keep their learnable stage in
+    /// network form (an extra layer); their optical readout is the same
+    /// differential photodiode bank as the merging decoder.
+    pub fn detection(&self) -> Detection {
+        match self {
+            DecoderKind::Merge | DecoderKind::Linear | DecoderKind::Unitary => {
+                Detection::Differential
+            }
+            DecoderKind::Coherent => Detection::CoherentReal,
+        }
+    }
+
     /// Extra MZIs the decoder adds to a network whose last layer maps
     /// `n_in → K` classes.
     ///

@@ -117,7 +117,8 @@ impl Mzi {
     /// Total static power drawn by the two thermo-optic phase shifters of
     /// this MZI, in milliwatts (see [`crate::power`]).
     pub fn static_power_mw(&self, max_mw: f64) -> f64 {
-        crate::power::phase_power_mw(self.theta, max_mw) + crate::power::phase_power_mw(self.phi, max_mw)
+        crate::power::phase_power_mw(self.theta, max_mw)
+            + crate::power::phase_power_mw(self.phi, max_mw)
     }
 }
 

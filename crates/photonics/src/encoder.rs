@@ -158,7 +158,10 @@ mod tests {
         let enc = DcComplexEncoder::new();
         for &(a1, a2) in &[(1.0, 0.0), (0.0, 1.0), (0.5, -0.7), (-1.2, 0.3)] {
             let z = enc.encode_pair(a1, a2);
-            assert!((z - Complex64::new(a1, a2)).abs() < 1e-12, "({a1}, {a2}) -> {z}");
+            assert!(
+                (z - Complex64::new(a1, a2)).abs() < 1e-12,
+                "({a1}, {a2}) -> {z}"
+            );
         }
     }
 

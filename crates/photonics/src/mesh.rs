@@ -52,7 +52,12 @@ impl MziMesh {
     pub fn new(n: usize, mzis: Vec<Mzi>, output_phases: Vec<f64>) -> Self {
         assert_eq!(output_phases.len(), n, "need one output phase per mode");
         for m in &mzis {
-            assert!(m.mode + 1 < n, "MZI on modes ({}, {}) outside mesh of size {n}", m.mode, m.mode + 1);
+            assert!(
+                m.mode + 1 < n,
+                "MZI on modes ({}, {}) outside mesh of size {n}",
+                m.mode,
+                m.mode + 1
+            );
         }
         MziMesh {
             n,
@@ -103,7 +108,11 @@ impl MziMesh {
     ///
     /// Panics if `input.len() != self.n()`.
     pub fn propagate(&self, input: &[Complex64]) -> Vec<Complex64> {
-        assert_eq!(input.len(), self.n, "field vector length must match mesh size");
+        assert_eq!(
+            input.len(),
+            self.n,
+            "field vector length must match mesh size"
+        );
         let mut fields = input.to_vec();
         self.propagate_in_place(&mut fields);
         fields
@@ -115,7 +124,11 @@ impl MziMesh {
     ///
     /// Panics if `fields.len() != self.n()`.
     pub fn propagate_in_place(&self, fields: &mut [Complex64]) {
-        assert_eq!(fields.len(), self.n, "field vector length must match mesh size");
+        assert_eq!(
+            fields.len(),
+            self.n,
+            "field vector length must match mesh size"
+        );
         for mzi in &self.mzis {
             mzi.apply(fields);
         }
@@ -273,7 +286,11 @@ mod tests {
         // MZIs on (0,1) and (2,3) can share a column.
         let mesh = MziMesh::new(
             4,
-            vec![Mzi::new(0, 1.0, 0.0), Mzi::new(2, 1.0, 0.0), Mzi::new(1, 1.0, 0.0)],
+            vec![
+                Mzi::new(0, 1.0, 0.0),
+                Mzi::new(2, 1.0, 0.0),
+                Mzi::new(1, 1.0, 0.0),
+            ],
             vec![0.0; 4],
         );
         assert_eq!(mesh.depth(), 2);
@@ -289,7 +306,11 @@ mod tests {
 
     #[test]
     fn phase_noise_perturbs_but_stays_unitary() {
-        let mesh = MziMesh::new(3, vec![Mzi::new(0, 1.0, 2.0), Mzi::new(1, 0.5, 0.5)], vec![0.0; 3]);
+        let mesh = MziMesh::new(
+            3,
+            vec![Mzi::new(0, 1.0, 2.0), Mzi::new(1, 0.5, 0.5)],
+            vec![0.0; 3],
+        );
         let mut rng = StdRng::seed_from_u64(2);
         let noisy = mesh.with_phase_noise(0.1, &mut rng);
         assert!(noisy.matrix().is_unitary(1e-12));
@@ -298,10 +319,23 @@ mod tests {
 
     #[test]
     fn quantization_converges_with_bits() {
-        let mesh = MziMesh::new(3, vec![Mzi::new(0, 1.234, 2.345), Mzi::new(1, 0.567, 0.891)], vec![0.1, 0.2, 0.3]);
-        let err4 = mesh.with_quantized_phases(4).matrix().max_abs_diff(&mesh.matrix());
-        let err8 = mesh.with_quantized_phases(8).matrix().max_abs_diff(&mesh.matrix());
-        let err12 = mesh.with_quantized_phases(12).matrix().max_abs_diff(&mesh.matrix());
+        let mesh = MziMesh::new(
+            3,
+            vec![Mzi::new(0, 1.234, 2.345), Mzi::new(1, 0.567, 0.891)],
+            vec![0.1, 0.2, 0.3],
+        );
+        let err4 = mesh
+            .with_quantized_phases(4)
+            .matrix()
+            .max_abs_diff(&mesh.matrix());
+        let err8 = mesh
+            .with_quantized_phases(8)
+            .matrix()
+            .max_abs_diff(&mesh.matrix());
+        let err12 = mesh
+            .with_quantized_phases(12)
+            .matrix()
+            .max_abs_diff(&mesh.matrix());
         assert!(err8 < err4);
         assert!(err12 < err8);
         assert!(err12 < 1e-2);

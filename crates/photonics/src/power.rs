@@ -20,7 +20,10 @@ pub fn phase_power_mw(phi: f64, max_mw: f64) -> f64 {
 
 /// Total static power of every programmable phase in a mesh, in mW.
 pub fn mesh_static_power_mw(mesh: &MziMesh, max_mw: f64) -> f64 {
-    mesh.phases().iter().map(|&p| phase_power_mw(p, max_mw)).sum()
+    mesh.phases()
+        .iter()
+        .map(|&p| phase_power_mw(p, max_mw))
+        .sum()
 }
 
 /// Expected static power of a mesh with `n_phases` uniformly-random phases:

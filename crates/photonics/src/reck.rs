@@ -33,7 +33,10 @@ use oplix_linalg::{CMatrix, Complex64};
 pub fn decompose_reck(u: &CMatrix) -> MziMesh {
     let n = u.rows();
     assert_eq!(n, u.cols(), "decompose_reck requires a square matrix");
-    assert!(u.is_unitary(1e-8), "decompose_reck requires a unitary matrix");
+    assert!(
+        u.is_unitary(1e-8),
+        "decompose_reck requires a unitary matrix"
+    );
 
     if n == 0 {
         return MziMesh::identity(0);

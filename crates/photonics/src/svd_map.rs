@@ -62,16 +62,15 @@ impl PhotonicLayer {
     ///
     /// Panics if `w` has zero rows or columns.
     pub fn from_matrix(w: &CMatrix, style: MeshStyle) -> Self {
-        assert!(w.rows() > 0 && w.cols() > 0, "weight matrix must be non-empty");
+        assert!(
+            w.rows() > 0 && w.cols() > 0,
+            "weight matrix must be non-empty"
+        );
         let f = svd(w);
         let m = w.rows();
         let n = w.cols();
         let gain = f.spectral_norm().max(f64::MIN_POSITIVE);
-        let attenuators = f
-            .s
-            .iter()
-            .map(|&s| Attenuator::new(s / gain))
-            .collect();
+        let attenuators = f.s.iter().map(|&s| Attenuator::new(s / gain)).collect();
         let decompose = |u: &CMatrix| match style {
             MeshStyle::Clements => decompose_clements(u),
             MeshStyle::Reck => decompose_reck(u),
@@ -123,7 +122,11 @@ impl PhotonicLayer {
     ///
     /// Panics if `input.len() != self.input_dim()`.
     pub fn forward(&self, input: &[Complex64]) -> Vec<Complex64> {
-        assert_eq!(input.len(), self.n, "input length must equal the layer fan-in");
+        assert_eq!(
+            input.len(),
+            self.n,
+            "input length must equal the layer fan-in"
+        );
         let after_v = self.v_mesh.propagate(input);
         // Σ stage: keep min(m, n) modes, attenuate, apply the global gain.
         let k = self.m.min(self.n);
@@ -132,6 +135,29 @@ impl PhotonicLayer {
             mid[i] = self.attenuators[i].apply(after_v[i]).scale(self.gain);
         }
         self.u_mesh.propagate(&mid)
+    }
+
+    /// Allocation-free forward pass: `io` holds the input fields on entry
+    /// (length `n`) and the output fields on exit (length `m`); `tmp` is
+    /// caller-owned scratch. After warm-up neither vector reallocates, so
+    /// a serving loop can push millions of samples through preallocated
+    /// buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `io.len() != self.input_dim()`.
+    pub fn forward_into(&self, io: &mut Vec<Complex64>, tmp: &mut Vec<Complex64>) {
+        assert_eq!(io.len(), self.n, "input length must equal the layer fan-in");
+        self.v_mesh.propagate_in_place(io);
+        // Σ stage: keep min(m, n) modes, attenuate, apply the global gain.
+        let k = self.m.min(self.n);
+        tmp.clear();
+        tmp.resize(self.m, Complex64::ZERO);
+        for i in 0..k {
+            tmp[i] = self.attenuators[i].apply(io[i]).scale(self.gain);
+        }
+        self.u_mesh.propagate_in_place(tmp);
+        std::mem::swap(io, tmp);
     }
 
     /// Reconstructs the implemented matrix (should equal `W` up to

@@ -10,8 +10,8 @@
 
 use oplix_datasets::assign::AssignmentKind;
 use oplix_datasets::synth::{
-    adjacent_pixel_correlation, channel_correlation, colors, digits,
-    symmetric_pixel_correlation, SynthConfig,
+    adjacent_pixel_correlation, channel_correlation, colors, digits, symmetric_pixel_correlation,
+    SynthConfig,
 };
 use oplixnet::experiments::fig8::{self, Fig8Model};
 use oplixnet::experiments::Scale;
@@ -27,8 +27,14 @@ fn main() {
         ..Default::default()
     });
     println!("digit dataset statistics:");
-    println!("  adjacent-pixel correlation:   {:+.3}", adjacent_pixel_correlation(&probe));
-    println!("  180-degree-pair correlation:  {:+.3}", symmetric_pixel_correlation(&probe));
+    println!(
+        "  adjacent-pixel correlation:   {:+.3}",
+        adjacent_pixel_correlation(&probe)
+    );
+    println!(
+        "  180-degree-pair correlation:  {:+.3}",
+        symmetric_pixel_correlation(&probe)
+    );
     let colour_probe = colors(&SynthConfig {
         height: 16,
         width: 16,
@@ -36,7 +42,10 @@ fn main() {
         ..Default::default()
     });
     println!("colour dataset statistics:");
-    println!("  cross-channel correlation:    {:+.3}", channel_correlation(&colour_probe));
+    println!(
+        "  cross-channel correlation:    {:+.3}",
+        channel_correlation(&colour_probe)
+    );
     println!();
     println!("The paper's §III-A: the more related the two values packed into one");
     println!("complex number, the smaller the accuracy loss. Adjacent pixels and");

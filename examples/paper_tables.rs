@@ -11,7 +11,11 @@ use oplixnet::experiments::{ablation, fig7, fig8, fig9, table2, table3, Scale};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let scale = if quick { Scale::quick() } else { Scale::standard() };
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::standard()
+    };
     println!(
         "running at {} scale: {} train / {} test samples, {} epochs\n",
         if quick { "quick" } else { "standard" },
@@ -22,31 +26,31 @@ fn main() {
 
     println!("=== Table II ===");
     let t2 = table2::run(&scale);
-    print!("{t2}\n");
+    println!("{t2}");
 
     println!("=== Table III ===");
     let t3 = table3::run(&scale);
-    print!("{t3}\n");
+    println!("{t3}");
 
     println!("=== Fig. 7 ===");
     let f7 = fig7::run(&scale);
-    print!("{f7}\n");
+    println!("{f7}");
 
     println!("=== Fig. 8 ===");
     let f8 = fig8::run(&scale);
-    print!("{f8}\n");
+    println!("{f8}");
 
     println!("=== Fig. 9 ===");
     let f9 = fig9::run(&scale);
-    print!("{f9}\n");
+    println!("{f9}");
 
     println!("=== Ablation A1: KD mixing factor ===");
     let a1 = ablation::alpha_sweep(&[0.25, 0.5, 1.0, 2.0], &scale);
-    print!("{a1}\n");
+    println!("{a1}");
 
     println!("=== Ablation A2: phase noise ===");
     let a2 = ablation::noise_sweep(&[0.0, 0.01, 0.03, 0.1, 0.3], &scale);
-    print!("{a2}\n");
+    println!("{a2}");
 
     println!("=== Ablation A3: static power ===");
     let a3 = ablation::power_comparison(&scale);

@@ -59,7 +59,11 @@ fn main() {
         .map(|(a, b)| (*a - *b).abs())
         .fold(0.0f64, f64::max);
     println!("\n5x8 weight deployed as V*({}) + Σ + U({}):", 8, 5);
-    println!("  devices: {} MZIs, optical gain {:.3}", layer.device_count().mzis, layer.gain());
+    println!(
+        "  devices: {} MZIs, optical gain {:.3}",
+        layer.device_count().mzis,
+        layer.gain()
+    );
     println!("  max |optical - exact| over a random input: {err:.2e}");
 
     // --- 3. Encoder + coherent detection round trip. ---

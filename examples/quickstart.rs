@@ -8,11 +8,12 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
+use oplix_datasets::assign::AssignmentKind;
 use oplix_datasets::synth::{digits, SynthConfig};
+use oplix_photonics::count::reduction_ratio;
 use oplixnet::experiments::TrainSetup;
 use oplixnet::pipeline::OplixNetBuilder;
 use oplixnet::spec::{fcnn_orig, fcnn_prop};
-use oplix_photonics::count::reduction_ratio;
 
 fn main() {
     // 1. A seeded synthetic MNIST stand-in (16×16 digits, 10 classes).
@@ -28,10 +29,16 @@ fn main() {
         seed: 1,
         ..data_cfg
     });
-    println!("dataset: {} train / {} test images of {:?}", train.len(), test.len(), train.image_shape());
+    println!(
+        "dataset: {} train / {} test images of {:?}",
+        train.len(),
+        test.len(),
+        train.image_shape()
+    );
 
-    // 2. Build and run the pipeline with the paper's defaults: spatial
-    //    interlace, merging decoder, SCVNN-CVNN mutual learning (α = 1).
+    // 2. Run the Assign → Train → Deploy → Evaluate stages with the
+    //    paper's defaults: spatial interlace, merging decoder, SCVNN-CVNN
+    //    mutual learning (α = 1). Failures are typed errors, not panics.
     let outcome = OplixNetBuilder::new()
         .hidden(32)
         .train_setup(TrainSetup {
@@ -42,10 +49,14 @@ fn main() {
             weight_decay: 1e-4,
         })
         .build(&train, &test)
-        .run();
+        .run()
+        .expect("valid geometry; FCNN bodies deploy");
 
     println!("software accuracy:  {:.2}%", 100.0 * outcome.accuracy);
-    println!("hardware accuracy:  {:.2}% (field-level MZI simulation)", 100.0 * outcome.deployed_accuracy);
+    println!(
+        "hardware accuracy:  {:.2}% (field-level MZI simulation)",
+        100.0 * outcome.deployed_accuracy
+    );
     println!("software/hardware gap: {:.4}", outcome.hardware_gap());
 
     // 3. The area story at the paper's full scale.
@@ -60,6 +71,22 @@ fn main() {
     println!(
         "deployed training-scale pipeline uses {} MZIs over {} optical stages",
         outcome.deployed_mzis,
-        outcome.deployed.num_stages(),
+        outcome.deployed().num_stages(),
+    );
+
+    // 4. The outcome carries a reusable serving engine: batched queries
+    //    over the same deployed meshes, with throughput counters.
+    let mut engine = outcome.engine;
+    let queries = AssignmentKind::SpatialInterlace.apply_dataset_flat(&test);
+    let predictions = engine
+        .classify(&queries.inputs)
+        .expect("query batch matches mesh fan-in");
+    let stats = engine.stats();
+    println!(
+        "engine served {} samples in {} batch(es) at {:.0} samples/s (first prediction: class {})",
+        stats.samples,
+        stats.batches,
+        stats.samples_per_sec(),
+        predictions[0],
     );
 }

@@ -9,7 +9,49 @@
 //! * [`oplix_nn`] — split-complex neural-network framework.
 //! * [`oplix_datasets`] — synthetic datasets and real-to-complex assignment.
 //! * [`oplix_offt`] — FFT-based ONN baseline.
-//! * [`oplixnet`] — the OplixNet framework and experiment runners.
+//! * [`oplixnet`] — the stage-based OplixNet pipeline, the batched
+//!   inference engine, and the experiment runners.
+//!
+//! # The pipeline at a glance
+//!
+//! The user-facing API is staged (see [`oplixnet::stage`]):
+//!
+//! ```text
+//! DatasetPair ─ AssignStage → AssignedData ─ TrainStage → TrainedModel
+//!             ─ DeployStage → DeployedModel ─ EvaluateStage → Evaluation
+//! ```
+//!
+//! [`oplixnet::pipeline::OplixNetBuilder`] wires the standard FCNN flow in
+//! one call and returns a `Result` (no panicking paths); the produced
+//! [`oplixnet::engine::InferenceEngine`] then serves batched queries over
+//! the deployed MZI meshes with preallocated buffers, scoped phase-noise
+//! sessions and throughput counters:
+//!
+//! ```
+//! use oplix::core::experiments::TrainSetup;
+//! use oplix::core::pipeline::OplixNetBuilder;
+//! use oplix::datasets::assign::AssignmentKind;
+//! use oplix::datasets::synth::{digits, SynthConfig};
+//!
+//! let train = digits(&SynthConfig { height: 8, width: 8, samples: 80, ..Default::default() });
+//! let test = digits(&SynthConfig { height: 8, width: 8, samples: 40, seed: 1, ..Default::default() });
+//! let outcome = OplixNetBuilder::new()
+//!     .hidden(12)
+//!     .mutual_learning(false)
+//!     .train_setup(TrainSetup { epochs: 2, batch: 20, lr: 0.05, momentum: 0.9, weight_decay: 1e-4 })
+//!     .build(&train, &test)
+//!     .run()
+//!     .expect("valid geometry; FCNN bodies deploy");
+//!
+//! let mut engine = outcome.engine;
+//! let queries = AssignmentKind::SpatialInterlace.apply_dataset_flat(&test);
+//! let classes = engine.classify(&queries.inputs).expect("fan-in matches");
+//! assert_eq!(classes.len(), 40);
+//! ```
+//!
+//! See `examples/quickstart.rs` for the full workflow, and
+//! `examples/paper_tables.rs` to regenerate every table and figure of the
+//! paper.
 
 pub use oplix_datasets as datasets;
 pub use oplix_linalg as linalg;

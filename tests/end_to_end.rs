@@ -7,7 +7,7 @@ use oplix_linalg::Complex64;
 use oplix_photonics::decoder::DecoderKind;
 use oplix_photonics::encoder::{ComplexEncoder, DcComplexEncoder};
 use oplix_photonics::svd_map::MeshStyle;
-use oplixnet::deploy::{DeployedDetection, DeployedFcnn};
+use oplixnet::engine::InferenceEngine;
 use oplixnet::experiments::{train_and_eval, TrainSetup};
 use oplixnet::pipeline::OplixNetBuilder;
 use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
@@ -33,26 +33,38 @@ fn split_fcnn_learns_and_deploys_with_identical_predictions() {
         ..Default::default()
     };
     let train_raw = digits(&cfg);
-    let test_raw = digits(&SynthConfig { samples: 120, seed: 1, ..cfg });
+    let test_raw = digits(&SynthConfig {
+        samples: 120,
+        seed: 1,
+        ..cfg
+    });
     let train = AssignmentKind::SpatialInterlace.apply_dataset_flat(&train_raw);
     let test = AssignmentKind::SpatialInterlace.apply_dataset_flat(&test_raw);
 
     let mut rng = StdRng::seed_from_u64(3);
     let mut net = build_fcnn(
-        &FcnnConfig { input: 32, hidden: 16, classes: 10 },
+        &FcnnConfig {
+            input: 32,
+            hidden: 16,
+            classes: 10,
+        },
         ModelVariant::Split(DecoderKind::Merge),
         &mut rng,
     );
     let acc = train_and_eval(&mut net, &train, &test, &quick_setup(), 5);
     assert!(acc > 0.6, "software accuracy too low: {acc}");
 
-    let deployed = DeployedFcnn::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+    let variant = ModelVariant::Split(DecoderKind::Merge);
+    let mut engine = InferenceEngine::from_network(&net, variant.detection(), MeshStyle::Clements)
         .expect("FCNN deploys");
-    let hw_acc = deployed.accuracy(&test.inputs, &test.labels);
+    let hw_acc = engine
+        .accuracy(&test)
+        .expect("test view matches mesh fan-in");
     assert!(
         (acc - hw_acc).abs() < 0.02,
         "hardware accuracy {hw_acc} diverges from software {acc}"
     );
+    assert_eq!(engine.stats().samples, test.len() as u64);
 }
 
 #[test]
@@ -67,15 +79,26 @@ fn interlace_beats_symmetric_on_correlated_digits() {
         ..Default::default()
     };
     let train_raw = digits(&cfg);
-    let test_raw = digits(&SynthConfig { samples: 160, seed: 1, ..cfg });
+    let test_raw = digits(&SynthConfig {
+        samples: 160,
+        seed: 1,
+        ..cfg
+    });
 
     let mut accs = Vec::new();
-    for assignment in [AssignmentKind::SpatialInterlace, AssignmentKind::SpatialSymmetric] {
+    for assignment in [
+        AssignmentKind::SpatialInterlace,
+        AssignmentKind::SpatialSymmetric,
+    ] {
         let train = assignment.apply_dataset_flat(&train_raw);
         let test = assignment.apply_dataset_flat(&test_raw);
         let mut rng = StdRng::seed_from_u64(7);
         let mut net = build_fcnn(
-            &FcnnConfig { input: 32, hidden: 16, classes: 10 },
+            &FcnnConfig {
+                input: 32,
+                hidden: 16,
+                classes: 10,
+            },
             ModelVariant::Split(DecoderKind::Merge),
             &mut rng,
         );
@@ -98,16 +121,27 @@ fn channel_lossless_preserves_information_vs_remapping() {
         ..Default::default()
     };
     let train_raw = colors(&cfg);
-    let test_raw = colors(&SynthConfig { samples: 160, seed: 1, ..cfg });
+    let test_raw = colors(&SynthConfig {
+        samples: 160,
+        seed: 1,
+        ..cfg
+    });
 
     let mut accs = Vec::new();
-    for assignment in [AssignmentKind::ChannelLossless, AssignmentKind::ChannelRemapping] {
+    for assignment in [
+        AssignmentKind::ChannelLossless,
+        AssignmentKind::ChannelRemapping,
+    ] {
         let train = assignment.apply_dataset_flat(&train_raw);
         let test = assignment.apply_dataset_flat(&test_raw);
         let input = train.inputs.shape()[1];
         let mut rng = StdRng::seed_from_u64(11);
         let mut net = build_fcnn(
-            &FcnnConfig { input, hidden: 16, classes: 10 },
+            &FcnnConfig {
+                input,
+                hidden: 16,
+                classes: 10,
+            },
             ModelVariant::Split(DecoderKind::Merge),
             &mut rng,
         );
@@ -132,15 +166,26 @@ fn pipeline_builder_full_workflow() {
         ..Default::default()
     };
     let train = digits(&cfg);
-    let test = digits(&SynthConfig { samples: 120, seed: 1, ..cfg });
+    let test = digits(&SynthConfig {
+        samples: 120,
+        seed: 1,
+        ..cfg
+    });
     let outcome = OplixNetBuilder::new()
         .hidden(16)
         .mutual_learning(true)
         .train_setup(quick_setup())
         .build(&train, &test)
-        .run();
+        .run()
+        .expect("valid geometry; FCNN bodies deploy");
     assert!(outcome.accuracy > 0.5, "accuracy {}", outcome.accuracy);
     assert!(outcome.hardware_gap() < 0.05);
+
+    // The outcome's engine keeps serving the deployed meshes.
+    let mut engine = outcome.engine;
+    let view = AssignmentKind::SpatialInterlace.apply_dataset_flat(&test);
+    let preds = engine.classify(&view.inputs).expect("batch matches fan-in");
+    assert_eq!(preds.len(), test.len());
 }
 
 #[test]

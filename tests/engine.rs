@@ -1,0 +1,155 @@
+//! Integration tests for the batched inference engine across every
+//! decoder setting: batched classification must agree with one-by-one
+//! `DeployedFcnn::forward` calls, and the deployed hardware must agree
+//! with the trained software model (gap < 0.05) for all four decoders —
+//! including the linear and unitary decoders, whose learnable stage
+//! deploys as one more optical stage.
+
+use oplix_datasets::assign::AssignmentKind;
+use oplix_datasets::synth::{digits, SynthConfig};
+use oplix_linalg::Complex64;
+use oplix_photonics::decoder::DecoderKind;
+use oplix_photonics::svd_map::MeshStyle;
+use oplixnet::engine::InferenceEngine;
+use oplixnet::experiments::{train_and_eval, TrainSetup};
+use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quick_setup() -> TrainSetup {
+    TrainSetup {
+        epochs: 10,
+        batch: 32,
+        lr: 0.05,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+    }
+}
+
+#[test]
+fn engine_matches_per_sample_forward_and_software_for_every_decoder() {
+    let cfg = SynthConfig {
+        height: 8,
+        width: 8,
+        samples: 240,
+        ..Default::default()
+    };
+    let train_raw = digits(&cfg);
+    let test_raw = digits(&SynthConfig {
+        samples: 120,
+        seed: 1,
+        ..cfg
+    });
+    let train = AssignmentKind::SpatialInterlace.apply_dataset_flat(&train_raw);
+    let test = AssignmentKind::SpatialInterlace.apply_dataset_flat(&test_raw);
+    let input = train.inputs.shape()[1];
+
+    for decoder in DecoderKind::all() {
+        let variant = ModelVariant::Split(decoder);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut net = build_fcnn(
+            &FcnnConfig {
+                input,
+                hidden: 16,
+                classes: 10,
+            },
+            variant,
+            &mut rng,
+        );
+        let software_acc = train_and_eval(&mut net, &train, &test, &quick_setup(), 19);
+        assert!(
+            software_acc > 0.3,
+            "{decoder}: failed to learn ({software_acc})"
+        );
+
+        let mut engine =
+            InferenceEngine::from_network(&net, variant.detection(), MeshStyle::Clements)
+                .unwrap_or_else(|e| panic!("{decoder}: deploy failed: {e}"));
+
+        // Batched logits must equal one-by-one forward calls exactly.
+        let n = test.inputs.shape()[0];
+        let batched = engine
+            .predict_batch(&test.inputs)
+            .unwrap_or_else(|e| panic!("{decoder}: predict_batch failed: {e}"));
+        assert_eq!(batched.len(), n);
+        for i in (0..n).step_by(17) {
+            let sample: Vec<Complex64> = (0..input)
+                .map(|j| {
+                    Complex64::new(
+                        test.inputs.re.at2(i, j) as f64,
+                        test.inputs.im.at2(i, j) as f64,
+                    )
+                })
+                .collect();
+            let single = engine.deployed().forward(&sample);
+            assert_eq!(batched[i].len(), single.len(), "{decoder}: logit width");
+            for (a, b) in batched[i].iter().zip(&single) {
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "{decoder}: batched {a} vs single {b} at sample {i}"
+                );
+            }
+        }
+
+        // The deployed hardware must track the software model: the decoder
+        // (merge/linear/unitary/coherent) is part of the deployment.
+        let hardware_acc = engine
+            .accuracy(&test)
+            .unwrap_or_else(|e| panic!("{decoder}: accuracy failed: {e}"));
+        assert!(
+            (software_acc - hardware_acc).abs() < 0.05,
+            "{decoder}: software {software_acc} vs hardware {hardware_acc}"
+        );
+
+        let stats = engine.stats();
+        assert_eq!(stats.samples, 2 * n as u64, "{decoder}: sample counter");
+        assert_eq!(stats.batches, 2, "{decoder}: batch counter");
+    }
+}
+
+#[test]
+fn engine_noise_session_restores_hardware_between_batches() {
+    let cfg = SynthConfig {
+        height: 8,
+        width: 8,
+        samples: 160,
+        ..Default::default()
+    };
+    let train_raw = digits(&cfg);
+    let test_raw = digits(&SynthConfig {
+        samples: 80,
+        seed: 1,
+        ..cfg
+    });
+    let train = AssignmentKind::SpatialInterlace.apply_dataset_flat(&train_raw);
+    let test = AssignmentKind::SpatialInterlace.apply_dataset_flat(&test_raw);
+
+    let variant = ModelVariant::Split(DecoderKind::Merge);
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut net = build_fcnn(
+        &FcnnConfig {
+            input: train.inputs.shape()[1],
+            hidden: 16,
+            classes: 10,
+        },
+        variant,
+        &mut rng,
+    );
+    let _ = train_and_eval(&mut net, &train, &test, &quick_setup(), 29);
+
+    let mut engine = InferenceEngine::from_network(&net, variant.detection(), MeshStyle::Clements)
+        .expect("FCNN deploys");
+    let clean_acc = engine.accuracy(&test).expect("clean accuracy");
+    let mut noise_rng = StdRng::seed_from_u64(31);
+    let noisy_acc = {
+        let mut session = engine.noise_session(0.5, &mut noise_rng);
+        session.accuracy(&test).expect("noisy accuracy")
+    };
+    // Heavy phase noise must not silently leave the meshes perturbed.
+    let restored_acc = engine.accuracy(&test).expect("restored accuracy");
+    assert_eq!(clean_acc, restored_acc, "session failed to restore phases");
+    assert!(
+        noisy_acc <= clean_acc + 0.05,
+        "noisy {noisy_acc} should not beat clean {clean_acc}"
+    );
+}

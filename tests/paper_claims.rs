@@ -6,9 +6,7 @@ use oplix_photonics::count::{mzi_count, reduction_ratio};
 use oplix_photonics::decoder::DecoderKind;
 use oplixnet::experiments::fig7::Fig7Model;
 use oplixnet::experiments::fig9::{normalized_area, Fig9Model};
-use oplixnet::spec::{
-    fcnn_orig, fcnn_prop, lenet5_orig, lenet5_prop, resnet_orig, resnet_prop,
-};
+use oplixnet::spec::{fcnn_orig, fcnn_prop, lenet5_orig, lenet5_prop, resnet_orig, resnet_prop};
 
 #[test]
 fn table2_area_column_digit_for_digit() {
@@ -35,8 +33,16 @@ fn table2_reduction_column() {
     let cases = [
         (fcnn_orig().mzis(), fcnn_prop().mzis(), 0.7503),
         (lenet5_orig().mzis(), lenet5_prop().mzis(), 0.7462),
-        (resnet_orig(20, 10).mzis(), resnet_prop(20, 10).mzis(), 0.7506),
-        (resnet_orig(32, 100).mzis(), resnet_prop(32, 100).mzis(), 0.7488),
+        (
+            resnet_orig(20, 10).mzis(),
+            resnet_prop(20, 10).mzis(),
+            0.7506,
+        ),
+        (
+            resnet_orig(32, 100).mzis(),
+            resnet_prop(32, 100).mzis(),
+            0.7488,
+        ),
     ];
     for (orig, prop, expect) in cases {
         let red = reduction_ratio(orig, prop);
@@ -57,7 +63,10 @@ fn conclusion_claim_reduction_band() {
         reduction_ratio(resnet_orig(32, 100).mzis(), resnet_prop(32, 100).mzis()),
     ];
     for r in reductions {
-        assert!((0.744..0.753).contains(&r), "reduction {r} outside the band");
+        assert!(
+            (0.744..0.753).contains(&r),
+            "reduction {r} outside the band"
+        );
     }
 }
 

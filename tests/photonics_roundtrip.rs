@@ -51,7 +51,9 @@ fn trained_layer_runs_identically_on_chip() {
     // the weight part only).
     let w = dense_to_cmatrix(&dense);
     let chip = PhotonicLayer::from_matrix(&w, MeshStyle::Clements);
-    let x: Vec<Complex64> = (0..6).map(|k| Complex64::new(0.1 * k as f64, -0.05)).collect();
+    let x: Vec<Complex64> = (0..6)
+        .map(|k| Complex64::new(0.1 * k as f64, -0.05))
+        .collect();
     let optical = chip.forward(&x);
     let exact = w.mul_vec(&x);
     for (a, b) in optical.iter().zip(&exact) {
