@@ -1,0 +1,133 @@
+//! Serving-path benchmarks of the sharded [`InferenceEngine`]: batched
+//! classification wall-clock vs worker count (the `num_workers` knob),
+//! plus the deployment-cache speedup for repeated deployments of the same
+//! architecture.
+//!
+//! The headline comparison — sequential vs sharded at batch ≥ 64 — is also
+//! printed as an explicit speedup line, since that is the scaling claim
+//! the parallel serving core makes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oplix_nn::ctensor::CTensor;
+use oplix_nn::tensor::Tensor;
+use oplix_photonics::decoder::DecoderKind;
+use oplix_photonics::svd_map::MeshStyle;
+use oplixnet::engine::InferenceEngine;
+use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+use oplixnet::{clear_deploy_cache, DeployedDetection, DeployedFcnn};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn serving_engine(input: usize, hidden: usize, workers: usize) -> InferenceEngine {
+    let mut rng = StdRng::seed_from_u64(7);
+    let net = build_fcnn(
+        &FcnnConfig {
+            input,
+            hidden,
+            classes: 10,
+        },
+        ModelVariant::Split(DecoderKind::Merge),
+        &mut rng,
+    );
+    InferenceEngine::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+        .expect("FCNN deploys")
+        .with_num_workers(workers)
+}
+
+fn batch(n: usize, d: usize) -> CTensor {
+    let mut rng = StdRng::seed_from_u64(11);
+    CTensor::new(
+        Tensor::random_uniform(&[n, d], 1.0, &mut rng),
+        Tensor::random_uniform(&[n, d], 1.0, &mut rng),
+    )
+}
+
+fn bench_sharded_classify(c: &mut Criterion) {
+    let (input, hidden) = (32usize, 32usize);
+    let mut group = c.benchmark_group("engine_classify");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        let x = batch(n, input);
+        group.throughput(Throughput::Elements(n as u64));
+        for workers in [1usize, 2, 4] {
+            let mut engine = serving_engine(input, hidden, workers);
+            group.bench_with_input(
+                BenchmarkId::new("classify", format!("batch{n}/workers{workers}")),
+                &x,
+                |b, x| b.iter(|| engine.classify(x).expect("classify")),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// The headline claim, measured directly: sharded batched inference beats
+/// the sequential path at batch ≥ 64.
+fn report_sharding_speedup(_c: &mut Criterion) {
+    let (input, hidden, n, reps) = (32usize, 32usize, 256usize, 20usize);
+    let x = batch(n, input);
+    let timed = |workers: usize| {
+        let mut engine = serving_engine(input, hidden, workers);
+        engine.classify(&x).expect("warm-up"); // warm the buffers
+        let start = Instant::now();
+        for _ in 0..reps {
+            criterion::black_box(engine.classify(&x).expect("classify"));
+        }
+        start.elapsed().as_secs_f64() / reps as f64
+    };
+    let sequential = timed(1);
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let workers = cores.clamp(2, 4);
+    let sharded = timed(workers);
+    println!(
+        "engine_classify speedup at batch {n}: {workers} workers {:.2}x on {cores} core(s) \
+         (sequential {:.3} ms, sharded {:.3} ms per batch; the win needs cores > 1)",
+        sequential / sharded,
+        sequential * 1e3,
+        sharded * 1e3,
+    );
+}
+
+fn bench_deploy_cache(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let net = build_fcnn(
+        &FcnnConfig {
+            input: 32,
+            hidden: 32,
+            classes: 10,
+        },
+        ModelVariant::Split(DecoderKind::Merge),
+        &mut rng,
+    );
+    let mut group = c.benchmark_group("deploy_cache");
+    group.sample_size(10);
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            clear_deploy_cache();
+            DeployedFcnn::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+                .expect("deploys")
+        })
+    });
+    // Prime twice (admission is second-sight), then every decomposition
+    // is a hit.
+    for _ in 0..2 {
+        let _ =
+            DeployedFcnn::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements);
+    }
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            DeployedFcnn::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+                .expect("deploys")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sharded_classify,
+    report_sharding_speedup,
+    bench_deploy_cache
+);
+criterion_main!(benches);

@@ -23,6 +23,11 @@ use oplix_nn::network::Network;
 use oplix_photonics::count::DeviceCount;
 use oplix_photonics::svd_map::{MeshStyle, PhotonicLayer};
 use rand::Rng;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Reusable field buffers for [`DeployedFcnn::forward_into`]: after the
 /// first call neither vector reallocates, so a serving loop is
@@ -383,6 +388,156 @@ impl DeployedFcnn {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Deployment cache
+// ---------------------------------------------------------------------------
+
+/// Cache key of one SVD decomposition: architecture (dimensions + mesh
+/// style) plus the *exact* bit pattern of every augmented weight. Keying
+/// on the full bits — not a digest — makes false hits impossible: equal
+/// keys imply equal matrices imply an identical decomposition.
+#[derive(PartialEq, Eq, Hash)]
+struct DecompositionKey {
+    rows: usize,
+    cols: usize,
+    style: u8,
+    weight_bits: Vec<(u64, u64)>,
+}
+
+impl DecompositionKey {
+    fn new(w: &CMatrix, style: MeshStyle) -> Self {
+        let mut weight_bits = Vec::with_capacity(w.rows() * w.cols());
+        for i in 0..w.rows() {
+            for j in 0..w.cols() {
+                let z = w[(i, j)];
+                weight_bits.push((z.re.to_bits(), z.im.to_bits()));
+            }
+        }
+        DecompositionKey {
+            rows: w.rows(),
+            cols: w.cols(),
+            style: match style {
+                MeshStyle::Clements => 0,
+                MeshStyle::Reck => 1,
+            },
+            weight_bits,
+        }
+    }
+}
+
+/// Hit/miss/occupancy counters of the process-wide deployment cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeployCacheStats {
+    /// Decompositions served from the cache.
+    pub hits: u64,
+    /// Decompositions computed fresh (and, below the cap, inserted).
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// New insertions stop once the cache holds this many decompositions (the
+/// resident entries keep serving hits). A real eviction policy is an open
+/// ROADMAP item; the cap merely bounds memory for pathological sweeps
+/// that never repeat an architecture.
+const DEPLOY_CACHE_CAP: usize = 512;
+
+static DEPLOY_CACHE: OnceLock<Mutex<HashMap<DecompositionKey, Arc<PhotonicLayer>>>> =
+    OnceLock::new();
+/// Admission doorkeeper: 8-byte fingerprints of keys decomposed exactly
+/// once. A full (weights + mesh) entry is only inserted when the same key
+/// is decomposed a *second* time, so one-shot deployments — an experiment
+/// grid where every trained arm has unique weights — retain 8 bytes per
+/// architecture instead of a full weight matrix and mesh for the process
+/// lifetime. A fingerprint collision merely admits an entry one sight
+/// early; correctness never depends on the fingerprint.
+static DEPLOY_SEEN: OnceLock<Mutex<HashSet<u64>>> = OnceLock::new();
+static DEPLOY_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static DEPLOY_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn deploy_cache() -> &'static Mutex<HashMap<DecompositionKey, Arc<PhotonicLayer>>> {
+    DEPLOY_CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn deploy_seen() -> &'static Mutex<HashSet<u64>> {
+    DEPLOY_SEEN.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+/// Marks a key as seen; returns whether the full cache should admit it.
+/// Once the doorkeeper saturates it stops filtering (every key is
+/// admitted on first sight) rather than silently disabling admission —
+/// the full cache's own cap still bounds memory.
+fn seen_before(key: &DecompositionKey) -> bool {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    let fp = h.finish();
+    let mut seen = deploy_seen().lock().expect("deploy doorkeeper");
+    if seen.contains(&fp) {
+        true
+    } else if seen.len() < DEPLOY_CACHE_CAP * 16 {
+        seen.insert(fp);
+        false
+    } else {
+        true
+    }
+}
+
+/// Current counters of the process-wide deployment cache.
+pub fn deploy_cache_stats() -> DeployCacheStats {
+    DeployCacheStats {
+        hits: DEPLOY_CACHE_HITS.load(Ordering::Relaxed),
+        misses: DEPLOY_CACHE_MISSES.load(Ordering::Relaxed),
+        entries: deploy_cache().lock().expect("deploy cache").len(),
+    }
+}
+
+/// Drops every cached decomposition and the admission doorkeeper
+/// (counters keep running). Useful for benchmarks that want to measure
+/// the cold path.
+pub fn clear_deploy_cache() {
+    deploy_cache().lock().expect("deploy cache").clear();
+    deploy_seen().lock().expect("deploy doorkeeper").clear();
+}
+
+/// The memoised front door to [`PhotonicLayer::from_matrix`]: repeated
+/// deployments of the same weights (grid sweeps, repeated `DeployStage`
+/// runs on one trained body) skip the SVD + mesh decomposition and clone
+/// the cached mesh instead — cloning phases is orders of magnitude
+/// cheaper than decomposing. Admission is second-sight (see
+/// [`DEPLOY_SEEN`]): the first decomposition of a key records only a
+/// fingerprint, the second inserts the full entry, the third and later
+/// are hits.
+fn decompose_cached(w: &CMatrix, style: MeshStyle) -> PhotonicLayer {
+    let key = DecompositionKey::new(w, style);
+    // Values are `Arc`ed so the critical section is a refcount bump; the
+    // (cheap-but-not-free) phase-array clone happens outside the lock and
+    // concurrent grid-arm deployments never serialise behind it.
+    let hit: Option<Arc<PhotonicLayer>> = deploy_cache()
+        .lock()
+        .expect("deploy cache")
+        .get(&key)
+        .map(Arc::clone);
+    if let Some(layer) = hit {
+        DEPLOY_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        return (*layer).clone();
+    }
+    // Decompose outside the lock: a miss is the expensive path, and other
+    // deployments should not serialise behind it.
+    let layer = PhotonicLayer::from_matrix(w, style);
+    DEPLOY_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    if seen_before(&key) {
+        // Clone outside the lock, like the hit path: holding the global
+        // mutex across a mesh deep-clone would serialise concurrent
+        // deployments behind this insert.
+        let entry = Arc::new(layer.clone());
+        let mut cache = deploy_cache().lock().expect("deploy cache");
+        if cache.len() < DEPLOY_CACHE_CAP {
+            cache.insert(key, entry);
+        }
+    }
+    layer
+}
+
 fn deploy_dense(dense: &CDense, style: MeshStyle) -> PhotonicLayer {
     let (w_re, w_im) = dense.weight();
     let (b_re, b_im) = dense.bias();
@@ -395,7 +550,7 @@ fn deploy_dense(dense: &CDense, style: MeshStyle) -> PhotonicLayer {
             Complex64::new(b_re.as_slice()[i] as f64, b_im.as_slice()[i] as f64)
         }
     });
-    PhotonicLayer::from_matrix(&aug, style)
+    decompose_cached(&aug, style)
 }
 
 fn argmax(v: &[f64]) -> usize {
@@ -545,6 +700,79 @@ mod tests {
             MeshStyle::Clements
         )
         .is_ok());
+    }
+
+    #[test]
+    fn deployment_cache_hit_equals_fresh_decomposition() {
+        let mut rng = StdRng::seed_from_u64(90_001); // weights unique to this test
+        let w = CMatrix::from_fn(5, 4, |_, _| {
+            use rand::Rng;
+            Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        });
+        let before = deploy_cache_stats();
+        let fresh = decompose_cached(&w, MeshStyle::Clements);
+        let admitted = decompose_cached(&w, MeshStyle::Clements); // second sight: inserts
+        let cached = decompose_cached(&w, MeshStyle::Clements); // third: a hit
+        let after = deploy_cache_stats();
+        // Counters are process-global (other tests run concurrently), so
+        // assert deltas as lower bounds.
+        assert!(after.misses > before.misses, "first two calls must miss");
+        assert!(after.hits > before.hits, "third call must hit");
+        assert_eq!(fresh.matrix().max_abs_diff(&admitted.matrix()), 0.0);
+        // The cached mesh must be *equal* to a fresh decomposition: same
+        // implemented matrix, bitwise-identical forward fields.
+        assert_eq!(fresh.matrix().max_abs_diff(&cached.matrix()), 0.0);
+        let x: Vec<Complex64> = (0..4)
+            .map(|j| Complex64::new(0.3 * j as f64, -0.1))
+            .collect();
+        assert_eq!(fresh.forward(&x), cached.forward(&x));
+    }
+
+    #[test]
+    fn deployment_cache_distinguishes_style_and_weights() {
+        let mut rng = StdRng::seed_from_u64(90_002);
+        let w = CMatrix::from_fn(3, 3, |_, _| {
+            use rand::Rng;
+            Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        });
+        let before = deploy_cache_stats();
+        let _ = decompose_cached(&w, MeshStyle::Clements);
+        let _ = decompose_cached(&w, MeshStyle::Reck); // different style: miss
+        let bumped = w.scale(Complex64::from_real(1.0 + 1e-12));
+        let _ = decompose_cached(&bumped, MeshStyle::Clements); // different bits: miss
+        let after = deploy_cache_stats();
+        assert!(after.misses >= before.misses + 3, "all three must miss");
+    }
+
+    #[test]
+    fn repeated_from_network_reuses_decompositions() {
+        let mut rng = StdRng::seed_from_u64(90_003);
+        let cfg = FcnnConfig {
+            input: 6,
+            hidden: 5,
+            classes: 2,
+        };
+        let net = build_fcnn(&cfg, ModelVariant::Split(DecoderKind::Merge), &mut rng);
+        let first =
+            DeployedFcnn::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+                .expect("deployable");
+        // Second-sight admission: the repeat deployment populates the
+        // cache, the one after that is served from it.
+        let _admit =
+            DeployedFcnn::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+                .expect("deployable");
+        let before = deploy_cache_stats();
+        let second =
+            DeployedFcnn::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+                .expect("deployable");
+        let after = deploy_cache_stats();
+        assert!(
+            after.hits >= before.hits + first.num_stages() as u64,
+            "every stage of the third deployment must be a cache hit"
+        );
+        // Both deployments classify identically.
+        let view = random_view(6, 6, 90_004);
+        assert_eq!(first.classify(&view), second.classify(&view));
     }
 
     #[test]

@@ -8,6 +8,14 @@
 //!   [`DeployedFcnn::forward_into`](crate::deploy::DeployedFcnn::forward_into));
 //! * **batched `predict` / `classify`** over dataset views, checked
 //!   against the mesh geometry with typed [`Error`]s instead of panics;
+//! * **sharded batches** — [`InferenceEngine::with_num_workers`] splits a
+//!   batch across a fixed set of worker slots served by the shared
+//!   [`crate::pool`] budget, each worker owning its own preallocated
+//!   buffers; results are bitwise identical to the sequential path because
+//!   every sample's field walk is independent and row spans are fixed;
+//! * **streaming evaluation** — [`InferenceEngine::accuracy_streaming`]
+//!   walks a labelled view in bounded chunks instead of materialising one
+//!   result vector per test set;
 //! * **per-batch noise-injection sessions** — [`InferenceEngine::noise_session`]
 //!   perturbs every mesh phase for the duration of the session and
 //!   restores the programmed phases on drop, so robustness studies share
@@ -80,26 +88,120 @@ impl EngineStats {
     }
 }
 
+/// One worker's private serving state: forward buffers, the staged
+/// sample, and the detected logits. Workers never share these, so the
+/// sharded batch path stays allocation-free per sample after warm-up —
+/// the same property the sequential path has.
+#[derive(Clone, Debug, Default)]
+struct WorkerSlot {
+    buf: ForwardBuffers,
+    sample: Vec<Complex64>,
+    logits: Vec<f64>,
+}
+
+impl WorkerSlot {
+    /// Loads row `i` of a `[N, D]` complex view into the staged sample.
+    fn load_sample(&mut self, inputs: &CTensor, i: usize) {
+        let d = inputs.shape()[1];
+        self.sample.clear();
+        self.sample.extend(
+            (0..d).map(|j| Complex64::new(inputs.re.at2(i, j) as f64, inputs.im.at2(i, j) as f64)),
+        );
+    }
+
+    /// Runs rows `start..end` of a view through the deployed hardware,
+    /// emitting one `T` per row. Row indices in errors are absolute.
+    fn run_rows<T>(
+        &mut self,
+        deployed: &DeployedFcnn,
+        inputs: &CTensor,
+        start: usize,
+        end: usize,
+        emit: &(impl Fn(&[f64]) -> T + Sync),
+    ) -> Result<Vec<T>, Error> {
+        let mut out = Vec::with_capacity(end.saturating_sub(start));
+        for i in start..end {
+            self.load_sample(inputs, i);
+            deployed.forward_into(&self.sample, &mut self.buf, &mut self.logits)?;
+            check_finite(&self.logits, i)?;
+            out.push(emit(&self.logits));
+        }
+        Ok(out)
+    }
+}
+
 /// A reusable, batched query engine over one deployed network.
 #[derive(Clone, Debug)]
 pub struct InferenceEngine {
     deployed: DeployedFcnn,
-    buf: ForwardBuffers,
-    sample: Vec<Complex64>,
-    logits: Vec<f64>,
+    workers: Vec<WorkerSlot>,
     stats: EngineStats,
 }
 
+/// Below this many samples per worker, sharding a batch costs more in
+/// thread launch than it saves; such batches run on the caller's thread.
+const MIN_ROWS_PER_WORKER: usize = 2;
+
 impl InferenceEngine {
-    /// Wraps an already-deployed network.
+    /// Wraps an already-deployed network. The engine starts sequential
+    /// (one worker); see [`InferenceEngine::with_num_workers`].
     pub fn new(deployed: DeployedFcnn) -> Self {
         InferenceEngine {
             deployed,
-            buf: ForwardBuffers::default(),
-            sample: Vec::new(),
-            logits: Vec::new(),
+            workers: vec![WorkerSlot::default()],
             stats: EngineStats::default(),
         }
+    }
+
+    /// Shards batched queries across a fixed pool of `n` workers, each
+    /// with its own preallocated forward buffers. `n = 0` resolves to the
+    /// shared [`crate::pool::jobs`] budget — the `--jobs` knob. Threads
+    /// are drawn from the process-wide pool ([`crate::pool::run_scoped`]),
+    /// so an engine sharding inside an already-parallel grid arm degrades
+    /// to inline execution instead of oversubscribing. Sharded output is
+    /// bitwise identical to the sequential path at any budget: row spans
+    /// are fixed per worker slot, samples are independent, and each runs
+    /// the exact same field walk.
+    ///
+    /// ```
+    /// use oplixnet::engine::InferenceEngine;
+    /// use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+    /// use oplixnet::deploy::DeployedDetection;
+    /// use oplix_photonics::decoder::DecoderKind;
+    /// use oplix_photonics::svd_map::MeshStyle;
+    /// use oplix_nn::ctensor::CTensor;
+    /// use oplix_nn::tensor::Tensor;
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// let mut rng = StdRng::seed_from_u64(1);
+    /// let net = build_fcnn(
+    ///     &FcnnConfig { input: 6, hidden: 5, classes: 2 },
+    ///     ModelVariant::Split(DecoderKind::Merge),
+    ///     &mut rng,
+    /// );
+    /// let make = || InferenceEngine::from_network(
+    ///     &net, DeployedDetection::Differential, MeshStyle::Clements,
+    /// ).expect("FCNN deploys");
+    /// let batch = CTensor::from_re(Tensor::random_uniform(&[64, 6], 1.0, &mut rng));
+    ///
+    /// let sequential = make().classify(&batch).expect("classify");
+    /// let sharded = make().with_num_workers(3).classify(&batch).expect("classify");
+    /// assert_eq!(sequential, sharded); // bitwise identical, any worker count
+    /// ```
+    pub fn with_num_workers(mut self, n: usize) -> Self {
+        self.set_num_workers(n);
+        self
+    }
+
+    /// In-place form of [`InferenceEngine::with_num_workers`].
+    pub fn set_num_workers(&mut self, n: usize) {
+        let n = if n == 0 { crate::pool::jobs() } else { n };
+        self.workers.resize_with(n.max(1), WorkerSlot::default);
+    }
+
+    /// How many workers batched queries shard across.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
     }
 
     /// Deploys a trained network and wraps it in one step.
@@ -151,11 +253,12 @@ impl InferenceEngine {
     /// [`Error::NonFiniteLogits`] if the sample poisons detection.
     pub fn predict(&mut self, input: &[Complex64]) -> Result<Vec<f64>, Error> {
         let start = Instant::now();
+        let slot = &mut self.workers[0];
         self.deployed
-            .forward_into(input, &mut self.buf, &mut self.logits)?;
-        check_finite(&self.logits, 0)?;
+            .forward_into(input, &mut slot.buf, &mut slot.logits)?;
+        check_finite(&slot.logits, 0)?;
         self.stats.absorb(1, start.elapsed());
-        Ok(self.logits.clone())
+        Ok(slot.logits.clone())
     }
 
     /// Detected logits of every sample in a `[N, D]` complex batch.
@@ -179,6 +282,37 @@ impl InferenceEngine {
         self.run_batch(inputs, argmax)
     }
 
+    /// Predicted class indices of rows `start..start + len` of a `[N, D]`
+    /// complex batch — the bounded-window query the streaming evaluation
+    /// path is built on. Sample indices in errors are absolute row
+    /// indices, not window-relative.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`InferenceEngine::predict_batch`], plus
+    /// [`Error::ShapeMismatch`] if the window overruns the view.
+    pub fn classify_range(
+        &mut self,
+        inputs: &CTensor,
+        start: usize,
+        len: usize,
+    ) -> Result<Vec<usize>, Error> {
+        let (n, _) = self.check_batch(inputs)?;
+        let end = start.checked_add(len).filter(|&e| e <= n).ok_or({
+            // Saturate the reported end so a wrap-around stays a typed
+            // error instead of a panic or a silent empty result.
+            Error::ShapeMismatch {
+                expected: n,
+                got: start.saturating_add(len),
+                what: "batch window end",
+            }
+        })?;
+        if len == 0 {
+            return Err(Error::EmptyInput { stage: "engine" });
+        }
+        self.run_rows(inputs, start, end, &argmax)
+    }
+
     /// Classification accuracy of the deployed hardware on a labelled
     /// dataset view.
     ///
@@ -193,6 +327,39 @@ impl InferenceEngine {
             .filter(|(p, l)| p == l)
             .count();
         Ok(correct as f64 / data.labels.len() as f64)
+    }
+
+    /// Classification accuracy over a labelled view, streamed through the
+    /// engine in windows of at most `batch_size` samples instead of
+    /// materialising one prediction vector for the whole set. Each window
+    /// still shards across the worker pool; only a running correct-count
+    /// survives between windows, so memory is bounded by the window, not
+    /// the dataset.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`InferenceEngine::predict_batch`]; sample
+    /// indices in errors are absolute dataset rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn accuracy_streaming(&mut self, data: &CDataset, batch_size: usize) -> Result<f64, Error> {
+        assert!(batch_size > 0, "streaming batch size must be positive");
+        let (n, _) = self.check_batch(&data.inputs)?;
+        let mut correct = 0usize;
+        let mut start = 0;
+        while start < n {
+            let len = batch_size.min(n - start);
+            let preds = self.run_rows(&data.inputs, start, start + len, &argmax)?;
+            correct += preds
+                .iter()
+                .zip(&data.labels[start..start + len])
+                .filter(|(p, l)| p == l)
+                .count();
+            start += len;
+        }
+        Ok(correct as f64 / n as f64)
     }
 
     /// Opens a noise-injection session: every mesh phase is perturbed with
@@ -210,25 +377,78 @@ impl InferenceEngine {
         }
     }
 
-    /// The one batch walk every query method shares: validate, load each
-    /// sample into the reused buffers, run the fields, check finiteness,
-    /// emit, count.
-    fn run_batch<T>(
+    /// The one batch walk every query method shares: validate, then run
+    /// every row through [`WorkerSlot::run_rows`] — on the calling thread
+    /// when one worker (or a tiny batch), sharded into contiguous row
+    /// spans across the worker pool otherwise.
+    fn run_batch<T: Send>(
         &mut self,
         inputs: &CTensor,
-        mut emit: impl FnMut(&[f64]) -> T,
+        emit: impl Fn(&[f64]) -> T + Sync,
     ) -> Result<Vec<T>, Error> {
         let (n, _) = self.check_batch(inputs)?;
-        let start = Instant::now();
-        let mut out = Vec::with_capacity(n);
-        for i in 0..n {
-            self.load_sample(inputs, i);
-            self.deployed
-                .forward_into(&self.sample, &mut self.buf, &mut self.logits)?;
-            check_finite(&self.logits, i)?;
-            out.push(emit(&self.logits));
-        }
-        self.stats.absorb(n as u64, start.elapsed());
+        self.run_rows(inputs, 0, n, &emit)
+    }
+
+    /// Runs rows `start..end` (absolute indices into `inputs`), sharding
+    /// across the worker pool when the span is big enough to pay for the
+    /// thread launches. Error reporting matches the sequential walk: the
+    /// error of the lowest offending row wins.
+    fn run_rows<T: Send>(
+        &mut self,
+        inputs: &CTensor,
+        start: usize,
+        end: usize,
+        emit: &(impl Fn(&[f64]) -> T + Sync),
+    ) -> Result<Vec<T>, Error> {
+        let n = end - start;
+        let shards = self
+            .workers
+            .len()
+            .min(n / MIN_ROWS_PER_WORKER)
+            .clamp(1, n.max(1));
+        let clock = Instant::now();
+        let out = if shards <= 1 {
+            self.workers[0].run_rows(&self.deployed, inputs, start, end, emit)
+        } else {
+            let deployed = &self.deployed;
+            let rows_per_shard = n.div_ceil(shards);
+            // Row spans are fixed per shard regardless of how many
+            // threads the shared pool actually grants, so the output is
+            // bitwise identical at any budget (including an exhausted one,
+            // where the tasks run inline).
+            let tasks: Vec<Box<dyn FnOnce() -> Result<Vec<T>, Error> + Send + '_>> = self
+                .workers
+                .iter_mut()
+                .take(shards)
+                .enumerate()
+                .map(|(w, slot)| {
+                    let lo = start + w * rows_per_shard;
+                    let hi = (lo + rows_per_shard).min(end);
+                    Box::new(move || slot.run_rows(deployed, inputs, lo, hi, emit))
+                        as Box<dyn FnOnce() -> Result<Vec<T>, Error> + Send + '_>
+                })
+                .collect();
+            let chunks: Vec<Result<Vec<T>, Error>> = crate::pool::run_scoped(tasks);
+            // Shards cover increasing row spans, so scanning them in order
+            // reproduces the sequential walk's first-error semantics.
+            let mut out = Vec::with_capacity(n);
+            let mut failure = None;
+            for chunk in chunks {
+                match chunk {
+                    Ok(part) => out.extend(part),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            match failure {
+                Some(e) => Err(e),
+                None => Ok(out),
+            }
+        }?;
+        self.stats.absorb(n as u64, clock.elapsed());
         Ok(out)
     }
 
@@ -252,14 +472,6 @@ impl InferenceEngine {
             });
         }
         Ok((n, d))
-    }
-
-    fn load_sample(&mut self, inputs: &CTensor, i: usize) {
-        let d = inputs.shape()[1];
-        self.sample.clear();
-        self.sample.extend(
-            (0..d).map(|j| Complex64::new(inputs.re.at2(i, j) as f64, inputs.im.at2(i, j) as f64)),
-        );
     }
 }
 

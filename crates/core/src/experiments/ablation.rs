@@ -95,44 +95,35 @@ pub fn alpha_sweep(alphas: &[f32], scale: &Scale) -> AlphaReport {
 
     let solo_accuracy = train_on_acc(assigned.clone(), student(), None, &setup, 1100);
 
-    let points = std::thread::scope(|s| {
+    let points = {
         let (setup, student, assigned) = (&setup, &student, &assigned);
-        let handles: Vec<_> = alphas
-            .iter()
-            .map(|&alpha| {
-                s.spawn(move || {
-                    let mutual = MutualLearning {
-                        teacher: Box::new(move |data: &AssignedData, _rng: &mut StdRng| {
-                            let mut rng = StdRng::seed_from_u64(1001);
-                            Ok(build_fcnn(
-                                &FcnnConfig {
-                                    input: data.raw_features(),
-                                    hidden: 64,
-                                    classes: data.classes,
-                                },
-                                ModelVariant::ConventionalOnn,
-                                &mut rng,
-                            ))
-                        }),
-                        alpha,
-                        temperature: 1.0,
-                    };
-                    let accuracy = train_on_acc(
-                        assigned.clone(),
-                        student(),
-                        Some(mutual),
-                        setup,
-                        1100, // same data order as solo
-                    );
-                    AlphaPoint { alpha, accuracy }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("alpha point"))
-            .collect::<Vec<_>>()
-    });
+        crate::pool::parallel_map(alphas.to_vec(), move |alpha| {
+            let mutual = MutualLearning {
+                teacher: Box::new(move |data: &AssignedData, _rng: &mut StdRng| {
+                    let mut rng = StdRng::seed_from_u64(1001);
+                    Ok(build_fcnn(
+                        &FcnnConfig {
+                            input: data.raw_features(),
+                            hidden: 64,
+                            classes: data.classes,
+                        },
+                        ModelVariant::ConventionalOnn,
+                        &mut rng,
+                    ))
+                }),
+                alpha,
+                temperature: 1.0,
+            };
+            let accuracy = train_on_acc(
+                assigned.clone(), // Arc-backed: a reference bump per arm
+                student(),
+                Some(mutual),
+                setup,
+                1100, // same data order as solo
+            );
+            AlphaPoint { alpha, accuracy }
+        })
+    };
 
     AlphaReport {
         solo_accuracy,

@@ -224,39 +224,41 @@ fn run_model(model: &Fig7Model, scale: &Scale) -> Fig7Row {
 
     let train_widths = model.training_widths(hw * hw, classes);
     let setup = scale.setup;
-    let (acc_offt, acc_oplix) = std::thread::scope(|s| {
+    let (acc_offt, acc_oplix) = {
         let (pair, setup, widths) = (&pair, &setup, &train_widths);
-        let h_offt = s.spawn(move || {
-            let widths = widths.clone();
-            run_training_acc(
-                pair,
-                AssignStage::flat(AssignmentKind::Conventional),
-                Box::new(move |_data: &AssignedData, _rng: &mut StdRng| {
-                    let mut rng = StdRng::seed_from_u64(500);
-                    Ok(OfftMlp::new(&widths, OFFT_BLOCK, &mut rng).net)
-                }),
-                None,
-                setup,
-                600,
-            )
-        });
-        let h_oplix = s.spawn(move || {
-            let widths = widths.clone();
-            run_training_acc(
-                pair,
-                // build_oplix_mlp halves the input and interior widths,
-                // matching the spatially-interlaced view (hw²/2 features).
-                AssignStage::flat(AssignmentKind::SpatialInterlace),
-                Box::new(move |_data: &AssignedData, _rng: &mut StdRng| {
-                    Ok(build_oplix_mlp(&widths, 501))
-                }),
-                None,
-                setup,
-                601,
-            )
-        });
-        (h_offt.join().expect("offt"), h_oplix.join().expect("oplix"))
-    });
+        let accs = crate::pool::run_scoped(vec![
+            Box::new(move || {
+                let widths = widths.clone();
+                run_training_acc(
+                    pair,
+                    AssignStage::flat(AssignmentKind::Conventional),
+                    Box::new(move |_data: &AssignedData, _rng: &mut StdRng| {
+                        let mut rng = StdRng::seed_from_u64(500);
+                        Ok(OfftMlp::new(&widths, OFFT_BLOCK, &mut rng).net)
+                    }),
+                    None,
+                    setup,
+                    600,
+                )
+            }) as Box<dyn FnOnce() -> f64 + Send + '_>,
+            Box::new(move || {
+                let widths = widths.clone();
+                run_training_acc(
+                    pair,
+                    // build_oplix_mlp halves the input and interior widths,
+                    // matching the spatially-interlaced view (hw²/2 features).
+                    AssignStage::flat(AssignmentKind::SpatialInterlace),
+                    Box::new(move |_data: &AssignedData, _rng: &mut StdRng| {
+                        Ok(build_oplix_mlp(&widths, 501))
+                    }),
+                    None,
+                    setup,
+                    601,
+                )
+            }),
+        ]);
+        (accs[0], accs[1])
+    };
 
     Fig7Row {
         model: model.name,

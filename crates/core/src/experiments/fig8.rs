@@ -362,22 +362,17 @@ fn run_entry(model: Fig8Model, assignment: AssignmentKind, scale: &Scale) -> Fig
 }
 
 /// Runs the full Fig. 8 experiment.
+///
+/// The whole (model, assignment) grid goes through the shared worker pool
+/// as one flat task list, so concurrency is bounded by
+/// [`crate::pool::jobs`] for the entire figure rather than exploding per
+/// model group.
 pub fn run(scale: &Scale) -> Fig8Report {
-    let mut entries = Vec::new();
-    for model in Fig8Model::all() {
-        let assignments = model.assignments();
-        let got = std::thread::scope(|s| {
-            let handles: Vec<_> = assignments
-                .iter()
-                .map(|&a| s.spawn(move || run_entry(model, a, scale)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("fig8 entry"))
-                .collect::<Vec<_>>()
-        });
-        entries.extend(got);
-    }
+    let grid: Vec<(Fig8Model, AssignmentKind)> = Fig8Model::all()
+        .into_iter()
+        .flat_map(|model| model.assignments().into_iter().map(move |a| (model, a)))
+        .collect();
+    let entries = crate::pool::parallel_map(grid, |(model, a)| run_entry(model, a, scale));
     Fig8Report { entries }
 }
 

@@ -229,27 +229,23 @@ fn run_entry(model: Fig9Model, decoder: DecoderKind, scale: &Scale) -> Fig9Entry
     }
 }
 
-/// Runs one model across all four decoders (in parallel).
+/// Runs one model across all four decoders (through the shared pool).
 pub fn run_model(model: Fig9Model, scale: &Scale) -> Fig9Report {
-    let entries = std::thread::scope(|s| {
-        let handles: Vec<_> = DecoderKind::all()
-            .into_iter()
-            .map(|d| s.spawn(move || run_entry(model, d, scale)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("fig9 entry"))
-            .collect::<Vec<_>>()
-    });
+    let entries =
+        crate::pool::parallel_map(DecoderKind::all().to_vec(), |d| run_entry(model, d, scale));
     Fig9Report { entries }
 }
 
 /// Runs the full Fig. 9 experiment.
+///
+/// The (model, decoder) grid is one flat task list through the shared
+/// worker pool, bounded by [`crate::pool::jobs`].
 pub fn run(scale: &Scale) -> Fig9Report {
-    let mut entries = Vec::new();
-    for model in Fig9Model::all() {
-        entries.extend(run_model(model, scale).entries);
-    }
+    let grid: Vec<(Fig9Model, DecoderKind)> = Fig9Model::all()
+        .into_iter()
+        .flat_map(|model| DecoderKind::all().into_iter().map(move |d| (model, d)))
+        .collect();
+    let entries = crate::pool::parallel_map(grid, |(model, d)| run_entry(model, d, scale));
     Fig9Report { entries }
 }
 

@@ -244,27 +244,27 @@ fn run_model(model: Table2Model, scale: &Scale) -> Table2Row {
         Table2Model::Lenet5 => crate::experiments::Workload::Lenet,
         _ => crate::experiments::Workload::Resnet,
     });
-    let (acc_orig, acc_rvnn, acc_prop) = std::thread::scope(|s| {
+    // The clone of the shared conventional view is a reference bump (the
+    // dataset tensors are Arc-backed), not a copy.
+    let (acc_orig, acc_rvnn, acc_prop) = {
         let (factory, setup) = (&factory, &setup);
         let conv_for_orig = conv_data.clone();
-        let h_orig = s.spawn(move || {
-            let f = factory(ModelVariant::ConventionalOnn, 100);
-            train_on_acc(conv_for_orig, f, None, setup, 200)
-        });
-        let h_rvnn = s.spawn(move || {
-            let f = factory(ModelVariant::Rvnn, 101);
-            train_on_acc(conv_data, f, None, setup, 201)
-        });
-        let h_prop = s.spawn(move || {
-            let f = factory(ModelVariant::Split(DecoderKind::Merge), 102);
-            train_on_acc(split_data, f, None, setup, 202)
-        });
-        (
-            h_orig.join().expect("orig run"),
-            h_rvnn.join().expect("rvnn run"),
-            h_prop.join().expect("prop run"),
-        )
-    });
+        let accs = crate::pool::run_scoped(vec![
+            Box::new(move || {
+                let f = factory(ModelVariant::ConventionalOnn, 100);
+                train_on_acc(conv_for_orig, f, None, setup, 200)
+            }) as Box<dyn FnOnce() -> f64 + Send + '_>,
+            Box::new(move || {
+                let f = factory(ModelVariant::Rvnn, 101);
+                train_on_acc(conv_data, f, None, setup, 201)
+            }),
+            Box::new(move || {
+                let f = factory(ModelVariant::Split(DecoderKind::Merge), 102);
+                train_on_acc(split_data, f, None, setup, 202)
+            }),
+        ]);
+        (accs[0], accs[1], accs[2])
+    };
 
     let (orig_spec, prop_spec) = model.specs();
     Table2Row {

@@ -186,28 +186,28 @@ fn run_model(model: Table3Model, scale: &Scale) -> Table3Row {
             Ok(build_student(model, hw, 300)) // same init in both runs
         })
     };
-    let (acc_without, acc_with) = std::thread::scope(|s| {
+    let (acc_without, acc_with) = {
         let setup = &setup;
-        let solo_data = assigned.clone();
-        let h_solo = s.spawn(move || train_on_acc(solo_data, student_factory(), None, setup, 400));
-        let h_ml = s.spawn(move || {
-            let mutual = MutualLearning {
-                teacher: Box::new(move |_data: &AssignedData, _rng: &mut StdRng| {
-                    Ok(build_teacher(model, hw, 301))
-                }),
-                alpha: 1.0,
-                temperature: 1.0,
-            };
-            // A batch order of its own: the coupled updates are sensitive
-            // to the shuffle stream, and sharing the solo order buys
-            // nothing (the loss surfaces already differ).
-            train_on_acc(assigned, student_factory(), Some(mutual), setup, 401)
-        });
-        (
-            h_solo.join().expect("solo run"),
-            h_ml.join().expect("ml run"),
-        )
-    });
+        let solo_data = assigned.clone(); // Arc-backed: a reference bump
+        let accs = crate::pool::run_scoped(vec![
+            Box::new(move || train_on_acc(solo_data, student_factory(), None, setup, 400))
+                as Box<dyn FnOnce() -> f64 + Send + '_>,
+            Box::new(move || {
+                let mutual = MutualLearning {
+                    teacher: Box::new(move |_data: &AssignedData, _rng: &mut StdRng| {
+                        Ok(build_teacher(model, hw, 301))
+                    }),
+                    alpha: 1.0,
+                    temperature: 1.0,
+                };
+                // A batch order of its own: the coupled updates are
+                // sensitive to the shuffle stream, and sharing the solo
+                // order buys nothing (the loss surfaces already differ).
+                train_on_acc(assigned, student_factory(), Some(mutual), setup, 401)
+            }),
+        ]);
+        (accs[0], accs[1])
+    };
 
     Table3Row {
         model: model.name(),

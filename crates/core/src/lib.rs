@@ -18,8 +18,12 @@
 //!   `Assign → Train → Deploy → Evaluate` stages behind one [`stage::Stage`]
 //!   trait, swappable per workload;
 //! * [`engine`] — the batched [`engine::InferenceEngine`] over deployed
-//!   meshes: preallocated forward buffers, noise-injection sessions,
-//!   throughput counters;
+//!   meshes: worker-sharded batches, preallocated per-worker forward
+//!   buffers, streaming evaluation, noise-injection sessions, throughput
+//!   counters;
+//! * [`pool`] — the shared bounded worker pool (the `--jobs` /
+//!   `OPLIX_JOBS` knob) that every experiment grid and sharded batch
+//!   draws its concurrency from;
 //! * [`error`] — the workspace-wide typed [`error::Error`]; no public API
 //!   path panics on recoverable conditions;
 //! * [`pipeline`] — [`pipeline::OplixNetBuilder`], the one-call FCNN
@@ -29,7 +33,9 @@
 //! * [`zoo`] — training-scale FCNN / LeNet-5 / ResNet builders in every
 //!   network family (RVNN / conventional ONN / split with any decoder);
 //! * [`deploy`] — SVD phase mapping of trained networks (and
-//!   decoder-bearing heads) onto the field-level photonic simulator;
+//!   decoder-bearing heads) onto the field-level photonic simulator, with
+//!   a process-wide decomposition cache so repeated deployments of one
+//!   architecture skip the SVD;
 //! * [`experiments`] — runners regenerating Table II, Table III and
 //!   Figs. 7–9, plus the A1–A3 ablations, all built on the stage API.
 //!
@@ -97,16 +103,21 @@
 //! assert!(eval.hardware_gap() < 0.2);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod deploy;
 pub mod engine;
 pub mod error;
 pub mod experiments;
 pub mod pipeline;
+pub mod pool;
 pub mod spec;
 pub mod stage;
 pub mod zoo;
 
-pub use deploy::{DeployedDetection, DeployedFcnn};
+pub use deploy::{
+    clear_deploy_cache, deploy_cache_stats, DeployCacheStats, DeployedDetection, DeployedFcnn,
+};
 pub use engine::{EngineStats, InferenceEngine};
 pub use error::Error;
 pub use pipeline::{OplixNetBuilder, OplixNetOutcome, OplixNetPipeline, OutcomeSummary};

@@ -1,0 +1,215 @@
+//! The workspace-wide bounded worker pool.
+//!
+//! Every parallel grid in the experiment runners — and the sharded batch
+//! path of [`crate::engine::InferenceEngine`] — draws its concurrency from
+//! one shared budget, the *jobs* knob, instead of each call site spawning
+//! an unbounded `std::thread::scope` of its own. This is what keeps a
+//! `paper_tables`-style run (six runners, each fanning out per
+//! model/variant) from oversubscribing the machine.
+//!
+//! The knob resolves in priority order:
+//!
+//! 1. [`set_jobs`] — an explicit programmatic override (e.g. a `--jobs`
+//!    CLI flag, as in the `paper_tables` example);
+//! 2. the `OPLIX_JOBS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Work is executed by [`run_scoped`] (a list of boxed closures) or
+//! [`parallel_map`] (a function over items): at most [`jobs`] worker
+//! threads run at once, tasks are pulled from a shared queue, and results
+//! come back **in task order** regardless of completion order, so callers
+//! stay deterministic.
+//!
+//! ```
+//! use oplixnet::pool;
+//!
+//! let squares = pool::parallel_map(vec![1u64, 2, 3, 4], |x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// The programmatic override; 0 means "unset, fall back to the
+/// environment / hardware".
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Worker threads currently alive across every [`run_scoped`] call in the
+/// process. Nested calls (an engine sharding inside a grid arm) reserve
+/// from the same budget, so total threads stay ≈ [`jobs`] instead of
+/// multiplying per nesting level.
+static ACTIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// A granted share of the global worker budget; returns it on drop (also
+/// on unwind, so a panicking task cannot leak budget).
+struct Reservation(usize);
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        if self.0 > 0 {
+            ACTIVE_WORKERS.fetch_sub(self.0, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Reserves up to `wanted` workers from whatever the budget has left.
+fn reserve_workers(wanted: usize) -> Reservation {
+    let budget = jobs();
+    let mut granted = 0;
+    let _ = ACTIVE_WORKERS.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |active| {
+        granted = budget.saturating_sub(active).min(wanted);
+        Some(active + granted)
+    });
+    Reservation(granted)
+}
+
+/// Overrides the worker budget for the whole process (clamped to ≥ 1).
+/// Call this from a `--jobs` CLI flag before running experiment grids.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n.max(1), Ordering::SeqCst);
+}
+
+/// The current worker budget: [`set_jobs`] if called, else the
+/// `OPLIX_JOBS` environment variable, else the machine's available
+/// parallelism (and 1 if even that is unknown).
+pub fn jobs() -> usize {
+    let j = JOBS.load(Ordering::SeqCst);
+    if j > 0 {
+        return j;
+    }
+    if let Some(n) = std::env::var("OPLIX_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs a list of tasks with at most [`jobs`] worker threads *process
+/// wide*, returning their results in task order.
+///
+/// Tasks may borrow from the caller's stack (the pool is
+/// `std::thread::scope`-based). With a single-job budget — or a single
+/// task — everything runs inline on the caller's thread, so a `--jobs 1`
+/// run is exactly the sequential program. Nested calls share one global
+/// budget: workers already alive (e.g. grid arms that internally shard an
+/// engine batch) count against it, and a call that finds the budget
+/// exhausted runs its tasks inline instead of stacking `jobs²` threads.
+///
+/// # Panics
+///
+/// Propagates the panic of any task (like the `join().expect` of the
+/// hand-rolled scopes this replaces).
+pub fn run_scoped<'env, T: Send + 'env>(
+    tasks: Vec<Box<dyn FnOnce() -> T + Send + 'env>>,
+) -> Vec<T> {
+    let n = tasks.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let reservation = reserve_workers(jobs().min(n));
+    let workers = reservation.0;
+    if workers <= 1 {
+        // Inline on the caller's thread: no threads spawned, so hand any
+        // granted budget straight back.
+        drop(reservation);
+        return tasks.into_iter().map(|t| t()).collect();
+    }
+    // A LIFO stack of (slot, task): completion order is irrelevant because
+    // every task writes its own result slot.
+    let queue: Mutex<Vec<(usize, Box<dyn FnOnce() -> T + Send + 'env>)>> =
+        Mutex::new(tasks.into_iter().enumerate().collect());
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let item = queue.lock().expect("pool queue").pop();
+                match item {
+                    Some((slot, task)) => {
+                        let out = task();
+                        *results[slot].lock().expect("pool result slot") = Some(out);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("pool result slot")
+                .expect("every task ran")
+        })
+        .collect()
+}
+
+/// Applies `f` to every item with at most [`jobs`] worker threads,
+/// returning results in item order.
+///
+/// ```
+/// use oplixnet::pool;
+///
+/// let lens = pool::parallel_map(vec!["a", "bb", "ccc"], |s| s.len());
+/// assert_eq!(lens, vec![1, 2, 3]);
+/// ```
+pub fn parallel_map<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let f = &f;
+    run_scoped(
+        items
+            .into_iter()
+            .map(|item| Box::new(move || f(item)) as Box<dyn FnOnce() -> T + Send + '_>)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        // Tasks finish out of order (larger inputs sleep longer backwards),
+        // results must not.
+        let out = parallel_map((0..32u64).collect(), |i| {
+            std::thread::sleep(std::time::Duration::from_micros((32 - i) * 50));
+            i * 10
+        });
+        assert_eq!(out, (0..32u64).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tasks_can_borrow_caller_state() {
+        let counter = AtomicU64::new(0);
+        let tasks: Vec<Box<dyn FnOnce() -> u64 + Send + '_>> = (0..8)
+            .map(|_| {
+                Box::new(|| counter.fetch_add(1, Ordering::SeqCst))
+                    as Box<dyn FnOnce() -> u64 + Send + '_>
+            })
+            .collect();
+        let mut got = run_scoped(tasks);
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn empty_task_list_is_fine() {
+        let out: Vec<u8> = run_scoped(Vec::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn jobs_is_at_least_one() {
+        assert!(jobs() >= 1);
+    }
+}

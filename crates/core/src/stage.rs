@@ -35,6 +35,29 @@ use crate::experiments::TrainSetup;
 
 /// One typed pipeline stage: consumes its input artifact, produces the
 /// next one, or fails with a typed [`Error`].
+///
+/// Implement it to slot custom behaviour into a [`Pipeline`] — any type
+/// with the right input/output artifacts works, including closures
+/// wrapped in a unit struct:
+///
+/// ```
+/// use oplixnet::stage::{Stage, StageExt};
+/// use oplixnet::error::Error;
+///
+/// /// Doubles its input; any `Input -> Output` pair is a valid stage.
+/// struct Doubler;
+///
+/// impl Stage for Doubler {
+///     type Input = u32;
+///     type Output = u32;
+///     fn name(&self) -> &'static str { "doubler" }
+///     fn run(&self, x: u32) -> Result<u32, Error> { Ok(2 * x) }
+/// }
+///
+/// // `then` chains compatible stages into one.
+/// let quadrupler = Doubler.then(Doubler);
+/// assert_eq!(quadrupler.run(3).unwrap(), 12);
+/// ```
 pub trait Stage {
     /// The artifact this stage consumes.
     type Input;
@@ -445,21 +468,35 @@ pub struct DeployStage {
     pub detection: DeployedDetection,
     /// Mesh decomposition layout.
     pub mesh_style: MeshStyle,
+    /// Worker count of the produced engine: batched queries (including
+    /// the downstream [`EvaluateStage`] windows) shard across this many
+    /// worker slots. `1` is sequential; `0` resolves to the shared
+    /// [`crate::pool::jobs`] budget.
+    pub num_workers: usize,
 }
 
 impl DeployStage {
-    /// A deploy stage with the given detection and the default Clements
-    /// layout.
+    /// A deploy stage with the given detection, the default Clements
+    /// layout, and a sequential (one-worker) engine.
     pub fn new(detection: DeployedDetection) -> Self {
         DeployStage {
             detection,
             mesh_style: MeshStyle::Clements,
+            num_workers: 1,
         }
     }
 
     /// Overrides the mesh layout.
     pub fn mesh_style(mut self, style: MeshStyle) -> Self {
         self.mesh_style = style;
+        self
+    }
+
+    /// Shards the produced engine's batched queries across `n` workers
+    /// (see [`InferenceEngine::with_num_workers`]; `0` = shared pool
+    /// budget).
+    pub fn with_num_workers(mut self, n: usize) -> Self {
+        self.num_workers = n;
         self
     }
 }
@@ -474,7 +511,8 @@ impl Stage for DeployStage {
 
     fn run(&self, input: TrainedModel) -> Result<DeployedModel, Error> {
         let engine =
-            InferenceEngine::from_network(&input.network, self.detection, self.mesh_style)?;
+            InferenceEngine::from_network(&input.network, self.detection, self.mesh_style)?
+                .with_num_workers(self.num_workers);
         Ok(DeployedModel {
             network: input.network,
             engine,
@@ -488,10 +526,45 @@ impl Stage for DeployStage {
 // Evaluate
 // ---------------------------------------------------------------------------
 
-/// Verifies the deployed hardware against the held-out test view through
-/// the engine's batched path.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct EvaluateStage;
+/// Verifies the deployed hardware against the held-out test view by
+/// *streaming* it through the engine's batched path in bounded windows
+/// ([`InferenceEngine::accuracy_streaming`]), so evaluation memory is
+/// proportional to the window, not the test set — the serving posture for
+/// production-sized datasets. Each window shards across the engine's
+/// worker slots when the upstream [`DeployStage::with_num_workers`]
+/// configured more than one (the default engine is sequential).
+///
+/// Engine failures are re-surfaced with the offending window: a poisoned
+/// test sample reports its absolute index *and* which evaluation window it
+/// fell in, and a geometry mismatch names the expected/actual widths,
+/// instead of the bare error variant.
+#[derive(Clone, Copy, Debug)]
+pub struct EvaluateStage {
+    /// Upper bound on test samples in flight per evaluation window.
+    pub batch_size: usize,
+}
+
+impl Default for EvaluateStage {
+    /// A 256-sample window: big enough to amortise engine dispatch (and,
+    /// when the upstream [`DeployStage::with_num_workers`] configured a
+    /// sharded engine, to split across its workers), small enough to keep
+    /// evaluation memory flat.
+    fn default() -> Self {
+        EvaluateStage { batch_size: 256 }
+    }
+}
+
+impl EvaluateStage {
+    /// An evaluate stage with a custom window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn with_batch_size(batch_size: usize) -> Self {
+        assert!(batch_size > 0, "evaluation window must be positive");
+        EvaluateStage { batch_size }
+    }
+}
 
 impl Stage for EvaluateStage {
     type Input = DeployedModel;
@@ -502,13 +575,39 @@ impl Stage for EvaluateStage {
     }
 
     fn run(&self, input: DeployedModel) -> Result<Evaluation, Error> {
+        // The field is public (struct-literal construction is allowed), so
+        // a zero window must stay a typed error, not reach the engine's
+        // assert.
+        if self.batch_size == 0 {
+            return Err(Error::Stage {
+                stage: "evaluate",
+                message: "evaluation window (batch_size) must be positive".to_string(),
+            });
+        }
         let DeployedModel {
             network,
             mut engine,
             software_accuracy,
             data,
         } = input;
-        let hardware_accuracy = engine.accuracy(&data.test)?;
+        let hardware_accuracy = engine
+            .accuracy_streaming(&data.test, self.batch_size)
+            .map_err(|e| match e {
+                Error::NonFiniteLogits { sample } => Error::Stage {
+                    stage: "evaluate",
+                    message: format!(
+                        "test sample {sample} (evaluation window {} at batch size {}) \
+                         produced non-finite logits on the deployed hardware",
+                        sample / self.batch_size,
+                        self.batch_size
+                    ),
+                },
+                Error::ShapeMismatch { .. } | Error::EmptyInput { .. } => Error::Stage {
+                    stage: "evaluate",
+                    message: format!("test view rejected by the deployed mesh: {e}"),
+                },
+                other => other,
+            })?;
         Ok(Evaluation {
             network,
             engine,
@@ -527,6 +626,37 @@ impl Stage for EvaluateStage {
 /// Any stage can be replaced by a custom implementation with the same
 /// artifact types — a conv-body trainer, an OFFT baseline stage, a
 /// different verifier — without touching the other three.
+///
+/// ```
+/// use oplixnet::stage::{AssignStage, AssignedData, DatasetPair, DeployStage, Pipeline, TrainStage};
+/// use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+/// use oplixnet::experiments::TrainSetup;
+/// use oplix_datasets::assign::AssignmentKind;
+/// use oplix_datasets::synth::{digits, SynthConfig};
+/// use oplix_photonics::decoder::DecoderKind;
+/// use rand::rngs::StdRng;
+///
+/// let cfg = SynthConfig { height: 8, width: 8, samples: 60, ..Default::default() };
+/// let pair = DatasetPair::new(digits(&cfg), digits(&SynthConfig { seed: 1, ..cfg }));
+/// let variant = ModelVariant::Split(DecoderKind::Merge);
+/// let pipeline = Pipeline::standard(
+///     AssignStage::flat(AssignmentKind::SpatialInterlace),
+///     TrainStage::new(
+///         Box::new(move |data: &AssignedData, rng: &mut StdRng| {
+///             Ok(build_fcnn(
+///                 &FcnnConfig { input: data.assigned_features(), hidden: 8, classes: data.classes },
+///                 variant,
+///                 rng,
+///             ))
+///         }),
+///         TrainSetup { epochs: 2, batch: 20, lr: 0.05, momentum: 0.9, weight_decay: 1e-4 },
+///         42,
+///     ),
+///     DeployStage::new(variant.detection()),
+/// );
+/// let eval = pipeline.run(pair).expect("geometry is valid and FCNNs deploy");
+/// assert!(eval.hardware_gap() < 0.2);
+/// ```
 pub struct Pipeline {
     /// Dataset → complex views.
     pub assign: Box<dyn Stage<Input = DatasetPair, Output = AssignedData>>,
@@ -545,7 +675,7 @@ impl Pipeline {
             assign: Box::new(assign),
             train: Box::new(train),
             deploy: Box::new(deploy),
-            evaluate: Box::new(EvaluateStage),
+            evaluate: Box::new(EvaluateStage::default()),
         }
     }
 
@@ -693,6 +823,121 @@ mod tests {
             eval.software_accuracy
         );
         assert!(eval.hardware_gap() < 0.05, "gap {}", eval.hardware_gap());
+    }
+
+    #[test]
+    fn evaluate_stage_reports_window_of_poisoned_sample() {
+        use crate::deploy::DeployedDetection;
+        use crate::engine::InferenceEngine;
+        use oplix_nn::ctensor::CTensor;
+        use oplix_nn::head::MergeHead;
+        use oplix_nn::layers::{CDense, CSequential};
+        use oplix_nn::tensor::Tensor;
+        use oplix_nn::trainer::CDataset;
+        use oplix_photonics::svd_map::MeshStyle;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        // Single-stage deployment: the input feeds detection directly, so
+        // a poisoned field reaches the logits (deeper pipelines sanitise
+        // at the electro-optic ReLU).
+        let mut rng = StdRng::seed_from_u64(77);
+        let body = CSequential::new().push(CDense::new(4, 6, &mut rng));
+        let net = Network::new(body, Box::new(MergeHead::new()));
+        let engine = InferenceEngine::from_network(
+            &net,
+            DeployedDetection::Differential,
+            MeshStyle::Clements,
+        )
+        .expect("deploys");
+
+        let mut inputs = CTensor::from_re(Tensor::random_uniform(&[8, 4], 1.0, &mut rng));
+        inputs.re.as_mut_slice()[5 * 4] = f32::INFINITY; // poison sample 5
+        let view = CDataset::new(inputs, vec![0; 8]);
+        let data = AssignedData {
+            train: view.clone(),
+            test: view,
+            teacher_train: None,
+            classes: 3,
+            raw_shape: (1, 2, 4),
+            assigned_shape: (1, 1, 4),
+        };
+        let deployed = DeployedModel {
+            network: net,
+            engine,
+            software_accuracy: 0.5,
+            data,
+        };
+        // Window size 2: sample 5 falls in evaluation window 2.
+        let err = EvaluateStage::with_batch_size(2)
+            .run(deployed)
+            .expect_err("poisoned sample must fail evaluation");
+        match err {
+            Error::Stage {
+                stage: "evaluate",
+                message,
+            } => {
+                assert!(message.contains("sample 5"), "{message}");
+                assert!(message.contains("window 2"), "{message}");
+            }
+            other => panic!("expected contextual stage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn evaluate_stage_rejects_zero_window_as_typed_error() {
+        use crate::deploy::DeployedDetection;
+        use crate::engine::InferenceEngine;
+        use oplix_nn::ctensor::CTensor;
+        use oplix_nn::head::MergeHead;
+        use oplix_nn::layers::{CDense, CSequential};
+        use oplix_nn::tensor::Tensor;
+        use oplix_nn::trainer::CDataset;
+        use oplix_photonics::svd_map::MeshStyle;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(79);
+        let body = CSequential::new().push(CDense::new(4, 6, &mut rng));
+        let net = Network::new(body, Box::new(MergeHead::new()));
+        let engine = InferenceEngine::from_network(
+            &net,
+            DeployedDetection::Differential,
+            MeshStyle::Clements,
+        )
+        .expect("deploys");
+        let view = CDataset::new(
+            CTensor::from_re(Tensor::random_uniform(&[4, 4], 1.0, &mut rng)),
+            vec![0; 4],
+        );
+        let deployed = DeployedModel {
+            network: net,
+            engine,
+            software_accuracy: 0.5,
+            data: AssignedData {
+                train: view.clone(),
+                test: view,
+                teacher_train: None,
+                classes: 3,
+                raw_shape: (1, 2, 4),
+                assigned_shape: (1, 1, 4),
+            },
+        };
+        // The field is public, so a zero window is constructible; it must
+        // come back as a typed error, not an engine panic.
+        let err = EvaluateStage { batch_size: 0 }
+            .run(deployed)
+            .expect_err("zero window must be rejected");
+        assert!(
+            matches!(
+                err,
+                Error::Stage {
+                    stage: "evaluate",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -107,6 +107,21 @@ impl AssignmentKind {
     ///
     /// Returns [`AssignError`] if the scheme's constraints are violated
     /// (odd height for spatial schemes, `C != 3` for channel remapping).
+    ///
+    /// ```
+    /// use oplix_datasets::assign::{AssignError, AssignmentKind};
+    ///
+    /// // Interlace halves the height...
+    /// assert_eq!(
+    ///     AssignmentKind::SpatialInterlace.try_output_shape(1, 28, 28),
+    ///     Ok((1, 14, 28)),
+    /// );
+    /// // ...so an odd height is a typed error, not a panic.
+    /// assert_eq!(
+    ///     AssignmentKind::SpatialInterlace.try_output_shape(1, 7, 28),
+    ///     Err(AssignError::OddHeight { height: 7 }),
+    /// );
+    /// ```
     pub fn try_output_shape(
         &self,
         c: usize,
@@ -160,6 +175,21 @@ impl AssignmentKind {
     ///
     /// Returns [`AssignError`] if the input is not rank 4 or violates
     /// scheme constraints.
+    ///
+    /// ```
+    /// use oplix_datasets::assign::AssignmentKind;
+    /// use oplix_nn::tensor::Tensor;
+    ///
+    /// // Two adjacent rows pack into one complex row.
+    /// let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+    /// let z = AssignmentKind::SpatialInterlace.try_apply(&x).unwrap();
+    /// assert_eq!(z.shape(), &[1, 1, 1, 2]);
+    /// assert_eq!(z.re.at4(0, 0, 0, 0), 1.0);
+    /// assert_eq!(z.im.at4(0, 0, 0, 0), 3.0);
+    ///
+    /// // Wrong rank is a typed error.
+    /// assert!(AssignmentKind::SpatialInterlace.try_apply(&Tensor::zeros(&[4, 4])).is_err());
+    /// ```
     pub fn try_apply(&self, x: &Tensor) -> Result<CTensor, AssignError> {
         if x.shape().len() != 4 {
             return Err(AssignError::BadRank {
@@ -176,49 +206,53 @@ impl AssignmentKind {
                 re = x.clone();
             }
             AssignmentKind::SpatialInterlace => {
+                let (mut re_w, mut im_w) = (re.writer4(), im.writer4());
                 for b in 0..n {
                     for ch in 0..c {
                         for y in 0..oh {
                             for xx in 0..w {
-                                *re.at4_mut(b, ch, y, xx) = x.at4(b, ch, 2 * y, xx);
-                                *im.at4_mut(b, ch, y, xx) = x.at4(b, ch, 2 * y + 1, xx);
+                                *re_w.at4_mut(b, ch, y, xx) = x.at4(b, ch, 2 * y, xx);
+                                *im_w.at4_mut(b, ch, y, xx) = x.at4(b, ch, 2 * y + 1, xx);
                             }
                         }
                     }
                 }
             }
             AssignmentKind::SpatialHalfHalf => {
+                let (mut re_w, mut im_w) = (re.writer4(), im.writer4());
                 for b in 0..n {
                     for ch in 0..c {
                         for y in 0..oh {
                             for xx in 0..w {
-                                *re.at4_mut(b, ch, y, xx) = x.at4(b, ch, y, xx);
-                                *im.at4_mut(b, ch, y, xx) = x.at4(b, ch, y + oh, xx);
+                                *re_w.at4_mut(b, ch, y, xx) = x.at4(b, ch, y, xx);
+                                *im_w.at4_mut(b, ch, y, xx) = x.at4(b, ch, y + oh, xx);
                             }
                         }
                     }
                 }
             }
             AssignmentKind::SpatialSymmetric => {
+                let (mut re_w, mut im_w) = (re.writer4(), im.writer4());
                 for b in 0..n {
                     for ch in 0..c {
                         for y in 0..oh {
                             for xx in 0..w {
-                                *re.at4_mut(b, ch, y, xx) = x.at4(b, ch, y, xx);
-                                *im.at4_mut(b, ch, y, xx) = x.at4(b, ch, h - 1 - y, w - 1 - xx);
+                                *re_w.at4_mut(b, ch, y, xx) = x.at4(b, ch, y, xx);
+                                *im_w.at4_mut(b, ch, y, xx) = x.at4(b, ch, h - 1 - y, w - 1 - xx);
                             }
                         }
                     }
                 }
             }
             AssignmentKind::ChannelLossless => {
+                let (mut re_w, mut im_w) = (re.writer4(), im.writer4());
                 for b in 0..n {
                     for oc_i in 0..oc {
                         for y in 0..h {
                             for xx in 0..w {
-                                *re.at4_mut(b, oc_i, y, xx) = x.at4(b, 2 * oc_i, y, xx);
+                                *re_w.at4_mut(b, oc_i, y, xx) = x.at4(b, 2 * oc_i, y, xx);
                                 if 2 * oc_i + 1 < c {
-                                    *im.at4_mut(b, oc_i, y, xx) = x.at4(b, 2 * oc_i + 1, y, xx);
+                                    *im_w.at4_mut(b, oc_i, y, xx) = x.at4(b, 2 * oc_i + 1, y, xx);
                                 }
                                 // Odd trailing channel: imaginary part stays
                                 // zero-padded (Fig. 5a).
@@ -232,14 +266,15 @@ impl AssignmentKind {
                 // c1 = (r + g)/2, c2 = (g + b)/2. The blue-vs-red contrast
                 // is partially lost — this is the scheme's documented
                 // weakness (5.83 %–13.12 % accuracy drop in the paper).
+                let (mut re_w, mut im_w) = (re.writer4(), im.writer4());
                 for b in 0..n {
                     for y in 0..h {
                         for xx in 0..w {
                             let r = x.at4(b, 0, y, xx);
                             let g = x.at4(b, 1, y, xx);
                             let bl = x.at4(b, 2, y, xx);
-                            *re.at4_mut(b, 0, y, xx) = 0.5 * (r + g);
-                            *im.at4_mut(b, 0, y, xx) = 0.5 * (g + bl);
+                            *re_w.at4_mut(b, 0, y, xx) = 0.5 * (r + g);
+                            *im_w.at4_mut(b, 0, y, xx) = 0.5 * (g + bl);
                         }
                     }
                 }
@@ -265,6 +300,17 @@ impl AssignmentKind {
     ///
     /// Returns [`AssignError`] if the assignment cannot be applied to the
     /// dataset geometry.
+    ///
+    /// ```
+    /// use oplix_datasets::assign::AssignmentKind;
+    /// use oplix_datasets::synth::{colors, SynthConfig};
+    ///
+    /// let data = colors(&SynthConfig { samples: 4, ..Default::default() });
+    /// let view = AssignmentKind::ChannelLossless.try_apply_dataset(&data).unwrap();
+    /// // 3 RGB channels pack into 2 complex channels; images stay 16x16.
+    /// assert_eq!(view.inputs.shape(), &[4, 2, 16, 16]);
+    /// assert_eq!(view.labels, data.labels);
+    /// ```
     pub fn try_apply_dataset(&self, data: &RealDataset) -> Result<CDataset, AssignError> {
         Ok(CDataset::new(
             self.try_apply(&data.inputs)?,
@@ -291,6 +337,21 @@ impl AssignmentKind {
     ///
     /// Returns [`AssignError`] if the assignment cannot be applied to the
     /// dataset geometry.
+    ///
+    /// ```
+    /// use oplix_datasets::assign::AssignmentKind;
+    /// use oplix_datasets::synth::{digits, SynthConfig};
+    ///
+    /// let data = digits(&SynthConfig { samples: 6, ..Default::default() });
+    /// // 16x16 images interlace to 128 complex features per sample.
+    /// let view = AssignmentKind::SpatialInterlace.try_apply_dataset_flat(&data).unwrap();
+    /// assert_eq!(view.inputs.shape(), &[6, 128]);
+    ///
+    /// // A 3-channel view cannot channel-remap unless it is RGB... this one is,
+    /// // so the error path needs a greyscale set:
+    /// let grey = digits(&SynthConfig { samples: 2, ..Default::default() });
+    /// assert!(AssignmentKind::ChannelRemapping.try_apply_dataset_flat(&grey).is_err());
+    /// ```
     pub fn try_apply_dataset_flat(&self, data: &RealDataset) -> Result<CDataset, AssignError> {
         let c = self.try_apply(&data.inputs)?;
         let n = c.shape()[0];

@@ -116,6 +116,14 @@ impl CTensor {
             im: self.im.reshape(shape),
         }
     }
+
+    /// Whether both parts share storage with `other` (i.e. one is an
+    /// un-mutated clone of the other). Clones of complex views are
+    /// reference bumps until a mutation detaches them — see
+    /// [`Tensor::shares_storage`].
+    pub fn shares_storage(&self, other: &CTensor) -> bool {
+        self.re.shares_storage(&other.re) && self.im.shares_storage(&other.im)
+    }
 }
 
 #[cfg(test)]

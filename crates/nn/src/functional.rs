@@ -223,6 +223,7 @@ pub fn avg_pool2d_forward(x: &Tensor, k: usize) -> Tensor {
     let (ho, wo) = (h / k, w / k);
     let mut y = Tensor::zeros(&[n, c, ho, wo]);
     let inv = 1.0 / (k * k) as f32;
+    let mut y_w = y.writer4();
     for b in 0..n {
         for ch in 0..c {
             for oy in 0..ho {
@@ -233,7 +234,7 @@ pub fn avg_pool2d_forward(x: &Tensor, k: usize) -> Tensor {
                             acc += x.at4(b, ch, oy * k + dy, ox * k + dx);
                         }
                     }
-                    *y.at4_mut(b, ch, oy, ox) = acc * inv;
+                    *y_w.at4_mut(b, ch, oy, ox) = acc * inv;
                 }
             }
         }
@@ -247,6 +248,7 @@ pub fn avg_pool2d_backward(dy: &Tensor, x_shape: &[usize], k: usize) -> Tensor {
     let (ho, wo) = (dy.shape()[2], dy.shape()[3]);
     let mut dx = Tensor::zeros(x_shape);
     let inv = 1.0 / (k * k) as f32;
+    let mut dx_w = dx.writer4();
     for b in 0..n {
         for ch in 0..c {
             for oy in 0..ho {
@@ -254,7 +256,7 @@ pub fn avg_pool2d_backward(dy: &Tensor, x_shape: &[usize], k: usize) -> Tensor {
                     let g = dy.at4(b, ch, oy, ox) * inv;
                     for ddy in 0..k {
                         for ddx in 0..k {
-                            *dx.at4_mut(b, ch, oy * k + ddy, ox * k + ddx) += g;
+                            *dx_w.at4_mut(b, ch, oy * k + ddy, ox * k + ddx) += g;
                         }
                     }
                 }
@@ -273,13 +275,14 @@ pub fn softmax(logits: &Tensor) -> Tensor {
     assert_eq!(logits.shape().len(), 2, "softmax expects [batch, classes]");
     let (b, k) = (logits.shape()[0], logits.shape()[1]);
     let mut out = Tensor::zeros(&[b, k]);
+    let out_s = out.as_mut_slice();
     for i in 0..b {
         let row = &logits.as_slice()[i * k..(i + 1) * k];
         let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = row.iter().map(|&v| (v - m).exp()).collect();
         let s: f32 = exps.iter().sum();
         for j in 0..k {
-            out.as_mut_slice()[i * k + j] = exps[j] / s;
+            out_s[i * k + j] = exps[j] / s;
         }
     }
     out

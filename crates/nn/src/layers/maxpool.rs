@@ -54,6 +54,8 @@ impl CLayer for CMaxPool2d {
         let mut im = Tensor::zeros(&[n, c, ho, wo]);
         let mut argmax = vec![0usize; n * c * ho * wo];
 
+        // Detach the output storage once, not per element write.
+        let (re_s, im_s) = (re.as_mut_slice(), im.as_mut_slice());
         for b in 0..n {
             for ch in 0..c {
                 for oy in 0..ho {
@@ -72,8 +74,8 @@ impl CLayer for CMaxPool2d {
                             }
                         }
                         let out_idx = ((b * c + ch) * ho + oy) * wo + ox;
-                        re.as_mut_slice()[out_idx] = x.re.as_slice()[best_idx];
-                        im.as_mut_slice()[out_idx] = x.im.as_slice()[best_idx];
+                        re_s[out_idx] = x.re.as_slice()[best_idx];
+                        im_s[out_idx] = x.im.as_slice()[best_idx];
                         argmax[out_idx] = best_idx;
                     }
                 }
@@ -97,9 +99,10 @@ impl CLayer for CMaxPool2d {
             .expect("backward called before forward(train=true)");
         let mut dre = Tensor::zeros(&shape);
         let mut dim = Tensor::zeros(&shape);
+        let (dre_s, dim_s) = (dre.as_mut_slice(), dim.as_mut_slice());
         for (out_idx, &in_idx) in argmax.iter().enumerate() {
-            dre.as_mut_slice()[in_idx] += dy.re.as_slice()[out_idx];
-            dim.as_mut_slice()[in_idx] += dy.im.as_slice()[out_idx];
+            dre_s[in_idx] += dy.re.as_slice()[out_idx];
+            dim_s[in_idx] += dy.im.as_slice()[out_idx];
         }
         CTensor::new(dre, dim)
     }

@@ -39,7 +39,12 @@ impl CModRelu {
     }
 
     fn feature_of(&self, shape: &[usize], flat_idx: usize) -> usize {
-        let nf = self.bias.value.numel();
+        Self::feature_index(self.bias.value.numel(), shape, flat_idx)
+    }
+
+    /// Borrow-free form of [`CModRelu::feature_of`], usable while the
+    /// bias tensors are split-borrowed in the backward loop.
+    fn feature_index(nf: usize, shape: &[usize], flat_idx: usize) -> usize {
         if nf == 1 {
             return 0;
         }
@@ -63,6 +68,7 @@ impl CLayer for CModRelu {
         let shape = x.shape().to_vec();
         let mut re = Tensor::zeros(&shape);
         let mut im = Tensor::zeros(&shape);
+        let (re_s, im_s) = (re.as_mut_slice(), im.as_mut_slice());
         for i in 0..x.numel() {
             let (xr, xi) = (x.re.as_slice()[i], x.im.as_slice()[i]);
             let r = (xr * xr + xi * xi).sqrt();
@@ -72,8 +78,8 @@ impl CLayer for CModRelu {
             } else {
                 0.0
             };
-            re.as_mut_slice()[i] = xr * scale;
-            im.as_mut_slice()[i] = xi * scale;
+            re_s[i] = xr * scale;
+            im_s[i] = xi * scale;
         }
         CTensor::new(re, im)
     }
@@ -86,13 +92,16 @@ impl CLayer for CModRelu {
         let shape = x.shape().to_vec();
         let mut dre = Tensor::zeros(&shape);
         let mut dim = Tensor::zeros(&shape);
+        let (dre_s, dim_s) = (dre.as_mut_slice(), dim.as_mut_slice());
+        let bias_v = self.bias.value.as_slice();
+        let bias_g = self.bias.grad.as_mut_slice();
         for i in 0..x.numel() {
             let (xr, xi) = (x.re.as_slice()[i], x.im.as_slice()[i]);
             let (gr, gi) = (dy.re.as_slice()[i], dy.im.as_slice()[i]);
             let r2 = xr * xr + xi * xi;
             let r = r2.sqrt();
-            let f = self.feature_of(&shape, i);
-            let b = self.bias.value.as_slice()[f];
+            let f = Self::feature_index(bias_v.len(), &shape, i);
+            let b = bias_v[f];
             if r + b <= 0.0 || r < EPS {
                 continue; // clipped region: zero gradient everywhere
             }
@@ -105,11 +114,11 @@ impl CLayer for CModRelu {
             let dr_dxi = xi / r;
             // dyr/dxr = s + xr·ds_dr·dr_dxr ; dyr/dxi = xr·ds_dr·dr_dxi
             // dyi/dxr = xi·ds_dr·dr_dxr     ; dyi/dxi = s + xi·ds_dr·dr_dxi
-            dre.as_mut_slice()[i] = gr * (s + xr * ds_dr * dr_dxr) + gi * (xi * ds_dr * dr_dxr);
-            dim.as_mut_slice()[i] = gr * (xr * ds_dr * dr_dxi) + gi * (s + xi * ds_dr * dr_dxi);
+            dre_s[i] = gr * (s + xr * ds_dr * dr_dxr) + gi * (xi * ds_dr * dr_dxr);
+            dim_s[i] = gr * (xr * ds_dr * dr_dxi) + gi * (s + xi * ds_dr * dr_dxi);
             // d y / d b = x / r (both parts), so db accumulates
             // (gr·xr + gi·xi)/r.
-            self.bias.grad.as_mut_slice()[f] += (gr * xr + gi * xi) / r;
+            bias_g[f] += (gr * xr + gi * xi) / r;
         }
         CTensor::new(dre, dim)
     }

@@ -73,12 +73,14 @@ impl RealBatchNorm {
             self.inv_std[ch] = inv_std;
             let g = self.gamma.value.as_slice()[ch];
             let bta = self.beta.value.as_slice()[ch];
+            // Detach once per channel, not once per element write.
+            let (mut xhat_w, mut y_w) = (xhat.writer4(), y.writer4());
             for b in 0..n {
                 for yy in 0..h {
                     for xx in 0..w {
                         let xh = (x.at4(b, ch, yy, xx) - mean) * inv_std;
-                        *xhat.at4_mut(b, ch, yy, xx) = xh;
-                        *y.at4_mut(b, ch, yy, xx) = g * xh + bta;
+                        *xhat_w.at4_mut(b, ch, yy, xx) = xh;
+                        *y_w.at4_mut(b, ch, yy, xx) = g * xh + bta;
                     }
                 }
             }
@@ -117,12 +119,13 @@ impl RealBatchNorm {
 
             let k1 = sum_dy as f32 / m;
             let k2 = sum_dy_xhat as f32 / m;
+            let mut dx_w = dx.writer4();
             for b in 0..n {
                 for yy in 0..h {
                     for xx in 0..w {
                         let d = dy.at4(b, ch, yy, xx);
                         let xh = xhat.at4(b, ch, yy, xx);
-                        *dx.at4_mut(b, ch, yy, xx) = g * inv_std * (d - k1 - xh * k2);
+                        *dx_w.at4_mut(b, ch, yy, xx) = g * inv_std * (d - k1 - xh * k2);
                     }
                 }
             }

@@ -179,6 +179,11 @@ mod tests {
         let mut s_im = Tensor::zeros(&[n, 2]);
         let mut t_re = Tensor::zeros(&[n, 4]);
         let mut labels = Vec::new();
+        let (s_re_s, s_im_s, t_re_s) = (
+            s_re.as_mut_slice(),
+            s_im.as_mut_slice(),
+            t_re.as_mut_slice(),
+        );
         for i in 0..n {
             let class = i % 2;
             let sign = if class == 0 { 1.0f32 } else { -1.0 };
@@ -186,12 +191,12 @@ mod tests {
                 .map(|j| sign * (1.0 + j as f32 * 0.1) + rng.gen_range(-0.2..0.2))
                 .collect();
             // Student view: (raw0 + j raw1, raw2 + j raw3).
-            s_re.as_mut_slice()[i * 2] = raw[0];
-            s_im.as_mut_slice()[i * 2] = raw[1];
-            s_re.as_mut_slice()[i * 2 + 1] = raw[2];
-            s_im.as_mut_slice()[i * 2 + 1] = raw[3];
+            s_re_s[i * 2] = raw[0];
+            s_im_s[i * 2] = raw[1];
+            s_re_s[i * 2 + 1] = raw[2];
+            s_im_s[i * 2 + 1] = raw[3];
             // Teacher view: real parts only.
-            t_re.as_mut_slice()[i * 4..(i + 1) * 4].copy_from_slice(&raw);
+            t_re_s[i * 4..(i + 1) * 4].copy_from_slice(&raw);
             labels.push(class);
         }
         (

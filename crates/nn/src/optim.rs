@@ -142,18 +142,22 @@ impl Adam {
                 ms.push(Tensor::zeros(p.value.shape()));
                 vs.push(Tensor::zeros(p.value.shape()));
             }
-            let m = &mut ms[idx];
-            let v = &mut vs[idx];
             let decay = if p.decay { wd } else { 0.0 };
-            for i in 0..p.value.numel() {
-                let g = p.grad.as_slice()[i] + decay * p.value.as_slice()[i];
-                let mi = b1 * m.as_slice()[i] + (1.0 - b1) * g;
-                let vi = b2 * v.as_slice()[i] + (1.0 - b2) * g * g;
-                m.as_mut_slice()[i] = mi;
-                v.as_mut_slice()[i] = vi;
+            // Detach each tensor once, not per element (the optimiser
+            // state and parameters are never storage-shared).
+            let m = ms[idx].as_mut_slice();
+            let v = vs[idx].as_mut_slice();
+            let grad = p.grad.as_slice();
+            let value = p.value.as_mut_slice();
+            for i in 0..value.len() {
+                let g = grad[i] + decay * value[i];
+                let mi = b1 * m[i] + (1.0 - b1) * g;
+                let vi = b2 * v[i] + (1.0 - b2) * g * g;
+                m[i] = mi;
+                v[i] = vi;
                 let mhat = mi / bias1;
                 let vhat = vi / bias2;
-                p.value.as_mut_slice()[i] -= lr * mhat / (vhat.sqrt() + eps);
+                value[i] -= lr * mhat / (vhat.sqrt() + eps);
             }
             p.zero_grad();
             idx += 1;

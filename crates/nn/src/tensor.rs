@@ -4,12 +4,20 @@
 //! training would) and only ever needs contiguous row-major storage with
 //! rank ≤ 4 (`[batch, channel, height, width]` for images, `[batch,
 //! features]` for dense layers).
+//!
+//! Storage is an [`Arc`]-shared buffer with copy-on-write semantics:
+//! cloning a tensor — and hence a dataset view built from tensors — is a
+//! reference bump, not a data copy, which is what makes per-grid-arm
+//! clones of assigned datasets and pipeline-stage handoffs cheap. The
+//! first mutable access after a clone ([`Tensor::as_mut_slice`] and
+//! friends) detaches the storage, so writes never alias across clones.
 
 use rand::Rng;
+use std::sync::Arc;
 
 /// A dense row-major tensor of `f32` values.
 ///
-/// # Example
+/// Clones share storage until one side mutates (copy-on-write):
 ///
 /// ```
 /// use oplix_nn::tensor::Tensor;
@@ -17,11 +25,17 @@ use rand::Rng;
 /// let t = Tensor::zeros(&[2, 3]);
 /// assert_eq!(t.numel(), 6);
 /// assert_eq!(t.shape(), &[2, 3]);
+///
+/// let mut u = t.clone();
+/// assert!(t.shares_storage(&u)); // clone is a reference bump
+/// u.as_mut_slice()[0] = 1.0;     // first write detaches the buffer
+/// assert!(!t.shares_storage(&u));
+/// assert_eq!(t.as_slice()[0], 0.0);
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
-    data: Vec<f32>,
+    data: Arc<Vec<f32>>,
 }
 
 impl Tensor {
@@ -29,7 +43,7 @@ impl Tensor {
     pub fn zeros(shape: &[usize]) -> Self {
         Tensor {
             shape: shape.to_vec(),
-            data: vec![0.0; shape.iter().product()],
+            data: Arc::new(vec![0.0; shape.iter().product()]),
         }
     }
 
@@ -37,7 +51,7 @@ impl Tensor {
     pub fn full(shape: &[usize], value: f32) -> Self {
         Tensor {
             shape: shape.to_vec(),
-            data: vec![value; shape.iter().product()],
+            data: Arc::new(vec![value; shape.iter().product()]),
         }
     }
 
@@ -54,7 +68,7 @@ impl Tensor {
         );
         Tensor {
             shape: shape.to_vec(),
-            data,
+            data: Arc::new(data),
         }
     }
 
@@ -63,7 +77,7 @@ impl Tensor {
         let n: usize = shape.iter().product();
         Tensor {
             shape: shape.to_vec(),
-            data: (0..n).map(|_| rng.gen_range(-scale..scale)).collect(),
+            data: Arc::new((0..n).map(|_| rng.gen_range(-scale..scale)).collect()),
         }
     }
 
@@ -97,10 +111,26 @@ impl Tensor {
         &self.data
     }
 
-    /// Mutable view of the flat data.
+    /// Mutable view of the flat data. If the storage is shared with a
+    /// clone, it is detached (copied) first, so the write never aliases.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.data_mut()
+    }
+
+    /// Whether two tensors share the same underlying storage (i.e. one is
+    /// an un-mutated clone of the other). Used by tests to assert that
+    /// view clones are reference bumps, not copies.
+    #[inline]
+    pub fn shares_storage(&self, other: &Tensor) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Copy-on-write access to the storage: detaches a shared buffer,
+    /// then hands out the unique one.
+    #[inline]
+    fn data_mut(&mut self) -> &mut Vec<f32> {
+        Arc::make_mut(&mut self.data)
     }
 
     /// Reinterprets the tensor with a new shape of equal element count.
@@ -116,7 +146,7 @@ impl Tensor {
         );
         Tensor {
             shape: shape.to_vec(),
-            data: self.data.clone(),
+            data: Arc::clone(&self.data),
         }
     }
 
@@ -127,7 +157,10 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn add_assign(&mut self, rhs: &Tensor) {
         assert_eq!(self.shape, rhs.shape, "add_assign shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+        // Clone rhs's handle first: if the two tensors share storage,
+        // `data_mut` detaches self and the read side stays valid.
+        let rhs_data = Arc::clone(&rhs.data);
+        for (a, &b) in self.data_mut().iter_mut().zip(rhs_data.iter()) {
             *a += b;
         }
     }
@@ -151,7 +184,7 @@ impl Tensor {
     pub fn sub(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.shape, rhs.shape, "sub shape mismatch");
         let mut out = self.clone();
-        for (a, &b) in out.data.iter_mut().zip(&rhs.data) {
+        for (a, &b) in out.data_mut().iter_mut().zip(rhs.data.iter()) {
             *a -= b;
         }
         out
@@ -165,7 +198,7 @@ impl Tensor {
     pub fn mul(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.shape, rhs.shape, "mul shape mismatch");
         let mut out = self.clone();
-        for (a, &b) in out.data.iter_mut().zip(&rhs.data) {
+        for (a, &b) in out.data_mut().iter_mut().zip(rhs.data.iter()) {
             *a *= b;
         }
         out
@@ -173,7 +206,7 @@ impl Tensor {
 
     /// Multiplies every element by a scalar, in place.
     pub fn scale_in_place(&mut self, k: f32) {
-        for a in &mut self.data {
+        for a in self.data_mut().iter_mut() {
             *a *= k;
         }
     }
@@ -189,13 +222,13 @@ impl Tensor {
     pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data: Arc::new(self.data.iter().map(|&v| f(v)).collect()),
         }
     }
 
     /// Fills the tensor with zeros.
     pub fn zero_(&mut self) {
-        self.data.fill(0.0);
+        self.data_mut().fill(0.0);
     }
 
     /// Sum of all elements (in `f64` for stability).
@@ -220,6 +253,7 @@ impl Tensor {
         let (k2, n) = (rhs.shape[0], rhs.shape[1]);
         assert_eq!(k, k2, "matmul inner dimension mismatch");
         let mut out = Tensor::zeros(&[m, n]);
+        let out_data = out.data_mut();
         for i in 0..m {
             for t in 0..k {
                 let a = self.data[i * k + t];
@@ -227,7 +261,7 @@ impl Tensor {
                     continue;
                 }
                 let rhs_row = &rhs.data[t * n..(t + 1) * n];
-                let out_row = &mut out.data[i * n..(i + 1) * n];
+                let out_row = &mut out_data[i * n..(i + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(rhs_row) {
                     *o += a * b;
                 }
@@ -245,9 +279,10 @@ impl Tensor {
         assert_eq!(self.shape.len(), 2, "transpose2 requires rank 2");
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = Tensor::zeros(&[n, m]);
+        let out_data = out.data_mut();
         for i in 0..m {
             for j in 0..n {
-                out.data[j * m + i] = self.data[i * n + j];
+                out_data[j * m + i] = self.data[i * n + j];
             }
         }
         out
@@ -269,11 +304,50 @@ impl Tensor {
     }
 
     /// Mutable flat element access for rank-4 tensors.
+    ///
+    /// Each call pays the copy-on-write uniqueness check; element-wise
+    /// inner loops should detach once via [`Tensor::writer4`] instead.
     #[inline]
     pub fn at4_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
         debug_assert_eq!(self.shape.len(), 4);
         let (cc, hh, ww) = (self.shape[1], self.shape[2], self.shape[3]);
-        &mut self.data[((n * cc + c) * hh + h) * ww + w]
+        let idx = ((n * cc + c) * hh + h) * ww + w;
+        &mut self.data_mut()[idx]
+    }
+
+    /// Detaches the storage once and returns a rank-4 writer whose
+    /// element writes are plain slice indexing — the loop-friendly form
+    /// of [`Tensor::at4_mut`], with no per-write copy-on-write check.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is rank 4.
+    pub fn writer4(&mut self) -> Writer4<'_> {
+        assert_eq!(self.shape.len(), 4, "writer4 requires rank 4");
+        let (c, h, w) = (self.shape[1], self.shape[2], self.shape[3]);
+        Writer4 {
+            data: self.data_mut(),
+            c,
+            h,
+            w,
+        }
+    }
+}
+
+/// A mutable rank-4 element writer over already-detached tensor storage;
+/// see [`Tensor::writer4`].
+pub struct Writer4<'a> {
+    data: &'a mut [f32],
+    c: usize,
+    h: usize,
+    w: usize,
+}
+
+impl Writer4<'_> {
+    /// Mutable flat element access `[n, c, h, w]`.
+    #[inline]
+    pub fn at4_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        &mut self.data[((n * self.c + c) * self.h + h) * self.w + w]
     }
 }
 
@@ -360,5 +434,37 @@ mod tests {
         let t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
         let r = t.reshape(&[4]);
         assert_eq!(r.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn clones_share_storage_until_mutation() {
+        let t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let r = t.reshape(&[4]);
+        let mut u = t.clone();
+        assert!(t.shares_storage(&u), "clone must be a reference bump");
+        assert!(t.shares_storage(&r), "reshape must share storage");
+        u.as_mut_slice()[0] = 9.0;
+        assert!(!t.shares_storage(&u), "mutation must detach");
+        assert_eq!(t.as_slice()[0], 1.0, "original must be unchanged");
+        assert_eq!(u.as_slice()[0], 9.0);
+        assert_eq!(r.as_slice()[0], 1.0, "reshaped view must be unchanged");
+    }
+
+    #[test]
+    fn cow_handles_self_aliased_add_assign() {
+        let t = Tensor::from_vec(&[2], vec![1.0, 2.0]);
+        let mut u = t.clone(); // shares storage with t
+        u.add_assign(&t); // read side aliases the write side pre-detach
+        assert_eq!(u.as_slice(), &[2.0, 4.0]);
+        assert_eq!(t.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn at4_mut_detaches_shared_storage() {
+        let t = Tensor::zeros(&[1, 1, 2, 2]);
+        let mut u = t.clone();
+        *u.at4_mut(0, 0, 1, 1) = 5.0;
+        assert_eq!(t.at4(0, 0, 1, 1), 0.0);
+        assert_eq!(u.at4(0, 0, 1, 1), 5.0);
     }
 }

@@ -50,10 +50,12 @@ impl CDataset {
         shape[0] = idxs.len();
         let mut re = Tensor::zeros(&shape);
         let mut im = Tensor::zeros(&shape);
+        // Detach the batch storage once, not per gathered sample.
+        let (re_s, im_s) = (re.as_mut_slice(), im.as_mut_slice());
         for (bi, &si) in idxs.iter().enumerate() {
-            re.as_mut_slice()[bi * per..(bi + 1) * per]
+            re_s[bi * per..(bi + 1) * per]
                 .copy_from_slice(&self.inputs.re.as_slice()[si * per..(si + 1) * per]);
-            im.as_mut_slice()[bi * per..(bi + 1) * per]
+            im_s[bi * per..(bi + 1) * per]
                 .copy_from_slice(&self.inputs.im.as_slice()[si * per..(si + 1) * per]);
         }
         let labels = idxs.iter().map(|&i| self.labels[i]).collect();

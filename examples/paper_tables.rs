@@ -3,22 +3,36 @@
 //!
 //! Pass `--quick` to use the smoke-test scale (~1 min); the default
 //! standard scale takes several minutes on one CPU because it trains the
-//! full model grid.
+//! full model grid. Pass `--jobs N` to bound the shared worker pool every
+//! experiment grid draws from (default: available parallelism, or the
+//! `OPLIX_JOBS` environment variable).
 //!
-//! Run with `cargo run --release --example paper_tables -- --quick`.
+//! Run with `cargo run --release --example paper_tables -- --quick --jobs 4`.
 
 use oplixnet::experiments::{ablation, fig7, fig8, fig9, table2, table3, Scale};
+use oplixnet::pool;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => pool::set_jobs(n),
+            _ => {
+                eprintln!("--jobs needs a positive integer argument");
+                std::process::exit(2);
+            }
+        }
+    }
     let scale = if quick {
         Scale::quick()
     } else {
         Scale::standard()
     };
     println!(
-        "running at {} scale: {} train / {} test samples, {} epochs\n",
+        "running at {} scale ({} jobs): {} train / {} test samples, {} epochs\n",
         if quick { "quick" } else { "standard" },
+        pool::jobs(),
         scale.train_samples,
         scale.test_samples,
         scale.setup.epochs
