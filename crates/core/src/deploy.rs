@@ -20,11 +20,12 @@ use oplix_nn::ctensor::CTensor;
 use oplix_nn::head::{LinearDecoderHead, UnitaryDecoderHead};
 use oplix_nn::layers::CDense;
 use oplix_nn::network::Network;
+use oplix_photonics::compiled::CompiledLayer;
 use oplix_photonics::count::DeviceCount;
 use oplix_photonics::svd_map::{MeshStyle, PhotonicLayer};
 use rand::Rng;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -36,6 +37,33 @@ use std::sync::{Arc, Mutex, OnceLock};
 pub struct ForwardBuffers {
     fields: Vec<Complex64>,
     tmp: Vec<Complex64>,
+}
+
+/// Reusable field buffers for [`DeployedFcnn::forward_window_into`], the
+/// windowed batch path: two ping-pong buffers sized `window × stage
+/// width`. After warm-up neither reallocates, so a serving worker pushes
+/// whole sample windows through compiled kernels allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct WindowBuffers {
+    cur: Vec<Complex64>,
+    nxt: Vec<Complex64>,
+}
+
+/// Applies one detection scheme to a row of output fields, appending the
+/// detected scores. Shared verbatim by the per-sample and windowed paths
+/// so the two stay bitwise interchangeable.
+#[inline]
+fn detect(detection: DeployedDetection, fields: &[Complex64], logits: &mut Vec<f64>) {
+    match detection {
+        DeployedDetection::Differential => {
+            let k = fields.len() / 2;
+            logits.extend((0..k).map(|i| fields[i].norm_sqr() - fields[i + k].norm_sqr()));
+        }
+        DeployedDetection::Intensity => {
+            logits.extend(fields.iter().map(|z| z.norm_sqr().sqrt()));
+        }
+        DeployedDetection::CoherentReal => logits.extend(fields.iter().map(|z| z.re)),
+    }
 }
 
 /// How the deployed network's outputs are detected.
@@ -51,9 +79,17 @@ pub use oplix_photonics::decoder::Detection as DeployedDetection;
 /// One optical stage of a deployed pipeline: a dense layer mapped onto
 /// meshes, plus how fields enter it (ancilla padding for the unitary
 /// decoder) and leave it (electro-optic split ReLU between body stages).
+///
+/// The stage carries both the *hardware description* (`layer`, with
+/// mutable phases for the noise models) and the *compiled kernel*
+/// (`compiled`, the precomputed-coefficient form every forward pass runs
+/// through). Whenever phases are mutated the kernel is recompiled; the two
+/// are bitwise interchangeable by the [`CompiledLayer`] contract.
 #[derive(Clone, Debug)]
 pub(crate) struct OpticalStage {
     pub(crate) layer: PhotonicLayer,
+    /// The compiled form of `layer`; the serving hot path.
+    compiled: CompiledLayer,
     /// Zero-pad the incoming fields up to the stage fan-in (ancilla modes
     /// of the unitary decoder).
     pad_input: bool,
@@ -132,11 +168,7 @@ impl DeployedFcnn {
         for layer in net.body().layers() {
             if let Some(any) = layer.as_any() {
                 if let Some(dense) = any.downcast_ref::<CDense>() {
-                    stages.push(OpticalStage {
-                        layer: deploy_dense(dense, style),
-                        pad_input: false,
-                        relu_after: true,
-                    });
+                    stages.push(deploy_dense(dense, style).into_stage(false, true));
                     continue;
                 }
             }
@@ -154,19 +186,11 @@ impl DeployedFcnn {
         // hardware is faithful to the trained head for every decoder kind.
         if let Some(any) = net.head().as_any() {
             if let Some(linear) = any.downcast_ref::<LinearDecoderHead>() {
-                stages.push(OpticalStage {
-                    layer: deploy_dense(linear.dense(), style),
-                    pad_input: false,
-                    relu_after: false,
-                });
+                stages.push(deploy_dense(linear.dense(), style).into_stage(false, false));
             } else if let Some(unitary) = any.downcast_ref::<UnitaryDecoderHead>() {
-                stages.push(OpticalStage {
-                    layer: deploy_dense(unitary.dense(), style),
-                    // K class modes + K zero ancilla modes enter the 2K-wide
-                    // decoder array.
-                    pad_input: true,
-                    relu_after: false,
-                });
+                // K class modes + K zero ancilla modes enter the 2K-wide
+                // decoder array.
+                stages.push(deploy_dense(unitary.dense(), style).into_stage(true, false));
             }
         }
         if detection == DeployedDetection::Differential {
@@ -236,7 +260,7 @@ impl DeployedFcnn {
             }
             // Bias reference mode.
             fields.push(Complex64::ONE);
-            stage.layer.forward_into(fields, &mut buf.tmp);
+            stage.compiled.forward_into(fields, &mut buf.tmp);
             if stage.relu_after {
                 // Electro-optic split ReLU between optical stages.
                 for z in fields.iter_mut() {
@@ -245,15 +269,114 @@ impl DeployedFcnn {
             }
         }
         logits.clear();
-        match self.detection {
-            DeployedDetection::Differential => {
-                let k = fields.len() / 2;
-                logits.extend((0..k).map(|i| fields[i].norm_sqr() - fields[i + k].norm_sqr()));
+        detect(self.detection, fields, logits);
+        Ok(())
+    }
+
+    /// Field-level inference of a *window* of rows `start..end` of a
+    /// `[N, D]` complex view through the compiled kernels, into
+    /// caller-owned buffers: one [`CompiledLayer::forward_batch`] call per
+    /// optical stage covers the whole window, instead of re-walking the
+    /// stage list per sample. `logits` is cleared and filled row-major
+    /// (`(end − start) × logit_dim` detected scores).
+    ///
+    /// Every sample runs the exact per-sample kernel, so the window is
+    /// bitwise identical to `end − start` sequential
+    /// [`DeployedFcnn::forward_into`] calls — the property the engine's
+    /// sharded serving tests pin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if the view is not rank 2, its
+    /// sample width does not match [`DeployedFcnn::input_dim`], or the
+    /// window overruns the view.
+    pub fn forward_window_into(
+        &self,
+        inputs: &CTensor,
+        start: usize,
+        end: usize,
+        buf: &mut WindowBuffers,
+        logits: &mut Vec<f64>,
+    ) -> Result<(), Error> {
+        if inputs.shape().len() != 2 {
+            return Err(Error::ShapeMismatch {
+                expected: 2,
+                got: inputs.shape().len(),
+                what: "batch rank",
+            });
+        }
+        let (n, d) = (inputs.shape()[0], inputs.shape()[1]);
+        if d != self.input_dim() {
+            return Err(Error::ShapeMismatch {
+                expected: self.input_dim(),
+                got: d,
+                what: "sample width",
+            });
+        }
+        if start > end {
+            // An inverted window: the start is the offending value, not
+            // the (possibly in-bounds) end.
+            return Err(Error::ShapeMismatch {
+                expected: end,
+                got: start,
+                what: "batch window start",
+            });
+        }
+        if end > n {
+            return Err(Error::ShapeMismatch {
+                expected: n,
+                got: end,
+                what: "batch window end",
+            });
+        }
+        logits.clear();
+        let samples = end - start;
+        if samples == 0 {
+            return Ok(());
+        }
+
+        // Stage the window: row `s` of the buffer is sample `start + s`.
+        let cur = &mut buf.cur;
+        let nxt = &mut buf.nxt;
+        cur.clear();
+        cur.reserve(samples * d);
+        for s in start..end {
+            cur.extend(
+                (0..d).map(|j| {
+                    Complex64::new(inputs.re.at2(s, j) as f64, inputs.im.at2(s, j) as f64)
+                }),
+            );
+        }
+        let mut width = d;
+        for stage in &self.stages {
+            // Re-stage: ancilla padding (unitary decoder) plus the bias
+            // reference mode, exactly as the per-sample walk does.
+            let fan_in = stage.layer.input_dim() - 1;
+            let padded = if stage.pad_input {
+                width.max(fan_in)
+            } else {
+                width
+            };
+            let in_w = padded + 1;
+            nxt.clear();
+            nxt.resize(samples * in_w, Complex64::ZERO);
+            for s in 0..samples {
+                let src = &cur[s * width..(s + 1) * width];
+                let dst = &mut nxt[s * in_w..(s + 1) * in_w];
+                dst[..width].copy_from_slice(src);
+                dst[padded] = Complex64::ONE;
             }
-            DeployedDetection::Intensity => {
-                logits.extend(fields.iter().map(|z| z.norm_sqr().sqrt()));
+            std::mem::swap(cur, nxt);
+            stage.compiled.forward_batch(cur, nxt, samples);
+            width = stage.layer.output_dim();
+            if stage.relu_after {
+                for z in cur.iter_mut() {
+                    *z = Complex64::new(z.re.max(0.0), z.im.max(0.0));
+                }
             }
-            DeployedDetection::CoherentReal => logits.extend(fields.iter().map(|z| z.re)),
+        }
+        for row in cur.chunks_exact(width.max(1)) {
+            detect(self.detection, row, logits);
         }
         Ok(())
     }
@@ -347,12 +470,14 @@ impl DeployedFcnn {
     }
 
     /// Injects Gaussian phase noise into every mesh (thermal crosstalk /
-    /// fabrication imprecision study).
+    /// fabrication imprecision study) and recompiles the affected kernels
+    /// so the serving path sees the perturbed phases.
     pub fn inject_phase_noise<R: Rng>(&mut self, sigma: f64, rng: &mut R) {
         for stage in &mut self.stages {
             let (v, u) = stage.layer.meshes_mut();
             *v = v.with_phase_noise(sigma, rng);
             *u = u.with_phase_noise(sigma, rng);
+            stage.compiled = CompiledLayer::compile(&stage.layer);
         }
     }
 
@@ -423,6 +548,52 @@ impl DecompositionKey {
             weight_bits,
         }
     }
+
+    /// Approximate resident size of the key itself (dominated by the
+    /// exact weight bits).
+    fn approx_bytes(&self) -> usize {
+        self.weight_bits.len() * std::mem::size_of::<(u64, u64)>() + std::mem::size_of::<Self>()
+    }
+}
+
+/// What the deployment cache stores per decomposition: the hardware
+/// description (meshes + attenuators) *and* its compiled kernel, so a
+/// cache hit skips both the SVD decomposition and the coefficient bake.
+#[derive(Clone, Debug)]
+struct DeployedKernels {
+    layer: PhotonicLayer,
+    compiled: CompiledLayer,
+}
+
+impl DeployedKernels {
+    fn decompose(w: &CMatrix, style: MeshStyle) -> Self {
+        let layer = PhotonicLayer::from_matrix(w, style);
+        let compiled = CompiledLayer::compile(&layer);
+        DeployedKernels { layer, compiled }
+    }
+
+    fn into_stage(self, pad_input: bool, relu_after: bool) -> OpticalStage {
+        OpticalStage {
+            layer: self.layer,
+            compiled: self.compiled,
+            pad_input,
+            relu_after,
+        }
+    }
+
+    /// Approximate resident size: meshes (phases dominate) plus the
+    /// compiled coefficient arrays.
+    fn approx_bytes(&self) -> usize {
+        let mesh_bytes = |m: &oplix_photonics::mesh::MziMesh| {
+            m.mzi_count() * std::mem::size_of::<oplix_photonics::devices::Mzi>()
+                + m.n() * std::mem::size_of::<f64>()
+        };
+        mesh_bytes(self.layer.v_mesh())
+            + mesh_bytes(self.layer.u_mesh())
+            + self.layer.attenuators().len() * std::mem::size_of::<f64>()
+            + self.compiled.approx_bytes()
+            + std::mem::size_of::<Self>()
+    }
 }
 
 /// Hit/miss/occupancy counters of the process-wide deployment cache.
@@ -430,33 +601,137 @@ impl DecompositionKey {
 pub struct DeployCacheStats {
     /// Decompositions served from the cache.
     pub hits: u64,
-    /// Decompositions computed fresh (and, below the cap, inserted).
+    /// Decompositions computed fresh (and, once admitted, inserted).
     pub misses: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Entries evicted by the LRU policy since process start (survives
+    /// [`clear_deploy_cache`]).
+    pub evictions: u64,
+    /// Approximate bytes currently resident (keys + meshes + compiled
+    /// kernels).
+    pub resident_bytes: usize,
 }
 
-/// New insertions stop once the cache holds this many decompositions (the
-/// resident entries keep serving hits). A real eviction policy is an open
-/// ROADMAP item; the cap merely bounds memory for pathological sweeps
-/// that never repeat an architecture.
-const DEPLOY_CACHE_CAP: usize = 512;
+/// Memory budget of the deployment cache. Least-recently-used entries are
+/// evicted once the *approximate* resident footprint (keys, meshes and
+/// compiled kernels) exceeds this, so unbounded architecture sweeps see a
+/// bounded cache instead of the old hard insertion cutoff.
+const DEPLOY_CACHE_MAX_BYTES: usize = 64 << 20;
 
-static DEPLOY_CACHE: OnceLock<Mutex<HashMap<DecompositionKey, Arc<PhotonicLayer>>>> =
-    OnceLock::new();
+/// Doorkeeper saturation: past this many one-sight fingerprints the
+/// filter stops admitting-by-history (every key admits on first sight)
+/// rather than silently disabling admission — the LRU budget still bounds
+/// memory.
+const DEPLOY_SEEN_CAP: usize = 8192;
+
+/// The LRU deployment cache: a hash map for lookups plus a recency index
+/// (monotonic tick → key) for eviction order, with per-entry byte
+/// accounting. Kept as a plain struct (not the global) so the eviction
+/// policy is unit-testable without racing the process-wide instance.
+struct LruDeployCache {
+    budget_bytes: usize,
+    map: HashMap<Arc<DecompositionKey>, CacheSlot>,
+    recency: BTreeMap<u64, Arc<DecompositionKey>>,
+    tick: u64,
+    resident_bytes: usize,
+    evictions: u64,
+}
+
+struct CacheSlot {
+    value: Arc<DeployedKernels>,
+    bytes: usize,
+    tick: u64,
+}
+
+impl LruDeployCache {
+    fn new(budget_bytes: usize) -> Self {
+        LruDeployCache {
+            budget_bytes,
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+            tick: 0,
+            resident_bytes: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up a key and, on a hit, marks it most-recently-used.
+    fn get(&mut self, key: &DecompositionKey) -> Option<Arc<DeployedKernels>> {
+        let shared_key = Arc::clone(self.map.get_key_value(key)?.0);
+        self.tick += 1;
+        let tick = self.tick;
+        let slot = self.map.get_mut(&shared_key).expect("present");
+        self.recency.remove(&slot.tick);
+        slot.tick = tick;
+        self.recency.insert(tick, shared_key);
+        Some(Arc::clone(&slot.value))
+    }
+
+    /// Inserts an entry (idempotent), charging its approximate bytes and
+    /// evicting least-recently-used entries until the budget holds. An
+    /// entry larger than the whole budget is not cached at all.
+    fn insert(&mut self, key: DecompositionKey, value: Arc<DeployedKernels>) {
+        if self.map.contains_key(&key) {
+            return; // a concurrent deployment inserted it first
+        }
+        let bytes = key.approx_bytes() + value.approx_bytes();
+        if bytes > self.budget_bytes {
+            return;
+        }
+        while self.resident_bytes + bytes > self.budget_bytes {
+            if !self.evict_lru() {
+                break;
+            }
+        }
+        self.tick += 1;
+        let key = Arc::new(key);
+        self.recency.insert(self.tick, Arc::clone(&key));
+        self.map.insert(
+            key,
+            CacheSlot {
+                value,
+                bytes,
+                tick: self.tick,
+            },
+        );
+        self.resident_bytes += bytes;
+    }
+
+    /// Evicts the least-recently-used entry; false when empty.
+    fn evict_lru(&mut self) -> bool {
+        let Some((_, key)) = self.recency.pop_first() else {
+            return false;
+        };
+        let slot = self.map.remove(&key).expect("recency tracks map");
+        self.resident_bytes -= slot.bytes;
+        self.evictions += 1;
+        true
+    }
+
+    /// Drops every entry (the eviction counter keeps running — clearing
+    /// is not evicting).
+    fn clear(&mut self) {
+        self.map.clear();
+        self.recency.clear();
+        self.resident_bytes = 0;
+    }
+}
+
+static DEPLOY_CACHE: OnceLock<Mutex<LruDeployCache>> = OnceLock::new();
 /// Admission doorkeeper: 8-byte fingerprints of keys decomposed exactly
-/// once. A full (weights + mesh) entry is only inserted when the same key
-/// is decomposed a *second* time, so one-shot deployments — an experiment
-/// grid where every trained arm has unique weights — retain 8 bytes per
-/// architecture instead of a full weight matrix and mesh for the process
-/// lifetime. A fingerprint collision merely admits an entry one sight
-/// early; correctness never depends on the fingerprint.
+/// once. A full (weights + meshes + compiled kernel) entry is only
+/// inserted when the same key is decomposed a *second* time, so one-shot
+/// deployments — an experiment grid where every trained arm has unique
+/// weights — retain 8 bytes per architecture instead of a full entry. A
+/// fingerprint collision merely admits an entry one sight early;
+/// correctness never depends on the fingerprint.
 static DEPLOY_SEEN: OnceLock<Mutex<HashSet<u64>>> = OnceLock::new();
 static DEPLOY_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static DEPLOY_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 
-fn deploy_cache() -> &'static Mutex<HashMap<DecompositionKey, Arc<PhotonicLayer>>> {
-    DEPLOY_CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+fn deploy_cache() -> &'static Mutex<LruDeployCache> {
+    DEPLOY_CACHE.get_or_init(|| Mutex::new(LruDeployCache::new(DEPLOY_CACHE_MAX_BYTES)))
 }
 
 fn deploy_seen() -> &'static Mutex<HashSet<u64>> {
@@ -464,9 +739,6 @@ fn deploy_seen() -> &'static Mutex<HashSet<u64>> {
 }
 
 /// Marks a key as seen; returns whether the full cache should admit it.
-/// Once the doorkeeper saturates it stops filtering (every key is
-/// admitted on first sight) rather than silently disabling admission —
-/// the full cache's own cap still bounds memory.
 fn seen_before(key: &DecompositionKey) -> bool {
     let mut h = DefaultHasher::new();
     key.hash(&mut h);
@@ -474,7 +746,7 @@ fn seen_before(key: &DecompositionKey) -> bool {
     let mut seen = deploy_seen().lock().expect("deploy doorkeeper");
     if seen.contains(&fp) {
         true
-    } else if seen.len() < DEPLOY_CACHE_CAP * 16 {
+    } else if seen.len() < DEPLOY_SEEN_CAP {
         seen.insert(fp);
         false
     } else {
@@ -484,10 +756,13 @@ fn seen_before(key: &DecompositionKey) -> bool {
 
 /// Current counters of the process-wide deployment cache.
 pub fn deploy_cache_stats() -> DeployCacheStats {
+    let cache = deploy_cache().lock().expect("deploy cache");
     DeployCacheStats {
         hits: DEPLOY_CACHE_HITS.load(Ordering::Relaxed),
         misses: DEPLOY_CACHE_MISSES.load(Ordering::Relaxed),
-        entries: deploy_cache().lock().expect("deploy cache").len(),
+        entries: cache.map.len(),
+        evictions: cache.evictions,
+        resident_bytes: cache.resident_bytes,
     }
 }
 
@@ -499,46 +774,44 @@ pub fn clear_deploy_cache() {
     deploy_seen().lock().expect("deploy doorkeeper").clear();
 }
 
-/// The memoised front door to [`PhotonicLayer::from_matrix`]: repeated
-/// deployments of the same weights (grid sweeps, repeated `DeployStage`
-/// runs on one trained body) skip the SVD + mesh decomposition and clone
-/// the cached mesh instead — cloning phases is orders of magnitude
-/// cheaper than decomposing. Admission is second-sight (see
-/// [`DEPLOY_SEEN`]): the first decomposition of a key records only a
-/// fingerprint, the second inserts the full entry, the third and later
-/// are hits.
-fn decompose_cached(w: &CMatrix, style: MeshStyle) -> PhotonicLayer {
+/// The memoised front door to SVD decomposition + kernel compilation:
+/// repeated deployments of the same weights (grid sweeps, repeated
+/// `DeployStage` runs on one trained body) skip both the decomposition
+/// and the coefficient bake and clone the cached kernels instead —
+/// cloning phase/coefficient arrays is orders of magnitude cheaper than
+/// decomposing. Admission is second-sight (see [`DEPLOY_SEEN`]): the
+/// first decomposition of a key records only a fingerprint, the second
+/// inserts the full entry, the third and later are hits. Residency is
+/// bounded by [`DEPLOY_CACHE_MAX_BYTES`] with LRU eviction.
+fn decompose_cached(w: &CMatrix, style: MeshStyle) -> DeployedKernels {
     let key = DecompositionKey::new(w, style);
-    // Values are `Arc`ed so the critical section is a refcount bump; the
-    // (cheap-but-not-free) phase-array clone happens outside the lock and
-    // concurrent grid-arm deployments never serialise behind it.
-    let hit: Option<Arc<PhotonicLayer>> = deploy_cache()
-        .lock()
-        .expect("deploy cache")
-        .get(&key)
-        .map(Arc::clone);
-    if let Some(layer) = hit {
+    // Values are `Arc`ed so the critical section is a refcount bump plus
+    // a recency touch; the (cheap-but-not-free) coefficient-array clone
+    // happens outside the lock and concurrent grid-arm deployments never
+    // serialise behind it.
+    let hit = deploy_cache().lock().expect("deploy cache").get(&key);
+    if let Some(kernels) = hit {
         DEPLOY_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
-        return (*layer).clone();
+        return (*kernels).clone();
     }
     // Decompose outside the lock: a miss is the expensive path, and other
     // deployments should not serialise behind it.
-    let layer = PhotonicLayer::from_matrix(w, style);
+    let kernels = DeployedKernels::decompose(w, style);
     DEPLOY_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
     if seen_before(&key) {
         // Clone outside the lock, like the hit path: holding the global
         // mutex across a mesh deep-clone would serialise concurrent
         // deployments behind this insert.
-        let entry = Arc::new(layer.clone());
-        let mut cache = deploy_cache().lock().expect("deploy cache");
-        if cache.len() < DEPLOY_CACHE_CAP {
-            cache.insert(key, entry);
-        }
+        let entry = Arc::new(kernels.clone());
+        deploy_cache()
+            .lock()
+            .expect("deploy cache")
+            .insert(key, entry);
     }
-    layer
+    kernels
 }
 
-fn deploy_dense(dense: &CDense, style: MeshStyle) -> PhotonicLayer {
+fn deploy_dense(dense: &CDense, style: MeshStyle) -> DeployedKernels {
     let (w_re, w_im) = dense.weight();
     let (b_re, b_im) = dense.bias();
     let (m, n) = (dense.n_out(), dense.n_in());
@@ -718,14 +991,25 @@ mod tests {
         // assert deltas as lower bounds.
         assert!(after.misses > before.misses, "first two calls must miss");
         assert!(after.hits > before.hits, "third call must hit");
-        assert_eq!(fresh.matrix().max_abs_diff(&admitted.matrix()), 0.0);
-        // The cached mesh must be *equal* to a fresh decomposition: same
-        // implemented matrix, bitwise-identical forward fields.
-        assert_eq!(fresh.matrix().max_abs_diff(&cached.matrix()), 0.0);
+        assert_eq!(
+            fresh.layer.matrix().max_abs_diff(&admitted.layer.matrix()),
+            0.0
+        );
+        // The cached kernels must be *equal* to a fresh decomposition:
+        // same implemented matrix, bitwise-identical forward fields,
+        // interpreted or compiled.
+        assert_eq!(
+            fresh.layer.matrix().max_abs_diff(&cached.layer.matrix()),
+            0.0
+        );
         let x: Vec<Complex64> = (0..4)
             .map(|j| Complex64::new(0.3 * j as f64, -0.1))
             .collect();
-        assert_eq!(fresh.forward(&x), cached.forward(&x));
+        assert_eq!(fresh.layer.forward(&x), cached.layer.forward(&x));
+        let mut compiled_out = x.clone();
+        let mut tmp = Vec::new();
+        cached.compiled.forward_into(&mut compiled_out, &mut tmp);
+        assert_eq!(compiled_out, cached.layer.forward(&x));
     }
 
     #[test]
@@ -790,5 +1074,129 @@ mod tests {
         // Stage 1: 5 x 7 (bias mode), stage 2: 4 x 6.
         let expect = oplix_photonics::mzi_count(5, 7) + oplix_photonics::mzi_count(4, 6);
         assert_eq!(deployed.device_count().mzis, expect);
+    }
+
+    #[test]
+    fn forward_window_matches_per_sample_forward_bitwise() {
+        let mut rng = StdRng::seed_from_u64(90_010);
+        let cfg = FcnnConfig {
+            input: 6,
+            hidden: 5,
+            classes: 2,
+        };
+        let net = build_fcnn(&cfg, ModelVariant::Split(DecoderKind::Merge), &mut rng);
+        let deployed =
+            DeployedFcnn::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+                .expect("deployable");
+        let view = random_view(9, 6, 90_011);
+        let mut window = WindowBuffers::default();
+        let mut window_logits = Vec::new();
+        deployed
+            .forward_window_into(&view, 2, 8, &mut window, &mut window_logits)
+            .expect("window");
+        let k = deployed.logit_dim();
+        assert_eq!(window_logits.len(), 6 * k);
+        for (r, row) in window_logits.chunks_exact(k).enumerate() {
+            let i = 2 + r;
+            let sample: Vec<Complex64> = (0..6)
+                .map(|j| Complex64::new(view.re.at2(i, j) as f64, view.im.at2(i, j) as f64))
+                .collect();
+            assert_eq!(row, deployed.forward(&sample).as_slice(), "row {i}");
+        }
+        // Empty windows and overruns behave like the sequential path.
+        deployed
+            .forward_window_into(&view, 3, 3, &mut window, &mut window_logits)
+            .expect("empty window is fine");
+        assert!(window_logits.is_empty());
+        assert!(deployed
+            .forward_window_into(&view, 5, 10, &mut window, &mut window_logits)
+            .is_err());
+    }
+
+    fn tiny_kernels(seed: u64) -> (DecompositionKey, Arc<DeployedKernels>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = CMatrix::from_fn(2, 2, |_, _| {
+            use rand::Rng;
+            Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        });
+        (
+            DecompositionKey::new(&w, MeshStyle::Clements),
+            Arc::new(DeployedKernels::decompose(&w, MeshStyle::Clements)),
+        )
+    }
+
+    #[test]
+    fn lru_cache_evicts_least_recently_used_within_byte_budget() {
+        let (key0, val0) = tiny_kernels(91_000);
+        let entry_bytes = key0.approx_bytes() + val0.approx_bytes();
+        // Room for exactly three entries.
+        let mut cache = LruDeployCache::new(3 * entry_bytes + entry_bytes / 2);
+        let (key1, val1) = tiny_kernels(91_001);
+        let (key2, val2) = tiny_kernels(91_002);
+        let (key3, val3) = tiny_kernels(91_003);
+        cache.insert(key0, val0);
+        cache.insert(key1, val1);
+        cache.insert(key2, val2);
+        assert_eq!(cache.map.len(), 3);
+        assert_eq!(cache.evictions, 0);
+        assert!(cache.resident_bytes > 0 && cache.resident_bytes <= cache.budget_bytes);
+
+        // Touch entry 0 so entry 1 becomes the LRU, then overflow.
+        let (probe0, _) = tiny_kernels(91_000);
+        assert!(
+            cache.get(&probe0).is_some(),
+            "entry 0 must still be resident"
+        );
+        cache.insert(key3, val3);
+        assert_eq!(cache.evictions, 1, "the fourth insert must evict one entry");
+        assert_eq!(cache.map.len(), 3);
+        let (probe1, _) = tiny_kernels(91_001);
+        assert!(
+            cache.get(&probe1).is_none(),
+            "the least-recently-used entry (1) must be the one evicted"
+        );
+        assert!(
+            cache.get(&probe0).is_some(),
+            "recently-touched entry survives"
+        );
+        assert!(
+            cache.resident_bytes <= cache.budget_bytes,
+            "byte accounting must stay within budget"
+        );
+    }
+
+    #[test]
+    fn lru_cache_refuses_oversized_entries_and_survives_clear() {
+        let (key, val) = tiny_kernels(91_010);
+        let mut cache = LruDeployCache::new(1); // budget smaller than any entry
+        cache.insert(key, val);
+        assert!(cache.map.is_empty(), "oversized entries are not cached");
+
+        let (key, val) = tiny_kernels(91_011);
+        let bytes = key.approx_bytes() + val.approx_bytes();
+        let mut cache = LruDeployCache::new(8 * bytes);
+        cache.insert(key, val);
+        assert_eq!(cache.resident_bytes, bytes);
+        cache.clear();
+        assert_eq!(cache.resident_bytes, 0);
+        assert_eq!(cache.map.len(), 0);
+        assert_eq!(cache.recency.len(), 0);
+    }
+
+    #[test]
+    fn global_cache_reports_resident_bytes() {
+        // Admit one entry (second sight), then the stats must account for
+        // its bytes. Other tests share the process-wide cache, so assert
+        // monotone lower bounds only.
+        let mut rng = StdRng::seed_from_u64(92_000);
+        let w = CMatrix::from_fn(4, 3, |_, _| {
+            use rand::Rng;
+            Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        });
+        let _ = decompose_cached(&w, MeshStyle::Clements);
+        let _ = decompose_cached(&w, MeshStyle::Clements); // second sight inserts
+        let stats = deploy_cache_stats();
+        assert!(stats.entries >= 1);
+        assert!(stats.resident_bytes > 0);
     }
 }

@@ -13,6 +13,11 @@
 //!   [`crate::pool`] budget, each worker owning its own preallocated
 //!   buffers; results are bitwise identical to the sequential path because
 //!   every sample's field walk is independent and row spans are fixed;
+//! * **compiled kernel windows** — each worker pushes its row span through
+//!   [`DeployedFcnn::forward_window_into`](crate::deploy::DeployedFcnn::forward_window_into)
+//!   in bounded windows: one precompiled coefficient kernel per optical
+//!   stage covers the whole window (no per-sample trigonometry), bitwise
+//!   identical to the per-sample walk;
 //! * **streaming evaluation** — [`InferenceEngine::accuracy_streaming`]
 //!   walks a labelled view in bounded chunks instead of materialising one
 //!   result vector per test set;
@@ -49,7 +54,7 @@
 //! assert_eq!(engine.stats().samples, 4);
 //! ```
 
-use crate::deploy::{DeployedDetection, DeployedFcnn, ForwardBuffers};
+use crate::deploy::{DeployedDetection, DeployedFcnn, ForwardBuffers, WindowBuffers};
 use crate::error::Error;
 use oplix_linalg::Complex64;
 use oplix_nn::ctensor::CTensor;
@@ -88,29 +93,33 @@ impl EngineStats {
     }
 }
 
-/// One worker's private serving state: forward buffers, the staged
-/// sample, and the detected logits. Workers never share these, so the
-/// sharded batch path stays allocation-free per sample after warm-up —
-/// the same property the sequential path has.
+/// One worker's private serving state: per-sample forward buffers (the
+/// `predict` path) plus the window buffers the batched path pushes whole
+/// sample windows through. Workers never share these, so the sharded
+/// batch path stays allocation-free per sample after warm-up — the same
+/// property the sequential path has.
 #[derive(Clone, Debug, Default)]
 struct WorkerSlot {
     buf: ForwardBuffers,
-    sample: Vec<Complex64>,
     logits: Vec<f64>,
+    window: WindowBuffers,
+    window_logits: Vec<f64>,
 }
 
-impl WorkerSlot {
-    /// Loads row `i` of a `[N, D]` complex view into the staged sample.
-    fn load_sample(&mut self, inputs: &CTensor, i: usize) {
-        let d = inputs.shape()[1];
-        self.sample.clear();
-        self.sample.extend(
-            (0..d).map(|j| Complex64::new(inputs.re.at2(i, j) as f64, inputs.im.at2(i, j) as f64)),
-        );
-    }
+/// How many rows one compiled-kernel window covers: big enough to
+/// amortise the per-stage batch dispatch, small enough that a worker's
+/// window buffers stay a few tens of kilobytes.
+const SERVE_WINDOW: usize = 64;
 
-    /// Runs rows `start..end` of a view through the deployed hardware,
-    /// emitting one `T` per row. Row indices in errors are absolute.
+impl WorkerSlot {
+    /// Runs rows `start..end` of a view through the deployed hardware in
+    /// compiled-kernel windows ([`DeployedFcnn::forward_window_into`]),
+    /// emitting one `T` per row. Each window applies one compiled kernel
+    /// per optical stage across all its samples instead of re-walking the
+    /// stage list per sample; per-sample results are bitwise identical to
+    /// the sequential walk. Row indices in errors are absolute, and the
+    /// lowest offending row wins — the sequential walk's first-error
+    /// semantics.
     fn run_rows<T>(
         &mut self,
         deployed: &DeployedFcnn,
@@ -119,12 +128,23 @@ impl WorkerSlot {
         end: usize,
         emit: &(impl Fn(&[f64]) -> T + Sync),
     ) -> Result<Vec<T>, Error> {
+        let k = deployed.logit_dim().max(1);
         let mut out = Vec::with_capacity(end.saturating_sub(start));
-        for i in start..end {
-            self.load_sample(inputs, i);
-            deployed.forward_into(&self.sample, &mut self.buf, &mut self.logits)?;
-            check_finite(&self.logits, i)?;
-            out.push(emit(&self.logits));
+        let mut lo = start;
+        while lo < end {
+            let hi = (lo + SERVE_WINDOW).min(end);
+            deployed.forward_window_into(
+                inputs,
+                lo,
+                hi,
+                &mut self.window,
+                &mut self.window_logits,
+            )?;
+            for (r, row) in self.window_logits.chunks_exact(k).enumerate() {
+                check_finite(row, lo + r)?;
+                out.push(emit(row));
+            }
+            lo = hi;
         }
         Ok(out)
     }

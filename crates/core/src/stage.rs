@@ -602,7 +602,11 @@ impl Stage for EvaluateStage {
                         self.batch_size
                     ),
                 },
-                Error::ShapeMismatch { .. } | Error::EmptyInput { .. } => Error::Stage {
+                Error::EmptyInput { .. } => Error::Stage {
+                    stage: "evaluate",
+                    message: "test view has no samples to evaluate".to_string(),
+                },
+                Error::ShapeMismatch { .. } => Error::Stage {
                     stage: "evaluate",
                     message: format!("test view rejected by the deployed mesh: {e}"),
                 },

@@ -1,0 +1,310 @@
+//! The workspace's one blocked GEMM kernel shape, shared by every dense
+//! matrix product: `f64` ([`crate::Matrix`]), [`Complex64`]
+//! ([`crate::CMatrix`]) and — via `oplix-nn` — the `f32` training tensors.
+//!
+//! All three variants walk the operands in the same cache-blocked order
+//! and make the *accumulation order bitwise deterministic*: every output
+//! element accumulates its `k` products in strictly ascending `k`,
+//! exactly like the naive `ikj` triple loop. That invariant is what lets
+//! [`gemm_nt`] / [`gemm_tn`] (the transpose-free layouts the neural-network
+//! crate trains through) be pinned *bitwise* against
+//! `transpose-then-[`gemm`]` in property tests: same products, same order,
+//! same roundings.
+//!
+//! There is deliberately **no** per-element `a == 0` skip branch (the old
+//! kernels had one): the branch costs a compare per multiply on the hot
+//! path, defeats autovectorisation of the inner loop, and only pays off
+//! for exactly-zero weights, which trained networks do not have.
+//!
+//! Blocking parameters are modest ([`NC`]/[`KC`]/[`MC`]): the matrices
+//! flowing through an MZI-mesh simulator are a few hundred wide at most,
+//! so the goal is keeping the `B` panel and the output row in L1/L2, not
+//! squeezing peak FLOPs out of a many-megabyte GEMM.
+//!
+//! [`Complex64`]: crate::Complex64
+
+use std::ops::{AddAssign, Mul};
+
+/// Column-block width: the `j` tile kept hot across an `i` sweep.
+pub const NC: usize = 128;
+/// Inner-dimension block depth: the `k` tile of `B` reused per `i` tile.
+pub const KC: usize = 64;
+/// Row-block height: the `i` tile that reuses one `B` panel.
+pub const MC: usize = 32;
+
+/// The scalar types the shared kernel accepts: plain `Copy` arithmetic
+/// with a `Default` zero. Implemented by `f32`, `f64` and
+/// [`Complex64`](crate::Complex64).
+pub trait GemmScalar: Copy + Default + Mul<Output = Self> + AddAssign {}
+
+impl<T: Copy + Default + Mul<Output = T> + AddAssign> GemmScalar for T {}
+
+/// `out = A · B` with `A: m×k`, `B: k×n`, all row-major.
+///
+/// Output elements accumulate in strictly ascending `k` — bitwise the
+/// naive `ikj` loop, blocked for cache reuse.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its `rows × cols` shape.
+///
+/// # Example
+///
+/// ```
+/// use oplix_linalg::gemm::gemm;
+///
+/// let a = [1.0f64, 2.0, 3.0, 4.0]; // 2×2
+/// let b = [5.0f64, 6.0, 7.0, 8.0]; // 2×2
+/// let mut out = [0.0f64; 4];
+/// gemm(2, 2, 2, &a, &b, &mut out);
+/// assert_eq!(out, [19.0, 22.0, 43.0, 50.0]);
+/// ```
+pub fn gemm<T: GemmScalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], out: &mut [T]) {
+    assert_eq!(a.len(), m * k, "gemm: lhs length must be m*k");
+    assert_eq!(b.len(), k * n, "gemm: rhs length must be k*n");
+    assert_eq!(out.len(), m * n, "gemm: out length must be m*n");
+    out.fill(T::default());
+    let mut j0 = 0;
+    while j0 < n {
+        let jn = (j0 + NC).min(n);
+        let mut k0 = 0;
+        while k0 < k {
+            let kn = (k0 + KC).min(k);
+            let mut i0 = 0;
+            while i0 < m {
+                let im = (i0 + MC).min(m);
+                for i in i0..im {
+                    let a_row = &a[i * k..(i + 1) * k];
+                    let out_row = &mut out[i * n + j0..i * n + jn];
+                    for t in k0..kn {
+                        let av = a_row[t];
+                        let b_row = &b[t * n + j0..t * n + jn];
+                        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+                i0 = im;
+            }
+            k0 = kn;
+        }
+        j0 = jn;
+    }
+}
+
+/// `out = A · Bᵀ` with `A: m×k` and `B` stored **untransposed** as `n×k`
+/// row-major — the layout a `[out_features, in_features]` weight matrix
+/// already has, so the dense forward pass needs no transposed copy.
+///
+/// Internally each `KC × NC` tile of `B` is *packed* into `k`-major order
+/// in a bounded scratch panel (the classic GEMM pack step), so the inner
+/// loop is the same vectorisable axpy as [`gemm`] — a naive row·row dot
+/// product would serialise the accumulation chain and run scalar. The
+/// panel is at most `KC × NC` elements regardless of the operand sizes,
+/// unlike a full transposed copy.
+///
+/// Each output element still accumulates in strictly ascending `k`: the
+/// result is bitwise identical to materialising `Bᵀ` and calling
+/// [`gemm`].
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its shape.
+///
+/// # Example
+///
+/// ```
+/// use oplix_linalg::gemm::{gemm, gemm_nt};
+///
+/// let a = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]; // 2×3
+/// let b = [1.0f32, 0.0, 1.0, 0.5, 0.5, 0.0]; // 2×3 (logically Bᵀ: 3×2)
+/// let bt = [1.0f32, 0.5, 0.0, 0.5, 1.0, 0.0]; // B transposed: 3×2
+/// let (mut fused, mut reference) = ([0.0f32; 4], [0.0f32; 4]);
+/// gemm_nt(2, 3, 2, &a, &b, &mut fused);
+/// gemm(2, 3, 2, &a, &bt, &mut reference);
+/// assert_eq!(fused, reference);
+/// ```
+pub fn gemm_nt<T: GemmScalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], out: &mut [T]) {
+    assert_eq!(a.len(), m * k, "gemm_nt: lhs length must be m*k");
+    assert_eq!(b.len(), n * k, "gemm_nt: rhs length must be n*k");
+    assert_eq!(out.len(), m * n, "gemm_nt: out length must be m*n");
+    out.fill(T::default());
+    let mut panel = vec![T::default(); KC.min(k.max(1)) * NC.min(n.max(1))];
+    let mut j0 = 0;
+    while j0 < n {
+        let jn = (j0 + NC).min(n);
+        let jw = jn - j0;
+        let mut k0 = 0;
+        while k0 < k {
+            let kn = (k0 + KC).min(k);
+            // Pack the B tile k-major: panel row `t - k0` holds
+            // `B[j][t]` for `j` in the tile, contiguously.
+            for j in j0..jn {
+                let b_row = &b[j * k..(j + 1) * k];
+                for t in k0..kn {
+                    panel[(t - k0) * jw + (j - j0)] = b_row[t];
+                }
+            }
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let out_row = &mut out[i * n + j0..i * n + jn];
+                for t in k0..kn {
+                    let av = a_row[t];
+                    let p_row = &panel[(t - k0) * jw..(t - k0 + 1) * jw];
+                    for (o, &bv) in out_row.iter_mut().zip(p_row) {
+                        *o += av * bv;
+                    }
+                }
+            }
+            k0 = kn;
+        }
+        j0 = jn;
+    }
+}
+
+/// `out = Aᵀ · B` with `A` stored **untransposed** as `k×m` row-major and
+/// `B: k×n` — the weight-gradient product `dW = dYᵀ · X` without a
+/// transposed copy of `dY`.
+///
+/// Walks `k` in the outer loop so every read (`A` row, `B` row) and every
+/// write (`out` row) is contiguous; each output element accumulates in
+/// strictly ascending `k`, bitwise identical to materialising `Aᵀ` and
+/// calling [`gemm`].
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its shape.
+///
+/// # Example
+///
+/// ```
+/// use oplix_linalg::gemm::{gemm, gemm_tn};
+///
+/// let a = [1.0f64, 2.0, 3.0, 4.0]; // 2×2 (logically Aᵀ of [[1,3],[2,4]])
+/// let at = [1.0f64, 3.0, 2.0, 4.0];
+/// let b = [1.0f64, 0.0, 0.0, 1.0]; // identity
+/// let (mut fused, mut reference) = ([0.0f64; 4], [0.0f64; 4]);
+/// gemm_tn(2, 2, 2, &a, &b, &mut fused);
+/// gemm(2, 2, 2, &at, &b, &mut reference);
+/// assert_eq!(fused, reference);
+/// ```
+pub fn gemm_tn<T: GemmScalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], out: &mut [T]) {
+    assert_eq!(a.len(), k * m, "gemm_tn: lhs length must be k*m");
+    assert_eq!(b.len(), k * n, "gemm_tn: rhs length must be k*n");
+    assert_eq!(out.len(), m * n, "gemm_tn: out length must be m*n");
+    out.fill(T::default());
+    for t in 0..k {
+        let a_row = &a[t * m..(t + 1) * m];
+        let b_row = &b[t * n..(t + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex64;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn naive_ikj(m: usize, k: usize, n: usize, a: &[f64], b: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for t in 0..k {
+                for j in 0..n {
+                    out[i * n + j] += a[i * k + t] * b[t * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn transpose<T: Copy>(rows: usize, cols: usize, a: &[T]) -> Vec<T> {
+        let mut out = Vec::with_capacity(a.len());
+        for j in 0..cols {
+            for i in 0..rows {
+                out.push(a[i * cols + j]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_gemm_is_bitwise_the_naive_ikj_loop() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // Shapes straddling every block boundary, plus empty/degenerate.
+        for &(m, k, n) in &[
+            (0, 3, 4),
+            (3, 0, 4),
+            (3, 4, 0),
+            (1, 1, 1),
+            (1, 200, 1),
+            (7, 65, 130),
+            (33, 64, 128),
+            (40, 130, 129),
+        ] {
+            let a: Vec<f64> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let b: Vec<f64> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut out = vec![0.0; m * n];
+            gemm(m, k, n, &a, &b, &mut out);
+            assert_eq!(out, naive_ikj(m, k, n, &a, &b), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn nt_and_tn_match_transpose_then_gemm_bitwise() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &(m, k, n) in &[(0, 2, 3), (1, 1, 1), (5, 67, 4), (34, 5, 129), (8, 128, 8)] {
+            let a: Vec<f64> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let bt: Vec<f64> = (0..n * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut fused = vec![0.0; m * n];
+            gemm_nt(m, k, n, &a, &bt, &mut fused);
+            let mut reference = vec![0.0; m * n];
+            gemm(m, k, n, &a, &transpose(n, k, &bt), &mut reference);
+            assert_eq!(fused, reference, "nt shape {m}x{k}x{n}");
+
+            let at: Vec<f64> = (0..k * m).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let b: Vec<f64> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut fused = vec![0.0; m * n];
+            gemm_tn(m, k, n, &at, &b, &mut fused);
+            let mut reference = vec![0.0; m * n];
+            gemm(m, k, n, &transpose(k, m, &at), &b, &mut reference);
+            assert_eq!(fused, reference, "tn shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn complex_gemm_matches_naive_product() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (m, k, n) = (9, 70, 11);
+        let a: Vec<Complex64> = (0..m * k)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let b: Vec<Complex64> = (0..k * n)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let mut out = vec![Complex64::ZERO; m * n];
+        gemm(m, k, n, &a, &b, &mut out);
+        let mut naive = vec![Complex64::ZERO; m * n];
+        for i in 0..m {
+            for t in 0..k {
+                for j in 0..n {
+                    naive[i * n + j] += a[i * k + t] * b[t * n + j];
+                }
+            }
+        }
+        assert_eq!(out, naive);
+    }
+
+    #[test]
+    #[should_panic(expected = "out length")]
+    fn shape_mismatch_panics() {
+        let mut out = [0.0f32; 3];
+        gemm(2, 2, 2, &[0.0; 4], &[0.0; 4], &mut out);
+    }
+}

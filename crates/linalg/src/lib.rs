@@ -14,6 +14,9 @@
 //! * [`qr`] — Householder QR factorisation and unitary basis completion.
 //! * [`svd`] — one-sided Jacobi SVD for complex (and hence real) matrices.
 //! * [`fft`] — radix-2 FFT used by the OFFT baseline.
+//! * [`gemm`] — the shared cache-blocked GEMM kernel every dense product
+//!   in the workspace (real, complex, and the `f32` training tensors)
+//!   runs through, with transpose-free `NT`/`TN` layouts.
 //!
 //! # Example
 //!
@@ -28,6 +31,7 @@
 
 pub mod complex;
 pub mod fft;
+pub mod gemm;
 pub mod matrix;
 pub mod qr;
 pub mod svd;

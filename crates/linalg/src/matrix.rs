@@ -96,7 +96,8 @@ impl Matrix {
         &self.data
     }
 
-    /// Matrix product `self · rhs`.
+    /// Matrix product `self · rhs`, through the workspace's shared
+    /// cache-blocked kernel ([`crate::gemm::gemm`]).
     ///
     /// # Panics
     ///
@@ -104,19 +105,14 @@ impl Matrix {
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.rows, "dimension mismatch in matmul");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                let lhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(lhs_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::gemm::gemm(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
         out
     }
 
@@ -325,7 +321,8 @@ impl CMatrix {
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
-    /// Matrix product `self · rhs`.
+    /// Matrix product `self · rhs`, through the workspace's shared
+    /// cache-blocked kernel ([`crate::gemm::gemm`]).
     ///
     /// # Panics
     ///
@@ -333,19 +330,14 @@ impl CMatrix {
     pub fn matmul(&self, rhs: &CMatrix) -> CMatrix {
         assert_eq!(self.cols, rhs.rows, "dimension mismatch in matmul");
         let mut out = CMatrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == Complex64::ZERO {
-                    continue;
-                }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::gemm::gemm(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
         out
     }
 

@@ -17,6 +17,10 @@ use crate::tensor::Tensor;
 /// Dense forward: `y = x · wᵀ` with `x: [B, n_in]`, `w: [n_out, n_in]`,
 /// producing `[B, n_out]`.
 ///
+/// Runs through the transpose-free [`Tensor::matmul_nt`] kernel: the
+/// weight is consumed in its stored `[out, in]` layout, so no per-step
+/// transposed copy is materialised.
+///
 /// # Panics
 ///
 /// Panics on rank or dimension mismatch.
@@ -24,7 +28,7 @@ pub fn dense_forward(x: &Tensor, w: &Tensor) -> Tensor {
     assert_eq!(x.shape().len(), 2, "dense input must be [batch, features]");
     assert_eq!(w.shape().len(), 2, "dense weight must be [out, in]");
     assert_eq!(x.shape()[1], w.shape()[1], "dense fan-in mismatch");
-    x.matmul(&w.transpose2())
+    x.matmul_nt(w)
 }
 
 /// Gradient of the dense product with respect to the input:
@@ -34,9 +38,10 @@ pub fn dense_backward_input(dy: &Tensor, w: &Tensor) -> Tensor {
 }
 
 /// Gradient of the dense product with respect to the weight:
-/// `dw = dyᵀ · x`.
+/// `dw = dyᵀ · x`, through the transpose-free [`Tensor::matmul_tn`]
+/// kernel (no transposed copy of `dy` per step).
 pub fn dense_backward_weight(dy: &Tensor, x: &Tensor) -> Tensor {
-    dy.transpose2().matmul(x)
+    dy.matmul_tn(x)
 }
 
 // ---------------------------------------------------------------------------

@@ -12,8 +12,27 @@
 //! first mutable access after a clone ([`Tensor::as_mut_slice`] and
 //! friends) detaches the storage, so writes never alias across clones.
 
+use oplix_linalg::gemm;
 use rand::Rng;
+use std::cell::Cell;
 use std::sync::Arc;
+
+thread_local! {
+    /// Per-thread count of [`Tensor::transpose2`] materialisations — a
+    /// cheap allocation diagnostic. The dense forward/backward passes are
+    /// meant to be transpose-free ([`Tensor::matmul_nt`] /
+    /// [`Tensor::matmul_tn`]), and tests pin that by asserting this counter
+    /// does not move across a train step. Thread-local so concurrent tests
+    /// cannot perturb each other's window.
+    static TRANSPOSE2_MATERIALISATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// How many transposed tensor copies ([`Tensor::transpose2`]) the *current
+/// thread* has materialised so far. Training and serving hot paths are
+/// expected to leave this counter untouched.
+pub fn transpose2_materialisations() -> u64 {
+    TRANSPOSE2_MATERIALISATIONS.with(Cell::get)
+}
 
 /// A dense row-major tensor of `f32` values.
 ///
@@ -241,7 +260,9 @@ impl Tensor {
         self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
     }
 
-    /// 2-D matrix product: `self` is `[m, k]`, `rhs` is `[k, n]`.
+    /// 2-D matrix product: `self` is `[m, k]`, `rhs` is `[k, n]`, through
+    /// the workspace's shared cache-blocked kernel
+    /// ([`oplix_linalg::gemm::gemm`]).
     ///
     /// # Panics
     ///
@@ -253,30 +274,77 @@ impl Tensor {
         let (k2, n) = (rhs.shape[0], rhs.shape[1]);
         assert_eq!(k, k2, "matmul inner dimension mismatch");
         let mut out = Tensor::zeros(&[m, n]);
-        let out_data = out.data_mut();
-        for i in 0..m {
-            for t in 0..k {
-                let a = self.data[i * k + t];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[t * n..(t + 1) * n];
-                let out_row = &mut out_data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        gemm::gemm(m, k, n, &self.data, &rhs.data, out.data_mut());
         out
     }
 
-    /// 2-D transpose.
+    /// Transpose-free product `self · rhsᵀ` with `self: [m, k]` and `rhs`
+    /// stored **untransposed** as `[n, k]` — the layout a
+    /// `[out_features, in_features]` weight matrix already has. Bitwise
+    /// identical to `self.matmul(&rhs.transpose2())` without materialising
+    /// the transposed copy.
+    ///
+    /// ```
+    /// use oplix_nn::tensor::Tensor;
+    ///
+    /// let x = Tensor::from_vec(&[1, 3], vec![1.0, 2.0, 3.0]);
+    /// let w = Tensor::from_vec(&[2, 3], vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0]);
+    /// assert_eq!(x.matmul_nt(&w), x.matmul(&w.transpose2()));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are rank 2 with matching trailing
+    /// dimension.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul_nt lhs must be rank 2");
+        assert_eq!(rhs.shape.len(), 2, "matmul_nt rhs must be rank 2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "matmul_nt inner dimension mismatch");
+        let mut out = Tensor::zeros(&[m, n]);
+        gemm::gemm_nt(m, k, n, &self.data, &rhs.data, out.data_mut());
+        out
+    }
+
+    /// Transpose-free product `selfᵀ · rhs` with `self` stored
+    /// **untransposed** as `[k, m]` and `rhs: [k, n]` — the weight-gradient
+    /// product `dW = dYᵀ · X` without a transposed copy of `dY`. Bitwise
+    /// identical to `self.transpose2().matmul(rhs)`.
+    ///
+    /// ```
+    /// use oplix_nn::tensor::Tensor;
+    ///
+    /// let dy = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+    /// let x = Tensor::from_vec(&[2, 3], vec![0.5, 0.0, 1.0, 1.0, 2.0, 0.0]);
+    /// assert_eq!(dy.matmul_tn(&x), dy.transpose2().matmul(&x));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are rank 2 with matching leading
+    /// dimension.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul_tn lhs must be rank 2");
+        assert_eq!(rhs.shape.len(), 2, "matmul_tn rhs must be rank 2");
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "matmul_tn inner dimension mismatch");
+        let mut out = Tensor::zeros(&[m, n]);
+        gemm::gemm_tn(m, k, n, &self.data, &rhs.data, out.data_mut());
+        out
+    }
+
+    /// 2-D transpose, materialising a new tensor (and bumping the
+    /// [`transpose2_materialisations`] diagnostic). Hot paths should prefer
+    /// the transpose-free [`Tensor::matmul_nt`] / [`Tensor::matmul_tn`].
     ///
     /// # Panics
     ///
     /// Panics unless the tensor is rank 2.
     pub fn transpose2(&self) -> Tensor {
         assert_eq!(self.shape.len(), 2, "transpose2 requires rank 2");
+        TRANSPOSE2_MATERIALISATIONS.with(|c| c.set(c.get() + 1));
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = Tensor::zeros(&[n, m]);
         let out_data = out.data_mut();
@@ -466,5 +534,84 @@ mod tests {
         *u.at4_mut(0, 0, 1, 1) = 5.0;
         assert_eq!(t.at4(0, 0, 1, 1), 0.0);
         assert_eq!(u.at4(0, 0, 1, 1), 5.0);
+    }
+
+    #[test]
+    fn transpose2_bumps_the_materialisation_counter() {
+        let before = transpose2_materialisations();
+        let _ = Tensor::zeros(&[2, 3]).transpose2();
+        assert!(transpose2_materialisations() > before);
+    }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        /// A random rank-2 tensor, including empty (0-row / 0-col) and
+        /// 1×N degenerate shapes, with a seed so every case differs.
+        fn tensor2(rows: usize, cols: usize, seed: u64) -> Tensor {
+            let mut rng = StdRng::seed_from_u64(seed);
+            Tensor::random_uniform(&[rows, cols], 1.0, &mut rng)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// `matmul_nt` is pinned *bitwise* against materialising the
+            /// transpose: same products, same accumulation order, same
+            /// roundings.
+            #[test]
+            fn matmul_nt_matches_transpose_then_matmul(
+                m in 0usize..9,
+                k in 0usize..70,
+                n in 0usize..9,
+                seed in 0u64..u64::MAX,
+            ) {
+                let a = tensor2(m, k, seed);
+                let b = tensor2(n, k, seed.wrapping_add(1));
+                prop_assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose2()));
+            }
+
+            /// Same bitwise pin for the `TN` (weight-gradient) layout.
+            #[test]
+            fn matmul_tn_matches_transpose_then_matmul(
+                k in 0usize..70,
+                m in 0usize..9,
+                n in 0usize..9,
+                seed in 0u64..u64::MAX,
+            ) {
+                let a = tensor2(k, m, seed);
+                let b = tensor2(k, n, seed.wrapping_add(1));
+                prop_assert_eq!(a.matmul_tn(&b), a.transpose2().matmul(&b));
+            }
+
+            /// The blocked kernel agrees bitwise with a plain `ikj`
+            /// reference loop at every shape, including empty and 1×N.
+            #[test]
+            fn blocked_matmul_matches_naive_ikj(
+                m in 0usize..6,
+                k in 0usize..140,
+                n in 0usize..6,
+                seed in 0u64..u64::MAX,
+            ) {
+                let a = tensor2(m, k, seed);
+                let b = tensor2(k, n, seed.wrapping_add(1));
+                let mut naive = Tensor::zeros(&[m, n]);
+                {
+                    let out = naive.as_mut_slice();
+                    for i in 0..m {
+                        for t in 0..k {
+                            let av = a.as_slice()[i * k + t];
+                            for j in 0..n {
+                                out[i * n + j] += av * b.as_slice()[t * n + j];
+                            }
+                        }
+                    }
+                }
+                prop_assert_eq!(a.matmul(&b), naive);
+            }
+        }
     }
 }

@@ -254,4 +254,23 @@ mod tests {
         let acc = evaluate(&mut net, &data, 8);
         assert!((0.0..=1.0).contains(&acc));
     }
+
+    #[test]
+    fn train_step_materialises_no_weight_transposes() {
+        use crate::tensor::transpose2_materialisations;
+
+        let train = blob_dataset(64, 8);
+        let mut net = blob_network(9);
+        let mut opt = Sgd::with_momentum(0.05, 0.9, 1e-4);
+        let mut rng = StdRng::seed_from_u64(10);
+        // Warm up once so any one-time setup cost is out of the window.
+        let _ = train_epoch(&mut net, &train, 16, &mut opt, &mut rng);
+        let before = transpose2_materialisations();
+        let _ = train_epoch(&mut net, &train, 16, &mut opt, &mut rng);
+        let after = transpose2_materialisations();
+        assert_eq!(
+            after, before,
+            "a dense train epoch must not materialise transposed weight copies"
+        );
+    }
 }

@@ -1,0 +1,497 @@
+//! Compiled propagation kernels: meshes and SVD layers baked into
+//! precomputed coefficients at deploy time.
+//!
+//! The interpreted walk ([`MziMesh::propagate_in_place`]) re-derives every
+//! MZI's transfer coefficients — `sin`, `cos` and two phasors, six
+//! transcendental evaluations — *per MZI, per sample*. A mesh's phases are
+//! fixed the moment it is deployed, so a serving path can pay that cost
+//! once: [`CompiledMesh::compile`] evaluates
+//! [`Mzi::coefficients`](crate::devices::Mzi::coefficients) for
+//! every MZI and stores the four 2×2 entries struct-of-arrays, grouped by
+//! column stage (the greedy left-to-right packing of
+//! [`MziMesh::depth`]), together with the precomputed output phasors.
+//! Propagation then replays pure complex multiply–adds.
+//!
+//! **Bitwise contract.** Compiled propagation is *bitwise identical* to
+//! the interpreted path: [`Mzi::apply`](crate::devices::Mzi::apply)
+//! itself evaluates [`Mzi::coefficients`](crate::devices::Mzi::coefficients)
+//! and applies the same 2×2 product the compiled
+//! kernel replays, and the stage grouping only reorders MZIs that act on
+//! disjoint mode pairs (mode-sharing MZIs always land in strictly
+//! increasing stages), which commutes exactly in floating point. The
+//! property tests at the bottom of this module pin both facts.
+//!
+//! [`CompiledLayer`] extends the same treatment to a whole SVD-mapped
+//! layer (`V*` mesh → attenuator column → `U` mesh) and adds the batched
+//! entry points ([`CompiledMesh::propagate_batch`],
+//! [`CompiledLayer::forward_batch`]) the inference engine serves sample
+//! windows through.
+
+use crate::mesh::MziMesh;
+use crate::svd_map::PhotonicLayer;
+use oplix_linalg::Complex64;
+
+/// A mesh baked into precomputed 2×2 coefficients, struct-of-arrays,
+/// grouped by column stage.
+///
+/// # Example
+///
+/// ```
+/// use oplix_photonics::compiled::CompiledMesh;
+/// use oplix_photonics::devices::Mzi;
+/// use oplix_photonics::mesh::MziMesh;
+/// use oplix_linalg::Complex64;
+///
+/// let mesh = MziMesh::new(
+///     3,
+///     vec![Mzi::new(0, 0.9, 0.2), Mzi::new(1, 1.8, -1.0)],
+///     vec![0.5, -0.5, 1.0],
+/// );
+/// let compiled = CompiledMesh::compile(&mesh);
+///
+/// let mut interpreted = vec![Complex64::ONE, Complex64::i(), Complex64::ZERO];
+/// let mut fast = interpreted.clone();
+/// mesh.propagate_in_place(&mut interpreted);
+/// compiled.propagate_in_place(&mut fast);
+/// assert_eq!(interpreted, fast); // bitwise, not approximately
+/// ```
+#[derive(Clone, Debug)]
+pub struct CompiledMesh {
+    n: usize,
+    /// Upper mode index per MZI, in stage-major order.
+    modes: Vec<u32>,
+    /// The 2×2 transfer entries per MZI, struct-of-arrays, stage-major.
+    t00: Vec<Complex64>,
+    t01: Vec<Complex64>,
+    t10: Vec<Complex64>,
+    t11: Vec<Complex64>,
+    /// CSR-style offsets into the coefficient arrays: stage `s` spans
+    /// `stages[s]..stages[s + 1]`.
+    stages: Vec<usize>,
+    /// Precomputed `e^{iφ}` of the output phase screen.
+    out_phasors: Vec<Complex64>,
+}
+
+impl CompiledMesh {
+    /// Bakes a mesh into precomputed coefficients.
+    ///
+    /// MZIs are packed greedily into column stages exactly like
+    /// [`MziMesh::depth`] counts them; within a stage the original order
+    /// is kept. Because two MZIs sharing a waveguide mode always land in
+    /// strictly increasing stages, the stage-major replay order only
+    /// commutes mode-disjoint MZIs — an exact (bitwise) reordering.
+    pub fn compile(mesh: &MziMesh) -> Self {
+        let n = mesh.n();
+        let mzis = mesh.mzis();
+        // Greedy column packing, identical to `MziMesh::depth`.
+        let mut free_at = vec![0usize; n];
+        let mut layer_of = Vec::with_capacity(mzis.len());
+        let mut depth = 0usize;
+        for mzi in mzis {
+            let layer = free_at[mzi.mode].max(free_at[mzi.mode + 1]);
+            free_at[mzi.mode] = layer + 1;
+            free_at[mzi.mode + 1] = layer + 1;
+            layer_of.push(layer);
+            depth = depth.max(layer + 1);
+        }
+        // Counting sort into stage-major order (stable within a stage).
+        let mut stages = vec![0usize; depth + 1];
+        for &l in &layer_of {
+            stages[l + 1] += 1;
+        }
+        for s in 0..depth {
+            stages[s + 1] += stages[s];
+        }
+        let total = mzis.len();
+        let mut cursor = stages.clone();
+        let mut modes = vec![0u32; total];
+        let mut t00 = vec![Complex64::ZERO; total];
+        let mut t01 = vec![Complex64::ZERO; total];
+        let mut t10 = vec![Complex64::ZERO; total];
+        let mut t11 = vec![Complex64::ZERO; total];
+        for (mzi, &layer) in mzis.iter().zip(&layer_of) {
+            let slot = cursor[layer];
+            cursor[layer] += 1;
+            let [a, b, c, d] = mzi.coefficients();
+            modes[slot] = mzi.mode as u32;
+            t00[slot] = a;
+            t01[slot] = b;
+            t10[slot] = c;
+            t11[slot] = d;
+        }
+        CompiledMesh {
+            n,
+            modes,
+            t00,
+            t01,
+            t10,
+            t11,
+            stages,
+            out_phasors: mesh
+                .output_phases()
+                .iter()
+                .map(|&p| Complex64::cis(p))
+                .collect(),
+        }
+    }
+
+    /// Number of waveguide modes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of MZIs baked into the kernel.
+    #[inline]
+    pub fn mzi_count(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// Number of column stages the coefficients are grouped into (equal to
+    /// the source mesh's [`MziMesh::depth`]).
+    #[inline]
+    pub fn stage_count(&self) -> usize {
+        self.stages.len() - 1
+    }
+
+    /// Approximate resident size of the compiled kernel in bytes, for
+    /// cache accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.modes.len() * (4 * std::mem::size_of::<Complex64>() + 4)
+            + self.stages.len() * std::mem::size_of::<usize>()
+            + self.out_phasors.len() * std::mem::size_of::<Complex64>()
+            + std::mem::size_of::<Self>()
+    }
+
+    /// The compiled kernel over one sample: replays every baked 2×2
+    /// product in stage-major order, then the output phasors.
+    #[inline]
+    fn kernel(&self, fields: &mut [Complex64]) {
+        for idx in 0..self.modes.len() {
+            let m = self.modes[idx] as usize;
+            let a = fields[m];
+            let b = fields[m + 1];
+            fields[m] = self.t00[idx] * a + self.t01[idx] * b;
+            fields[m + 1] = self.t10[idx] * a + self.t11[idx] * b;
+        }
+        for (f, &ph) in fields.iter_mut().zip(&self.out_phasors) {
+            *f *= ph;
+        }
+    }
+
+    /// Propagates one field vector in place — bitwise identical to
+    /// [`MziMesh::propagate_in_place`] on the source mesh, with zero
+    /// transcendental evaluations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fields.len() != self.n()`.
+    pub fn propagate_in_place(&self, fields: &mut [Complex64]) {
+        assert_eq!(
+            fields.len(),
+            self.n,
+            "field vector length must match mesh size"
+        );
+        self.kernel(fields);
+    }
+
+    /// Propagates a window of `samples` field vectors stored contiguously
+    /// (`fields[s*n .. (s+1)*n]` is sample `s`) through one compiled
+    /// kernel — the batch entry point the inference engine serves sample
+    /// windows through. Each sample runs the exact per-sample kernel, so
+    /// the batch is bitwise identical to `samples` sequential
+    /// [`CompiledMesh::propagate_in_place`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fields.len() != samples * self.n()`.
+    pub fn propagate_batch(&self, fields: &mut [Complex64], samples: usize) {
+        assert_eq!(
+            fields.len(),
+            samples * self.n,
+            "batch length must be samples * mesh size"
+        );
+        for row in fields.chunks_exact_mut(self.n.max(1)) {
+            self.kernel(row);
+        }
+    }
+}
+
+/// A whole SVD-mapped layer (`V*` mesh → Σ attenuators → `U` mesh) baked
+/// into compiled kernels; the deploy-time artifact the serving engine
+/// stores and the deployment cache memoises.
+///
+/// # Example
+///
+/// ```
+/// use oplix_linalg::{CMatrix, Complex64};
+/// use oplix_photonics::compiled::CompiledLayer;
+/// use oplix_photonics::svd_map::{MeshStyle, PhotonicLayer};
+///
+/// let w = CMatrix::from_fn(2, 3, |i, j| Complex64::new(i as f64 + 1.0, j as f64));
+/// let layer = PhotonicLayer::from_matrix(&w, MeshStyle::Clements);
+/// let compiled = CompiledLayer::compile(&layer);
+///
+/// let mut io = vec![Complex64::ONE, Complex64::i(), Complex64::new(0.5, -0.5)];
+/// let mut reference = io.clone();
+/// let (mut tmp_a, mut tmp_b) = (Vec::new(), Vec::new());
+/// compiled.forward_into(&mut io, &mut tmp_a);
+/// layer.forward_into(&mut reference, &mut tmp_b);
+/// assert_eq!(io, reference); // bitwise, not approximately
+/// ```
+#[derive(Clone, Debug)]
+pub struct CompiledLayer {
+    m: usize,
+    n: usize,
+    gain: f64,
+    /// Attenuator amplitude coefficients, one per singular value.
+    attenuations: Vec<f64>,
+    v: CompiledMesh,
+    u: CompiledMesh,
+}
+
+impl CompiledLayer {
+    /// Bakes both meshes and the attenuator column of an SVD-mapped layer.
+    pub fn compile(layer: &PhotonicLayer) -> Self {
+        CompiledLayer {
+            m: layer.output_dim(),
+            n: layer.input_dim(),
+            gain: layer.gain(),
+            attenuations: layer.attenuators().iter().map(|a| a.coefficient).collect(),
+            v: CompiledMesh::compile(layer.v_mesh()),
+            u: CompiledMesh::compile(layer.u_mesh()),
+        }
+    }
+
+    /// Output dimension `m`.
+    #[inline]
+    pub fn output_dim(&self) -> usize {
+        self.m
+    }
+
+    /// Input dimension `n`.
+    #[inline]
+    pub fn input_dim(&self) -> usize {
+        self.n
+    }
+
+    /// Approximate resident size in bytes, for cache accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.v.approx_bytes()
+            + self.u.approx_bytes()
+            + self.attenuations.len() * std::mem::size_of::<f64>()
+            + std::mem::size_of::<Self>()
+    }
+
+    /// The Σ stage: keep `min(m, n)` modes, attenuate, apply the global
+    /// gain — the exact operation order of
+    /// [`PhotonicLayer::forward_into`].
+    #[inline]
+    fn sigma(&self, io: &[Complex64], tmp: &mut [Complex64]) {
+        let k = self.m.min(self.n);
+        for i in 0..k {
+            tmp[i] = io[i].scale(self.attenuations[i]).scale(self.gain);
+        }
+    }
+
+    /// Allocation-free compiled forward pass: `io` holds the input fields
+    /// on entry (length `n`) and the output fields on exit (length `m`);
+    /// `tmp` is caller-owned scratch. Bitwise identical to
+    /// [`PhotonicLayer::forward_into`] on the source layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `io.len() != self.input_dim()`.
+    pub fn forward_into(&self, io: &mut Vec<Complex64>, tmp: &mut Vec<Complex64>) {
+        assert_eq!(io.len(), self.n, "input length must equal the layer fan-in");
+        self.v.propagate_in_place(io);
+        tmp.clear();
+        tmp.resize(self.m, Complex64::ZERO);
+        self.sigma(io, tmp);
+        self.u.propagate_in_place(tmp);
+        std::mem::swap(io, tmp);
+    }
+
+    /// Compiled forward pass over a window of `samples` contiguous
+    /// samples: `io` holds `samples × n` input fields on entry and
+    /// `samples × m` output fields on exit. Bitwise identical to running
+    /// each sample through [`CompiledLayer::forward_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `io.len() != samples * self.input_dim()`.
+    pub fn forward_batch(&self, io: &mut Vec<Complex64>, tmp: &mut Vec<Complex64>, samples: usize) {
+        assert_eq!(
+            io.len(),
+            samples * self.n,
+            "batch length must be samples * layer fan-in"
+        );
+        self.v.propagate_batch(io, samples);
+        tmp.clear();
+        tmp.resize(samples * self.m, Complex64::ZERO);
+        for s in 0..samples {
+            self.sigma(
+                &io[s * self.n..(s + 1) * self.n],
+                &mut tmp[s * self.m..(s + 1) * self.m],
+            );
+        }
+        self.u.propagate_batch(tmp, samples);
+        std::mem::swap(io, tmp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::Mzi;
+    use crate::svd_map::MeshStyle;
+    use oplix_linalg::CMatrix;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A random mesh on `n` modes with `count` MZIs and random phases.
+    fn random_mesh(n: usize, count: usize, seed: u64) -> MziMesh {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mzis = (0..count)
+            .map(|_| {
+                Mzi::new(
+                    rng.gen_range(0..n.max(2) - 1),
+                    rng.gen_range(-6.0..6.0),
+                    rng.gen_range(-6.0..6.0),
+                )
+            })
+            .collect();
+        let phases = (0..n).map(|_| rng.gen_range(-6.0..6.0)).collect();
+        MziMesh::new(n, mzis, phases)
+    }
+
+    fn random_fields(n: usize, seed: u64) -> Vec<Complex64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_single_mode_meshes_compile() {
+        for n in [0usize, 1] {
+            let mesh = MziMesh::identity(n);
+            let compiled = CompiledMesh::compile(&mesh);
+            assert_eq!(compiled.mzi_count(), 0);
+            assert_eq!(compiled.stage_count(), 0);
+            let mut fields = random_fields(n, 7);
+            let mut reference = fields.clone();
+            compiled.propagate_in_place(&mut fields);
+            mesh.propagate_in_place(&mut reference);
+            assert_eq!(fields, reference);
+        }
+    }
+
+    #[test]
+    fn stage_grouping_matches_depth() {
+        let mesh = random_mesh(8, 40, 3);
+        let compiled = CompiledMesh::compile(&mesh);
+        assert_eq!(compiled.stage_count(), mesh.depth());
+        assert_eq!(compiled.mzi_count(), mesh.mzi_count());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The headline contract: compiled propagation is pinned *bitwise*
+        /// against the interpreted walk across random meshes, including
+        /// dense Clements-depth meshes and sparse ones.
+        #[test]
+        fn compiled_propagation_is_bitwise_interpreted(
+            n in 2usize..12,
+            count in 0usize..60,
+            seed in 0u64..u64::MAX,
+        ) {
+            let mesh = random_mesh(n, count, seed);
+            let compiled = CompiledMesh::compile(&mesh);
+            let mut fields = random_fields(n, seed.wrapping_add(1));
+            let mut reference = fields.clone();
+            compiled.propagate_in_place(&mut fields);
+            mesh.propagate_in_place(&mut reference);
+            prop_assert_eq!(fields, reference);
+        }
+
+        /// The batch entry point is bitwise the per-sample kernel,
+        /// including the empty window.
+        #[test]
+        fn propagate_batch_is_bitwise_per_sample(
+            n in 2usize..10,
+            count in 0usize..40,
+            samples in 0usize..6,
+            seed in 0u64..u64::MAX,
+        ) {
+            let mesh = random_mesh(n, count, seed);
+            let compiled = CompiledMesh::compile(&mesh);
+            let mut batch = random_fields(n * samples, seed.wrapping_add(2));
+            let reference: Vec<Complex64> = batch
+                .chunks_exact(n)
+                .flat_map(|row| {
+                    let mut r = row.to_vec();
+                    mesh.propagate_in_place(&mut r);
+                    r
+                })
+                .collect();
+            compiled.propagate_batch(&mut batch, samples);
+            prop_assert_eq!(batch, reference);
+        }
+
+        /// Compiled SVD layers are bitwise the interpreted layer forward,
+        /// across tall, wide and square weights and both mesh styles.
+        #[test]
+        fn compiled_layer_is_bitwise_interpreted(
+            m in 1usize..7,
+            n in 1usize..7,
+            reck in 0u8..2,
+            seed in 0u64..u64::MAX,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let w = CMatrix::from_fn(m, n, |_, _| {
+                Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+            });
+            let style = if reck == 0 { MeshStyle::Clements } else { MeshStyle::Reck };
+            let layer = PhotonicLayer::from_matrix(&w, style);
+            let compiled = CompiledLayer::compile(&layer);
+            let mut io = random_fields(n, seed.wrapping_add(3));
+            let mut reference = io.clone();
+            let (mut tmp_a, mut tmp_b) = (Vec::new(), Vec::new());
+            compiled.forward_into(&mut io, &mut tmp_a);
+            layer.forward_into(&mut reference, &mut tmp_b);
+            prop_assert_eq!(io, reference);
+        }
+
+        /// The layer-level batch kernel is bitwise the per-sample kernel.
+        #[test]
+        fn forward_batch_is_bitwise_per_sample(
+            m in 1usize..6,
+            n in 1usize..6,
+            samples in 0usize..5,
+            seed in 0u64..u64::MAX,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let w = CMatrix::from_fn(m, n, |_, _| {
+                Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+            });
+            let layer = PhotonicLayer::from_matrix(&w, MeshStyle::Clements);
+            let compiled = CompiledLayer::compile(&layer);
+            let mut batch = random_fields(n * samples, seed.wrapping_add(4));
+            let mut tmp = Vec::new();
+            let reference: Vec<Complex64> = batch
+                .chunks_exact(n)
+                .flat_map(|row| {
+                    let mut io = row.to_vec();
+                    compiled.forward_into(&mut io, &mut tmp);
+                    io
+                })
+                .collect();
+            let mut scratch = Vec::new();
+            compiled.forward_batch(&mut batch, &mut scratch, samples);
+            prop_assert_eq!(batch, reference);
+        }
+    }
+}

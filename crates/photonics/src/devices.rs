@@ -80,38 +80,50 @@ impl Mzi {
         Mzi { mode, theta, phi }
     }
 
-    /// The 2×2 transfer matrix `DC · PS(θ) · DC · PS(φ)`.
+    /// The four entries `[t00, t01, t10, t11]` of the 2×2 transfer matrix,
+    /// in row-major order.
+    ///
+    /// This is the **single source** of the MZI's transfer coefficients:
+    /// [`Mzi::transfer`], [`Mzi::apply`] and the compiled kernels
+    /// ([`crate::compiled::CompiledMesh`]) all evaluate exactly this
+    /// function, so a mesh baked into precomputed coefficients at deploy
+    /// time produces *bitwise identical* fields to the interpreted
+    /// per-sample walk.
     ///
     /// Closed form:
     /// `i·e^{iθ/2} · [[e^{iφ}·sin(θ/2), cos(θ/2)], [e^{iφ}·cos(θ/2), −sin(θ/2)]]`.
-    pub fn transfer(&self) -> CMatrix {
+    #[inline]
+    pub fn coefficients(&self) -> [Complex64; 4] {
         let half = self.theta / 2.0;
         let s = half.sin();
         let c = half.cos();
         let pre = Complex64::i() * Complex64::cis(half);
         let ephi = Complex64::cis(self.phi);
-        CMatrix::from_rows(&[
-            vec![pre * ephi * s, pre * c],
-            vec![pre * ephi * c, pre * (-s)],
-        ])
+        [pre * ephi * s, pre * c, pre * ephi * c, pre * (-s)]
     }
 
-    /// Applies this MZI in place to a field vector.
+    /// The 2×2 transfer matrix `DC · PS(θ) · DC · PS(φ)`; see
+    /// [`Mzi::coefficients`] for the closed form.
+    pub fn transfer(&self) -> CMatrix {
+        let [t00, t01, t10, t11] = self.coefficients();
+        CMatrix::from_rows(&[vec![t00, t01], vec![t10, t11]])
+    }
+
+    /// Applies this MZI in place to a field vector, evaluating
+    /// [`Mzi::coefficients`] and applying the 2×2 product — the exact
+    /// operation the compiled kernels replay from precomputed
+    /// coefficients.
     ///
     /// # Panics
     ///
     /// Panics if `fields.len() < self.mode + 2`.
     #[inline]
     pub fn apply(&self, fields: &mut [Complex64]) {
-        let half = self.theta / 2.0;
-        let s = half.sin();
-        let c = half.cos();
-        let pre = Complex64::i() * Complex64::cis(half);
-        let ephi = Complex64::cis(self.phi);
+        let [t00, t01, t10, t11] = self.coefficients();
         let a = fields[self.mode];
         let b = fields[self.mode + 1];
-        fields[self.mode] = pre * (ephi * a * s + b * c);
-        fields[self.mode + 1] = pre * (ephi * a * c - b * s);
+        fields[self.mode] = t00 * a + t01 * b;
+        fields[self.mode + 1] = t10 * a + t11 * b;
     }
 
     /// Total static power drawn by the two thermo-optic phase shifters of

@@ -13,6 +13,10 @@
 //!   (refs. \[14\] and \[20\]).
 //! * [`svd_map`] — `W = U Σ V*` weight deployment onto two meshes and a
 //!   column of attenuators.
+//! * [`compiled`] — meshes and SVD layers baked into precomputed
+//!   coefficient kernels at deploy time (bitwise identical to the
+//!   interpreted walk, no per-sample trigonometry), with batched
+//!   propagation entry points for the serving engine.
 //! * [`count`] — MZI / DC / PS counting (the paper's area metric).
 //! * [`area`] — optional physical-footprint model.
 //! * [`power`] — phase-dependent static power (0–80 mW per PS).
@@ -38,6 +42,7 @@
 
 pub mod area;
 pub mod clements;
+pub mod compiled;
 pub mod count;
 pub mod decoder;
 pub mod devices;
@@ -48,6 +53,7 @@ pub mod power;
 pub mod reck;
 pub mod svd_map;
 
+pub use compiled::{CompiledLayer, CompiledMesh};
 pub use count::{mzi_count, DeviceCount};
 pub use decoder::DecoderKind;
 pub use devices::Mzi;

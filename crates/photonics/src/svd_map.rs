@@ -111,6 +111,12 @@ impl PhotonicLayer {
         &self.u_mesh
     }
 
+    /// The Σ-stage attenuator column, one per singular value (coefficients
+    /// in `[0, 1]`; the spectral norm lives in [`PhotonicLayer::gain`]).
+    pub fn attenuators(&self) -> &[Attenuator] {
+        &self.attenuators
+    }
+
     /// Mutable access to both meshes, for noise-injection studies.
     pub fn meshes_mut(&mut self) -> (&mut MziMesh, &mut MziMesh) {
         (&mut self.v_mesh, &mut self.u_mesh)

@@ -1,0 +1,132 @@
+//! Integration tests for the compiled compute-kernel layer: compiled
+//! mesh/layer kernels pinned bitwise against the interpreted walk on
+//! realistic (decomposition-produced) meshes, the transpose-free GEMM
+//! layouts pinned bitwise against transpose-then-multiply, and the
+//! persistent executor serving the sharded engine across worker counts.
+
+use oplix_linalg::{CMatrix, Complex64};
+use oplix_nn::ctensor::CTensor;
+use oplix_nn::tensor::Tensor;
+use oplix_photonics::clements::decompose_clements;
+use oplix_photonics::compiled::{CompiledLayer, CompiledMesh};
+use oplix_photonics::decoder::DecoderKind;
+use oplix_photonics::reck::decompose_reck;
+use oplix_photonics::svd_map::{MeshStyle, PhotonicLayer};
+use oplixnet::engine::InferenceEngine;
+use oplixnet::pool;
+use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+use oplixnet::DeployedDetection;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_fields(n: usize, seed: u64) -> Vec<Complex64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .collect()
+}
+
+#[test]
+fn compiled_kernels_are_bitwise_on_decomposed_unitaries() {
+    // Meshes that come out of the real decomposition algorithms (not just
+    // random MZI lists): full Clements rectangles and Reck triangles.
+    let mut rng = StdRng::seed_from_u64(1);
+    for n in [1usize, 2, 5, 16] {
+        let u = CMatrix::random_unitary(n, &mut rng);
+        for mesh in [decompose_clements(&u), decompose_reck(&u)] {
+            let compiled = CompiledMesh::compile(&mesh);
+            assert_eq!(compiled.mzi_count(), mesh.mzi_count());
+            assert_eq!(compiled.stage_count(), mesh.depth());
+            for seed in 0..4u64 {
+                let mut fast = random_fields(n, 100 * n as u64 + seed);
+                let mut reference = fast.clone();
+                compiled.propagate_in_place(&mut fast);
+                mesh.propagate_in_place(&mut reference);
+                assert_eq!(fast, reference, "n={n} seed={seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn compiled_svd_layers_are_bitwise_across_styles() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for &(m, n) in &[(1usize, 1usize), (3, 7), (7, 3), (16, 16)] {
+        let w = CMatrix::from_fn(m, n, |_, _| {
+            Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        });
+        for style in [MeshStyle::Clements, MeshStyle::Reck] {
+            let layer = PhotonicLayer::from_matrix(&w, style);
+            let compiled = CompiledLayer::compile(&layer);
+            let mut io = random_fields(n, (m * 31 + n) as u64);
+            let mut reference = io.clone();
+            let (mut tmp_a, mut tmp_b) = (Vec::new(), Vec::new());
+            compiled.forward_into(&mut io, &mut tmp_a);
+            layer.forward_into(&mut reference, &mut tmp_b);
+            assert_eq!(io, reference, "{m}x{n} {style:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The transpose-free layouts are bitwise transpose-then-multiply
+    /// across random shapes, including empty and 1×N edge cases.
+    #[test]
+    fn gemm_nt_tn_are_bitwise_transpose_free(
+        m in 0usize..10,
+        k in 0usize..80,
+        n in 0usize..10,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::random_uniform(&[m, k], 1.0, &mut rng);
+        let w = Tensor::random_uniform(&[n, k], 1.0, &mut rng);
+        prop_assert_eq!(x.matmul_nt(&w), x.matmul(&w.transpose2()));
+        let dy = Tensor::random_uniform(&[k, m], 1.0, &mut rng);
+        let b = Tensor::random_uniform(&[k, n], 1.0, &mut rng);
+        prop_assert_eq!(dy.matmul_tn(&b), dy.transpose2().matmul(&b));
+    }
+}
+
+#[test]
+fn sharded_engine_on_persistent_executor_is_bitwise_sequential() {
+    // Force a multi-slot budget so the sharded path really runs on the
+    // persistent executor's workers (not the inline fallback), then pin
+    // the compiled window path bitwise across worker counts.
+    pool::set_jobs(4);
+    let mut rng = StdRng::seed_from_u64(5);
+    let net = build_fcnn(
+        &FcnnConfig {
+            input: 12,
+            hidden: 10,
+            classes: 4,
+        },
+        ModelVariant::Split(DecoderKind::Merge),
+        &mut rng,
+    );
+    let make = || {
+        InferenceEngine::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+            .expect("FCNN deploys")
+    };
+    // A batch bigger than one serve window (64), so the window loop and
+    // the shard split both engage.
+    let batch = CTensor::new(
+        Tensor::random_uniform(&[150, 12], 1.0, &mut rng),
+        Tensor::random_uniform(&[150, 12], 1.0, &mut rng),
+    );
+    let want = make().predict_batch(&batch).expect("sequential");
+    for workers in [2usize, 3, 7] {
+        let got = make()
+            .with_num_workers(workers)
+            .predict_batch(&batch)
+            .expect("sharded");
+        assert_eq!(got, want, "{workers} workers");
+    }
+    assert!(
+        pool::workers_alive() >= 1,
+        "the sharded batches must have spun up persistent workers"
+    );
+}
