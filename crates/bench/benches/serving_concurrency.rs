@@ -1,0 +1,212 @@
+//! Serving-concurrency benchmark: N concurrent clients through the
+//! micro-batching [`Server`] front end vs the same N clients serialised
+//! on one engine lock (the pre-serve posture: every caller owns the whole
+//! engine for the duration of its blocking call).
+//!
+//! The headline numbers are hand-timed and written to
+//! `BENCH_serving.json` at the workspace root as a baseline other
+//! sessions can diff against:
+//!
+//! * `serialized_sps` — 8 client threads contending one
+//!   `Mutex<InferenceEngine>`, one blocking single-sample query per
+//!   request: per-request lock handoffs plus a full per-call engine
+//!   dispatch every sample.
+//! * `batcher_sps` — the same 8 clients submitting to one [`Server`]:
+//!   requests coalesce in the bounded queue, the batcher flushes
+//!   micro-batches of up to 64 through the engine's borrowed-batch
+//!   windowed kernel, and tickets resolve out of band. Expected faster:
+//!   one queue handoff per request instead of one lock handoff, and the
+//!   per-call engine dispatch is amortised over the whole micro-batch.
+//! * `mean_batch_fill` — the occupancy the batcher achieved (1.0 would
+//!   mean no coalescing, i.e. no concurrency to harvest).
+//!
+//! Both paths serve bitwise-identical predictions (asserted outside the
+//! timed region); the contrast is pure admission-layer architecture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oplix_linalg::Complex64;
+use oplix_nn::ctensor::CTensor;
+use oplix_nn::tensor::Tensor;
+use oplix_photonics::decoder::DecoderKind;
+use oplix_photonics::svd_map::MeshStyle;
+use oplixnet::engine::{argmax, InferenceEngine};
+use oplixnet::serve::{sample_row, Server, Ticket};
+use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+use oplixnet::DeployedDetection;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 8;
+const PER_CLIENT: usize = 250;
+/// Paper-scale FCNN geometry (Table II's MNIST-class models assign 28×28
+/// images into 64-wide complex inputs), where the mesh walk dominates
+/// per-request bookkeeping.
+const INPUT: usize = 64;
+
+fn serving_engine() -> InferenceEngine {
+    let mut rng = StdRng::seed_from_u64(7);
+    let net = build_fcnn(
+        &FcnnConfig {
+            input: INPUT,
+            hidden: 32,
+            classes: 10,
+        },
+        ModelVariant::Split(DecoderKind::Merge),
+        &mut rng,
+    );
+    InferenceEngine::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+        .expect("FCNN deploys")
+}
+
+/// One pre-staged request stream per client.
+fn request_streams() -> Vec<Vec<Vec<Complex64>>> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let view = CTensor::new(
+        Tensor::random_uniform(&[CLIENTS * PER_CLIENT, INPUT], 1.0, &mut rng),
+        Tensor::random_uniform(&[CLIENTS * PER_CLIENT, INPUT], 1.0, &mut rng),
+    );
+    (0..CLIENTS)
+        .map(|c| {
+            (0..PER_CLIENT)
+                .map(|i| sample_row(&view, c * PER_CLIENT + i))
+                .collect()
+        })
+        .collect()
+}
+
+/// 8 clients serialised on one engine lock: the pre-serve posture.
+fn run_serialized(streams: &[Vec<Vec<Complex64>>]) -> (Duration, Vec<Vec<usize>>) {
+    let engine = Arc::new(Mutex::new(serving_engine()));
+    // Warm the buffers outside the timed region.
+    let warm = streams[0][0].clone();
+    let _ = engine.lock().expect("engine lock").predict(&warm);
+    let start = Instant::now();
+    let preds: Vec<Vec<usize>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|stream| {
+                let engine = Arc::clone(&engine);
+                scope.spawn(move || {
+                    stream
+                        .iter()
+                        .map(|row| {
+                            argmax(
+                                &engine
+                                    .lock()
+                                    .expect("engine lock")
+                                    .predict(row)
+                                    .expect("predict"),
+                            )
+                        })
+                        .collect::<Vec<usize>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    (start.elapsed(), preds)
+}
+
+/// The same 8 clients through the micro-batching server.
+fn run_batcher(streams: &[Vec<Vec<Complex64>>]) -> (Duration, Vec<Vec<usize>>, f64, u64) {
+    let server = Server::builder()
+        .max_batch(64)
+        .max_wait(Duration::from_micros(500))
+        .queue_cap(4096)
+        .serve_engine(serving_engine());
+    let start = Instant::now();
+    let preds: Vec<Vec<usize>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|stream| {
+                let client = server.client();
+                scope.spawn(move || {
+                    // Pipelined submission: queue the whole stream, then
+                    // drain the tickets in order.
+                    let tickets: Vec<Ticket> = stream
+                        .iter()
+                        .map(|row| client.submit(row.clone()).expect("admits"))
+                        .collect();
+                    tickets
+                        .into_iter()
+                        .map(|t| t.wait().expect("serves").class().expect("no policy"))
+                        .collect::<Vec<usize>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    let stats = server.stats();
+    (elapsed, preds, stats.mean_batch_fill(), stats.batches)
+}
+
+/// Criterion view of the two admission paths at a small request count.
+fn bench_admission_paths(c: &mut Criterion) {
+    let streams: Vec<Vec<Vec<Complex64>>> = request_streams()
+        .into_iter()
+        .map(|s| s.into_iter().take(32).collect())
+        .collect();
+    let mut group = c.benchmark_group("serving_concurrency");
+    group.sample_size(10);
+    group.bench_function("serialized_lock_8x32", |b| {
+        b.iter(|| run_serialized(&streams).1)
+    });
+    group.bench_function("micro_batcher_8x32", |b| b.iter(|| run_batcher(&streams).1));
+    group.finish();
+}
+
+/// Headline numbers, hand-timed, printed, and persisted as the
+/// `BENCH_serving.json` baseline.
+fn report_serving_baseline(_c: &mut Criterion) {
+    let streams = request_streams();
+    let total = (CLIENTS * PER_CLIENT) as f64;
+
+    // Interleave a warm-up of each path, then measure.
+    let _ = run_serialized(&streams);
+    let _ = run_batcher(&streams);
+    let (serialized, serial_preds) = run_serialized(&streams);
+    let (batched, batch_preds, mean_fill, batches) = run_batcher(&streams);
+    assert_eq!(
+        serial_preds, batch_preds,
+        "the two admission paths must serve identical predictions"
+    );
+
+    let serialized_sps = total / serialized.as_secs_f64();
+    let batcher_sps = total / batched.as_secs_f64();
+    let speedup = batcher_sps / serialized_sps;
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "serving {CLIENTS} clients x {PER_CLIENT} requests on {cores} core(s): \
+         serialized lock {serialized_sps:.0} samples/s, micro-batcher {batcher_sps:.0} samples/s \
+         ({speedup:.2}x), mean batch fill {mean_fill:.1} over {batches} batches"
+    );
+
+    let json = format!(
+        "{{\n  \"clients\": {CLIENTS},\n  \
+         \"requests_total\": {},\n  \
+         \"cores\": {cores},\n  \
+         \"serialized_lock_sps\": {serialized_sps:.0},\n  \
+         \"micro_batcher_sps\": {batcher_sps:.0},\n  \
+         \"batcher_speedup\": {speedup:.2},\n  \
+         \"mean_batch_fill\": {mean_fill:.1},\n  \
+         \"batches\": {batches}\n}}\n",
+        CLIENTS * PER_CLIENT,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("baseline written to {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_admission_paths, report_serving_baseline);
+criterion_main!(benches);

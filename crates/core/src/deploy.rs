@@ -14,6 +14,7 @@
 //!   photodiodes for the merging decoder, plain photodiodes for the
 //!   conventional ONN, coherent detection for the `Re` head.
 
+use crate::engine::argmax;
 use crate::error::Error;
 use oplix_linalg::{CMatrix, Complex64};
 use oplix_nn::ctensor::CTensor;
@@ -337,7 +338,6 @@ impl DeployedFcnn {
 
         // Stage the window: row `s` of the buffer is sample `start + s`.
         let cur = &mut buf.cur;
-        let nxt = &mut buf.nxt;
         cur.clear();
         cur.reserve(samples * d);
         for s in start..end {
@@ -347,7 +347,58 @@ impl DeployedFcnn {
                 }),
             );
         }
-        let mut width = d;
+        self.forward_staged(buf, samples, logits);
+        Ok(())
+    }
+
+    /// Field-level inference of `rows.len() / input_dim` samples given as
+    /// one contiguous row-major complex slice — the *borrowed-batch* entry
+    /// point the serving front end's micro-batcher drives: the batcher
+    /// stages client samples into one flat buffer and the engine serves it
+    /// directly, with no intermediate tensor copy or `f32` round trip.
+    /// `logits` is cleared and filled row-major.
+    ///
+    /// Runs the exact staged window walk of
+    /// [`DeployedFcnn::forward_window_into`], so results are bitwise
+    /// identical to the per-sample and tensor-view paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if `rows.len()` is not a multiple
+    /// of [`DeployedFcnn::input_dim`].
+    pub fn forward_rows_into(
+        &self,
+        rows: &[Complex64],
+        buf: &mut WindowBuffers,
+        logits: &mut Vec<f64>,
+    ) -> Result<(), Error> {
+        let d = self.input_dim();
+        if d == 0 || !rows.len().is_multiple_of(d) {
+            return Err(Error::ShapeMismatch {
+                expected: d,
+                got: rows.len(),
+                what: "row fields",
+            });
+        }
+        logits.clear();
+        let samples = rows.len() / d;
+        if samples == 0 {
+            return Ok(());
+        }
+        buf.cur.clear();
+        buf.cur.extend_from_slice(rows);
+        self.forward_staged(buf, samples, logits);
+        Ok(())
+    }
+
+    /// The staged window walk every batched entry point shares: `buf.cur`
+    /// holds `samples × input_dim` staged fields on entry; detected scores
+    /// are appended to `logits` row-major. Each optical stage runs one
+    /// compiled batch kernel across the whole window.
+    fn forward_staged(&self, buf: &mut WindowBuffers, samples: usize, logits: &mut Vec<f64>) {
+        let cur = &mut buf.cur;
+        let nxt = &mut buf.nxt;
+        let mut width = self.input_dim();
         for stage in &self.stages {
             // Re-stage: ancilla padding (unitary decoder) plus the bias
             // reference mode, exactly as the per-sample walk does.
@@ -378,7 +429,6 @@ impl DeployedFcnn {
         for row in cur.chunks_exact(width.max(1)) {
             detect(self.detection, row, logits);
         }
-        Ok(())
     }
 
     /// Field-level inference of one sample (already complex-assigned,
@@ -824,14 +874,6 @@ fn deploy_dense(dense: &CDense, style: MeshStyle) -> DeployedKernels {
         }
     });
     decompose_cached(&aug, style)
-}
-
-fn argmax(v: &[f64]) -> usize {
-    v.iter()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(i, _)| i)
-        .unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -54,7 +54,7 @@
 //! assert_eq!(engine.stats().samples, 4);
 //! ```
 
-use crate::deploy::{DeployedDetection, DeployedFcnn, ForwardBuffers, WindowBuffers};
+use crate::deploy::{DeployedDetection, DeployedFcnn, WindowBuffers};
 use crate::error::Error;
 use oplix_linalg::Complex64;
 use oplix_nn::ctensor::CTensor;
@@ -93,17 +93,153 @@ impl EngineStats {
     }
 }
 
-/// One worker's private serving state: per-sample forward buffers (the
-/// `predict` path) plus the window buffers the batched path pushes whole
-/// sample windows through. Workers never share these, so the sharded
-/// batch path stays allocation-free per sample after warm-up — the same
-/// property the sequential path has.
+/// An early-exit confidence policy for the streaming and serving paths:
+/// a sample's logits are softmaxed, and its confidence is the top-1
+/// probability *renormalised over the `top_k` most probable classes*.
+/// Samples whose confidence falls below `threshold` are reported as
+/// abstentions instead of predictions.
+///
+/// With `top_k` equal to the class count the score is the plain maximum
+/// softmax probability; `top_k == 2` is the classic two-way margin
+/// (`p₁ / (p₁ + p₂)`); `top_k == 1` degenerates to a constant `1.0`, so
+/// every sample is accepted at any `threshold ≤ 1`.
+///
+/// ```
+/// use oplixnet::engine::Confidence;
+///
+/// let policy = Confidence { threshold: 0.9, top_k: 2 };
+/// // A decisive sample clears the two-way margin, a close call abstains.
+/// assert!(policy.accepts(&[4.0, -1.0, 0.0]));
+/// assert!(!policy.accepts(&[1.0, 0.9, -2.0]));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Confidence {
+    /// Minimum renormalised top-1 probability for a prediction to count.
+    pub threshold: f64,
+    /// How many of the most probable classes the top-1 mass is
+    /// renormalised over (clamped to `1..=classes`).
+    pub top_k: usize,
+}
+
+impl Confidence {
+    /// The predicted class and its confidence score for one logit row.
+    ///
+    /// Allocation-free: scoring runs inside the engine's per-sample emit
+    /// path, which stays allocation-free after warm-up.
+    pub fn score(&self, logits: &[f64]) -> (usize, f64) {
+        let best = argmax(logits);
+        if logits.is_empty() {
+            return (0, 1.0);
+        }
+        // Stabilised softmax: exp(l − max). The best class scores
+        // exp(0) = 1, so the renormalised top-1 mass is 1 / Σ top-k.
+        let peak = logits[best];
+        let k = self.top_k.clamp(1, logits.len());
+        let mass: f64 = if k == logits.len() {
+            logits.iter().map(|l| (l - peak).exp()).sum()
+        } else {
+            // Top-k selection without a sort or a scratch buffer: walk
+            // the distinct logit values in descending order (O(k·classes),
+            // and classes is small), taking ties together.
+            let mut mass = 0.0;
+            let mut remaining = k;
+            let mut bound = f64::INFINITY;
+            while remaining > 0 {
+                let mut next = f64::NEG_INFINITY;
+                let mut ties = 0usize;
+                for &l in logits {
+                    if l < bound {
+                        if l > next {
+                            next = l;
+                            ties = 1;
+                        } else if l == next {
+                            ties += 1;
+                        }
+                    }
+                }
+                if ties == 0 {
+                    break; // non-finite stragglers; the clamp covers the rest
+                }
+                let take = ties.min(remaining);
+                mass += take as f64 * (next - peak).exp();
+                remaining -= take;
+                bound = next;
+            }
+            mass
+        };
+        (best, 1.0 / mass)
+    }
+
+    /// Whether a logit row clears the confidence threshold.
+    pub fn accepts(&self, logits: &[f64]) -> bool {
+        self.score(logits).1 >= self.threshold
+    }
+}
+
+/// Calibrated counts of one streaming evaluation pass (see
+/// [`InferenceEngine::accuracy_streaming_with`]): how many samples were
+/// evaluated, how many the confidence policy accepted or abstained on,
+/// and how many accepted predictions were correct.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamingReport {
+    /// Samples evaluated.
+    pub samples: usize,
+    /// Samples whose prediction cleared the confidence policy (all of
+    /// them when no policy is configured).
+    pub accepted: usize,
+    /// Samples reported as abstentions by the confidence policy.
+    pub abstained: usize,
+    /// Correct predictions among the accepted samples.
+    pub correct: usize,
+}
+
+impl StreamingReport {
+    /// Selective accuracy: correct predictions over accepted samples
+    /// (`0.0` when everything abstained).
+    pub fn accuracy(&self) -> f64 {
+        if self.accepted == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.accepted as f64
+        }
+    }
+
+    /// Fraction of samples the policy accepted.
+    pub fn coverage(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.samples as f64
+        }
+    }
+}
+
+/// One worker's private serving state: the window buffers every query
+/// path (single-sample `predict` included) pushes staged sample windows
+/// through. Workers never share these, so the sharded batch path stays
+/// allocation-free per sample after warm-up — the same property the
+/// sequential path has.
 #[derive(Clone, Debug, Default)]
 struct WorkerSlot {
-    buf: ForwardBuffers,
-    logits: Vec<f64>,
     window: WindowBuffers,
     window_logits: Vec<f64>,
+}
+
+/// Where a batched query's rows come from: a `[N, D]` tensor view (the
+/// dataset paths) or a contiguous row-major complex slice (the serving
+/// front end's borrowed batch). Both stage into the identical windowed
+/// compiled-kernel walk, so the two sources are bitwise interchangeable.
+#[derive(Clone, Copy)]
+enum RowSource<'a> {
+    /// A `[N, D]` complex dataset view.
+    View(&'a CTensor),
+    /// `rows.len() / width` samples stored row-major.
+    Rows {
+        /// The flat row-major fields.
+        rows: &'a [Complex64],
+        /// Complex fan-in of one sample.
+        width: usize,
+    },
 }
 
 /// How many rows one compiled-kernel window covers: big enough to
@@ -123,7 +259,7 @@ impl WorkerSlot {
     fn run_rows<T>(
         &mut self,
         deployed: &DeployedFcnn,
-        inputs: &CTensor,
+        src: RowSource<'_>,
         start: usize,
         end: usize,
         emit: &(impl Fn(&[f64]) -> T + Sync),
@@ -133,13 +269,20 @@ impl WorkerSlot {
         let mut lo = start;
         while lo < end {
             let hi = (lo + SERVE_WINDOW).min(end);
-            deployed.forward_window_into(
-                inputs,
-                lo,
-                hi,
-                &mut self.window,
-                &mut self.window_logits,
-            )?;
+            match src {
+                RowSource::View(inputs) => deployed.forward_window_into(
+                    inputs,
+                    lo,
+                    hi,
+                    &mut self.window,
+                    &mut self.window_logits,
+                )?,
+                RowSource::Rows { rows, width } => deployed.forward_rows_into(
+                    &rows[lo * width..hi * width],
+                    &mut self.window,
+                    &mut self.window_logits,
+                )?,
+            }
             for (r, row) in self.window_logits.chunks_exact(k).enumerate() {
                 check_finite(row, lo + r)?;
                 out.push(emit(row));
@@ -267,18 +410,30 @@ impl InferenceEngine {
 
     /// Detected logits of one already-assigned sample.
     ///
+    /// Routed through the same compiled windowed kernel
+    /// ([`DeployedFcnn::forward_rows_into`], a one-sample window) as the
+    /// batched paths, so per-sample and batched serving share one kernel
+    /// and stay bitwise interchangeable.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::ShapeMismatch`] on a fan-in mismatch and
     /// [`Error::NonFiniteLogits`] if the sample poisons detection.
     pub fn predict(&mut self, input: &[Complex64]) -> Result<Vec<f64>, Error> {
+        if input.len() != self.input_dim() {
+            return Err(Error::ShapeMismatch {
+                expected: self.input_dim(),
+                got: input.len(),
+                what: "input fields",
+            });
+        }
         let start = Instant::now();
         let slot = &mut self.workers[0];
         self.deployed
-            .forward_into(input, &mut slot.buf, &mut slot.logits)?;
-        check_finite(&slot.logits, 0)?;
+            .forward_rows_into(input, &mut slot.window, &mut slot.window_logits)?;
+        check_finite(&slot.window_logits, 0)?;
         self.stats.absorb(1, start.elapsed());
-        Ok(slot.logits.clone())
+        Ok(slot.window_logits.clone())
     }
 
     /// Detected logits of every sample in a `[N, D]` complex batch.
@@ -300,6 +455,46 @@ impl InferenceEngine {
     /// Same conditions as [`InferenceEngine::predict_batch`].
     pub fn classify(&mut self, inputs: &CTensor) -> Result<Vec<usize>, Error> {
         self.run_batch(inputs, argmax)
+    }
+
+    /// Predicted class indices of `rows.len() / input_dim` samples given
+    /// as one contiguous row-major complex slice — the borrowed-batch
+    /// query the serving front end's micro-batcher drives
+    /// ([`crate::serve`]): staged client samples are served in place, with
+    /// no intermediate tensor copy. Bitwise identical to
+    /// [`InferenceEngine::classify`] on the same samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if `rows.len()` is not a multiple
+    /// of [`InferenceEngine::input_dim`], [`Error::EmptyInput`] on an
+    /// empty slice, and [`Error::NonFiniteLogits`] if a sample poisons
+    /// detection.
+    pub fn classify_rows(&mut self, rows: &[Complex64]) -> Result<Vec<usize>, Error> {
+        self.serve_rows(rows, &argmax)
+    }
+
+    /// The generic borrowed-batch walk behind [`InferenceEngine::classify_rows`]
+    /// and the serving front end: every sample's detected logits are folded
+    /// through `emit` (class pick, confidence policy, …).
+    pub(crate) fn serve_rows<T: Send>(
+        &mut self,
+        rows: &[Complex64],
+        emit: &(impl Fn(&[f64]) -> T + Sync),
+    ) -> Result<Vec<T>, Error> {
+        let width = self.input_dim();
+        if width == 0 || !rows.len().is_multiple_of(width) {
+            return Err(Error::ShapeMismatch {
+                expected: width,
+                got: rows.len(),
+                what: "row fields",
+            });
+        }
+        if rows.is_empty() {
+            return Err(Error::EmptyInput { stage: "engine" });
+        }
+        let n = rows.len() / width;
+        self.run_rows(RowSource::Rows { rows, width }, 0, n, emit)
     }
 
     /// Predicted class indices of rows `start..start + len` of a `[N, D]`
@@ -330,7 +525,7 @@ impl InferenceEngine {
         if len == 0 {
             return Err(Error::EmptyInput { stage: "engine" });
         }
-        self.run_rows(inputs, start, end, &argmax)
+        self.run_rows(RowSource::View(inputs), start, end, &argmax)
     }
 
     /// Classification accuracy of the deployed hardware on a labelled
@@ -365,21 +560,63 @@ impl InferenceEngine {
     ///
     /// Panics if `batch_size == 0`.
     pub fn accuracy_streaming(&mut self, data: &CDataset, batch_size: usize) -> Result<f64, Error> {
+        let report = self.accuracy_streaming_with(data, batch_size, None)?;
+        Ok(report.correct as f64 / report.samples as f64)
+    }
+
+    /// Streaming evaluation with an optional early-exit [`Confidence`]
+    /// policy: every sample is classified through the windowed engine
+    /// path, but samples whose confidence score falls below the policy's
+    /// threshold are counted as *abstentions* instead of predictions. The
+    /// returned [`StreamingReport`] carries the calibrated counts —
+    /// accepted, abstained, and correct-among-accepted — so callers can
+    /// trade coverage against selective accuracy. With `confidence =
+    /// None` every sample is accepted and
+    /// [`StreamingReport::accuracy`] equals
+    /// [`InferenceEngine::accuracy_streaming`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`InferenceEngine::predict_batch`]; sample
+    /// indices in errors are absolute dataset rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn accuracy_streaming_with(
+        &mut self,
+        data: &CDataset,
+        batch_size: usize,
+        confidence: Option<Confidence>,
+    ) -> Result<StreamingReport, Error> {
         assert!(batch_size > 0, "streaming batch size must be positive");
         let (n, _) = self.check_batch(&data.inputs)?;
-        let mut correct = 0usize;
+        let mut report = StreamingReport::default();
+        let emit = |logits: &[f64]| match confidence {
+            None => (argmax(logits), true),
+            Some(c) => {
+                let (best, score) = c.score(logits);
+                (best, score >= c.threshold)
+            }
+        };
         let mut start = 0;
         while start < n {
             let len = batch_size.min(n - start);
-            let preds = self.run_rows(&data.inputs, start, start + len, &argmax)?;
-            correct += preds
-                .iter()
-                .zip(&data.labels[start..start + len])
-                .filter(|(p, l)| p == l)
-                .count();
+            let preds = self.run_rows(RowSource::View(&data.inputs), start, start + len, &emit)?;
+            for ((pred, accepted), label) in preds.iter().zip(&data.labels[start..start + len]) {
+                report.samples += 1;
+                if *accepted {
+                    report.accepted += 1;
+                    if pred == label {
+                        report.correct += 1;
+                    }
+                } else {
+                    report.abstained += 1;
+                }
+            }
             start += len;
         }
-        Ok(correct as f64 / n as f64)
+        Ok(report)
     }
 
     /// Opens a noise-injection session: every mesh phase is perturbed with
@@ -407,16 +644,16 @@ impl InferenceEngine {
         emit: impl Fn(&[f64]) -> T + Sync,
     ) -> Result<Vec<T>, Error> {
         let (n, _) = self.check_batch(inputs)?;
-        self.run_rows(inputs, 0, n, &emit)
+        self.run_rows(RowSource::View(inputs), 0, n, &emit)
     }
 
-    /// Runs rows `start..end` (absolute indices into `inputs`), sharding
+    /// Runs rows `start..end` (absolute indices into the source), sharding
     /// across the worker pool when the span is big enough to pay for the
     /// thread launches. Error reporting matches the sequential walk: the
     /// error of the lowest offending row wins.
     fn run_rows<T: Send>(
         &mut self,
-        inputs: &CTensor,
+        src: RowSource<'_>,
         start: usize,
         end: usize,
         emit: &(impl Fn(&[f64]) -> T + Sync),
@@ -429,7 +666,7 @@ impl InferenceEngine {
             .clamp(1, n.max(1));
         let clock = Instant::now();
         let out = if shards <= 1 {
-            self.workers[0].run_rows(&self.deployed, inputs, start, end, emit)
+            self.workers[0].run_rows(&self.deployed, src, start, end, emit)
         } else {
             let deployed = &self.deployed;
             let rows_per_shard = n.div_ceil(shards);
@@ -445,7 +682,7 @@ impl InferenceEngine {
                 .map(|(w, slot)| {
                     let lo = start + w * rows_per_shard;
                     let hi = (lo + rows_per_shard).min(end);
-                    Box::new(move || slot.run_rows(deployed, inputs, lo, hi, emit))
+                    Box::new(move || slot.run_rows(deployed, src, lo, hi, emit))
                         as Box<dyn FnOnce() -> Result<Vec<T>, Error> + Send + '_>
                 })
                 .collect();
@@ -504,7 +741,13 @@ fn check_finite(logits: &[f64], sample: usize) -> Result<(), Error> {
     }
 }
 
-fn argmax(v: &[f64]) -> usize {
+/// The class-pick rule every classify path applies: index of the largest
+/// logit under `f64::total_cmp`, first index winning ties (and `0` for an
+/// empty row). Public because the tie-breaking is load-bearing for the
+/// serving layer's bitwise-identical-across-entry-points contract —
+/// clients turning [`InferenceEngine::predict`] logits into classes
+/// should use this exact rule, not a lookalike.
+pub fn argmax(v: &[f64]) -> usize {
     v.iter()
         .enumerate()
         .max_by(|a, b| a.1.total_cmp(b.1))

@@ -44,6 +44,16 @@ pub enum Error {
         /// Human-readable description of the inconsistency.
         message: String,
     },
+    /// A serving request was rejected because the admission queue is at
+    /// capacity — backpressure, not failure; retry or block on
+    /// [`crate::serve::Client::submit`].
+    QueueFull {
+        /// The configured queue bound.
+        capacity: usize,
+    },
+    /// The serving front end shut down before (or while) the request
+    /// could be served.
+    ServerClosed,
 }
 
 impl std::fmt::Display for Error {
@@ -66,6 +76,10 @@ impl std::fmt::Display for Error {
             }
             Error::EmptyInput { stage } => write!(f, "stage `{stage}` received empty input"),
             Error::Stage { stage, message } => write!(f, "stage `{stage}` failed: {message}"),
+            Error::QueueFull { capacity } => {
+                write!(f, "serving queue is at capacity ({capacity} requests)")
+            }
+            Error::ServerClosed => write!(f, "serving front end has shut down"),
         }
     }
 }

@@ -19,8 +19,15 @@
 //!   trait, swappable per workload;
 //! * [`engine`] — the batched [`engine::InferenceEngine`] over deployed
 //!   meshes: worker-sharded batches, preallocated per-worker forward
-//!   buffers, streaming evaluation, noise-injection sessions, throughput
-//!   counters;
+//!   buffers, streaming evaluation (with optional early-exit
+//!   [`engine::Confidence`] abstention), noise-injection sessions,
+//!   throughput counters;
+//! * [`serve`] — the concurrent serving front end: a [`serve::Server`]
+//!   owns a deployed model behind a bounded request queue, a micro-batcher
+//!   thread coalesces concurrent [`serve::Client`] submissions into
+//!   engine batches (flush on `max_batch` / `max_wait`), and
+//!   [`serve::Ticket`]s resolve to per-request predictions — bitwise
+//!   identical to direct `classify` calls;
 //! * [`pool`] — the shared bounded worker pool (the `--jobs` /
 //!   `OPLIX_JOBS` knob) that every experiment grid and sharded batch
 //!   draws its concurrency from;
@@ -111,6 +118,7 @@ pub mod error;
 pub mod experiments;
 pub mod pipeline;
 pub mod pool;
+pub mod serve;
 pub mod spec;
 pub mod stage;
 pub mod zoo;
@@ -118,9 +126,10 @@ pub mod zoo;
 pub use deploy::{
     clear_deploy_cache, deploy_cache_stats, DeployCacheStats, DeployedDetection, DeployedFcnn,
 };
-pub use engine::{EngineStats, InferenceEngine};
+pub use engine::{Confidence, EngineStats, InferenceEngine, StreamingReport};
 pub use error::Error;
 pub use pipeline::{OplixNetBuilder, OplixNetOutcome, OplixNetPipeline, OutcomeSummary};
+pub use serve::{Client, Prediction, Server, ServerBuilder, ServerStats, Ticket};
 pub use spec::ModelSpec;
 pub use stage::{
     AssignStage, AssignedData, DatasetPair, DeployStage, EvaluateStage, Evaluation, Pipeline,

@@ -120,6 +120,31 @@ pub fn jobs() -> usize {
     thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// A long-lived, best-effort claim of one slot of the shared worker
+/// budget, held by resident service threads — e.g. the batcher thread of
+/// a [`crate::serve::Server`] — for as long as they live. While the slot
+/// is held, [`run_scoped`] grants callers one worker fewer, so a serving
+/// front end running next to experiment grids keeps total concurrency at
+/// ≈ [`jobs`] instead of oversubscribing by one thread per server.
+///
+/// The claim is best-effort: if the budget is already exhausted the slot
+/// holds nothing (see [`ServiceSlot::granted`]) and the service thread
+/// simply rides on the OS scheduler. The slot returns its share on drop.
+pub struct ServiceSlot(Reservation);
+
+impl ServiceSlot {
+    /// Whether the slot actually obtained a budget share.
+    pub fn granted(&self) -> bool {
+        self.0 .0 > 0
+    }
+}
+
+/// Claims one slot of the shared worker budget for a resident service
+/// thread (best-effort; see [`ServiceSlot`]).
+pub fn reserve_service_slot() -> ServiceSlot {
+    ServiceSlot(reserve_workers(1))
+}
+
 /// How many persistent executor threads are currently alive. Workers are
 /// spawned lazily by the first [`run_scoped`] call granted more than one
 /// budget slot and then persist for the process lifetime, parked on the

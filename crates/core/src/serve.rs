@@ -1,0 +1,847 @@
+//! Concurrent serving front end: request queue → micro-batcher → sharded
+//! engine.
+//!
+//! The compiled kernel layer made per-window inference cheap, but a bare
+//! [`InferenceEngine`] still serves one blocking `classify` call at a
+//! time — one caller owns the whole engine. This module decouples
+//! *request submission* from *batch formation* so many concurrent clients
+//! share one engine at full batch occupancy:
+//!
+//! ```text
+//!  Client ─submit()─▶ ┌──────────────┐    ┌───────────────┐
+//!  Client ─submit()─▶ │ bounded MPSC │ ─▶ │ micro-batcher │ ─▶ sharded
+//!  Client ─submit()─▶ │    queue     │    │ (max_batch /  │    engine
+//!        ⋮            └──────────────┘    │   max_wait)   │    workers
+//!   Ticket::wait() ◀── per-request reply ─└───────────────┘
+//! ```
+//!
+//! * A [`Server`] owns a deployed model (its [`InferenceEngine`]) and a
+//!   **bounded** request queue; the queue bound is the backpressure
+//!   contract — [`Client::submit`] blocks while the queue is full and
+//!   [`Client::try_submit`] returns [`Error::QueueFull`] instead.
+//! * A dedicated **batcher thread** drains the queue into micro-batches,
+//!   flushing on whichever comes first: the batch reaching
+//!   [`ServerBuilder::max_batch`] samples, or the oldest queued request
+//!   waiting [`ServerBuilder::max_wait`]. Each flush stages the samples
+//!   into one contiguous buffer and drives the engine's borrowed-batch
+//!   entry point ([`InferenceEngine::classify_rows`]' generic form) — no
+//!   per-request tensor copies. The batcher holds a
+//!   [`crate::pool::ServiceSlot`], so its thread draws from the shared
+//!   `--jobs` budget like every other worker in the process.
+//! * Clients hold a cheap, cloneable [`Client`] handle. `submit` returns
+//!   a [`Ticket`] immediately; [`Ticket::wait`] / [`Ticket::try_wait`]
+//!   resolve to the [`Prediction`] once the batch containing the sample
+//!   has been served. Results are **bitwise identical** to calling
+//!   [`InferenceEngine::classify`] directly, regardless of how requests
+//!   were coalesced into batches — every sample runs the exact same
+//!   compiled windowed kernel.
+//! * [`Server::shutdown`] **drains**: every request admitted to the queue
+//!   before shutdown is served and its ticket resolves; a submission
+//!   racing shutdown resolves to [`Error::ServerClosed`] instead of
+//!   hanging. No ticket is ever lost or answered twice.
+//! * An optional [`Confidence`] policy turns low-confidence samples into
+//!   [`Prediction::Abstain`] responses, with a calibrated abstention
+//!   count in [`ServerStats`].
+//!
+//! Everything is plain threads and channels — no async runtime, matching
+//! the workspace's std-only stance.
+
+use crate::engine::{argmax, Confidence, InferenceEngine};
+use crate::error::Error;
+use oplix_linalg::Complex64;
+use oplix_nn::ctensor::CTensor;
+use oplix_nn::network::Network;
+use oplix_photonics::svd_map::MeshStyle;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::deploy::DeployedDetection;
+
+/// How often the idle batcher wakes to check the shutdown flag. Purely a
+/// shutdown-latency knob: while requests flow, the batcher blocks on the
+/// queue (or the batch deadline) instead.
+const IDLE_POLL: Duration = Duration::from_millis(1);
+
+/// The response a served request resolves to.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Prediction {
+    /// The predicted class index.
+    Class(usize),
+    /// The sample's confidence fell below the server's [`Confidence`]
+    /// policy; the prediction is withheld but reported for calibration.
+    Abstain {
+        /// The class the engine would have predicted.
+        best: usize,
+        /// The (sub-threshold) confidence score.
+        confidence: f64,
+    },
+}
+
+impl Prediction {
+    /// The predicted class, or `None` on an abstention.
+    pub fn class(&self) -> Option<usize> {
+        match *self {
+            Prediction::Class(c) => Some(c),
+            Prediction::Abstain { .. } => None,
+        }
+    }
+
+    /// Whether the server abstained on this sample.
+    pub fn is_abstain(&self) -> bool {
+        matches!(self, Prediction::Abstain { .. })
+    }
+}
+
+/// One queued request: the staged sample plus its reply channel.
+struct Request {
+    fields: Vec<Complex64>,
+    reply: mpsc::Sender<Result<Prediction, Error>>,
+}
+
+/// Process-lifetime counters shared by the server handle, its clients and
+/// the batcher thread.
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    served: AtomicU64,
+    abstained: AtomicU64,
+    batches: AtomicU64,
+    batch_fill: AtomicU64,
+}
+
+/// A snapshot of a [`Server`]'s counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests admitted to the queue.
+    pub submitted: u64,
+    /// [`Client::try_submit`] calls bounced by a full queue.
+    pub rejected: u64,
+    /// Responses delivered (predictions, abstentions and per-sample
+    /// errors alike).
+    pub served: u64,
+    /// Responses that were abstentions under the confidence policy.
+    pub abstained: u64,
+    /// Micro-batches flushed through the engine.
+    pub batches: u64,
+    /// Total samples across all flushed batches.
+    pub batched_samples: u64,
+}
+
+impl ServerStats {
+    /// Mean samples per flushed micro-batch — the occupancy the batcher
+    /// achieved (1.0 means no coalescing happened at all).
+    pub fn mean_batch_fill(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_samples as f64 / self.batches as f64
+        }
+    }
+}
+
+/// The batcher's flush policy plus the optional confidence policy.
+struct BatchPolicy {
+    max_batch: usize,
+    max_wait: Duration,
+    confidence: Option<Confidence>,
+}
+
+/// Configures and launches a [`Server`]; see [`Server::builder`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerBuilder {
+    max_batch: usize,
+    max_wait: Duration,
+    queue_cap: usize,
+    workers: Option<usize>,
+    confidence: Option<Confidence>,
+}
+
+impl Default for ServerBuilder {
+    fn default() -> Self {
+        ServerBuilder {
+            max_batch: 64,
+            max_wait: Duration::from_millis(1),
+            queue_cap: 1024,
+            workers: None,
+            confidence: None,
+        }
+    }
+}
+
+impl ServerBuilder {
+    /// Flush a micro-batch once it holds this many samples (clamped to
+    /// ≥ 1; default 64, one engine serving window).
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n.max(1);
+        self
+    }
+
+    /// Flush a micro-batch once its oldest request has waited this long
+    /// (default 1 ms; clamped to ≤ 1 h so deadlines never overflow).
+    pub fn max_wait(mut self, d: Duration) -> Self {
+        self.max_wait = d.min(Duration::from_secs(3600));
+        self
+    }
+
+    /// Bound of the admission queue (clamped to ≥ 1; default 1024).
+    /// [`Client::submit`] blocks while the queue holds this many pending
+    /// requests; [`Client::try_submit`] returns [`Error::QueueFull`].
+    pub fn queue_cap(mut self, n: usize) -> Self {
+        self.queue_cap = n.max(1);
+        self
+    }
+
+    /// Worker count of the backing engine (see
+    /// [`InferenceEngine::set_num_workers`]; `0` = the shared
+    /// [`crate::pool::jobs`] budget). When unset, the engine keeps
+    /// whatever worker count it was built with.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n);
+        self
+    }
+
+    /// Installs an early-exit [`Confidence`] policy: low-confidence
+    /// samples resolve to [`Prediction::Abstain`] and are counted in
+    /// [`ServerStats::abstained`].
+    pub fn confidence(mut self, c: Confidence) -> Self {
+        self.confidence = Some(c);
+        self
+    }
+
+    /// Launches the server over an existing engine (the engine comes
+    /// back out of [`Server::shutdown`], serving counters included).
+    pub fn serve_engine(self, mut engine: InferenceEngine) -> Server {
+        if let Some(w) = self.workers {
+            engine.set_num_workers(w);
+        }
+        let input_dim = engine.input_dim();
+        let (tx, rx) = mpsc::sync_channel::<Request>(self.queue_cap);
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let policy = BatchPolicy {
+            max_batch: self.max_batch,
+            max_wait: self.max_wait,
+            confidence: self.confidence,
+        };
+        let handle = {
+            let stop = Arc::clone(&stop);
+            let counters = Arc::clone(&counters);
+            thread::Builder::new()
+                .name("oplix-serve".into())
+                .spawn(move || batcher(engine, rx, policy, stop, counters))
+                .expect("failed to spawn the serve batcher thread")
+        };
+        Server {
+            tx: Some(tx),
+            stop,
+            counters,
+            input_dim,
+            queue_cap: self.queue_cap,
+            handle: Some(handle),
+        }
+    }
+
+    /// Deploys a trained network (through the process-wide deployment
+    /// cache — repeated servers over the same weights share one cached
+    /// decomposition) and launches the server over it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Deploy`] if the network cannot be mapped onto an
+    /// FCNN photonic pipeline.
+    pub fn serve_network(
+        self,
+        net: &Network,
+        detection: DeployedDetection,
+        style: MeshStyle,
+    ) -> Result<Server, Error> {
+        Ok(self.serve_engine(InferenceEngine::from_network(net, detection, style)?))
+    }
+}
+
+/// A concurrent serving front end over one deployed model: a bounded
+/// request queue drained by a micro-batcher thread into the sharded
+/// [`InferenceEngine`]. See the [module docs](crate::serve) for the
+/// queue → batcher → shards dataflow and the backpressure/shutdown
+/// contract.
+///
+/// ```
+/// use oplixnet::serve::{Prediction, Server};
+/// use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+/// use oplix_photonics::decoder::DecoderKind;
+/// use oplix_photonics::svd_map::MeshStyle;
+/// use oplix_linalg::Complex64;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use std::time::Duration;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let variant = ModelVariant::Split(DecoderKind::Merge);
+/// let net = build_fcnn(&FcnnConfig { input: 6, hidden: 5, classes: 2 }, variant, &mut rng);
+/// let server = Server::builder()
+///     .max_batch(16)
+///     .max_wait(Duration::from_micros(200))
+///     .queue_cap(64)
+///     .serve_network(&net, variant.detection(), MeshStyle::Clements)
+///     .expect("FCNN deploys");
+///
+/// let client = server.client();
+/// let ticket = client.submit(vec![Complex64::ONE; 6]).expect("queue admits");
+/// assert!(matches!(ticket.wait(), Ok(Prediction::Class(_))));
+///
+/// let engine = server.shutdown(); // drains, then hands the engine back
+/// assert_eq!(engine.stats().samples, 1);
+/// ```
+pub struct Server {
+    tx: Option<mpsc::SyncSender<Request>>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    input_dim: usize,
+    queue_cap: usize,
+    handle: Option<thread::JoinHandle<InferenceEngine>>,
+}
+
+impl Server {
+    /// Starts configuring a server; launch it with
+    /// [`ServerBuilder::serve_engine`] or [`ServerBuilder::serve_network`].
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder::default()
+    }
+
+    /// A new cloneable client handle onto this server's queue.
+    pub fn client(&self) -> Client {
+        Client {
+            tx: self
+                .tx
+                .as_ref()
+                .expect("server handle outlives shutdown")
+                .clone(),
+            stop: Arc::clone(&self.stop),
+            counters: Arc::clone(&self.counters),
+            input_dim: self.input_dim,
+            queue_cap: self.queue_cap,
+        }
+    }
+
+    /// The complex fan-in every submitted sample must have.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// A snapshot of the serving counters.
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.counters;
+        ServerStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            served: c.served.load(Ordering::Relaxed),
+            abstained: c.abstained.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            batched_samples: c.batch_fill.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Shuts the server down and returns its engine: admission closes,
+    /// every request already in the queue is served (their tickets
+    /// resolve normally), and the batcher thread exits. Submissions
+    /// racing the shutdown resolve to [`Error::ServerClosed`]; none hang.
+    pub fn shutdown(mut self) -> InferenceEngine {
+        self.shutdown_inner()
+            .expect("first shutdown of a live server")
+    }
+
+    fn shutdown_inner(&mut self) -> Option<InferenceEngine> {
+        self.stop.store(true, Ordering::SeqCst);
+        drop(self.tx.take());
+        self.handle
+            .take()
+            .map(|h| h.join().expect("serve batcher thread panicked"))
+    }
+}
+
+impl Drop for Server {
+    /// Dropping the handle shuts the server down (draining, like
+    /// [`Server::shutdown`]) and discards the engine.
+    fn drop(&mut self) {
+        let _ = self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("input_dim", &self.input_dim)
+            .field("queue_cap", &self.queue_cap)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// A cheap, cloneable handle for submitting samples to a [`Server`].
+/// Clones share the server's bounded queue; each clone can submit from
+/// its own thread.
+///
+/// ```
+/// use oplixnet::serve::Server;
+/// use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+/// use oplix_photonics::decoder::DecoderKind;
+/// use oplix_photonics::svd_map::MeshStyle;
+/// use oplix_linalg::Complex64;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let variant = ModelVariant::Split(DecoderKind::Merge);
+/// let net = build_fcnn(&FcnnConfig { input: 4, hidden: 4, classes: 2 }, variant, &mut rng);
+/// let server = Server::builder()
+///     .serve_network(&net, variant.detection(), MeshStyle::Clements)
+///     .expect("FCNN deploys");
+///
+/// // Submission is non-blocking (while the queue has room) and returns
+/// // a ticket immediately; clones are independent handles.
+/// let client = server.client();
+/// let other = client.clone();
+/// let a = client.submit(vec![Complex64::ONE; 4]).expect("admits");
+/// let b = other.submit(vec![Complex64::i(); 4]).expect("admits");
+/// assert!(a.wait().is_ok() && b.wait().is_ok());
+/// ```
+#[derive(Clone)]
+pub struct Client {
+    tx: mpsc::SyncSender<Request>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    input_dim: usize,
+    queue_cap: usize,
+}
+
+impl Client {
+    /// The complex fan-in every submitted sample must have.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    fn request(&self, fields: Vec<Complex64>) -> Result<(Request, Ticket), Error> {
+        if fields.len() != self.input_dim {
+            return Err(Error::ShapeMismatch {
+                expected: self.input_dim,
+                got: fields.len(),
+                what: "sample width",
+            });
+        }
+        if self.stop.load(Ordering::SeqCst) {
+            return Err(Error::ServerClosed);
+        }
+        let (reply, rx) = mpsc::channel();
+        Ok((Request { fields, reply }, Ticket { rx, done: None }))
+    }
+
+    /// Submits one sample, blocking while the queue is at capacity
+    /// (backpressure). Returns a [`Ticket`] that resolves once the
+    /// micro-batch containing the sample has been served.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if the sample width differs from
+    /// [`Client::input_dim`], and [`Error::ServerClosed`] if the server
+    /// has shut down.
+    pub fn submit(&self, fields: Vec<Complex64>) -> Result<Ticket, Error> {
+        let (request, ticket) = self.request(fields)?;
+        match self.tx.send(request) {
+            Ok(()) => {
+                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(ticket)
+            }
+            Err(_) => Err(Error::ServerClosed),
+        }
+    }
+
+    /// Non-blocking [`Client::submit`]: a full queue surfaces as
+    /// [`Error::QueueFull`] instead of blocking, so latency-sensitive
+    /// callers can shed load.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::QueueFull`] on backpressure, plus the
+    /// [`Client::submit`] conditions.
+    pub fn try_submit(&self, fields: Vec<Complex64>) -> Result<Ticket, Error> {
+        let (request, ticket) = self.request(fields)?;
+        match self.tx.try_send(request) {
+            Ok(()) => {
+                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(ticket)
+            }
+            Err(mpsc::TrySendError::Full(_)) => {
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(Error::QueueFull {
+                    capacity: self.queue_cap,
+                })
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => Err(Error::ServerClosed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("input_dim", &self.input_dim)
+            .field("queue_cap", &self.queue_cap)
+            .finish()
+    }
+}
+
+/// A pending response to one submitted sample. [`Ticket::wait`] blocks
+/// until the micro-batch containing the sample has been served;
+/// [`Ticket::try_wait`] polls.
+///
+/// ```
+/// use oplixnet::serve::{Prediction, Server};
+/// use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+/// use oplix_photonics::decoder::DecoderKind;
+/// use oplix_photonics::svd_map::MeshStyle;
+/// use oplix_linalg::Complex64;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let variant = ModelVariant::Split(DecoderKind::Merge);
+/// let net = build_fcnn(&FcnnConfig { input: 4, hidden: 4, classes: 2 }, variant, &mut rng);
+/// let server = Server::builder()
+///     .serve_network(&net, variant.detection(), MeshStyle::Clements)
+///     .expect("FCNN deploys");
+///
+/// let mut ticket = server.client().submit(vec![Complex64::ONE; 4]).expect("admits");
+/// // Poll until the batcher flushes, then read the prediction.
+/// let prediction = loop {
+///     if let Some(done) = ticket.try_wait() {
+///         break done.expect("sample is finite");
+///     }
+///     std::thread::yield_now();
+/// };
+/// assert!(matches!(prediction, Prediction::Class(_)));
+/// ```
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Prediction, Error>>,
+    done: Option<Result<Prediction, Error>>,
+}
+
+impl Ticket {
+    /// Blocks until the sample's micro-batch has been served and returns
+    /// the prediction. A server that shut down without serving the
+    /// request (a submission racing [`Server::shutdown`]) surfaces as
+    /// [`Error::ServerClosed`] — tickets never hang.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NonFiniteLogits`] if the sample poisoned detection,
+    /// [`Error::ServerClosed`] as above.
+    pub fn wait(mut self) -> Result<Prediction, Error> {
+        if let Some(done) = self.done.take() {
+            return done;
+        }
+        self.rx.recv().unwrap_or(Err(Error::ServerClosed))
+    }
+
+    /// Non-blocking poll: `None` while the sample is still queued or in
+    /// flight, `Some(result)` once served (repeat calls keep returning
+    /// the same result).
+    pub fn try_wait(&mut self) -> Option<Result<Prediction, Error>> {
+        if self.done.is_none() {
+            match self.rx.try_recv() {
+                Ok(done) => self.done = Some(done),
+                Err(mpsc::TryRecvError::Empty) => {}
+                Err(mpsc::TryRecvError::Disconnected) => self.done = Some(Err(Error::ServerClosed)),
+            }
+        }
+        self.done.clone()
+    }
+}
+
+/// Converts row `i` of a `[N, D]` complex view into the staged sample a
+/// [`Client::submit`] call expects — the exact conversion the engine's
+/// tensor paths apply, so a submitted row is bitwise the sample
+/// [`InferenceEngine::classify`] would have served.
+pub fn sample_row(inputs: &CTensor, row: usize) -> Vec<Complex64> {
+    let d = inputs.shape()[1];
+    (0..d)
+        .map(|j| Complex64::new(inputs.re.at2(row, j) as f64, inputs.im.at2(row, j) as f64))
+        .collect()
+}
+
+/// Turns one logit row into the response under the optional confidence
+/// policy.
+fn decide(confidence: Option<Confidence>, logits: &[f64]) -> Prediction {
+    match confidence {
+        None => Prediction::Class(argmax(logits)),
+        Some(c) => {
+            let (best, score) = c.score(logits);
+            if score >= c.threshold {
+                Prediction::Class(best)
+            } else {
+                Prediction::Abstain {
+                    best,
+                    confidence: score,
+                }
+            }
+        }
+    }
+}
+
+/// The batcher thread body: form micro-batches (flush on `max_batch` or
+/// `max_wait`, whichever first), serve them through the engine's
+/// borrowed-batch path, reply per request. On shutdown, drain the queue
+/// to empty before exiting so no admitted ticket is lost.
+fn batcher(
+    mut engine: InferenceEngine,
+    rx: mpsc::Receiver<Request>,
+    policy: BatchPolicy,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+) -> InferenceEngine {
+    // The batcher is a resident service thread: claim one slot of the
+    // shared worker budget so engines + grids + servers stay ≈ `--jobs`.
+    let _slot = crate::pool::reserve_service_slot();
+    let mut pending: Vec<Request> = Vec::with_capacity(policy.max_batch);
+    let mut rows: Vec<Complex64> = Vec::new();
+    loop {
+        // Admit the first request of the next batch.
+        let first = loop {
+            if stop.load(Ordering::SeqCst) {
+                // Draining: serve whatever is still queued, then exit.
+                break rx.try_recv().ok();
+            }
+            match rx.recv_timeout(IDLE_POLL) {
+                Ok(r) => break Some(r),
+                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break None,
+            }
+        };
+        let Some(first) = first else { break };
+        pending.push(first);
+
+        // Coalesce until the batch fills or the oldest request's
+        // deadline passes (during a drain: until the queue is empty).
+        // Under load, stragglers are collected with non-blocking drains
+        // separated by scheduler yields: parking would make every
+        // straggler's `submit` pay a futex wake, turning the coalescing
+        // window into one context switch per request. The yield spin is
+        // bounded, though — past `SPIN_WAIT` the batcher parks in timed
+        // waits for the rest of the deadline, so a long `max_wait` over a
+        // trickle of traffic idles the core instead of burning it.
+        const SPIN_WAIT: Duration = Duration::from_micros(256);
+        let deadline = Instant::now() + policy.max_wait;
+        let spin_until = Instant::now() + SPIN_WAIT.min(policy.max_wait);
+        loop {
+            while pending.len() < policy.max_batch {
+                match rx.try_recv() {
+                    Ok(r) => pending.push(r),
+                    Err(_) => break,
+                }
+            }
+            if pending.len() >= policy.max_batch || stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            if now < spin_until {
+                thread::yield_now();
+            } else {
+                // Park for the remaining window (capped so a shutdown is
+                // still noticed promptly); a straggler's send wakes us.
+                let nap = (deadline - now).min(IDLE_POLL);
+                match rx.recv_timeout(nap) {
+                    Ok(r) => pending.push(r),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+
+        serve_batch(&mut engine, &policy, &mut pending, &mut rows, &counters);
+    }
+    engine
+}
+
+/// Serves one micro-batch and replies to every request in it. A batch
+/// poisoned by one sample (non-finite logits) falls back to serving each
+/// request individually, so the offending sample gets its error and the
+/// rest still get their predictions.
+fn serve_batch(
+    engine: &mut InferenceEngine,
+    policy: &BatchPolicy,
+    pending: &mut Vec<Request>,
+    rows: &mut Vec<Complex64>,
+    counters: &Counters,
+) {
+    counters.batches.fetch_add(1, Ordering::Relaxed);
+    counters
+        .batch_fill
+        .fetch_add(pending.len() as u64, Ordering::Relaxed);
+    rows.clear();
+    for request in pending.iter() {
+        rows.extend_from_slice(&request.fields);
+    }
+    let confidence = policy.confidence;
+    let emit = move |logits: &[f64]| decide(confidence, logits);
+    match engine.serve_rows(rows, &emit) {
+        Ok(predictions) => {
+            for (request, prediction) in pending.drain(..).zip(predictions) {
+                respond(counters, &request, Ok(prediction));
+            }
+        }
+        Err(_) => {
+            // Isolate the poisoned sample(s): per-request error indices
+            // are the request's own (single-sample) batch, i.e. 0.
+            for request in pending.drain(..) {
+                let outcome = engine
+                    .serve_rows(&request.fields, &emit)
+                    .map(|mut v| v.remove(0));
+                respond(counters, &request, outcome);
+            }
+        }
+    }
+}
+
+fn respond(counters: &Counters, request: &Request, outcome: Result<Prediction, Error>) {
+    counters.served.fetch_add(1, Ordering::Relaxed);
+    if matches!(outcome, Ok(Prediction::Abstain { .. })) {
+        counters.abstained.fetch_add(1, Ordering::Relaxed);
+    }
+    // A dropped ticket just means nobody is listening; serving continues.
+    let _ = request.reply.send(outcome);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+    use oplix_nn::tensor::Tensor;
+    use oplix_photonics::decoder::DecoderKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine(seed: u64) -> InferenceEngine {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = build_fcnn(
+            &FcnnConfig {
+                input: 6,
+                hidden: 5,
+                classes: 3,
+            },
+            ModelVariant::Split(DecoderKind::Merge),
+            &mut rng,
+        );
+        InferenceEngine::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+            .expect("FCNN deploys")
+    }
+
+    fn view(n: usize, seed: u64) -> CTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        CTensor::new(
+            Tensor::random_uniform(&[n, 6], 1.0, &mut rng),
+            Tensor::random_uniform(&[n, 6], 1.0, &mut rng),
+        )
+    }
+
+    #[test]
+    fn coalesced_batches_match_direct_classify() {
+        let x = view(37, 100_001);
+        let mut direct = engine(100_000);
+        let want = direct.classify(&x).expect("direct");
+
+        let server = Server::builder()
+            .max_batch(8)
+            .max_wait(Duration::from_micros(100))
+            .serve_engine(engine(100_000));
+        let client = server.client();
+        let tickets: Vec<Ticket> = (0..37)
+            .map(|i| client.submit(sample_row(&x, i)).expect("admits"))
+            .collect();
+        let got: Vec<usize> = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("serves").class().expect("no policy"))
+            .collect();
+        assert_eq!(got, want);
+        let stats = server.stats();
+        assert_eq!(stats.submitted, 37);
+        assert_eq!(stats.served, 37);
+        assert!(stats.batches >= 1);
+        assert_eq!(stats.batched_samples, 37);
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_requests() {
+        let x = view(20, 100_011);
+        let mut direct = engine(100_010);
+        let want = direct.classify(&x).expect("direct");
+
+        let server = Server::builder()
+            .max_batch(4)
+            .max_wait(Duration::from_millis(50))
+            .serve_engine(engine(100_010));
+        let client = server.client();
+        let tickets: Vec<Ticket> = (0..20)
+            .map(|i| client.submit(sample_row(&x, i)).expect("admits"))
+            .collect();
+        // Shut down *before* waiting: every admitted ticket must still
+        // resolve to its prediction (drain, not drop).
+        let engine_back = server.shutdown();
+        let got: Vec<usize> = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("drained").class().expect("no policy"))
+            .collect();
+        assert_eq!(got, want);
+        assert_eq!(engine_back.stats().samples, 20);
+
+        // After shutdown, clients get a typed refusal, not a hang.
+        assert!(matches!(
+            client.submit(sample_row(&x, 0)),
+            Err(Error::ServerClosed)
+        ));
+    }
+
+    #[test]
+    fn submit_validates_sample_width() {
+        let server = Server::builder().serve_engine(engine(100_020));
+        let client = server.client();
+        assert!(matches!(
+            client.submit(vec![Complex64::ONE; 3]),
+            Err(Error::ShapeMismatch {
+                expected: 6,
+                got: 3,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn confidence_policy_abstains_and_counts() {
+        let x = view(24, 100_031);
+        // A maximally strict margin: every sample abstains.
+        let server = Server::builder()
+            .confidence(Confidence {
+                threshold: 1.0 + 1e-9,
+                top_k: 2,
+            })
+            .serve_engine(engine(100_030));
+        let client = server.client();
+        let tickets: Vec<Ticket> = (0..24)
+            .map(|i| client.submit(sample_row(&x, i)).expect("admits"))
+            .collect();
+        let mut abstained = 0;
+        for t in tickets {
+            match t.wait().expect("serves") {
+                Prediction::Abstain { confidence, .. } => {
+                    assert!(confidence <= 1.0);
+                    abstained += 1;
+                }
+                Prediction::Class(_) => {}
+            }
+        }
+        assert_eq!(abstained, 24, "threshold > 1 must abstain on everything");
+        assert_eq!(server.stats().abstained, 24);
+    }
+}

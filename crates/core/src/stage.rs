@@ -19,8 +19,9 @@
 //! not panics.
 
 use crate::deploy::DeployedDetection;
-use crate::engine::InferenceEngine;
+use crate::engine::{Confidence, InferenceEngine};
 use crate::error::Error;
+use crate::serve::{Prediction, Server};
 use oplix_datasets::assign::AssignmentKind;
 use oplix_datasets::synth::RealDataset;
 use oplix_nn::mutual::{mutual_fit, MutualConfig};
@@ -206,8 +207,13 @@ pub struct Evaluation {
     pub engine: InferenceEngine,
     /// Software test accuracy.
     pub software_accuracy: f64,
-    /// Deployed (field-level) hardware test accuracy.
+    /// Deployed (field-level) hardware test accuracy. When the evaluate
+    /// stage carried a [`Confidence`] policy this is the *selective*
+    /// accuracy over the accepted samples.
     pub hardware_accuracy: f64,
+    /// Test samples the confidence policy abstained on (0 without a
+    /// policy).
+    pub hardware_abstained: usize,
 }
 
 impl Evaluation {
@@ -538,19 +544,43 @@ impl Stage for DeployStage {
 /// test sample reports its absolute index *and* which evaluation window it
 /// fell in, and a geometry mismatch names the expected/actual widths,
 /// instead of the bare error variant.
+///
+/// Two optional serving-posture knobs ride on top:
+///
+/// * `confidence` — an early-exit [`Confidence`] policy: low-confidence
+///   test samples are counted as abstentions
+///   ([`Evaluation::hardware_abstained`]) and `hardware_accuracy` becomes
+///   the selective accuracy over the accepted samples;
+/// * `concurrent_clients` — when > 1, evaluation exercises the
+///   [`crate::serve`] front end instead of the in-process streaming path:
+///   the engine moves behind a [`Server`], that many client threads
+///   submit their share of the test set through the bounded queue, and
+///   the micro-batcher re-forms batches. Results are bitwise identical to
+///   the streaming path (the serving-layer contract), so this mode is an
+///   end-to-end exercise of the queue → batcher → shards dataflow.
 #[derive(Clone, Copy, Debug)]
 pub struct EvaluateStage {
-    /// Upper bound on test samples in flight per evaluation window.
+    /// Upper bound on test samples in flight per evaluation window (also
+    /// the serve-mode `max_batch`).
     pub batch_size: usize,
+    /// Client threads to evaluate through the serving front end with
+    /// (0 or 1 = the in-process streaming path).
+    pub concurrent_clients: usize,
+    /// Optional early-exit confidence policy.
+    pub confidence: Option<Confidence>,
 }
 
 impl Default for EvaluateStage {
     /// A 256-sample window: big enough to amortise engine dispatch (and,
     /// when the upstream [`DeployStage::with_num_workers`] configured a
     /// sharded engine, to split across its workers), small enough to keep
-    /// evaluation memory flat.
+    /// evaluation memory flat. In-process streaming, no confidence policy.
     fn default() -> Self {
-        EvaluateStage { batch_size: 256 }
+        EvaluateStage {
+            batch_size: 256,
+            concurrent_clients: 1,
+            confidence: None,
+        }
     }
 }
 
@@ -562,7 +592,87 @@ impl EvaluateStage {
     /// Panics if `batch_size == 0`.
     pub fn with_batch_size(batch_size: usize) -> Self {
         assert!(batch_size > 0, "evaluation window must be positive");
-        EvaluateStage { batch_size }
+        EvaluateStage {
+            batch_size,
+            ..Default::default()
+        }
+    }
+
+    /// Evaluates through the [`crate::serve`] front end with `n` client
+    /// threads (values ≤ 1 keep the in-process streaming path).
+    pub fn with_concurrent_clients(mut self, n: usize) -> Self {
+        self.concurrent_clients = n;
+        self
+    }
+
+    /// Installs an early-exit confidence policy.
+    pub fn with_confidence(mut self, confidence: Confidence) -> Self {
+        self.confidence = Some(confidence);
+        self
+    }
+
+    /// The serve-mode evaluation: move the engine behind a [`Server`],
+    /// fan the test view out over `clients` submitting threads, and fold
+    /// the tickets back into (correct, abstained) counts.
+    fn run_concurrent(
+        &self,
+        engine: InferenceEngine,
+        data: &AssignedData,
+        clients: usize,
+    ) -> Result<(InferenceEngine, usize, usize), Error> {
+        let n = data.test.inputs.shape()[0];
+        let mut builder = Server::builder()
+            .max_batch(self.batch_size)
+            .max_wait(std::time::Duration::from_micros(500))
+            .queue_cap((2 * self.batch_size).max(clients));
+        if let Some(c) = self.confidence {
+            builder = builder.confidence(c);
+        }
+        let server = builder.serve_engine(engine);
+        let spans: Vec<(usize, usize)> = {
+            let per = n.div_ceil(clients);
+            (0..clients)
+                .map(|c| (c * per, ((c + 1) * per).min(n)))
+                .filter(|(lo, hi)| lo < hi)
+                .collect()
+        };
+        let outcomes: Vec<Result<(usize, usize), Error>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = spans
+                .iter()
+                .map(|&(lo, hi)| {
+                    let client = server.client();
+                    let test = &data.test;
+                    scope.spawn(move || {
+                        let tickets: Vec<crate::serve::Ticket> = (lo..hi)
+                            .map(|i| client.submit(crate::serve::sample_row(&test.inputs, i)))
+                            .collect::<Result<_, Error>>()?;
+                        let mut correct = 0usize;
+                        let mut abstained = 0usize;
+                        for (ticket, label) in tickets.into_iter().zip(&test.labels[lo..hi]) {
+                            match ticket.wait()? {
+                                Prediction::Class(c) if c == *label => correct += 1,
+                                Prediction::Class(_) => {}
+                                Prediction::Abstain { .. } => abstained += 1,
+                            }
+                        }
+                        Ok((correct, abstained))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("evaluation client thread panicked"))
+                .collect()
+        });
+        let engine = server.shutdown();
+        let mut correct = 0usize;
+        let mut abstained = 0usize;
+        for outcome in outcomes {
+            let (c, a) = outcome?;
+            correct += c;
+            abstained += a;
+        }
+        Ok((engine, correct, abstained))
     }
 }
 
@@ -590,33 +700,71 @@ impl Stage for EvaluateStage {
             software_accuracy,
             data,
         } = input;
-        let hardware_accuracy = engine
-            .accuracy_streaming(&data.test, self.batch_size)
-            .map_err(|e| match e {
-                Error::NonFiniteLogits { sample } => Error::Stage {
-                    stage: "evaluate",
-                    message: format!(
-                        "test sample {sample} (evaluation window {} at batch size {}) \
-                         produced non-finite logits on the deployed hardware",
-                        sample / self.batch_size,
-                        self.batch_size
-                    ),
-                },
-                Error::EmptyInput { .. } => Error::Stage {
+        let contextualise = |e: Error| match e {
+            Error::NonFiniteLogits { sample } => Error::Stage {
+                stage: "evaluate",
+                message: format!(
+                    "test sample {sample} (evaluation window {} at batch size {}) \
+                     produced non-finite logits on the deployed hardware",
+                    sample / self.batch_size,
+                    self.batch_size
+                ),
+            },
+            Error::EmptyInput { .. } => Error::Stage {
+                stage: "evaluate",
+                message: "test view has no samples to evaluate".to_string(),
+            },
+            Error::ShapeMismatch { .. } => Error::Stage {
+                stage: "evaluate",
+                message: format!("test view rejected by the deployed mesh: {e}"),
+            },
+            other => other,
+        };
+        let (engine, hardware_accuracy, hardware_abstained) = if self.concurrent_clients > 1 {
+            if data.test.inputs.shape().len() != 2 || data.test.inputs.shape()[0] == 0 {
+                return Err(Error::Stage {
                     stage: "evaluate",
                     message: "test view has no samples to evaluate".to_string(),
-                },
-                Error::ShapeMismatch { .. } => Error::Stage {
+                });
+            }
+            // The serve path's per-request fallback reports sample
+            // indices relative to the request's own one-sample batch, so
+            // the streaming path's window arithmetic would point at the
+            // wrong row — describe the serving context instead.
+            let serve_context = |e: Error| match e {
+                Error::NonFiniteLogits { .. } => Error::Stage {
                     stage: "evaluate",
-                    message: format!("test view rejected by the deployed mesh: {e}"),
+                    message: format!(
+                        "a test sample produced non-finite logits on the deployed \
+                         hardware while evaluating through the serving front end \
+                         ({} concurrent clients)",
+                        self.concurrent_clients
+                    ),
                 },
-                other => other,
-            })?;
+                other => contextualise(other),
+            };
+            let (engine, correct, abstained) = self
+                .run_concurrent(engine, &data, self.concurrent_clients)
+                .map_err(serve_context)?;
+            let accepted = data.test.inputs.shape()[0] - abstained;
+            let accuracy = if accepted == 0 {
+                0.0
+            } else {
+                correct as f64 / accepted as f64
+            };
+            (engine, accuracy, abstained)
+        } else {
+            let report = engine
+                .accuracy_streaming_with(&data.test, self.batch_size, self.confidence)
+                .map_err(contextualise)?;
+            (engine, report.accuracy(), report.abstained)
+        };
         Ok(Evaluation {
             network,
             engine,
             software_accuracy,
             hardware_accuracy,
+            hardware_abstained,
         })
     }
 }
@@ -929,9 +1077,12 @@ mod tests {
         };
         // The field is public, so a zero window is constructible; it must
         // come back as a typed error, not an engine panic.
-        let err = EvaluateStage { batch_size: 0 }
-            .run(deployed)
-            .expect_err("zero window must be rejected");
+        let err = EvaluateStage {
+            batch_size: 0,
+            ..Default::default()
+        }
+        .run(deployed)
+        .expect_err("zero window must be rejected");
         assert!(
             matches!(
                 err,
@@ -942,6 +1093,62 @@ mod tests {
             ),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn concurrent_client_evaluation_matches_streaming_evaluation() {
+        // Run the Assign → Train → Deploy prefix once, then evaluate the
+        // same deployed model through the in-process streaming path and
+        // through the serve front end (4 client threads): the serving
+        // layer's bitwise contract means identical accuracy.
+        let assign = AssignStage::flat(AssignmentKind::SpatialInterlace);
+        let train = TrainStage::new(
+            Box::new(|d: &AssignedData, rng: &mut StdRng| {
+                Ok(build_fcnn(
+                    &FcnnConfig {
+                        input: d.assigned_features(),
+                        hidden: 10,
+                        classes: d.classes,
+                    },
+                    ModelVariant::Split(DecoderKind::Merge),
+                    rng,
+                ))
+            }),
+            quick_setup(),
+            11,
+        );
+        let detection = ModelVariant::Split(DecoderKind::Merge).detection();
+        let deploy = DeployStage::new(detection);
+        let trained = assign
+            .then(train)
+            .run(quick_pair())
+            .expect("assign + train");
+        // `Network` is not cloneable: evaluate once through the streaming
+        // path, then rebuild a second deployed model from the network the
+        // evaluation hands back (same weights, same data views).
+        let data = trained.data.clone();
+        let deployed_a = deploy.run(trained).expect("deploy");
+        let streamed = EvaluateStage::with_batch_size(16)
+            .run(deployed_a)
+            .expect("streaming evaluation");
+        let deployed_b = DeployedModel {
+            engine: InferenceEngine::from_network(
+                &streamed.network,
+                detection,
+                oplix_photonics::svd_map::MeshStyle::Clements,
+            )
+            .expect("redeploys"),
+            network: streamed.network,
+            software_accuracy: streamed.software_accuracy,
+            data,
+        };
+        let served = EvaluateStage::with_batch_size(16)
+            .with_concurrent_clients(4)
+            .run(deployed_b)
+            .expect("concurrent evaluation");
+        assert_eq!(streamed.hardware_accuracy, served.hardware_accuracy);
+        assert_eq!(streamed.hardware_abstained, 0);
+        assert_eq!(served.hardware_abstained, 0);
     }
 
     #[test]

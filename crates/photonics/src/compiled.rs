@@ -31,6 +31,13 @@ use crate::mesh::MziMesh;
 use crate::svd_map::PhotonicLayer;
 use oplix_linalg::Complex64;
 
+std::thread_local! {
+    /// Reusable mode-major staging buffer of [`CompiledMesh::propagate_batch`]:
+    /// after warm-up, batched propagation allocates nothing per window.
+    static MODE_MAJOR_SCRATCH: std::cell::RefCell<Vec<Complex64>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// A mesh baked into precomputed 2×2 coefficients, struct-of-arrays,
 /// grouped by column stage.
 ///
@@ -198,9 +205,18 @@ impl CompiledMesh {
     /// Propagates a window of `samples` field vectors stored contiguously
     /// (`fields[s*n .. (s+1)*n]` is sample `s`) through one compiled
     /// kernel — the batch entry point the inference engine serves sample
-    /// windows through. Each sample runs the exact per-sample kernel, so
-    /// the batch is bitwise identical to `samples` sequential
+    /// windows through. Each sample runs the exact per-sample operation
+    /// sequence, so the batch is bitwise identical to `samples` sequential
     /// [`CompiledMesh::propagate_in_place`] calls.
+    ///
+    /// Large windows run **mode-major**: the window is transposed into
+    /// one-row-per-waveguide layout, every MZI's four coefficients are
+    /// loaded once and swept across the whole window (two contiguous
+    /// sample rows — the vectorisable shape), and the result is transposed
+    /// back. Per sample this replays the identical stage-major 2×2
+    /// products in the identical order, so the reordering across
+    /// *independent* samples changes nothing bitwise — it only stops the
+    /// kernel re-streaming the whole coefficient table per sample.
     ///
     /// # Panics
     ///
@@ -211,9 +227,71 @@ impl CompiledMesh {
             samples * self.n,
             "batch length must be samples * mesh size"
         );
-        for row in fields.chunks_exact_mut(self.n.max(1)) {
-            self.kernel(row);
+        // Below this many samples the two transposes cost more than the
+        // coefficient-reload traffic they save.
+        const MODE_MAJOR_MIN_SAMPLES: usize = 8;
+        if samples < MODE_MAJOR_MIN_SAMPLES || self.modes.is_empty() {
+            for row in fields.chunks_exact_mut(self.n.max(1)) {
+                self.kernel(row);
+            }
+            return;
         }
+        MODE_MAJOR_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            // Grow-only: the transpose below overwrites every element of
+            // the window, so no per-window zero-fill is needed.
+            if scratch.len() < fields.len() {
+                scratch.resize(fields.len(), Complex64::ZERO);
+            }
+            let scratch = &mut scratch[..fields.len()];
+            // Transpose sample-major [s][m] → mode-major [m][s].
+            for s in 0..samples {
+                for m in 0..self.n {
+                    scratch[m * samples + s] = fields[s * self.n + m];
+                }
+            }
+            for idx in 0..self.modes.len() {
+                let m = self.modes[idx] as usize;
+                let (t00, t01, t10, t11) =
+                    (self.t00[idx], self.t01[idx], self.t10[idx], self.t11[idx]);
+                let (upper, lower) = scratch[m * samples..].split_at_mut(samples);
+                for (a, b) in upper.iter_mut().zip(&mut lower[..samples]) {
+                    let (x, y) = (*a, *b);
+                    *a = t00 * x + t01 * y;
+                    *b = t10 * x + t11 * y;
+                }
+            }
+            for m in 0..self.n {
+                let ph = self.out_phasors[m];
+                for f in &mut scratch[m * samples..(m + 1) * samples] {
+                    *f *= ph;
+                }
+            }
+            // Transpose back.
+            for s in 0..samples {
+                for m in 0..self.n {
+                    fields[s * self.n + m] = scratch[m * samples + s];
+                }
+            }
+        });
+    }
+
+    /// Reconstructs the unitary the mesh implements by propagating the
+    /// canonical basis as **one compiled batch**: the coefficients are
+    /// baked once and [`CompiledMesh::propagate_batch`] pushes all `n`
+    /// basis vectors through them, instead of re-deriving every MZI's
+    /// transfer per basis vector as the interpreted walk would. Bitwise
+    /// identical to propagating each basis vector through the source mesh
+    /// one at a time (the [`MziMesh::matrix`] contract).
+    pub fn unitary(&self) -> oplix_linalg::CMatrix {
+        let n = self.n;
+        // Row s of the batch is basis vector e_s.
+        let mut batch = vec![Complex64::ZERO; n * n];
+        for j in 0..n {
+            batch[j * n + j] = Complex64::ONE;
+        }
+        self.propagate_batch(&mut batch, n);
+        oplix_linalg::CMatrix::from_fn(n, n, |i, j| batch[j * n + i])
     }
 }
 
@@ -418,12 +496,13 @@ mod tests {
         }
 
         /// The batch entry point is bitwise the per-sample kernel,
-        /// including the empty window.
+        /// including the empty window and windows big enough to take the
+        /// mode-major fast path (samples ≥ 8).
         #[test]
         fn propagate_batch_is_bitwise_per_sample(
             n in 2usize..10,
             count in 0usize..40,
-            samples in 0usize..6,
+            samples in 0usize..24,
             seed in 0u64..u64::MAX,
         ) {
             let mesh = random_mesh(n, count, seed);
@@ -465,12 +544,13 @@ mod tests {
             prop_assert_eq!(io, reference);
         }
 
-        /// The layer-level batch kernel is bitwise the per-sample kernel.
+        /// The layer-level batch kernel is bitwise the per-sample kernel,
+        /// through both the small-window and mode-major mesh paths.
         #[test]
         fn forward_batch_is_bitwise_per_sample(
             m in 1usize..6,
             n in 1usize..6,
-            samples in 0usize..5,
+            samples in 0usize..20,
             seed in 0u64..u64::MAX,
         ) {
             let mut rng = StdRng::seed_from_u64(seed);

@@ -138,18 +138,14 @@ impl MziMesh {
     }
 
     /// Reconstructs the unitary matrix this mesh implements by propagating
-    /// the canonical basis.
+    /// the canonical basis — as one compiled batch
+    /// ([`crate::compiled::CompiledMesh::unitary`]): the MZI coefficients
+    /// are baked once and all `n` basis vectors replay them, instead of
+    /// re-deriving six transcendentals per MZI per basis vector. Bitwise
+    /// identical to the one-basis-vector-at-a-time interpreted walk (the
+    /// compiled-kernel contract, pinned in this module's tests).
     pub fn matrix(&self) -> CMatrix {
-        let mut out = CMatrix::zeros(self.n, self.n);
-        for j in 0..self.n {
-            let mut e = vec![Complex64::ZERO; self.n];
-            e[j] = Complex64::ONE;
-            self.propagate_in_place(&mut e);
-            for i in 0..self.n {
-                out[(i, j)] = e[i];
-            }
-        }
-        out
+        crate::compiled::CompiledMesh::compile(self).unitary()
     }
 
     /// The optical depth of the mesh: the number of MZI "columns" when MZIs
@@ -351,5 +347,43 @@ mod tests {
     fn phases_vector_layout() {
         let mesh = MziMesh::new(2, vec![Mzi::new(0, 1.0, 2.0)], vec![3.0, 4.0]);
         assert_eq!(mesh.phases(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn matrix_via_compiled_batch_is_bitwise_the_basis_walk() {
+        use rand::Rng;
+        // `matrix()` now propagates the identity basis as one compiled
+        // batch; pin it bitwise against the historical implementation,
+        // one interpreted basis-vector walk per column.
+        let mut rng = StdRng::seed_from_u64(17);
+        for &(n, count) in &[(1usize, 0usize), (3, 4), (6, 20), (9, 45)] {
+            let mzis = (0..count)
+                .map(|_| {
+                    Mzi::new(
+                        rng.gen_range(0..n.max(2) - 1),
+                        rng.gen_range(-6.0..6.0),
+                        rng.gen_range(-6.0..6.0),
+                    )
+                })
+                .collect();
+            let phases = (0..n).map(|_| rng.gen_range(-6.0..6.0)).collect();
+            let mesh = MziMesh::new(n, mzis, phases);
+
+            let via_batch = mesh.matrix();
+            let mut via_walk = CMatrix::zeros(n, n);
+            for j in 0..n {
+                let mut e = vec![Complex64::ZERO; n];
+                e[j] = Complex64::ONE;
+                mesh.propagate_in_place(&mut e);
+                for i in 0..n {
+                    via_walk[(i, j)] = e[i];
+                }
+            }
+            assert_eq!(
+                via_batch.max_abs_diff(&via_walk),
+                0.0,
+                "n={n} count={count}: compiled-batch matrix must be bitwise the basis walk"
+            );
+        }
     }
 }

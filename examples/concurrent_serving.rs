@@ -1,0 +1,129 @@
+//! Concurrent serving quickstart: many clients, one photonic engine.
+//!
+//! Trains a small split-complex FCNN, deploys it behind the
+//! `oplixnet::serve` front end, and fans four client threads out over the
+//! test set. Requests coalesce in the bounded queue, the micro-batcher
+//! flushes them through the sharded engine, and each ticket resolves to
+//! the same prediction a direct `classify` call would have produced — with
+//! low-confidence samples reported as abstentions under the configured
+//! early-exit policy.
+//!
+//! Run with `cargo run --release --example concurrent_serving`.
+
+use oplix_datasets::assign::AssignmentKind;
+use oplix_datasets::synth::{digits, SynthConfig};
+use oplixnet::engine::Confidence;
+use oplixnet::experiments::TrainSetup;
+use oplixnet::pipeline::OplixNetBuilder;
+use oplixnet::serve::{sample_row, Prediction, Server, Ticket};
+use oplixnet::stage::DatasetPair;
+use std::time::Duration;
+
+fn main() {
+    // 1. Train + deploy through the standard pipeline.
+    let cfg = SynthConfig {
+        height: 8,
+        width: 8,
+        samples: 400,
+        ..Default::default()
+    };
+    let pair = DatasetPair::new(
+        digits(&cfg),
+        digits(&SynthConfig {
+            samples: 200,
+            seed: 1,
+            ..cfg
+        }),
+    );
+    let test_view = AssignmentKind::SpatialInterlace.apply_dataset_flat(&pair.test);
+    let outcome = OplixNetBuilder::new()
+        .hidden(16)
+        .mutual_learning(false)
+        .train_setup(TrainSetup {
+            epochs: 8,
+            batch: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+        })
+        .build(&pair.train, &pair.test)
+        .run()
+        .expect("geometry is valid and FCNNs deploy");
+    println!(
+        "trained: software accuracy {:.3}, hardware accuracy {:.3}",
+        outcome.accuracy, outcome.deployed_accuracy
+    );
+
+    // 2. Move the deployed engine behind a serving front end.
+    let server = Server::builder()
+        .max_batch(64)
+        .max_wait(Duration::from_micros(500))
+        .queue_cap(1024)
+        .workers(0) // engine shards on the shared --jobs budget
+        .confidence(Confidence {
+            threshold: 0.6,
+            top_k: 2,
+        })
+        .serve_engine(outcome.engine);
+
+    // 3. Four concurrent clients split the test set and submit
+    //    sample-by-sample; the batcher re-forms batches behind the queue.
+    const CLIENTS: usize = 4;
+    let n = test_view.inputs.shape()[0];
+    let per_client = n.div_ceil(CLIENTS);
+    let verdicts: Vec<(usize, Prediction)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let client = server.client();
+                let view = &test_view;
+                scope.spawn(move || {
+                    let lo = c * per_client;
+                    let hi = ((c + 1) * per_client).min(n);
+                    let tickets: Vec<(usize, Ticket)> = (lo..hi)
+                        .map(|i| {
+                            let ticket = client
+                                .submit(sample_row(&view.inputs, i))
+                                .expect("queue admits");
+                            (i, ticket)
+                        })
+                        .collect();
+                    tickets
+                        .into_iter()
+                        .map(|(i, t)| (i, t.wait().expect("ticket resolves")))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    let correct = verdicts
+        .iter()
+        .filter(|(i, p)| p.class() == Some(test_view.labels[*i]))
+        .count();
+    let abstained = verdicts.iter().filter(|(_, p)| p.is_abstain()).count();
+    let stats = server.stats();
+    println!(
+        "served {} requests from {CLIENTS} clients in {} micro-batches \
+         (mean fill {:.1})",
+        stats.served,
+        stats.batches,
+        stats.mean_batch_fill()
+    );
+    println!(
+        "selective accuracy {:.3} at coverage {:.3} ({abstained} abstentions)",
+        correct as f64 / (n - abstained).max(1) as f64,
+        (n - abstained) as f64 / n as f64
+    );
+
+    // 4. Drain and reclaim the engine (with its serving counters).
+    let engine = server.shutdown();
+    println!(
+        "engine served {} samples at {:.0} samples/s of busy time",
+        engine.stats().samples,
+        engine.stats().samples_per_sec()
+    );
+}

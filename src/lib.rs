@@ -49,6 +49,13 @@
 //! assert_eq!(classes.len(), 40);
 //! ```
 //!
+//! For concurrent clients, move the engine behind the serving front end
+//! ([`oplixnet::serve`]): a `Server` owns the deployed model behind a
+//! bounded request queue, a micro-batcher coalesces submissions into
+//! engine batches, and each `Ticket` resolves to the same prediction a
+//! direct `classify` call would return — see
+//! `examples/concurrent_serving.rs`.
+//!
 //! See `examples/quickstart.rs` for the full workflow, and
 //! `examples/paper_tables.rs` to regenerate every table and figure of the
 //! paper.

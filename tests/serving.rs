@@ -116,6 +116,47 @@ fn arc_backed_views_do_not_alias_mutations_across_grid_arms() {
 }
 
 #[test]
+fn every_entry_point_shares_one_compiled_kernel_bitwise() {
+    use oplix_linalg::Complex64;
+
+    let test = test_view(40, 13);
+    let input = test.inputs.shape()[1];
+    let mut engine = engine(59, input);
+
+    // The batched tensor path is the reference.
+    let want_logits = engine.predict_batch(&test.inputs).expect("predict_batch");
+    let want_classes = engine.classify(&test.inputs).expect("classify");
+
+    // Single-sample `predict` routes through the same windowed compiled
+    // kernel: bitwise equality, not approximate agreement.
+    let rows: Vec<Vec<Complex64>> = (0..40)
+        .map(|i| oplixnet::serve::sample_row(&test.inputs, i))
+        .collect();
+    for (i, row) in rows.iter().enumerate() {
+        let single = engine.predict(row).expect("predict");
+        assert_eq!(single, want_logits[i], "sample {i}: predict differs");
+    }
+
+    // The borrowed-batch rows path (the serving front end's entry point)
+    // is bitwise the tensor path too.
+    let flat: Vec<Complex64> = rows.iter().flatten().copied().collect();
+    assert_eq!(
+        engine.classify_rows(&flat).expect("classify_rows"),
+        want_classes
+    );
+
+    // Typed errors, not panics, on malformed row slices.
+    assert!(matches!(
+        engine.classify_rows(&flat[..input + 1]),
+        Err(oplixnet::Error::ShapeMismatch { .. })
+    ));
+    assert!(matches!(
+        engine.classify_rows(&[]),
+        Err(oplixnet::Error::EmptyInput { .. })
+    ));
+}
+
+#[test]
 fn repeated_deployments_hit_the_decomposition_cache() {
     let test = test_view(20, 11);
     let input = test.inputs.shape()[1];
