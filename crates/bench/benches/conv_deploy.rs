@@ -1,0 +1,91 @@
+//! Conv-lowering benchmarks: deploying a CNN body onto meshes (cold vs
+//! deployment-cache-warm) and serving batched inference through the
+//! im2col gather + compiled-mesh pipeline.
+//!
+//! The interesting shape here is the *patch-row fan-out*: one 64-sample
+//! window of an 8×8 single-channel conv (3×3, same padding) expands into
+//! 64 × 64 = 4096 patch rows through one compiled mesh batch, so the
+//! mode-major batched kernel carries the conv path exactly like it
+//! carries FCNN windows.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oplix_nn::ctensor::CTensor;
+use oplix_nn::head::MergeHead;
+use oplix_nn::layers::{CConv2d, CDense, CFlatten, CRelu, CSequential};
+use oplix_nn::network::Network;
+use oplix_nn::tensor::Tensor;
+use oplix_photonics::svd_map::MeshStyle;
+use oplixnet::engine::InferenceEngine;
+use oplixnet::{clear_deploy_cache, DeployedDetection};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const C: usize = 1;
+const HW: usize = 8;
+const OUT_CH: usize = 4;
+
+fn cnn() -> Network {
+    let mut rng = StdRng::seed_from_u64(17);
+    let conv = CConv2d::new(C, OUT_CH, 3, 1, 1, &mut rng);
+    let body = CSequential::new()
+        .push(conv)
+        .push(CRelu::new())
+        .push(CFlatten::new())
+        .push(CDense::new(OUT_CH * HW * HW, 20, &mut rng));
+    Network::new(body, Box::new(MergeHead::new()))
+}
+
+fn deploy(net: &Network) -> InferenceEngine {
+    InferenceEngine::from_network_shaped(
+        net,
+        Some((C, HW, HW)),
+        DeployedDetection::Differential,
+        MeshStyle::Clements,
+    )
+    .expect("CNN bodies deploy")
+}
+
+fn image_batch(n: usize) -> CTensor {
+    let mut rng = StdRng::seed_from_u64(19);
+    CTensor::new(
+        Tensor::random_uniform(&[n, C, HW, HW], 1.0, &mut rng),
+        Tensor::random_uniform(&[n, C, HW, HW], 1.0, &mut rng),
+    )
+}
+
+fn bench_conv_deploy(c: &mut Criterion) {
+    let net = cnn();
+    let mut group = c.benchmark_group("conv_deploy");
+    group.sample_size(10);
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            clear_deploy_cache();
+            criterion::black_box(deploy(&net));
+        })
+    });
+    // Prime: second sight admits the full entry, then every iteration hits.
+    let _ = deploy(&net);
+    let _ = deploy(&net);
+    group.bench_function("cache_warm", |b| {
+        b.iter(|| criterion::black_box(deploy(&net)))
+    });
+    group.finish();
+}
+
+fn bench_conv_serving(c: &mut Criterion) {
+    let net = cnn();
+    let mut engine = deploy(&net);
+    let mut group = c.benchmark_group("conv_serving");
+    group.sample_size(10);
+    for n in [8usize, 64] {
+        let x = image_batch(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(&format!("classify_batch{n}") as &str, |b| {
+            b.iter(|| engine.classify(&x).expect("classify"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv_deploy, bench_conv_serving);
+criterion_main!(benches);

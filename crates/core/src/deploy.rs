@@ -18,10 +18,11 @@ use crate::engine::argmax;
 use crate::error::Error;
 use oplix_linalg::{CMatrix, Complex64};
 use oplix_nn::ctensor::CTensor;
+use oplix_nn::functional::im2col_indices;
 use oplix_nn::head::{LinearDecoderHead, UnitaryDecoderHead};
-use oplix_nn::layers::CDense;
+use oplix_nn::layers::{CAvgPool2d, CConv2d, CDense, CFlatten, CRelu};
 use oplix_nn::network::Network;
-use oplix_photonics::compiled::CompiledLayer;
+use oplix_photonics::compiled::{CompiledLayer, GatherSource};
 use oplix_photonics::count::DeviceCount;
 use oplix_photonics::svd_map::{MeshStyle, PhotonicLayer};
 use rand::Rng;
@@ -32,22 +33,25 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Reusable field buffers for [`DeployedFcnn::forward_into`]: after the
-/// first call neither vector reallocates, so a serving loop is
-/// allocation-free per sample.
+/// first call nothing reallocates, so a serving loop is allocation-free
+/// per sample. Internally a one-sample [`WindowBuffers`] — the per-sample
+/// path *is* the staged window walk at window size one, which is what
+/// keeps every entry point bitwise interchangeable.
 #[derive(Clone, Debug, Default)]
 pub struct ForwardBuffers {
-    fields: Vec<Complex64>,
-    tmp: Vec<Complex64>,
+    win: WindowBuffers,
 }
 
 /// Reusable field buffers for [`DeployedFcnn::forward_window_into`], the
-/// windowed batch path: two ping-pong buffers sized `window × stage
-/// width`. After warm-up neither reallocates, so a serving worker pushes
-/// whole sample windows through compiled kernels allocation-free.
+/// windowed batch path: ping-pong buffers sized `window × stage width`
+/// plus a gather scratch for conv stages. After warm-up none reallocates,
+/// so a serving worker pushes whole sample windows through compiled
+/// kernels allocation-free.
 #[derive(Clone, Debug, Default)]
 pub struct WindowBuffers {
     cur: Vec<Complex64>,
     nxt: Vec<Complex64>,
+    aux: Vec<Complex64>,
 }
 
 /// Applies one detection scheme to a row of output fields, appending the
@@ -98,7 +102,103 @@ pub(crate) struct OpticalStage {
     relu_after: bool,
 }
 
-/// A fully connected network deployed onto MZI meshes.
+/// A convolution lowered onto meshes through the im2col view: a pure
+/// electronic index gather (one patch row per output position, padding
+/// taps dark, bias tap on the reference mode) feeds the dense
+/// `[out_ch, patch_len + 1]` kernel matrix realised as the standard SVD →
+/// two-mesh + attenuator [`PhotonicLayer`]. One mesh serves every output
+/// position — the same weight sharing that makes conv cheap in software
+/// keeps the photonic footprint at one kernel-sized mesh per layer.
+#[derive(Clone, Debug)]
+pub(crate) struct ConvStage {
+    pub(crate) layer: PhotonicLayer,
+    /// The compiled form of `layer`; the serving hot path.
+    compiled: CompiledLayer,
+    /// The im2col gather: `positions × (patch_len + 1)` sources.
+    plan: Arc<Vec<GatherSource>>,
+    /// Convolution output positions `H'·W'` (mesh rows per sample).
+    positions: usize,
+    /// Output channels of the convolution.
+    out_ch: usize,
+    /// Flattened input features `C·H·W`.
+    in_features: usize,
+    /// Flattened output features `out_ch·H'·W'`.
+    out_features: usize,
+    /// Apply the electro-optic split ReLU after this stage.
+    relu_after: bool,
+}
+
+/// Electronic average pooling between optical stages: like the split
+/// ReLU, the fields are coherently detected, averaged per window, and
+/// re-modulated — a linear index gather, no optical devices.
+#[derive(Clone, Debug)]
+pub(crate) struct PoolStage {
+    /// Flat input indices, `k²` per output feature, in output order.
+    taps: Arc<Vec<u32>>,
+    /// Window area `k²`.
+    k2: usize,
+    /// Flattened input features `C·H·W`.
+    in_features: usize,
+    /// Flattened output features `C·(H/k)·(W/k)`.
+    out_features: usize,
+    /// Apply the electro-optic split ReLU after this stage.
+    relu_after: bool,
+}
+
+/// One stage of a deployed pipeline: a dense layer on meshes, a lowered
+/// convolution (gather + mesh), or an electronic pooling step.
+#[derive(Clone, Debug)]
+pub(crate) enum DeployedStage {
+    /// A dense layer mapped onto meshes.
+    Mesh(OpticalStage),
+    /// An im2col-lowered convolution.
+    Conv(ConvStage),
+    /// Electronic average pooling.
+    Pool(PoolStage),
+}
+
+impl DeployedStage {
+    /// Flattened field count one sample presents to this stage.
+    fn input_width(&self) -> usize {
+        match self {
+            // Minus the always-on bias reference mode.
+            DeployedStage::Mesh(s) => s.layer.input_dim() - 1,
+            DeployedStage::Conv(s) => s.in_features,
+            DeployedStage::Pool(s) => s.in_features,
+        }
+    }
+
+    /// Flattened field count one sample leaves this stage with.
+    fn output_width(&self) -> usize {
+        match self {
+            DeployedStage::Mesh(s) => s.layer.output_dim(),
+            DeployedStage::Conv(s) => s.out_features,
+            DeployedStage::Pool(s) => s.out_features,
+        }
+    }
+
+    /// The photonic hardware of this stage, if it has any (pooling is
+    /// purely electronic).
+    fn optical(&self) -> Option<&PhotonicLayer> {
+        match self {
+            DeployedStage::Mesh(s) => Some(&s.layer),
+            DeployedStage::Conv(s) => Some(&s.layer),
+            DeployedStage::Pool(_) => None,
+        }
+    }
+
+    fn relu_after_mut(&mut self) -> &mut bool {
+        match self {
+            DeployedStage::Mesh(s) => &mut s.relu_after,
+            DeployedStage::Conv(s) => &mut s.relu_after,
+            DeployedStage::Pool(s) => &mut s.relu_after,
+        }
+    }
+}
+
+/// A trained network deployed onto MZI meshes — fully connected bodies
+/// and CNN bodies alike (conv layers lower through the im2col view, see
+/// [`DeployedFcnn::from_network_shaped`]; the name is historical).
 ///
 /// The stage list covers the network *body* and, for the linear and
 /// unitary decoders, the decoder itself (an extra trained optical stage),
@@ -110,17 +210,25 @@ pub(crate) struct OpticalStage {
 /// (see [`crate::engine::InferenceEngine::noise_session`]) affordable.
 #[derive(Clone, Debug)]
 pub struct DeployedFcnn {
-    stages: Vec<OpticalStage>,
+    stages: Vec<DeployedStage>,
     detection: DeployedDetection,
 }
 
 /// Errors from deployment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DeployError {
-    /// The network body contained a layer type that cannot be mapped
-    /// (only dense layers, activations and reshapes are supported).
-    UnsupportedLayer(usize),
-    /// The network body contained no dense layers.
+    /// The network body contained a layer type that cannot be lowered
+    /// (supported: dense, conv, average pooling, split ReLU, flatten).
+    /// Carries the body index *and* the layer's type name so the
+    /// remaining unsupported kinds (max pooling, batch norm, residual
+    /// blocks, modReLU) are diagnosable from the error alone.
+    UnsupportedLayer {
+        /// Index of the offending layer in the network body.
+        index: usize,
+        /// Short type name of the offending layer (e.g. `"CMaxPool2d"`).
+        kind: &'static str,
+    },
+    /// The network body contained no weight layers to map onto meshes.
     Empty,
     /// Differential detection pairs positive/negative diode banks, so the
     /// optical output width must be even.
@@ -128,21 +236,50 @@ pub enum DeployError {
         /// The (odd) optical output width.
         width: usize,
     },
+    /// The body contains conv/pool layers, which need the input image
+    /// shape to build their gather plans — deploy through
+    /// [`DeployedFcnn::from_network_shaped`] (the stage API passes the
+    /// assigned shape automatically).
+    MissingImageShape {
+        /// Body index of the first layer that needed the image shape.
+        index: usize,
+    },
+    /// A layer's geometry or placement is inconsistent with the incoming
+    /// pipeline state: channel mismatch, kernel larger than the padded
+    /// input, a pooling window not dividing the feature map, or an
+    /// activation before any weight layer.
+    Geometry {
+        /// Body index of the offending layer.
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for DeployError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DeployError::UnsupportedLayer(i) => {
+            DeployError::UnsupportedLayer { index, kind } => {
                 write!(
                     f,
-                    "layer {i} is not deployable onto an FCNN photonic pipeline"
+                    "layer {index} ({kind}) is not deployable onto a photonic pipeline \
+                     (supported: dense, conv, average pooling, split ReLU, flatten)"
                 )
             }
-            DeployError::Empty => write!(f, "network has no dense layers to deploy"),
+            DeployError::Empty => write!(f, "network has no weight layers to deploy"),
             DeployError::OddDifferentialOutput { width } => write!(
                 f,
                 "differential detection needs an even optical output width, got {width}"
+            ),
+            DeployError::MissingImageShape { index } => write!(
+                f,
+                "layer {index} needs the input image shape to build its gather plan; \
+                 deploy via from_network_shaped (or the stage API, which passes it)"
+            ),
+            DeployError::Geometry { index } => write!(
+                f,
+                "layer {index}'s geometry or placement is inconsistent with the \
+                 incoming pipeline state (channel mismatch, kernel larger than the \
+                 padded input, pooling window not dividing the feature map, or an \
+                 activation before any weight layer)"
             ),
         }
     }
@@ -151,67 +288,164 @@ impl std::fmt::Display for DeployError {
 impl std::error::Error for DeployError {}
 
 impl DeployedFcnn {
-    /// Extracts every [`CDense`] layer from the network body, augments each
-    /// weight with its bias column, and maps it through SVD onto meshes.
+    /// Deploys a network body whose geometry is self-describing — dense
+    /// layers, activations and reshapes. Conv/pool bodies need the input
+    /// image shape: use [`DeployedFcnn::from_network_shaped`].
     ///
     /// # Errors
     ///
-    /// Returns [`DeployError`] if the body contains layers other than dense
-    /// layers and parameter-free ones (activations / reshapes), which this
-    /// FCNN pipeline skips by construction, or if differential detection
-    /// is requested over an odd optical output width.
+    /// Returns [`DeployError`] if the body contains an unsupported layer
+    /// kind, a conv/pool layer (no image shape available here), or if
+    /// differential detection is requested over an odd optical output
+    /// width.
     pub fn from_network(
         net: &Network,
         detection: DeployedDetection,
         style: MeshStyle,
     ) -> Result<Self, DeployError> {
-        let mut stages = Vec::new();
-        for layer in net.body().layers() {
-            if let Some(any) = layer.as_any() {
-                if let Some(dense) = any.downcast_ref::<CDense>() {
-                    stages.push(deploy_dense(dense, style).into_stage(false, true));
-                    continue;
+        Self::from_network_shaped(net, None, detection, style)
+    }
+
+    /// Deploys a trained network — FCNN *or* CNN body — onto MZI meshes.
+    ///
+    /// Dense layers are augmented with their bias column and mapped
+    /// through SVD onto two meshes + attenuators. Conv layers lower
+    /// through the **im2col view**: an electronic index gather extracts
+    /// one patch per output position (padding taps are dark modes, the
+    /// bias rides the always-on reference mode) and the dense
+    /// `[out_ch, patch_len + 1]` kernel matrix becomes one SVD-mapped
+    /// mesh serving every position. Average pooling and the split ReLU
+    /// run electronically between optical stages; flatten is the identity
+    /// on the flat field vector. `input_shape` is the `(C, H, W)` shape
+    /// one body input sample has — required for conv/pool bodies, ignored
+    /// by dense-only bodies.
+    ///
+    /// ```
+    /// use oplixnet::deploy::{DeployedFcnn, DeployedDetection};
+    /// use oplix_nn::head::MergeHead;
+    /// use oplix_nn::layers::{CConv2d, CDense, CFlatten, CRelu, CSequential};
+    /// use oplix_nn::network::Network;
+    /// use oplix_photonics::svd_map::MeshStyle;
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// let mut rng = StdRng::seed_from_u64(7);
+    /// let body = CSequential::new()
+    ///     .push(CConv2d::new(1, 3, 3, 1, 1, &mut rng)) // 1→3 ch, 3×3, same
+    ///     .push(CRelu::new())
+    ///     .push(CFlatten::new())
+    ///     .push(CDense::new(3 * 4 * 4, 4, &mut rng)); // 2 classes, merged
+    /// let net = Network::new(body, Box::new(MergeHead::new()));
+    /// let deployed = DeployedFcnn::from_network_shaped(
+    ///     &net,
+    ///     Some((1, 4, 4)), // one 4×4 single-channel input image
+    ///     DeployedDetection::Differential,
+    ///     MeshStyle::Clements,
+    /// )
+    /// .expect("conv bodies lower through im2col");
+    /// assert_eq!(deployed.input_dim(), 16);
+    /// assert_eq!(deployed.logit_dim(), 2);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] if the body contains an unsupported layer
+    /// kind ([`DeployError::UnsupportedLayer`] names it), a conv/pool
+    /// layer appears with no image shape to lower against, the shape is
+    /// inconsistent with a layer's geometry, or differential detection is
+    /// requested over an odd optical output width.
+    pub fn from_network_shaped(
+        net: &Network,
+        input_shape: Option<(usize, usize, usize)>,
+        detection: DeployedDetection,
+        style: MeshStyle,
+    ) -> Result<Self, DeployError> {
+        let mut stages: Vec<DeployedStage> = Vec::new();
+        // The image shape flowing into the next layer; `None` once the
+        // features are flat (or were never an image).
+        let mut image = input_shape;
+        for (index, layer) in net.body().layers().iter().enumerate() {
+            let unsupported = DeployError::UnsupportedLayer {
+                index,
+                kind: layer.layer_type(),
+            };
+            let Some(any) = layer.as_any() else {
+                return Err(unsupported);
+            };
+            if let Some(dense) = any.downcast_ref::<CDense>() {
+                stages.push(DeployedStage::Mesh(
+                    deploy_dense(dense, style).into_stage(false, false),
+                ));
+                image = None;
+            } else if let Some(conv) = any.downcast_ref::<CConv2d>() {
+                let (c, h, w) = image.ok_or(DeployError::MissingImageShape { index })?;
+                let stage = deploy_conv(conv, index, c, h, w, style)?;
+                let (oh, ow) = conv.output_hw(h, w);
+                image = Some((conv.geometry().1, oh, ow));
+                stages.push(DeployedStage::Conv(stage));
+            } else if let Some(pool) = any.downcast_ref::<CAvgPool2d>() {
+                let (c, h, w) = image.ok_or(DeployError::MissingImageShape { index })?;
+                let k = pool.window();
+                if !h.is_multiple_of(k) || !w.is_multiple_of(k) {
+                    return Err(DeployError::Geometry { index });
                 }
+                stages.push(DeployedStage::Pool(deploy_pool(c, h, w, k)));
+                image = Some((c, h / k, w / k));
+            } else if any.downcast_ref::<CRelu>().is_some() {
+                // The split ReLU is the electro-optic step after the
+                // preceding stage; an activation before any weight layer
+                // has no stage to ride on — a placement problem, not an
+                // unsupported kind.
+                match stages.last_mut() {
+                    Some(stage) => *stage.relu_after_mut() = true,
+                    None => return Err(DeployError::Geometry { index }),
+                }
+            } else if any.downcast_ref::<CFlatten>().is_some() {
+                // Row-major `[C, H, W]` flattening is the identity on the
+                // flat field vector the deployed walk already carries.
+                image = None;
+            } else {
+                return Err(unsupported);
             }
-            // Parameter-free layers (ReLU, flatten) are modelled in the
-            // electro-optic stage; anything with parameters would have
-            // exposed as_any.
         }
         if stages.is_empty() {
             return Err(DeployError::Empty);
         }
-        // No activation after the body's classifier layer.
-        stages.last_mut().expect("non-empty").relu_after = false;
 
         // Decoder-bearing heads deploy as one more optical stage, so the
         // hardware is faithful to the trained head for every decoder kind.
         if let Some(any) = net.head().as_any() {
             if let Some(linear) = any.downcast_ref::<LinearDecoderHead>() {
-                stages.push(deploy_dense(linear.dense(), style).into_stage(false, false));
+                stages.push(DeployedStage::Mesh(
+                    deploy_dense(linear.dense(), style).into_stage(false, false),
+                ));
             } else if let Some(unitary) = any.downcast_ref::<UnitaryDecoderHead>() {
                 // K class modes + K zero ancilla modes enter the 2K-wide
                 // decoder array.
-                stages.push(deploy_dense(unitary.dense(), style).into_stage(true, false));
+                stages.push(DeployedStage::Mesh(
+                    deploy_dense(unitary.dense(), style).into_stage(true, false),
+                ));
             }
         }
         if detection == DeployedDetection::Differential {
-            let width = stages.last().expect("non-empty").layer.output_dim();
-            if width % 2 != 0 {
+            let width = stages.last().expect("non-empty").output_width();
+            if !width.is_multiple_of(2) {
                 return Err(DeployError::OddDifferentialOutput { width });
             }
         }
         Ok(DeployedFcnn { stages, detection })
     }
 
-    /// The complex fan-in of the deployed pipeline (first stage width
-    /// minus the always-on bias mode).
+    /// The complex fan-in of the deployed pipeline: the flattened field
+    /// count one query sample must provide (for a mesh first stage, its
+    /// width minus the always-on bias mode; for a conv/pool first stage,
+    /// the flattened `C·H·W` image).
     pub fn input_dim(&self) -> usize {
-        self.stages[0].layer.input_dim() - 1
+        self.stages[0].input_width()
     }
 
     /// Width of the detected logit vector.
     pub fn logit_dim(&self) -> usize {
-        let optical = self.stages[self.stages.len() - 1].layer.output_dim();
+        let optical = self.stages[self.stages.len() - 1].output_width();
         match self.detection {
             DeployedDetection::Differential => optical / 2,
             _ => optical,
@@ -248,29 +482,13 @@ impl DeployedFcnn {
                 what: "input fields",
             });
         }
-        let fields = &mut buf.fields;
-        fields.clear();
-        fields.extend_from_slice(input);
-        for stage in &self.stages {
-            if stage.pad_input {
-                // Zero ancilla modes (unitary decoder input padding).
-                let fan_in = stage.layer.input_dim() - 1;
-                if fields.len() < fan_in {
-                    fields.resize(fan_in, Complex64::ZERO);
-                }
-            }
-            // Bias reference mode.
-            fields.push(Complex64::ONE);
-            stage.compiled.forward_into(fields, &mut buf.tmp);
-            if stage.relu_after {
-                // Electro-optic split ReLU between optical stages.
-                for z in fields.iter_mut() {
-                    *z = Complex64::new(z.re.max(0.0), z.im.max(0.0));
-                }
-            }
-        }
+        // A one-sample staged window: the exact walk every batched entry
+        // point runs, so per-sample and batched serving stay bitwise
+        // interchangeable by construction.
         logits.clear();
-        detect(self.detection, fields, logits);
+        buf.win.cur.clear();
+        buf.win.cur.extend_from_slice(input);
+        self.forward_staged(&mut buf.win, 1, logits);
         Ok(())
     }
 
@@ -299,14 +517,17 @@ impl DeployedFcnn {
         buf: &mut WindowBuffers,
         logits: &mut Vec<f64>,
     ) -> Result<(), Error> {
-        if inputs.shape().len() != 2 {
+        if inputs.shape().len() < 2 {
             return Err(Error::ShapeMismatch {
                 expected: 2,
                 got: inputs.shape().len(),
                 what: "batch rank",
             });
         }
-        let (n, d) = (inputs.shape()[0], inputs.shape()[1]);
+        // `[N, D]` views and `[N, C, H, W]` image views alike: samples are
+        // contiguous row-major, so the trailing axes flatten for free.
+        let n = inputs.shape()[0];
+        let d: usize = inputs.shape()[1..].iter().product();
         if d != self.input_dim() {
             return Err(Error::ShapeMismatch {
                 expected: self.input_dim(),
@@ -337,14 +558,16 @@ impl DeployedFcnn {
         }
 
         // Stage the window: row `s` of the buffer is sample `start + s`.
+        let (re, im) = (inputs.re.as_slice(), inputs.im.as_slice());
         let cur = &mut buf.cur;
         cur.clear();
         cur.reserve(samples * d);
         for s in start..end {
             cur.extend(
-                (0..d).map(|j| {
-                    Complex64::new(inputs.re.at2(s, j) as f64, inputs.im.at2(s, j) as f64)
-                }),
+                re[s * d..(s + 1) * d]
+                    .iter()
+                    .zip(&im[s * d..(s + 1) * d])
+                    .map(|(&a, &b)| Complex64::new(a as f64, b as f64)),
             );
         }
         self.forward_staged(buf, samples, logits);
@@ -391,36 +614,91 @@ impl DeployedFcnn {
         Ok(())
     }
 
-    /// The staged window walk every batched entry point shares: `buf.cur`
-    /// holds `samples × input_dim` staged fields on entry; detected scores
-    /// are appended to `logits` row-major. Each optical stage runs one
-    /// compiled batch kernel across the whole window.
+    /// The staged window walk every entry point (batched *and*
+    /// per-sample) shares: `buf.cur` holds `samples × input_dim` staged
+    /// fields on entry; detected scores are appended to `logits`
+    /// row-major. Each optical stage runs one compiled batch kernel
+    /// across the whole window — for conv stages, across every im2col
+    /// patch row of every sample in the window at once.
     fn forward_staged(&self, buf: &mut WindowBuffers, samples: usize, logits: &mut Vec<f64>) {
-        let cur = &mut buf.cur;
-        let nxt = &mut buf.nxt;
+        let WindowBuffers { cur, nxt, aux } = buf;
         let mut width = self.input_dim();
         for stage in &self.stages {
-            // Re-stage: ancilla padding (unitary decoder) plus the bias
-            // reference mode, exactly as the per-sample walk does.
-            let fan_in = stage.layer.input_dim() - 1;
-            let padded = if stage.pad_input {
-                width.max(fan_in)
-            } else {
-                width
+            let relu_after = match stage {
+                DeployedStage::Mesh(st) => {
+                    // Re-stage: ancilla padding (unitary decoder) plus the
+                    // bias reference mode, exactly as the per-sample walk
+                    // always did.
+                    let fan_in = st.layer.input_dim() - 1;
+                    let padded = if st.pad_input {
+                        width.max(fan_in)
+                    } else {
+                        width
+                    };
+                    let in_w = padded + 1;
+                    nxt.clear();
+                    nxt.resize(samples * in_w, Complex64::ZERO);
+                    for s in 0..samples {
+                        let src = &cur[s * width..(s + 1) * width];
+                        let dst = &mut nxt[s * in_w..(s + 1) * in_w];
+                        dst[..width].copy_from_slice(src);
+                        dst[padded] = Complex64::ONE;
+                    }
+                    std::mem::swap(cur, nxt);
+                    st.compiled.forward_batch(cur, nxt, samples);
+                    width = st.layer.output_dim();
+                    st.relu_after
+                }
+                DeployedStage::Conv(st) => {
+                    // im2col: gather every output position's patch (bias
+                    // on the reference mode) and push all patch rows of
+                    // the window through one compiled mesh batch.
+                    st.compiled.forward_gathered(
+                        &cur[..samples * width],
+                        width,
+                        &st.plan,
+                        nxt,
+                        aux,
+                    );
+                    // Mesh rows come back position-major `[P][O]`; the
+                    // software conv layout is channel-major `[O, H'·W']`.
+                    cur.clear();
+                    cur.resize(samples * st.out_features, Complex64::ZERO);
+                    for s in 0..samples {
+                        let rows = &nxt[s * st.positions * st.out_ch..][..st.positions * st.out_ch];
+                        let dst = &mut cur[s * st.out_features..][..st.out_features];
+                        for p in 0..st.positions {
+                            for o in 0..st.out_ch {
+                                dst[o * st.positions + p] = rows[p * st.out_ch + o];
+                            }
+                        }
+                    }
+                    width = st.out_features;
+                    st.relu_after
+                }
+                DeployedStage::Pool(st) => {
+                    // Electronic average pooling: detect, average the k²
+                    // taps per output feature, re-modulate.
+                    let inv = 1.0 / st.k2 as f64;
+                    nxt.clear();
+                    nxt.resize(samples * st.out_features, Complex64::ZERO);
+                    for s in 0..samples {
+                        let src = &cur[s * width..(s + 1) * width];
+                        let dst = &mut nxt[s * st.out_features..][..st.out_features];
+                        for (f, taps) in dst.iter_mut().zip(st.taps.chunks_exact(st.k2)) {
+                            let mut acc = Complex64::ZERO;
+                            for &t in taps {
+                                acc += src[t as usize];
+                            }
+                            *f = acc.scale(inv);
+                        }
+                    }
+                    std::mem::swap(cur, nxt);
+                    width = st.out_features;
+                    st.relu_after
+                }
             };
-            let in_w = padded + 1;
-            nxt.clear();
-            nxt.resize(samples * in_w, Complex64::ZERO);
-            for s in 0..samples {
-                let src = &cur[s * width..(s + 1) * width];
-                let dst = &mut nxt[s * in_w..(s + 1) * in_w];
-                dst[..width].copy_from_slice(src);
-                dst[padded] = Complex64::ONE;
-            }
-            std::mem::swap(cur, nxt);
-            stage.compiled.forward_batch(cur, nxt, samples);
-            width = stage.layer.output_dim();
-            if stage.relu_after {
+            if relu_after {
                 for z in cur.iter_mut() {
                     *z = Complex64::new(z.re.max(0.0), z.im.max(0.0));
                 }
@@ -466,23 +744,28 @@ impl DeployedFcnn {
     /// Returns [`Error::ShapeMismatch`] if the view is not rank 2 or `D`
     /// differs from [`DeployedFcnn::input_dim`].
     pub fn try_classify(&self, inputs: &CTensor) -> Result<Vec<usize>, Error> {
-        if inputs.shape().len() != 2 {
+        if inputs.shape().len() < 2 {
             return Err(Error::ShapeMismatch {
                 expected: 2,
                 got: inputs.shape().len(),
                 what: "batch rank",
             });
         }
-        let (n, d) = (inputs.shape()[0], inputs.shape()[1]);
+        let n = inputs.shape()[0];
+        let d: usize = inputs.shape()[1..].iter().product();
+        let (re, im) = (inputs.re.as_slice(), inputs.im.as_slice());
         let mut buf = ForwardBuffers::default();
         let mut sample = Vec::with_capacity(d);
         let mut logits = Vec::new();
         (0..n)
             .map(|i| {
                 sample.clear();
-                sample.extend((0..d).map(|j| {
-                    Complex64::new(inputs.re.at2(i, j) as f64, inputs.im.at2(i, j) as f64)
-                }));
+                sample.extend(
+                    re[i * d..(i + 1) * d]
+                        .iter()
+                        .zip(&im[i * d..(i + 1) * d])
+                        .map(|(&a, &b)| Complex64::new(a as f64, b as f64)),
+                );
                 self.forward_into(&sample, &mut buf, &mut logits)?;
                 Ok(argmax(&logits))
             })
@@ -514,36 +797,55 @@ impl DeployedFcnn {
         correct as f64 / labels.len() as f64
     }
 
-    /// Total device inventory of the deployed pipeline.
+    /// Total device inventory of the deployed pipeline (electronic stages
+    /// — pooling, activations — contribute none).
     pub fn device_count(&self) -> DeviceCount {
-        self.stages.iter().map(|s| s.layer.device_count()).sum()
+        self.stages
+            .iter()
+            .filter_map(|s| s.optical())
+            .map(|layer| layer.device_count())
+            .sum()
     }
 
     /// Injects Gaussian phase noise into every mesh (thermal crosstalk /
     /// fabrication imprecision study) and recompiles the affected kernels
-    /// so the serving path sees the perturbed phases.
+    /// so the serving path sees the perturbed phases. Electronic stages
+    /// (pooling) carry no phases and are untouched.
     pub fn inject_phase_noise<R: Rng>(&mut self, sigma: f64, rng: &mut R) {
         for stage in &mut self.stages {
-            let (v, u) = stage.layer.meshes_mut();
+            let (layer, compiled) = match stage {
+                DeployedStage::Mesh(st) => (&mut st.layer, &mut st.compiled),
+                DeployedStage::Conv(st) => (&mut st.layer, &mut st.compiled),
+                DeployedStage::Pool(_) => continue,
+            };
+            let (v, u) = layer.meshes_mut();
             *v = v.with_phase_noise(sigma, rng);
             *u = u.with_phase_noise(sigma, rng);
-            stage.compiled = CompiledLayer::compile(&stage.layer);
+            *compiled = CompiledLayer::compile(layer);
         }
     }
 
-    /// The optical stages, for engine-internal phase bookkeeping.
-    pub(crate) fn stages_vec(&self) -> &Vec<OpticalStage> {
+    /// The deployed stages, for engine-internal phase bookkeeping.
+    pub(crate) fn stages_vec(&self) -> &Vec<DeployedStage> {
         &self.stages
     }
 
-    /// Mutable optical stages, for engine-internal phase restoration.
-    pub(crate) fn stages_vec_mut(&mut self) -> &mut Vec<OpticalStage> {
+    /// Mutable deployed stages, for engine-internal phase restoration.
+    pub(crate) fn stages_vec_mut(&mut self) -> &mut Vec<DeployedStage> {
         &mut self.stages
     }
 
-    /// Number of optical stages (dense layers).
+    /// Number of deployed stages (mesh, conv and pooling stages alike).
     pub fn num_stages(&self) -> usize {
         self.stages.len()
+    }
+
+    /// Number of stages carrying photonic hardware (dense meshes and
+    /// lowered convolutions; pooling is electronic) — also the number of
+    /// SVD decompositions a cold deployment performs, which is what the
+    /// deployment-cache tests count hits against.
+    pub fn num_optical_stages(&self) -> usize {
+        self.stages.iter().filter(|s| s.optical().is_some()).count()
     }
 
     /// Total static heater power over every programmable phase of every
@@ -553,8 +855,8 @@ impl DeployedFcnn {
         use oplix_photonics::power::mesh_static_power_mw;
         let mut total = 0.0;
         let mut phases = 0usize;
-        for stage in &self.stages {
-            for mesh in [stage.layer.v_mesh(), stage.layer.u_mesh()] {
+        for layer in self.stages.iter().filter_map(|s| s.optical()) {
+            for mesh in [layer.v_mesh(), layer.u_mesh()] {
                 total += mesh_static_power_mw(mesh, max_mw);
                 phases += mesh.phases().len();
             }
@@ -567,12 +869,26 @@ impl DeployedFcnn {
 // Deployment cache
 // ---------------------------------------------------------------------------
 
-/// Cache key of one SVD decomposition: architecture (dimensions + mesh
-/// style) plus the *exact* bit pattern of every augmented weight. Keying
-/// on the full bits — not a digest — makes false hits impossible: equal
-/// keys imply equal matrices imply an identical decomposition.
+/// Which layer kind a cached decomposition belongs to. Dense and conv
+/// entries are keyed apart even when their augmented matrices carry
+/// identical bits, so the two families can never share (or evict through)
+/// one another's cache slots by bit coincidence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum KeyKind {
+    /// A dense layer's `[out, in + 1]` augmented weight.
+    Dense,
+    /// A conv layer's `[out_ch, patch_len + 1]` im2col kernel matrix.
+    Conv,
+}
+
+/// Cache key of one SVD decomposition: layer kind + architecture
+/// (dimensions + mesh style) plus the *exact* bit pattern of every
+/// augmented weight. Keying on the full bits — not a digest — makes false
+/// hits impossible: equal keys imply equal matrices imply an identical
+/// decomposition.
 #[derive(PartialEq, Eq, Hash)]
 struct DecompositionKey {
+    kind: KeyKind,
     rows: usize,
     cols: usize,
     style: u8,
@@ -580,7 +896,7 @@ struct DecompositionKey {
 }
 
 impl DecompositionKey {
-    fn new(w: &CMatrix, style: MeshStyle) -> Self {
+    fn new(w: &CMatrix, style: MeshStyle, kind: KeyKind) -> Self {
         let mut weight_bits = Vec::with_capacity(w.rows() * w.cols());
         for i in 0..w.rows() {
             for j in 0..w.cols() {
@@ -589,6 +905,7 @@ impl DecompositionKey {
             }
         }
         DecompositionKey {
+            kind,
             rows: w.rows(),
             cols: w.cols(),
             style: match style {
@@ -833,8 +1150,8 @@ pub fn clear_deploy_cache() {
 /// first decomposition of a key records only a fingerprint, the second
 /// inserts the full entry, the third and later are hits. Residency is
 /// bounded by [`DEPLOY_CACHE_MAX_BYTES`] with LRU eviction.
-fn decompose_cached(w: &CMatrix, style: MeshStyle) -> DeployedKernels {
-    let key = DecompositionKey::new(w, style);
+fn decompose_cached(w: &CMatrix, style: MeshStyle, kind: KeyKind) -> DeployedKernels {
+    let key = DecompositionKey::new(w, style, kind);
     // Values are `Arc`ed so the critical section is a refcount bump plus
     // a recency touch; the (cheap-but-not-free) coefficient-array clone
     // happens outside the lock and concurrent grid-arm deployments never
@@ -873,7 +1190,89 @@ fn deploy_dense(dense: &CDense, style: MeshStyle) -> DeployedKernels {
             Complex64::new(b_re.as_slice()[i] as f64, b_im.as_slice()[i] as f64)
         }
     });
-    decompose_cached(&aug, style)
+    decompose_cached(&aug, style, KeyKind::Dense)
+}
+
+/// Lowers one convolution onto a mesh through the im2col view: the
+/// `[out_ch, C·k·k + 1]` kernel matrix (bias in the last column) maps
+/// through the cached SVD path exactly like a dense layer, and the gather
+/// plan pairs every output position's patch taps with the mesh's input
+/// modes (padding taps dark, bias tap on the reference mode).
+fn deploy_conv(
+    conv: &CConv2d,
+    index: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    style: MeshStyle,
+) -> Result<ConvStage, DeployError> {
+    let (in_ch, out_ch, kernel, stride, pad) = conv.geometry();
+    if c != in_ch || h + 2 * pad < kernel || w + 2 * pad < kernel {
+        return Err(DeployError::Geometry { index });
+    }
+    let patch = conv.patch_len();
+    let (w_re, w_im) = conv.weight();
+    let (b_re, b_im) = conv.bias();
+    let (ws_re, ws_im) = (w_re.as_slice(), w_im.as_slice());
+    // The kernel's `[O, C, k, k]` storage is row-major, so row `o` of the
+    // im2col kernel matrix is the contiguous slice `ws[o·patch ..]` in the
+    // same `(c, ky, kx)` slot order the gather plan produces.
+    let aug = CMatrix::from_fn(out_ch, patch + 1, |o, q| {
+        if q < patch {
+            Complex64::new(ws_re[o * patch + q] as f64, ws_im[o * patch + q] as f64)
+        } else {
+            Complex64::new(b_re.as_slice()[o] as f64, b_im.as_slice()[o] as f64)
+        }
+    });
+    let kernels = decompose_cached(&aug, style, KeyKind::Conv);
+    let (indices, (oh, ow)) = im2col_indices(c, h, w, kernel, stride, pad);
+    let positions = oh * ow;
+    let mut plan = Vec::with_capacity(positions * (patch + 1));
+    for taps in indices.chunks_exact(patch) {
+        plan.extend(taps.iter().map(|&ix| {
+            if ix >= 0 {
+                GatherSource::Input(ix as u32)
+            } else {
+                GatherSource::Dark
+            }
+        }));
+        plan.push(GatherSource::Reference);
+    }
+    Ok(ConvStage {
+        layer: kernels.layer,
+        compiled: kernels.compiled,
+        plan: Arc::new(plan),
+        positions,
+        out_ch,
+        in_features: c * h * w,
+        out_features: out_ch * positions,
+        relu_after: false,
+    })
+}
+
+/// Builds the electronic average-pooling stage: `k²` flat input taps per
+/// output feature, in the software layer's `(c, oy, ox)` output order.
+fn deploy_pool(c: usize, h: usize, w: usize, k: usize) -> PoolStage {
+    let (ho, wo) = (h / k, w / k);
+    let mut taps = Vec::with_capacity(c * ho * wo * k * k);
+    for ch in 0..c {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                for dy in 0..k {
+                    for dx in 0..k {
+                        taps.push(((ch * h + oy * k + dy) * w + ox * k + dx) as u32);
+                    }
+                }
+            }
+        }
+    }
+    PoolStage {
+        taps: Arc::new(taps),
+        k2: k * k,
+        in_features: c * h * w,
+        out_features: c * ho * wo,
+        relu_after: false,
+    }
 }
 
 #[cfg(test)]
@@ -1025,9 +1424,9 @@ mod tests {
             Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
         });
         let before = deploy_cache_stats();
-        let fresh = decompose_cached(&w, MeshStyle::Clements);
-        let admitted = decompose_cached(&w, MeshStyle::Clements); // second sight: inserts
-        let cached = decompose_cached(&w, MeshStyle::Clements); // third: a hit
+        let fresh = decompose_cached(&w, MeshStyle::Clements, KeyKind::Dense);
+        let admitted = decompose_cached(&w, MeshStyle::Clements, KeyKind::Dense); // second sight: inserts
+        let cached = decompose_cached(&w, MeshStyle::Clements, KeyKind::Dense); // third: a hit
         let after = deploy_cache_stats();
         // Counters are process-global (other tests run concurrently), so
         // assert deltas as lower bounds.
@@ -1062,10 +1461,10 @@ mod tests {
             Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
         });
         let before = deploy_cache_stats();
-        let _ = decompose_cached(&w, MeshStyle::Clements);
-        let _ = decompose_cached(&w, MeshStyle::Reck); // different style: miss
+        let _ = decompose_cached(&w, MeshStyle::Clements, KeyKind::Dense);
+        let _ = decompose_cached(&w, MeshStyle::Reck, KeyKind::Dense); // different style: miss
         let bumped = w.scale(Complex64::from_real(1.0 + 1e-12));
-        let _ = decompose_cached(&bumped, MeshStyle::Clements); // different bits: miss
+        let _ = decompose_cached(&bumped, MeshStyle::Clements, KeyKind::Dense); // different bits: miss
         let after = deploy_cache_stats();
         assert!(after.misses >= before.misses + 3, "all three must miss");
     }
@@ -1162,7 +1561,7 @@ mod tests {
             Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
         });
         (
-            DecompositionKey::new(&w, MeshStyle::Clements),
+            DecompositionKey::new(&w, MeshStyle::Clements, KeyKind::Dense),
             Arc::new(DeployedKernels::decompose(&w, MeshStyle::Clements)),
         )
     }
@@ -1225,6 +1624,175 @@ mod tests {
         assert_eq!(cache.recency.len(), 0);
     }
 
+    /// A small pool-free CNN body: conv(1→2, 3×3, same) → ReLU → flatten
+    /// → dense classifier, with the merge head (2 classes).
+    fn tiny_cnn(seed: u64) -> Network {
+        use oplix_nn::head::MergeHead;
+        use oplix_nn::layers::{CConv2d, CFlatten, CRelu, CSequential};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let body = CSequential::new()
+            .push(CConv2d::new(1, 2, 3, 1, 1, &mut rng))
+            .push(CRelu::new())
+            .push(CFlatten::new())
+            .push(oplix_nn::layers::CDense::new(2 * 4 * 4, 4, &mut rng));
+        Network::new(body, Box::new(MergeHead::new()))
+    }
+
+    #[test]
+    fn conv_body_deploys_and_matches_software_logits() {
+        let mut net = tiny_cnn(95_001);
+        let deployed = DeployedFcnn::from_network_shaped(
+            &net,
+            Some((1, 4, 4)),
+            DeployedDetection::Differential,
+            MeshStyle::Clements,
+        )
+        .expect("conv bodies lower through im2col");
+        assert_eq!(deployed.input_dim(), 16);
+        assert_eq!(deployed.logit_dim(), 2);
+        assert_eq!(deployed.num_stages(), 2);
+        assert_eq!(deployed.num_optical_stages(), 2);
+
+        let mut rng = StdRng::seed_from_u64(95_002);
+        let view = CTensor::new(
+            Tensor::random_uniform(&[3, 1, 4, 4], 1.0, &mut rng),
+            Tensor::random_uniform(&[3, 1, 4, 4], 1.0, &mut rng),
+        );
+        let soft = net.forward(&view, false);
+        let (re, im) = (view.re.as_slice(), view.im.as_slice());
+        for i in 0..3 {
+            let sample: Vec<Complex64> = (0..16)
+                .map(|j| Complex64::new(re[i * 16 + j] as f64, im[i * 16 + j] as f64))
+                .collect();
+            let optical = deployed.forward(&sample);
+            for k in 0..2 {
+                let s = soft.at2(i, k) as f64;
+                assert!(
+                    (optical[k] - s).abs() < 1e-3,
+                    "sample {i} class {k}: optical {} vs software {s}",
+                    optical[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conv_body_without_shape_is_a_typed_error() {
+        let net = tiny_cnn(95_003);
+        let err =
+            DeployedFcnn::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+                .expect_err("conv bodies need the image shape");
+        assert_eq!(err, DeployError::MissingImageShape { index: 0 });
+        assert!(err.to_string().contains("from_network_shaped"), "{err}");
+        // An inconsistent shape is diagnosed too (channel mismatch).
+        let err = DeployedFcnn::from_network_shaped(
+            &net,
+            Some((3, 4, 4)),
+            DeployedDetection::Differential,
+            MeshStyle::Clements,
+        )
+        .expect_err("channel mismatch must not deploy");
+        assert_eq!(err, DeployError::Geometry { index: 0 });
+    }
+
+    #[test]
+    fn unsupported_layer_error_names_the_layer_kind() {
+        use oplix_nn::head::MergeHead;
+        use oplix_nn::layers::{CConv2d, CMaxPool2d, CSequential};
+        let mut rng = StdRng::seed_from_u64(95_004);
+        let body = CSequential::new()
+            .push(CConv2d::new(1, 2, 3, 1, 1, &mut rng))
+            .push(CMaxPool2d::new(2));
+        let net = Network::new(body, Box::new(MergeHead::new()));
+        let err = DeployedFcnn::from_network_shaped(
+            &net,
+            Some((1, 4, 4)),
+            DeployedDetection::Differential,
+            MeshStyle::Clements,
+        )
+        .expect_err("max pooling has no photonic lowering");
+        assert_eq!(
+            err,
+            DeployError::UnsupportedLayer {
+                index: 1,
+                kind: "CMaxPool2d"
+            }
+        );
+        let message = err.to_string();
+        assert!(message.contains("layer 1"), "{message}");
+        assert!(message.contains("CMaxPool2d"), "{message}");
+    }
+
+    #[test]
+    fn conv_and_dense_cache_keys_never_collide() {
+        // Identical augmented matrices, bit for bit — the kind
+        // discriminator must still keep the entries apart.
+        let mut rng = StdRng::seed_from_u64(95_005);
+        let w = CMatrix::from_fn(2, 5, |_, _| {
+            use rand::Rng;
+            Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        });
+        let dense_key = DecompositionKey::new(&w, MeshStyle::Clements, KeyKind::Dense);
+        let conv_key = DecompositionKey::new(&w, MeshStyle::Clements, KeyKind::Conv);
+        assert!(dense_key != conv_key, "kinds must separate identical bits");
+
+        // And a cache holding one kind does not answer for the other.
+        let value = Arc::new(DeployedKernels::decompose(&w, MeshStyle::Clements));
+        let bytes = dense_key.approx_bytes() + value.approx_bytes();
+        let mut cache = LruDeployCache::new(8 * bytes);
+        cache.insert(dense_key, Arc::clone(&value));
+        assert!(cache
+            .get(&DecompositionKey::new(
+                &w,
+                MeshStyle::Clements,
+                KeyKind::Conv
+            ))
+            .is_none());
+        cache.insert(conv_key, value);
+        assert_eq!(cache.map.len(), 2, "both kinds must be resident at once");
+    }
+
+    #[test]
+    fn identical_cnn_deployments_share_one_cache_entry() {
+        let net = tiny_cnn(95_006);
+        let deploy = || {
+            DeployedFcnn::from_network_shaped(
+                &net,
+                Some((1, 4, 4)),
+                DeployedDetection::Differential,
+                MeshStyle::Clements,
+            )
+            .expect("deploys")
+        };
+        // First sight records fingerprints, second sight inserts the full
+        // entries; from the third deployment on the cache must serve every
+        // optical stage with a flat resident footprint.
+        let first = deploy();
+        let optical = first.num_optical_stages() as u64;
+        let _admit = deploy();
+        let before = deploy_cache_stats();
+        let third = deploy();
+        let after = deploy_cache_stats();
+        assert!(
+            after.hits >= before.hits + optical,
+            "every optical stage of a repeat CNN deployment must hit \
+             (hits {} -> {}, needed +{optical})",
+            before.hits,
+            after.hits
+        );
+        assert_eq!(
+            after.resident_bytes, before.resident_bytes,
+            "repeat CNN deployments must not grow the cache"
+        );
+        // And the cached deployment serves identical classifications.
+        let mut rng = StdRng::seed_from_u64(95_007);
+        let view = CTensor::new(
+            Tensor::random_uniform(&[5, 1, 4, 4], 1.0, &mut rng),
+            Tensor::random_uniform(&[5, 1, 4, 4], 1.0, &mut rng),
+        );
+        assert_eq!(first.classify(&view), third.classify(&view));
+    }
+
     #[test]
     fn global_cache_reports_resident_bytes() {
         // Admit one entry (second sight), then the stats must account for
@@ -1235,8 +1803,8 @@ mod tests {
             use rand::Rng;
             Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
         });
-        let _ = decompose_cached(&w, MeshStyle::Clements);
-        let _ = decompose_cached(&w, MeshStyle::Clements); // second sight inserts
+        let _ = decompose_cached(&w, MeshStyle::Clements, KeyKind::Dense);
+        let _ = decompose_cached(&w, MeshStyle::Clements, KeyKind::Dense); // second sight inserts
         let stats = deploy_cache_stats();
         assert!(stats.entries >= 1);
         assert!(stats.resident_bytes > 0);

@@ -383,6 +383,32 @@ impl InferenceEngine {
         )?))
     }
 
+    /// Deploys a trained network with an explicit `(C, H, W)` body input
+    /// shape and wraps it in one step — the entry point for CNN bodies,
+    /// whose conv/pool layers need the image geometry to build their
+    /// im2col gather plans (see
+    /// [`DeployedFcnn::from_network_shaped`]). The
+    /// [`crate::stage::DeployStage`] passes the assigned shape through
+    /// here automatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Deploy`] if the network body cannot be lowered
+    /// onto a photonic pipeline.
+    pub fn from_network_shaped(
+        net: &Network,
+        input_shape: Option<(usize, usize, usize)>,
+        detection: DeployedDetection,
+        style: MeshStyle,
+    ) -> Result<Self, Error> {
+        Ok(InferenceEngine::new(DeployedFcnn::from_network_shaped(
+            net,
+            input_shape,
+            detection,
+            style,
+        )?))
+    }
+
     /// The deployed hardware the engine serves.
     pub fn deployed(&self) -> &DeployedFcnn {
         &self.deployed
@@ -710,14 +736,18 @@ impl InferenceEngine {
     }
 
     fn check_batch(&self, inputs: &CTensor) -> Result<(usize, usize), Error> {
-        if inputs.shape().len() != 2 {
+        // `[N, D]` flat views and `[N, C, H, W]` image views (CNN
+        // workloads) alike: samples are contiguous row-major, so the
+        // trailing axes flatten into one sample width.
+        if inputs.shape().len() < 2 {
             return Err(Error::ShapeMismatch {
                 expected: 2,
                 got: inputs.shape().len(),
                 what: "batch rank",
             });
         }
-        let (n, d) = (inputs.shape()[0], inputs.shape()[1]);
+        let n = inputs.shape()[0];
+        let d: usize = inputs.shape()[1..].iter().product();
         if n == 0 {
             return Err(Error::EmptyInput { stage: "engine" });
         }
@@ -760,7 +790,7 @@ pub fn argmax(v: &[f64]) -> usize {
 /// engine, so every query method is available on the session.
 pub struct NoiseSession<'a> {
     engine: &'a mut InferenceEngine,
-    clean: Vec<crate::deploy::OpticalStage>,
+    clean: Vec<crate::deploy::DeployedStage>,
 }
 
 impl Deref for NoiseSession<'_> {

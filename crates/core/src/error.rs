@@ -118,7 +118,7 @@ mod tests {
         let e = Error::from(AssignError::OddHeight { height: 7 });
         assert!(e.to_string().contains("even height"));
         let e = Error::from(DeployError::Empty);
-        assert!(e.to_string().contains("no dense layers"));
+        assert!(e.to_string().contains("no weight layers"));
         assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -558,14 +558,18 @@ impl Ticket {
     }
 }
 
-/// Converts row `i` of a `[N, D]` complex view into the staged sample a
+/// Converts sample `row` of a complex view — flat `[N, D]` or image
+/// `[N, C, H, W]` (CNN workloads) — into the staged sample a
 /// [`Client::submit`] call expects — the exact conversion the engine's
 /// tensor paths apply, so a submitted row is bitwise the sample
 /// [`InferenceEngine::classify`] would have served.
 pub fn sample_row(inputs: &CTensor, row: usize) -> Vec<Complex64> {
-    let d = inputs.shape()[1];
-    (0..d)
-        .map(|j| Complex64::new(inputs.re.at2(row, j) as f64, inputs.im.at2(row, j) as f64))
+    let d: usize = inputs.shape()[1..].iter().product();
+    let (re, im) = (inputs.re.as_slice(), inputs.im.as_slice());
+    re[row * d..(row + 1) * d]
+        .iter()
+        .zip(&im[row * d..(row + 1) * d])
+        .map(|(&a, &b)| Complex64::new(a as f64, b as f64))
         .collect()
 }
 

@@ -465,7 +465,11 @@ impl Stage for TrainStage {
 // ---------------------------------------------------------------------------
 
 /// Maps the trained network onto MZI meshes and wraps it in an
-/// [`InferenceEngine`].
+/// [`InferenceEngine`]. FCNN and CNN bodies alike: dense layers map
+/// through SVD onto meshes, conv layers lower through the im2col view
+/// (the assigned `(C, H, W)` image shape is threaded through from
+/// [`AssignedData`] automatically — see
+/// [`DeployedFcnn::from_network_shaped`](crate::deploy::DeployedFcnn::from_network_shaped)).
 #[derive(Clone, Copy, Debug)]
 pub struct DeployStage {
     /// Output detection scheme (derive it from the trained decoder via
@@ -516,9 +520,16 @@ impl Stage for DeployStage {
     }
 
     fn run(&self, input: TrainedModel) -> Result<DeployedModel, Error> {
-        let engine =
-            InferenceEngine::from_network(&input.network, self.detection, self.mesh_style)?
-                .with_num_workers(self.num_workers);
+        // The assigned image shape rides along so CNN bodies can lower
+        // their conv/pool layers (im2col gather plans need the geometry);
+        // FCNN bodies ignore it.
+        let engine = InferenceEngine::from_network_shaped(
+            &input.network,
+            Some(input.data.assigned_shape),
+            self.detection,
+            self.mesh_style,
+        )?
+        .with_num_workers(self.num_workers);
         Ok(DeployedModel {
             network: input.network,
             engine,
@@ -532,7 +543,8 @@ impl Stage for DeployStage {
 // Evaluate
 // ---------------------------------------------------------------------------
 
-/// Verifies the deployed hardware against the held-out test view by
+/// Verifies the deployed hardware against the held-out test view —
+/// flat `[N, D]` or image `[N, C, H, W]` (CNN workloads) — by
 /// *streaming* it through the engine's batched path in bounded windows
 /// ([`InferenceEngine::accuracy_streaming`]), so evaluation memory is
 /// proportional to the window, not the test set — the serving posture for
@@ -721,7 +733,7 @@ impl Stage for EvaluateStage {
             other => other,
         };
         let (engine, hardware_accuracy, hardware_abstained) = if self.concurrent_clients > 1 {
-            if data.test.inputs.shape().len() != 2 || data.test.inputs.shape()[0] == 0 {
+            if data.test.inputs.shape().len() < 2 || data.test.inputs.shape()[0] == 0 {
                 return Err(Error::Stage {
                     stage: "evaluate",
                     message: "test view has no samples to evaluate".to_string(),

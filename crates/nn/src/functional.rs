@@ -210,6 +210,106 @@ pub fn conv2d_backward_weight(
 }
 
 // ---------------------------------------------------------------------------
+// im2col view of the convolution
+// ---------------------------------------------------------------------------
+
+/// The index gather of the im2col view: for every output position
+/// `p = oy·W' + ox` and patch slot `q = (ic·kh + ky)·kw + kx`, entry
+/// `p·(C·kh·kw) + q` is the flat `[C, H, W]` input index the slot reads,
+/// or `-1` when the slot falls in the zero padding.
+///
+/// This is the *single source of truth* for the patch geometry: the
+/// software [`conv2d_forward_im2col`] and the photonic deployment's
+/// gather stages both consume it, so proving the software identity
+/// (im2col forward ≡ direct forward) carries over to the hardware
+/// lowering's patch extraction.
+///
+/// Returns `(indices, (H', W'))`.
+///
+/// # Panics
+///
+/// Panics if the geometry is inconsistent (see [`conv_out_size`]).
+pub fn im2col_indices(
+    c: usize,
+    h: usize,
+    w: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+) -> (Vec<i64>, (usize, usize)) {
+    let ho = conv_out_size(h, kernel, stride, pad);
+    let wo = conv_out_size(w, kernel, stride, pad);
+    let patch = c * kernel * kernel;
+    let mut indices = Vec::with_capacity(ho * wo * patch);
+    for oy in 0..ho {
+        for ox in 0..wo {
+            for ic in 0..c {
+                for ky in 0..kernel {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    for kx in 0..kernel {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        let in_bounds = iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize;
+                        indices.push(if in_bounds {
+                            ((ic * h + iy as usize) * w + ix as usize) as i64
+                        } else {
+                            -1
+                        });
+                    }
+                }
+            }
+        }
+    }
+    (indices, (ho, wo))
+}
+
+/// Convolution forward through the im2col view: every output position's
+/// patch is gathered with [`im2col_indices`] (padding slots read zero) and
+/// dotted with the kernel's matching `[C·kh·kw]` row.
+///
+/// Element-wise equal to [`conv2d_forward`]: both accumulate the products
+/// of one output value in the identical `(ic, ky, kx)` order — the im2col
+/// walk merely interleaves exact zero products where the direct walk skips
+/// padded taps.
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatch.
+pub fn conv2d_forward_im2col(x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Tensor {
+    assert_eq!(x.shape().len(), 4, "conv input must be [N, C, H, W]");
+    assert_eq!(w.shape().len(), 4, "conv weight must be [O, C, kh, kw]");
+    let (n, c, h, wdt) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (o, c2, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
+    assert_eq!(c, c2, "conv channel mismatch");
+    assert_eq!(kh, kw, "im2col view assumes square kernels");
+    let (indices, (ho, wo)) = im2col_indices(c, h, wdt, kh, stride, pad);
+    let patch = c * kh * kw;
+    let positions = ho * wo;
+    let mut y = Tensor::zeros(&[n, o, ho, wo]);
+
+    let xs = x.as_slice();
+    let ws = w.as_slice();
+    let ys = y.as_mut_slice();
+    let mut row = vec![0.0f32; patch];
+    for b in 0..n {
+        let sample = &xs[b * c * h * wdt..(b + 1) * c * h * wdt];
+        for p in 0..positions {
+            for (slot, &ix) in indices[p * patch..(p + 1) * patch].iter().enumerate() {
+                row[slot] = if ix >= 0 { sample[ix as usize] } else { 0.0 };
+            }
+            for oc in 0..o {
+                let kernel_row = &ws[oc * patch..(oc + 1) * patch];
+                let mut acc = 0.0f32;
+                for q in 0..patch {
+                    acc += row[q] * kernel_row[q];
+                }
+                ys[(b * o + oc) * positions + p] = acc;
+            }
+        }
+    }
+    y
+}
+
+// ---------------------------------------------------------------------------
 // Average pooling
 // ---------------------------------------------------------------------------
 

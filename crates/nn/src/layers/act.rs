@@ -45,6 +45,14 @@ impl CLayer for CRelu {
             .expect("backward called before forward(train=true)");
         CTensor::new(dy.re.mul(&mask_re), dy.im.mul(&mask_im))
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn layer_type(&self) -> &'static str {
+        "CRelu"
+    }
 }
 
 #[cfg(test)]

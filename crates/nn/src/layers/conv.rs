@@ -2,7 +2,9 @@
 
 use super::CLayer;
 use crate::ctensor::CTensor;
-use crate::functional::{conv2d_backward_input, conv2d_backward_weight, conv2d_forward};
+use crate::functional::{
+    conv2d_backward_input, conv2d_backward_weight, conv2d_forward, conv_out_size,
+};
 use crate::param::{Param, ParamVisitor};
 use crate::tensor::Tensor;
 use rand::Rng;
@@ -108,6 +110,34 @@ impl CConv2d {
     /// Read access to the complex weight as `(re, im)` tensors.
     pub fn weight(&self) -> (&Tensor, &Tensor) {
         (&self.w_re.value, &self.w_im.value)
+    }
+
+    /// Read access to the complex per-output-channel bias as `(re, im)`
+    /// tensors.
+    pub fn bias(&self) -> (&Tensor, &Tensor) {
+        (&self.b_re.value, &self.b_im.value)
+    }
+
+    /// Length of one im2col patch row: `in_ch · kernel · kernel`. Under
+    /// the im2col view this convolution is a dense `[out_ch, patch_len]`
+    /// product applied to every output position's gathered patch — the
+    /// shape hardware deployment lowers onto an MZI mesh.
+    pub fn patch_len(&self) -> usize {
+        self.in_ch * self.kernel * self.kernel
+    }
+
+    /// Output spatial shape for an `h × w` input under this layer's
+    /// kernel/stride/padding geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel is larger than the padded input (see
+    /// [`conv_out_size`]).
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            conv_out_size(h, self.kernel, self.stride, self.pad),
+            conv_out_size(w, self.kernel, self.stride, self.pad),
+        )
     }
 
     fn add_bias(&self, y: &mut Tensor, b: &Tensor) {
@@ -226,6 +256,14 @@ impl CLayer for CConv2d {
             visitor(&mut self.w_im);
             visitor(&mut self.b_im);
         }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn layer_type(&self) -> &'static str {
+        "CConv2d"
     }
 }
 

@@ -176,6 +176,10 @@ impl CLayer for CDense {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn layer_type(&self) -> &'static str {
+        "CDense"
+    }
 }
 
 #[cfg(test)]

@@ -106,6 +106,10 @@ impl CLayer for CMaxPool2d {
         }
         CTensor::new(dre, dim)
     }
+
+    fn layer_type(&self) -> &'static str {
+        "CMaxPool2d"
+    }
 }
 
 #[cfg(test)]

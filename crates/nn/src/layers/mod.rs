@@ -64,8 +64,16 @@ pub trait CLayer {
 
     /// Downcast hook used by hardware deployment to recognise concrete
     /// layer types inside a [`CSequential`]. Layers that can be mapped onto
-    /// photonic meshes return `Some(self)`.
+    /// photonic meshes (or lowered electronically between optical stages)
+    /// return `Some(self)`.
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         None
+    }
+
+    /// Stable short type name of the concrete layer (`"CDense"`,
+    /// `"CMaxPool2d"`, …), used by hardware deployment to report *which*
+    /// layer kind could not be lowered instead of a bare body index.
+    fn layer_type(&self) -> &'static str {
+        "unrecognised layer"
     }
 }

@@ -126,6 +126,10 @@ impl CLayer for CModRelu {
     fn visit_params(&mut self, visitor: &mut ParamVisitor) {
         visitor(&mut self.bias);
     }
+
+    fn layer_type(&self) -> &'static str {
+        "CModRelu"
+    }
 }
 
 #[cfg(test)]

@@ -169,6 +169,10 @@ impl CLayer for CBatchNorm2d {
         visitor(&mut self.im.gamma);
         visitor(&mut self.im.beta);
     }
+
+    fn layer_type(&self) -> &'static str {
+        "CBatchNorm2d"
+    }
 }
 
 #[cfg(test)]

@@ -51,6 +51,14 @@ impl CLayer for CAvgPool2d {
             avg_pool2d_backward(&dy.im, &shape, self.k),
         )
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn layer_type(&self) -> &'static str {
+        "CAvgPool2d"
+    }
 }
 
 #[cfg(test)]

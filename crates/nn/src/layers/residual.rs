@@ -121,6 +121,10 @@ impl CLayer for CResidualBlock {
             bn.visit_params(visitor);
         }
     }
+
+    fn layer_type(&self) -> &'static str {
+        "CResidualBlock"
+    }
 }
 
 #[cfg(test)]

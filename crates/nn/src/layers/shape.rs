@@ -34,6 +34,14 @@ impl CLayer for CFlatten {
             .expect("backward called before forward(train=true)");
         dy.reshape(&shape)
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn layer_type(&self) -> &'static str {
+        "CFlatten"
+    }
 }
 
 #[cfg(test)]

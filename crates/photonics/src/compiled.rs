@@ -295,6 +295,21 @@ impl CompiledMesh {
     }
 }
 
+/// Where one gathered input mode of [`CompiledLayer::forward_gathered`]
+/// takes its field from. An im2col lowering of a convolution builds one
+/// `GatherSource` per mesh input mode per output position: in-bounds patch
+/// taps read input fields, padding taps are dark modes, and the bias tap
+/// is the always-on reference mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GatherSource {
+    /// Read the field at this index of the source sample.
+    Input(u32),
+    /// A dark mode: zero field (e.g. a conv tap in the zero padding).
+    Dark,
+    /// The always-on reference mode: unit field (the bias tap).
+    Reference,
+}
+
 /// A whole SVD-mapped layer (`V*` mesh → Σ attenuators → `U` mesh) baked
 /// into compiled kernels; the deploy-time artifact the serving engine
 /// stores and the deployment cache memoises.
@@ -390,6 +405,59 @@ impl CompiledLayer {
         std::mem::swap(io, tmp);
     }
 
+    /// Batched forward over *im2col windows*: every sample of `src` (a
+    /// contiguous window of `src.len() / src_width` samples, each
+    /// `src_width` fields wide) is expanded into `plan.len() / input_dim`
+    /// gathered rows — one per convolution output position — and the whole
+    /// row window runs through [`CompiledLayer::forward_batch`] as one
+    /// compiled batch. `plan` maps each gathered mode to its source:
+    /// an input field, a dark (zero-padding) mode, or the always-on
+    /// reference (bias) mode.
+    ///
+    /// On exit `io` holds `samples × rows_per_sample × output_dim` fields,
+    /// row-major in `(sample, row)` order; `tmp` is caller-owned scratch.
+    /// Bitwise identical to gathering each row by hand and running it
+    /// through [`CompiledLayer::forward_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan.len()` is not a multiple of
+    /// [`CompiledLayer::input_dim`], `src.len()` is not a multiple of
+    /// `src_width`, or a plan entry indexes past `src_width`.
+    pub fn forward_gathered(
+        &self,
+        src: &[Complex64],
+        src_width: usize,
+        plan: &[GatherSource],
+        io: &mut Vec<Complex64>,
+        tmp: &mut Vec<Complex64>,
+    ) {
+        assert!(
+            plan.len().is_multiple_of(self.n.max(1)) && self.n > 0,
+            "gather plan length must be a multiple of the layer fan-in"
+        );
+        assert!(
+            src_width > 0 && src.len().is_multiple_of(src_width),
+            "source window length must be a multiple of the sample width"
+        );
+        let rows_per_sample = plan.len() / self.n;
+        let samples = src.len() / src_width;
+        io.clear();
+        io.resize(samples * rows_per_sample * self.n, Complex64::ZERO);
+        for s in 0..samples {
+            let sample = &src[s * src_width..(s + 1) * src_width];
+            let dst = &mut io[s * plan.len()..(s + 1) * plan.len()];
+            for (slot, gather) in plan.iter().enumerate() {
+                dst[slot] = match *gather {
+                    GatherSource::Input(j) => sample[j as usize],
+                    GatherSource::Dark => Complex64::ZERO,
+                    GatherSource::Reference => Complex64::ONE,
+                };
+            }
+        }
+        self.forward_batch(io, tmp, samples * rows_per_sample);
+    }
+
     /// Compiled forward pass over a window of `samples` contiguous
     /// samples: `io` holds `samples × n` input fields on entry and
     /// `samples × m` output fields on exit. Bitwise identical to running
@@ -472,6 +540,46 @@ mod tests {
         let compiled = CompiledMesh::compile(&mesh);
         assert_eq!(compiled.stage_count(), mesh.depth());
         assert_eq!(compiled.mzi_count(), mesh.mzi_count());
+    }
+
+    #[test]
+    fn forward_gathered_matches_manual_gather_bitwise() {
+        // A 3-mode layer fed two gathered rows per 4-wide source sample:
+        // the batched im2col entry point must be bitwise the hand-gathered
+        // per-row walk, including dark (padding) and reference (bias)
+        // modes.
+        let mut rng = StdRng::seed_from_u64(900);
+        let w = CMatrix::from_fn(2, 3, |_, _| {
+            Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        });
+        let layer = PhotonicLayer::from_matrix(&w, MeshStyle::Clements);
+        let compiled = CompiledLayer::compile(&layer);
+        let plan = [
+            GatherSource::Input(2),
+            GatherSource::Dark,
+            GatherSource::Reference,
+            GatherSource::Input(0),
+            GatherSource::Input(3),
+            GatherSource::Reference,
+        ];
+        let src = random_fields(3 * 4, 901); // three 4-wide samples
+        let (mut io, mut tmp) = (Vec::new(), Vec::new());
+        compiled.forward_gathered(&src, 4, &plan, &mut io, &mut tmp);
+
+        let mut want = Vec::new();
+        for s in 0..3 {
+            let sample = &src[s * 4..(s + 1) * 4];
+            for row in [
+                vec![sample[2], Complex64::ZERO, Complex64::ONE],
+                vec![sample[0], sample[3], Complex64::ONE],
+            ] {
+                let mut io_row = row;
+                let mut t = Vec::new();
+                compiled.forward_into(&mut io_row, &mut t);
+                want.extend(io_row);
+            }
+        }
+        assert_eq!(io, want);
     }
 
     proptest! {

@@ -1,6 +1,8 @@
-//! Integration tests pinning the paper's quantitative claims that are
-//! closed-form (no training): every area number of Table II, the decoder
-//! ordering of Fig. 9, and the device relationships of Fig. 7.
+//! Integration tests pinning the paper's quantitative claims: every
+//! closed-form area number of Table II, the decoder ordering of Fig. 9,
+//! the device relationships of Fig. 7 — plus one *trained* golden row:
+//! the Table II LeNet-5 (CNN) row hardware-verified through the conv
+//! lowering, pinning the electronic-vs-deployed accuracy gap.
 
 use oplix_photonics::count::{mzi_count, reduction_ratio};
 use oplix_photonics::decoder::DecoderKind;
@@ -124,6 +126,96 @@ fn fig7_device_relationships() {
         assert!(oplix_mzis < orig);
         assert!(offt.pss < orig);
     }
+}
+
+#[test]
+fn table2_lenet_row_hardware_verifies_with_bounded_gap() {
+    // The Table II LeNet-5 row ("Prop.": split LeNet on the CL
+    // assignment), trained at quick scale and *hardware-verified* through
+    // the im2col conv lowering — the golden regression tying the conv
+    // deployment path to a paper claim, like the FCNN rows. The pinned
+    // fact is the electronic-vs-deployed accuracy gap (< 0.05, the same
+    // bar the FCNN pipeline pins); the absolute accuracy at this scale is
+    // only sanity-checked.
+    use oplix_datasets::assign::AssignmentKind;
+    use oplix_datasets::synth::{colors, SynthConfig};
+    use oplixnet::engine::InferenceEngine;
+    use oplixnet::experiments::TrainSetup;
+    use oplixnet::stage::{
+        AssignStage, AssignedData, DatasetPair, DeployStage, DeployedModel, EvaluateStage, Stage,
+        StageExt, TrainStage,
+    };
+    use oplixnet::zoo::{build_lenet, LenetConfig, ModelVariant};
+    use rand::rngs::StdRng;
+
+    let variant = ModelVariant::Split(DecoderKind::Merge);
+    let mk = |samples, seed| SynthConfig {
+        height: 8,
+        width: 8,
+        num_classes: 10,
+        samples,
+        seed,
+        ..Default::default()
+    };
+    let pair = DatasetPair::new(colors(&mk(200, 21)), colors(&mk(80, 22)));
+    let assign = AssignStage::image(AssignmentKind::ChannelLossless);
+    let train = TrainStage::new(
+        Box::new(move |data: &AssignedData, rng: &mut StdRng| {
+            // The halved (split) LeNet of Table II at training scale.
+            let full = LenetConfig::training_scale(3, data.raw_shape.1, data.classes);
+            Ok(build_lenet(&full.halved(), variant, rng))
+        }),
+        TrainSetup {
+            epochs: 8,
+            batch: 32,
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+        },
+        31,
+    );
+    let trained = assign.then(train).run(pair).expect("assign + train");
+    let data = trained.data.clone();
+    let deployed = DeployStage::new(variant.detection())
+        .run(trained)
+        .expect("the LeNet body deploys through the conv lowering");
+    let streamed = EvaluateStage::with_batch_size(32)
+        .run(deployed)
+        .expect("hardware evaluation");
+    assert!(
+        (0.0..=1.0).contains(&streamed.software_accuracy) && streamed.software_accuracy > 0.1,
+        "LeNet failed to learn at all: {}",
+        streamed.software_accuracy
+    );
+    assert!(
+        streamed.hardware_gap() < 0.05,
+        "Table II LeNet row: electronic {} vs deployed {}",
+        streamed.software_accuracy,
+        streamed.hardware_accuracy
+    );
+
+    // The same row evaluated *through the serving front end* (queue →
+    // micro-batcher → engine): the serving layer's bitwise contract means
+    // identical accuracy.
+    let engine = InferenceEngine::from_network_shaped(
+        &streamed.network,
+        Some(data.assigned_shape),
+        variant.detection(),
+        oplix_photonics::svd_map::MeshStyle::Clements,
+    )
+    .expect("redeploys from the cache");
+    let deployed_b = DeployedModel {
+        engine,
+        network: streamed.network,
+        software_accuracy: streamed.software_accuracy,
+        data,
+    };
+    let served = EvaluateStage::with_batch_size(32)
+        .with_concurrent_clients(3)
+        .run(deployed_b)
+        .expect("served evaluation");
+    assert_eq!(streamed.hardware_accuracy, served.hardware_accuracy);
+    assert_eq!(served.hardware_abstained, 0);
 }
 
 #[test]
