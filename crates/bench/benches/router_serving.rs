@@ -1,0 +1,399 @@
+//! Router-serving benchmark: the multi-model admission tier
+//! ([`Router`]) under a three-model fan-in, against the single-model
+//! [`Server`] baseline from `serving_concurrency.rs`.
+//!
+//! The headline numbers are hand-timed and written to
+//! `BENCH_router.json` at the workspace root as a baseline other
+//! sessions can diff against:
+//!
+//! * `single_model_sps` — the `serving_concurrency` posture re-measured
+//!   in this run (same machine, same load): 8 clients through one
+//!   micro-batching `Server`.
+//! * `router_fanin_sps` — the same total load spread over three named
+//!   models behind one `Router`: per-model EDF lanes, fair-share worker
+//!   splitting, per-request routing. The admission tier must stay within
+//!   a few percent of the single-model batcher — the lanes add one map
+//!   lookup and an EDF heap push per request, nothing per-sample.
+//! * `edf_miss_rate` / `fifo_miss_rate` — a deadline-laden overload
+//!   (every request carries either a tight or a loose deadline, queued
+//!   faster than the meshes drain) served by the router's
+//!   earliest-deadline-first lanes vs dedicated FIFO servers. EDF pulls
+//!   tight-deadline requests ahead of loose ones and sheds
+//!   already-expired work at flush time, so it must miss strictly fewer
+//!   deadlines than arrival-order service under the identical trace.
+//!
+//! Both throughput paths serve bitwise-identical predictions (asserted
+//! outside the timed region); the contrast is pure admission-layer
+//! architecture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oplix_linalg::Complex64;
+use oplix_nn::ctensor::CTensor;
+use oplix_nn::tensor::Tensor;
+use oplix_photonics::decoder::DecoderKind;
+use oplix_photonics::svd_map::MeshStyle;
+use oplixnet::engine::InferenceEngine;
+use oplixnet::serve::{sample_row, Server, Ticket};
+use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+use oplixnet::{DeployedDetection, Error, Priority, Router, RouterRequest, RouterTicket};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 8;
+const PER_CLIENT: usize = 250;
+const MODELS: usize = 3;
+/// Paper-scale FCNN geometry, matching `serving_concurrency.rs`.
+const INPUT: usize = 64;
+
+fn serving_engine(seed: u64) -> InferenceEngine {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = build_fcnn(
+        &FcnnConfig {
+            input: INPUT,
+            hidden: 32,
+            classes: 10,
+        },
+        ModelVariant::Split(DecoderKind::Merge),
+        &mut rng,
+    );
+    InferenceEngine::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+        .expect("FCNN deploys")
+}
+
+/// One pre-staged request stream per client.
+fn request_streams() -> Vec<Vec<Vec<Complex64>>> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let view = CTensor::new(
+        Tensor::random_uniform(&[CLIENTS * PER_CLIENT, INPUT], 1.0, &mut rng),
+        Tensor::random_uniform(&[CLIENTS * PER_CLIENT, INPUT], 1.0, &mut rng),
+    );
+    (0..CLIENTS)
+        .map(|c| {
+            (0..PER_CLIENT)
+                .map(|i| sample_row(&view, c * PER_CLIENT + i))
+                .collect()
+        })
+        .collect()
+}
+
+/// The model a request lands on: client streams round-robin the lanes so
+/// every model sees the same per-request load.
+fn model_name(request_index: usize) -> &'static str {
+    ["m0", "m1", "m2"][request_index % MODELS]
+}
+
+/// The single-model baseline: 8 clients through one micro-batching
+/// server (the `serving_concurrency.rs` fast path).
+fn run_single_server(streams: &[Vec<Vec<Complex64>>]) -> (Duration, Vec<Vec<usize>>) {
+    let server = Server::builder()
+        .max_batch(64)
+        .max_wait(Duration::from_micros(500))
+        .queue_cap(4096)
+        .serve_engine(serving_engine(7));
+    let start = Instant::now();
+    let preds: Vec<Vec<usize>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|stream| {
+                let client = server.client();
+                scope.spawn(move || {
+                    let tickets: Vec<Ticket> = stream
+                        .iter()
+                        .map(|row| client.submit(row.clone()).expect("admits"))
+                        .collect();
+                    tickets
+                        .into_iter()
+                        .map(|t| t.wait().expect("serves").class().expect("no policy"))
+                        .collect::<Vec<usize>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    (start.elapsed(), preds)
+}
+
+/// The same total load fanned over three models behind one router. Every
+/// model runs the *same* weights as the baseline engine, so the merged
+/// prediction stream must match the single-server run bitwise.
+fn run_router_fanin(streams: &[Vec<Vec<Complex64>>]) -> (Duration, Vec<Vec<usize>>, u64) {
+    let router = Router::builder()
+        .max_batch(64)
+        .max_wait(Duration::from_micros(500))
+        .queue_cap(4096)
+        .build();
+    for m in 0..MODELS {
+        router
+            .register_engine(model_name(m), serving_engine(7))
+            .expect("registers");
+    }
+    let start = Instant::now();
+    let preds: Vec<Vec<usize>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|stream| {
+                let client = router.client();
+                scope.spawn(move || {
+                    let tickets: Vec<RouterTicket> = stream
+                        .iter()
+                        .enumerate()
+                        .map(|(i, row)| {
+                            client
+                                .submit(RouterRequest::new(model_name(i), row.clone()))
+                                .expect("admits")
+                        })
+                        .collect();
+                    tickets
+                        .into_iter()
+                        .map(|t| {
+                            t.wait()
+                                .expect("serves")
+                                .prediction
+                                .class()
+                                .expect("no policy")
+                        })
+                        .collect::<Vec<usize>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    let batches: u64 = router
+        .stats()
+        .models
+        .values()
+        .map(|m| m.serve.batches)
+        .sum();
+    (elapsed, preds, batches)
+}
+
+/// The deadline-laden overload trace: for each model, `n` requests where
+/// every 4th carries a tight budget and the rest a loose one. Submitted
+/// as one burst per model, the queues back up far beyond what the tight
+/// budget covers — the scheduler decides who makes it.
+const TIGHT_BUDGET: Duration = Duration::from_millis(8);
+const LOOSE_BUDGET: Duration = Duration::from_millis(400);
+
+fn deadline_trace(n: usize) -> Vec<(Duration, Priority)> {
+    (0..n)
+        .map(|i| {
+            if i % 4 == 0 {
+                (TIGHT_BUDGET, Priority::Interactive)
+            } else {
+                (LOOSE_BUDGET, Priority::Standard)
+            }
+        })
+        .collect()
+}
+
+/// EDF: the router's lanes pull imminent deadlines forward and shed
+/// expired work at flush time. A miss is a `DeadlineExceeded` rejection.
+fn run_edf_overload(streams: &[Vec<Vec<Complex64>>], per_model: usize) -> (usize, usize) {
+    let router = Router::builder()
+        .max_batch(16)
+        .max_wait(Duration::from_millis(2))
+        .queue_cap(4096)
+        .build();
+    for m in 0..MODELS {
+        router
+            .register_engine(model_name(m), serving_engine(7))
+            .expect("registers");
+    }
+    let trace = deadline_trace(per_model);
+    let mut missed = 0usize;
+    let mut served = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..MODELS)
+            .map(|m| {
+                let client = router.client();
+                let trace = &trace;
+                let stream = &streams[m];
+                scope.spawn(move || {
+                    let tickets: Vec<RouterTicket> = trace
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &(budget, priority))| {
+                            client
+                                .submit(
+                                    RouterRequest::new(
+                                        model_name(m),
+                                        stream[i % stream.len()].clone(),
+                                    )
+                                    .deadline_in(budget)
+                                    .priority(priority),
+                                )
+                                .expect("admits")
+                        })
+                        .collect();
+                    let mut miss = 0usize;
+                    let mut ok = 0usize;
+                    for t in tickets {
+                        match t.wait() {
+                            Ok(_) => ok += 1,
+                            Err(Error::DeadlineExceeded { .. }) => miss += 1,
+                            Err(e) => panic!("unexpected serving error: {e}"),
+                        }
+                    }
+                    (ok, miss)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (ok, miss) = h.join().expect("client thread");
+            served += ok;
+            missed += miss;
+        }
+    });
+    (served, missed)
+}
+
+/// FIFO: dedicated per-model servers drain the identical trace in
+/// arrival order, blind to deadlines. A miss is a response that lands
+/// after the request's budget elapsed.
+fn run_fifo_overload(streams: &[Vec<Vec<Complex64>>], per_model: usize) -> (usize, usize) {
+    let servers: Vec<Server> = (0..MODELS)
+        .map(|_| {
+            Server::builder()
+                .max_batch(16)
+                .max_wait(Duration::from_millis(2))
+                .queue_cap(4096)
+                .serve_engine(serving_engine(7))
+        })
+        .collect();
+    let trace = deadline_trace(per_model);
+    let mut missed = 0usize;
+    let mut served = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = servers
+            .iter()
+            .enumerate()
+            .map(|(m, server)| {
+                let client = server.client();
+                let trace = &trace;
+                let stream = &streams[m];
+                scope.spawn(move || {
+                    let tickets: Vec<(Instant, Ticket)> = trace
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &(budget, _))| {
+                            let deadline = Instant::now() + budget;
+                            let t = client
+                                .submit(stream[i % stream.len()].clone())
+                                .expect("admits");
+                            (deadline, t)
+                        })
+                        .collect();
+                    let mut miss = 0usize;
+                    let mut ok = 0usize;
+                    for (deadline, t) in tickets {
+                        t.wait().expect("serves");
+                        if Instant::now() <= deadline {
+                            ok += 1;
+                        } else {
+                            miss += 1;
+                        }
+                    }
+                    (ok, miss)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (ok, miss) = h.join().expect("client thread");
+            served += ok;
+            missed += miss;
+        }
+    });
+    (served, missed)
+}
+
+/// Criterion view of the two admission tiers at a small request count.
+fn bench_fanin_paths(c: &mut Criterion) {
+    let streams: Vec<Vec<Vec<Complex64>>> = request_streams()
+        .into_iter()
+        .map(|s| s.into_iter().take(32).collect())
+        .collect();
+    let mut group = c.benchmark_group("router_serving");
+    group.sample_size(10);
+    group.bench_function("single_server_8x32", |b| {
+        b.iter(|| run_single_server(&streams).1)
+    });
+    group.bench_function("router_fanin_8x32", |b| {
+        b.iter(|| run_router_fanin(&streams).1)
+    });
+    group.finish();
+}
+
+/// Headline numbers, hand-timed, printed, and persisted as the
+/// `BENCH_router.json` baseline.
+fn report_router_baseline(_c: &mut Criterion) {
+    let streams = request_streams();
+    let total = (CLIENTS * PER_CLIENT) as f64;
+
+    // Interleave a warm-up of each path, then measure.
+    let _ = run_single_server(&streams);
+    let _ = run_router_fanin(&streams);
+    let (single, single_preds) = run_single_server(&streams);
+    let (fanin, fanin_preds, batches) = run_router_fanin(&streams);
+    assert_eq!(
+        single_preds, fanin_preds,
+        "identical weights behind every lane: the fan-in must serve \
+         bitwise the single-server predictions"
+    );
+
+    let single_sps = total / single.as_secs_f64();
+    let fanin_sps = total / fanin.as_secs_f64();
+    let ratio = fanin_sps / single_sps;
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "fan-in {CLIENTS} clients x {PER_CLIENT} requests over {MODELS} models on {cores} core(s): \
+         single server {single_sps:.0} samples/s, router {fanin_sps:.0} samples/s \
+         ({ratio:.2}x), {batches} lane batches"
+    );
+
+    const PER_MODEL: usize = 400;
+    let (edf_served, edf_missed) = run_edf_overload(&streams, PER_MODEL);
+    let (fifo_served, fifo_missed) = run_fifo_overload(&streams, PER_MODEL);
+    let overload_total = (MODELS * PER_MODEL) as f64;
+    let edf_miss_rate = edf_missed as f64 / overload_total;
+    let fifo_miss_rate = fifo_missed as f64 / overload_total;
+    println!(
+        "deadline overload ({} requests, tight {TIGHT_BUDGET:?} / loose {LOOSE_BUDGET:?}): \
+         EDF missed {edf_missed} ({:.1}%, {edf_served} served), \
+         FIFO missed {fifo_missed} ({:.1}%, {fifo_served} served)",
+        MODELS * PER_MODEL,
+        100.0 * edf_miss_rate,
+        100.0 * fifo_miss_rate,
+    );
+
+    let json = format!(
+        "{{\n  \"clients\": {CLIENTS},\n  \
+         \"requests_total\": {},\n  \
+         \"models\": {MODELS},\n  \
+         \"cores\": {cores},\n  \
+         \"single_model_sps\": {single_sps:.0},\n  \
+         \"router_fanin_sps\": {fanin_sps:.0},\n  \
+         \"fanin_vs_single\": {ratio:.2},\n  \
+         \"lane_batches\": {batches},\n  \
+         \"overload_requests\": {},\n  \
+         \"edf_miss_rate\": {edf_miss_rate:.3},\n  \
+         \"fifo_miss_rate\": {fifo_miss_rate:.3}\n}}\n",
+        CLIENTS * PER_CLIENT,
+        MODELS * PER_MODEL,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_router.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("baseline written to {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_fanin_paths, report_router_baseline);
+criterion_main!(benches);

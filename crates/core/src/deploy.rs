@@ -22,7 +22,7 @@ use oplix_nn::functional::im2col_indices;
 use oplix_nn::head::{LinearDecoderHead, UnitaryDecoderHead};
 use oplix_nn::layers::{CAvgPool2d, CConv2d, CDense, CFlatten, CRelu};
 use oplix_nn::network::Network;
-use oplix_photonics::compiled::{CompiledLayer, GatherSource};
+use oplix_photonics::compiled::{gather_into, CompiledLayer, GatherSource};
 use oplix_photonics::count::DeviceCount;
 use oplix_photonics::svd_map::{MeshStyle, PhotonicLayer};
 use rand::Rng;
@@ -31,6 +31,15 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// im2col windows expanding to at least this many gathered fields
+/// (`samples × positions × patch_len`) fan the gather out across the
+/// persistent executor instead of running it scalar on the calling
+/// (batcher) thread. Below the threshold the executor hand-off costs more
+/// than the gather itself; above it, big CNN windows stop serialising on
+/// one core. Both paths expand through [`gather_into`], so the output is
+/// bitwise identical either way.
+const PARALLEL_GATHER_MIN_FIELDS: usize = 16 * 1024;
 
 /// Reusable field buffers for [`DeployedFcnn::forward_into`]: after the
 /// first call nothing reallocates, so a serving loop is allocation-free
@@ -652,14 +661,42 @@ impl DeployedFcnn {
                 DeployedStage::Conv(st) => {
                     // im2col: gather every output position's patch (bias
                     // on the reference mode) and push all patch rows of
-                    // the window through one compiled mesh batch.
-                    st.compiled.forward_gathered(
-                        &cur[..samples * width],
-                        width,
-                        &st.plan,
-                        nxt,
-                        aux,
-                    );
+                    // the window through one compiled mesh batch. Windows
+                    // whose gather is large enough to amortise a fan-out
+                    // expand on the persistent executor instead of the
+                    // calling thread (bitwise identical — both paths run
+                    // `gather_into` per sample).
+                    let plan = &st.plan[..];
+                    let fields = samples * plan.len();
+                    if fields >= PARALLEL_GATHER_MIN_FIELDS && crate::pool::jobs() > 1 {
+                        let src = &cur[..samples * width];
+                        nxt.clear();
+                        nxt.resize(fields, Complex64::ZERO);
+                        let shards = crate::pool::jobs().min(samples);
+                        let chunk = samples.div_ceil(shards);
+                        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = nxt
+                            .chunks_mut(chunk * plan.len())
+                            .zip(src.chunks(chunk * width))
+                            .map(|(dst, win)| {
+                                Box::new(move || {
+                                    for (d, s) in dst.chunks_mut(plan.len()).zip(win.chunks(width))
+                                    {
+                                        gather_into(plan, s, d);
+                                    }
+                                }) as Box<dyn FnOnce() + Send + '_>
+                            })
+                            .collect();
+                        crate::pool::run_scoped(tasks);
+                        st.compiled.forward_batch(nxt, aux, samples * st.positions);
+                    } else {
+                        st.compiled.forward_gathered(
+                            &cur[..samples * width],
+                            width,
+                            plan,
+                            nxt,
+                            aux,
+                        );
+                    }
                     // Mesh rows come back position-major `[P][O]`; the
                     // software conv layout is channel-major `[O, H'·W']`.
                     cur.clear();
@@ -1097,6 +1134,20 @@ static DEPLOY_SEEN: OnceLock<Mutex<HashSet<u64>>> = OnceLock::new();
 static DEPLOY_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static DEPLOY_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    static THREAD_CACHE_HITS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    static THREAD_CACHE_MISSES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Deploy-cache (hits, misses) as observed *from the calling thread*.
+/// The router's register path brackets a deployment with this to decide
+/// whether the registration was served entirely from cache — the global
+/// counters race with concurrent deployments on other threads, this
+/// probe cannot.
+pub(crate) fn thread_cache_counts() -> (u64, u64) {
+    (THREAD_CACHE_HITS.get(), THREAD_CACHE_MISSES.get())
+}
+
 fn deploy_cache() -> &'static Mutex<LruDeployCache> {
     DEPLOY_CACHE.get_or_init(|| Mutex::new(LruDeployCache::new(DEPLOY_CACHE_MAX_BYTES)))
 }
@@ -1159,12 +1210,14 @@ fn decompose_cached(w: &CMatrix, style: MeshStyle, kind: KeyKind) -> DeployedKer
     let hit = deploy_cache().lock().expect("deploy cache").get(&key);
     if let Some(kernels) = hit {
         DEPLOY_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        THREAD_CACHE_HITS.set(THREAD_CACHE_HITS.get() + 1);
         return (*kernels).clone();
     }
     // Decompose outside the lock: a miss is the expensive path, and other
     // deployments should not serialise behind it.
     let kernels = DeployedKernels::decompose(w, style);
     DEPLOY_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    THREAD_CACHE_MISSES.set(THREAD_CACHE_MISSES.get() + 1);
     if seen_before(&key) {
         // Clone outside the lock, like the hit path: holding the global
         // mutex across a mesh deep-clone would serialise concurrent

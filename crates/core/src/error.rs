@@ -54,6 +54,25 @@ pub enum Error {
     /// The serving front end shut down before (or while) the request
     /// could be served.
     ServerClosed,
+    /// A routed request named a model the router does not (or no longer)
+    /// serve.
+    UnknownModel {
+        /// The model name the request carried.
+        model: String,
+    },
+    /// A model registration reused a name the router already serves;
+    /// deregister the old deployment first.
+    DuplicateModel {
+        /// The contested model name.
+        model: String,
+    },
+    /// The request's deadline had already passed — at admission, or by
+    /// the time its lane's EDF batcher popped it — so it was rejected
+    /// instead of wasting mesh cycles on a result nobody can use.
+    DeadlineExceeded {
+        /// How far past the deadline the request was when rejected.
+        missed_by: std::time::Duration,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -80,6 +99,19 @@ impl std::fmt::Display for Error {
                 write!(f, "serving queue is at capacity ({capacity} requests)")
             }
             Error::ServerClosed => write!(f, "serving front end has shut down"),
+            Error::UnknownModel { model } => {
+                write!(f, "router serves no model named `{model}`")
+            }
+            Error::DuplicateModel { model } => {
+                write!(f, "router already serves a model named `{model}`")
+            }
+            Error::DeadlineExceeded { missed_by } => {
+                write!(
+                    f,
+                    "request deadline exceeded (missed by {:.3} ms)",
+                    missed_by.as_secs_f64() * 1e3
+                )
+            }
         }
     }
 }

@@ -28,6 +28,13 @@
 //!   engine batches (flush on `max_batch` / `max_wait`), and
 //!   [`serve::Ticket`]s resolve to per-request predictions — bitwise
 //!   identical to direct `classify` calls;
+//! * [`router`] — the multi-model tier above [`serve`]: one
+//!   [`router::Router`] admits requests for N named, runtime-registered
+//!   model deployments (deduplicated through the deploy cache), each
+//!   served by its own earliest-deadline-first micro-batching lane with
+//!   a fair, queue-depth-weighted share of the worker budget, and
+//!   [`router::RouterStats`] reporting per-model depth, p50/p99 waits
+//!   and deadline misses;
 //! * [`pool`] — the shared bounded worker pool (the `--jobs` /
 //!   `OPLIX_JOBS` knob) that every experiment grid and sharded batch
 //!   draws its concurrency from;
@@ -118,6 +125,7 @@ pub mod error;
 pub mod experiments;
 pub mod pipeline;
 pub mod pool;
+pub mod router;
 pub mod serve;
 pub mod spec;
 pub mod stage;
@@ -129,6 +137,10 @@ pub use deploy::{
 pub use engine::{Confidence, EngineStats, InferenceEngine, StreamingReport};
 pub use error::Error;
 pub use pipeline::{OplixNetBuilder, OplixNetOutcome, OplixNetPipeline, OutcomeSummary};
+pub use router::{
+    EdfQueue, ModelStats, Priority, Router, RouterBuilder, RouterClient, RouterRequest,
+    RouterStats, RouterTicket, Served,
+};
 pub use serve::{Client, Prediction, Server, ServerBuilder, ServerStats, Ticket};
 pub use spec::ModelSpec;
 pub use stage::{

@@ -94,25 +94,122 @@ impl Prediction {
     }
 }
 
-/// One queued request: the staged sample plus its reply channel.
+/// One queued request: the staged sample plus its reply channel and the
+/// admission timestamp the wait-time stats are measured from.
 struct Request {
     fields: Vec<Complex64>,
     reply: mpsc::Sender<Result<Prediction, Error>>,
+    enqueued_at: Instant,
+}
+
+/// Log₂-bucketed wait-time tracker: each admitted request's queue wait
+/// (admission → flush) lands in the bucket of its nanosecond count's bit
+/// length, so the whole distribution is a fixed array of relaxed atomic
+/// counters — recordable from the batcher's hot path without locks, and
+/// cheap enough that the single-model [`Server`] and every router lane
+/// carry one. Quantiles come back as the upper bound of the bucket the
+/// cumulative count crosses (≤ 2× the true value, which is plenty for
+/// p50/p99 SLO reporting).
+pub(crate) struct WaitTracker {
+    max_nanos: AtomicU64,
+    buckets: [AtomicU64; 65],
+}
+
+impl Default for WaitTracker {
+    fn default() -> Self {
+        WaitTracker {
+            max_nanos: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl WaitTracker {
+    pub(crate) fn record(&self, wait: Duration) {
+        let nanos = wait.as_nanos().min(u64::MAX as u128) as u64;
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+        // Bucket i holds waits whose nanosecond count has bit length i,
+        // i.e. [2^(i-1), 2^i); bucket 0 is a zero-length wait and the top
+        // bucket (i = 64) waits of 2^63 ns and beyond.
+        let bucket = (u64::BITS - nanos.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The longest wait observed since construction.
+    pub(crate) fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed))
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) of recorded waits, as the upper bound
+    /// of the bucket the cumulative count crosses; zero when nothing has
+    /// been recorded yet.
+    pub(crate) fn quantile(&self, q: f64) -> Duration {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of bucket i: 2^i − 1 nanoseconds (saturating
+                // on the top bucket), capped by the true observed maximum.
+                let bound = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+                return Duration::from_nanos(bound).min(self.max());
+            }
+        }
+        self.max()
+    }
 }
 
 /// Process-lifetime counters shared by the server handle, its clients and
-/// the batcher thread.
+/// the batcher thread. Also the per-lane counters of the
+/// [`crate::router`] tier — the router and the single-model server
+/// report through this one shape.
 #[derive(Default)]
-struct Counters {
-    submitted: AtomicU64,
-    rejected: AtomicU64,
-    served: AtomicU64,
-    abstained: AtomicU64,
-    batches: AtomicU64,
-    batch_fill: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) served: AtomicU64,
+    pub(crate) abstained: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batch_fill: AtomicU64,
+    /// Requests admitted but not yet answered (queued or in flight).
+    pub(crate) depth: AtomicU64,
+    pub(crate) waits: WaitTracker,
 }
 
-/// A snapshot of a [`Server`]'s counters.
+impl Counters {
+    /// Records a successful admission.
+    pub(crate) fn admitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the counters in the public stats shape.
+    pub(crate) fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            abstained: self.abstained.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_samples: self.batch_fill.load(Ordering::Relaxed),
+            queue_depth: self.depth.load(Ordering::Relaxed),
+            max_wait_observed: self.waits.max(),
+        }
+    }
+}
+
+/// A snapshot of a [`Server`]'s counters. The router tier reports its
+/// per-model lanes through this same shape (see
+/// [`crate::router::ModelStats`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Requests admitted to the queue.
@@ -128,6 +225,12 @@ pub struct ServerStats {
     pub batches: u64,
     /// Total samples across all flushed batches.
     pub batched_samples: u64,
+    /// Requests admitted but not yet answered at snapshot time — the
+    /// live queue depth (queued plus in-flight), the quantity the router
+    /// tier weighs fair shares by.
+    pub queue_depth: u64,
+    /// The longest admission-to-flush wait any request has observed.
+    pub max_wait_observed: Duration,
 }
 
 impl ServerStats {
@@ -332,15 +435,7 @@ impl Server {
 
     /// A snapshot of the serving counters.
     pub fn stats(&self) -> ServerStats {
-        let c = &self.counters;
-        ServerStats {
-            submitted: c.submitted.load(Ordering::Relaxed),
-            rejected: c.rejected.load(Ordering::Relaxed),
-            served: c.served.load(Ordering::Relaxed),
-            abstained: c.abstained.load(Ordering::Relaxed),
-            batches: c.batches.load(Ordering::Relaxed),
-            batched_samples: c.batch_fill.load(Ordering::Relaxed),
-        }
+        self.counters.snapshot()
     }
 
     /// Shuts the server down and returns its engine: admission closes,
@@ -433,7 +528,14 @@ impl Client {
             return Err(Error::ServerClosed);
         }
         let (reply, rx) = mpsc::channel();
-        Ok((Request { fields, reply }, Ticket { rx, done: None }))
+        Ok((
+            Request {
+                fields,
+                reply,
+                enqueued_at: Instant::now(),
+            },
+            Ticket { rx, done: None },
+        ))
     }
 
     /// Submits one sample, blocking while the queue is at capacity
@@ -449,7 +551,7 @@ impl Client {
         let (request, ticket) = self.request(fields)?;
         match self.tx.send(request) {
             Ok(()) => {
-                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                self.counters.admitted();
                 Ok(ticket)
             }
             Err(_) => Err(Error::ServerClosed),
@@ -468,7 +570,7 @@ impl Client {
         let (request, ticket) = self.request(fields)?;
         match self.tx.try_send(request) {
             Ok(()) => {
-                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                self.counters.admitted();
                 Ok(ticket)
             }
             Err(mpsc::TrySendError::Full(_)) => {
@@ -574,8 +676,9 @@ pub fn sample_row(inputs: &CTensor, row: usize) -> Vec<Complex64> {
 }
 
 /// Turns one logit row into the response under the optional confidence
-/// policy.
-fn decide(confidence: Option<Confidence>, logits: &[f64]) -> Prediction {
+/// policy. Shared with the router tier so routed and direct serving apply
+/// one abstention rule.
+pub(crate) fn decide(confidence: Option<Confidence>, logits: &[f64]) -> Prediction {
     match confidence {
         None => Prediction::Class(argmax(logits)),
         Some(c) => {
@@ -686,6 +789,7 @@ fn serve_batch(
         .fetch_add(pending.len() as u64, Ordering::Relaxed);
     rows.clear();
     for request in pending.iter() {
+        counters.waits.record(request.enqueued_at.elapsed());
         rows.extend_from_slice(&request.fields);
     }
     let confidence = policy.confidence;
@@ -711,6 +815,7 @@ fn serve_batch(
 
 fn respond(counters: &Counters, request: &Request, outcome: Result<Prediction, Error>) {
     counters.served.fetch_add(1, Ordering::Relaxed);
+    counters.depth.fetch_sub(1, Ordering::Relaxed);
     if matches!(outcome, Ok(Prediction::Abstain { .. })) {
         counters.abstained.fetch_add(1, Ordering::Relaxed);
     }

@@ -310,6 +310,33 @@ pub enum GatherSource {
     Reference,
 }
 
+/// Expands one source sample through a gather `plan` into `dst`: each plan
+/// slot reads its input field, a dark (zero) mode, or the reference (unit)
+/// mode. This is the single source of truth for the im2col gather —
+/// [`CompiledLayer::forward_gathered`] runs it inline per sample, and the
+/// deploy layer's parallel gather path fans the same loop out across the
+/// executor, so both are bitwise identical by construction.
+///
+/// # Panics
+///
+/// Panics if `dst.len() != plan.len()` or a plan entry indexes past
+/// `sample.len()`.
+#[inline]
+pub fn gather_into(plan: &[GatherSource], sample: &[Complex64], dst: &mut [Complex64]) {
+    assert_eq!(
+        dst.len(),
+        plan.len(),
+        "gather destination must fit the plan"
+    );
+    for (slot, gather) in plan.iter().enumerate() {
+        dst[slot] = match *gather {
+            GatherSource::Input(j) => sample[j as usize],
+            GatherSource::Dark => Complex64::ZERO,
+            GatherSource::Reference => Complex64::ONE,
+        };
+    }
+}
+
 /// A whole SVD-mapped layer (`V*` mesh → Σ attenuators → `U` mesh) baked
 /// into compiled kernels; the deploy-time artifact the serving engine
 /// stores and the deployment cache memoises.
@@ -447,13 +474,7 @@ impl CompiledLayer {
         for s in 0..samples {
             let sample = &src[s * src_width..(s + 1) * src_width];
             let dst = &mut io[s * plan.len()..(s + 1) * plan.len()];
-            for (slot, gather) in plan.iter().enumerate() {
-                dst[slot] = match *gather {
-                    GatherSource::Input(j) => sample[j as usize],
-                    GatherSource::Dark => Complex64::ZERO,
-                    GatherSource::Reference => Complex64::ONE,
-                };
-            }
+            gather_into(plan, sample, dst);
         }
         self.forward_batch(io, tmp, samples * rows_per_sample);
     }

@@ -1,0 +1,212 @@
+//! Multi-model serving quickstart: one router, three named models.
+//!
+//! Builds three split-complex FCNNs — two of them over *identical*
+//! weights, so their deployments share one cached mesh decomposition —
+//! registers them with the `oplixnet::router` admission tier, and fans
+//! mixed-priority client threads out over them. Each model gets its own
+//! earliest-deadline-first micro-batching lane and a fair,
+//! queue-depth-weighted share of the worker budget; requests carry
+//! optional deadlines that are enforced at admission and at flush time.
+//!
+//! The models carry random (untrained) weights: the example demonstrates
+//! the serving tier — routing, EDF scheduling, deadline misses, cache
+//! sharing, per-model stats — not classification accuracy. See
+//! `examples/concurrent_serving.rs` for the train-then-serve flow.
+//!
+//! Run with `cargo run --release --example multi_model_serving`.
+
+use oplix_datasets::assign::AssignmentKind;
+use oplix_datasets::synth::{digits, SynthConfig};
+use oplix_photonics::decoder::DecoderKind;
+use oplix_photonics::svd_map::MeshStyle;
+use oplixnet::engine::InferenceEngine;
+use oplixnet::serve::sample_row;
+use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+use oplixnet::{
+    deploy_cache_stats, DeployedDetection, Error, Priority, Router, RouterRequest, RouterTicket,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn main() {
+    // 1. A synthetic digits test set under the paper's real-to-complex
+    //    spatial-interlace assignment.
+    let raw = digits(&SynthConfig {
+        height: 8,
+        width: 8,
+        samples: 240,
+        seed: 7,
+        ..Default::default()
+    });
+    let view = AssignmentKind::SpatialInterlace.apply_dataset_flat(&raw);
+    let input = view.inputs.shape()[1];
+
+    // 2. Three models. "canary" and "stable" are built from the same seed,
+    //    so their weights are bitwise identical — the deploy cache serves
+    //    the second registration without a second SVD decomposition.
+    let small = |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        build_fcnn(
+            &FcnnConfig {
+                input,
+                hidden: 16,
+                classes: 10,
+            },
+            ModelVariant::Split(DecoderKind::Merge),
+            &mut rng,
+        )
+    };
+    let shared_net = small(11);
+    let mut rng = StdRng::seed_from_u64(13);
+    let heavy_net = build_fcnn(
+        &FcnnConfig {
+            input,
+            hidden: 32,
+            classes: 10,
+        },
+        ModelVariant::Split(DecoderKind::Merge),
+        &mut rng,
+    );
+
+    // Prime the cache: the second-sight admission policy fingerprints a
+    // deployment on first sight and inserts it on the second, so two
+    // warm-up deploys make every later registration a pure cache hit.
+    for _ in 0..2 {
+        let _prime = InferenceEngine::from_network(
+            &shared_net,
+            DeployedDetection::Differential,
+            MeshStyle::Clements,
+        )
+        .expect("FCNN deploys");
+    }
+
+    // 3. One admission tier over all three lanes.
+    let router = Router::builder()
+        .max_batch(32)
+        .max_wait(Duration::from_micros(500))
+        .queue_cap(1024)
+        .build();
+    router
+        .register(
+            "canary",
+            &shared_net,
+            DeployedDetection::Differential,
+            MeshStyle::Clements,
+        )
+        .expect("registers");
+    router
+        .register(
+            "stable",
+            &shared_net,
+            DeployedDetection::Differential,
+            MeshStyle::Clements,
+        )
+        .expect("registers");
+    router
+        .register(
+            "heavy",
+            &heavy_net,
+            DeployedDetection::Differential,
+            MeshStyle::Clements,
+        )
+        .expect("registers");
+    let cache = deploy_cache_stats();
+    println!(
+        "registered {:?}; deploy cache: {} entries, {} hits, {} KiB resident",
+        router.models(),
+        cache.entries,
+        cache.hits,
+        cache.resident_bytes / 1024,
+    );
+
+    // 4. Six clients, two per model, with mixed priority classes:
+    //    interactive traffic carries a tight deadline, standard traffic a
+    //    generous one, batch traffic none at all. Expired requests are
+    //    refused with the typed `DeadlineExceeded` error instead of
+    //    wasting mesh cycles.
+    let lanes = [
+        (
+            "canary",
+            Priority::Interactive,
+            Some(Duration::from_millis(250)),
+        ),
+        ("canary", Priority::Batch, None),
+        ("stable", Priority::Standard, Some(Duration::from_secs(2))),
+        ("stable", Priority::Batch, None),
+        (
+            "heavy",
+            Priority::Interactive,
+            Some(Duration::from_millis(250)),
+        ),
+        ("heavy", Priority::Standard, Some(Duration::from_secs(2))),
+    ];
+    const PER_CLIENT: usize = 40;
+    let (served, missed): (usize, usize) = std::thread::scope(|scope| {
+        let handles: Vec<_> = lanes
+            .iter()
+            .enumerate()
+            .map(|(c, &(model, priority, deadline))| {
+                let client = router.client();
+                let view = &view;
+                scope.spawn(move || {
+                    let lo = c * PER_CLIENT;
+                    let tickets: Vec<RouterTicket> = (lo..lo + PER_CLIENT)
+                        .map(|i| {
+                            let mut req =
+                                RouterRequest::new(model, sample_row(&view.inputs, i % 240))
+                                    .priority(priority);
+                            if let Some(budget) = deadline {
+                                req = req.deadline_in(budget);
+                            }
+                            client.submit(req).expect("queue admits")
+                        })
+                        .collect();
+                    let mut served = 0usize;
+                    let mut missed = 0usize;
+                    for t in tickets {
+                        match t.wait() {
+                            Ok(_) => served += 1,
+                            Err(Error::DeadlineExceeded { .. }) => missed += 1,
+                            Err(e) => panic!("unexpected serving error: {e}"),
+                        }
+                    }
+                    (served, missed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .fold((0, 0), |(s, m), (cs, cm)| (s + cs, m + cm))
+    });
+
+    // 5. Per-model observability, then a draining shutdown.
+    let stats = router.stats();
+    println!(
+        "served {served} requests ({missed} deadline misses); \
+         {} of {} models share a cached deployment",
+        stats.cache_shared_deployments,
+        stats.models.len(),
+    );
+    for (name, m) in &stats.models {
+        println!(
+            "  {name:>6}: served {:>3}, depth {}, batches {}, wait p50 {:?} p99 {:?} max {:?}, \
+             misses {}, stages {}, cache-shared {}",
+            m.serve.served,
+            m.serve.queue_depth,
+            m.serve.batches,
+            m.wait_p50,
+            m.wait_p99,
+            m.serve.max_wait_observed,
+            m.deadline_missed,
+            m.optical_stages,
+            m.cache_shared,
+        );
+    }
+    let engines = router.shutdown();
+    println!(
+        "shut down; {} engines returned to their owners",
+        engines.len()
+    );
+}

@@ -267,6 +267,51 @@ fn served_cnn_predictions_are_bitwise_direct_classify() {
 }
 
 #[test]
+fn parallel_gather_window_is_bitwise_sequential_gather() {
+    // Above the deploy layer's 16 Ki-field threshold the im2col gather is
+    // fanned out across the worker pool instead of running inline on the
+    // serving thread. The gather plan is a pure index table, so the
+    // parallel split must be bitwise invisible. An 8×10 two-channel image
+    // under a 3×3 same-pad conv gathers 80 positions × 19 sources =
+    // 1 520 fields per sample: a 64-sample window crosses the threshold
+    // on every worker shard (16 × 1 520 ≥ 16 Ki at four workers), while
+    // single-sample windows stay on the sequential path.
+    let (c, h, w) = (2usize, 8usize, 10usize);
+    let net = cnn(c, h, w, 2, 3, 1, 1, 3, 70_041);
+    let make_engine = || {
+        InferenceEngine::from_network_shaped(
+            &net,
+            Some((c, h, w)),
+            DeployedDetection::Differential,
+            MeshStyle::Clements,
+        )
+        .expect("deploys")
+    };
+    let view = image_view(64, c, h, w, 70_042);
+
+    // Single-sample windows: 1 520 fields each, always sequential.
+    let mut seq = make_engine();
+    let want: Vec<usize> = (0..64)
+        .map(|i| {
+            seq.classify_rows(&sample_row(&view, i))
+                .expect("one-sample classify")[0]
+        })
+        .collect();
+
+    // Force a multi-worker budget so the big window actually takes the
+    // pool-fanned gather (a 1-CPU dev box would otherwise stay inline);
+    // restore the ambient budget for the rest of the binary.
+    let ambient = oplixnet::pool::jobs();
+    oplixnet::pool::set_jobs(4);
+    let got = make_engine().classify(&view).expect("windowed classify");
+    oplixnet::pool::set_jobs(ambient);
+    assert_eq!(
+        got, want,
+        "pool-fanned im2col gather must be bitwise the inline gather"
+    );
+}
+
+#[test]
 fn pooled_lenet_style_body_deploys_and_agrees_with_software() {
     // Average pooling lowers as an electronic gather between optical
     // stages, so a full LeNet-style body (conv-relu-pool twice, then the

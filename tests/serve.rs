@@ -124,6 +124,14 @@ fn stress_concurrent_clients_are_bitwise_direct_classify() {
         stats.batches,
         stats.submitted
     );
+    assert_eq!(
+        stats.queue_depth, 0,
+        "every ticket was waited on, so nothing is left in flight"
+    );
+    assert!(
+        stats.max_wait_observed > Duration::ZERO,
+        "queued requests wait a measurable time before their flush"
+    );
     let engine_back = server.shutdown();
     assert_eq!(engine_back.stats().samples, (CLIENTS * PER_CLIENT) as u64);
 }
@@ -203,8 +211,15 @@ fn shutdown_drains_every_admitted_ticket_under_concurrency() {
         }
     });
 
-    // All 400 submitted, none waited on: shut down now. The drain
-    // contract says every admitted ticket still resolves — bitwise.
+    // All 400 submitted, none waited on: the whole load is in flight.
+    assert_eq!(
+        server.stats().queue_depth,
+        (CLIENTS * PER_CLIENT) as u64,
+        "queue depth counts every admitted-but-unserved request"
+    );
+
+    // Shut down now. The drain contract says every admitted ticket
+    // still resolves — bitwise.
     let engine_back = server.shutdown();
     let mut resolved = 0usize;
     for (i, t) in tickets.into_inner().expect("ticket list") {
