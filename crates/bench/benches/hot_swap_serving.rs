@@ -1,0 +1,289 @@
+//! Hot-swap serving benchmark: what a zero-downtime version change
+//! costs under live load.
+//!
+//! The headline numbers are hand-timed and written to
+//! `BENCH_hotswap.json` at the workspace root as a baseline other
+//! sessions can diff against:
+//!
+//! * `steady_sps` — 8 clients through one micro-batching [`Server`]
+//!   with no version changes, the `serving_concurrency.rs` posture.
+//! * `swap_latency_us` — mid-run, a [`Server::swap`] to a freshly
+//!   deployed engine: the time from issuing the swap to its
+//!   [`SwapOutcome::Applied`] reply. The swap queues through the same
+//!   FIFO as requests and applies at the next micro-batch boundary, so
+//!   this bounds how long two versions can be in flight.
+//! * `boundary_sps` / `boundary_dip_factor` — throughput inside a
+//!   ±25 ms window centred on the swap's apply instant vs the steady
+//!   rate of the same run. Zero downtime means the batcher never stalls
+//!   at the boundary: the dip factor must stay within 2×.
+//! * `canary_sps` / `canary_overhead_pct` — the same load with a canary
+//!   deployment live: a seeded fraction of admissions routes to the
+//!   candidate and every response lands in the per-version tallies. The
+//!   overhead is one `splitmix64` draw per admission and a few atomic
+//!   increments per response — it must stay in the low percent range.
+//!
+//! Swapping to an identically seeded deployment keeps the prediction
+//! stream bitwise comparable across postures; version stamps (asserted
+//! outside the timed region) prove the swap really happened mid-run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oplix_linalg::Complex64;
+use oplix_nn::ctensor::CTensor;
+use oplix_nn::tensor::Tensor;
+use oplix_photonics::decoder::DecoderKind;
+use oplix_photonics::svd_map::MeshStyle;
+use oplixnet::engine::InferenceEngine;
+use oplixnet::serve::{sample_row, CanaryPolicy, Server, SwapOutcome, Ticket};
+use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+use oplixnet::DeployedDetection;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 8;
+const PER_CLIENT: usize = 400;
+/// Paper-scale FCNN geometry, matching `serving_concurrency.rs`.
+const INPUT: usize = 64;
+/// Half-width of the boundary throughput window around the swap apply.
+const BOUNDARY_HALF: Duration = Duration::from_millis(25);
+
+fn serving_engine(seed: u64) -> InferenceEngine {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = build_fcnn(
+        &FcnnConfig {
+            input: INPUT,
+            hidden: 32,
+            classes: 10,
+        },
+        ModelVariant::Split(DecoderKind::Merge),
+        &mut rng,
+    );
+    InferenceEngine::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+        .expect("FCNN deploys")
+}
+
+fn serving_server() -> Server {
+    Server::builder()
+        .max_batch(64)
+        .max_wait(Duration::from_micros(500))
+        .queue_cap(4096)
+        .serve_engine(serving_engine(7))
+}
+
+/// One pre-staged request stream per client.
+fn request_streams() -> Vec<Vec<Vec<Complex64>>> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let view = CTensor::new(
+        Tensor::random_uniform(&[CLIENTS * PER_CLIENT, INPUT], 1.0, &mut rng),
+        Tensor::random_uniform(&[CLIENTS * PER_CLIENT, INPUT], 1.0, &mut rng),
+    );
+    (0..CLIENTS)
+        .map(|c| {
+            (0..PER_CLIENT)
+                .map(|i| sample_row(&view, c * PER_CLIENT + i))
+                .collect()
+        })
+        .collect()
+}
+
+/// Drives the full load through `server`, returning the run's wall time
+/// and every ticket's resolution instant. `at_half` runs on the calling
+/// thread once roughly half the responses have landed — the swap hook.
+fn run_load(
+    server: &Server,
+    streams: &[Vec<Vec<Complex64>>],
+    mut at_half: impl FnMut(),
+) -> (Duration, Vec<Instant>) {
+    let resolved = AtomicU64::new(0);
+    let half = (CLIENTS * PER_CLIENT / 2) as u64;
+    let start = Instant::now();
+    let mut instants = std::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|stream| {
+                let client = server.client();
+                let resolved = &resolved;
+                scope.spawn(move || {
+                    let tickets: Vec<Ticket> = stream
+                        .iter()
+                        .map(|row| client.submit(row.clone()).expect("admits"))
+                        .collect();
+                    tickets
+                        .into_iter()
+                        .map(|t| {
+                            t.wait().expect("serves");
+                            resolved.fetch_add(1, Ordering::Relaxed);
+                            Instant::now()
+                        })
+                        .collect::<Vec<Instant>>()
+                })
+            })
+            .collect();
+        while resolved.load(Ordering::Relaxed) < half {
+            std::hint::spin_loop();
+        }
+        at_half();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect::<Vec<Instant>>()
+    });
+    let elapsed = start.elapsed();
+    instants.sort();
+    (elapsed, instants)
+}
+
+fn sps(count: usize, elapsed: Duration) -> f64 {
+    count as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+/// Steady state: the full load, no version changes.
+fn run_steady(streams: &[Vec<Vec<Complex64>>]) -> f64 {
+    let server = serving_server();
+    let (elapsed, _) = run_load(&server, streams, || {});
+    assert_eq!(server.stats().version, 1);
+    let _ = server.shutdown();
+    sps(CLIENTS * PER_CLIENT, elapsed)
+}
+
+/// Mid-run hot swap: returns (steady sps of this run, swap latency,
+/// boundary sps in the ±25 ms window around the apply instant).
+fn run_with_swap(streams: &[Vec<Vec<Complex64>>]) -> (f64, Duration, f64) {
+    let server = serving_server();
+    let replacement = serving_engine(8); // deployed before the timed region
+    let mut replacement = Some(replacement);
+    let mut swap_latency = Duration::ZERO;
+    let mut applied_at = None;
+    let (elapsed, instants) = run_load(&server, streams, || {
+        let issued = Instant::now();
+        let ticket = server
+            .swap(replacement.take().expect("one swap"))
+            .expect("swap admits");
+        match ticket.wait().expect("swap resolves") {
+            SwapOutcome::Applied { version, .. } => assert_eq!(version, 2),
+            SwapOutcome::Aborted { .. } => panic!("server is live; swap must apply"),
+        }
+        let now = Instant::now();
+        swap_latency = now - issued;
+        applied_at = Some(now);
+    });
+    let stats = server.stats();
+    assert_eq!(stats.version, 2, "the swap must have applied mid-run");
+    assert_eq!(stats.served, (CLIENTS * PER_CLIENT) as u64);
+    let _ = server.shutdown();
+
+    let center = applied_at.expect("swap ran");
+    let in_window = instants
+        .iter()
+        .filter(|&&t| t >= center - BOUNDARY_HALF && t <= center + BOUNDARY_HALF)
+        .count();
+    let window = BOUNDARY_HALF * 2;
+    (
+        sps(CLIENTS * PER_CLIENT, elapsed),
+        swap_latency,
+        sps(in_window, window),
+    )
+}
+
+/// The full load with a canary live from the start: a 35 % seeded slice
+/// of admissions routes to the candidate, every response is tallied.
+fn run_with_canary(streams: &[Vec<Vec<Complex64>>]) -> f64 {
+    let server = serving_server();
+    server
+        .canary(
+            serving_engine(8),
+            CanaryPolicy {
+                fraction: 0.35,
+                confidence: None,
+                seed: 42,
+            },
+        )
+        .expect("canary installs");
+    let (elapsed, _) = run_load(&server, streams, || {});
+    let stats = server.canary_stats().expect("canary is live");
+    let total = CLIENTS * PER_CLIENT;
+    assert_eq!(
+        (stats.baseline.served + stats.candidate.served) as usize,
+        total
+    );
+    assert!(
+        stats.candidate.served > 0,
+        "the seeded split must route some traffic to the candidate"
+    );
+    let _ = server.rollback().expect("rollback admits").wait();
+    let _ = server.shutdown();
+    sps(total, elapsed)
+}
+
+/// Criterion view: the swap round-trip on a live but idle server — the
+/// floor of `swap_latency_us` (queue hop + barrier + apply, no batch in
+/// front of it).
+fn bench_swap_roundtrip(c: &mut Criterion) {
+    let server = serving_server();
+    let mut group = c.benchmark_group("hot_swap_serving");
+    group.sample_size(10);
+    group.bench_function("idle_swap_roundtrip", |b| {
+        b.iter(|| {
+            let outcome = server
+                .swap(serving_engine(8))
+                .expect("swap admits")
+                .wait()
+                .expect("swap resolves");
+            assert!(outcome.is_applied());
+        })
+    });
+    group.finish();
+    let _ = server.shutdown();
+}
+
+/// Headline numbers, hand-timed, printed, and persisted as the
+/// `BENCH_hotswap.json` baseline.
+fn report_hotswap_baseline(_c: &mut Criterion) {
+    let streams = request_streams();
+
+    // Warm the deploy cache and the allocator, then measure.
+    let _ = run_steady(&streams);
+    let steady_sps = run_steady(&streams);
+    let (swap_run_sps, swap_latency, boundary_sps) = run_with_swap(&streams);
+    let canary_sps = run_with_canary(&streams);
+
+    let swap_latency_us = swap_latency.as_secs_f64() * 1e6;
+    let boundary_dip_factor = swap_run_sps / boundary_sps.max(1e-9);
+    let canary_overhead_pct = 100.0 * (1.0 - canary_sps / steady_sps);
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "hot swap under load, {CLIENTS} clients x {PER_CLIENT} requests on {cores} core(s): \
+         steady {steady_sps:.0} samples/s, swap applied in {swap_latency_us:.0} us, \
+         boundary window {boundary_sps:.0} samples/s ({boundary_dip_factor:.2}x dip), \
+         canary {canary_sps:.0} samples/s ({canary_overhead_pct:.1}% overhead)"
+    );
+    assert!(
+        boundary_dip_factor <= 2.0,
+        "zero-downtime swap: boundary throughput ({boundary_sps:.0} sps) must stay \
+         within 2x of the run's steady rate ({swap_run_sps:.0} sps)"
+    );
+
+    let json = format!(
+        "{{\n  \"clients\": {CLIENTS},\n  \
+         \"requests_total\": {},\n  \
+         \"cores\": {cores},\n  \
+         \"steady_sps\": {steady_sps:.0},\n  \
+         \"swap_latency_us\": {swap_latency_us:.0},\n  \
+         \"boundary_window_ms\": {},\n  \
+         \"boundary_sps\": {boundary_sps:.0},\n  \
+         \"boundary_dip_factor\": {boundary_dip_factor:.2},\n  \
+         \"canary_sps\": {canary_sps:.0},\n  \
+         \"canary_overhead_pct\": {canary_overhead_pct:.1}\n}}\n",
+        CLIENTS * PER_CLIENT,
+        2 * BOUNDARY_HALF.as_millis(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotswap.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("baseline written to {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_swap_roundtrip, report_hotswap_baseline);
+criterion_main!(benches);

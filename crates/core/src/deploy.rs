@@ -862,6 +862,27 @@ impl DeployedFcnn {
         }
     }
 
+    /// Applies one random-walk drift step to every mesh phase and
+    /// recompiles the affected kernels. Unlike
+    /// [`DeployedFcnn::inject_phase_noise`] inside a scoped session, drift
+    /// *accumulates*: each call moves the deployment further from its
+    /// calibrated point, and the only way back is re-deploying from clean
+    /// weights (the hot-swap recalibration path). Electronic stages carry
+    /// no phases and are untouched.
+    pub fn drift_step(&mut self, drift: &mut oplix_photonics::PhaseDrift) {
+        for stage in &mut self.stages {
+            let (layer, compiled) = match stage {
+                DeployedStage::Mesh(st) => (&mut st.layer, &mut st.compiled),
+                DeployedStage::Conv(st) => (&mut st.layer, &mut st.compiled),
+                DeployedStage::Pool(_) => continue,
+            };
+            let (v, u) = layer.meshes_mut();
+            drift.step_mesh(v);
+            drift.step_mesh(u);
+            *compiled = CompiledLayer::compile(layer);
+        }
+    }
+
     /// The deployed stages, for engine-internal phase bookkeeping.
     pub(crate) fn stages_vec(&self) -> &Vec<DeployedStage> {
         &self.stages

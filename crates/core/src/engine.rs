@@ -61,6 +61,7 @@ use oplix_nn::ctensor::CTensor;
 use oplix_nn::network::Network;
 use oplix_nn::trainer::CDataset;
 use oplix_photonics::svd_map::MeshStyle;
+use oplix_photonics::PhaseDrift;
 use rand::Rng;
 use std::ops::{Deref, DerefMut};
 use std::time::{Duration, Instant};
@@ -660,6 +661,29 @@ impl InferenceEngine {
         }
     }
 
+    /// Applies one accumulating phase-drift step to the deployed hardware
+    /// and recompiles the affected kernels. The counterpart to
+    /// [`InferenceEngine::noise_session`] for *slow* error: each call
+    /// moves every mesh phase one Gaussian random-walk increment further
+    /// from its calibrated point, with no restore — recalibration is a
+    /// fresh deployment hot-swapped in (see `serve::Server::swap`).
+    pub fn drift_step(&mut self, drift: &mut PhaseDrift) {
+        self.deployed.drift_step(drift);
+    }
+
+    /// Opens a drift session: the clean phases are remembered, the walk in
+    /// `drift` is stepped on demand via [`DriftSession::step`], and the
+    /// calibrated phases are restored when the session drops — the scoped
+    /// study variant of [`InferenceEngine::drift_step`].
+    pub fn drift_session(&mut self, drift: PhaseDrift) -> DriftSession<'_> {
+        let clean = self.deployed.stages_vec().clone();
+        DriftSession {
+            engine: self,
+            clean,
+            drift,
+        }
+    }
+
     /// The one batch walk every query method shares: validate, then run
     /// every row through [`WorkerSlot::run_rows`] — on the calling thread
     /// when one worker (or a tiny batch), sharded into contiguous row
@@ -808,6 +832,49 @@ impl DerefMut for NoiseSession<'_> {
 }
 
 impl Drop for NoiseSession<'_> {
+    fn drop(&mut self) {
+        *self.engine.deployed.stages_vec_mut() = std::mem::take(&mut self.clean);
+    }
+}
+
+/// A scoped view of an [`InferenceEngine`] under accumulating phase drift:
+/// each [`DriftSession::step`] walks every mesh phase one increment
+/// further, queries through the session see the drifted hardware, and the
+/// calibrated phases come back when the session drops. Dereferences to the
+/// engine, so every query method is available on the session.
+pub struct DriftSession<'a> {
+    engine: &'a mut InferenceEngine,
+    clean: Vec<crate::deploy::DeployedStage>,
+    drift: PhaseDrift,
+}
+
+impl DriftSession<'_> {
+    /// Advances the drift walk by one step on every deployed mesh.
+    pub fn step(&mut self) {
+        self.engine.deployed.drift_step(&mut self.drift);
+    }
+
+    /// The drift process driving this session.
+    pub fn drift(&self) -> &PhaseDrift {
+        &self.drift
+    }
+}
+
+impl Deref for DriftSession<'_> {
+    type Target = InferenceEngine;
+
+    fn deref(&self) -> &InferenceEngine {
+        self.engine
+    }
+}
+
+impl DerefMut for DriftSession<'_> {
+    fn deref_mut(&mut self) -> &mut InferenceEngine {
+        self.engine
+    }
+}
+
+impl Drop for DriftSession<'_> {
     fn drop(&mut self) {
         *self.engine.deployed.stages_vec_mut() = std::mem::take(&mut self.clean);
     }

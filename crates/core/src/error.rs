@@ -73,6 +73,12 @@ pub enum Error {
         /// How far past the deadline the request was when rejected.
         missed_by: std::time::Duration,
     },
+    /// A version change (hot swap or a second canary) was requested while
+    /// a canary is already live; `promote` or `rollback` the active
+    /// candidate first.
+    CanaryActive,
+    /// `promote` or `rollback` was called with no canary live.
+    NoCanary,
 }
 
 impl std::fmt::Display for Error {
@@ -112,6 +118,13 @@ impl std::fmt::Display for Error {
                     missed_by.as_secs_f64() * 1e3
                 )
             }
+            Error::CanaryActive => {
+                write!(
+                    f,
+                    "a canary is already live; promote or rollback before the next version change"
+                )
+            }
+            Error::NoCanary => write!(f, "no canary is live to promote or rollback"),
         }
     }
 }

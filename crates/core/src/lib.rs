@@ -27,12 +27,22 @@
 //!   thread coalesces concurrent [`serve::Client`] submissions into
 //!   engine batches (flush on `max_batch` / `max_wait`), and
 //!   [`serve::Ticket`]s resolve to per-request predictions — bitwise
-//!   identical to direct `classify` calls;
+//!   identical to direct `classify` calls. Deployments are versioned:
+//!   [`serve::Server::swap`] hot-swaps the model at a micro-batch
+//!   boundary with zero downtime, [`serve::Server::canary`] routes a
+//!   seeded fraction of traffic to a candidate version with per-version
+//!   accept/abstain/accuracy tallies ([`serve::CanaryStats`]) feeding a
+//!   [`serve::Server::promote`] / [`serve::Server::rollback`] decision,
+//!   and a [`oplix_photonics::PhaseDrift`] model
+//!   ([`serve::ServerBuilder::drift`]) wanders the phases between
+//!   micro-batches so online recalibration (drift → swap) runs end to
+//!   end;
 //! * [`router`] — the multi-model tier above [`serve`]: one
 //!   [`router::Router`] admits requests for N named, runtime-registered
 //!   model deployments (deduplicated through the deploy cache), each
 //!   served by its own earliest-deadline-first micro-batching lane with
-//!   a fair, queue-depth-weighted share of the worker budget, and
+//!   a fair, queue-depth-weighted share of the worker budget,
+//!   per-lane versioned hot swap ([`router::Router::swap_model`]), and
 //!   [`router::RouterStats`] reporting per-model depth, p50/p99 waits
 //!   and deadline misses;
 //! * [`pool`] — the shared bounded worker pool (the `--jobs` /
@@ -134,14 +144,17 @@ pub mod zoo;
 pub use deploy::{
     clear_deploy_cache, deploy_cache_stats, DeployCacheStats, DeployedDetection, DeployedFcnn,
 };
-pub use engine::{Confidence, EngineStats, InferenceEngine, StreamingReport};
+pub use engine::{Confidence, DriftSession, EngineStats, InferenceEngine, StreamingReport};
 pub use error::Error;
 pub use pipeline::{OplixNetBuilder, OplixNetOutcome, OplixNetPipeline, OutcomeSummary};
 pub use router::{
     EdfQueue, ModelStats, Priority, Router, RouterBuilder, RouterClient, RouterRequest,
     RouterStats, RouterTicket, Served,
 };
-pub use serve::{Client, Prediction, Server, ServerBuilder, ServerStats, Ticket};
+pub use serve::{
+    CanaryPolicy, CanaryStats, Client, Prediction, Server, ServerBuilder, ServerStats, SwapOutcome,
+    SwapTicket, Ticket, VersionTally,
+};
 pub use spec::ModelSpec;
 pub use stage::{
     AssignStage, AssignedData, DatasetPair, DeployStage, EvaluateStage, Evaluation, Pipeline,

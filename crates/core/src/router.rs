@@ -31,6 +31,17 @@
 //!   through the process-wide deploy cache, so two models over the same
 //!   weights share one cached decomposition
 //!   ([`ModelStats::cache_shared`] reports when that happened).
+//! * **Versioned hot swap**: [`Router::swap_model`] replaces a lane's
+//!   deployment without closing it — the replacement deploys in the
+//!   background, a control message rides the lane queue, and the
+//!   batcher switches engines at a micro-batch boundary. Requests carry
+//!   the version they were admitted under ([`Served::version`]) and are
+//!   always served by that version's engine, exactly as in
+//!   [`crate::serve::Server::swap`]. Deregistering a lane while a swap
+//!   is still queued hands back the *currently serving* engine and
+//!   aborts the swap — its replacement engine returns through the
+//!   [`SwapTicket`] as [`crate::serve::SwapOutcome::Aborted`], never
+//!   lost.
 //! * **EDF batching**: lanes coalesce like the FIFO server (flush on
 //!   `max_batch` or `max_wait`), but the pending set is an
 //!   [`EdfQueue`] — flushes pop by earliest deadline, then priority
@@ -53,7 +64,9 @@
 
 use crate::engine::{Confidence, InferenceEngine};
 use crate::error::Error;
-use crate::serve::{decide, Counters, Prediction, ServerStats};
+use crate::serve::{
+    decide, Control, Counters, EngineRack, Prediction, ServerStats, SwapTicket, VersionGate,
+};
 use oplix_linalg::Complex64;
 use oplix_nn::network::Network;
 use oplix_photonics::svd_map::MeshStyle;
@@ -300,6 +313,10 @@ pub struct Served {
     pub flush_seq: u64,
     /// How long the request queued between admission and flush.
     pub waited: Duration,
+    /// The lane deployment version the request was admitted under — the
+    /// version whose engine served it, no matter how many swaps landed
+    /// while it queued.
+    pub version: u64,
 }
 
 /// A pending response to one routed request; resolves like
@@ -351,6 +368,16 @@ struct LaneRequest {
     enqueued_at: Instant,
     deadline: Option<Instant>,
     priority: Priority,
+    version: u64,
+}
+
+/// What flows through a lane queue: routed requests interleaved with
+/// version-change controls, exactly like the serve module's envelope.
+/// FIFO channel order + controls published under the lane gate's write
+/// lock = version order, so the batcher can retire engines safely.
+enum LaneEnvelope {
+    Request(LaneRequest),
+    Control(Control),
 }
 
 /// Sum over all lanes of `queue depth × optical weight` — the
@@ -385,9 +412,13 @@ struct LanePolicy {
 struct Lane {
     /// Admission side of the lane queue; taken (and dropped) on
     /// shutdown/deregistration so the batcher's drain terminates.
-    tx: Mutex<Option<mpsc::SyncSender<LaneRequest>>>,
+    tx: Mutex<Option<mpsc::SyncSender<LaneEnvelope>>>,
     stop: Arc<AtomicBool>,
     counters: Arc<Counters>,
+    /// The lane's version barrier (see [`crate::serve`]): admissions
+    /// stamp + send under its read side, swaps publish under its write
+    /// side.
+    gate: Arc<VersionGate>,
     deadline_missed: Arc<AtomicU64>,
     input_dim: usize,
     queue_cap: usize,
@@ -459,30 +490,42 @@ impl RouterCore {
             .clone()
             .ok_or(Error::ServerClosed)?;
         let (reply, rx) = mpsc::channel();
-        let request = LaneRequest {
-            fields: req.fields,
-            reply,
-            enqueued_at: now,
-            deadline: req.deadline,
-            priority: req.priority,
-        };
-        let sent = if blocking {
-            tx.send(request).map_err(|_| Error::ServerClosed)
-        } else {
-            tx.try_send(request).map_err(|e| match e {
-                mpsc::TrySendError::Full(_) => {
-                    lane.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                    Error::QueueFull {
+        let fields = req.fields;
+        // Stamp + send under the lane gate's read side, so no swap
+        // barrier can land between the version stamp and the queue send.
+        let sent = lane.gate.admit(|version| {
+            let request = LaneEnvelope::Request(LaneRequest {
+                fields,
+                reply,
+                enqueued_at: now,
+                deadline: req.deadline,
+                priority: req.priority,
+                version,
+            });
+            if blocking {
+                tx.send(request).map_err(|_| Error::ServerClosed)
+            } else {
+                tx.try_send(request).map_err(|e| match e {
+                    mpsc::TrySendError::Full(_) => Error::QueueFull {
                         capacity: lane.queue_cap,
-                    }
+                    },
+                    mpsc::TrySendError::Disconnected(_) => Error::ServerClosed,
+                })
+            }
+        });
+        match sent {
+            Ok(_) => {
+                lane.counters.admitted();
+                self.fair.total.fetch_add(lane.weight, Ordering::Relaxed);
+                Ok(RouterTicket { rx, done: None })
+            }
+            Err(e) => {
+                if matches!(e, Error::QueueFull { .. }) {
+                    lane.counters.rejected.fetch_add(1, Ordering::Relaxed);
                 }
-                mpsc::TrySendError::Disconnected(_) => Error::ServerClosed,
-            })
-        };
-        sent?;
-        lane.counters.admitted();
-        self.fair.total.fetch_add(lane.weight, Ordering::Relaxed);
-        Ok(RouterTicket { rx, done: None })
+                Err(e)
+            }
+        }
     }
 
     fn stats(&self) -> RouterStats {
@@ -496,7 +539,7 @@ impl RouterCore {
             models.insert(
                 name.clone(),
                 ModelStats {
-                    serve: lane.counters.snapshot(),
+                    serve: lane.counters.snapshot(lane.gate.version()),
                     deadline_missed: lane.deadline_missed.load(Ordering::Relaxed),
                     wait_p50: lane.counters.waits.quantile(0.5),
                     wait_p99: lane.counters.waits.quantile(0.99),
@@ -751,9 +794,10 @@ impl Router {
         let input_dim = engine.input_dim();
         let optical_stages = engine.deployed().num_optical_stages();
         let weight = optical_stages.max(1) as u64;
-        let (tx, rx) = mpsc::sync_channel::<LaneRequest>(core.queue_cap);
+        let (tx, rx) = mpsc::sync_channel::<LaneEnvelope>(core.queue_cap);
         let stop = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(Counters::default());
+        let gate = Arc::new(VersionGate::new());
         let deadline_missed = Arc::new(AtomicU64::new(0));
         let handle = {
             let stop = Arc::clone(&stop);
@@ -783,6 +827,7 @@ impl Router {
                 tx: Mutex::new(Some(tx)),
                 stop,
                 counters,
+                gate,
                 deadline_missed,
                 input_dim,
                 queue_cap: core.queue_cap,
@@ -795,10 +840,92 @@ impl Router {
         Ok(())
     }
 
+    /// Hot-swaps model `name`'s deployment: `net` deploys through the
+    /// process-wide deploy cache (outside the lane's admission path —
+    /// serving never pauses for the SVD), then a swap control rides the
+    /// lane queue and applies at a micro-batch boundary, exactly like
+    /// [`crate::serve::Server::swap`]. Requests admitted before the swap
+    /// are served by the old engine, requests admitted after by the new
+    /// one ([`Served::version`] says which). The returned [`SwapTicket`]
+    /// resolves to the retired engine once the switch lands.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownModel`] if `name` is not registered,
+    /// [`Error::ShapeMismatch`] if the replacement's input width differs
+    /// from the lane's, [`Error::Deploy`] if `net` cannot be deployed,
+    /// [`Error::ServerClosed`] if the lane (or router) is shutting down.
+    pub fn swap_model(
+        &self,
+        name: &str,
+        net: &Network,
+        detection: DeployedDetection,
+        style: MeshStyle,
+    ) -> Result<SwapTicket, Error> {
+        let engine = InferenceEngine::from_network(net, detection, style)?;
+        self.swap_model_engine(name, engine)
+    }
+
+    /// [`Router::swap_model`] over an already-built engine (no cache
+    /// involvement).
+    ///
+    /// # Errors
+    ///
+    /// As [`Router::swap_model`], minus [`Error::Deploy`]. On error the
+    /// candidate engine is dropped.
+    pub fn swap_model_engine(
+        &self,
+        name: &str,
+        engine: InferenceEngine,
+    ) -> Result<SwapTicket, Error> {
+        let lane = self
+            .core
+            .lanes
+            .read()
+            .expect("router lanes")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::UnknownModel {
+                model: name.to_string(),
+            })?;
+        if engine.input_dim() != lane.input_dim {
+            return Err(Error::ShapeMismatch {
+                expected: lane.input_dim,
+                got: engine.input_dim(),
+                what: "candidate input width",
+            });
+        }
+        let tx = lane
+            .tx
+            .lock()
+            .expect("lane sender")
+            .clone()
+            .ok_or(Error::ServerClosed)?;
+        let (reply, rx) = mpsc::channel();
+        lane.gate.barrier(|state| {
+            let version = state.current + 1;
+            tx.send(LaneEnvelope::Control(Control::Swap {
+                engine: Box::new(engine),
+                version,
+                reply,
+            }))
+            .map_err(|_| Error::ServerClosed)?;
+            state.current = version;
+            Ok(())
+        })?;
+        Ok(SwapTicket { rx })
+    }
+
     /// Deregisters `name`: admission to the lane closes, every queued
-    /// request is served (drain, not drop), and the model's engine comes
-    /// back out. Racing submissions resolve to typed errors
-    /// ([`Error::UnknownModel`] or [`Error::ServerClosed`]); none hang.
+    /// request is served (drain, not drop), and the model's
+    /// **currently serving** engine comes back out. Racing submissions
+    /// resolve to typed errors ([`Error::UnknownModel`] or
+    /// [`Error::ServerClosed`]); none hang. A [`Router::swap_model`]
+    /// still queued when the drain begins is aborted cleanly: its
+    /// replacement engine comes back through the [`SwapTicket`] as
+    /// [`crate::serve::SwapOutcome::Aborted`] (after serving any
+    /// already-admitted requests stamped with its version), and the
+    /// engine returned here is the one that was serving.
     ///
     /// # Errors
     ///
@@ -990,14 +1117,111 @@ fn lane_respond(
     let _ = request.reply.send(outcome);
 }
 
+/// Serves one popped EDF flush batch through the lane's rack, grouped by
+/// stamped version so every request is served by exactly the engine it
+/// was admitted under (single-version in steady state; split around a
+/// swap boundary).
+#[allow(clippy::too_many_arguments)]
+fn lane_serve_batch(
+    rack: &mut EngineRack,
+    policy: &LanePolicy,
+    batch: Vec<EdfItem<LaneRequest>>,
+    rows: &mut Vec<Complex64>,
+    counters: &Counters,
+    fair: &FairShare,
+    weight: u64,
+    flush_seq: u64,
+    now: Instant,
+    share: usize,
+) {
+    let mut batch = batch;
+    while !batch.is_empty() {
+        let version = batch[0].value.version;
+        let (group, rest): (Vec<_>, Vec<_>) = batch
+            .into_iter()
+            .partition(|item| item.value.version == version);
+        batch = rest;
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        counters
+            .batch_fill
+            .fetch_add(group.len() as u64, Ordering::Relaxed);
+        rows.clear();
+        let mut waits = Vec::with_capacity(group.len());
+        for item in &group {
+            let waited = now.saturating_duration_since(item.value.enqueued_at);
+            counters.waits.record(waited);
+            waits.push(waited);
+            rows.extend_from_slice(&item.value.fields);
+        }
+        let confidence = rack.confidence(policy.confidence);
+        let Some(engine) = rack.engine_for(version) else {
+            // Unreachable by construction (every stamped version has a
+            // rack slot until its last ticket resolves), but never
+            // strand a ticket.
+            for item in &group {
+                lane_respond(
+                    counters,
+                    fair,
+                    weight,
+                    &item.value,
+                    Err(Error::ServerClosed),
+                );
+            }
+            continue;
+        };
+        if engine.num_workers() != share {
+            engine.set_num_workers(share);
+        }
+        let emit = move |logits: &[f64]| decide(confidence, logits);
+        match engine.serve_rows(rows, &emit) {
+            Ok(predictions) => {
+                for ((item, prediction), waited) in group.iter().zip(predictions).zip(waits) {
+                    lane_respond(
+                        counters,
+                        fair,
+                        weight,
+                        &item.value,
+                        Ok(Served {
+                            prediction,
+                            flush_seq,
+                            waited,
+                            version,
+                        }),
+                    );
+                }
+            }
+            Err(_) => {
+                // Isolate the poisoned sample(s), like the single-model
+                // batcher: serve each request on its own.
+                for (item, waited) in group.iter().zip(waits) {
+                    let outcome = engine
+                        .serve_rows(&item.value.fields, &emit)
+                        .map(|mut v| v.remove(0))
+                        .map(|prediction| Served {
+                            prediction,
+                            flush_seq,
+                            waited,
+                            version,
+                        });
+                    lane_respond(counters, fair, weight, &item.value, outcome);
+                }
+            }
+        }
+    }
+}
+
 /// The lane batcher thread body: coalesce into an [`EdfQueue`], flush on
 /// `max_batch` / `max_wait` / an imminent deadline, serve in EDF order
-/// through the lane's engine with a fair-share worker count. On shutdown,
-/// drain to empty so no admitted ticket is lost.
+/// through the lane's rack with a fair-share worker count. Swap controls
+/// ride the same channel as requests; when one arrives, everything
+/// admitted before it is flushed first (the micro-batch boundary the
+/// swap is atomic at), then the control applies — or, if the lane began
+/// draining, the swap aborts and its replacement is handed back at exit.
+/// On shutdown, drain to empty so no admitted ticket is lost.
 #[allow(clippy::too_many_arguments)]
 fn lane_batcher(
-    mut engine: InferenceEngine,
-    rx: mpsc::Receiver<LaneRequest>,
+    engine: InferenceEngine,
+    rx: mpsc::Receiver<LaneEnvelope>,
     policy: LanePolicy,
     stop: Arc<AtomicBool>,
     counters: Arc<Counters>,
@@ -1008,150 +1232,138 @@ fn lane_batcher(
     // Lane batchers are resident service threads, like the single-model
     // server's: claim one slot of the shared worker budget.
     let _slot = crate::pool::reserve_service_slot();
+    let mut rack = EngineRack::new(engine);
     let mut pending: EdfQueue<LaneRequest> = EdfQueue::new();
     let mut rows: Vec<Complex64> = Vec::new();
     let mut flush_seq: u64 = 0;
-    let mut workers = engine.num_workers();
     loop {
+        let mut control: Option<Control> = None;
         if pending.is_empty() {
-            // Park for the first request of the next batch.
+            // Park for the first envelope of the next batch.
             let first = loop {
                 if stop.load(Ordering::SeqCst) {
                     // Draining: serve whatever is still queued, then exit.
                     break rx.try_recv().ok();
                 }
                 match rx.recv_timeout(IDLE_POLL) {
-                    Ok(r) => break Some(r),
+                    Ok(e) => break Some(e),
                     Err(mpsc::RecvTimeoutError::Timeout) => continue,
                     Err(mpsc::RecvTimeoutError::Disconnected) => break None,
                 }
             };
             let Some(first) = first else { break };
-            let arrived = first.enqueued_at;
-            pending.push(first.deadline, first.priority, arrived, first);
+            match first {
+                LaneEnvelope::Request(r) => {
+                    let arrived = r.enqueued_at;
+                    pending.push(r.deadline, r.priority, arrived, r);
+                }
+                LaneEnvelope::Control(c) => control = Some(c),
+            }
         }
 
         // Coalesce until the batch fills, the oldest request's window
-        // closes, or a queued deadline would expire inside the window —
-        // an imminent deadline cuts the window short. The spin-then-park
-        // straggler collection matches the single-model batcher.
+        // closes, a queued deadline would expire inside the window — an
+        // imminent deadline cuts the window short — or a swap control
+        // arrives. The spin-then-park straggler collection matches the
+        // single-model batcher.
         const SPIN_WAIT: Duration = Duration::from_micros(256);
-        let window_end = pending
-            .oldest_arrival()
-            .expect("pending is non-empty after admission")
-            + policy.max_wait;
-        let spin_until = Instant::now() + SPIN_WAIT.min(policy.max_wait);
-        loop {
-            // Drain the whole backlog, not just enough to fill one batch:
-            // flush membership must be decided by the EDF queue, not by
-            // arrival order. A request left in the channel is invisible to
-            // `take_flush_batch` and would make batch composition FIFO.
-            while let Ok(r) = rx.try_recv() {
-                let arrived = r.enqueued_at;
-                pending.push(r.deadline, r.priority, arrived, r);
-            }
-            if pending.len() >= policy.max_batch || stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let now = Instant::now();
-            if now >= window_end {
-                break;
-            }
-            if pending.earliest_deadline().is_some_and(|d| d <= window_end) {
-                break;
-            }
-            if now < spin_until {
-                thread::yield_now();
-            } else {
-                let nap = (window_end - now).min(IDLE_POLL);
-                match rx.recv_timeout(nap) {
-                    Ok(r) => {
-                        let arrived = r.enqueued_at;
-                        pending.push(r.deadline, r.priority, arrived, r);
+        if control.is_none() && !pending.is_empty() {
+            let window_end = pending
+                .oldest_arrival()
+                .expect("pending is non-empty after admission")
+                + policy.max_wait;
+            let spin_until = Instant::now() + SPIN_WAIT.min(policy.max_wait);
+            'coalesce: loop {
+                // Drain the whole backlog, not just enough to fill one
+                // batch: flush membership must be decided by the EDF
+                // queue, not by arrival order. A request left in the
+                // channel is invisible to `take_flush_batch` and would
+                // make batch composition FIFO.
+                loop {
+                    match rx.try_recv() {
+                        Ok(LaneEnvelope::Request(r)) => {
+                            let arrived = r.enqueued_at;
+                            pending.push(r.deadline, r.priority, arrived, r);
+                        }
+                        Ok(LaneEnvelope::Control(c)) => {
+                            control = Some(c);
+                            break 'coalesce;
+                        }
+                        Err(_) => break,
                     }
-                    Err(mpsc::RecvTimeoutError::Timeout) => {}
-                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+                if pending.len() >= policy.max_batch || stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= window_end {
+                    break;
+                }
+                if pending.earliest_deadline().is_some_and(|d| d <= window_end) {
+                    break;
+                }
+                if now < spin_until {
+                    thread::yield_now();
+                } else {
+                    let nap = (window_end - now).min(IDLE_POLL);
+                    match rx.recv_timeout(nap) {
+                        Ok(LaneEnvelope::Request(r)) => {
+                            let arrived = r.enqueued_at;
+                            pending.push(r.deadline, r.priority, arrived, r);
+                        }
+                        Ok(LaneEnvelope::Control(c)) => {
+                            control = Some(c);
+                            break 'coalesce;
+                        }
+                        Err(mpsc::RecvTimeoutError::Timeout) => {}
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    }
                 }
             }
         }
 
         // Flush: pop in EDF order, reject what already expired, serve
         // the rest with this lane's fair share of the worker budget.
-        let now = Instant::now();
-        let (batch, expired) = take_flush_batch(&mut pending, policy.max_batch, now);
-        for (request, missed_by) in expired {
-            deadline_missed.fetch_add(1, Ordering::Relaxed);
-            counters.waits.record(now - request.enqueued_at);
-            lane_respond(
-                &counters,
-                &fair,
-                weight,
-                &request,
-                Err(Error::DeadlineExceeded { missed_by }),
-            );
-        }
-        if batch.is_empty() {
-            continue;
-        }
-        flush_seq += 1;
-        counters.batches.fetch_add(1, Ordering::Relaxed);
-        counters
-            .batch_fill
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
-        let mine = counters.depth.load(Ordering::Relaxed) * weight;
-        let share = fair_share(
-            crate::pool::jobs(),
-            mine,
-            fair.total.load(Ordering::Relaxed),
-        );
-        if share != workers {
-            engine.set_num_workers(share);
-            workers = share;
-        }
-        rows.clear();
-        let mut waits = Vec::with_capacity(batch.len());
-        for item in &batch {
-            let waited = now.saturating_duration_since(item.value.enqueued_at);
-            counters.waits.record(waited);
-            waits.push(waited);
-            rows.extend_from_slice(&item.value.fields);
-        }
-        let confidence = policy.confidence;
-        let emit = move |logits: &[f64]| decide(confidence, logits);
-        match engine.serve_rows(&rows, &emit) {
-            Ok(predictions) => {
-                for ((item, prediction), waited) in batch.iter().zip(predictions).zip(waits) {
-                    lane_respond(
-                        &counters,
-                        &fair,
-                        weight,
-                        &item.value,
-                        Ok(Served {
-                            prediction,
-                            flush_seq,
-                            waited,
-                        }),
-                    );
-                }
+        // With a control in hand, flush *everything* admitted before it
+        // (possibly several batches) — the FIFO channel guarantees every
+        // old-version request precedes the control, so after this loop
+        // no request still needs the engine the control may retire.
+        loop {
+            let now = Instant::now();
+            let (batch, expired) = take_flush_batch(&mut pending, policy.max_batch, now);
+            for (request, missed_by) in expired {
+                deadline_missed.fetch_add(1, Ordering::Relaxed);
+                counters.waits.record(now - request.enqueued_at);
+                lane_respond(
+                    &counters,
+                    &fair,
+                    weight,
+                    &request,
+                    Err(Error::DeadlineExceeded { missed_by }),
+                );
             }
-            Err(_) => {
-                // Isolate the poisoned sample(s), like the single-model
-                // batcher: serve each request on its own.
-                for (item, waited) in batch.iter().zip(waits) {
-                    let outcome = engine
-                        .serve_rows(&item.value.fields, &emit)
-                        .map(|mut v| v.remove(0))
-                        .map(|prediction| Served {
-                            prediction,
-                            flush_seq,
-                            waited,
-                        });
-                    lane_respond(&counters, &fair, weight, &item.value, outcome);
-                }
+            if !batch.is_empty() {
+                flush_seq += 1;
+                let mine = counters.depth.load(Ordering::Relaxed) * weight;
+                let share = fair_share(
+                    crate::pool::jobs(),
+                    mine,
+                    fair.total.load(Ordering::Relaxed),
+                );
+                lane_serve_batch(
+                    &mut rack, &policy, batch, &mut rows, &counters, &fair, weight, flush_seq, now,
+                    share,
+                );
             }
+            if control.is_none() || pending.is_empty() {
+                break;
+            }
+        }
+        if let Some(c) = control {
+            rack.apply(c, stop.load(Ordering::SeqCst), &counters);
         }
     }
-    engine
+    rack.finish()
 }
 
 #[cfg(test)]
@@ -1166,6 +1378,7 @@ mod tests {
             enqueued_at: Instant::now(),
             deadline,
             priority: Priority::Standard,
+            version: 1,
         }
     }
 

@@ -43,6 +43,31 @@
 //!   [`Prediction::Abstain`] responses, with a calibrated abstention
 //!   count in [`ServerStats`].
 //!
+//! # Versioned serving: hot swap, canary, drift
+//!
+//! A live server is *versioned*: it starts serving deployment **v1**, and
+//! [`Server::swap`] moves it to new weights with zero downtime. The new
+//! engine is deployed first (double buffering — v1 keeps serving while v2
+//! decomposes through the cached SVD path), then the switch is a **version
+//! barrier**: every admission stamps its ticket with the serving version
+//! under a read lock, and the swap publishes a control message into the
+//! same FIFO queue under the write lock — so the queue order *is* the
+//! version order. The batcher flushes everything admitted before the
+//! barrier against v1, applies the switch at that micro-batch boundary,
+//! and serves everything after against v2. No ticket is lost, duplicated,
+//! or served by a version other than the one stamped at admission.
+//!
+//! [`Server::canary`] stages a candidate *alongside* the current version
+//! instead of replacing it: a seeded, deterministic fraction of admissions
+//! routes to the candidate, per-version accept/abstain/correct tallies
+//! accumulate in [`CanaryStats`] through the existing [`Confidence`]
+//! machinery, and [`Server::promote`] / [`Server::rollback`] settle which
+//! version keeps the lane. [`ServerBuilder::drift`] closes the loop with
+//! the online-recalibration scenario: a
+//! [`PhaseDrift`] random walk perturbs the
+//! live meshes between flushes, and periodic hot swaps to freshly
+//! calibrated deployments restore accuracy without dropping traffic.
+//!
 //! Everything is plain threads and channels — no async runtime, matching
 //! the workspace's std-only stance.
 
@@ -52,8 +77,9 @@ use oplix_linalg::Complex64;
 use oplix_nn::ctensor::CTensor;
 use oplix_nn::network::Network;
 use oplix_photonics::svd_map::MeshStyle;
+use oplix_photonics::PhaseDrift;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -94,12 +120,422 @@ impl Prediction {
     }
 }
 
-/// One queued request: the staged sample plus its reply channel and the
-/// admission timestamp the wait-time stats are measured from.
-struct Request {
+/// One queued request: the staged sample plus its reply channel, the
+/// admission timestamp the wait-time stats are measured from, the serving
+/// version stamped at admission, and an optional ground-truth label for
+/// online (canary) accuracy tallies.
+pub(crate) struct Request {
     fields: Vec<Complex64>,
+    label: Option<usize>,
+    version: u64,
     reply: mpsc::Sender<Result<Prediction, Error>>,
     enqueued_at: Instant,
+}
+
+/// What flows through a server (or router lane) queue: data requests
+/// interleaved with version-change controls. Because the queue is FIFO
+/// and controls are published under the version gate's write lock, a
+/// control is popped *after* every request stamped with the old version
+/// and *before* every request stamped with the new one.
+pub(crate) enum Envelope {
+    Request(Request),
+    Control(Control),
+}
+
+/// A version-change command riding the data queue. Shared with the
+/// router tier (lanes use the [`Control::Swap`] variant).
+pub(crate) enum Control {
+    /// Replace the current engine with `engine`, serving as `version`
+    /// from this micro-batch boundary on.
+    Swap {
+        engine: Box<InferenceEngine>,
+        version: u64,
+        reply: mpsc::Sender<Result<SwapOutcome, Error>>,
+    },
+    /// Stage `engine` as the canary candidate for `version`; admissions
+    /// stamped with `version` serve through it while tallies accumulate.
+    Canary {
+        engine: Box<InferenceEngine>,
+        version: u64,
+        confidence: Option<Confidence>,
+        tallies: Arc<CanaryCounters>,
+    },
+    /// Retire the baseline and make the canary candidate current.
+    Promote {
+        reply: mpsc::Sender<Result<SwapOutcome, Error>>,
+    },
+    /// Discard the canary candidate; the baseline keeps the lane.
+    Rollback {
+        reply: mpsc::Sender<Result<SwapOutcome, Error>>,
+    },
+}
+
+/// The live canary split, as the admission side sees it.
+pub(crate) struct CanarySplit {
+    version: u64,
+    fraction: f64,
+    drawn: AtomicU64,
+    seed: u64,
+    tallies: Arc<CanaryCounters>,
+}
+
+/// The version gate's guarded state: the current serving version and the
+/// live canary split, if one is staged.
+pub(crate) struct GateState {
+    pub(crate) current: u64,
+    pub(crate) canary: Option<CanarySplit>,
+}
+
+/// The admission-side version barrier. Every submission stamps its
+/// version and sends under the read lock; every version change (swap,
+/// canary start, promote, rollback) mutates the state and publishes its
+/// control message under the write lock. FIFO queue order therefore
+/// equals version order: the batcher never sees an old-version request
+/// after the control that retires that version, which is what makes the
+/// switch atomic at a micro-batch boundary.
+pub(crate) struct VersionGate {
+    state: RwLock<GateState>,
+    /// Lock-free mirror of `state.current` for stats snapshots.
+    current: AtomicU64,
+}
+
+/// Hashes (seed, draw index) to a uniform value in `[0, 1)` — the
+/// deterministic admission split of a canary. SplitMix64 finalizer over a
+/// golden-ratio sequence: replaying the same seed over the same draw
+/// indices reproduces the exact partition.
+fn split_unit(seed: u64, n: u64) -> f64 {
+    let mut z = seed.wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl VersionGate {
+    pub(crate) fn new() -> Self {
+        VersionGate {
+            state: RwLock::new(GateState {
+                current: 1,
+                canary: None,
+            }),
+            current: AtomicU64::new(1),
+        }
+    }
+
+    /// The current serving version (the canary candidate, while staged,
+    /// is `version() + 1`).
+    pub(crate) fn version(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// Stamps one admission and runs `send` under the read gate, so no
+    /// version barrier can land between the stamp and the queue send.
+    /// Returns the stamped version on a successful send.
+    pub(crate) fn admit<E>(&self, send: impl FnOnce(u64) -> Result<(), E>) -> Result<u64, E> {
+        let state = self.state.read().expect("version gate poisoned");
+        let version = match &state.canary {
+            Some(c) => {
+                let n = c.drawn.fetch_add(1, Ordering::Relaxed);
+                if split_unit(c.seed, n) < c.fraction {
+                    c.version
+                } else {
+                    state.current
+                }
+            }
+            None => state.current,
+        };
+        send(version)?;
+        if let Some(c) = &state.canary {
+            if let Some(slot) = c.tallies.slot(version) {
+                slot.routed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(version)
+    }
+
+    /// Runs a version barrier: `f` mutates the gate state and publishes
+    /// its control message while every admission is excluded.
+    pub(crate) fn barrier<T>(
+        &self,
+        f: impl FnOnce(&mut GateState) -> Result<T, Error>,
+    ) -> Result<T, Error> {
+        let mut state = self.state.write().expect("version gate poisoned");
+        let out = f(&mut state)?;
+        self.current.store(state.current, Ordering::Relaxed);
+        Ok(out)
+    }
+}
+
+/// One version's atomic tally slots during a canary.
+pub(crate) struct VersionTallyCounters {
+    version: u64,
+    routed: AtomicU64,
+    served: AtomicU64,
+    accepted: AtomicU64,
+    abstained: AtomicU64,
+    labeled: AtomicU64,
+    correct: AtomicU64,
+}
+
+impl VersionTallyCounters {
+    fn new(version: u64) -> Self {
+        VersionTallyCounters {
+            version,
+            routed: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            abstained: AtomicU64::new(0),
+            labeled: AtomicU64::new(0),
+            correct: AtomicU64::new(0),
+        }
+    }
+
+    fn snapshot(&self) -> VersionTally {
+        VersionTally {
+            version: self.version,
+            routed: self.routed.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            abstained: self.abstained.load(Ordering::Relaxed),
+            labeled: self.labeled.load(Ordering::Relaxed),
+            correct: self.correct.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The shared accumulator of one canary run: a tally slot per version
+/// plus the split parameters, so a snapshot is self-describing.
+pub(crate) struct CanaryCounters {
+    fraction: f64,
+    seed: u64,
+    baseline: VersionTallyCounters,
+    candidate: VersionTallyCounters,
+}
+
+impl CanaryCounters {
+    fn new(baseline: u64, candidate: u64, fraction: f64, seed: u64) -> Self {
+        CanaryCounters {
+            fraction,
+            seed,
+            baseline: VersionTallyCounters::new(baseline),
+            candidate: VersionTallyCounters::new(candidate),
+        }
+    }
+
+    fn slot(&self, version: u64) -> Option<&VersionTallyCounters> {
+        if version == self.baseline.version {
+            Some(&self.baseline)
+        } else if version == self.candidate.version {
+            Some(&self.candidate)
+        } else {
+            None
+        }
+    }
+
+    fn snapshot(&self) -> CanaryStats {
+        CanaryStats {
+            fraction: self.fraction,
+            seed: self.seed,
+            baseline: self.baseline.snapshot(),
+            candidate: self.candidate.snapshot(),
+        }
+    }
+}
+
+/// Per-version serving tallies of a canary run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VersionTally {
+    /// The version these tallies belong to.
+    pub version: u64,
+    /// Admissions the seeded split routed to this version.
+    pub routed: u64,
+    /// Requests of this version actually served so far.
+    pub served: u64,
+    /// Served requests that resolved to a [`Prediction::Class`].
+    pub accepted: u64,
+    /// Served requests that resolved to [`Prediction::Abstain`] under
+    /// the effective confidence policy.
+    pub abstained: u64,
+    /// Served requests that carried a ground-truth label
+    /// (see [`Client::submit_labeled`]).
+    pub labeled: u64,
+    /// Labeled requests whose delivered prediction matched the label
+    /// (an abstention never counts as correct).
+    pub correct: u64,
+}
+
+impl VersionTally {
+    /// Online accuracy over labeled traffic: `correct / labeled`
+    /// (zero before any labeled request was served).
+    pub fn accuracy(&self) -> f64 {
+        if self.labeled == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.labeled as f64
+        }
+    }
+}
+
+/// A snapshot of a canary run's split parameters and per-version tallies;
+/// see [`Server::canary_stats`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CanaryStats {
+    /// The admission fraction routed to the candidate.
+    pub fraction: f64,
+    /// The seed of the deterministic admission split.
+    pub seed: u64,
+    /// Tallies of the baseline (current) version.
+    pub baseline: VersionTally,
+    /// Tallies of the candidate version.
+    pub candidate: VersionTally,
+}
+
+/// How a canary routes and judges traffic; see [`Server::canary`].
+///
+/// `fraction` of admissions (a seeded, deterministic split — replaying
+/// the same seed reproduces the exact partition) route to the candidate
+/// version; the rest stay on the baseline. While the canary is live, an
+/// optional `confidence` policy overrides the server's own for *all*
+/// admissions, so the per-version accept/abstain tallies compare
+/// apples-to-apples.
+///
+/// ```
+/// use oplixnet::serve::{CanaryPolicy, Server};
+/// use oplixnet::engine::{Confidence, InferenceEngine};
+/// use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+/// use oplix_photonics::decoder::DecoderKind;
+/// use oplix_photonics::svd_map::MeshStyle;
+/// use oplix_linalg::Complex64;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let variant = ModelVariant::Split(DecoderKind::Merge);
+/// let cfg = FcnnConfig { input: 4, hidden: 4, classes: 2 };
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let v1 = build_fcnn(&cfg, variant, &mut rng);
+/// let v2 = build_fcnn(&cfg, variant, &mut rng);
+///
+/// let server = Server::builder()
+///     .serve_network(&v1, variant.detection(), MeshStyle::Clements)
+///     .expect("v1 deploys");
+/// let candidate = InferenceEngine::from_network(&v2, variant.detection(), MeshStyle::Clements)
+///     .expect("v2 deploys");
+///
+/// // Route 30% of admissions to v2, judging both sides under one policy.
+/// let policy = CanaryPolicy {
+///     fraction: 0.3,
+///     confidence: Some(Confidence { threshold: 0.3, top_k: 2 }),
+///     seed: 42,
+/// };
+/// server.canary(candidate, policy).expect("canary stages");
+///
+/// let client = server.client();
+/// let tickets: Vec<_> = (0..40)
+///     .map(|_| client.submit_labeled(vec![Complex64::ONE; 4], 0).expect("admits"))
+///     .collect();
+/// let candidates = tickets.iter().filter(|t| t.version() == 2).count();
+/// for t in tickets { t.wait().expect("serves"); }
+///
+/// let stats = server.canary_stats().expect("canary ran");
+/// assert_eq!(stats.candidate.routed, candidates as u64);
+/// assert_eq!(stats.baseline.served + stats.candidate.served, 40);
+///
+/// // The tallies say which version keeps the lane.
+/// let keep_v2 = stats.candidate.accuracy() >= stats.baseline.accuracy();
+/// let outcome = if keep_v2 { server.promote() } else { server.rollback() };
+/// outcome.expect("decision lands").wait().expect("applies");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CanaryPolicy {
+    /// Fraction of admissions routed to the candidate (clamped to
+    /// `[0, 1]` at [`Server::canary`] time).
+    pub fraction: f64,
+    /// Confidence policy judging *both* versions while the canary is
+    /// live; `None` keeps the server's own policy.
+    pub confidence: Option<Confidence>,
+    /// Seed of the deterministic admission split.
+    pub seed: u64,
+}
+
+impl Default for CanaryPolicy {
+    /// 10% of traffic to the candidate, the server's own confidence
+    /// policy, seed 0.
+    fn default() -> Self {
+        CanaryPolicy {
+            fraction: 0.1,
+            confidence: None,
+            seed: 0,
+        }
+    }
+}
+
+/// How a version change settled; see [`SwapTicket::wait`].
+#[derive(Debug)]
+pub enum SwapOutcome {
+    /// The change applied at a micro-batch boundary.
+    Applied {
+        /// The engine taken out of service — the old current on a swap
+        /// or promote, the candidate on a rollback. Its serving counters
+        /// ride along, so retired versions remain auditable.
+        retired: InferenceEngine,
+        /// The version serving after the change.
+        version: u64,
+    },
+    /// The server (or lane) began draining before the swap could apply;
+    /// the replacement engine comes back instead of taking the lane.
+    /// Requests that were already admitted against the replacement's
+    /// version were still served by it during the drain.
+    Aborted {
+        /// The engine that was to be installed.
+        replacement: InferenceEngine,
+    },
+}
+
+impl SwapOutcome {
+    /// Whether the change applied (as opposed to aborting in a drain).
+    pub fn is_applied(&self) -> bool {
+        matches!(self, SwapOutcome::Applied { .. })
+    }
+
+    /// The engine the outcome carries, either way: the retired engine of
+    /// an applied change or the never-installed replacement of an
+    /// aborted one.
+    pub fn into_engine(self) -> InferenceEngine {
+        match self {
+            SwapOutcome::Applied { retired, .. } => retired,
+            SwapOutcome::Aborted { replacement } => replacement,
+        }
+    }
+}
+
+/// A pending version change. Resolves once the batcher applies the
+/// change at a micro-batch boundary (or aborts it during a drain) — like
+/// a request [`Ticket`], it never hangs.
+#[derive(Debug)]
+pub struct SwapTicket {
+    pub(crate) rx: mpsc::Receiver<Result<SwapOutcome, Error>>,
+}
+
+impl SwapTicket {
+    /// Blocks until the version change settles.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ServerClosed`] if the server shut down before the
+    /// decision could settle (promote/rollback controls reaching a
+    /// draining batcher report this way; an undrained swap resolves to
+    /// [`SwapOutcome::Aborted`] instead, so its engine is never lost).
+    pub fn wait(self) -> Result<SwapOutcome, Error> {
+        self.rx.recv().unwrap_or(Err(Error::ServerClosed))
+    }
+
+    /// Non-blocking poll: `None` while the change is still queued.
+    pub fn try_wait(&self) -> Option<Result<SwapOutcome, Error>> {
+        match self.rx.try_recv() {
+            Ok(done) => Some(done),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(Error::ServerClosed)),
+        }
+    }
 }
 
 /// Log₂-bucketed wait-time tracker: each admitted request's queue wait
@@ -182,6 +618,8 @@ pub(crate) struct Counters {
     pub(crate) batch_fill: AtomicU64,
     /// Requests admitted but not yet answered (queued or in flight).
     pub(crate) depth: AtomicU64,
+    /// Version changes the batcher has applied (swaps and promotes).
+    pub(crate) swaps: AtomicU64,
     pub(crate) waits: WaitTracker,
 }
 
@@ -192,8 +630,9 @@ impl Counters {
         self.depth.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Snapshot of the counters in the public stats shape.
-    pub(crate) fn snapshot(&self) -> ServerStats {
+    /// Snapshot of the counters in the public stats shape; the serving
+    /// version lives on the gate, so the caller supplies it.
+    pub(crate) fn snapshot(&self, version: u64) -> ServerStats {
         ServerStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -202,6 +641,8 @@ impl Counters {
             batches: self.batches.load(Ordering::Relaxed),
             batched_samples: self.batch_fill.load(Ordering::Relaxed),
             queue_depth: self.depth.load(Ordering::Relaxed),
+            version,
+            swaps: self.swaps.load(Ordering::Relaxed),
             max_wait_observed: self.waits.max(),
         }
     }
@@ -229,6 +670,11 @@ pub struct ServerStats {
     /// live queue depth (queued plus in-flight), the quantity the router
     /// tier weighs fair shares by.
     pub queue_depth: u64,
+    /// The deployment version new admissions are stamped with (1 at
+    /// launch; each applied swap or promote increments it).
+    pub version: u64,
+    /// Version changes applied so far (hot swaps and canary promotes).
+    pub swaps: u64,
     /// The longest admission-to-flush wait any request has observed.
     pub max_wait_observed: Duration,
 }
@@ -253,13 +699,14 @@ struct BatchPolicy {
 }
 
 /// Configures and launches a [`Server`]; see [`Server::builder`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerBuilder {
     max_batch: usize,
     max_wait: Duration,
     queue_cap: usize,
     workers: Option<usize>,
     confidence: Option<Confidence>,
+    drift: Option<PhaseDrift>,
 }
 
 impl Default for ServerBuilder {
@@ -270,6 +717,7 @@ impl Default for ServerBuilder {
             queue_cap: 1024,
             workers: None,
             confidence: None,
+            drift: None,
         }
     }
 }
@@ -314,6 +762,17 @@ impl ServerBuilder {
         self
     }
 
+    /// Serves under continuous phase drift: the batcher applies one
+    /// random-walk step of `drift` to every live engine (current and any
+    /// staged candidate — they share the physical substrate) after each
+    /// flush cycle that served samples. Accuracy then degrades as drift
+    /// accumulates; a hot swap to a freshly calibrated deployment
+    /// ([`Server::swap`]) is the recalibration that restores it.
+    pub fn drift(mut self, drift: PhaseDrift) -> Self {
+        self.drift = Some(drift);
+        self
+    }
+
     /// Launches the server over an existing engine (the engine comes
     /// back out of [`Server::shutdown`], serving counters included).
     pub fn serve_engine(self, mut engine: InferenceEngine) -> Server {
@@ -321,26 +780,30 @@ impl ServerBuilder {
             engine.set_num_workers(w);
         }
         let input_dim = engine.input_dim();
-        let (tx, rx) = mpsc::sync_channel::<Request>(self.queue_cap);
+        let (tx, rx) = mpsc::sync_channel::<Envelope>(self.queue_cap);
         let stop = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(Counters::default());
+        let gate = Arc::new(VersionGate::new());
         let policy = BatchPolicy {
             max_batch: self.max_batch,
             max_wait: self.max_wait,
             confidence: self.confidence,
         };
+        let drift = self.drift;
         let handle = {
             let stop = Arc::clone(&stop);
             let counters = Arc::clone(&counters);
             thread::Builder::new()
                 .name("oplix-serve".into())
-                .spawn(move || batcher(engine, rx, policy, stop, counters))
+                .spawn(move || batcher(engine, rx, policy, stop, counters, drift))
                 .expect("failed to spawn the serve batcher thread")
         };
         Server {
             tx: Some(tx),
             stop,
             counters,
+            gate,
+            last_canary: Mutex::new(None),
             input_dim,
             queue_cap: self.queue_cap,
             handle: Some(handle),
@@ -398,9 +861,13 @@ impl ServerBuilder {
 /// assert_eq!(engine.stats().samples, 1);
 /// ```
 pub struct Server {
-    tx: Option<mpsc::SyncSender<Request>>,
+    tx: Option<mpsc::SyncSender<Envelope>>,
     stop: Arc<AtomicBool>,
     counters: Arc<Counters>,
+    gate: Arc<VersionGate>,
+    /// The live (or most recent) canary accumulator, for
+    /// [`Server::canary_stats`].
+    last_canary: Mutex<Option<Arc<CanaryCounters>>>,
     input_dim: usize,
     queue_cap: usize,
     handle: Option<thread::JoinHandle<InferenceEngine>>,
@@ -423,6 +890,7 @@ impl Server {
                 .clone(),
             stop: Arc::clone(&self.stop),
             counters: Arc::clone(&self.counters),
+            gate: Arc::clone(&self.gate),
             input_dim: self.input_dim,
             queue_cap: self.queue_cap,
         }
@@ -433,9 +901,260 @@ impl Server {
         self.input_dim
     }
 
+    /// The deployment version new admissions are stamped with.
+    pub fn version(&self) -> u64 {
+        self.gate.version()
+    }
+
     /// A snapshot of the serving counters.
     pub fn stats(&self) -> ServerStats {
-        self.counters.snapshot()
+        self.counters.snapshot(self.gate.version())
+    }
+
+    /// Checks a candidate engine against the serving geometry and the
+    /// server's liveness — shared by every version-change entry point.
+    fn check_candidate(&self, input_dim: usize) -> Result<&mpsc::SyncSender<Envelope>, Error> {
+        if input_dim != self.input_dim {
+            return Err(Error::ShapeMismatch {
+                expected: self.input_dim,
+                got: input_dim,
+                what: "candidate input width",
+            });
+        }
+        if self.stop.load(Ordering::SeqCst) {
+            return Err(Error::ServerClosed);
+        }
+        Ok(self.tx.as_ref().expect("server handle outlives shutdown"))
+    }
+
+    /// Hot-swaps the server to a new deployment with zero downtime. The
+    /// candidate was deployed *before* this call (double buffering — v1
+    /// keeps serving while v2's SVD decompositions run, warm through the
+    /// deploy cache); the swap itself is a version barrier: admissions
+    /// stamped with the old version are all flushed against the old
+    /// engine, the batcher switches at that micro-batch boundary, and
+    /// every later admission serves against the candidate. No ticket is
+    /// lost, duplicated, or served by a version other than the one it was
+    /// admitted under.
+    ///
+    /// Returns a [`SwapTicket`]; [`SwapTicket::wait`] resolves to
+    /// [`SwapOutcome::Applied`] carrying the retired engine once the
+    /// switch lands (or [`SwapOutcome::Aborted`] carrying the candidate
+    /// back if the server began draining first — an engine is never
+    /// silently dropped).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ShapeMismatch`] if the candidate's input width differs
+    /// from the serving geometry, [`Error::CanaryActive`] while a canary
+    /// is staged (settle it with [`Server::promote`] /
+    /// [`Server::rollback`] first; the candidate engine is dropped on
+    /// this error), [`Error::ServerClosed`] after shutdown.
+    ///
+    /// ```
+    /// use oplixnet::serve::{Server, SwapOutcome};
+    /// use oplixnet::engine::InferenceEngine;
+    /// use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+    /// use oplix_photonics::decoder::DecoderKind;
+    /// use oplix_photonics::svd_map::MeshStyle;
+    /// use oplix_linalg::Complex64;
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// let variant = ModelVariant::Split(DecoderKind::Merge);
+    /// let cfg = FcnnConfig { input: 4, hidden: 4, classes: 2 };
+    /// let mut rng = StdRng::seed_from_u64(4);
+    /// let v1 = build_fcnn(&cfg, variant, &mut rng);
+    /// let v2 = build_fcnn(&cfg, variant, &mut rng);
+    ///
+    /// let server = Server::builder()
+    ///     .serve_network(&v1, variant.detection(), MeshStyle::Clements)
+    ///     .expect("v1 deploys");
+    /// let client = server.client();
+    /// let before = client.submit(vec![Complex64::ONE; 4]).expect("admits");
+    /// assert_eq!(before.version(), 1);
+    ///
+    /// // Deploy v2 while v1 keeps serving, then switch atomically.
+    /// let candidate = InferenceEngine::from_network(&v2, variant.detection(), MeshStyle::Clements)
+    ///     .expect("v2 deploys");
+    /// let swap = server.swap(candidate).expect("swap admits");
+    /// match swap.wait().expect("applies") {
+    ///     SwapOutcome::Applied { retired, version } => {
+    ///         assert_eq!(version, 2);
+    ///         // v1 comes back out, its serving counters intact.
+    ///         assert_eq!(retired.input_dim(), 4);
+    ///     }
+    ///     SwapOutcome::Aborted { .. } => unreachable!("server is live"),
+    /// }
+    ///
+    /// let after = client.submit(vec![Complex64::ONE; 4]).expect("admits");
+    /// assert_eq!(after.version(), 2);
+    /// assert!(before.wait().is_ok() && after.wait().is_ok());
+    /// ```
+    pub fn swap(&self, engine: InferenceEngine) -> Result<SwapTicket, Error> {
+        let tx = self.check_candidate(engine.input_dim())?;
+        self.gate.barrier(|state| {
+            if state.canary.is_some() {
+                return Err(Error::CanaryActive);
+            }
+            let version = state.current + 1;
+            let (reply, rx) = mpsc::channel();
+            tx.send(Envelope::Control(Control::Swap {
+                engine: Box::new(engine),
+                version,
+                reply,
+            }))
+            .map_err(|_| Error::ServerClosed)?;
+            state.current = version;
+            Ok(SwapTicket { rx })
+        })
+    }
+
+    /// [`Server::swap`] from a trained network: deploys it through the
+    /// process-wide cache (v1 keeps serving during the decomposition),
+    /// then swaps.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Deploy`] if the network cannot be deployed, plus the
+    /// [`Server::swap`] conditions.
+    pub fn swap_network(
+        &self,
+        net: &Network,
+        detection: DeployedDetection,
+        style: MeshStyle,
+    ) -> Result<SwapTicket, Error> {
+        self.swap(InferenceEngine::from_network(net, detection, style)?)
+    }
+
+    /// Stages `engine` as a canary candidate per `policy`: from this call
+    /// on, a seeded `policy.fraction` share of admissions is stamped with
+    /// the candidate's version and served by it, while per-version
+    /// tallies accumulate in [`Server::canary_stats`]. Settle the run
+    /// with [`Server::promote`] or [`Server::rollback`]. See
+    /// [`CanaryPolicy`] for a walkthrough.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ShapeMismatch`] on a geometry mismatch,
+    /// [`Error::CanaryActive`] if a canary is already staged (the
+    /// candidate is dropped on this error), [`Error::ServerClosed`] after
+    /// shutdown.
+    pub fn canary(&self, engine: InferenceEngine, policy: CanaryPolicy) -> Result<(), Error> {
+        let tx = self.check_candidate(engine.input_dim())?;
+        let fraction = policy.fraction.clamp(0.0, 1.0);
+        self.gate.barrier(|state| {
+            if state.canary.is_some() {
+                return Err(Error::CanaryActive);
+            }
+            let version = state.current + 1;
+            let tallies = Arc::new(CanaryCounters::new(
+                state.current,
+                version,
+                fraction,
+                policy.seed,
+            ));
+            tx.send(Envelope::Control(Control::Canary {
+                engine: Box::new(engine),
+                version,
+                confidence: policy.confidence,
+                tallies: Arc::clone(&tallies),
+            }))
+            .map_err(|_| Error::ServerClosed)?;
+            state.canary = Some(CanarySplit {
+                version,
+                fraction,
+                drawn: AtomicU64::new(0),
+                seed: policy.seed,
+                tallies: Arc::clone(&tallies),
+            });
+            *self.last_canary.lock().expect("canary stats") = Some(tallies);
+            Ok(())
+        })
+    }
+
+    /// [`Server::canary`] from a trained network (deployed through the
+    /// process-wide cache while the baseline keeps serving).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Deploy`] if the network cannot be deployed, plus the
+    /// [`Server::canary`] conditions.
+    pub fn canary_network(
+        &self,
+        net: &Network,
+        detection: DeployedDetection,
+        style: MeshStyle,
+        policy: CanaryPolicy,
+    ) -> Result<(), Error> {
+        self.canary(
+            InferenceEngine::from_network(net, detection, style)?,
+            policy,
+        )
+    }
+
+    /// Ends the canary in the candidate's favor: new admissions all stamp
+    /// the candidate's version, and at the batcher's next micro-batch
+    /// boundary the baseline retires (it comes back through the returned
+    /// [`SwapTicket`] as [`SwapOutcome::Applied`]). Canary tallies freeze
+    /// at the boundary; requests admitted during the canary but served
+    /// after the decision no longer tally.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoCanary`] if no canary is live, [`Error::ServerClosed`]
+    /// after shutdown.
+    pub fn promote(&self) -> Result<SwapTicket, Error> {
+        self.decide_canary(true)
+    }
+
+    /// Ends the canary in the baseline's favor: the candidate stops
+    /// receiving admissions immediately and comes back through the
+    /// returned [`SwapTicket`] (as the `retired` engine of an applied
+    /// rollback) at the next micro-batch boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoCanary`] if no canary is live, [`Error::ServerClosed`]
+    /// after shutdown.
+    pub fn rollback(&self) -> Result<SwapTicket, Error> {
+        self.decide_canary(false)
+    }
+
+    fn decide_canary(&self, promote: bool) -> Result<SwapTicket, Error> {
+        if self.stop.load(Ordering::SeqCst) {
+            return Err(Error::ServerClosed);
+        }
+        let tx = self.tx.as_ref().expect("server handle outlives shutdown");
+        self.gate.barrier(|state| {
+            let Some(canary) = state.canary.take() else {
+                return Err(Error::NoCanary);
+            };
+            let (reply, rx) = mpsc::channel();
+            let control = if promote {
+                Control::Promote { reply }
+            } else {
+                Control::Rollback { reply }
+            };
+            tx.send(Envelope::Control(control)).map_err(|_| {
+                // The send failing means the batcher is gone; the canary
+                // split is already cleared either way.
+                Error::ServerClosed
+            })?;
+            if promote {
+                state.current = canary.version;
+            }
+            Ok(SwapTicket { rx })
+        })
+    }
+
+    /// Tallies of the live canary run, or the most recent one if it has
+    /// been settled; `None` before the first [`Server::canary`].
+    pub fn canary_stats(&self) -> Option<CanaryStats> {
+        self.last_canary
+            .lock()
+            .expect("canary stats")
+            .as_ref()
+            .map(|t| t.snapshot())
     }
 
     /// Shuts the server down and returns its engine: admission closes,
@@ -503,9 +1222,10 @@ impl std::fmt::Debug for Server {
 /// ```
 #[derive(Clone)]
 pub struct Client {
-    tx: mpsc::SyncSender<Request>,
+    tx: mpsc::SyncSender<Envelope>,
     stop: Arc<AtomicBool>,
     counters: Arc<Counters>,
+    gate: Arc<VersionGate>,
     input_dim: usize,
     queue_cap: usize,
 }
@@ -516,7 +1236,12 @@ impl Client {
         self.input_dim
     }
 
-    fn request(&self, fields: Vec<Complex64>) -> Result<(Request, Ticket), Error> {
+    fn submit_inner(
+        &self,
+        fields: Vec<Complex64>,
+        label: Option<usize>,
+        blocking: bool,
+    ) -> Result<Ticket, Error> {
         if fields.len() != self.input_dim {
             return Err(Error::ShapeMismatch {
                 expected: self.input_dim,
@@ -528,14 +1253,44 @@ impl Client {
             return Err(Error::ServerClosed);
         }
         let (reply, rx) = mpsc::channel();
-        Ok((
-            Request {
+        let enqueued_at = Instant::now();
+        // Stamp + send under the version gate's read side, so no swap
+        // barrier can land between the stamp and the queue send.
+        let sent = self.gate.admit(|version| {
+            let request = Envelope::Request(Request {
                 fields,
+                label,
+                version,
                 reply,
-                enqueued_at: Instant::now(),
-            },
-            Ticket { rx, done: None },
-        ))
+                enqueued_at,
+            });
+            if blocking {
+                self.tx.send(request).map_err(|_| Error::ServerClosed)
+            } else {
+                self.tx.try_send(request).map_err(|e| match e {
+                    mpsc::TrySendError::Full(_) => Error::QueueFull {
+                        capacity: self.queue_cap,
+                    },
+                    mpsc::TrySendError::Disconnected(_) => Error::ServerClosed,
+                })
+            }
+        });
+        match sent {
+            Ok(version) => {
+                self.counters.admitted();
+                Ok(Ticket {
+                    rx,
+                    done: None,
+                    version,
+                })
+            }
+            Err(e) => {
+                if matches!(e, Error::QueueFull { .. }) {
+                    self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Submits one sample, blocking while the queue is at capacity
@@ -548,14 +1303,20 @@ impl Client {
     /// [`Client::input_dim`], and [`Error::ServerClosed`] if the server
     /// has shut down.
     pub fn submit(&self, fields: Vec<Complex64>) -> Result<Ticket, Error> {
-        let (request, ticket) = self.request(fields)?;
-        match self.tx.send(request) {
-            Ok(()) => {
-                self.counters.admitted();
-                Ok(ticket)
-            }
-            Err(_) => Err(Error::ServerClosed),
-        }
+        self.submit_inner(fields, None, true)
+    }
+
+    /// [`Client::submit`] with a ground-truth label riding along: if a
+    /// canary is live when the sample is served, its version's
+    /// [`VersionTally::labeled`] / [`VersionTally::correct`] tallies
+    /// update, giving the promote/rollback decision an online accuracy
+    /// signal. Without a canary the label is accounting-only.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit`].
+    pub fn submit_labeled(&self, fields: Vec<Complex64>, label: usize) -> Result<Ticket, Error> {
+        self.submit_inner(fields, Some(label), true)
     }
 
     /// Non-blocking [`Client::submit`]: a full queue surfaces as
@@ -567,20 +1328,7 @@ impl Client {
     /// [`Error::QueueFull`] on backpressure, plus the
     /// [`Client::submit`] conditions.
     pub fn try_submit(&self, fields: Vec<Complex64>) -> Result<Ticket, Error> {
-        let (request, ticket) = self.request(fields)?;
-        match self.tx.try_send(request) {
-            Ok(()) => {
-                self.counters.admitted();
-                Ok(ticket)
-            }
-            Err(mpsc::TrySendError::Full(_)) => {
-                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                Err(Error::QueueFull {
-                    capacity: self.queue_cap,
-                })
-            }
-            Err(mpsc::TrySendError::Disconnected(_)) => Err(Error::ServerClosed),
-        }
+        self.submit_inner(fields, None, false)
     }
 }
 
@@ -626,9 +1374,17 @@ impl std::fmt::Debug for Client {
 pub struct Ticket {
     rx: mpsc::Receiver<Result<Prediction, Error>>,
     done: Option<Result<Prediction, Error>>,
+    version: u64,
 }
 
 impl Ticket {
+    /// The deployment version this request was admitted under — the
+    /// version whose engine serves it, no matter how many swaps land
+    /// while it queues.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Blocks until the sample's micro-batch has been served and returns
     /// the prediction. A server that shut down without serving the
     /// request (a submission racing [`Server::shutdown`]) surfaces as
@@ -695,54 +1451,214 @@ pub(crate) fn decide(confidence: Option<Confidence>, logits: &[f64]) -> Predicti
     }
 }
 
+/// The batcher-side view of the versioned deployment: which engine serves
+/// which version, plus canary bookkeeping. Mutated **only** by the batcher
+/// thread, by applying [`Control`] messages popped from the same FIFO the
+/// requests ride — so the rack's version history is exactly the admission
+/// order's version history.
+pub(crate) struct EngineRack {
+    current_version: u64,
+    current: InferenceEngine,
+    /// A live canary candidate, keyed by the version it would become.
+    candidate: Option<(u64, InferenceEngine)>,
+    /// Confidence policy override while a canary is live (applied to both
+    /// versions, so accept/abstain tallies compare like with like).
+    confidence_override: Option<Confidence>,
+    tallies: Option<Arc<CanaryCounters>>,
+    /// Replacements from swaps that arrived while draining: they never
+    /// became current, but version-stamped stragglers already admitted
+    /// against them may still be queued, so they serve those and are
+    /// handed back (`SwapOutcome::Aborted`) at batcher exit.
+    aborted: Vec<(
+        u64,
+        InferenceEngine,
+        mpsc::Sender<Result<SwapOutcome, Error>>,
+    )>,
+}
+
+impl EngineRack {
+    pub(crate) fn new(engine: InferenceEngine) -> Self {
+        EngineRack {
+            current_version: 1,
+            current: engine,
+            candidate: None,
+            confidence_override: None,
+            tallies: None,
+            aborted: Vec::new(),
+        }
+    }
+
+    /// The engine that must serve a request admitted under `version`.
+    pub(crate) fn engine_for(&mut self, version: u64) -> Option<&mut InferenceEngine> {
+        if version == self.current_version {
+            return Some(&mut self.current);
+        }
+        if let Some((v, engine)) = self.candidate.as_mut() {
+            if *v == version {
+                return Some(engine);
+            }
+        }
+        self.aborted
+            .iter_mut()
+            .find(|(v, _, _)| *v == version)
+            .map(|(_, engine, _)| engine)
+    }
+
+    /// The confidence policy in force: the canary override if one is
+    /// live, else the server's configured policy.
+    pub(crate) fn confidence(&self, base: Option<Confidence>) -> Option<Confidence> {
+        self.confidence_override.or(base)
+    }
+
+    /// Applies one control message at its FIFO position. `draining` is
+    /// the stop flag **at apply time**: a swap that lands after shutdown
+    /// began must not replace the engine the server hands back, so it
+    /// parks in the aborted list instead.
+    pub(crate) fn apply(&mut self, control: Control, draining: bool, counters: &Counters) {
+        match control {
+            Control::Swap {
+                engine,
+                version,
+                reply,
+            } => {
+                if draining {
+                    self.aborted.push((version, *engine, reply));
+                } else {
+                    let retired = std::mem::replace(&mut self.current, *engine);
+                    self.current_version = version;
+                    counters.swaps.fetch_add(1, Ordering::Relaxed);
+                    let _ = reply.send(Ok(SwapOutcome::Applied { retired, version }));
+                }
+            }
+            Control::Canary {
+                engine,
+                version,
+                confidence,
+                tallies,
+            } => {
+                // Always installed, even while draining: requests stamped
+                // with the candidate version may sit behind this control.
+                self.candidate = Some((version, *engine));
+                self.confidence_override = confidence;
+                self.tallies = Some(tallies);
+            }
+            Control::Promote { reply } => {
+                if draining {
+                    let _ = reply.send(Err(Error::ServerClosed));
+                } else if let Some((version, engine)) = self.candidate.take() {
+                    let retired = std::mem::replace(&mut self.current, engine);
+                    self.current_version = version;
+                    self.confidence_override = None;
+                    self.tallies = None;
+                    counters.swaps.fetch_add(1, Ordering::Relaxed);
+                    let _ = reply.send(Ok(SwapOutcome::Applied { retired, version }));
+                } else {
+                    let _ = reply.send(Err(Error::NoCanary));
+                }
+            }
+            Control::Rollback { reply } => {
+                if draining {
+                    let _ = reply.send(Err(Error::ServerClosed));
+                } else if let Some((_, engine)) = self.candidate.take() {
+                    self.confidence_override = None;
+                    self.tallies = None;
+                    let _ = reply.send(Ok(SwapOutcome::Applied {
+                        retired: engine,
+                        version: self.current_version,
+                    }));
+                } else {
+                    let _ = reply.send(Err(Error::NoCanary));
+                }
+            }
+        }
+    }
+
+    /// One drift step over every live engine (current + candidate), so a
+    /// canary measured under drift faces the same wandered hardware.
+    fn drift(&mut self, drift: &mut PhaseDrift) {
+        self.current.drift_step(drift);
+        if let Some((_, engine)) = self.candidate.as_mut() {
+            engine.drift_step(drift);
+        }
+    }
+
+    /// Batcher exit: resolve every parked aborted swap (its replacement
+    /// engine goes back to the caller) and hand the serving engine to the
+    /// server for `shutdown()` to return.
+    pub(crate) fn finish(mut self) -> InferenceEngine {
+        for (_, engine, reply) in self.aborted.drain(..) {
+            let _ = reply.send(Ok(SwapOutcome::Aborted {
+                replacement: engine,
+            }));
+        }
+        self.current
+    }
+}
+
 /// The batcher thread body: form micro-batches (flush on `max_batch` or
 /// `max_wait`, whichever first), serve them through the engine's
-/// borrowed-batch path, reply per request. On shutdown, drain the queue
-/// to empty before exiting so no admitted ticket is lost.
+/// borrowed-batch path, reply per request. [`Control`] messages ride the
+/// same FIFO as requests; each is applied at a micro-batch boundary,
+/// after the requests admitted before it are flushed — which is what
+/// makes a swap atomic with respect to version stamps. On shutdown,
+/// drain the queue to empty before exiting so no admitted ticket is lost.
 fn batcher(
-    mut engine: InferenceEngine,
-    rx: mpsc::Receiver<Request>,
+    engine: InferenceEngine,
+    rx: mpsc::Receiver<Envelope>,
     policy: BatchPolicy,
     stop: Arc<AtomicBool>,
     counters: Arc<Counters>,
+    mut drift: Option<PhaseDrift>,
 ) -> InferenceEngine {
     // The batcher is a resident service thread: claim one slot of the
     // shared worker budget so engines + grids + servers stay ≈ `--jobs`.
     let _slot = crate::pool::reserve_service_slot();
+    let mut rack = EngineRack::new(engine);
     let mut pending: Vec<Request> = Vec::with_capacity(policy.max_batch);
     let mut rows: Vec<Complex64> = Vec::new();
     loop {
-        // Admit the first request of the next batch.
+        // Admit the first envelope of the next batch.
         let first = loop {
             if stop.load(Ordering::SeqCst) {
                 // Draining: serve whatever is still queued, then exit.
                 break rx.try_recv().ok();
             }
             match rx.recv_timeout(IDLE_POLL) {
-                Ok(r) => break Some(r),
+                Ok(e) => break Some(e),
                 Err(mpsc::RecvTimeoutError::Timeout) => continue,
                 Err(mpsc::RecvTimeoutError::Disconnected) => break None,
             }
         };
         let Some(first) = first else { break };
-        pending.push(first);
+        let mut control = match first {
+            Envelope::Request(r) => {
+                pending.push(r);
+                None
+            }
+            Envelope::Control(c) => Some(c),
+        };
 
-        // Coalesce until the batch fills or the oldest request's
-        // deadline passes (during a drain: until the queue is empty).
-        // Under load, stragglers are collected with non-blocking drains
-        // separated by scheduler yields: parking would make every
-        // straggler's `submit` pay a futex wake, turning the coalescing
-        // window into one context switch per request. The yield spin is
-        // bounded, though — past `SPIN_WAIT` the batcher parks in timed
-        // waits for the rest of the deadline, so a long `max_wait` over a
-        // trickle of traffic idles the core instead of burning it.
+        // Coalesce until the batch fills, a control message arrives, or
+        // the oldest request's deadline passes (during a drain: until
+        // the queue is empty). Under load, stragglers are collected with
+        // non-blocking drains separated by scheduler yields: parking
+        // would make every straggler's `submit` pay a futex wake,
+        // turning the coalescing window into one context switch per
+        // request. The yield spin is bounded, though — past `SPIN_WAIT`
+        // the batcher parks in timed waits for the rest of the deadline,
+        // so a long `max_wait` over a trickle of traffic idles the core
+        // instead of burning it.
         const SPIN_WAIT: Duration = Duration::from_micros(256);
         let deadline = Instant::now() + policy.max_wait;
         let spin_until = Instant::now() + SPIN_WAIT.min(policy.max_wait);
-        loop {
+        'coalesce: while control.is_none() {
             while pending.len() < policy.max_batch {
                 match rx.try_recv() {
-                    Ok(r) => pending.push(r),
+                    Ok(Envelope::Request(r)) => pending.push(r),
+                    Ok(Envelope::Control(c)) => {
+                        control = Some(c);
+                        break 'coalesce;
+                    }
                     Err(_) => break,
                 }
             }
@@ -760,25 +1676,71 @@ fn batcher(
                 // still noticed promptly); a straggler's send wakes us.
                 let nap = (deadline - now).min(IDLE_POLL);
                 match rx.recv_timeout(nap) {
-                    Ok(r) => pending.push(r),
+                    Ok(Envelope::Request(r)) => pending.push(r),
+                    Ok(Envelope::Control(c)) => {
+                        control = Some(c);
+                        break 'coalesce;
+                    }
                     Err(mpsc::RecvTimeoutError::Timeout) => {}
                     Err(mpsc::RecvTimeoutError::Disconnected) => break,
                 }
             }
         }
 
-        serve_batch(&mut engine, &policy, &mut pending, &mut rows, &counters);
+        // Everything admitted before the control is flushed first — the
+        // micro-batch boundary the swap is atomic at.
+        let served = !pending.is_empty();
+        if served {
+            serve_flush(&mut rack, &policy, &mut pending, &mut rows, &counters);
+        }
+        if let Some(c) = control {
+            rack.apply(c, stop.load(Ordering::SeqCst), &counters);
+        }
+        // One drift step per served flush: phases wander between
+        // micro-batches, not within one (a batch sees one chip state).
+        if served {
+            if let Some(d) = drift.as_mut() {
+                rack.drift(d);
+            }
+        }
     }
-    engine
+    rack.finish()
 }
 
-/// Serves one micro-batch and replies to every request in it. A batch
-/// poisoned by one sample (non-finite logits) falls back to serving each
-/// request individually, so the offending sample gets its error and the
-/// rest still get their predictions.
-fn serve_batch(
-    engine: &mut InferenceEngine,
+/// Serves one flush worth of pending requests, grouping by stamped
+/// version so every request is served by exactly the engine it was
+/// admitted under. In steady state the flush is single-version and
+/// serves in place; around a swap or canary the flush partitions into
+/// per-version sub-batches (stable order within each).
+fn serve_flush(
+    rack: &mut EngineRack,
     policy: &BatchPolicy,
+    pending: &mut Vec<Request>,
+    rows: &mut Vec<Complex64>,
+    counters: &Counters,
+) {
+    while !pending.is_empty() {
+        let version = pending[0].version;
+        if pending.iter().all(|r| r.version == version) {
+            serve_group(rack, policy, version, pending, rows, counters);
+        } else {
+            let (group, rest): (Vec<_>, Vec<_>) =
+                pending.drain(..).partition(|r| r.version == version);
+            *pending = rest;
+            let mut group = group;
+            serve_group(rack, policy, version, &mut group, rows, counters);
+        }
+    }
+}
+
+/// Serves one single-version micro-batch and replies to every request in
+/// it. A batch poisoned by one sample (non-finite logits) falls back to
+/// serving each request individually, so the offending sample gets its
+/// error and the rest still get their predictions.
+fn serve_group(
+    rack: &mut EngineRack,
+    policy: &BatchPolicy,
+    version: u64,
     pending: &mut Vec<Request>,
     rows: &mut Vec<Complex64>,
     counters: &Counters,
@@ -792,11 +1754,21 @@ fn serve_batch(
         counters.waits.record(request.enqueued_at.elapsed());
         rows.extend_from_slice(&request.fields);
     }
-    let confidence = policy.confidence;
+    let confidence = rack.confidence(policy.confidence);
+    let tallies = rack.tallies.clone();
+    let Some(engine) = rack.engine_for(version) else {
+        // Unreachable by construction (every stamped version has a rack
+        // slot until its last ticket resolves), but never strand a ticket.
+        for request in pending.drain(..) {
+            respond(counters, &request, Err(Error::ServerClosed));
+        }
+        return;
+    };
     let emit = move |logits: &[f64]| decide(confidence, logits);
     match engine.serve_rows(rows, &emit) {
         Ok(predictions) => {
             for (request, prediction) in pending.drain(..).zip(predictions) {
+                tally(tallies.as_deref(), &request, &prediction);
                 respond(counters, &request, Ok(prediction));
             }
         }
@@ -807,7 +1779,38 @@ fn serve_batch(
                 let outcome = engine
                     .serve_rows(&request.fields, &emit)
                     .map(|mut v| v.remove(0));
+                if let Ok(prediction) = &outcome {
+                    tally(tallies.as_deref(), &request, prediction);
+                }
                 respond(counters, &request, outcome);
+            }
+        }
+    }
+}
+
+/// Canary accounting for one served request: which version served it,
+/// whether the (shared) confidence policy accepted or abstained, and —
+/// when the request carried a ground-truth label — whether the accepted
+/// class was correct.
+fn tally(tallies: Option<&CanaryCounters>, request: &Request, prediction: &Prediction) {
+    let Some(slot) = tallies.and_then(|t| t.slot(request.version)) else {
+        return;
+    };
+    slot.served.fetch_add(1, Ordering::Relaxed);
+    match prediction {
+        Prediction::Class(class) => {
+            slot.accepted.fetch_add(1, Ordering::Relaxed);
+            if let Some(label) = request.label {
+                slot.labeled.fetch_add(1, Ordering::Relaxed);
+                if *class == label {
+                    slot.correct.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Prediction::Abstain { .. } => {
+            slot.abstained.fetch_add(1, Ordering::Relaxed);
+            if request.label.is_some() {
+                slot.labeled.fetch_add(1, Ordering::Relaxed);
             }
         }
     }

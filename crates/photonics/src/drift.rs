@@ -1,0 +1,174 @@
+//! Slow phase drift: a random-walk model of thermal wander in MZI meshes.
+//!
+//! The one-shot noise model ([`crate::mesh::MziMesh::with_phase_noise`])
+//! answers "how accurate is an imperfectly programmed chip?" — a single
+//! i.i.d. Gaussian kick, restored when the scoped session ends. Real
+//! deployments face a different enemy: every programmable phase *wanders*
+//! over minutes as the thermal environment shifts, so error accumulates
+//! between recalibrations. [`PhaseDrift`] models that as a per-step
+//! Gaussian random walk: each call to [`PhaseDrift::step_mesh`] adds an
+//! independent `N(0, σ_step²)` increment to every phase of a mesh, *in
+//! place*, with no restore — after `k` steps the accumulated deviation of
+//! each phase is `N(0, k·σ_step²)`.
+//!
+//! The serving stack threads one `PhaseDrift` through a live
+//! micro-batcher (one step per flush cycle) so the online-recalibration
+//! scenario — accuracy degrades under drift, a hot swap to a freshly
+//! calibrated deployment restores it — runs end to end.
+//!
+//! # Example
+//!
+//! ```
+//! use oplix_photonics::drift::PhaseDrift;
+//! use oplix_photonics::mesh::MziMesh;
+//! use oplix_photonics::devices::Mzi;
+//!
+//! let mut mesh = MziMesh::new(2, vec![Mzi::new(0, 1.0, 0.5)], vec![0.0, 0.0]);
+//! let clean = mesh.matrix();
+//! let mut drift = PhaseDrift::new(0.02, 7);
+//! for _ in 0..10 {
+//!     drift.step_mesh(&mut mesh);
+//! }
+//! // Ten accumulated steps have wandered away from the calibrated point,
+//! // but the mesh is still a mesh: the transfer stays unitary.
+//! assert!(clean.max_abs_diff(&mesh.matrix()) > 1e-4);
+//! assert!(mesh.matrix().is_unitary(1e-12));
+//! assert_eq!(drift.meshes_stepped(), 10);
+//! ```
+
+use crate::mesh::MziMesh;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A seeded Gaussian random-walk drift process over mesh phases.
+///
+/// Each [`step_mesh`](PhaseDrift::step_mesh) call draws fresh increments
+/// from the internal RNG, so a `PhaseDrift` value is a deterministic
+/// *stream*: two walks with the same seed applied to the same sequence of
+/// meshes produce bitwise-identical phase trajectories.
+#[derive(Clone, Debug)]
+pub struct PhaseDrift {
+    sigma_step: f64,
+    rng: StdRng,
+    meshes_stepped: u64,
+}
+
+impl PhaseDrift {
+    /// Creates a drift process with per-step standard deviation
+    /// `sigma_step` (radians) and a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_step` is negative or non-finite.
+    pub fn new(sigma_step: f64, seed: u64) -> Self {
+        assert!(
+            sigma_step.is_finite() && sigma_step >= 0.0,
+            "sigma_step must be finite and non-negative, got {sigma_step}"
+        );
+        PhaseDrift {
+            sigma_step,
+            rng: StdRng::seed_from_u64(seed),
+            meshes_stepped: 0,
+        }
+    }
+
+    /// The per-step phase standard deviation, in radians.
+    #[inline]
+    pub fn sigma_step(&self) -> f64 {
+        self.sigma_step
+    }
+
+    /// How many mesh perturbations this walk has emitted so far.
+    #[inline]
+    pub fn meshes_stepped(&self) -> u64 {
+        self.meshes_stepped
+    }
+
+    /// Applies one random-walk increment to every programmable phase of
+    /// `mesh`, in place. Unlike the noise session there is no restore:
+    /// increments accumulate until the mesh is re-deployed from clean
+    /// weights (the hot-swap recalibration path).
+    pub fn step_mesh(&mut self, mesh: &mut MziMesh) {
+        mesh.perturb_phases(self.sigma_step, &mut self.rng);
+        self.meshes_stepped += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::Mzi;
+
+    fn mesh() -> MziMesh {
+        MziMesh::new(
+            3,
+            vec![Mzi::new(0, 1.0, 2.0), Mzi::new(1, 0.5, -0.5)],
+            vec![0.1, 0.2, 0.3],
+        )
+    }
+
+    #[test]
+    fn zero_sigma_walk_is_identity() {
+        let mut m = mesh();
+        let clean = m.matrix();
+        let mut drift = PhaseDrift::new(0.0, 3);
+        for _ in 0..5 {
+            drift.step_mesh(&mut m);
+        }
+        assert_eq!(clean.max_abs_diff(&m.matrix()), 0.0);
+        assert_eq!(drift.meshes_stepped(), 5);
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        let (mut a, mut b) = (mesh(), mesh());
+        let mut da = PhaseDrift::new(0.05, 11);
+        let mut db = PhaseDrift::new(0.05, 11);
+        for _ in 0..4 {
+            da.step_mesh(&mut a);
+            db.step_mesh(&mut b);
+        }
+        assert_eq!(a.phases(), b.phases());
+    }
+
+    #[test]
+    fn deviation_accumulates_across_steps() {
+        // Random-walk variance grows with step count: after many steps the
+        // transfer must be strictly farther from clean than after one, and
+        // every intermediate mesh stays unitary.
+        let mut m = mesh();
+        let clean = m.matrix();
+        let mut drift = PhaseDrift::new(0.03, 42);
+        drift.step_mesh(&mut m);
+        let after_one = clean.max_abs_diff(&m.matrix());
+        for _ in 0..63 {
+            drift.step_mesh(&mut m);
+            assert!(m.matrix().is_unitary(1e-10));
+        }
+        let after_many = clean.max_abs_diff(&m.matrix());
+        assert!(after_one > 0.0);
+        assert!(
+            after_many > after_one,
+            "64 accumulated steps ({after_many:.3e}) should exceed one step ({after_one:.3e})"
+        );
+    }
+
+    #[test]
+    fn one_step_matches_one_shot_noise_stream() {
+        // A single drift step is exactly the one-shot noise model: same
+        // sampler, same RNG stream, bitwise.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let base = mesh();
+        let mut via_drift = base.clone();
+        PhaseDrift::new(0.1, 9).step_mesh(&mut via_drift);
+        let noisy = base.with_phase_noise(0.1, &mut StdRng::seed_from_u64(9));
+        assert_eq!(via_drift.phases(), noisy.phases());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_sigma() {
+        let _ = PhaseDrift::new(-0.1, 0);
+    }
+}

@@ -9,6 +9,8 @@
 //!   attenuators.
 //! * [`mesh`] — programmable MZI meshes with field propagation, phase
 //!   noise and quantisation models.
+//! * [`drift`] — seeded random-walk phase drift (thermal wander between
+//!   recalibrations), the accumulating counterpart to one-shot noise.
 //! * [`reck`] / [`clements`] — unitary → MZI-phase decompositions
 //!   (refs. \[14\] and \[20\]).
 //! * [`svd_map`] — `W = U Σ V*` weight deployment onto two meshes and a
@@ -46,6 +48,7 @@ pub mod compiled;
 pub mod count;
 pub mod decoder;
 pub mod devices;
+pub mod drift;
 pub mod encoder;
 pub mod loss_model;
 pub mod mesh;
@@ -57,5 +60,6 @@ pub use compiled::{CompiledLayer, CompiledMesh};
 pub use count::{mzi_count, DeviceCount};
 pub use decoder::DecoderKind;
 pub use devices::Mzi;
+pub use drift::PhaseDrift;
 pub use mesh::MziMesh;
 pub use svd_map::{MeshStyle, PhotonicLayer};

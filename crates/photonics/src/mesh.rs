@@ -176,24 +176,34 @@ impl MziMesh {
         out
     }
 
-    /// Returns a copy of the mesh with i.i.d. Gaussian phase noise of
-    /// standard deviation `sigma` (radians) added to every programmable
-    /// phase — the classic thermal-crosstalk / fabrication imprecision
-    /// model of Fang et al. (Optics Express 2019).
-    pub fn with_phase_noise<R: Rng>(&self, sigma: f64, rng: &mut R) -> MziMesh {
+    /// Adds i.i.d. Gaussian perturbations of standard deviation `sigma`
+    /// (radians) to every programmable phase, in place, in the stable
+    /// [`MziMesh::phases`] order (θ then φ per MZI, then the output
+    /// screen). This is the shared sampler behind both the one-shot noise
+    /// model ([`MziMesh::with_phase_noise`]) and the accumulating drift
+    /// model ([`crate::drift::PhaseDrift`]).
+    pub fn perturb_phases<R: Rng>(&mut self, sigma: f64, rng: &mut R) {
         let mut gauss = || {
             let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
             let u2: f64 = rng.gen_range(0.0..1.0);
             sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
         };
-        let mut out = self.clone();
-        for m in &mut out.mzis {
+        for m in &mut self.mzis {
             m.theta += gauss();
             m.phi += gauss();
         }
-        for p in &mut out.output_phases {
+        for p in &mut self.output_phases {
             *p += gauss();
         }
+    }
+
+    /// Returns a copy of the mesh with i.i.d. Gaussian phase noise of
+    /// standard deviation `sigma` (radians) added to every programmable
+    /// phase — the classic thermal-crosstalk / fabrication imprecision
+    /// model of Fang et al. (Optics Express 2019).
+    pub fn with_phase_noise<R: Rng>(&self, sigma: f64, rng: &mut R) -> MziMesh {
+        let mut out = self.clone();
+        out.perturb_phases(sigma, rng);
         out
     }
 

@@ -1,0 +1,165 @@
+//! Versioned serving quickstart: drift, canary, promote — zero downtime.
+//!
+//! The online-recalibration story end to end: a deployed model serves
+//! under slow thermal phase drift and its agreement with the calibrated
+//! deployment decays window by window. A freshly calibrated deployment
+//! of the same network is then staged as a *canary* — a seeded fraction
+//! of live traffic routes to it while per-version tallies compare the
+//! two — and, once the tallies favour it, promoted. The promote applies
+//! at a micro-batch boundary with traffic still flowing: no ticket is
+//! lost, duplicated or served by the wrong version.
+//!
+//! Labels here are the clean deployment's own predictions, so the
+//! per-version "accuracy" reads as agreement-with-calibration and no
+//! training is needed.
+//!
+//! Run with `cargo run --release --example hot_swap_serving`.
+
+use oplix_datasets::assign::AssignmentKind;
+use oplix_datasets::synth::{digits, SynthConfig};
+use oplix_photonics::decoder::DecoderKind;
+use oplix_photonics::svd_map::MeshStyle;
+use oplix_photonics::PhaseDrift;
+use oplixnet::engine::InferenceEngine;
+use oplixnet::serve::{sample_row, CanaryPolicy, Server, SwapOutcome, Ticket};
+use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+use oplixnet::DeployedDetection;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const WINDOW: usize = 32;
+
+fn deploy(net: &oplix_nn::network::Network) -> InferenceEngine {
+    InferenceEngine::from_network(net, DeployedDetection::Differential, MeshStyle::Clements)
+        .expect("FCNN deploys")
+}
+
+fn main() {
+    // 1. One model, one test view, and the calibrated reference answers.
+    let raw = digits(&SynthConfig {
+        height: 8,
+        width: 8,
+        samples: 128,
+        seed: 5,
+        ..Default::default()
+    });
+    let view = AssignmentKind::SpatialInterlace.apply_dataset_flat(&raw);
+    let input = view.inputs.shape()[1];
+    let net = build_fcnn(
+        &FcnnConfig {
+            input,
+            hidden: 16,
+            classes: 10,
+        },
+        ModelVariant::Split(DecoderKind::Merge),
+        &mut StdRng::seed_from_u64(99),
+    );
+    let clean = deploy(&net).classify(&view.inputs).expect("clean classify");
+    let n = view.inputs.shape()[0];
+
+    // 2. Serve under continuous phase drift: one random-walk step per
+    //    flushed micro-batch, no restore — exactly the slow thermal
+    //    wander a real chip accumulates between recalibrations.
+    let server = Server::builder()
+        .max_batch(WINDOW)
+        .max_wait(Duration::from_millis(20))
+        .drift(PhaseDrift::new(0.01, 7))
+        .serve_engine(deploy(&net));
+    let client = server.client();
+
+    // One micro-batch of traffic — always the same probe samples, so
+    // window-over-window agreement is apples-to-apples. Labeled
+    // submissions feed the canary tallies once a canary is live.
+    let agreement = |labeled: bool| -> f64 {
+        let tickets: Vec<(usize, Ticket)> = (0..WINDOW)
+            .map(|k| {
+                let s = k % n;
+                let row = sample_row(&view.inputs, s);
+                let t = if labeled {
+                    client.submit_labeled(row, clean[s]).expect("admits")
+                } else {
+                    client.submit(row).expect("admits")
+                };
+                (s, t)
+            })
+            .collect();
+        let agree: usize = tickets
+            .into_iter()
+            .map(|(s, t)| {
+                let p = t.wait().expect("ticket resolves");
+                usize::from(p.class() == Some(clean[s]))
+            })
+            .sum();
+        agree as f64 / WINDOW as f64
+    };
+
+    let mut window = 0usize;
+    println!("serving v1 under drift (agreement with the calibrated deployment):");
+    for _ in 0..12 {
+        let a = agreement(false);
+        window += 1;
+        if window.is_multiple_of(4) {
+            println!("  window {window:2}: {a:.2}");
+        }
+    }
+
+    // 3. Stage a freshly calibrated deployment as a canary: 40 % of
+    //    admissions route to it (seeded split — reproducible), labeled
+    //    traffic feeds the per-version tallies.
+    server
+        .canary(
+            deploy(&net),
+            CanaryPolicy {
+                fraction: 0.4,
+                confidence: None,
+                seed: 21,
+            },
+        )
+        .expect("canary installs");
+    for _ in 0..6 {
+        let _ = agreement(true);
+        window += 1;
+    }
+    let stats = server.canary_stats().expect("canary is live");
+    println!(
+        "canary tallies: v{} baseline {:.2} over {} labeled, v{} candidate {:.2} over {} labeled",
+        stats.baseline.version,
+        stats.baseline.accuracy(),
+        stats.baseline.labeled,
+        stats.candidate.version,
+        stats.candidate.accuracy(),
+        stats.candidate.labeled,
+    );
+
+    // 4. The candidate (freshly calibrated, barely drifted) wins:
+    //    promote it. The change applies at a micro-batch boundary; the
+    //    drifted v1 engine comes back out with its counters intact.
+    let outcome = server
+        .promote()
+        .expect("promote admits")
+        .wait()
+        .expect("promote resolves");
+    match outcome {
+        SwapOutcome::Applied { retired, version } => println!(
+            "promoted to v{version}; retired v1 served {} samples",
+            retired.stats().samples
+        ),
+        SwapOutcome::Aborted { .. } => unreachable!("server is live"),
+    }
+
+    println!("serving v{} after recalibration:", server.version());
+    for _ in 0..4 {
+        let a = agreement(false);
+        window += 1;
+        println!("  window {window:2}: {a:.2}");
+    }
+
+    // 5. Nothing was lost across the version change.
+    let stats = server.stats();
+    println!(
+        "submitted {} = served {} across {} micro-batches, {} version change(s), final version {}",
+        stats.submitted, stats.served, stats.batches, stats.swaps, stats.version
+    );
+    let _ = server.shutdown();
+}

@@ -1,0 +1,227 @@
+//! Integration tests for serving under accumulating phase drift
+//! (`oplix_photonics::PhaseDrift` + `oplixnet::serve`):
+//!
+//! * an engine-level `DriftSession` degrades agreement with the clean
+//!   deployment as the walk accumulates and restores the phases bitwise
+//!   on drop;
+//! * the end-to-end online-recalibration scenario: a server configured
+//!   with `.drift(...)` wanders between micro-batches, windowed
+//!   agreement with the clean deployment degrades, a mid-serve hot swap
+//!   to a freshly calibrated deployment restores it, and throughput
+//!   stays positive throughout (every ticket resolves; no stall at the
+//!   swap boundary).
+//!
+//! Agreement is measured against the clean engine's own predictions
+//! (pseudo-labels), so no training is needed and the degradation signal
+//! is exactly "how far the drifted hardware strayed from calibration".
+//!
+//! The CI matrix runs this binary under `OPLIX_JOBS ∈ {2, 7}`; nothing
+//! here may depend on the worker budget.
+
+use oplix_datasets::assign::AssignmentKind;
+use oplix_datasets::synth::{digits, SynthConfig};
+use oplix_nn::network::Network;
+use oplix_photonics::decoder::DecoderKind;
+use oplix_photonics::svd_map::MeshStyle;
+use oplix_photonics::PhaseDrift;
+use oplixnet::engine::InferenceEngine;
+use oplixnet::serve::{sample_row, Server, SwapOutcome};
+use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+use oplixnet::DeployedDetection;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn test_view(samples: usize, seed: u64) -> oplix_nn::trainer::CDataset {
+    let raw = digits(&SynthConfig {
+        height: 8,
+        width: 8,
+        samples,
+        seed,
+        ..Default::default()
+    });
+    AssignmentKind::SpatialInterlace.apply_dataset_flat(&raw)
+}
+
+fn network(seed: u64, input: usize) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    build_fcnn(
+        &FcnnConfig {
+            input,
+            hidden: 16,
+            classes: 10,
+        },
+        ModelVariant::Split(DecoderKind::Merge),
+        &mut rng,
+    )
+}
+
+fn deploy(net: &Network) -> InferenceEngine {
+    InferenceEngine::from_network(net, DeployedDetection::Differential, MeshStyle::Clements)
+        .expect("FCNN deploys")
+}
+
+fn agreement(got: &[usize], want: &[usize]) -> f64 {
+    assert_eq!(got.len(), want.len());
+    let same = got.iter().zip(want).filter(|(a, b)| a == b).count();
+    same as f64 / want.len() as f64
+}
+
+#[test]
+fn drift_session_degrades_agreement_and_restores_phases_bitwise_on_drop() {
+    let test = test_view(120, 80_999);
+    let input = test.inputs.shape()[1];
+    let net = network(81_000, input);
+    let mut engine = deploy(&net);
+    let clean = engine.classify(&test.inputs).expect("clean classify");
+    let clean_logits = engine.predict_batch(&test.inputs).expect("clean predict");
+
+    let mid_agree;
+    let late_agree;
+    {
+        let mut session = engine.drift_session(PhaseDrift::new(0.05, 4242));
+        // Before any step the session is bitwise the clean deployment.
+        assert_eq!(
+            session.classify(&test.inputs).expect("classify"),
+            clean,
+            "zero-step session must be the clean deployment"
+        );
+        for _ in 0..8 {
+            session.step();
+        }
+        mid_agree = agreement(&session.classify(&test.inputs).expect("classify"), &clean);
+        for _ in 0..56 {
+            session.step();
+        }
+        late_agree = agreement(&session.classify(&test.inputs).expect("classify"), &clean);
+        assert_eq!(session.drift().meshes_stepped() % 64, 0);
+    }
+    // Degradation accumulates (in expectation; generous slack for the
+    // non-monotone sample path) and a long walk strays far.
+    assert!(
+        late_agree <= mid_agree + 0.1,
+        "drift must accumulate: 8 steps {mid_agree} vs 64 steps {late_agree}"
+    );
+    assert!(
+        late_agree < 0.95,
+        "64 steps of σ=0.05 must visibly degrade agreement, got {late_agree}"
+    );
+
+    // Dropping the session restores the hardware bitwise, not just
+    // approximately: the logits, not only the classes, are identical.
+    assert_eq!(
+        engine
+            .predict_batch(&test.inputs)
+            .expect("restored predict"),
+        clean_logits,
+        "drift session failed to restore the clean phases"
+    );
+}
+
+/// The online-recalibration scenario end to end: serve under drift,
+/// watch windowed agreement with the calibrated deployment decay, hot
+/// swap to a fresh deployment of the same network mid-serve, and watch
+/// agreement recover — with every ticket resolving throughout.
+#[test]
+fn serving_under_drift_recovers_after_mid_serve_hot_swap() {
+    const WINDOW: usize = 24;
+    const WINDOWS: usize = 24;
+    const N: usize = 96;
+
+    let test = test_view(N, 81_999);
+    let input = test.inputs.shape()[1];
+    let net = network(82_000, input);
+
+    // Pseudo-labels: the clean deployment's own predictions.
+    let clean = deploy(&net).classify(&test.inputs).expect("clean classify");
+
+    // A generous max_wait makes each window coalesce into a single
+    // flush (the 24 submits land in microseconds), so the batcher takes
+    // one drift step per window and the trajectory is reproducible.
+    let server = Server::builder()
+        .max_batch(WINDOW)
+        .max_wait(Duration::from_millis(50))
+        .workers(0)
+        .drift(PhaseDrift::new(0.04, 777))
+        .serve_engine(deploy(&net));
+    let client = server.client();
+
+    let mut serve_window = |w: usize| -> f64 {
+        let samples: Vec<usize> = (0..WINDOW).map(|k| (w * WINDOW + k) % N).collect();
+        let tickets: Vec<_> = samples
+            .iter()
+            .map(|&s| {
+                (
+                    s,
+                    client
+                        .submit(sample_row(&test.inputs, s))
+                        .expect("admits under drift"),
+                )
+            })
+            .collect();
+        let got: Vec<(usize, usize)> = tickets
+            .into_iter()
+            .map(|(s, t)| {
+                (
+                    s,
+                    t.wait()
+                        .expect("ticket resolves under drift")
+                        .class()
+                        .expect("no confidence policy"),
+                )
+            })
+            .collect();
+        let same = got.iter().filter(|&&(s, c)| clean[s] == c).count();
+        same as f64 / WINDOW as f64
+    };
+
+    let pre_swap: Vec<f64> = (0..WINDOWS).map(&mut serve_window).collect();
+    let early: f64 = pre_swap[..4].iter().sum::<f64>() / 4.0;
+    let late: f64 = pre_swap[WINDOWS - 4..].iter().sum::<f64>() / 4.0;
+
+    // The walk accumulates: late windows agree less with the calibrated
+    // deployment than early ones (in expectation — coarse 4-window
+    // averages keep the sample path's noise down).
+    assert!(
+        late < early,
+        "drift must degrade agreement over time: early {early} vs late {late}"
+    );
+    assert!(
+        late < 0.9,
+        "after {WINDOWS} drifting windows agreement should be visibly degraded, got {late}"
+    );
+
+    // Recalibrate mid-serve: hot swap to a fresh deployment of the same
+    // network. The swap applies at a micro-batch boundary with traffic
+    // still flowing.
+    let swap = server.swap_network(&net, DeployedDetection::Differential, MeshStyle::Clements);
+    match swap.expect("swap admits").wait().expect("swap resolves") {
+        SwapOutcome::Applied { version, .. } => assert_eq!(version, 2),
+        SwapOutcome::Aborted { .. } => panic!("server is live; swap must apply"),
+    }
+
+    // The first post-swap window serves on freshly calibrated phases
+    // (drift keeps walking afterwards, so only the first window is
+    // guaranteed near-clean).
+    let post_swap = serve_window(WINDOWS);
+    assert!(
+        post_swap > late,
+        "recalibration must restore agreement: post-swap {post_swap} vs late {late}"
+    );
+    assert!(
+        post_swap >= 0.9,
+        "the first post-swap window serves near-calibrated phases, got {post_swap}"
+    );
+
+    // Throughput stayed positive throughout: every admitted ticket was
+    // served (none lost at the swap boundary), and the queue is empty.
+    let stats = server.stats();
+    assert_eq!(stats.submitted, ((WINDOWS + 1) * WINDOW) as u64);
+    assert_eq!(stats.served, stats.submitted);
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(stats.version, 2);
+    assert_eq!(stats.swaps, 1);
+    assert!(stats.batches >= (WINDOWS + 1) as u64 / 2);
+
+    let _ = server.shutdown();
+}

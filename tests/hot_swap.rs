@@ -1,0 +1,688 @@
+//! Integration tests for zero-downtime versioned hot swap and canary
+//! routing (`oplixnet::serve` + `oplixnet::router`):
+//!
+//! * under concurrent submitters, every ticket across a sequence of hot
+//!   swaps resolves against exactly the version it was admitted under,
+//!   bitwise identical to a dedicated engine of that version;
+//! * any interleaving of {submit, swap, drain} never loses or
+//!   double-serves a ticket (property test);
+//! * canary tallies exactly match replaying the same seeded admission
+//!   partition through two direct engines, and promote/rollback leave
+//!   the lane serving only the chosen version;
+//! * deregistering a router lane while a swap is still queued returns
+//!   the *currently serving* engine and aborts the swap cleanly, its
+//!   replacement coming back through the `SwapTicket`;
+//! * every failure mode surfaces as a typed error.
+//!
+//! The CI matrix runs this binary under `OPLIX_JOBS ∈ {2, 7}`; nothing
+//! here may depend on the worker budget.
+
+use oplix_datasets::assign::AssignmentKind;
+use oplix_datasets::synth::{digits, SynthConfig};
+use oplix_photonics::decoder::DecoderKind;
+use oplix_photonics::svd_map::MeshStyle;
+use oplixnet::engine::{Confidence, InferenceEngine};
+use oplixnet::serve::{sample_row, CanaryPolicy, Prediction, Server, SwapOutcome};
+use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+use oplixnet::{DeployedDetection, Error};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Barrier;
+use std::time::Duration;
+
+fn test_view(samples: usize, seed: u64) -> oplix_nn::trainer::CDataset {
+    let raw = digits(&SynthConfig {
+        height: 8,
+        width: 8,
+        samples,
+        seed,
+        ..Default::default()
+    });
+    AssignmentKind::SpatialInterlace.apply_dataset_flat(&raw)
+}
+
+/// A deployable engine whose weights are a pure function of `seed` —
+/// "version v" in these tests is the engine from seed `BASE + v`.
+fn engine(seed: u64, input: usize) -> InferenceEngine {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = build_fcnn(
+        &FcnnConfig {
+            input,
+            hidden: 16,
+            classes: 10,
+        },
+        ModelVariant::Split(DecoderKind::Merge),
+        &mut rng,
+    );
+    InferenceEngine::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+        .expect("FCNN deploys")
+}
+
+/// Stress tentpole: 8 concurrent submitters across 4 versions (3 hot
+/// swaps mid-traffic). Round structure — all clients submit, barrier,
+/// the coordinator swaps, barrier — makes the per-version ticket counts
+/// deterministic; the served classes must be bitwise the dedicated
+/// engine of each ticket's admitted version.
+#[test]
+fn concurrent_swaps_serve_every_ticket_by_its_admitted_version() {
+    const CLIENTS: usize = 8;
+    const PER_ROUND: usize = 31;
+    const VERSIONS: usize = 4; // v1..v4: 3 swaps
+    const BASE: u64 = 71_000;
+
+    let test = test_view(CLIENTS * PER_ROUND, 70_999);
+    let input = test.inputs.shape()[1];
+    let n = CLIENTS * PER_ROUND;
+
+    // Dedicated reference engines, one per version.
+    let want: Vec<Vec<usize>> = (1..=VERSIONS as u64)
+        .map(|v| {
+            engine(BASE + v, input)
+                .classify(&test.inputs)
+                .expect("reference classify")
+        })
+        .collect();
+
+    let server = Server::builder()
+        .max_batch(32)
+        .max_wait(Duration::from_micros(200))
+        .queue_cap(256)
+        .workers(0)
+        .serve_engine(engine(BASE + 1, input));
+    assert_eq!(server.version(), 1);
+
+    // Two barriers per round: everyone submitted, then swap completed.
+    let submitted = Barrier::new(CLIENTS + 1);
+    let swapped = Barrier::new(CLIENTS + 1);
+
+    let resolved: Vec<Vec<(usize, u64, Prediction)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let client = server.client();
+                let (test, submitted, swapped) = (&test, &submitted, &swapped);
+                scope.spawn(move || {
+                    let mut tickets = Vec::new();
+                    for round in 0..VERSIONS {
+                        for k in 0..PER_ROUND {
+                            let sample = (round * PER_ROUND + k + c * 17) % (CLIENTS * PER_ROUND);
+                            let ticket = client
+                                .submit(sample_row(&test.inputs, sample))
+                                .expect("admits");
+                            assert_eq!(
+                                ticket.version(),
+                                round as u64 + 1,
+                                "round {round}: admission stamped the wrong version"
+                            );
+                            tickets.push((sample, ticket));
+                        }
+                        submitted.wait();
+                        swapped.wait();
+                    }
+                    tickets
+                        .into_iter()
+                        .map(|(sample, t)| {
+                            let version = t.version();
+                            (sample, version, t.wait().expect("ticket resolves"))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+
+        // Coordinator: swap between rounds, while traffic is queued.
+        for v in 2..=VERSIONS as u64 {
+            submitted.wait();
+            let swap = server.swap(engine(BASE + v, input)).expect("swap admits");
+            match swap.wait().expect("swap resolves") {
+                SwapOutcome::Applied { retired, version } => {
+                    assert_eq!(version, v);
+                    // The retired engine is bitwise the previous version.
+                    let mut retired = retired;
+                    assert_eq!(
+                        retired.classify(&test.inputs).expect("retired classifies"),
+                        want[v as usize - 2],
+                        "swap to v{v}: retired engine is not the v{} deployment",
+                        v - 1
+                    );
+                }
+                SwapOutcome::Aborted { .. } => panic!("server is live; swap must apply"),
+            }
+            assert_eq!(server.version(), v);
+            swapped.wait();
+        }
+        // Final round has no swap after it.
+        submitted.wait();
+        swapped.wait();
+
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Zero lost, zero duplicated: every submitted ticket resolved once.
+    let mut by_version = [0u64; VERSIONS + 1];
+    for per_client in &resolved {
+        assert_eq!(per_client.len(), VERSIONS * PER_ROUND);
+        for &(sample, version, prediction) in per_client {
+            by_version[version as usize] += 1;
+            let got = prediction.class().expect("no confidence policy is set");
+            assert_eq!(
+                got,
+                want[version as usize - 1][sample],
+                "sample {sample} admitted under v{version} was not served by v{version}"
+            );
+        }
+    }
+    for v in 1..=VERSIONS {
+        assert_eq!(
+            by_version[v],
+            (CLIENTS * PER_ROUND) as u64,
+            "v{v}: deterministic round structure fixes the per-version count"
+        );
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.version, VERSIONS as u64);
+    assert_eq!(stats.swaps, VERSIONS as u64 - 1);
+    assert_eq!(stats.submitted, (VERSIONS * n) as u64);
+    assert_eq!(stats.served, (VERSIONS * n) as u64);
+    assert_eq!(stats.queue_depth, 0);
+
+    // The engine that comes back out of shutdown is the last version.
+    let mut last = server.shutdown();
+    assert_eq!(
+        last.classify(&test.inputs).expect("classifies"),
+        want[VERSIONS - 1]
+    );
+}
+
+/// Canary accounting: the seeded admission split is deterministic, and
+/// the per-version tallies exactly match replaying the observed
+/// partition through two direct engines under the effective confidence
+/// policy. Promote freezes the tallies and leaves the lane serving only
+/// the candidate; a later rollback leaves it on the (new) baseline.
+#[test]
+fn canary_tallies_match_direct_replay_and_promote_rollback_settle_the_lane() {
+    const BASE: u64 = 72_000;
+    const N: usize = 200;
+
+    let test = test_view(N, 71_999);
+    let input = test.inputs.shape()[1];
+    let labels: Vec<usize> = test.labels.clone();
+
+    let confidence = Confidence {
+        threshold: 0.25,
+        top_k: 3,
+    };
+    let policy = CanaryPolicy {
+        fraction: 0.35,
+        confidence: Some(confidence),
+        seed: 42,
+    };
+
+    // The observed partition must be reproducible: run the same admission
+    // sequence against two independent servers with the same seed.
+    let partition = |server: &Server| -> Vec<u64> {
+        let client = server.client();
+        let tickets: Vec<_> = (0..N)
+            .map(|i| {
+                client
+                    .submit_labeled(sample_row(&test.inputs, i), labels[i])
+                    .expect("admits")
+            })
+            .collect();
+        let versions: Vec<u64> = tickets.iter().map(|t| t.version()).collect();
+        for t in tickets {
+            t.wait().expect("ticket resolves");
+        }
+        versions
+    };
+
+    let server = Server::builder()
+        .max_batch(16)
+        .workers(0)
+        .serve_engine(engine(BASE + 1, input));
+    server
+        .canary(engine(BASE + 2, input), policy)
+        .expect("canary stages");
+    let versions = partition(&server);
+
+    let replay_server = Server::builder()
+        .max_batch(16)
+        .workers(0)
+        .serve_engine(engine(BASE + 1, input));
+    replay_server
+        .canary(engine(BASE + 2, input), policy)
+        .expect("canary stages");
+    assert_eq!(
+        partition(&replay_server),
+        versions,
+        "the seeded split must reproduce the exact partition"
+    );
+    drop(replay_server);
+
+    // Replay the partition through two direct engines under the same
+    // (canary-effective) confidence policy.
+    let mut direct = [engine(BASE + 1, input), engine(BASE + 2, input)];
+    let mut expect = [[0u64; 5]; 2]; // [routed, served, accepted, abstained, correct]
+    for (i, &v) in versions.iter().enumerate() {
+        let slot = (v - 1) as usize;
+        let logits = direct[slot]
+            .predict(&sample_row(&test.inputs, i))
+            .expect("direct predict");
+        let (best, score) = confidence.score(&logits);
+        expect[slot][0] += 1; // routed
+        expect[slot][1] += 1; // served (all tickets were waited)
+        if score >= confidence.threshold {
+            expect[slot][2] += 1; // accepted
+            if best == labels[i] {
+                expect[slot][4] += 1; // correct
+            }
+        } else {
+            expect[slot][3] += 1; // abstained
+        }
+    }
+
+    let stats = server.canary_stats().expect("canary ran");
+    assert_eq!(stats.fraction, 0.35);
+    assert_eq!(stats.seed, 42);
+    for (slot, tally) in [(0, stats.baseline), (1, stats.candidate)] {
+        assert_eq!(tally.version, slot as u64 + 1);
+        assert_eq!(tally.routed, expect[slot][0], "v{}: routed", slot + 1);
+        assert_eq!(tally.served, expect[slot][1], "v{}: served", slot + 1);
+        assert_eq!(tally.accepted, expect[slot][2], "v{}: accepted", slot + 1);
+        assert_eq!(tally.abstained, expect[slot][3], "v{}: abstained", slot + 1);
+        assert_eq!(
+            tally.labeled,
+            expect[slot][1],
+            "v{}: every submission carried a label",
+            slot + 1
+        );
+        assert_eq!(tally.correct, expect[slot][4], "v{}: correct", slot + 1);
+    }
+    assert_eq!(stats.baseline.served + stats.candidate.served, N as u64);
+
+    // Promote: the candidate takes the lane; the retired baseline comes
+    // back bitwise; the frozen tallies survive for the audit trail.
+    let want_v2 = direct[1].classify(&test.inputs).expect("v2 reference");
+    match server
+        .promote()
+        .expect("promote admits")
+        .wait()
+        .expect("promote applies")
+    {
+        SwapOutcome::Applied { retired, version } => {
+            let mut retired = retired;
+            assert_eq!(version, 2);
+            assert_eq!(
+                retired.classify(&test.inputs).expect("retired classifies"),
+                direct[0].classify(&test.inputs).expect("v1 reference"),
+                "promote must retire the v1 baseline"
+            );
+        }
+        SwapOutcome::Aborted { .. } => panic!("server is live; promote must apply"),
+    }
+    assert_eq!(server.version(), 2);
+    assert_eq!(
+        server
+            .canary_stats()
+            .expect("frozen stats remain")
+            .candidate
+            .routed,
+        expect[1][0]
+    );
+
+    // The lane now serves only v2.
+    let client = server.client();
+    let after: Vec<_> = (0..24)
+        .map(|i| client.submit(sample_row(&test.inputs, i)).expect("admits"))
+        .collect();
+    for (i, t) in after.into_iter().enumerate() {
+        assert_eq!(t.version(), 2);
+        assert_eq!(
+            t.wait().expect("resolves").class().expect("no policy now"),
+            want_v2[i]
+        );
+    }
+
+    // A second canary (v3), rolled back: the candidate comes back out,
+    // and the lane keeps serving v2.
+    server
+        .canary(engine(BASE + 3, input), CanaryPolicy::default())
+        .expect("second canary stages");
+    match server
+        .rollback()
+        .expect("rollback admits")
+        .wait()
+        .expect("rollback applies")
+    {
+        SwapOutcome::Applied { retired, version } => {
+            let mut candidate = retired;
+            assert_eq!(version, 2, "rollback keeps the baseline version");
+            assert_eq!(
+                candidate.classify(&test.inputs).expect("classifies"),
+                engine(BASE + 3, input)
+                    .classify(&test.inputs)
+                    .expect("v3 reference"),
+                "rollback must hand the candidate back"
+            );
+        }
+        SwapOutcome::Aborted { .. } => panic!("server is live; rollback must apply"),
+    }
+    assert_eq!(server.version(), 2);
+    let t = client
+        .submit(sample_row(&test.inputs, 0))
+        .expect("admits after rollback");
+    assert_eq!(t.version(), 2);
+    assert_eq!(
+        t.wait().expect("resolves").class().expect("no policy"),
+        want_v2[0]
+    );
+}
+
+/// Regression (deregister-during-swap): a router lane deregistered while
+/// a swap control is still queued must hand back the *currently serving*
+/// engine and abort the swap cleanly — the replacement returns through
+/// the `SwapTicket`, and every admitted request still resolves against
+/// its admitted version.
+#[test]
+fn deregister_during_swap_returns_serving_engine_and_aborts_the_swap() {
+    use oplixnet::router::{Router, RouterRequest};
+
+    const BASE: u64 = 73_000;
+    const BACKLOG: usize = 256;
+
+    let test = test_view(64, 72_999);
+    let input = test.inputs.shape()[1];
+    let want: Vec<Vec<usize>> = (1..=2u64)
+        .map(|v| {
+            engine(BASE + v, input)
+                .classify(&test.inputs)
+                .expect("reference classify")
+        })
+        .collect();
+
+    // The abort path needs the swap control to apply after `deregister`
+    // set the stop flag. A large backlog ahead of the control makes that
+    // overwhelmingly likely (the batcher must flush the whole backlog
+    // before applying the control, while deregister stops the lane
+    // within microseconds); retry a few times and require the abort path
+    // to be observed. Invariants hold on every attempt either way.
+    let mut aborted_seen = false;
+    for attempt in 0..5 {
+        let router = Router::builder()
+            .max_batch(8)
+            .max_wait(Duration::from_micros(50))
+            .queue_cap(BACKLOG + 16)
+            .build();
+        router
+            .register_engine("m", engine(BASE + 1, input))
+            .expect("registers");
+
+        let client = router.client();
+        let tickets: Vec<_> = (0..BACKLOG)
+            .map(|k| {
+                let sample = k % 64;
+                (
+                    sample,
+                    client
+                        .submit(RouterRequest::new("m", sample_row(&test.inputs, sample)))
+                        .expect("admits"),
+                )
+            })
+            .collect();
+
+        let swap = router
+            .swap_model_engine("m", engine(BASE + 2, input))
+            .expect("swap admits");
+        let mut deregistered = router.deregister("m").expect("lane comes back");
+
+        // Every admitted ticket resolves against its admitted version.
+        for (sample, ticket) in tickets {
+            let served = ticket.wait().expect("ticket resolves");
+            let got = served.prediction.class().expect("no policy");
+            assert_eq!(
+                got,
+                want[served.version as usize - 1][sample],
+                "attempt {attempt}: ticket served by the wrong version"
+            );
+        }
+
+        match swap.wait().expect("swap resolves either way") {
+            SwapOutcome::Aborted { replacement } => {
+                aborted_seen = true;
+                let mut replacement = replacement;
+                assert_eq!(
+                    replacement.classify(&test.inputs).expect("classifies"),
+                    want[1],
+                    "attempt {attempt}: aborted swap must hand the v2 candidate back"
+                );
+                assert_eq!(
+                    deregistered.classify(&test.inputs).expect("classifies"),
+                    want[0],
+                    "attempt {attempt}: deregister must return the serving (v1) engine"
+                );
+            }
+            SwapOutcome::Applied { retired, version } => {
+                // The swap won the race: deregister then returns v2 and
+                // the retired engine is v1 — still nothing lost.
+                let mut retired = retired;
+                assert_eq!(version, 2);
+                assert_eq!(
+                    retired.classify(&test.inputs).expect("classifies"),
+                    want[0],
+                    "attempt {attempt}: applied swap must retire the v1 engine"
+                );
+                assert_eq!(
+                    deregistered.classify(&test.inputs).expect("classifies"),
+                    want[1],
+                    "attempt {attempt}: deregister after an applied swap returns v2"
+                );
+            }
+        }
+        if aborted_seen {
+            break;
+        }
+    }
+    assert!(
+        aborted_seen,
+        "the abort path was never exercised in 5 attempts (backlog of {BACKLOG} \
+         requests ahead of the control should make it near-certain)"
+    );
+}
+
+/// Typed errors across the versioned-serving surface — and no engine is
+/// ever lost to an error path that could return it.
+#[test]
+fn versioned_serving_failure_modes_are_typed_errors() {
+    use oplixnet::router::Router;
+
+    const BASE: u64 = 74_000;
+    let test = test_view(8, 73_999);
+    let input = test.inputs.shape()[1];
+
+    let server = Server::builder()
+        .workers(0)
+        .serve_engine(engine(BASE + 1, input));
+
+    // Wrong candidate geometry: typed mismatch naming the candidate.
+    let narrow = {
+        let mut rng = StdRng::seed_from_u64(BASE + 9);
+        let net = build_fcnn(
+            &FcnnConfig {
+                input: input / 2,
+                hidden: 8,
+                classes: 10,
+            },
+            ModelVariant::Split(DecoderKind::Merge),
+            &mut rng,
+        );
+        InferenceEngine::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+            .expect("deploys")
+    };
+    match server.swap(narrow) {
+        Err(Error::ShapeMismatch { expected, what, .. }) => {
+            assert_eq!(expected, input);
+            assert_eq!(what, "candidate input width");
+        }
+        other => panic!("expected ShapeMismatch, got {other:?}"),
+    }
+
+    // No canary staged: promote/rollback are typed refusals.
+    assert!(matches!(server.promote(), Err(Error::NoCanary)));
+    assert!(matches!(server.rollback(), Err(Error::NoCanary)));
+    assert!(server.canary_stats().is_none());
+
+    // While a canary is live, version changes are refused.
+    server
+        .canary(engine(BASE + 2, input), CanaryPolicy::default())
+        .expect("canary stages");
+    assert!(matches!(
+        server.swap(engine(BASE + 3, input)),
+        Err(Error::CanaryActive)
+    ));
+    assert!(matches!(
+        server.canary(engine(BASE + 3, input), CanaryPolicy::default()),
+        Err(Error::CanaryActive)
+    ));
+    server
+        .rollback()
+        .expect("rollback admits")
+        .wait()
+        .expect("rollback applies");
+
+    // Plain tickets are stamped with the live version.
+    let t = server
+        .client()
+        .submit(sample_row(&test.inputs, 0))
+        .expect("admits");
+    assert_eq!(t.version(), 1);
+    assert!(t.wait().is_ok());
+
+    // After shutdown every versioning call is a typed refusal.
+    let client = server.client();
+    let _ = server.shutdown();
+    assert!(matches!(
+        client.submit(sample_row(&test.inputs, 0)),
+        Err(Error::ServerClosed)
+    ));
+
+    // Router-side: unknown model and geometry mismatches are typed too.
+    let router = Router::builder().build();
+    router
+        .register_engine("m", engine(BASE + 4, input))
+        .expect("registers");
+    assert!(matches!(
+        router.swap_model_engine("ghost", engine(BASE + 5, input)),
+        Err(Error::UnknownModel { .. })
+    ));
+    let narrow = {
+        let mut rng = StdRng::seed_from_u64(BASE + 10);
+        let net = build_fcnn(
+            &FcnnConfig {
+                input: input / 2,
+                hidden: 8,
+                classes: 10,
+            },
+            ModelVariant::Split(DecoderKind::Merge),
+            &mut rng,
+        );
+        InferenceEngine::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+            .expect("deploys")
+    };
+    assert!(matches!(
+        router.swap_model_engine("m", narrow),
+        Err(Error::ShapeMismatch {
+            what: "candidate input width",
+            ..
+        })
+    ));
+    let _ = router.deregister("m").expect("lane comes back");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any interleaving of {submit, swap, drain-outstanding} never loses
+    /// or double-serves a ticket: every ticket resolves exactly once, to
+    /// the dedicated-engine prediction of exactly the version it was
+    /// admitted under, and the final drain (shutdown) leaves nothing
+    /// behind.
+    #[test]
+    fn any_interleaving_of_submit_swap_drain_resolves_every_ticket(
+        ops in proptest::collection::vec((0u8..8, 0usize..32), 1..=24)
+    ) {
+        const BASE: u64 = 75_000;
+        let test = test_view(32, 74_999);
+        let input = test.inputs.shape()[1];
+
+        let max_versions = 1 + ops.iter().filter(|(op, _)| *op == 6).count();
+        let want: Vec<Vec<usize>> = (1..=max_versions as u64)
+            .map(|v| {
+                engine(BASE + v, input)
+                    .classify(&test.inputs)
+                    .expect("reference classify")
+            })
+            .collect();
+
+        let server = Server::builder()
+            .max_batch(4)
+            .max_wait(Duration::from_micros(50))
+            .workers(0)
+            .serve_engine(engine(BASE + 1, input));
+        let client = server.client();
+
+        let mut outstanding: Vec<(usize, oplixnet::serve::Ticket)> = Vec::new();
+        let mut submitted = 0u64;
+        let mut resolved = 0u64;
+        let mut version = 1u64;
+        let drain = |outstanding: &mut Vec<(usize, oplixnet::serve::Ticket)>,
+                     resolved: &mut u64| {
+            for (sample, ticket) in outstanding.drain(..) {
+                let v = ticket.version();
+                assert!(v >= 1 && v <= max_versions as u64);
+                let got = ticket
+                    .wait()
+                    .expect("ticket resolves")
+                    .class()
+                    .expect("no confidence policy");
+                assert_eq!(
+                    got,
+                    want[v as usize - 1][sample],
+                    "ticket admitted under v{v} served by another version"
+                );
+                *resolved += 1;
+            }
+        };
+
+        for &(op, sample) in &ops {
+            match op {
+                // Submit dominates the mix, like real traffic.
+                0..=5 => {
+                    let ticket = client
+                        .submit(sample_row(&test.inputs, sample))
+                        .expect("admits");
+                    prop_assert_eq!(ticket.version(), version);
+                    outstanding.push((sample, ticket));
+                    submitted += 1;
+                }
+                6 => {
+                    version += 1;
+                    let swap = server
+                        .swap(engine(BASE + version, input))
+                        .expect("swap admits");
+                    prop_assert!(swap.wait().expect("swap resolves").is_applied());
+                }
+                _ => drain(&mut outstanding, &mut resolved),
+            }
+        }
+        drain(&mut outstanding, &mut resolved);
+        prop_assert_eq!(resolved, submitted, "lost or double-served tickets");
+
+        let stats = server.stats();
+        prop_assert_eq!(stats.submitted, submitted);
+        prop_assert_eq!(stats.served, submitted);
+        prop_assert_eq!(stats.version, version);
+        prop_assert_eq!(stats.swaps, version - 1);
+        let _ = server.shutdown();
+    }
+}
