@@ -251,7 +251,8 @@ fn report_hotswap_baseline(_c: &mut Criterion) {
     let swap_latency_us = swap_latency.as_secs_f64() * 1e6;
     let boundary_dip_factor = swap_run_sps / boundary_sps.max(1e-9);
     let canary_overhead_pct = 100.0 * (1.0 - canary_sps / steady_sps);
-    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let meta = oplix_bench::baseline::BenchMeta::current();
+    let cores = meta.cores;
     println!(
         "hot swap under load, {CLIENTS} clients x {PER_CLIENT} requests on {cores} core(s): \
          steady {steady_sps:.0} samples/s, swap applied in {swap_latency_us:.0} us, \
@@ -266,8 +267,8 @@ fn report_hotswap_baseline(_c: &mut Criterion) {
 
     let json = format!(
         "{{\n  \"clients\": {CLIENTS},\n  \
-         \"requests_total\": {},\n  \
-         \"cores\": {cores},\n  \
+         \"requests_total\": {},\n\
+{meta_fields}  \
          \"steady_sps\": {steady_sps:.0},\n  \
          \"swap_latency_us\": {swap_latency_us:.0},\n  \
          \"boundary_window_ms\": {},\n  \
@@ -277,6 +278,7 @@ fn report_hotswap_baseline(_c: &mut Criterion) {
          \"canary_overhead_pct\": {canary_overhead_pct:.1}\n}}\n",
         CLIENTS * PER_CLIENT,
         2 * BOUNDARY_HALF.as_millis(),
+        meta_fields = meta.json_fields(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotswap.json");
     match std::fs::write(path, &json) {

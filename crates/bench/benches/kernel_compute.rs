@@ -200,8 +200,9 @@ fn report_kernel_baseline(_c: &mut Criterion) {
     println!("train step: {train_transposes} transpose2 materialisations (want 0)");
 
     // --- Persist the baseline. ---
+    let meta = oplix_bench::baseline::BenchMeta::current();
     let json = format!(
-        "{{\n  \"mesh16_interpreted_ns_per_sample\": {:.1},\n  \
+        "{{\n{meta_fields}  \"mesh16_interpreted_ns_per_sample\": {:.1},\n  \
          \"mesh16_compiled_ns_per_sample\": {:.1},\n  \
          \"mesh16_compiled_batch_ns_per_sample\": {:.1},\n  \
          \"mesh16_compiled_speedup\": {:.2},\n  \
@@ -221,6 +222,7 @@ fn report_kernel_baseline(_c: &mut Criterion) {
         exec * 1e6,
         pool::workers_alive(),
         train_transposes,
+        meta_fields = meta.json_fields(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     match std::fs::write(path, &json) {

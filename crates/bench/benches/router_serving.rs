@@ -351,7 +351,8 @@ fn report_router_baseline(_c: &mut Criterion) {
     let single_sps = total / single.as_secs_f64();
     let fanin_sps = total / fanin.as_secs_f64();
     let ratio = fanin_sps / single_sps;
-    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let meta = oplix_bench::baseline::BenchMeta::current();
+    let cores = meta.cores;
     println!(
         "fan-in {CLIENTS} clients x {PER_CLIENT} requests over {MODELS} models on {cores} core(s): \
          single server {single_sps:.0} samples/s, router {fanin_sps:.0} samples/s \
@@ -376,8 +377,8 @@ fn report_router_baseline(_c: &mut Criterion) {
     let json = format!(
         "{{\n  \"clients\": {CLIENTS},\n  \
          \"requests_total\": {},\n  \
-         \"models\": {MODELS},\n  \
-         \"cores\": {cores},\n  \
+         \"models\": {MODELS},\n\
+{meta_fields}  \
          \"single_model_sps\": {single_sps:.0},\n  \
          \"router_fanin_sps\": {fanin_sps:.0},\n  \
          \"fanin_vs_single\": {ratio:.2},\n  \
@@ -387,6 +388,7 @@ fn report_router_baseline(_c: &mut Criterion) {
          \"fifo_miss_rate\": {fifo_miss_rate:.3}\n}}\n",
         CLIENTS * PER_CLIENT,
         MODELS * PER_MODEL,
+        meta_fields = meta.json_fields(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_router.json");
     match std::fs::write(path, &json) {

@@ -183,7 +183,8 @@ fn report_serving_baseline(_c: &mut Criterion) {
     let serialized_sps = total / serialized.as_secs_f64();
     let batcher_sps = total / batched.as_secs_f64();
     let speedup = batcher_sps / serialized_sps;
-    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let meta = oplix_bench::baseline::BenchMeta::current();
+    let cores = meta.cores;
     println!(
         "serving {CLIENTS} clients x {PER_CLIENT} requests on {cores} core(s): \
          serialized lock {serialized_sps:.0} samples/s, micro-batcher {batcher_sps:.0} samples/s \
@@ -192,14 +193,15 @@ fn report_serving_baseline(_c: &mut Criterion) {
 
     let json = format!(
         "{{\n  \"clients\": {CLIENTS},\n  \
-         \"requests_total\": {},\n  \
-         \"cores\": {cores},\n  \
+         \"requests_total\": {},\n\
+{meta_fields}  \
          \"serialized_lock_sps\": {serialized_sps:.0},\n  \
          \"micro_batcher_sps\": {batcher_sps:.0},\n  \
          \"batcher_speedup\": {speedup:.2},\n  \
          \"mean_batch_fill\": {mean_fill:.1},\n  \
          \"batches\": {batches}\n}}\n",
         CLIENTS * PER_CLIENT,
+        meta_fields = meta.json_fields(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
     match std::fs::write(path, &json) {

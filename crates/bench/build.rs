@@ -1,0 +1,19 @@
+//! Captures the compiler version at build time so every `BENCH_*.json`
+//! baseline records the rustc that produced its numbers. Codegen changes
+//! between compiler releases can legitimately move kernel timings, so the
+//! perf-smoke gate refuses to compare baselines across rustc versions
+//! (see `oplix_bench::baseline`).
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    let version = std::process::Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=OPLIX_RUSTC_VERSION={version}");
+    println!("cargo:rerun-if-changed=build.rs");
+}

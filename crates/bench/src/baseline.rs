@@ -1,0 +1,233 @@
+//! Benchmark baseline metadata and the flat-JSON helpers behind the
+//! perf-smoke regression gate.
+//!
+//! Every `BENCH_*.json` baseline at the workspace root carries three
+//! environment fields — `cores`, `rustc`, `commit` — written by the bench
+//! that produced it ([`BenchMeta::current`] + [`BenchMeta::json_fields`]).
+//! The `bench_smoke` gate re-measures the kernel suite and compares
+//! against the checked-in numbers *only* when the environment matches
+//! (same core count, same compiler): comparing a laptop baseline against
+//! a CI runner, or numbers from two different rustc codegen generations,
+//! produces false regressions rather than signal, so a mismatch skips
+//! the gate ([`env_mismatch`]) instead of failing it. `commit` is
+//! informational — it records where a baseline came from, not whether it
+//! is comparable.
+
+use std::collections::BTreeMap;
+
+/// Regression threshold for the perf-smoke gate: a re-measured metric
+/// may drift up to this factor above its checked-in baseline before the
+/// gate fails. Deliberately generous — single-shot CI timings on a
+/// shared runner are noisy — while still catching the 2×-and-worse
+/// regressions that matter (an accidentally de-vectorised kernel, a
+/// quadratic slip in a hot loop).
+pub const PERF_SMOKE_THRESHOLD: f64 = 1.35;
+
+/// The environment a benchmark baseline was measured in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchMeta {
+    /// Cores visible to the process (`std::thread::available_parallelism`).
+    pub cores: usize,
+    /// Full `rustc --version` string of the compiler that built the bench.
+    pub rustc: String,
+    /// Short git commit hash at measurement time (`"unknown"` outside a
+    /// work tree).
+    pub commit: String,
+}
+
+impl BenchMeta {
+    /// Metadata for the currently running bench process.
+    pub fn current() -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let rustc = env!("OPLIX_RUSTC_VERSION").to_string();
+        let commit = std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .unwrap_or_else(|| "unknown".to_string());
+        BenchMeta {
+            cores,
+            rustc,
+            commit,
+        }
+    }
+
+    /// The three metadata lines every baseline writer splices ahead of
+    /// its metric fields (two-space indent, trailing comma and newline).
+    ///
+    /// ```
+    /// let meta = oplix_bench::baseline::BenchMeta {
+    ///     cores: 1,
+    ///     rustc: "rustc 1.0.0".into(),
+    ///     commit: "abc1234".into(),
+    /// };
+    /// assert_eq!(
+    ///     meta.json_fields(),
+    ///     "  \"cores\": 1,\n  \"rustc\": \"rustc 1.0.0\",\n  \"commit\": \"abc1234\",\n"
+    /// );
+    /// ```
+    pub fn json_fields(&self) -> String {
+        format!(
+            "  \"cores\": {},\n  \"rustc\": \"{}\",\n  \"commit\": \"{}\",\n",
+            self.cores, self.rustc, self.commit
+        )
+    }
+}
+
+/// A scalar field of a flat baseline JSON object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineValue {
+    Number(f64),
+    Text(String),
+}
+
+impl BaselineValue {
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            BaselineValue::Number(n) => Some(*n),
+            BaselineValue::Text(_) => None,
+        }
+    }
+
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            BaselineValue::Number(_) => None,
+            BaselineValue::Text(s) => Some(s),
+        }
+    }
+}
+
+/// Parses a flat (single-object, no nesting) JSON file of string and
+/// number fields — the exact shape every `BENCH_*.json` writer emits.
+///
+/// Not a general JSON parser (the workspace has no serde): string values
+/// must not contain commas, escapes, or braces, which holds for the
+/// rustc-version and commit-hash strings the baselines store. Returns
+/// `None` on anything it does not understand rather than guessing.
+///
+/// ```
+/// use oplix_bench::baseline::{parse_flat_json, BaselineValue};
+/// let map = parse_flat_json("{\n  \"a\": 1.5,\n  \"b\": \"x y\"\n}").unwrap();
+/// assert_eq!(map["a"], BaselineValue::Number(1.5));
+/// assert_eq!(map["b"].as_text(), Some("x y"));
+/// ```
+pub fn parse_flat_json(text: &str) -> Option<BTreeMap<String, BaselineValue>> {
+    let body = text.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut map = BTreeMap::new();
+    for entry in body.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (key, value) = entry.split_once(':')?;
+        let key = key.trim().strip_prefix('"')?.strip_suffix('"')?;
+        let value = value.trim();
+        let parsed = if let Some(inner) = value.strip_prefix('"') {
+            BaselineValue::Text(inner.strip_suffix('"')?.to_string())
+        } else {
+            BaselineValue::Number(value.parse().ok()?)
+        };
+        map.insert(key.to_string(), parsed);
+    }
+    Some(map)
+}
+
+/// Returns the reason a parsed baseline must not be compared against the
+/// current environment, or `None` when the gate may run.
+///
+/// Core count and compiler must match exactly; a baseline that predates
+/// the metadata schema (missing fields) is also incomparable. The commit
+/// field is never checked — baselines are *expected* to come from an
+/// earlier commit.
+pub fn env_mismatch(
+    baseline: &BTreeMap<String, BaselineValue>,
+    current: &BenchMeta,
+) -> Option<String> {
+    let cores = baseline.get("cores").and_then(BaselineValue::as_number);
+    let rustc = baseline.get("rustc").and_then(BaselineValue::as_text);
+    match (cores, rustc) {
+        (None, _) | (_, None) => {
+            Some("baseline predates the cores/rustc/commit metadata schema".to_string())
+        }
+        (Some(c), _) if c as usize != current.cores => Some(format!(
+            "baseline measured on {c} core(s), this run sees {}",
+            current.cores
+        )),
+        (_, Some(r)) if r != current.rustc => Some(format!(
+            "baseline measured with `{r}`, this run built with `{}`",
+            current.rustc
+        )),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> BenchMeta {
+        BenchMeta {
+            cores: 1,
+            rustc: "rustc 1.0.0 (abc 2000-01-01)".to_string(),
+            commit: "deadbee".to_string(),
+        }
+    }
+
+    #[test]
+    fn json_fields_round_trip_through_parser() {
+        let m = meta();
+        let json = format!("{{\n{}  \"metric\": 42.5\n}}\n", m.json_fields());
+        let map = parse_flat_json(&json).unwrap();
+        assert_eq!(map["cores"].as_number(), Some(1.0));
+        assert_eq!(map["rustc"].as_text(), Some(m.rustc.as_str()));
+        assert_eq!(map["commit"].as_text(), Some("deadbee"));
+        assert_eq!(map["metric"].as_number(), Some(42.5));
+        assert!(env_mismatch(&map, &m).is_none());
+    }
+
+    #[test]
+    fn parses_checked_in_baseline_shape() {
+        let text = "{\n  \"clients\": 8,\n  \"cores\": 1,\n  \"batcher_speedup\": 1.40\n}\n";
+        let map = parse_flat_json(text).unwrap();
+        assert_eq!(map.len(), 3);
+        assert_eq!(map["batcher_speedup"].as_number(), Some(1.4));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_flat_json("not json").is_none());
+        assert!(parse_flat_json("{\"a\" 1}").is_none());
+        assert!(parse_flat_json("{\"a\": }").is_none());
+    }
+
+    #[test]
+    fn mismatched_cores_and_rustc_are_reported() {
+        let m = meta();
+        let two_cores = parse_flat_json(&format!(
+            "{{\n  \"cores\": 2,\n  \"rustc\": \"{}\"\n}}",
+            m.rustc
+        ))
+        .unwrap();
+        assert!(env_mismatch(&two_cores, &m).unwrap().contains("core"));
+        let other_rustc =
+            parse_flat_json("{\n  \"cores\": 1,\n  \"rustc\": \"rustc 0.9.9\"\n}").unwrap();
+        assert!(env_mismatch(&other_rustc, &m).unwrap().contains("rustc"));
+        let legacy = parse_flat_json("{\n  \"metric\": 1.0\n}").unwrap();
+        assert!(env_mismatch(&legacy, &m).unwrap().contains("schema"));
+    }
+
+    #[test]
+    fn commit_difference_is_not_a_mismatch() {
+        let m = meta();
+        let map = parse_flat_json(&format!(
+            "{{\n  \"cores\": 1,\n  \"rustc\": \"{}\",\n  \"commit\": \"0000000\"\n}}",
+            m.rustc
+        ))
+        .unwrap();
+        assert!(env_mismatch(&map, &m).is_none());
+    }
+}

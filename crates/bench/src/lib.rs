@@ -6,6 +6,11 @@
 //!
 //! Set `OPLIX_BENCH_SCALE=quick` to run the experiment benches at
 //! smoke-test scale.
+//!
+//! The [`baseline`] module carries the `BENCH_*.json` metadata schema
+//! and the flat-JSON parsing behind the `bench_smoke` perf gate.
+
+pub mod baseline;
 
 use oplixnet::experiments::Scale;
 use std::time::Instant;

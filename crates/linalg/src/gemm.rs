@@ -13,8 +13,18 @@
 //!
 //! There is deliberately **no** per-element `a == 0` skip branch (the old
 //! kernels had one): the branch costs a compare per multiply on the hot
-//! path, defeats autovectorisation of the inner loop, and only pays off
+//! path, defeats vectorisation of the inner loop, and only pays off
 //! for exactly-zero weights, which trained networks do not have.
+//!
+//! The `j` inner loop of every driver is the one explicit lane
+//! micro-kernel, [`GemmScalar::axpy_rows`]: [`F64x4`]-blocked for `f64`,
+//! [`F32x8`]-blocked for `f32`, and planar (split re/im lanes) for
+//! [`Complex64`], each with a scalar remainder tail running the identical
+//! per-element expression — so the kernels no longer depend on the
+//! autovectoriser recognising the loop shape. On `x86_64` each driver
+//! additionally dispatches to an AVX2-compiled clone of the same portable
+//! code behind [`crate::lanes::avx2_available`]; see the [`crate::lanes`]
+//! docs for why both layers stay bitwise.
 //!
 //! Blocking parameters are modest ([`NC`]/[`KC`]/[`MC`]): the matrices
 //! flowing through an MZI-mesh simulator are a few hundred wide at most,
@@ -23,6 +33,8 @@
 //!
 //! [`Complex64`]: crate::Complex64
 
+use crate::lanes::{cmul_splat_lhs, F32x8, F64x4};
+use crate::Complex64;
 use std::ops::{AddAssign, Mul};
 
 /// Column-block width: the `j` tile kept hot across an `i` sweep.
@@ -33,11 +45,66 @@ pub const KC: usize = 64;
 pub const MC: usize = 32;
 
 /// The scalar types the shared kernel accepts: plain `Copy` arithmetic
-/// with a `Default` zero. Implemented by `f32`, `f64` and
-/// [`Complex64`](crate::Complex64).
-pub trait GemmScalar: Copy + Default + Mul<Output = Self> + AddAssign {}
+/// with a `Default` zero, plus the lane-structured axpy micro-kernel the
+/// blocked drivers run their `j` inner loop through. Implemented by
+/// `f32`, `f64` and [`Complex64`].
+pub trait GemmScalar: Copy + Default + Mul<Output = Self> + AddAssign {
+    /// `out[j] += a * b[j]` over two equal-length rows — the one inner
+    /// loop every blocked driver ([`gemm`] / [`gemm_nt`] / [`gemm_tn`])
+    /// runs. Each implementation is lane-blocked
+    /// ([`F64x4`] / [`F32x8`] / planar complex) with a scalar remainder
+    /// tail running the identical per-element expression, so the lane
+    /// kernel is bitwise the scalar loop by construction.
+    fn axpy_rows(out: &mut [Self], a: Self, b: &[Self]);
+}
 
-impl<T: Copy + Default + Mul<Output = T> + AddAssign> GemmScalar for T {}
+macro_rules! real_axpy {
+    ($elem:ty, $lane:ident) => {
+        impl GemmScalar for $elem {
+            #[inline(always)]
+            fn axpy_rows(out: &mut [Self], a: Self, b: &[Self]) {
+                let av = $lane::splat(a);
+                let mut o_it = out.chunks_exact_mut($lane::LANES);
+                let mut b_it = b.chunks_exact($lane::LANES);
+                for (o, bv) in (&mut o_it).zip(&mut b_it) {
+                    ($lane::load(o) + av * $lane::load(bv)).store(o);
+                }
+                for (o, &bv) in o_it.into_remainder().iter_mut().zip(b_it.remainder()) {
+                    *o += a * bv;
+                }
+            }
+        }
+    };
+}
+
+real_axpy!(f64, F64x4);
+real_axpy!(f32, F32x8);
+
+impl GemmScalar for Complex64 {
+    /// Planar complex axpy: four complex elements travel as one re lane
+    /// and one im lane, the cross terms computed with the exact
+    /// [`Complex64`] `Mul` expression shape
+    /// ([`cmul_splat_lhs`]) — bitwise four scalar `out[j] += a * b[j]`
+    /// steps.
+    #[inline(always)]
+    fn axpy_rows(out: &mut [Self], a: Self, b: &[Self]) {
+        const L: usize = F64x4::LANES;
+        let mut o_it = out.chunks_exact_mut(L);
+        let mut b_it = b.chunks_exact(L);
+        for (o, bv) in (&mut o_it).zip(&mut b_it) {
+            let br = F64x4([bv[0].re, bv[1].re, bv[2].re, bv[3].re]);
+            let bi = F64x4([bv[0].im, bv[1].im, bv[2].im, bv[3].im]);
+            let (pr, pi) = cmul_splat_lhs(a.re, a.im, br, bi);
+            for l in 0..L {
+                o[l].re += pr.0[l];
+                o[l].im += pi.0[l];
+            }
+        }
+        for (o, &bv) in o_it.into_remainder().iter_mut().zip(b_it.remainder()) {
+            *o += a * bv;
+        }
+    }
+}
 
 /// `out = A · B` with `A: m×k`, `B: k×n`, all row-major.
 ///
@@ -63,6 +130,25 @@ pub fn gemm<T: GemmScalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], out: 
     assert_eq!(a.len(), m * k, "gemm: lhs length must be m*k");
     assert_eq!(b.len(), k * n, "gemm: rhs length must be k*n");
     assert_eq!(out.len(), m * n, "gemm: out length must be m*n");
+    #[cfg(target_arch = "x86_64")]
+    if crate::lanes::avx2_available() {
+        // SAFETY: AVX2 support was just verified at runtime; the clone is
+        // the identical portable lane code (see `lanes` module docs), so
+        // results are bitwise unchanged.
+        unsafe { gemm_avx2(m, k, n, a, b, out) };
+        return;
+    }
+    gemm_impl(m, k, n, a, b, out);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_avx2<T: GemmScalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], out: &mut [T]) {
+    gemm_impl(m, k, n, a, b, out);
+}
+
+#[inline(always)]
+fn gemm_impl<T: GemmScalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], out: &mut [T]) {
     out.fill(T::default());
     let mut j0 = 0;
     while j0 < n {
@@ -77,11 +163,7 @@ pub fn gemm<T: GemmScalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], out: 
                     let a_row = &a[i * k..(i + 1) * k];
                     let out_row = &mut out[i * n + j0..i * n + jn];
                     for t in k0..kn {
-                        let av = a_row[t];
-                        let b_row = &b[t * n + j0..t * n + jn];
-                        for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                            *o += av * bv;
-                        }
+                        T::axpy_rows(out_row, a_row[t], &b[t * n + j0..t * n + jn]);
                     }
                 }
                 i0 = im;
@@ -128,6 +210,31 @@ pub fn gemm_nt<T: GemmScalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], ou
     assert_eq!(a.len(), m * k, "gemm_nt: lhs length must be m*k");
     assert_eq!(b.len(), n * k, "gemm_nt: rhs length must be n*k");
     assert_eq!(out.len(), m * n, "gemm_nt: out length must be m*n");
+    #[cfg(target_arch = "x86_64")]
+    if crate::lanes::avx2_available() {
+        // SAFETY: AVX2 support was just verified at runtime; the clone is
+        // the identical portable lane code, bitwise unchanged.
+        unsafe { gemm_nt_avx2(m, k, n, a, b, out) };
+        return;
+    }
+    gemm_nt_impl(m, k, n, a, b, out);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_nt_avx2<T: GemmScalar>(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[T],
+    b: &[T],
+    out: &mut [T],
+) {
+    gemm_nt_impl(m, k, n, a, b, out);
+}
+
+#[inline(always)]
+fn gemm_nt_impl<T: GemmScalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], out: &mut [T]) {
     out.fill(T::default());
     let mut panel = vec![T::default(); KC.min(k.max(1)) * NC.min(n.max(1))];
     let mut j0 = 0;
@@ -149,11 +256,7 @@ pub fn gemm_nt<T: GemmScalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], ou
                 let a_row = &a[i * k..(i + 1) * k];
                 let out_row = &mut out[i * n + j0..i * n + jn];
                 for t in k0..kn {
-                    let av = a_row[t];
-                    let p_row = &panel[(t - k0) * jw..(t - k0 + 1) * jw];
-                    for (o, &bv) in out_row.iter_mut().zip(p_row) {
-                        *o += av * bv;
-                    }
+                    T::axpy_rows(out_row, a_row[t], &panel[(t - k0) * jw..(t - k0 + 1) * jw]);
                 }
             }
             k0 = kn;
@@ -192,15 +295,37 @@ pub fn gemm_tn<T: GemmScalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], ou
     assert_eq!(a.len(), k * m, "gemm_tn: lhs length must be k*m");
     assert_eq!(b.len(), k * n, "gemm_tn: rhs length must be k*n");
     assert_eq!(out.len(), m * n, "gemm_tn: out length must be m*n");
+    #[cfg(target_arch = "x86_64")]
+    if crate::lanes::avx2_available() {
+        // SAFETY: AVX2 support was just verified at runtime; the clone is
+        // the identical portable lane code, bitwise unchanged.
+        unsafe { gemm_tn_avx2(m, k, n, a, b, out) };
+        return;
+    }
+    gemm_tn_impl(m, k, n, a, b, out);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_tn_avx2<T: GemmScalar>(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[T],
+    b: &[T],
+    out: &mut [T],
+) {
+    gemm_tn_impl(m, k, n, a, b, out);
+}
+
+#[inline(always)]
+fn gemm_tn_impl<T: GemmScalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], out: &mut [T]) {
     out.fill(T::default());
     for t in 0..k {
         let a_row = &a[t * m..(t + 1) * m];
         let b_row = &b[t * n..(t + 1) * n];
         for (i, &av) in a_row.iter().enumerate() {
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
+            T::axpy_rows(&mut out[i * n..(i + 1) * n], av, b_row);
         }
     }
 }
@@ -299,6 +424,54 @@ mod tests {
             }
         }
         assert_eq!(out, naive);
+    }
+
+    /// The lane micro-kernel (`axpy_rows`) must be bitwise the scalar
+    /// loop at every row width around the lane boundaries (F64x4 /
+    /// F32x8): tail-only rows, exactly one lane, one lane plus a tail.
+    #[test]
+    fn lane_awkward_row_widths_are_bitwise_naive() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (m, k) = (3usize, 13usize);
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17] {
+            let a: Vec<f64> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let b: Vec<f64> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut out = vec![0.0; m * n];
+            gemm(m, k, n, &a, &b, &mut out);
+            assert_eq!(out, naive_ikj(m, k, n, &a, &b), "f64 n={n}");
+
+            let af: Vec<f32> = a.iter().map(|&v| v as f32).collect();
+            let bf: Vec<f32> = b.iter().map(|&v| v as f32).collect();
+            let mut outf = vec![0.0f32; m * n];
+            gemm(m, k, n, &af, &bf, &mut outf);
+            let mut naive = vec![0.0f32; m * n];
+            for i in 0..m {
+                for t in 0..k {
+                    for j in 0..n {
+                        naive[i * n + j] += af[i * k + t] * bf[t * n + j];
+                    }
+                }
+            }
+            assert_eq!(outf, naive, "f32 n={n}");
+
+            let ac: Vec<Complex64> = (0..m * k)
+                .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            let bc: Vec<Complex64> = (0..k * n)
+                .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            let mut outc = vec![Complex64::ZERO; m * n];
+            gemm(m, k, n, &ac, &bc, &mut outc);
+            let mut naivec = vec![Complex64::ZERO; m * n];
+            for i in 0..m {
+                for t in 0..k {
+                    for j in 0..n {
+                        naivec[i * n + j] += ac[i * k + t] * bc[t * n + j];
+                    }
+                }
+            }
+            assert_eq!(outc, naivec, "complex n={n}");
+        }
     }
 
     #[test]

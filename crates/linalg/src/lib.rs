@@ -17,6 +17,9 @@
 //! * [`gemm`] — the shared cache-blocked GEMM kernel every dense product
 //!   in the workspace (real, complex, and the `f32` training tensors)
 //!   runs through, with transpose-free `NT`/`TN` layouts.
+//! * [`lanes`] — the portable array-of-lanes SIMD primitives (no-FMA,
+//!   bitwise-by-construction) the GEMM micro-kernel and the compiled mesh
+//!   sweep are written against.
 //!
 //! # Example
 //!
@@ -32,6 +35,7 @@
 pub mod complex;
 pub mod fft;
 pub mod gemm;
+pub mod lanes;
 pub mod matrix;
 pub mod qr;
 pub mod svd;

@@ -29,13 +29,76 @@
 
 use crate::mesh::MziMesh;
 use crate::svd_map::PhotonicLayer;
+use oplix_linalg::lanes::{cmul_splat_lhs, cmul_splat_rhs, F64x4, Lane};
 use oplix_linalg::Complex64;
 
 std::thread_local! {
-    /// Reusable mode-major staging buffer of [`CompiledMesh::propagate_batch`]:
+    /// Reusable planar mode-major staging buffer of
+    /// [`CompiledMesh::propagate_batch`] (`2n` rows of `samples` doubles:
+    /// row `2m` holds mode `m`'s re parts, row `2m+1` its im parts):
     /// after warm-up, batched propagation allocates nothing per window.
-    static MODE_MAJOR_SCRATCH: std::cell::RefCell<Vec<Complex64>> =
+    static MODE_MAJOR_SCRATCH: std::cell::RefCell<Vec<f64>> =
         const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Window size below which [`CompiledMesh::propagate_batch`] stays
+/// sample-major: the planar transposes cost more than the
+/// coefficient-reload traffic they save. Re-tuned for the planar lane
+/// sweep: below one full lane of the widest tier (8 doubles) every
+/// butterfly runs in the scalar remainder tail, so the planar path is
+/// pure transpose overhead (~600 ns/sample either way on the 16-mode
+/// Clements mesh), while at exactly 8 samples the lane sweep already
+/// runs ~3.5× faster than sample-major. Public so the property tests
+/// can pin windows straddling the switch.
+pub const MODE_MAJOR_MIN_SAMPLES: usize = 8;
+
+/// One MZI butterfly swept across a whole planar sample window: the four
+/// rows are mode `m`'s and mode `m+1`'s re/im parts, and every lane of
+/// four samples runs `x' = t00·x + t01·y`, `y' = t10·x + t11·y` with the
+/// exact [`Complex64`] `Mul`/`Add` expression shape
+/// ([`cmul_splat_lhs`], then element-wise adds). The remainder tail runs
+/// the identical scalar expressions, so the sweep is bitwise the scalar
+/// kernel on every sample.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn butterfly_rows<V: Lane<f64>>(
+    t00: Complex64,
+    t01: Complex64,
+    t10: Complex64,
+    t11: Complex64,
+    xr: &mut [f64],
+    xi: &mut [f64],
+    yr: &mut [f64],
+    yi: &mut [f64],
+) {
+    let samples = xr.len();
+    let full = samples - samples % V::LANES;
+    let mut c = 0;
+    while c < full {
+        let vxr = V::load(&xr[c..]);
+        let vxi = V::load(&xi[c..]);
+        let vyr = V::load(&yr[c..]);
+        let vyi = V::load(&yi[c..]);
+        let (pr, pi) = cmul_splat_lhs(t00.re, t00.im, vxr, vxi);
+        let (qr, qi) = cmul_splat_lhs(t01.re, t01.im, vyr, vyi);
+        let (rr, ri) = cmul_splat_lhs(t10.re, t10.im, vxr, vxi);
+        let (sr, si) = cmul_splat_lhs(t11.re, t11.im, vyr, vyi);
+        (pr + qr).store(&mut xr[c..]);
+        (pi + qi).store(&mut xi[c..]);
+        (rr + sr).store(&mut yr[c..]);
+        (ri + si).store(&mut yi[c..]);
+        c += V::LANES;
+    }
+    for s in full..samples {
+        let x = Complex64::new(xr[s], xi[s]);
+        let y = Complex64::new(yr[s], yi[s]);
+        let nx = t00 * x + t01 * y;
+        let ny = t10 * x + t11 * y;
+        xr[s] = nx.re;
+        xi[s] = nx.im;
+        yr[s] = ny.re;
+        yi[s] = ny.im;
+    }
 }
 
 /// A mesh baked into precomputed 2×2 coefficients, struct-of-arrays,
@@ -209,14 +272,19 @@ impl CompiledMesh {
     /// sequence, so the batch is bitwise identical to `samples` sequential
     /// [`CompiledMesh::propagate_in_place`] calls.
     ///
-    /// Large windows run **mode-major**: the window is transposed into
-    /// one-row-per-waveguide layout, every MZI's four coefficients are
-    /// loaded once and swept across the whole window (two contiguous
-    /// sample rows — the vectorisable shape), and the result is transposed
-    /// back. Per sample this replays the identical stage-major 2×2
-    /// products in the identical order, so the reordering across
-    /// *independent* samples changes nothing bitwise — it only stops the
-    /// kernel re-streaming the whole coefficient table per sample.
+    /// Large windows run **mode-major and planar**: the window is
+    /// transposed into one-re-row-plus-one-im-row-per-waveguide layout,
+    /// every MZI's four coefficients are loaded once and swept across the
+    /// whole window as four-wide lane multiply–adds over the four
+    /// contiguous rows (the lane butterfly), the output phase screen runs
+    /// as the final lane sweep over the same planar rows, and the result
+    /// is transposed back. Per sample this replays the identical
+    /// stage-major 2×2 products in the identical order with the identical
+    /// scalar expression shape (no FMA contraction — see
+    /// [`oplix_linalg::lanes`]), so the reordering across *independent*
+    /// samples changes nothing bitwise — it only stops the kernel
+    /// re-streaming the whole coefficient table per sample and keeps the
+    /// complex cross terms in vector registers.
     ///
     /// # Panics
     ///
@@ -227,11 +295,13 @@ impl CompiledMesh {
             samples * self.n,
             "batch length must be samples * mesh size"
         );
-        // Below this many samples the two transposes cost more than the
-        // coefficient-reload traffic they save.
-        const MODE_MAJOR_MIN_SAMPLES: usize = 8;
+        // An empty mesh (or empty window) propagates nothing — early
+        // return instead of chunking by a fabricated width.
+        if self.n == 0 || samples == 0 {
+            return;
+        }
         if samples < MODE_MAJOR_MIN_SAMPLES || self.modes.is_empty() {
-            for row in fields.chunks_exact_mut(self.n.max(1)) {
+            for row in fields.chunks_exact_mut(self.n) {
                 self.kernel(row);
             }
             return;
@@ -240,40 +310,127 @@ impl CompiledMesh {
             let mut scratch = cell.borrow_mut();
             // Grow-only: the transpose below overwrites every element of
             // the window, so no per-window zero-fill is needed.
-            if scratch.len() < fields.len() {
-                scratch.resize(fields.len(), Complex64::ZERO);
+            let planar_len = 2 * fields.len();
+            if scratch.len() < planar_len {
+                scratch.resize(planar_len, 0.0);
             }
-            let scratch = &mut scratch[..fields.len()];
-            // Transpose sample-major [s][m] → mode-major [m][s].
-            for s in 0..samples {
-                for m in 0..self.n {
-                    scratch[m * samples + s] = fields[s * self.n + m];
+            let scratch = &mut scratch[..planar_len];
+            #[cfg(target_arch = "x86_64")]
+            {
+                // SAFETY: each feature was just verified at runtime; the
+                // clones are the identical portable lane code monomorphised
+                // at the register width the feature provides (same
+                // operations, same order), so results are bitwise
+                // unchanged — see `oplix_linalg::lanes`.
+                if oplix_linalg::lanes::avx512f_available() {
+                    unsafe { self.mode_major_batch_avx512(fields, scratch, samples) };
+                    return;
+                }
+                if oplix_linalg::lanes::avx2_available() {
+                    unsafe { self.mode_major_batch_avx2(fields, scratch, samples) };
+                    return;
                 }
             }
-            for idx in 0..self.modes.len() {
-                let m = self.modes[idx] as usize;
-                let (t00, t01, t10, t11) =
-                    (self.t00[idx], self.t01[idx], self.t10[idx], self.t11[idx]);
-                let (upper, lower) = scratch[m * samples..].split_at_mut(samples);
-                for (a, b) in upper.iter_mut().zip(&mut lower[..samples]) {
-                    let (x, y) = (*a, *b);
-                    *a = t00 * x + t01 * y;
-                    *b = t10 * x + t11 * y;
-                }
-            }
-            for m in 0..self.n {
-                let ph = self.out_phasors[m];
-                for f in &mut scratch[m * samples..(m + 1) * samples] {
-                    *f *= ph;
-                }
-            }
-            // Transpose back.
-            for s in 0..samples {
-                for m in 0..self.n {
-                    fields[s * self.n + m] = scratch[m * samples + s];
-                }
-            }
+            self.mode_major_batch::<F64x4>(fields, scratch, samples);
         });
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn mode_major_batch_avx512(
+        &self,
+        fields: &mut [Complex64],
+        scratch: &mut [f64],
+        samples: usize,
+    ) {
+        self.mode_major_batch::<oplix_linalg::lanes::F64x8>(fields, scratch, samples);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mode_major_batch_avx2(
+        &self,
+        fields: &mut [Complex64],
+        scratch: &mut [f64],
+        samples: usize,
+    ) {
+        self.mode_major_batch::<F64x4>(fields, scratch, samples);
+    }
+
+    /// The planar mode-major kernel body, generic over the lane width the
+    /// dispatch tier selected: transpose the window planar, replay every
+    /// baked 2×2 butterfly in stage-major order across the whole window,
+    /// then transpose back with the output phase screen folded into the
+    /// final sweep (each lane of fields is phasor-multiplied in planar
+    /// registers right before it scatters back sample-major, so the
+    /// screen costs no separate pass over the scratch).
+    #[inline(always)]
+    fn mode_major_batch<V: Lane<f64>>(
+        &self,
+        fields: &mut [Complex64],
+        scratch: &mut [f64],
+        samples: usize,
+    ) {
+        let n = self.n;
+        let full = samples - samples % V::LANES;
+        // Transpose sample-major [s][m] → planar mode-major: row `2m`
+        // holds mode m's re parts over the window, row `2m+1` its im
+        // parts, so each butterfly touches four adjacent rows.
+        for m in 0..n {
+            let base = 2 * m * samples;
+            let mut s = 0;
+            while s < full {
+                V::from_fn(|l| fields[(s + l) * n + m].re).store(&mut scratch[base + s..]);
+                V::from_fn(|l| fields[(s + l) * n + m].im)
+                    .store(&mut scratch[base + samples + s..]);
+                s += V::LANES;
+            }
+            for s in full..samples {
+                let f = fields[s * n + m];
+                scratch[base + s] = f.re;
+                scratch[base + samples + s] = f.im;
+            }
+        }
+        for idx in 0..self.modes.len() {
+            let m = self.modes[idx] as usize;
+            let (x, rest) = scratch[2 * m * samples..].split_at_mut(2 * samples);
+            let (xr, xi) = x.split_at_mut(samples);
+            let (yr, yi) = rest[..2 * samples].split_at_mut(samples);
+            butterfly_rows::<V>(
+                self.t00[idx],
+                self.t01[idx],
+                self.t10[idx],
+                self.t11[idx],
+                xr,
+                xi,
+                yr,
+                yi,
+            );
+        }
+        // Transpose back, phase screen folded in: `f * phasor` with the
+        // field as the left operand — the exact scalar expression of the
+        // per-sample kernel's `*f *= ph` pass.
+        for m in 0..n {
+            let ph = self.out_phasors[m];
+            let base = 2 * m * samples;
+            let mut s = 0;
+            while s < full {
+                let (re, im) = cmul_splat_rhs(
+                    V::load(&scratch[base + s..]),
+                    V::load(&scratch[base + samples + s..]),
+                    ph.re,
+                    ph.im,
+                );
+                for l in 0..V::LANES {
+                    fields[(s + l) * n + m] = Complex64::new(re.get(l), im.get(l));
+                }
+                s += V::LANES;
+            }
+            for s in full..samples {
+                fields[s * n + m] =
+                    Complex64::new(scratch[base + s], scratch[base + samples + s]) * ph;
+            }
+        }
     }
 
     /// Reconstructs the unitary the mesh implements by propagating the
@@ -317,6 +474,14 @@ pub enum GatherSource {
 /// deploy layer's parallel gather path fans the same loop out across the
 /// executor, so both are bitwise identical by construction.
 ///
+/// The loop is **run-blocked** rather than per-slot: maximal runs of
+/// consecutive `Input(j), Input(j+1), …` taps (the common case — an
+/// im2col plan reads whole kernel-width rows of the input) become one
+/// contiguous `copy_from_slice`, and runs of `Dark` / `Reference` become
+/// splat `fill`s — each a vectorised block move instead of a per-slot
+/// match. The values written per slot are identical to the per-slot walk,
+/// so the blocking is bitwise by construction.
+///
 /// # Panics
 ///
 /// Panics if `dst.len() != plan.len()` or a plan entry indexes past
@@ -328,12 +493,34 @@ pub fn gather_into(plan: &[GatherSource], sample: &[Complex64], dst: &mut [Compl
         plan.len(),
         "gather destination must fit the plan"
     );
-    for (slot, gather) in plan.iter().enumerate() {
-        dst[slot] = match *gather {
-            GatherSource::Input(j) => sample[j as usize],
-            GatherSource::Dark => Complex64::ZERO,
-            GatherSource::Reference => Complex64::ONE,
-        };
+    let mut i = 0;
+    while i < plan.len() {
+        let start = i;
+        match plan[i] {
+            GatherSource::Input(j0) => {
+                let mut j = j0;
+                i += 1;
+                while i < plan.len() && j < u32::MAX && plan[i] == GatherSource::Input(j + 1) {
+                    i += 1;
+                    j += 1;
+                }
+                dst[start..i].copy_from_slice(&sample[j0 as usize..=j as usize]);
+            }
+            GatherSource::Dark => {
+                i += 1;
+                while i < plan.len() && plan[i] == GatherSource::Dark {
+                    i += 1;
+                }
+                dst[start..i].fill(Complex64::ZERO);
+            }
+            GatherSource::Reference => {
+                i += 1;
+                while i < plan.len() && plan[i] == GatherSource::Reference {
+                    i += 1;
+                }
+                dst[start..i].fill(Complex64::ONE);
+            }
+        }
     }
 }
 

@@ -312,6 +312,59 @@ fn parallel_gather_window_is_bitwise_sequential_gather() {
 }
 
 #[test]
+fn run_blocked_gather_is_bitwise_per_slot_walk() {
+    // `gather_into` coalesces consecutive `Input(j), Input(j+1), …` runs
+    // into block copies and `Dark`/`Reference` runs into splat fills; the
+    // values per slot must be exactly the naive per-slot walk. Cover the
+    // degenerate plans the blocking must not mis-group: all-Dark,
+    // all-Reference, single ascending runs, *descending* inputs (every
+    // slot its own run), repeated indices, and run boundaries at both
+    // ends of the plan.
+    use oplix_photonics::compiled::{gather_into, GatherSource};
+    use GatherSource::{Dark, Input, Reference};
+
+    let sample: Vec<Complex64> = (0..12)
+        .map(|i| Complex64::new(i as f64 + 0.25, -(i as f64) * 0.5))
+        .collect();
+    let plans: Vec<Vec<GatherSource>> = vec![
+        vec![],
+        vec![Dark; 9],
+        vec![Reference; 9],
+        (0..12).map(Input).collect(),
+        (0..12).rev().map(Input).collect(),
+        vec![Input(3); 5],
+        vec![
+            Reference,
+            Input(4),
+            Input(5),
+            Input(6),
+            Dark,
+            Dark,
+            Input(0),
+            Input(2),
+            Input(3),
+            Reference,
+            Reference,
+            Dark,
+        ],
+        vec![Input(11), Reference, Dark, Input(0)],
+    ];
+    for (which, plan) in plans.iter().enumerate() {
+        let mut got = vec![Complex64::new(f64::NAN, f64::NAN); plan.len()];
+        gather_into(plan, &sample, &mut got);
+        let want: Vec<Complex64> = plan
+            .iter()
+            .map(|src| match src {
+                Input(j) => sample[*j as usize],
+                Dark => Complex64::ZERO,
+                Reference => Complex64::ONE,
+            })
+            .collect();
+        assert_eq!(got, want, "plan #{which}");
+    }
+}
+
+#[test]
 fn pooled_lenet_style_body_deploys_and_agrees_with_software() {
     // Average pooling lowers as an electronic gather between optical
     // stages, so a full LeNet-style body (conv-relu-pool twice, then the

@@ -8,7 +8,7 @@ use oplix_linalg::{CMatrix, Complex64};
 use oplix_nn::ctensor::CTensor;
 use oplix_nn::tensor::Tensor;
 use oplix_photonics::clements::decompose_clements;
-use oplix_photonics::compiled::{CompiledLayer, CompiledMesh};
+use oplix_photonics::compiled::{CompiledLayer, CompiledMesh, MODE_MAJOR_MIN_SAMPLES};
 use oplix_photonics::decoder::DecoderKind;
 use oplix_photonics::reck::decompose_reck;
 use oplix_photonics::svd_map::{MeshStyle, PhotonicLayer};
@@ -19,6 +19,10 @@ use oplixnet::DeployedDetection;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+// The window range sampled by `propagate_batch_is_bitwise_per_sample_across_windows`
+// must straddle the scalar/planar switch so both paths are covered.
+const _: () = assert!(MODE_MAJOR_MIN_SAMPLES < 40);
 
 fn random_fields(n: usize, seed: u64) -> Vec<Complex64> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -69,6 +73,38 @@ fn compiled_svd_layers_are_bitwise_across_styles() {
     }
 }
 
+/// Naive strictly-ascending-`k` f32 matmul: the scalar twin the lane
+/// micro-kernel in `oplix_linalg::gemm` must reproduce bit for bit.
+fn naive_matmul_f32(x: &Tensor, w: &Tensor) -> Tensor {
+    let (m, k) = (x.shape()[0], x.shape()[1]);
+    let n = w.shape()[1];
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for t in 0..k {
+            let a = x.as_slice()[i * k + t];
+            for j in 0..n {
+                out.as_mut_slice()[i * n + j] += a * w.as_slice()[t * n + j];
+            }
+        }
+    }
+    out
+}
+
+/// Naive strictly-ascending-`k` complex matmul, same role as
+/// [`naive_matmul_f32`] for the planar `Complex64` lane kernel.
+fn naive_matmul_c64(x: &CMatrix, w: &CMatrix) -> CMatrix {
+    let mut out = CMatrix::zeros(x.rows(), w.cols());
+    for i in 0..x.rows() {
+        for t in 0..x.cols() {
+            let a = x[(i, t)];
+            for j in 0..w.cols() {
+                out[(i, j)] += a * w[(t, j)];
+            }
+        }
+    }
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -88,6 +124,58 @@ proptest! {
         let dy = Tensor::random_uniform(&[k, m], 1.0, &mut rng);
         let b = Tensor::random_uniform(&[k, n], 1.0, &mut rng);
         prop_assert_eq!(dy.matmul_tn(&b), dy.transpose2().matmul(&b));
+    }
+
+    /// The lane micro-kernel behind every GEMM is bitwise the naive
+    /// strictly-ascending-`k` scalar loop, across shapes chosen to
+    /// straddle the lane widths (4/8/16) in the `j` dimension —
+    /// remainder-tail-only rows, exactly-one-lane rows, lane-plus-tail
+    /// rows — and single-row products.
+    #[test]
+    fn gemm_lane_kernel_is_bitwise_naive_scalar(
+        mi in 0usize..3,
+        ki in 0usize..4,
+        ni in 0usize..11,
+        seed in 0u64..u64::MAX,
+    ) {
+        let m = [1usize, 2, 5][mi];
+        let k = [1usize, 3, 8, 17][ki];
+        let n = [1usize, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33][ni];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::random_uniform(&[m, k], 1.0, &mut rng);
+        let w = Tensor::random_uniform(&[k, n], 1.0, &mut rng);
+        prop_assert_eq!(x.matmul(&w), naive_matmul_f32(&x, &w));
+        let cx = CMatrix::from_fn(m, k, |_, _| {
+            Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        });
+        let cw = CMatrix::from_fn(k, n, |_, _| {
+            Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        });
+        prop_assert_eq!(cx.matmul(&cw), naive_matmul_c64(&cx, &cw));
+    }
+
+    /// The planar lane sweep behind `propagate_batch` is bitwise the
+    /// per-sample compiled walk (itself pinned to the interpreted mesh)
+    /// for every window size straddling `MODE_MAJOR_MIN_SAMPLES` and the
+    /// lane widths: below the threshold (scalar chunk path), exactly at
+    /// it, lane-multiple windows, and windows with remainder tails.
+    #[test]
+    fn propagate_batch_is_bitwise_per_sample_across_windows(
+        ni in 0usize..4,
+        samples in 0usize..=40,
+        seed in 0u64..u64::MAX,
+    ) {
+        let n = [1usize, 2, 5, 16][ni];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mesh = decompose_clements(&CMatrix::random_unitary(n, &mut rng));
+        let compiled = CompiledMesh::compile(&mesh);
+        let mut batch = random_fields(n * samples, seed ^ 0x5eed);
+        let mut reference = batch.clone();
+        compiled.propagate_batch(&mut batch, samples);
+        for row in reference.chunks_exact_mut(n) {
+            compiled.propagate_in_place(row);
+        }
+        prop_assert_eq!(batch, reference, "n={} samples={}", n, samples);
     }
 }
 
