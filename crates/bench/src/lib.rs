@@ -10,6 +10,10 @@
 //! The [`baseline`] module carries the `BENCH_*.json` metadata schema
 //! and the flat-JSON parsing behind the `bench_smoke` perf gate.
 
+// The unsafe surface of the workspace is confined to the executor and the
+// `#[target_feature]` kernel clones; this crate must stay free of it.
+#![forbid(unsafe_code)]
+
 pub mod baseline;
 
 use oplixnet::experiments::Scale;

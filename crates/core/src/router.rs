@@ -65,12 +65,12 @@
 use crate::engine::{Confidence, InferenceEngine};
 use crate::error::Error;
 use crate::serve::{
-    decide, Control, Counters, EngineRack, Prediction, ServerStats, SwapTicket, VersionGate,
+    decide, relock, Control, Counters, EngineRack, Prediction, ServerStats, SwapTicket, VersionGate,
 };
 use oplix_linalg::Complex64;
 use oplix_nn::network::Network;
 use oplix_photonics::svd_map::MeshStyle;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread;
@@ -435,10 +435,8 @@ impl Lane {
     /// the engine back. Idempotent; `None` after the first call.
     fn shutdown(&self) -> Option<InferenceEngine> {
         self.stop.store(true, Ordering::SeqCst);
-        drop(self.tx.lock().expect("lane sender").take());
-        self.handle
-            .lock()
-            .expect("lane handle")
+        drop(relock(self.tx.lock()).take());
+        relock(self.handle.lock())
             .take()
             .map(|h| h.join().expect("router lane batcher panicked"))
     }
@@ -446,7 +444,10 @@ impl Lane {
 
 /// Everything the router handle and its clients share.
 struct RouterCore {
-    lanes: RwLock<HashMap<String, Arc<Lane>>>,
+    // Name-ordered, so every walk over the lane table — stats snapshots,
+    // shutdown drains — is deterministic by construction (the
+    // determinism-hazards lint forbids hash iteration on serving paths).
+    lanes: RwLock<BTreeMap<String, Arc<Lane>>>,
     policy: LanePolicy,
     queue_cap: usize,
     closed: AtomicBool,
@@ -458,10 +459,7 @@ impl RouterCore {
         if self.closed.load(Ordering::SeqCst) {
             return Err(Error::ServerClosed);
         }
-        let lane = self
-            .lanes
-            .read()
-            .expect("router lanes")
+        let lane = relock(self.lanes.read())
             .get(&req.model)
             .cloned()
             .ok_or(Error::UnknownModel { model: req.model })?;
@@ -483,12 +481,7 @@ impl RouterCore {
                 });
             }
         }
-        let tx = lane
-            .tx
-            .lock()
-            .expect("lane sender")
-            .clone()
-            .ok_or(Error::ServerClosed)?;
+        let tx = relock(lane.tx.lock()).clone().ok_or(Error::ServerClosed)?;
         let (reply, rx) = mpsc::channel();
         let fields = req.fields;
         // Stamp + send under the lane gate's read side, so no swap
@@ -529,7 +522,7 @@ impl RouterCore {
     }
 
     fn stats(&self) -> RouterStats {
-        let lanes = self.lanes.read().expect("router lanes");
+        let lanes = relock(self.lanes.read());
         let mut models = BTreeMap::new();
         let mut shared = 0;
         for (name, lane) in lanes.iter() {
@@ -557,10 +550,10 @@ impl RouterCore {
     fn shutdown_all(&self) -> Vec<(String, InferenceEngine)> {
         self.closed.store(true, Ordering::SeqCst);
         let lanes: Vec<(String, Arc<Lane>)> = {
-            let mut map = self.lanes.write().expect("router lanes");
-            let mut drained: Vec<_> = map.drain().collect();
-            drained.sort_by(|a, b| a.0.cmp(&b.0));
-            drained
+            let mut map = relock(self.lanes.write());
+            // BTreeMap iteration is already name-ordered; no sort needed
+            // for a deterministic shutdown sequence.
+            std::mem::take(&mut *map).into_iter().collect()
         };
         lanes
             .into_iter()
@@ -657,7 +650,7 @@ impl RouterBuilder {
     pub fn build(self) -> Router {
         Router {
             core: Arc::new(RouterCore {
-                lanes: RwLock::new(HashMap::new()),
+                lanes: RwLock::new(BTreeMap::new()),
                 policy: LanePolicy {
                     max_batch: self.max_batch,
                     max_wait: self.max_wait,
@@ -787,7 +780,7 @@ impl Router {
         if core.closed.load(Ordering::SeqCst) {
             return Err(Error::ServerClosed);
         }
-        let mut lanes = core.lanes.write().expect("router lanes");
+        let mut lanes = relock(core.lanes.write());
         if lanes.contains_key(&name) {
             return Err(Error::DuplicateModel { model: name });
         }
@@ -878,11 +871,7 @@ impl Router {
         name: &str,
         engine: InferenceEngine,
     ) -> Result<SwapTicket, Error> {
-        let lane = self
-            .core
-            .lanes
-            .read()
-            .expect("router lanes")
+        let lane = relock(self.core.lanes.read())
             .get(name)
             .cloned()
             .ok_or_else(|| Error::UnknownModel {
@@ -895,12 +884,7 @@ impl Router {
                 what: "candidate input width",
             });
         }
-        let tx = lane
-            .tx
-            .lock()
-            .expect("lane sender")
-            .clone()
-            .ok_or(Error::ServerClosed)?;
+        let tx = relock(lane.tx.lock()).clone().ok_or(Error::ServerClosed)?;
         let (reply, rx) = mpsc::channel();
         lane.gate.barrier(|state| {
             let version = state.current + 1;
@@ -931,40 +915,26 @@ impl Router {
     ///
     /// [`Error::UnknownModel`] if `name` is not registered.
     pub fn deregister(&self, name: &str) -> Result<InferenceEngine, Error> {
-        let lane = self
-            .core
-            .lanes
-            .write()
-            .expect("router lanes")
+        let lane = relock(self.core.lanes.write())
             .remove(name)
             .ok_or_else(|| Error::UnknownModel {
                 model: name.to_string(),
             })?;
-        Ok(lane
-            .shutdown()
-            .expect("a registered lane has not been shut down"))
+        // A lane still in the table has never been shut down (shutdown_all
+        // empties the table first), so this is reachable only if that
+        // invariant breaks — degrade to the typed error rather than panic.
+        lane.shutdown().ok_or(Error::ServerClosed)
     }
 
     /// The registered model names, sorted.
     pub fn models(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .core
-            .lanes
-            .read()
-            .expect("router lanes")
-            .keys()
-            .cloned()
-            .collect();
-        names.sort();
-        names
+        // BTreeMap keys iterate in name order; no extra sort needed.
+        relock(self.core.lanes.read()).keys().cloned().collect()
     }
 
     /// The sample width model `name` expects, if registered.
     pub fn input_dim(&self, name: &str) -> Option<usize> {
-        self.core
-            .lanes
-            .read()
-            .expect("router lanes")
+        relock(self.core.lanes.read())
             .get(name)
             .map(|l| l.input_dim)
     }
@@ -1052,10 +1022,7 @@ impl RouterClient {
 
     /// The sample width model `name` expects, if registered.
     pub fn input_dim(&self, name: &str) -> Option<usize> {
-        self.core
-            .lanes
-            .read()
-            .expect("router lanes")
+        relock(self.core.lanes.read())
             .get(name)
             .map(|l| l.input_dim)
     }
@@ -1267,11 +1234,8 @@ fn lane_batcher(
         // arrives. The spin-then-park straggler collection matches the
         // single-model batcher.
         const SPIN_WAIT: Duration = Duration::from_micros(256);
-        if control.is_none() && !pending.is_empty() {
-            let window_end = pending
-                .oldest_arrival()
-                .expect("pending is non-empty after admission")
-                + policy.max_wait;
+        if let Some(oldest) = pending.oldest_arrival().filter(|_| control.is_none()) {
+            let window_end = oldest + policy.max_wait;
             let spin_until = Instant::now() + SPIN_WAIT.min(policy.max_wait);
             'coalesce: loop {
                 // Drain the whole backlog, not just enough to fill one

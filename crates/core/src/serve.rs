@@ -90,6 +90,18 @@ use crate::deploy::DeployedDetection;
 /// queue (or the batch deadline) instead.
 const IDLE_POLL: Duration = Duration::from_millis(1);
 
+/// Recovers the guard from a possibly poisoned lock.
+///
+/// A poisoned lock means a *different* thread panicked while holding it.
+/// Every lock on the serving tier guards state that is updated atomically
+/// with respect to the guard (a version counter, a lane table, a tally
+/// snapshot), so the value inside stays consistent even if a sibling
+/// thread died elsewhere — and the panic policy forbids converting that
+/// thread's crash into this one's. Take the guard and keep serving.
+pub(crate) fn relock<G>(result: Result<G, std::sync::PoisonError<G>>) -> G {
+    result.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// The response a served request resolves to.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Prediction {
@@ -232,7 +244,7 @@ impl VersionGate {
     /// version barrier can land between the stamp and the queue send.
     /// Returns the stamped version on a successful send.
     pub(crate) fn admit<E>(&self, send: impl FnOnce(u64) -> Result<(), E>) -> Result<u64, E> {
-        let state = self.state.read().expect("version gate poisoned");
+        let state = relock(self.state.read());
         let version = match &state.canary {
             Some(c) => {
                 let n = c.drawn.fetch_add(1, Ordering::Relaxed);
@@ -259,7 +271,7 @@ impl VersionGate {
         &self,
         f: impl FnOnce(&mut GateState) -> Result<T, Error>,
     ) -> Result<T, Error> {
-        let mut state = self.state.write().expect("version gate poisoned");
+        let mut state = relock(self.state.write());
         let out = f(&mut state)?;
         self.current.store(state.current, Ordering::Relaxed);
         Ok(out)
@@ -924,7 +936,9 @@ impl Server {
         if self.stop.load(Ordering::SeqCst) {
             return Err(Error::ServerClosed);
         }
-        Ok(self.tx.as_ref().expect("server handle outlives shutdown"))
+        // `tx` is only vacated by `shutdown`, which also raises `stop`
+        // first — but degrade to the typed error rather than asserting it.
+        self.tx.as_ref().ok_or(Error::ServerClosed)
     }
 
     /// Hot-swaps the server to a new deployment with zero downtime. The
@@ -1067,7 +1081,7 @@ impl Server {
                 seed: policy.seed,
                 tallies: Arc::clone(&tallies),
             });
-            *self.last_canary.lock().expect("canary stats") = Some(tallies);
+            *relock(self.last_canary.lock()) = Some(tallies);
             Ok(())
         })
     }
@@ -1124,7 +1138,7 @@ impl Server {
         if self.stop.load(Ordering::SeqCst) {
             return Err(Error::ServerClosed);
         }
-        let tx = self.tx.as_ref().expect("server handle outlives shutdown");
+        let tx = self.tx.as_ref().ok_or(Error::ServerClosed)?;
         self.gate.barrier(|state| {
             let Some(canary) = state.canary.take() else {
                 return Err(Error::NoCanary);
@@ -1150,9 +1164,7 @@ impl Server {
     /// Tallies of the live canary run, or the most recent one if it has
     /// been settled; `None` before the first [`Server::canary`].
     pub fn canary_stats(&self) -> Option<CanaryStats> {
-        self.last_canary
-            .lock()
-            .expect("canary stats")
+        relock(self.last_canary.lock())
             .as_ref()
             .map(|t| t.snapshot())
     }

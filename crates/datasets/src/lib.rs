@@ -21,6 +21,10 @@
 //! assert_eq!(complex_view.inputs.shape(), &[8, 128]);
 //! ```
 
+// The unsafe surface of the workspace is confined to the executor and the
+// `#[target_feature]` kernel clones; this crate must stay free of it.
+#![forbid(unsafe_code)]
+
 pub mod assign;
 pub mod synth;
 

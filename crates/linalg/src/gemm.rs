@@ -141,6 +141,9 @@ pub fn gemm<T: GemmScalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], out: 
     gemm_impl(m, k, n, a, b, out);
 }
 
+// SAFETY: `#[target_feature]` makes this fn unsafe to *call*; the only
+// caller gates on `avx2_available()`. The body is the same portable
+// `gemm_impl`, just compiled with AVX2 codegen enabled.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn gemm_avx2<T: GemmScalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], out: &mut [T]) {
@@ -220,6 +223,9 @@ pub fn gemm_nt<T: GemmScalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], ou
     gemm_nt_impl(m, k, n, a, b, out);
 }
 
+// SAFETY: `#[target_feature]` makes this fn unsafe to *call*; the only
+// caller gates on `avx2_available()`. The body is the same portable
+// `gemm_nt_impl`, just compiled with AVX2 codegen enabled.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn gemm_nt_avx2<T: GemmScalar>(
@@ -305,6 +311,9 @@ pub fn gemm_tn<T: GemmScalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], ou
     gemm_tn_impl(m, k, n, a, b, out);
 }
 
+// SAFETY: `#[target_feature]` makes this fn unsafe to *call*; the only
+// caller gates on `avx2_available()`. The body is the same portable
+// `gemm_tn_impl`, just compiled with AVX2 codegen enabled.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn gemm_tn_avx2<T: GemmScalar>(

@@ -1,0 +1,118 @@
+//! The checked-in `lint-baseline.toml`: pinned per-file counts for the
+//! ratcheted rules (unsafe sites, panic sites).
+//!
+//! A *pin* is how the checker makes growth explicit without demanding a
+//! boil-the-ocean cleanup first: the current count of `unsafe` sites and
+//! library-path panic sites per file is committed, a diff that adds one
+//! must also bump the pin (which a reviewer sees), and a diff that
+//! removes some should ratchet the pin down (`--write-baseline`). The
+//! file is a deliberately tiny TOML subset — sections of
+//! `"path" = count` lines — parsed and rendered here so the tool has no
+//! dependencies.
+
+use std::collections::BTreeMap;
+
+/// Pinned per-file counts, keyed by workspace-relative path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `[unsafe-hygiene]`: `unsafe` sites per file.
+    pub unsafe_sites: BTreeMap<String, usize>,
+    /// `[panic-policy]`: panic sites (`unwrap`/`expect`/`panic!`) per file.
+    pub panic_sites: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Parse the TOML subset: `[section]` headers over `"key" = count`
+    /// entries, `#` comments, blank lines. Anything else is an error —
+    /// a malformed baseline must not silently pin nothing.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut out = Baseline::default();
+        let mut section: Option<&str> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = match name {
+                    "unsafe-hygiene" => Some("unsafe-hygiene"),
+                    "panic-policy" => Some("panic-policy"),
+                    other => return Err(format!("line {}: unknown section `[{other}]`", i + 1)),
+                };
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `\"path\" = count`", i + 1));
+            };
+            let key = key
+                .trim()
+                .strip_prefix('"')
+                .and_then(|k| k.strip_suffix('"'))
+                .ok_or_else(|| format!("line {}: path must be quoted", i + 1))?;
+            let count: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: count must be an integer", i + 1))?;
+            let map = match section {
+                Some("unsafe-hygiene") => &mut out.unsafe_sites,
+                Some("panic-policy") => &mut out.panic_sites,
+                _ => return Err(format!("line {}: entry outside a section", i + 1)),
+            };
+            map.insert(key.to_string(), count);
+        }
+        Ok(out)
+    }
+
+    /// Render back to the canonical checked-in form (zero-count entries
+    /// are omitted; paths sort lexicographically).
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "# Pinned invariant counts for `oplix-lint` (see crates/lint).\n\
+             #\n\
+             # A new `unsafe` site or library-path panic site fails the lint\n\
+             # until the pin for its file is bumped in the same diff. After\n\
+             # removing sites, ratchet pins down with:\n\
+             #\n\
+             #     cargo run -p oplix-lint -- --write-baseline\n",
+        );
+        for (header, map) in [
+            ("unsafe-hygiene", &self.unsafe_sites),
+            ("panic-policy", &self.panic_sites),
+        ] {
+            s.push_str(&format!("\n[{header}]\n"));
+            for (path, count) in map {
+                if *count > 0 {
+                    s.push_str(&format!("\"{path}\" = {count}\n"));
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut b = Baseline::default();
+        b.unsafe_sites.insert("crates/core/src/pool.rs".into(), 3);
+        b.panic_sites.insert("crates/core/src/serve.rs".into(), 7);
+        b.panic_sites.insert("crates/core/src/zoo.rs".into(), 0);
+        let text = b.render();
+        let parsed = Baseline::parse(&text).expect("canonical form parses");
+        assert_eq!(parsed.unsafe_sites, b.unsafe_sites);
+        // Zero-count entries are dropped in rendering.
+        assert_eq!(parsed.panic_sites.len(), 1);
+        assert_eq!(parsed.panic_sites["crates/core/src/serve.rs"], 7);
+    }
+
+    #[test]
+    fn malformed_baselines_are_errors() {
+        assert!(Baseline::parse("[no-such-section]\n").is_err());
+        assert!(Baseline::parse("\"a.rs\" = 3\n").is_err());
+        assert!(Baseline::parse("[panic-policy]\na.rs = 3\n").is_err());
+        assert!(Baseline::parse("[panic-policy]\n\"a.rs\" = lots\n").is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! The `oplix-lint` driver: walk the workspace, run every rule, compare
+//! against `lint-baseline.toml`, and report machine-readable findings.
+//!
+//! ```text
+//! oplix-lint [--root <dir>] [--write-baseline]
+//! ```
+//!
+//! Findings print to stdout as `path:line: [rule] message`, one per
+//! line. Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+//! `--write-baseline` regenerates the pinned counts from the current
+//! tree instead of checking (use after a cleanup or an intentional,
+//! reviewed addition).
+
+use oplix_lint::baseline::Baseline;
+use oplix_lint::lint_workspace;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: oplix-lint [--root <dir>] [--write-baseline]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut write = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "--write-baseline" => write = true,
+            "--help" | "-h" => {
+                println!("oplix-lint: workspace invariant checker");
+                println!("  --root <dir>       workspace root (default: nearest ancestor with lint-baseline.toml, else cwd)");
+                println!(
+                    "  --write-baseline   regenerate lint-baseline.toml pins from the current tree"
+                );
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+    let root = root.unwrap_or_else(find_root);
+    let baseline_path = root.join("lint-baseline.toml");
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("oplix-lint: {} is malformed: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        // A missing baseline pins everything at zero: the first run on a
+        // fresh tree reports every site, and `--write-baseline` seeds it.
+        Err(_) => Baseline::default(),
+    };
+
+    let report = match lint_workspace(&root, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "oplix-lint: failed to read workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    if write {
+        let rendered = report.as_baseline().render();
+        if let Err(e) = std::fs::write(&baseline_path, rendered) {
+            eprintln!("oplix-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "oplix-lint: wrote {} ({} unsafe-pinned file(s), {} panic-pinned file(s))",
+            baseline_path.display(),
+            report.unsafe_counts.len(),
+            report.panic_counts.len()
+        );
+        // Non-counting findings still matter in write mode: a missing
+        // SAFETY comment is not something a baseline bump can absorb.
+        let hard: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| {
+                !matches!(f.rule.as_str(), "unsafe-hygiene" | "panic-policy")
+                    || f.message.contains("SAFETY")
+            })
+            .collect();
+        for f in &hard {
+            println!("{f}");
+        }
+        return if hard.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    for note in &report.notes {
+        eprintln!("note: {note}");
+    }
+    for f in &report.findings {
+        println!("{f}");
+    }
+    if report.findings.is_empty() {
+        println!(
+            "oplix-lint: clean ({} file(s) checked, {} unsafe pin(s), {} panic pin(s))",
+            oplix_lint::engine::workspace_files(&root).len(),
+            report.unsafe_counts.len(),
+            report.panic_counts.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("oplix-lint: {} finding(s)", report.findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Nearest ancestor of the current directory holding `lint-baseline.toml`
+/// or a `crates/` directory — lets `oplix-lint` run from a crate subdir.
+fn find_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("lint-baseline.toml").exists() || dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

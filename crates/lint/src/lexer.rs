@@ -1,0 +1,436 @@
+//! A small, self-contained Rust lexer.
+//!
+//! The rule engine needs just enough token structure to tell *code* from
+//! *comments* and *string contents* — a `mul_add` inside a doc comment
+//! must not trip the no-FMA rule, and a `// SAFETY:` comment must be
+//! recognisable as the token immediately preceding an `unsafe` block.
+//! This lexer therefore keeps comments in the token stream (tagged, with
+//! their full text) instead of discarding them, and collapses every
+//! literal to a single token carrying its raw contents.
+//!
+//! It handles the parts of the Rust grammar that matter for those
+//! distinctions and that genuinely appear in this workspace: nested block
+//! comments, doc comments (`///`, `//!`, `/** */`), raw strings with
+//! arbitrary `#` fences, byte and raw-byte strings, raw identifiers
+//! (`r#type`), char literals vs. lifetimes, and numeric literals with
+//! suffixes. It does **not** build an AST — rules pattern-match over the
+//! token stream.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unsafe`, `mul_add`, `HashMap`, …).
+    Ident,
+    /// A lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// A string literal of any flavour (`"…"`, `r#"…"#`, `b"…"`). The
+    /// token text is the literal's *contents*, without quotes or fences.
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A numeric literal, including any type suffix (`1.0f64`).
+    Num,
+    /// A single punctuation character (`.`, `!`, `{`, …).
+    Punct,
+    /// A `//` comment (doc or plain). Text excludes the leading slashes.
+    LineComment,
+    /// A `/* … */` comment (doc or plain). Text excludes the delimiters.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification of the token.
+    pub kind: TokenKind,
+    /// The token's text (see [`TokenKind`] for what each kind carries).
+    pub text: String,
+    /// 1-based line on which the token *starts*.
+    pub line: u32,
+}
+
+impl Token {
+    /// True for comment tokens of either flavour.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// True if this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// Lex `src` into a token stream, keeping comments.
+///
+/// The lexer never fails: malformed input (an unterminated string, a
+/// stray byte) degrades to best-effort tokens rather than an error, which
+/// is the right trade-off for a lint pass that must keep walking the rest
+/// of the workspace.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    self.bump();
+                    self.string_body(line);
+                }
+                'r' | 'b' if self.raw_or_byte_literal(line) => {}
+                '\'' => self.char_or_lifetime(line),
+                c if is_ident_start(c) => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // both slashes
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // `/*`
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                self.bump();
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::BlockComment, text, line);
+    }
+
+    /// Body of a `"`-delimited string, opening quote already consumed.
+    fn string_body(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    // Keep escapes verbatim; rules only substring-match.
+                    text.push(c);
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '"' => break,
+                _ => text.push(c),
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'x'`, and raw
+    /// identifiers (`r#type`). Returns false if the `r`/`b` at the cursor
+    /// is just the start of an ordinary identifier.
+    fn raw_or_byte_literal(&mut self, line: u32) -> bool {
+        let c0 = self.peek(0).unwrap_or('\0');
+        // Longest prefix first: `br#"`, `br"`, `r#"`, `r"`, `b"`, `b'`, `r#ident`.
+        let (prefix_len, raw) = if c0 == 'b' && self.peek(1) == Some('r') {
+            match self.peek(2) {
+                Some('"') | Some('#') => (2, true),
+                _ => return false,
+            }
+        } else if c0 == 'r' {
+            match self.peek(1) {
+                Some('"') => (1, true),
+                Some('#') => {
+                    // `r#"…"#` (raw string) or `r#ident` (raw identifier).
+                    let mut k = 1;
+                    while self.peek(k) == Some('#') {
+                        k += 1;
+                    }
+                    if self.peek(k) == Some('"') {
+                        (1, true)
+                    } else {
+                        // Raw identifier: consume `r#` then lex the ident.
+                        self.bump();
+                        self.bump();
+                        self.ident(line);
+                        return true;
+                    }
+                }
+                _ => return false,
+            }
+        } else if c0 == 'b' {
+            match self.peek(1) {
+                Some('"') => (1, false),
+                Some('\'') => {
+                    self.bump(); // `b`
+                    self.char_or_lifetime(line);
+                    return true;
+                }
+                _ => return false,
+            }
+        } else {
+            return false;
+        };
+        for _ in 0..prefix_len {
+            self.bump();
+        }
+        if raw {
+            let mut fences = 0usize;
+            while self.peek(0) == Some('#') {
+                fences += 1;
+                self.bump();
+            }
+            self.bump(); // opening quote
+            let mut text = String::new();
+            'outer: while let Some(c) = self.bump() {
+                if c == '"' {
+                    // A close needs `fences` trailing `#`s.
+                    for k in 0..fences {
+                        if self.peek(k) != Some('#') {
+                            text.push('"');
+                            continue 'outer;
+                        }
+                    }
+                    for _ in 0..fences {
+                        self.bump();
+                    }
+                    break;
+                }
+                text.push(c);
+            }
+            self.push(TokenKind::Str, text, line);
+        } else {
+            self.bump(); // opening quote
+            self.string_body(line);
+        }
+        true
+    }
+
+    /// Disambiguate `'a` (lifetime) from `'x'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // `'`
+        let c1 = self.peek(0);
+        let c2 = self.peek(1);
+        if let Some(c1) = c1 {
+            if is_ident_start(c1) && c2 != Some('\'') {
+                // Lifetime: `'a`, `'static`, `'_`.
+                let mut text = String::new();
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(c);
+                    self.bump();
+                }
+                self.push(TokenKind::Lifetime, text, line);
+                return;
+            }
+        }
+        // Char literal; consume through the closing quote.
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    text.push(c);
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '\'' => break,
+                _ => text.push(c),
+            }
+        }
+        self.push(TokenKind::Char, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        // A fractional part: `.` followed by a digit (so `0..n` stays a
+        // range and `1.max(2)` stays a method call).
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::Num, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_strings_and_code_are_distinguished() {
+        let toks = kinds("let x = a.mul_add(b, c); // uses mul_add\n\"mul_add\"");
+        let code_idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, t)| *k == TokenKind::Ident && t == "mul_add")
+            .collect();
+        assert_eq!(code_idents.len(), 1);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::LineComment && t.contains("mul_add")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t == "mul_add"));
+    }
+
+    #[test]
+    fn raw_strings_and_fences() {
+        let toks = kinds(r##"r#"has "quotes" inside"# b"bytes" r"plain""##);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, [r#"has "quotes" inside"#, "bytes", "plain"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let toks = kinds("/* outer /* inner */ still outer */ ident");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert!(toks[0].1.contains("inner"));
+        assert_eq!(toks[1], (TokenKind::Ident, "ident".into()));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "type"));
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_tokens() {
+        let toks = lex("/* a\nb */\nident");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 3);
+        assert_eq!(toks[1].text, "ident");
+    }
+}

@@ -1,0 +1,6 @@
+fn measure() -> Vec<(&'static str, f64)> {
+    vec![
+        ("mesh16_compiled_ns_per_sample", 1.0),
+        ("metric_missing_from_baseline", 2.0),
+    ]
+}

@@ -1,0 +1,10 @@
+use std::collections::HashMap;
+
+pub fn tally(counts: &HashMap<String, u64>) -> u64 {
+    let mut total = 0;
+    // oplix-lint: allow(determinism-hazards, reason = "sum is order-independent over u64")
+    for (_, v) in counts.iter() {
+        total += v;
+    }
+    total
+}

@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn tally(counts: &HashMap<String, u64>) -> u64 {
+    let mut total = 0;
+    for (_, v) in counts.iter() {
+        total += v;
+    }
+    total
+}

@@ -1,0 +1,5 @@
+use std::collections::HashMap;
+
+pub fn lookup(counts: &HashMap<String, u64>, key: &str) -> u64 {
+    counts.get(key).copied().unwrap_or(0)
+}

@@ -1,0 +1,4 @@
+pub fn axpy(a: f64, b: f64, c: f64) -> f64 {
+    // oplix-lint: allow(no-fma)
+    a.mul_add(b, c)
+}

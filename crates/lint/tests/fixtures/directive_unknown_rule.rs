@@ -1,0 +1,3 @@
+pub fn f() {
+    // oplix-lint: allow(made-up-rule, reason = "typo that must not widen suppression")
+}

@@ -1,0 +1,4 @@
+pub fn axpy(a: f64, b: f64, c: f64) -> f64 {
+    // oplix-lint: allow(no-fma, reason = "divergence experiment measures fused rounding")
+    a.mul_add(b, c)
+}

@@ -1,0 +1,3 @@
+pub fn axpy(a: f64, b: f64, c: f64) -> f64 {
+    a.mul_add(b, c)
+}

@@ -1,0 +1,4 @@
+pub fn parse(s: &str) -> u32 {
+    // oplix-lint: allow(panic-policy, reason = "input validated by the CLI parser upstream")
+    s.parse().unwrap()
+}

@@ -1,0 +1,3 @@
+pub fn parse(s: &str) -> u32 {
+    s.parse().unwrap()
+}

@@ -1,0 +1,11 @@
+pub fn parse(s: &str) -> Option<u32> {
+    s.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn parses() {
+        assert_eq!(super::parse("7").unwrap(), 7);
+    }
+}

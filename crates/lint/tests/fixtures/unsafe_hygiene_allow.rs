@@ -1,0 +1,4 @@
+pub fn first(xs: &[f64]) -> f64 {
+    // oplix-lint: allow(unsafe-hygiene, reason = "hazard documented on the caller instead")
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,3 @@
+pub fn first(xs: &[f64]) -> f64 {
+    unsafe { *xs.get_unchecked(0) }
+}

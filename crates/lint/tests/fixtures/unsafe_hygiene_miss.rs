@@ -1,0 +1,4 @@
+pub fn first(xs: &[f64]) -> f64 {
+    // SAFETY: the caller guarantees `xs` is non-empty.
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,53 @@
+//! The lint's own acceptance test: the workspace at HEAD, checked
+//! against the checked-in `lint-baseline.toml`, must be clean. This is
+//! what keeps the repo's invariants enforced even where CI is not run —
+//! `cargo test` alone catches a violation.
+
+use oplix_lint::baseline::Baseline;
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean_against_checked_in_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.toml"))
+        .expect("lint-baseline.toml is checked in at the workspace root");
+    let baseline = Baseline::parse(&baseline_text).expect("baseline parses");
+    let report = oplix_lint::lint_workspace(&root, &baseline).expect("workspace walk");
+    assert!(
+        report.findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn baseline_pins_match_reality_exactly() {
+    // Not just "no finding" (counts below a pin are mere notes): the pins
+    // must equal the measured counts, so stale baselines cannot mask a
+    // later regression of the same size.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.toml"))
+        .expect("lint-baseline.toml is checked in at the workspace root");
+    let baseline = Baseline::parse(&baseline_text).expect("baseline parses");
+    let report = oplix_lint::lint_workspace(&root, &baseline).expect("workspace walk");
+    let fresh = report.as_baseline();
+    assert_eq!(
+        baseline.unsafe_sites, fresh.unsafe_sites,
+        "unsafe-hygiene pins are stale — run `cargo run -p oplix-lint -- --write-baseline`"
+    );
+    assert_eq!(
+        baseline.panic_sites, fresh.panic_sites,
+        "panic-policy pins are stale — run `cargo run -p oplix-lint -- --write-baseline`"
+    );
+}

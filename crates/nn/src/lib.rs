@@ -46,6 +46,10 @@
 //! assert!(acc > 0.9);
 //! ```
 
+// The unsafe surface of the workspace is confined to the executor and the
+// `#[target_feature]` kernel clones; this crate must stay free of it.
+#![forbid(unsafe_code)]
+
 pub mod ctensor;
 pub mod functional;
 pub mod head;

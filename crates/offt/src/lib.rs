@@ -12,6 +12,10 @@
 //!   (assumptions documented on [`cost::OfftCostModel`]).
 //! * [`model`] — OFFT-FCNN builders for the four Fig. 7 configurations.
 
+// The unsafe surface of the workspace is confined to the executor and the
+// `#[target_feature]` kernel clones; this crate must stay free of it.
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod layer;
 pub mod model;

@@ -317,16 +317,19 @@ impl CompiledMesh {
             let scratch = &mut scratch[..planar_len];
             #[cfg(target_arch = "x86_64")]
             {
-                // SAFETY: each feature was just verified at runtime; the
-                // clones are the identical portable lane code monomorphised
-                // at the register width the feature provides (same
-                // operations, same order), so results are bitwise
-                // unchanged — see `oplix_linalg::lanes`.
                 if oplix_linalg::lanes::avx512f_available() {
+                    // SAFETY: AVX-512F was just verified at runtime; the
+                    // clone is the identical portable lane body
+                    // monomorphised at 8 lanes (same operations, same
+                    // order), so results are bitwise unchanged — see
+                    // `oplix_linalg::lanes`.
                     unsafe { self.mode_major_batch_avx512(fields, scratch, samples) };
                     return;
                 }
                 if oplix_linalg::lanes::avx2_available() {
+                    // SAFETY: AVX2 was just verified at runtime; the clone
+                    // is the identical portable lane body at 4 lanes, so
+                    // results are bitwise unchanged.
                     unsafe { self.mode_major_batch_avx2(fields, scratch, samples) };
                     return;
                 }
@@ -335,6 +338,9 @@ impl CompiledMesh {
         });
     }
 
+    // SAFETY: `#[target_feature]` makes this fn unsafe to *call*; the
+    // only caller gates on `avx512f_available()`. The body is the same
+    // portable `mode_major_batch`, monomorphised at 8 lanes.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx512f")]
     unsafe fn mode_major_batch_avx512(
@@ -346,6 +352,9 @@ impl CompiledMesh {
         self.mode_major_batch::<oplix_linalg::lanes::F64x8>(fields, scratch, samples);
     }
 
+    // SAFETY: `#[target_feature]` makes this fn unsafe to *call*; the
+    // only caller gates on `avx2_available()`. The body is the same
+    // portable `mode_major_batch`, monomorphised at 4 lanes.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
     unsafe fn mode_major_batch_avx2(

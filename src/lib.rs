@@ -59,6 +59,23 @@
 //! See `examples/quickstart.rs` for the full workflow, and
 //! `examples/paper_tables.rs` to regenerate every table and figure of the
 //! paper.
+//!
+//! # Workspace invariants
+//!
+//! The contracts the tests sample — no FMA contraction in kernel crates
+//! (the bitwise scalar≡SIMD guarantee), documented `unsafe`, typed errors
+//! instead of panics on library paths, deterministic iteration on serving
+//! paths, live bench-baseline keys — are enforced *statically* by the
+//! workspace's own checker:
+//!
+//! ```text
+//! cargo run -p oplix-lint                       # check; exit 1 on findings
+//! cargo run -p oplix-lint -- --write-baseline   # ratchet the pins down
+//! ```
+//!
+//! See the `oplix_lint` crate docs for the rule catalogue, the scoped
+//! `// oplix-lint: allow(<rule>, reason = "...")` suppression syntax, and
+//! the `lint-baseline.toml` count-pinning workflow.
 
 pub use oplix_datasets as datasets;
 pub use oplix_linalg as linalg;
