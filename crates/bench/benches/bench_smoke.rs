@@ -1,7 +1,8 @@
 //! Perf-smoke regression gate: quickly re-measures the kernel suite and
-//! fails (exit 1) if any pinned metric regressed more than
-//! [`PERF_SMOKE_THRESHOLD`]× against the checked-in `BENCH_kernels.json`
-//! baseline.
+//! the staged-walk suite, and fails (exit 1) if any pinned metric
+//! regressed more than [`PERF_SMOKE_THRESHOLD`]× against its checked-in
+//! baseline (`BENCH_kernels.json` for the kernels,
+//! `BENCH_pipeline.json` for the sequential/pipelined staged walks).
 //!
 //! This is the CI tripwire behind the repo's perf trajectory: the 6.4×
 //! compiled-mesh speedup and the lane-kernel numbers can only move
@@ -23,9 +24,15 @@
 use oplix_bench::baseline::{env_mismatch, parse_flat_json, BenchMeta, PERF_SMOKE_THRESHOLD};
 use oplix_linalg::CMatrix;
 use oplix_linalg::Complex64;
+use oplix_nn::ctensor::CTensor;
 use oplix_nn::tensor::Tensor;
 use oplix_photonics::clements::decompose_clements;
 use oplix_photonics::compiled::CompiledMesh;
+use oplix_photonics::decoder::DecoderKind;
+use oplix_photonics::svd_map::MeshStyle;
+use oplixnet::engine::InferenceEngine;
+use oplixnet::zoo::{build_lenet, LenetConfig, ModelVariant};
+use oplixnet::DeployedDetection;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -95,35 +102,72 @@ fn measure() -> Vec<(&'static str, f64)> {
     ]
 }
 
-fn main() {
-    // `cargo bench` passes harness flags (e.g. `--bench`); ignore them.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+/// Re-measures the pinned staged-walk metrics (same model, seeds and
+/// shapes as the `stage_pipeline` bench, fewer samples/repetitions).
+/// Returns `(baseline_key, measured_value)` pairs; smaller is better.
+fn measure_pipeline() -> Vec<(&'static str, f64)> {
+    const SAMPLES: usize = 128;
+    let mut rng = StdRng::seed_from_u64(23);
+    let view = CTensor::new(
+        Tensor::random_uniform(&[SAMPLES, 1, 16, 16], 1.0, &mut rng),
+        Tensor::random_uniform(&[SAMPLES, 1, 16, 16], 1.0, &mut rng),
+    );
+    let mut rng = StdRng::seed_from_u64(17);
+    let cfg = LenetConfig::training_scale(2, 16, 10).halved();
+    let net = build_lenet(&cfg, ModelVariant::Split(DecoderKind::Merge), &mut rng);
+    let deploy = || {
+        InferenceEngine::from_network_shaped(
+            &net,
+            Some((cfg.in_ch, cfg.input_h, cfg.input_w)),
+            DeployedDetection::Differential,
+            MeshStyle::Clements,
+        )
+        .expect("LeNet deploys")
+    };
+    let mut seq = deploy();
+    let mut pip = deploy().with_stage_pipeline(true);
+    let t_seq = timed(2, || {
+        seq.predict_batch(&view).expect("sequential");
+    });
+    let t_pip = timed(2, || {
+        pip.predict_batch(&view).expect("pipelined");
+    });
+    vec![
+        (
+            "staged_walk_sequential_us_per_sample",
+            t_seq * 1e6 / SAMPLES as f64,
+        ),
+        (
+            "staged_walk_pipelined_us_per_sample",
+            t_pip * 1e6 / SAMPLES as f64,
+        ),
+    ]
+}
+
+/// Gates one `(baseline file, re-measured metrics)` pair. A missing
+/// baseline or a mismatched environment skips (prints why); a malformed
+/// baseline, a missing pinned key, or a metric beyond
+/// [`PERF_SMOKE_THRESHOLD`]× fails. Returns whether the gate failed.
+/// Measurement is lazy so a skipped gate costs nothing.
+fn gate(path: &str, measure: impl FnOnce() -> Vec<(&'static str, f64)>, handicap: f64) -> bool {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
             println!("perf-smoke SKIP: no baseline at {path}: {e}");
-            return;
+            return false;
         }
     };
     let baseline = match parse_flat_json(&text) {
         Some(map) => map,
         None => {
             println!("perf-smoke FAIL: {path} is not a flat JSON baseline");
-            std::process::exit(1);
+            return true;
         }
     };
     let current = BenchMeta::current();
     if let Some(reason) = env_mismatch(&baseline, &current) {
-        println!("perf-smoke SKIP: {reason}");
-        return;
-    }
-
-    let handicap: f64 = std::env::var("OPLIX_PERF_SMOKE_HANDICAP")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1.0);
-    if handicap != 1.0 {
-        println!("perf-smoke: applying handicap x{handicap} to all measurements (gate self-test)");
+        println!("perf-smoke SKIP ({path}): {reason}");
+        return false;
     }
 
     let mut failed = false;
@@ -143,15 +187,33 @@ fn main() {
         };
         println!("perf-smoke: {key:40} baseline {base:10.2}  measured {measured:10.2}  ({ratio:.2}x) {verdict}");
     }
+    failed
+}
+
+fn main() {
+    // `cargo bench` passes harness flags (e.g. `--bench`); ignore them.
+    let handicap: f64 = std::env::var("OPLIX_PERF_SMOKE_HANDICAP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    if handicap != 1.0 {
+        println!("perf-smoke: applying handicap x{handicap} to all measurements (gate self-test)");
+    }
+
+    let kernels = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    let pipeline = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    let mut failed = gate(kernels, measure, handicap);
+    failed |= gate(pipeline, measure_pipeline, handicap);
     if failed {
         println!(
-            "perf-smoke FAIL: at least one kernel metric regressed beyond \
+            "perf-smoke FAIL: at least one metric regressed beyond \
              {PERF_SMOKE_THRESHOLD}x its checked-in baseline. If a slowdown is \
              intentional, or a speedup legitimately moved the numbers, refresh \
-             the baseline with `cargo bench --bench kernel_compute` and commit \
-             BENCH_kernels.json."
+             the baseline with `cargo bench --bench kernel_compute` (kernels) \
+             or `cargo bench --bench stage_pipeline` (staged walks) and commit \
+             the refreshed JSON."
         );
         std::process::exit(1);
     }
-    println!("perf-smoke PASS: all kernel metrics within {PERF_SMOKE_THRESHOLD}x of baseline");
+    println!("perf-smoke PASS: all pinned metrics within {PERF_SMOKE_THRESHOLD}x of baseline");
 }

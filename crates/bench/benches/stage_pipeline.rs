@@ -1,0 +1,161 @@
+//! Stage-pipeline benchmark: the staged-window walk of a deep conv body
+//! run sequentially vs stage-pipelined across per-chip worker slots.
+//!
+//! The model is a training-scale (halved) LeNet-5 — seven deployed
+//! stages, each physically one chip/mesh — so the pipelined walk can
+//! stream serving windows through the stages concurrently via the
+//! bounded inter-stage rings. Both paths serve **bitwise identical**
+//! logits (asserted outside the timed region); the contrast is pure
+//! execution schedule.
+//!
+//! The headline numbers are hand-timed and written to
+//! `BENCH_pipeline.json` at the workspace root with the standard
+//! [`BenchMeta`] environment fields:
+//!
+//! * `staged_walk_sequential_us_per_sample` — one window at a time
+//!   through every stage (the default walk);
+//! * `staged_walk_pipelined_us_per_sample` — the same windows streamed
+//!   through stage segments on pipeline helpers;
+//! * `pipeline_speedup` — sequential/pipelined wall-clock ratio. On a
+//!   single-core budget the pipeline degrades to the sequential walk
+//!   (`pipeline_engaged` records which schedule actually ran), so the
+//!   speedup only exceeds 1 on a multi-core runner;
+//! * `chip_insertion_loss_db_total` — the summed per-chip optical
+//!   insertion-loss budget of the deployment, from the engine's
+//!   per-stage chip reports.
+//!
+//! `bench_smoke` re-measures the two time metrics against this baseline
+//! (same env-mismatch skip rules as the kernel gate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oplix_bench::baseline::BenchMeta;
+use oplix_nn::ctensor::CTensor;
+use oplix_nn::tensor::Tensor;
+use oplix_photonics::decoder::DecoderKind;
+use oplix_photonics::svd_map::MeshStyle;
+use oplixnet::engine::InferenceEngine;
+use oplixnet::zoo::{build_lenet, LenetConfig, ModelVariant};
+use oplixnet::DeployedDetection;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Serving windows are 64 samples; 4 windows keep the 2-window
+/// inter-stage rings saturated without inflating the timed region.
+const SAMPLES: usize = 256;
+
+/// The deep conv body: channel-halved LeNet-5 on 16×16 single-channel
+/// views (conv-pool-conv-pool-fc-fc-fc — seven chips).
+fn pipeline_engine() -> InferenceEngine {
+    let mut rng = StdRng::seed_from_u64(17);
+    let cfg = LenetConfig::training_scale(2, 16, 10).halved();
+    let net = build_lenet(&cfg, ModelVariant::Split(DecoderKind::Merge), &mut rng);
+    InferenceEngine::from_network_shaped(
+        &net,
+        Some((cfg.in_ch, cfg.input_h, cfg.input_w)),
+        DeployedDetection::Differential,
+        MeshStyle::Clements,
+    )
+    .expect("LeNet deploys")
+}
+
+fn image_view(n: usize) -> CTensor {
+    let mut rng = StdRng::seed_from_u64(23);
+    CTensor::new(
+        Tensor::random_uniform(&[n, 1, 16, 16], 1.0, &mut rng),
+        Tensor::random_uniform(&[n, 1, 16, 16], 1.0, &mut rng),
+    )
+}
+
+/// Mean seconds per call of `f`, after one warm-up call.
+fn timed<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Criterion view of the two walks at a small window count.
+fn bench_staged_walks(c: &mut Criterion) {
+    let view = image_view(64);
+    let mut seq = pipeline_engine();
+    let mut pip = pipeline_engine().with_stage_pipeline(true);
+    let mut group = c.benchmark_group("stage_pipeline");
+    group.sample_size(10);
+    // Dashed labels: identifier-shaped strings in tuple position would
+    // read as baseline metric keys to the lint's bench-baseline rule.
+    group.bench_function("sequential-walk-64", |b| {
+        b.iter(|| seq.predict_batch(&view).expect("sequential"))
+    });
+    group.bench_function("pipelined-walk-64", |b| {
+        b.iter(|| pip.predict_batch(&view).expect("pipelined"))
+    });
+    group.finish();
+}
+
+/// Headline numbers, hand-timed, printed, and persisted as the
+/// `BENCH_pipeline.json` baseline.
+fn report_pipeline_baseline(_c: &mut Criterion) {
+    let view = image_view(SAMPLES);
+    let mut seq = pipeline_engine();
+    let mut pip = pipeline_engine().with_stage_pipeline(true);
+
+    // Both schedules must serve bitwise-identical logits.
+    let want = seq.predict_batch(&view).expect("sequential");
+    let got = pip.predict_batch(&view).expect("pipelined");
+    assert_eq!(want, got, "pipelined walk must be bitwise sequential");
+
+    let t_seq = timed(3, || {
+        seq.predict_batch(&view).expect("sequential");
+    });
+    let t_pip = timed(3, || {
+        pip.predict_batch(&view).expect("pipelined");
+    });
+    let stages = pip.stage_stats();
+    let engaged = stages.iter().any(|s| s.occupancy.windows > 0);
+    let loss_total: f64 = stages.iter().map(|s| s.chip.insertion_loss_db).sum();
+
+    let seq_us = t_seq * 1e6 / SAMPLES as f64;
+    let pip_us = t_pip * 1e6 / SAMPLES as f64;
+    let speedup = t_seq / t_pip;
+    let meta = BenchMeta::current();
+    println!(
+        "staged walk over {} chips, {SAMPLES} samples on {} core(s): \
+         sequential {seq_us:.1} us/sample, pipelined {pip_us:.1} us/sample \
+         ({speedup:.2}x, helpers {}), chip loss budget {loss_total:.2} dB",
+        stages.len(),
+        meta.cores,
+        if engaged {
+            "engaged"
+        } else {
+            "idle — sequential fallback"
+        },
+    );
+
+    let metrics: Vec<(&str, f64)> = vec![
+        ("staged_walk_sequential_us_per_sample", seq_us),
+        ("staged_walk_pipelined_us_per_sample", pip_us),
+        ("pipeline_speedup", speedup),
+        ("pipeline_engaged", if engaged { 1.0 } else { 0.0 }),
+        ("pipeline_stages", stages.len() as f64),
+        ("pipeline_samples", SAMPLES as f64),
+        ("chip_insertion_loss_db_total", loss_total),
+    ];
+    let mut json = String::from("{\n");
+    json.push_str(&meta.json_fields());
+    for (i, (key, value)) in metrics.iter().enumerate() {
+        let sep = if i + 1 < metrics.len() { "," } else { "" };
+        json.push_str(&format!("  \"{key}\": {value:.3}{sep}\n"));
+    }
+    json.push_str("}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("baseline written to {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_staged_walks, report_pipeline_baseline);
+criterion_main!(benches);

@@ -24,13 +24,17 @@ use oplix_nn::layers::{CAvgPool2d, CConv2d, CDense, CFlatten, CRelu};
 use oplix_nn::network::Network;
 use oplix_photonics::compiled::{gather_into, CompiledLayer, GatherSource};
 use oplix_photonics::count::DeviceCount;
+use oplix_photonics::loss_model::OpticalLossModel;
 use oplix_photonics::svd_map::{MeshStyle, PhotonicLayer};
 use rand::Rng;
+use std::any::Any;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// im2col windows expanding to at least this many gathered fields
 /// (`samples × positions × patch_len`) fan the gather out across the
@@ -202,6 +206,116 @@ impl DeployedStage {
             DeployedStage::Conv(s) => &mut s.relu_after,
             DeployedStage::Pool(s) => &mut s.relu_after,
         }
+    }
+
+    /// Applies this stage (trailing electro-optic ReLU included) to a
+    /// staged window: `buf.cur` holds `samples × width` fields on entry
+    /// and the stage's output on return; the new per-sample width is
+    /// returned. This is the *one* per-stage transform in the codebase —
+    /// the sequential walk ([`DeployedFcnn::forward_staged`]) and the
+    /// stage-pipelined walk both call it verbatim, which is what makes
+    /// the two bitwise identical by construction.
+    fn apply(&self, buf: &mut WindowBuffers, width: usize, samples: usize) -> usize {
+        let WindowBuffers { cur, nxt, aux } = buf;
+        let (out_width, relu_after) = match self {
+            DeployedStage::Mesh(st) => {
+                // Re-stage: ancilla padding (unitary decoder) plus the
+                // bias reference mode, exactly as the per-sample walk
+                // always did.
+                let fan_in = st.layer.input_dim() - 1;
+                let padded = if st.pad_input {
+                    width.max(fan_in)
+                } else {
+                    width
+                };
+                let in_w = padded + 1;
+                nxt.clear();
+                nxt.resize(samples * in_w, Complex64::ZERO);
+                for s in 0..samples {
+                    let src = &cur[s * width..(s + 1) * width];
+                    let dst = &mut nxt[s * in_w..(s + 1) * in_w];
+                    dst[..width].copy_from_slice(src);
+                    dst[padded] = Complex64::ONE;
+                }
+                std::mem::swap(cur, nxt);
+                st.compiled.forward_batch(cur, nxt, samples);
+                (st.layer.output_dim(), st.relu_after)
+            }
+            DeployedStage::Conv(st) => {
+                // im2col: gather every output position's patch (bias
+                // on the reference mode) and push all patch rows of
+                // the window through one compiled mesh batch. Windows
+                // whose gather is large enough to amortise a fan-out
+                // expand on the persistent executor instead of the
+                // calling thread (bitwise identical — both paths run
+                // `gather_into` per sample).
+                let plan = &st.plan[..];
+                let fields = samples * plan.len();
+                if fields >= PARALLEL_GATHER_MIN_FIELDS && crate::pool::jobs() > 1 {
+                    let src = &cur[..samples * width];
+                    nxt.clear();
+                    nxt.resize(fields, Complex64::ZERO);
+                    let shards = crate::pool::jobs().min(samples);
+                    let chunk = samples.div_ceil(shards);
+                    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = nxt
+                        .chunks_mut(chunk * plan.len())
+                        .zip(src.chunks(chunk * width))
+                        .map(|(dst, win)| {
+                            Box::new(move || {
+                                for (d, s) in dst.chunks_mut(plan.len()).zip(win.chunks(width)) {
+                                    gather_into(plan, s, d);
+                                }
+                            }) as Box<dyn FnOnce() + Send + '_>
+                        })
+                        .collect();
+                    crate::pool::run_scoped(tasks);
+                    st.compiled.forward_batch(nxt, aux, samples * st.positions);
+                } else {
+                    st.compiled
+                        .forward_gathered(&cur[..samples * width], width, plan, nxt, aux);
+                }
+                // Mesh rows come back position-major `[P][O]`; the
+                // software conv layout is channel-major `[O, H'·W']`.
+                cur.clear();
+                cur.resize(samples * st.out_features, Complex64::ZERO);
+                for s in 0..samples {
+                    let rows = &nxt[s * st.positions * st.out_ch..][..st.positions * st.out_ch];
+                    let dst = &mut cur[s * st.out_features..][..st.out_features];
+                    for p in 0..st.positions {
+                        for o in 0..st.out_ch {
+                            dst[o * st.positions + p] = rows[p * st.out_ch + o];
+                        }
+                    }
+                }
+                (st.out_features, st.relu_after)
+            }
+            DeployedStage::Pool(st) => {
+                // Electronic average pooling: detect, average the k²
+                // taps per output feature, re-modulate.
+                let inv = 1.0 / st.k2 as f64;
+                nxt.clear();
+                nxt.resize(samples * st.out_features, Complex64::ZERO);
+                for s in 0..samples {
+                    let src = &cur[s * width..(s + 1) * width];
+                    let dst = &mut nxt[s * st.out_features..][..st.out_features];
+                    for (f, taps) in dst.iter_mut().zip(st.taps.chunks_exact(st.k2)) {
+                        let mut acc = Complex64::ZERO;
+                        for &t in taps {
+                            acc += src[t as usize];
+                        }
+                        *f = acc.scale(inv);
+                    }
+                }
+                std::mem::swap(cur, nxt);
+                (st.out_features, st.relu_after)
+            }
+        };
+        if relu_after {
+            for z in cur.iter_mut() {
+                *z = Complex64::new(z.re.max(0.0), z.im.max(0.0));
+            }
+        }
+        out_width
     }
 }
 
@@ -630,118 +744,11 @@ impl DeployedFcnn {
     /// across the whole window — for conv stages, across every im2col
     /// patch row of every sample in the window at once.
     fn forward_staged(&self, buf: &mut WindowBuffers, samples: usize, logits: &mut Vec<f64>) {
-        let WindowBuffers { cur, nxt, aux } = buf;
         let mut width = self.input_dim();
         for stage in &self.stages {
-            let relu_after = match stage {
-                DeployedStage::Mesh(st) => {
-                    // Re-stage: ancilla padding (unitary decoder) plus the
-                    // bias reference mode, exactly as the per-sample walk
-                    // always did.
-                    let fan_in = st.layer.input_dim() - 1;
-                    let padded = if st.pad_input {
-                        width.max(fan_in)
-                    } else {
-                        width
-                    };
-                    let in_w = padded + 1;
-                    nxt.clear();
-                    nxt.resize(samples * in_w, Complex64::ZERO);
-                    for s in 0..samples {
-                        let src = &cur[s * width..(s + 1) * width];
-                        let dst = &mut nxt[s * in_w..(s + 1) * in_w];
-                        dst[..width].copy_from_slice(src);
-                        dst[padded] = Complex64::ONE;
-                    }
-                    std::mem::swap(cur, nxt);
-                    st.compiled.forward_batch(cur, nxt, samples);
-                    width = st.layer.output_dim();
-                    st.relu_after
-                }
-                DeployedStage::Conv(st) => {
-                    // im2col: gather every output position's patch (bias
-                    // on the reference mode) and push all patch rows of
-                    // the window through one compiled mesh batch. Windows
-                    // whose gather is large enough to amortise a fan-out
-                    // expand on the persistent executor instead of the
-                    // calling thread (bitwise identical — both paths run
-                    // `gather_into` per sample).
-                    let plan = &st.plan[..];
-                    let fields = samples * plan.len();
-                    if fields >= PARALLEL_GATHER_MIN_FIELDS && crate::pool::jobs() > 1 {
-                        let src = &cur[..samples * width];
-                        nxt.clear();
-                        nxt.resize(fields, Complex64::ZERO);
-                        let shards = crate::pool::jobs().min(samples);
-                        let chunk = samples.div_ceil(shards);
-                        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = nxt
-                            .chunks_mut(chunk * plan.len())
-                            .zip(src.chunks(chunk * width))
-                            .map(|(dst, win)| {
-                                Box::new(move || {
-                                    for (d, s) in dst.chunks_mut(plan.len()).zip(win.chunks(width))
-                                    {
-                                        gather_into(plan, s, d);
-                                    }
-                                }) as Box<dyn FnOnce() + Send + '_>
-                            })
-                            .collect();
-                        crate::pool::run_scoped(tasks);
-                        st.compiled.forward_batch(nxt, aux, samples * st.positions);
-                    } else {
-                        st.compiled.forward_gathered(
-                            &cur[..samples * width],
-                            width,
-                            plan,
-                            nxt,
-                            aux,
-                        );
-                    }
-                    // Mesh rows come back position-major `[P][O]`; the
-                    // software conv layout is channel-major `[O, H'·W']`.
-                    cur.clear();
-                    cur.resize(samples * st.out_features, Complex64::ZERO);
-                    for s in 0..samples {
-                        let rows = &nxt[s * st.positions * st.out_ch..][..st.positions * st.out_ch];
-                        let dst = &mut cur[s * st.out_features..][..st.out_features];
-                        for p in 0..st.positions {
-                            for o in 0..st.out_ch {
-                                dst[o * st.positions + p] = rows[p * st.out_ch + o];
-                            }
-                        }
-                    }
-                    width = st.out_features;
-                    st.relu_after
-                }
-                DeployedStage::Pool(st) => {
-                    // Electronic average pooling: detect, average the k²
-                    // taps per output feature, re-modulate.
-                    let inv = 1.0 / st.k2 as f64;
-                    nxt.clear();
-                    nxt.resize(samples * st.out_features, Complex64::ZERO);
-                    for s in 0..samples {
-                        let src = &cur[s * width..(s + 1) * width];
-                        let dst = &mut nxt[s * st.out_features..][..st.out_features];
-                        for (f, taps) in dst.iter_mut().zip(st.taps.chunks_exact(st.k2)) {
-                            let mut acc = Complex64::ZERO;
-                            for &t in taps {
-                                acc += src[t as usize];
-                            }
-                            *f = acc.scale(inv);
-                        }
-                    }
-                    std::mem::swap(cur, nxt);
-                    width = st.out_features;
-                    st.relu_after
-                }
-            };
-            if relu_after {
-                for z in cur.iter_mut() {
-                    *z = Complex64::new(z.re.max(0.0), z.im.max(0.0));
-                }
-            }
+            width = stage.apply(buf, width, samples);
         }
-        for row in cur.chunks_exact(width.max(1)) {
+        for row in buf.cur.chunks_exact(width.max(1)) {
             detect(self.detection, row, logits);
         }
     }
@@ -920,6 +927,371 @@ impl DeployedFcnn {
             }
         }
         (total, phases)
+    }
+
+    /// Per-chip physical budget report of the deployed pipeline, one entry
+    /// per stage in stage order, under the silicon platform defaults
+    /// ([`OpticalLossModel::silicon_defaults`]). Each optical stage is one
+    /// physical chip (two MZI meshes plus attenuators); its worst-path
+    /// insertion loss and time-of-flight latency are the sums over both
+    /// meshes. Electronic stages (pooling) report zeros.
+    pub fn chip_reports(&self) -> Vec<ChipReport> {
+        self.chip_reports_with(&OpticalLossModel::silicon_defaults())
+    }
+
+    /// [`DeployedFcnn::chip_reports`] under an explicit platform model.
+    pub fn chip_reports_with(&self, model: &OpticalLossModel) -> Vec<ChipReport> {
+        self.stages
+            .iter()
+            .enumerate()
+            .map(|(i, stage)| {
+                let mut report = ChipReport {
+                    stage: i,
+                    optical: false,
+                    input_width: stage.input_width(),
+                    output_width: stage.output_width(),
+                    mesh_depth: 0,
+                    insertion_loss_db: 0.0,
+                    latency_ps: 0.0,
+                };
+                if let Some(layer) = stage.optical() {
+                    report.optical = true;
+                    for mesh in [layer.v_mesh(), layer.u_mesh()] {
+                        report.mesh_depth += mesh.depth();
+                        report.insertion_loss_db += model.worst_path_loss_db(mesh);
+                        report.latency_ps += model.latency_ps(mesh);
+                    }
+                }
+                report
+            })
+            .collect()
+    }
+
+    /// The stage-pipelined counterpart of the sequential windowed walk:
+    /// the span's `total` rows are cut into windows of at most `window`
+    /// samples, the stage chain is partitioned into `helpers + 1`
+    /// contiguous segments (each deployed stage — physically one chip —
+    /// belongs to exactly one segment), and windows stream through the
+    /// segments concurrently over bounded rings of
+    /// [`STAGE_RING_WINDOWS`] windows each.
+    ///
+    /// The calling thread stages each window via `fill(lo, hi, buffer)`
+    /// (span-relative row range) and runs segment 0; each helper thread
+    /// runs one further segment; the last segment detects and collects
+    /// logits. Rings are FIFO with a single producer and consumer per
+    /// ring, so windows reach detection in submission order — the
+    /// returned logits are row-major over the span exactly like the
+    /// sequential walk's. Every segment applies [`DeployedStage::apply`]
+    /// to whole windows at the same window boundaries the sequential walk
+    /// uses, so the result is **bitwise identical** to
+    /// [`DeployedFcnn::forward_rows_into`] over the same rows at any
+    /// helper count.
+    ///
+    /// Also returns per-stage occupancy (windows seen, busy nanoseconds)
+    /// in stage order — the dynamic half of the multi-chip report whose
+    /// static half is [`DeployedFcnn::chip_reports`].
+    ///
+    /// Callers must hold a [`crate::pool`] pipeline reservation covering
+    /// the caller plus `helpers` threads; `helpers` must be ≥ 1 (with no
+    /// helper budget, fall back to the sequential walk) and the pipeline
+    /// must have at least 2 stages.
+    pub(crate) fn forward_windows_pipelined(
+        &self,
+        total: usize,
+        window: usize,
+        helpers: usize,
+        fill: &mut dyn FnMut(usize, usize, &mut Vec<Complex64>),
+    ) -> (Vec<f64>, Vec<StageOccupancy>) {
+        debug_assert!(helpers >= 1 && self.stages.len() >= 2 && window >= 1);
+        let stages = &self.stages[..];
+        let nseg = (helpers + 1).min(stages.len());
+        // Segment `s` covers stages `bounds[s]..bounds[s + 1]`: contiguous,
+        // balanced by stage count, every stage in exactly one segment.
+        let bounds: Vec<usize> = (0..=nseg).map(|s| s * stages.len() / nseg).collect();
+        let windows = total.div_ceil(window);
+        let rings: Vec<StageRing> = (0..nseg - 1).map(|_| StageRing::new()).collect();
+        // Spent window allocations flow back from the sink for reuse, so a
+        // long span settles into a fixed set of buffers.
+        let spares: Mutex<Vec<Vec<Complex64>>> = Mutex::new(Vec::new());
+        let input_width = self.input_dim();
+        let detection = self.detection;
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(nseg - 1);
+            for seg in 1..nseg {
+                let ring_in = &rings[seg - 1];
+                let ring_out = rings.get(seg);
+                let seg_stages = &stages[bounds[seg]..bounds[seg + 1]];
+                let (rings, spares) = (&rings[..], &spares);
+                handles.push(scope.spawn(move || {
+                    let run = || {
+                        let mut buf = WindowBuffers::default();
+                        let mut occ = vec![StageOccupancy::default(); seg_stages.len()];
+                        let mut sunk: Vec<Vec<f64>> = Vec::new();
+                        while let Some(mut msg) = ring_in.pop() {
+                            std::mem::swap(&mut buf.cur, &mut msg.fields);
+                            let mut width = msg.width;
+                            for (i, st) in seg_stages.iter().enumerate() {
+                                let clock = Instant::now();
+                                width = st.apply(&mut buf, width, msg.samples);
+                                occ[i].windows += 1;
+                                occ[i].busy_nanos += clock.elapsed().as_nanos() as u64;
+                            }
+                            std::mem::swap(&mut buf.cur, &mut msg.fields);
+                            msg.width = width;
+                            match ring_out {
+                                Some(ring) => {
+                                    if !ring.push(msg) {
+                                        break; // pipeline aborted downstream
+                                    }
+                                }
+                                None => {
+                                    // The sink: detect in arrival (= submission)
+                                    // order, recycle the window allocation.
+                                    let mut logits = Vec::new();
+                                    for row in msg.fields.chunks_exact(width.max(1)) {
+                                        detect(detection, row, &mut logits);
+                                    }
+                                    sunk.push(logits);
+                                    let mut fields = msg.fields;
+                                    fields.clear();
+                                    spares.lock().expect("pipeline spares").push(fields);
+                                }
+                            }
+                        }
+                        if let Some(ring) = ring_out {
+                            ring.close();
+                        }
+                        (occ, sunk)
+                    };
+                    match catch_unwind(AssertUnwindSafe(run)) {
+                        Ok(v) => v,
+                        Err(payload) => {
+                            // Wake every blocked neighbour before re-raising,
+                            // so the scope join cannot deadlock on a ring.
+                            for ring in rings {
+                                ring.abort();
+                            }
+                            resume_unwind(payload);
+                        }
+                    }
+                }));
+            }
+
+            // The calling thread is the source plus segment 0.
+            let feed = &mut |fill: &mut dyn FnMut(usize, usize, &mut Vec<Complex64>)| {
+                let mut buf = WindowBuffers::default();
+                let mut occ = vec![StageOccupancy::default(); bounds[1]];
+                for w in 0..windows {
+                    let lo = w * window;
+                    let hi = ((w + 1) * window).min(total);
+                    let mut fields = spares
+                        .lock()
+                        .expect("pipeline spares")
+                        .pop()
+                        .unwrap_or_default();
+                    fill(lo, hi, &mut fields);
+                    std::mem::swap(&mut buf.cur, &mut fields);
+                    let mut width = input_width;
+                    for (i, st) in stages[..bounds[1]].iter().enumerate() {
+                        let clock = Instant::now();
+                        width = st.apply(&mut buf, width, hi - lo);
+                        occ[i].windows += 1;
+                        occ[i].busy_nanos += clock.elapsed().as_nanos() as u64;
+                    }
+                    std::mem::swap(&mut buf.cur, &mut fields);
+                    let msg = WindowMsg {
+                        samples: hi - lo,
+                        width,
+                        fields,
+                    };
+                    if !rings[0].push(msg) {
+                        break; // pipeline aborted; the panic surfaces at join
+                    }
+                }
+                occ
+            };
+            let fed = catch_unwind(AssertUnwindSafe(|| feed(fill)));
+            match &fed {
+                Ok(_) => rings[0].close(),
+                Err(_) => {
+                    for ring in &rings {
+                        ring.abort();
+                    }
+                }
+            }
+
+            let mut occupancy: Vec<StageOccupancy> = match &fed {
+                Ok(occ) => occ.clone(),
+                Err(_) => vec![StageOccupancy::default(); bounds[1]],
+            };
+            let mut flat = Vec::new();
+            let mut panicked: Option<Box<dyn Any + Send>> = None;
+            for handle in handles {
+                match handle.join() {
+                    Ok((occ, sunk)) => {
+                        occupancy.extend(occ);
+                        for logits in sunk {
+                            flat.extend_from_slice(&logits);
+                        }
+                    }
+                    Err(payload) => {
+                        if panicked.is_none() {
+                            panicked = Some(payload);
+                        }
+                    }
+                }
+            }
+            if let Err(payload) = fed {
+                resume_unwind(payload);
+            }
+            if let Some(payload) = panicked {
+                resume_unwind(payload);
+            }
+            (flat, occupancy)
+        })
+    }
+}
+
+/// Capacity, in staged sample windows, of each bounded ring buffer
+/// between two pipeline segments of the stage-pipelined window walk
+/// (`DeployedFcnn::forward_windows_pipelined`). Small on purpose: one
+/// window in flight plus one of slack keeps every chip busy while
+/// bounding the staged-field memory at `stages × windows × width`
+/// instead of the whole span.
+pub const STAGE_RING_WINDOWS: usize = 2;
+
+/// Dynamic per-stage counters of the stage-pipelined walk: how many
+/// windows a stage (chip) processed and how long it was busy. The
+/// *occupancy* half of the multi-chip report; the static physics half is
+/// [`ChipReport`]. Sequential walks leave these at zero — occupancy is a
+/// pipeline metric.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageOccupancy {
+    /// Sample windows this stage processed.
+    pub windows: u64,
+    /// Nanoseconds this stage spent transforming windows.
+    pub busy_nanos: u64,
+}
+
+/// Static per-chip physical budget of one deployed stage under an
+/// [`OpticalLossModel`]: worst-path insertion loss and time-of-flight
+/// latency summed over the stage's two MZI meshes (V then U), plus its
+/// geometry. Electronic stages (pooling) are listed with `optical:
+/// false` and zero optical figures, so the report covers the whole
+/// pipeline in stage order.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ChipReport {
+    /// Stage index in the deployed pipeline.
+    pub stage: usize,
+    /// Whether this stage carries photonic hardware.
+    pub optical: bool,
+    /// Flattened field count a sample presents to this stage.
+    pub input_width: usize,
+    /// Flattened field count a sample leaves this stage with.
+    pub output_width: usize,
+    /// MZI columns light traverses, summed over both meshes.
+    pub mesh_depth: usize,
+    /// Worst-path insertion loss in dB, summed over both meshes.
+    pub insertion_loss_db: f64,
+    /// Time-of-flight latency in picoseconds, summed over both meshes.
+    pub latency_ps: f64,
+}
+
+/// One staged sample window travelling between pipeline segments: the
+/// flat fields plus the per-sample width they are currently at. Windows
+/// are pushed in submission order and every ring is FIFO with one
+/// producer and one consumer, so order is preserved end to end.
+struct WindowMsg {
+    samples: usize,
+    width: usize,
+    fields: Vec<Complex64>,
+}
+
+struct RingState {
+    queue: VecDeque<WindowMsg>,
+    /// End of stream: no more windows will be pushed.
+    closed: bool,
+    /// Pipeline failure: a segment panicked; everyone stops immediately.
+    aborted: bool,
+}
+
+/// A bounded FIFO ring between two adjacent pipeline segments, capacity
+/// [`STAGE_RING_WINDOWS`]. `push` blocks while full (backpressure on the
+/// upstream chip), `pop` blocks while empty; `close` ends the stream
+/// after draining, `abort` wakes everyone for unwinding.
+struct StageRing {
+    state: Mutex<RingState>,
+    space: Condvar,
+    ready: Condvar,
+}
+
+impl StageRing {
+    fn new() -> Self {
+        StageRing {
+            state: Mutex::new(RingState {
+                queue: VecDeque::with_capacity(STAGE_RING_WINDOWS),
+                closed: false,
+                aborted: false,
+            }),
+            space: Condvar::new(),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the ring has space; returns `false` (dropping the
+    /// window) if the pipeline aborted, telling the producer to stop.
+    fn push(&self, msg: WindowMsg) -> bool {
+        let mut st = self.state.lock().expect("stage ring");
+        loop {
+            if st.aborted {
+                return false;
+            }
+            if st.queue.len() < STAGE_RING_WINDOWS {
+                st.queue.push_back(msg);
+                drop(st);
+                self.ready.notify_one();
+                return true;
+            }
+            st = self.space.wait(st).expect("stage ring");
+        }
+    }
+
+    /// Blocks until a window arrives; `None` once the stream is closed
+    /// and drained (or aborted).
+    fn pop(&self) -> Option<WindowMsg> {
+        let mut st = self.state.lock().expect("stage ring");
+        loop {
+            if st.aborted {
+                return None;
+            }
+            if let Some(msg) = st.queue.pop_front() {
+                drop(st);
+                self.space.notify_one();
+                return Some(msg);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).expect("stage ring");
+        }
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().expect("stage ring");
+        st.closed = true;
+        drop(st);
+        self.ready.notify_all();
+    }
+
+    fn abort(&self) {
+        let mut st = self.state.lock().expect("stage ring");
+        st.aborted = true;
+        st.closed = true;
+        st.queue.clear();
+        drop(st);
+        self.ready.notify_all();
+        self.space.notify_all();
     }
 }
 
@@ -1440,6 +1812,102 @@ mod tests {
             let optical = deployed.forward(&sample);
             for k in 0..2 {
                 assert!((optical[k] - soft.at2(i, k) as f64).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_windows_match_sequential_walk_bitwise() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let cfg = FcnnConfig {
+            input: 6,
+            hidden: 7,
+            classes: 2,
+        };
+        let net = build_fcnn(&cfg, ModelVariant::Split(DecoderKind::Merge), &mut rng);
+        let deployed =
+            DeployedFcnn::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+                .expect("deployable");
+        assert!(deployed.num_stages() >= 2);
+
+        // A small window against many samples keeps several windows in
+        // flight at once, so the bounded rings exercise backpressure
+        // (ring capacity is STAGE_RING_WINDOWS windows).
+        let (total, window, d) = (37usize, 4usize, 6usize);
+        let view = random_view(total, d, 22);
+        let mut rows: Vec<Complex64> = Vec::with_capacity(total * d);
+        for i in 0..total {
+            for j in 0..d {
+                rows.push(Complex64::new(
+                    view.re.at2(i, j) as f64,
+                    view.im.at2(i, j) as f64,
+                ));
+            }
+        }
+
+        // The sequential reference at identical window boundaries.
+        let mut buf = WindowBuffers::default();
+        let mut logits = Vec::new();
+        let mut want = Vec::new();
+        for lo in (0..total).step_by(window) {
+            let hi = (lo + window).min(total);
+            deployed
+                .forward_rows_into(&rows[lo * d..hi * d], &mut buf, &mut logits)
+                .expect("sequential walk");
+            want.extend_from_slice(&logits);
+        }
+
+        for helpers in [1usize, 2, 7] {
+            let mut fill = |lo: usize, hi: usize, fields: &mut Vec<Complex64>| {
+                fields.clear();
+                fields.extend_from_slice(&rows[lo * d..hi * d]);
+            };
+            let (got, occ) = deployed.forward_windows_pipelined(total, window, helpers, &mut fill);
+            assert_eq!(got, want, "helpers {helpers}: pipelined walk diverged");
+            assert_eq!(occ.len(), deployed.num_stages(), "helpers {helpers}");
+            let seen: u64 = occ.iter().map(|o| o.windows).sum();
+            assert_eq!(
+                seen as usize,
+                deployed.num_stages() * total.div_ceil(window),
+                "helpers {helpers}: every stage sees every window exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn chip_reports_sum_losses_over_optical_stages() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let cfg = FcnnConfig {
+            input: 6,
+            hidden: 5,
+            classes: 2,
+        };
+        let net = build_fcnn(&cfg, ModelVariant::Split(DecoderKind::Merge), &mut rng);
+        let deployed =
+            DeployedFcnn::from_network(&net, DeployedDetection::Differential, MeshStyle::Clements)
+                .expect("deployable");
+        let reports = deployed.chip_reports();
+        assert_eq!(reports.len(), deployed.num_stages());
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.stage, i);
+            if r.optical {
+                assert!(r.mesh_depth > 0, "stage {i}: a mesh has depth");
+                assert!(r.insertion_loss_db > 0.0, "stage {i}: loss budget");
+                assert!(r.latency_ps > 0.0, "stage {i}: optical latency");
+            } else {
+                assert_eq!(r.insertion_loss_db, 0.0, "stage {i} is electronic");
+            }
+        }
+        // The default platform is the silicon one; an explicit lossier
+        // platform scales every optical budget up.
+        let lossier = OpticalLossModel {
+            mzi_loss_db: 1.0,
+            ..OpticalLossModel::silicon_defaults()
+        };
+        let worse = deployed.chip_reports_with(&lossier);
+        for (a, b) in reports.iter().zip(&worse) {
+            if a.optical {
+                assert!(b.insertion_loss_db > a.insertion_loss_db);
             }
         }
     }

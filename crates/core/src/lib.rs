@@ -142,9 +142,12 @@ pub mod stage;
 pub mod zoo;
 
 pub use deploy::{
-    clear_deploy_cache, deploy_cache_stats, DeployCacheStats, DeployedDetection, DeployedFcnn,
+    clear_deploy_cache, deploy_cache_stats, ChipReport, DeployCacheStats, DeployedDetection,
+    DeployedFcnn, StageOccupancy,
 };
-pub use engine::{Confidence, DriftSession, EngineStats, InferenceEngine, StreamingReport};
+pub use engine::{
+    Confidence, DriftSession, EngineStats, InferenceEngine, StageStats, StreamingReport,
+};
 pub use error::Error;
 pub use pipeline::{OplixNetBuilder, OplixNetOutcome, OplixNetPipeline, OutcomeSummary};
 pub use router::{

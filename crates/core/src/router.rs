@@ -380,24 +380,96 @@ enum LaneEnvelope {
     Control(Control),
 }
 
-/// Sum over all lanes of `queue depth × optical weight` — the
-/// denominator of every lane's fair share of the `--jobs` budget.
+/// Per-lane weighted queue depths (`queued requests × optical weight`),
+/// keyed by lane registration id — the inputs to the largest-remainder
+/// split of the `--jobs` worker budget. A registry rather than a single
+/// router-wide sum: computing every lane's share from one consistent
+/// snapshot is what keeps the *summed* allocation bounded (the old
+/// per-lane `clamp(1, jobs)` let N idle-but-nonempty lanes claim N >
+/// jobs shards in aggregate).
 #[derive(Default)]
 struct FairShare {
-    total: AtomicU64,
+    lanes: Mutex<BTreeMap<u64, u64>>,
+    next_id: AtomicU64,
 }
 
-/// A lane's share of the worker budget: proportional to its weighted
-/// depth over the router-wide total, never below one worker and never
-/// above the whole budget. A lane that is the only active one takes the
-/// full budget.
-fn fair_share(jobs: usize, mine: u64, total: u64) -> usize {
-    let jobs = jobs.max(1) as u64;
-    if mine == 0 {
-        return 1;
+impl FairShare {
+    /// Adds a lane to the registry (weighted depth 0) and returns its id.
+    fn register(&self) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        relock(self.lanes.lock()).insert(id, 0);
+        id
     }
-    let total = total.max(mine);
-    ((jobs * mine) / total).clamp(1, jobs) as usize
+
+    /// Removes a lane; its workers return to the splittable budget.
+    fn deregister(&self, id: u64) {
+        relock(self.lanes.lock()).remove(&id);
+    }
+
+    /// One admission: the lane's weighted depth grows by its weight.
+    fn add(&self, id: u64, weight: u64) {
+        if let Some(w) = relock(self.lanes.lock()).get_mut(&id) {
+            *w += weight;
+        }
+    }
+
+    /// One response: the admission's weight is handed back.
+    fn sub(&self, id: u64, weight: u64) {
+        if let Some(w) = relock(self.lanes.lock()).get_mut(&id) {
+            *w = w.saturating_sub(weight);
+        }
+    }
+
+    /// Lane `id`'s share of the `jobs` budget under one consistent
+    /// registry snapshot, floored at the one worker the lane itself is
+    /// (a lane about to serve a batch always runs at least itself).
+    fn share_for(&self, id: u64, jobs: usize) -> usize {
+        let lanes = relock(self.lanes.lock());
+        let idx = lanes.keys().position(|k| *k == id);
+        let weights: Vec<u64> = lanes.values().copied().collect();
+        drop(lanes);
+        idx.map_or(1, |i| fair_shares(jobs, &weights)[i].max(1))
+    }
+}
+
+/// Splits the `jobs` worker budget across lanes by weighted queue depth,
+/// bounding the **sum**: every live lane (weight > 0) keeps the one
+/// worker it is, and only the remaining budget — `jobs` minus the live
+/// lane count, when positive — is divided proportionally by weight with
+/// a largest-remainder rounding (remainder ties break toward the lower
+/// index, so the split is deterministic). Idle lanes (weight 0) get 0.
+///
+/// Invariant: `Σ shares == max(jobs, live lanes)` whenever any lane is
+/// live — the allocation oversubscribes the budget only by the floor
+/// that serving lanes physically occupy, never by proportional rounding.
+fn fair_shares(jobs: usize, weights: &[u64]) -> Vec<usize> {
+    let jobs = jobs.max(1);
+    let mut shares: Vec<usize> = weights.iter().map(|&w| usize::from(w > 0)).collect();
+    let live: usize = shares.iter().sum();
+    let spare = jobs.saturating_sub(live);
+    let total: u64 = weights.iter().sum();
+    if spare == 0 || total == 0 {
+        return shares;
+    }
+    // Largest-remainder split of the spare workers by weight: floors
+    // first, then one extra worker per largest fractional part until the
+    // spare pool is spent.
+    let mut remainders: Vec<(usize, u64)> = Vec::with_capacity(weights.len());
+    let mut assigned = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        if w == 0 {
+            continue;
+        }
+        let scaled = spare as u128 * w as u128;
+        shares[i] += (scaled / total as u128) as usize;
+        assigned += (scaled / total as u128) as usize;
+        remainders.push((i, (scaled % total as u128) as u64));
+    }
+    remainders.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (i, _) in remainders.into_iter().take(spare - assigned) {
+        shares[i] += 1;
+    }
+    shares
 }
 
 /// The flush policy every lane inherits from its [`RouterBuilder`].
@@ -423,8 +495,12 @@ struct Lane {
     input_dim: usize,
     queue_cap: usize,
     /// Scheduling weight: the deployment's optical stage count (deeper
-    /// meshes cost more per sample), floored at 1.
+    /// meshes cost more per sample), floored at 1. A stage-pipelined
+    /// lane keeps the same weight — pipelining changes how the lane's
+    /// share is used, not how much work each queued sample represents.
     weight: u64,
+    /// This lane's slot in the router-wide [`FairShare`] registry.
+    fair_id: u64,
     optical_stages: usize,
     cache_shared: bool,
     handle: Mutex<Option<thread::JoinHandle<InferenceEngine>>>,
@@ -509,7 +585,7 @@ impl RouterCore {
         match sent {
             Ok(_) => {
                 lane.counters.admitted();
-                self.fair.total.fetch_add(lane.weight, Ordering::Relaxed);
+                self.fair.add(lane.fair_id, lane.weight);
                 Ok(RouterTicket { rx, done: None })
             }
             Err(e) => {
@@ -563,7 +639,7 @@ impl RouterCore {
 }
 
 /// Per-model slice of a [`RouterStats`] snapshot.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ModelStats {
     /// The lane's serving counters, in the exact [`ServerStats`] shape
     /// the single-model server reports (queue depth and max wait
@@ -787,6 +863,7 @@ impl Router {
         let input_dim = engine.input_dim();
         let optical_stages = engine.deployed().num_optical_stages();
         let weight = optical_stages.max(1) as u64;
+        let fair_id = core.fair.register();
         let (tx, rx) = mpsc::sync_channel::<LaneEnvelope>(core.queue_cap);
         let stop = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(Counters::default());
@@ -809,6 +886,7 @@ impl Router {
                         counters,
                         deadline_missed,
                         fair,
+                        fair_id,
                         weight,
                     )
                 })
@@ -825,6 +903,7 @@ impl Router {
                 input_dim,
                 queue_cap: core.queue_cap,
                 weight,
+                fair_id,
                 optical_stages,
                 cache_shared,
                 handle: Mutex::new(Some(handle)),
@@ -1064,13 +1143,14 @@ fn take_flush_batch(
 fn lane_respond(
     counters: &Counters,
     fair: &FairShare,
+    fair_id: u64,
     weight: u64,
     request: &LaneRequest,
     outcome: Result<Served, Error>,
 ) {
     counters.served.fetch_add(1, Ordering::Relaxed);
     counters.depth.fetch_sub(1, Ordering::Relaxed);
-    fair.total.fetch_sub(weight, Ordering::Relaxed);
+    fair.sub(fair_id, weight);
     if matches!(
         outcome,
         Ok(Served {
@@ -1096,6 +1176,7 @@ fn lane_serve_batch(
     rows: &mut Vec<Complex64>,
     counters: &Counters,
     fair: &FairShare,
+    fair_id: u64,
     weight: u64,
     flush_seq: u64,
     now: Instant,
@@ -1129,6 +1210,7 @@ fn lane_serve_batch(
                 lane_respond(
                     counters,
                     fair,
+                    fair_id,
                     weight,
                     &item.value,
                     Err(Error::ServerClosed),
@@ -1146,6 +1228,7 @@ fn lane_serve_batch(
                     lane_respond(
                         counters,
                         fair,
+                        fair_id,
                         weight,
                         &item.value,
                         Ok(Served {
@@ -1170,7 +1253,7 @@ fn lane_serve_batch(
                             waited,
                             version,
                         });
-                    lane_respond(counters, fair, weight, &item.value, outcome);
+                    lane_respond(counters, fair, fair_id, weight, &item.value, outcome);
                 }
             }
         }
@@ -1194,6 +1277,7 @@ fn lane_batcher(
     counters: Arc<Counters>,
     deadline_missed: Arc<AtomicU64>,
     fair: Arc<FairShare>,
+    fair_id: u64,
     weight: u64,
 ) -> InferenceEngine {
     // Lane batchers are resident service threads, like the single-model
@@ -1301,23 +1385,23 @@ fn lane_batcher(
                 lane_respond(
                     &counters,
                     &fair,
+                    fair_id,
                     weight,
                     &request,
                     Err(Error::DeadlineExceeded { missed_by }),
                 );
             }
+            // A flush in which *every* popped request had expired leaves
+            // an empty batch: skip it entirely — no `batches` increment,
+            // no zero-sample engine call, no flush sequence number spent.
             if !batch.is_empty() {
                 flush_seq += 1;
-                let mine = counters.depth.load(Ordering::Relaxed) * weight;
-                let share = fair_share(
-                    crate::pool::jobs(),
-                    mine,
-                    fair.total.load(Ordering::Relaxed),
-                );
+                let share = fair.share_for(fair_id, crate::pool::jobs());
                 lane_serve_batch(
-                    &mut rack, &policy, batch, &mut rows, &counters, &fair, weight, flush_seq, now,
-                    share,
+                    &mut rack, &policy, batch, &mut rows, &counters, &fair, fair_id, weight,
+                    flush_seq, now, share,
                 );
+                counters.publish_stages(rack.stage_stats());
             }
             if control.is_none() || pending.is_empty() {
                 break;
@@ -1327,6 +1411,7 @@ fn lane_batcher(
             rack.apply(c, stop.load(Ordering::SeqCst), &counters);
         }
     }
+    fair.deregister(fair_id);
     rack.finish()
 }
 
@@ -1414,18 +1499,71 @@ mod tests {
     }
 
     #[test]
-    fn fair_share_splits_jobs_by_weighted_depth() {
+    fn fair_shares_split_jobs_by_weighted_depth() {
         // Sole active lane takes the whole budget.
-        assert_eq!(fair_share(8, 10, 10), 8);
-        // Idle lane keeps one worker.
-        assert_eq!(fair_share(8, 0, 40), 1);
-        // Proportional split, floored at one worker.
-        assert_eq!(fair_share(8, 20, 40), 4);
-        assert_eq!(fair_share(8, 1, 1000), 1);
-        // Total is clamped up to `mine`, so a stale (smaller) total
-        // cannot grant more than the whole budget.
-        assert_eq!(fair_share(8, 50, 10), 8);
-        // Degenerate budget still grants one worker.
-        assert_eq!(fair_share(0, 5, 5), 1);
+        assert_eq!(fair_shares(8, &[10]), [8]);
+        // Idle lanes (weight 0) get no workers; live ones split the rest.
+        assert_eq!(fair_shares(8, &[0, 40]), [0, 8]);
+        // Proportional split of the budget beyond the per-lane floor.
+        assert_eq!(fair_shares(8, &[20, 20]), [4, 4]);
+        // A heavily loaded lane dominates, but every live lane keeps the
+        // one worker it is.
+        assert_eq!(fair_shares(5, &[100, 1, 1, 1]), [2, 1, 1, 1]);
+        // Largest-remainder rounding: remainders 2/3 and 1/3 of the one
+        // spare worker — the larger remainder (lower index on ties) wins.
+        assert_eq!(fair_shares(3, &[2, 1]), [2, 1]);
+        // Degenerate budget still grants each live lane its own worker.
+        assert_eq!(fair_shares(0, &[5, 5]), [1, 1]);
+        // All idle: nothing to grant.
+        assert_eq!(fair_shares(8, &[0, 0]), [0, 0]);
+    }
+
+    #[test]
+    fn fair_shares_never_oversubscribe_when_lanes_exceed_jobs() {
+        // The regression this allocator fixes: under the old per-lane
+        // `clamp(1, jobs)`, 12 idle-but-nonempty lanes against a 4-worker
+        // budget claimed 12 shards each sized up to `jobs`. The summed
+        // allocation must now stay within max(jobs, live lanes): the only
+        // oversubscription left is the floor that serving lanes
+        // physically occupy (each lane thread is itself one worker).
+        for jobs in [1usize, 2, 4, 7] {
+            for lanes in [1usize, 2, 5, 12] {
+                let weights: Vec<u64> = (0..lanes as u64).map(|i| i % 3 + 1).collect();
+                let shares = fair_shares(jobs, &weights);
+                let live = weights.iter().filter(|w| **w > 0).count();
+                let sum: usize = shares.iter().sum();
+                assert!(
+                    sum <= jobs.max(live),
+                    "jobs={jobs} lanes={lanes}: Σ shares {sum} > max(jobs, live) {}",
+                    jobs.max(live)
+                );
+                assert_eq!(sum, jobs.max(1).max(live), "budget is fully spent");
+                for (i, &s) in shares.iter().enumerate() {
+                    assert!(s >= 1, "live lane {i} keeps one worker");
+                    assert!(s <= jobs.max(1), "lane {i} share {s} exceeds the budget");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fair_share_registry_tracks_admissions_and_responses() {
+        let fair = FairShare::default();
+        let a = fair.register();
+        let b = fair.register();
+        // Nothing queued anywhere: each lane still runs as itself.
+        assert_eq!(fair.share_for(a, 8), 1);
+        // Lane `a` takes the whole budget while it is the only live one.
+        fair.add(a, 3);
+        assert_eq!(fair.share_for(a, 8), 8);
+        // A second live lane splits the spare budget by weighted depth.
+        fair.add(b, 3);
+        assert_eq!(fair.share_for(a, 8), 4);
+        assert_eq!(fair.share_for(b, 8), 4);
+        // Responses hand the weight back; deregistration frees the slot.
+        fair.sub(b, 3);
+        assert_eq!(fair.share_for(a, 8), 8);
+        fair.deregister(a);
+        assert_eq!(fair.share_for(a, 8), 1, "unknown lanes degrade to 1");
     }
 }

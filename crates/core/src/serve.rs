@@ -71,7 +71,7 @@
 //! Everything is plain threads and channels — no async runtime, matching
 //! the workspace's std-only stance.
 
-use crate::engine::{argmax, Confidence, InferenceEngine};
+use crate::engine::{argmax, Confidence, InferenceEngine, StageStats};
 use crate::error::Error;
 use oplix_linalg::Complex64;
 use oplix_nn::ctensor::CTensor;
@@ -633,6 +633,9 @@ pub(crate) struct Counters {
     /// Version changes the batcher has applied (swaps and promotes).
     pub(crate) swaps: AtomicU64,
     pub(crate) waits: WaitTracker,
+    /// Latest per-stage chip/occupancy snapshot published by the batcher
+    /// after each served flush (empty until the first flush).
+    pub(crate) stages: Mutex<Vec<StageStats>>,
 }
 
 impl Counters {
@@ -640,6 +643,12 @@ impl Counters {
     pub(crate) fn admitted(&self) {
         self.submitted.fetch_add(1, Ordering::Relaxed);
         self.depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the serving engine's per-stage stats (chip reports plus
+    /// pipeline occupancy) for the next [`Counters::snapshot`].
+    pub(crate) fn publish_stages(&self, stages: Vec<StageStats>) {
+        *relock(self.stages.lock()) = stages;
     }
 
     /// Snapshot of the counters in the public stats shape; the serving
@@ -656,6 +665,7 @@ impl Counters {
             version,
             swaps: self.swaps.load(Ordering::Relaxed),
             max_wait_observed: self.waits.max(),
+            stage_stats: relock(self.stages.lock()).clone(),
         }
     }
 }
@@ -663,7 +673,7 @@ impl Counters {
 /// A snapshot of a [`Server`]'s counters. The router tier reports its
 /// per-model lanes through this same shape (see
 /// [`crate::router::ModelStats`]).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ServerStats {
     /// Requests admitted to the queue.
     pub submitted: u64,
@@ -689,6 +699,12 @@ pub struct ServerStats {
     pub swaps: u64,
     /// The longest admission-to-flush wait any request has observed.
     pub max_wait_observed: Duration,
+    /// Per-stage chip reports (mesh depth, insertion loss, latency) and
+    /// pipeline occupancy for the serving engine, one entry per deployed
+    /// stage, as of the last served flush. Empty before the first flush.
+    /// Occupancy counters stay zero unless the engine serves in
+    /// stage-pipelined mode ([`InferenceEngine::with_stage_pipeline`]).
+    pub stage_stats: Vec<StageStats>,
 }
 
 impl ServerStats {
@@ -717,6 +733,7 @@ pub struct ServerBuilder {
     max_wait: Duration,
     queue_cap: usize,
     workers: Option<usize>,
+    stage_pipeline: Option<bool>,
     confidence: Option<Confidence>,
     drift: Option<PhaseDrift>,
 }
@@ -728,6 +745,7 @@ impl Default for ServerBuilder {
             max_wait: Duration::from_millis(1),
             queue_cap: 1024,
             workers: None,
+            stage_pipeline: None,
             confidence: None,
             drift: None,
         }
@@ -766,6 +784,16 @@ impl ServerBuilder {
         self
     }
 
+    /// Serves through the engine's stage-pipelined walk (see
+    /// [`InferenceEngine::with_stage_pipeline`]): windows stream through
+    /// the deployed stages concurrently, results stay bitwise identical
+    /// to the sequential walk. When unset, the engine keeps whatever
+    /// mode it was built with.
+    pub fn stage_pipeline(mut self, on: bool) -> Self {
+        self.stage_pipeline = Some(on);
+        self
+    }
+
     /// Installs an early-exit [`Confidence`] policy: low-confidence
     /// samples resolve to [`Prediction::Abstain`] and are counted in
     /// [`ServerStats::abstained`].
@@ -790,6 +818,9 @@ impl ServerBuilder {
     pub fn serve_engine(self, mut engine: InferenceEngine) -> Server {
         if let Some(w) = self.workers {
             engine.set_num_workers(w);
+        }
+        if let Some(on) = self.stage_pipeline {
+            engine.set_stage_pipeline(on);
         }
         let input_dim = engine.input_dim();
         let (tx, rx) = mpsc::sync_channel::<Envelope>(self.queue_cap);
@@ -1522,6 +1553,12 @@ impl EngineRack {
         self.confidence_override.or(base)
     }
 
+    /// The current serving engine's per-stage stats (chip reports plus
+    /// pipeline occupancy), published into counters after each flush.
+    pub(crate) fn stage_stats(&self) -> Vec<StageStats> {
+        self.current.stage_stats()
+    }
+
     /// Applies one control message at its FIFO position. `draining` is
     /// the stop flag **at apply time**: a swap that lands after shutdown
     /// began must not replace the engine the server hands back, so it
@@ -1704,6 +1741,7 @@ fn batcher(
         let served = !pending.is_empty();
         if served {
             serve_flush(&mut rack, &policy, &mut pending, &mut rows, &counters);
+            counters.publish_stages(rack.stage_stats());
         }
         if let Some(c) = control {
             rack.apply(c, stop.load(Ordering::SeqCst), &counters);
@@ -1967,5 +2005,79 @@ mod tests {
         }
         assert_eq!(abstained, 24, "threshold > 1 must abstain on everything");
         assert_eq!(server.stats().abstained, 24);
+    }
+
+    #[test]
+    fn wait_tracker_top_bucket_round_trips() {
+        // A wait of 2^63 ns or more has nanosecond bit length 64 — the
+        // last of the 65 buckets. Pin that `record` stays in bounds there
+        // and `quantile` reports the true maximum back (the top bucket's
+        // nominal bound saturates at u64::MAX and is capped by `max()`).
+        let t = WaitTracker::default();
+        t.record(Duration::MAX);
+        assert_eq!(t.max(), Duration::from_nanos(u64::MAX));
+        assert_eq!(t.quantile(1.0), t.max());
+        assert_eq!(t.quantile(0.5), t.max(), "sole sample is every quantile");
+
+        // Exactly 2^63 ns also lands in the top bucket; the reported
+        // quantile is capped by the observed max, not the bucket bound.
+        let t = WaitTracker::default();
+        t.record(Duration::from_nanos(1 << 63));
+        assert_eq!(t.quantile(1.0), Duration::from_nanos(1 << 63));
+    }
+
+    #[test]
+    fn wait_tracker_bucket_bounds_cover_all_bit_lengths() {
+        // Every possible bit length (0 for a zero wait through 64 for
+        // ≥ 2^63 ns) must index inside the 65-bucket histogram, and each
+        // recorded wait must round-trip through quantile(1.0) == max().
+        for bits in 0..=64u32 {
+            let t = WaitTracker::default();
+            let nanos = if bits == 0 { 0 } else { 1u64 << (bits - 1) };
+            t.record(Duration::from_nanos(nanos));
+            assert_eq!(
+                t.quantile(1.0),
+                Duration::from_nanos(nanos),
+                "bit length {bits} round-trips"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_surface_stage_reports_after_first_flush() {
+        let x = view(8, 100_041);
+        let server = Server::builder().max_batch(8).serve_engine(engine(100_040));
+        let client = server.client();
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| client.submit(sample_row(&x, i)).expect("admits"))
+            .collect();
+        for t in tickets {
+            t.wait().expect("serves");
+        }
+        // The batcher publishes stage stats just after the flush that
+        // resolved the tickets; allow it a bounded beat to land.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let stats = loop {
+            let s = server.stats();
+            if !s.stage_stats.is_empty() || Instant::now() > deadline {
+                break s;
+            }
+            thread::yield_now();
+        };
+        assert!(
+            !stats.stage_stats.is_empty(),
+            "per-stage chip reports publish after the first flush"
+        );
+        let optical: Vec<_> = stats
+            .stage_stats
+            .iter()
+            .filter(|s| s.chip.optical)
+            .collect();
+        assert!(!optical.is_empty());
+        for s in &optical {
+            assert!(s.chip.insertion_loss_db > 0.0);
+            assert!(s.chip.latency_ps > 0.0);
+            assert!(s.chip.mesh_depth > 0);
+        }
     }
 }

@@ -160,19 +160,22 @@ pub fn lint_workspace(root: &Path, baseline: &Baseline) -> std::io::Result<Repor
             panic_lines.insert(rel.clone(), sites);
         }
 
-        // R5 for any bench source paired with a baseline file.
-        if let Some((_, baseline_name)) = rules::BENCH_BASELINE_PAIRS
+        // R5 for any bench source paired with baseline files; a bench
+        // registered against several baselines is checked against their
+        // union.
+        let baseline_texts: Vec<(&str, Option<String>)> = rules::BENCH_BASELINE_PAIRS
             .iter()
-            .find(|(src, _)| src == rel)
-        {
-            let baseline_text = std::fs::read_to_string(root.join(baseline_name)).ok();
+            .filter(|(src, _)| src == rel)
+            .map(|(_, name)| (*name, std::fs::read_to_string(root.join(name)).ok()))
+            .collect();
+        if !baseline_texts.is_empty() {
+            let baselines: Vec<(&str, Option<&str>)> = baseline_texts
+                .iter()
+                .map(|(name, text)| (*name, text.as_deref()))
+                .collect();
             report
                 .findings
-                .extend(file.apply_allows(rules::bench_baseline(
-                    &file,
-                    baseline_name,
-                    baseline_text.as_deref(),
-                )));
+                .extend(file.apply_allows(rules::bench_baseline(&file, &baselines)));
         }
     }
 

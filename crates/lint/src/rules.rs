@@ -32,8 +32,17 @@ pub const ORDER_SENSITIVE_PATHS: &[&str] = &[
 /// every metric key the bench references must exist in its baseline,
 /// otherwise the perf gate erodes silently (a missing key used to fail
 /// loudly only at bench runtime, on a runner with matching metadata).
-pub const BENCH_BASELINE_PAIRS: &[(&str, &str)] =
-    &[("crates/bench/benches/bench_smoke.rs", "BENCH_kernels.json")];
+/// A bench may appear in several pairs (`bench_smoke` gates both the
+/// kernel and the stage-pipeline baselines); its keys are then checked
+/// against the union of the paired baselines.
+pub const BENCH_BASELINE_PAIRS: &[(&str, &str)] = &[
+    ("crates/bench/benches/bench_smoke.rs", "BENCH_kernels.json"),
+    ("crates/bench/benches/bench_smoke.rs", "BENCH_pipeline.json"),
+    (
+        "crates/bench/benches/stage_pipeline.rs",
+        "BENCH_pipeline.json",
+    ),
+];
 
 /// Workspace-local stand-ins for crates.io dependencies. Panicking is
 /// part of the API they emulate (`proptest` assertion failures,
@@ -485,39 +494,49 @@ pub fn baseline_json_keys(text: &str) -> BTreeSet<String> {
     out
 }
 
-/// Every metric key the bench references must exist in its checked-in
-/// baseline — otherwise the perf gate reports a missing key only at
-/// bench runtime on a matching runner, i.e. the gate erodes silently.
-pub fn bench_baseline(
-    bench: &SourceFile,
-    baseline_name: &str,
-    baseline_text: Option<&str>,
-) -> Vec<Finding> {
+/// Every metric key the bench references must exist in one of its
+/// checked-in baselines — otherwise the perf gate reports a missing key
+/// only at bench runtime on a matching runner, i.e. the gate erodes
+/// silently. `baselines` is every `(name, contents)` pair the bench is
+/// registered against in [`BENCH_BASELINE_PAIRS`]; keys are checked
+/// against the union, and each unreadable baseline is its own finding.
+pub fn bench_baseline(bench: &SourceFile, baselines: &[(&str, Option<&str>)]) -> Vec<Finding> {
     let keys = referenced_metric_keys(bench);
-    let Some(text) = baseline_text else {
-        return vec![finding(
-            "bench-baseline",
-            bench,
-            1,
-            format!("references baseline `{baseline_name}`, which does not exist"),
-        )];
-    };
-    let present = baseline_json_keys(text);
-    keys.iter()
-        .filter(|(k, _)| !present.contains(k))
-        .map(|(k, line)| {
-            finding(
+    let mut out = Vec::new();
+    let mut present = BTreeSet::new();
+    for (name, text) in baselines {
+        match text {
+            Some(t) => present.extend(baseline_json_keys(t)),
+            None => out.push(finding(
                 "bench-baseline",
                 bench,
-                *line,
-                format!(
-                    "metric `{k}` is referenced here but missing from \
-                     `{baseline_name}` — the perf gate would fail (or \
-                     silently skip) instead of comparing it"
-                ),
-            )
-        })
-        .collect()
+                1,
+                format!("references baseline `{name}`, which does not exist"),
+            )),
+        }
+    }
+    let names = baselines
+        .iter()
+        .map(|(n, _)| format!("`{n}`"))
+        .collect::<Vec<_>>()
+        .join(" / ");
+    out.extend(
+        keys.iter()
+            .filter(|(k, _)| !present.contains(k))
+            .map(|(k, line)| {
+                finding(
+                    "bench-baseline",
+                    bench,
+                    *line,
+                    format!(
+                        "metric `{k}` is referenced here but missing from \
+                     {names} — the perf gate would fail (or silently \
+                     skip) instead of comparing it"
+                    ),
+                )
+            }),
+    );
+    out
 }
 
 #[cfg(test)]
@@ -619,11 +638,44 @@ fn measure() -> Vec<(&'static str, f64)> {
 ";
         let f = file("crates/bench/benches/bench_smoke.rs", bench);
         let baseline = "{\n  \"mesh16_compiled_ns_per_sample\": 564.5\n}\n";
-        let hits = bench_baseline(&f, "BENCH_kernels.json", Some(baseline));
+        let hits = bench_baseline(&f, &[("BENCH_kernels.json", Some(baseline))]);
         assert_eq!(hits.len(), 1);
         assert!(hits[0].message.contains("gone_metric_ms"));
-        let missing = bench_baseline(&f, "BENCH_kernels.json", None);
-        assert_eq!(missing.len(), 1);
+        // A missing baseline is its own finding, and with nothing to
+        // union against every referenced key is missing too.
+        let missing = bench_baseline(&f, &[("BENCH_kernels.json", None)]);
+        assert_eq!(missing.len(), 3, "{missing:?}");
         assert!(missing[0].message.contains("does not exist"));
+    }
+
+    #[test]
+    fn bench_baseline_unions_keys_across_paired_baselines() {
+        let bench = "\
+fn measure() -> Vec<(&'static str, f64)> {
+    vec![(\"kernel_metric_ns\", 1.0), (\"pipeline_metric_us\", 2.0)]
+}
+";
+        let f = file("crates/bench/benches/bench_smoke.rs", bench);
+        let kernels = "{\n  \"kernel_metric_ns\": 1.0\n}\n";
+        let pipeline = "{\n  \"pipeline_metric_us\": 2.0\n}\n";
+        // Each key lives in a different baseline: the union covers both.
+        let hits = bench_baseline(
+            &f,
+            &[
+                ("BENCH_kernels.json", Some(kernels)),
+                ("BENCH_pipeline.json", Some(pipeline)),
+            ],
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+        // Dropping one baseline surfaces both its absence and the key
+        // that no remaining baseline covers.
+        let hits = bench_baseline(
+            &f,
+            &[
+                ("BENCH_kernels.json", Some(kernels)),
+                ("BENCH_pipeline.json", None),
+            ],
+        );
+        assert_eq!(hits.len(), 2, "{hits:?}");
     }
 }

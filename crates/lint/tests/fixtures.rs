@@ -79,17 +79,22 @@ fn bench_baseline_hit_and_miss() {
     let bench_path = rules::BENCH_BASELINE_PAIRS[0].0;
 
     let hit = SourceFile::parse(bench_path, &fixture("bench_hit.rs"));
-    let findings = rules::bench_baseline(&hit, "bench_baseline.json", Some(&baseline));
+    let findings = rules::bench_baseline(&hit, &[("bench_baseline.json", Some(baseline.as_str()))]);
     assert_eq!(findings.len(), 1);
     assert!(findings[0].message.contains("metric_missing_from_baseline"));
 
     let miss = SourceFile::parse(bench_path, &fixture("bench_miss.rs"));
-    assert!(rules::bench_baseline(&miss, "bench_baseline.json", Some(&baseline)).is_empty());
+    assert!(
+        rules::bench_baseline(&miss, &[("bench_baseline.json", Some(baseline.as_str()))])
+            .is_empty()
+    );
 
-    // A referenced baseline file that does not exist is itself a finding.
+    // A referenced baseline file that does not exist is itself a
+    // finding — and with nothing left to union against, the key the
+    // bench references is missing too.
     assert_eq!(
-        rules::bench_baseline(&miss, "bench_baseline.json", None).len(),
-        1
+        rules::bench_baseline(&miss, &[("bench_baseline.json", None)]).len(),
+        2
     );
 }
 

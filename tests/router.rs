@@ -333,6 +333,111 @@ fn expired_deadline_is_refused_at_admission() {
     assert_eq!(m.serve.served, 1);
 }
 
+/// Regression: a flush in which *every* queued request has expired must
+/// not drive a zero-sample batch into the engine. The lane rejects each
+/// expired request with the typed error and skips the flush entirely —
+/// no `batches` increment, no engine call. The scenario: one full batch
+/// of long-deadline plugs keeps the engine busy (a wide hidden layer
+/// makes the flush slow), and victims admitted *while that flush is
+/// serving* carry deadlines that expire before the batcher looks at the
+/// queue again — so the next flush pops an all-expired backlog. The
+/// retry loop absorbs OS scheduling noise (a machine fast enough to
+/// finish the plug flush before the victims expire just retries).
+#[test]
+fn all_expired_flush_never_reaches_the_engine() {
+    const PLUGS: usize = 64;
+    const VICTIMS: usize = 4;
+    let test = test_view(PLUGS + VICTIMS, 90_001);
+    let input = test.inputs.shape()[1];
+    let mut e = engine(90_000, input, 384);
+
+    let mut pinned = false;
+    'attempts: for _attempt in 0..10 {
+        let router = Router::builder()
+            .max_batch(PLUGS)
+            .max_wait(Duration::from_millis(300))
+            .queue_cap(PLUGS + VICTIMS)
+            .build();
+        router.register_engine("m", e).expect("registers");
+        let client = router.client();
+
+        let plugs: Vec<RouterTicket> = (0..PLUGS)
+            .map(|i| {
+                client
+                    .submit(
+                        RouterRequest::new("m", sample_row(&test.inputs, i))
+                            .deadline_in(Duration::from_secs(30)),
+                    )
+                    .expect("plugs admit")
+            })
+            .collect();
+        // Wait until the plug flush has started (the batch counter bumps
+        // at flush entry, before the engine call), then race the victims
+        // in behind it: live at admission, expired well before the
+        // serving flush returns.
+        let serving = Instant::now();
+        while router.stats().models["m"].serve.batches == 0 {
+            assert!(
+                serving.elapsed() < Duration::from_secs(20),
+                "plug flush never started"
+            );
+            std::thread::yield_now();
+        }
+        let victims: Vec<RouterTicket> = (0..VICTIMS)
+            .filter_map(|i| {
+                client
+                    .submit(
+                        RouterRequest::new("m", sample_row(&test.inputs, PLUGS + i))
+                            .deadline_in(Duration::from_millis(2)),
+                    )
+                    .ok()
+            })
+            .collect();
+        for t in plugs {
+            t.wait()
+                .expect("plugs serve inside their generous deadline");
+        }
+        if victims.len() < VICTIMS {
+            // An admission-time refusal means >2 ms passed inside the
+            // submit loop itself; the flush path was not exercised.
+            e = router.deregister("m").expect("engine comes back");
+            continue 'attempts;
+        }
+        let mut expired = 0usize;
+        for t in victims {
+            match t.wait() {
+                Err(Error::DeadlineExceeded { .. }) => expired += 1,
+                // The machine outran the deadline and served a victim
+                // live — inconclusive, try again.
+                Ok(_) => {
+                    e = router.deregister("m").expect("engine comes back");
+                    continue 'attempts;
+                }
+                other => panic!("victim resolved to {other:?}"),
+            }
+        }
+        assert_eq!(expired, VICTIMS);
+        let stats = router.stats();
+        let m = &stats.models["m"];
+        assert_eq!(
+            m.serve.batches, 1,
+            "the all-expired flush must not reach the engine"
+        );
+        assert_eq!(m.serve.batched_samples, PLUGS as u64);
+        assert_eq!(m.deadline_missed, VICTIMS as u64);
+        assert_eq!(m.serve.served, (PLUGS + VICTIMS) as u64);
+        e = router.deregister("m").expect("engine comes back");
+        pinned = true;
+        break;
+    }
+    drop(e);
+    assert!(
+        pinned,
+        "victims were served live in 10 straight attempts — the plug \
+         flush never kept the engine busy long enough"
+    );
+}
+
 /// Router shutdown must drain: every ticket admitted by concurrent
 /// submitters across two models resolves exactly once, bitwise — zero
 /// lost, zero duplicated — and racing submissions get typed refusals.

@@ -1,16 +1,25 @@
 //! Integration tests for the parallel serving core: sharded engine
 //! batches must be bitwise identical to the sequential path across worker
-//! counts, streaming evaluation must agree with one-shot evaluation,
-//! Arc-backed dataset views must not alias mutations across grid arms,
-//! and repeated deployments must be served from the decomposition cache.
+//! counts, the opt-in stage pipeline must be bitwise identical to the
+//! sequential staged walk (property-pinned across worker counts and batch
+//! sizes straddling the inter-stage ring capacity), streaming evaluation
+//! must agree with one-shot evaluation, Arc-backed dataset views must not
+//! alias mutations across grid arms, and repeated deployments must be
+//! served from the decomposition cache.
+//!
+//! The CI matrix runs this binary under `OPLIX_JOBS ∈ {2, 7}`; nothing
+//! here may depend on the worker budget.
 
 use oplix_datasets::assign::AssignmentKind;
 use oplix_datasets::synth::{digits, SynthConfig};
+use oplix_nn::ctensor::CTensor;
+use oplix_nn::tensor::Tensor;
 use oplix_photonics::decoder::DecoderKind;
 use oplix_photonics::svd_map::MeshStyle;
 use oplixnet::engine::InferenceEngine;
-use oplixnet::zoo::{build_fcnn, FcnnConfig, ModelVariant};
+use oplixnet::zoo::{build_fcnn, build_lenet, FcnnConfig, LenetConfig, ModelVariant};
 use oplixnet::{deploy_cache_stats, DeployedDetection};
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -154,6 +163,73 @@ fn every_entry_point_shares_one_compiled_kernel_bitwise() {
         engine.classify_rows(&[]),
         Err(oplixnet::Error::EmptyInput { .. })
     ));
+}
+
+/// A deep (≥ 4 deployed stage) conv body: training-scale LeNet-5,
+/// channel-halved, on 8×8 single-channel image views.
+fn lenet_engine(seed: u64) -> InferenceEngine {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = LenetConfig::training_scale(2, 8, 10).halved();
+    let net = build_lenet(&cfg, ModelVariant::Split(DecoderKind::Merge), &mut rng);
+    InferenceEngine::from_network_shaped(
+        &net,
+        Some((cfg.in_ch, cfg.input_h, cfg.input_w)),
+        DeployedDetection::Differential,
+        MeshStyle::Clements,
+    )
+    .expect("LeNet deploys")
+}
+
+fn image_view(n: usize, c: usize, h: usize, w: usize, seed: u64) -> CTensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    CTensor::new(
+        Tensor::random_uniform(&[n, c, h, w], 1.0, &mut rng),
+        Tensor::random_uniform(&[n, c, h, w], 1.0, &mut rng),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The opt-in stage pipeline is **bitwise identical** to the
+    /// sequential staged walk — same logits, same classes — across
+    /// engine worker counts {1, 2, 7} and batch sizes straddling the
+    /// inter-stage ring capacity
+    /// ([`oplixnet::deploy::STAGE_RING_WINDOWS`] windows of 64 samples
+    /// in flight), for a two-stage FCNN and a deep LeNet conv body. On
+    /// a single-core budget the pipeline degrades to the sequential
+    /// walk itself; the CI `pipeline` job re-runs this binary under
+    /// `OPLIX_JOBS ∈ {2, 7}`, where helper stages actually engage.
+    #[test]
+    fn stage_pipeline_is_bitwise_identical_to_sequential_walk(
+        samples in 97usize..=192,
+        workers_ix in 0usize..3,
+    ) {
+        let workers = [1usize, 2, 7][workers_ix];
+
+        // FCNN (two deployed stages: hidden + head).
+        let test = test_view(samples, 23);
+        let input = test.inputs.shape()[1];
+        let want = engine(61, input)
+            .predict_batch(&test.inputs)
+            .expect("sequential FCNN");
+        let mut piped = engine(61, input)
+            .with_num_workers(workers)
+            .with_stage_pipeline(true);
+        prop_assert!(piped.stage_pipeline());
+        let got = piped.predict_batch(&test.inputs).expect("pipelined FCNN");
+        prop_assert_eq!(&got, &want, "FCNN: {} workers, {} samples", workers, samples);
+
+        // Deep conv body (conv-pool-conv-pool-fc-fc-fc).
+        let view = image_view(samples, 1, 8, 8, 29);
+        let want = lenet_engine(67).classify(&view).expect("sequential LeNet");
+        let got = lenet_engine(67)
+            .with_num_workers(workers)
+            .with_stage_pipeline(true)
+            .classify(&view)
+            .expect("pipelined LeNet");
+        prop_assert_eq!(got, want, "LeNet: {} workers, {} samples", workers, samples);
+    }
 }
 
 #[test]
